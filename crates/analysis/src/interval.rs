@@ -1,0 +1,195 @@
+//! Deadness over time: fixed-window interval series.
+//!
+//! Characterization studies of this era report not just whole-run averages
+//! but how a metric moves across a program's phases. This module slices a
+//! trace into fixed-size windows of dynamic instructions and reports the
+//! dead fraction of each, which the test suite uses to check that the
+//! benchmarks' deadness is a steady program property rather than a warmup
+//! artifact.
+
+use dide_emu::Trace;
+
+use crate::liveness::DeadnessAnalysis;
+
+/// Dead-instruction counts for one window of dynamic instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Sequence number of the first instruction in the window.
+    pub start: u64,
+    /// Instructions in the window (the last window may be short).
+    pub total: u64,
+    /// Eligible (value-producing) instructions in the window.
+    pub eligible: u64,
+    /// Dead instructions in the window.
+    pub dead: u64,
+}
+
+impl Interval {
+    /// Dead instructions as a fraction of the window.
+    #[must_use]
+    pub fn dead_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.dead as f64 / self.total as f64
+        }
+    }
+}
+
+/// A whole-trace interval series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSeries {
+    window: u64,
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSeries {
+    /// Slices the trace into windows of `window` dynamic instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn compute(trace: &Trace, analysis: &DeadnessAnalysis, window: u64) -> IntervalSeries {
+        assert!(window > 0, "window must be positive");
+        let mut intervals: Vec<Interval> = Vec::new();
+        for r in trace {
+            if r.seq % window == 0 {
+                intervals.push(Interval { start: r.seq, total: 0, eligible: 0, dead: 0 });
+            }
+            let cur = intervals.last_mut().expect("seq 0 opens a window");
+            cur.total += 1;
+            let v = analysis.verdict(r.seq);
+            cur.eligible += u64::from(v.is_eligible());
+            cur.dead += u64::from(v.is_dead());
+        }
+        IntervalSeries { window, intervals }
+    }
+
+    /// The configured window size.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The intervals, in trace order.
+    #[must_use]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Minimum and maximum per-window dead fraction (ignoring a final
+    /// short window of less than half the configured size).
+    #[must_use]
+    pub fn dead_fraction_range(&self) -> (f64, f64) {
+        let mut min = f64::MAX;
+        let mut max: f64 = 0.0;
+        for iv in &self.intervals {
+            if iv.total * 2 < self.window {
+                continue;
+            }
+            let f = iv.dead_fraction();
+            min = min.min(f);
+            max = max.max(f);
+        }
+        if min > max {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// Population standard deviation of per-window dead fractions.
+    #[must_use]
+    pub fn dead_fraction_stddev(&self) -> f64 {
+        let fs: Vec<f64> = self
+            .intervals
+            .iter()
+            .filter(|iv| iv.total * 2 >= self.window)
+            .map(Interval::dead_fraction)
+            .collect();
+        if fs.is_empty() {
+            return 0.0;
+        }
+        let mean = fs.iter().sum::<f64>() / fs.len() as f64;
+        let var = fs.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / fs.len() as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+
+    /// A two-phase program: phase one is all-useful, phase two recomputes
+    /// a flag that dies every iteration.
+    fn two_phase() -> Trace {
+        let mut b = ProgramBuilder::new("phases");
+        let (i, n) = (Reg::T0, Reg::T1);
+        b.li(Reg::S0, 0);
+        // Phase 1: pure accumulation.
+        b.li(i, 0).li(n, 400);
+        let p1 = b.label();
+        b.bind(p1);
+        b.add(Reg::S0, Reg::S0, i);
+        b.addi(i, i, 1);
+        b.blt(i, n, p1);
+        // Phase 2: a dead flag every iteration.
+        b.li(i, 0);
+        let p2 = b.label();
+        b.bind(p2);
+        b.slt(Reg::T2, i, n); // dead except final iteration
+        b.addi(i, i, 1);
+        b.blt(i, n, p2);
+        b.out(Reg::S0);
+        b.out(Reg::T2);
+        b.halt();
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let t = two_phase();
+        let a = DeadnessAnalysis::analyze(&t);
+        let s = IntervalSeries::compute(&t, &a, 100);
+        let total: u64 = s.intervals().iter().map(|iv| iv.total).sum();
+        assert_eq!(total, t.len() as u64);
+        assert_eq!(s.window(), 100);
+        for (k, iv) in s.intervals().iter().enumerate() {
+            assert_eq!(iv.start, 100 * k as u64);
+        }
+    }
+
+    #[test]
+    fn phases_are_visible() {
+        let t = two_phase();
+        let a = DeadnessAnalysis::analyze(&t);
+        let s = IntervalSeries::compute(&t, &a, 100);
+        let (min, max) = s.dead_fraction_range();
+        assert!(min < 0.01, "phase 1 windows are dead-free: {min}");
+        assert!(max > 0.25, "phase 2 windows are flag-heavy: {max}");
+        assert!(s.dead_fraction_stddev() > 0.1);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let t = two_phase();
+        let a = DeadnessAnalysis::analyze(&t);
+        let s = IntervalSeries::compute(&t, &a, 10_000_000);
+        assert_eq!(s.intervals().len(), 1);
+        // The single window is shorter than half the window size, so the
+        // range falls back to zeros.
+        assert_eq!(s.dead_fraction_range(), (0.0, 0.0));
+        assert_eq!(s.dead_fraction_stddev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let t = two_phase();
+        let a = DeadnessAnalysis::analyze(&t);
+        let _ = IntervalSeries::compute(&t, &a, 0);
+    }
+}

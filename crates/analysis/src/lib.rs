@@ -1,0 +1,63 @@
+//! Oracle dead-instruction analysis over dynamic traces.
+//!
+//! Implements the paper's definitions exactly, over the *actual* dynamic
+//! dependence graph recorded by the emulator:
+//!
+//! * A dynamic instruction is **eligible** for deadness when it produces a
+//!   value (an architectural register write or a memory store) and has no
+//!   other architectural side effect. Control transfers (`jal`/`jalr`),
+//!   branches, `out`, and `halt` are *roots* — always useful.
+//! * An eligible instruction is **first-level dead** when its value is never
+//!   read at all: the destination register is overwritten before any read
+//!   (or never read again), or every stored byte is overwritten before any
+//!   load (or never loaded).
+//! * An eligible instruction is **dead** when no *useful* instruction ever
+//!   reads its value — this adds the **transitively dead** instructions
+//!   whose only readers are themselves dead.
+//!
+//! The analysis is two-pass: a forward pass resolves every dynamic read to
+//! the unique producing write (byte-granular for memory), and a backward
+//! pass propagates usefulness over the resulting DAG.
+//!
+//! # Example
+//!
+//! ```
+//! use dide_isa::{ProgramBuilder, Reg};
+//! use dide_emu::Emulator;
+//! use dide_analysis::DeadnessAnalysis;
+//!
+//! // t0 = 1 is overwritten by t0 = 2 before any read: first-level dead.
+//! let mut b = ProgramBuilder::new("dead-write");
+//! b.li(Reg::T0, 1);
+//! b.li(Reg::T0, 2);
+//! b.out(Reg::T0);
+//! b.halt();
+//! let trace = Emulator::new(&b.build()?).run()?;
+//!
+//! let analysis = DeadnessAnalysis::analyze(&trace);
+//! assert!(analysis.verdict(0).is_dead());
+//! assert!(!analysis.verdict(1).is_dead());
+//! assert_eq!(analysis.stats().dead_total, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod lifetime;
+mod liveness;
+mod locality;
+mod replay;
+mod static_profile;
+mod stats;
+mod verdict;
+
+pub use interval::{Interval, IntervalSeries};
+pub use lifetime::DeadLifetimes;
+pub use liveness::DeadnessAnalysis;
+pub use locality::{LocalityCdf, LocalityPoint};
+pub use replay::{replay_outputs, verify_dead_removable, ReplayMismatch};
+pub use static_profile::{StaticBehavior, StaticProfile, StaticRecord};
+pub use stats::DeadStats;
+pub use verdict::{DeadKind, Verdict};

@@ -1,0 +1,163 @@
+//! Dead-value lifetimes: how long dead register values occupy their
+//! registers.
+//!
+//! A dead register write holds a physical register from allocation until
+//! the *next* write to the same architectural register commits. The longer
+//! that distance, the more register-file pressure each dead instruction
+//! causes — the quantity behind the paper's "physical register management"
+//! savings. This module measures, for every dead register-writing
+//! instruction, the dynamic-instruction distance to its overwriter (or to
+//! the end of the trace).
+
+use dide_emu::Trace;
+use dide_isa::Reg;
+
+use crate::liveness::DeadnessAnalysis;
+
+/// Distribution summary of dead-value lifetimes, in dynamic instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLifetimes {
+    lifetimes: Vec<u64>,
+}
+
+impl DeadLifetimes {
+    /// Measures the lifetime of every dead register-writing instruction.
+    ///
+    /// Stores are excluded: their "lifetime" is a property of the memory
+    /// system, not the register file.
+    #[must_use]
+    pub fn compute(trace: &Trace, analysis: &DeadnessAnalysis) -> DeadLifetimes {
+        let mut last_writer: [Option<u64>; Reg::COUNT] = [None; Reg::COUNT];
+        let mut lifetimes = Vec::new();
+        let end = trace.len() as u64;
+        for r in trace {
+            if let Some(rd) = r.inst.dest() {
+                if let Some(prev) = last_writer[rd.index()] {
+                    if analysis.is_dead(prev) {
+                        lifetimes.push(r.seq - prev);
+                    }
+                }
+                last_writer[rd.index()] = Some(r.seq);
+            }
+        }
+        // Values never overwritten live to the end of the program.
+        for prev in last_writer.into_iter().flatten() {
+            if analysis.is_dead(prev) {
+                lifetimes.push(end - prev);
+            }
+        }
+        lifetimes.sort_unstable();
+        DeadLifetimes { lifetimes }
+    }
+
+    /// Number of dead register values measured.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lifetimes.len()
+    }
+
+    /// Whether no dead register values were found.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lifetimes.is_empty()
+    }
+
+    /// Mean lifetime in dynamic instructions.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.lifetimes.is_empty() {
+            0.0
+        } else {
+            self.lifetimes.iter().sum::<u64>() as f64 / self.lifetimes.len() as f64
+        }
+    }
+
+    /// The `q`-quantile lifetime (`q` in `[0, 1]`), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.lifetimes.is_empty() {
+            return None;
+        }
+        let idx = ((self.lifetimes.len() - 1) as f64 * q).round() as usize;
+        Some(self.lifetimes[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+
+    fn measure(b: ProgramBuilder) -> DeadLifetimes {
+        let trace = Emulator::new(&b.build().unwrap()).run().unwrap();
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        DeadLifetimes::compute(&trace, &analysis)
+    }
+
+    #[test]
+    fn immediate_overwrite_has_lifetime_one() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // dead, overwritten by the very next instruction
+        b.li(Reg::T0, 2);
+        b.out(Reg::T0);
+        b.halt();
+        let lt = measure(b);
+        assert_eq!(lt.len(), 1);
+        assert_eq!(lt.quantile(0.5), Some(1));
+        assert!((lt.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_measures_intervening_instructions() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // seq 0: dead
+        b.li(Reg::T1, 2); // seq 1 (useful)
+        b.li(Reg::T2, 3); // seq 2 (useful)
+        b.li(Reg::T0, 4); // seq 3: overwrites seq 0 -> lifetime 3
+        b.out(Reg::T0).out(Reg::T1).out(Reg::T2);
+        b.halt();
+        let lt = measure(b);
+        assert_eq!(lt.len(), 1);
+        assert_eq!(lt.quantile(1.0), Some(3));
+    }
+
+    #[test]
+    fn unread_value_lives_to_program_end() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // seq 0: dead, never overwritten
+        b.nop(); // 1
+        b.halt(); // 2
+        let lt = measure(b);
+        assert_eq!(lt.len(), 1);
+        assert_eq!(lt.quantile(0.0), Some(3)); // trace length 3 - seq 0
+    }
+
+    #[test]
+    fn useful_values_are_not_counted() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1);
+        b.out(Reg::T0);
+        b.li(Reg::T0, 2);
+        b.out(Reg::T0);
+        b.halt();
+        let lt = measure(b);
+        assert!(lt.is_empty());
+        assert_eq!(lt.quantile(0.5), None);
+        assert_eq!(lt.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.halt();
+        let lt = measure(b);
+        let _ = lt.quantile(1.5);
+    }
+}

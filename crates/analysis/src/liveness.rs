@@ -1,0 +1,426 @@
+//! The two-pass oracle deadness algorithm.
+
+use std::collections::HashMap;
+
+use dide_emu::Trace;
+use dide_isa::OpcodeKind;
+
+use crate::locality::LocalityCdf;
+use crate::static_profile::StaticProfile;
+use crate::stats::DeadStats;
+use crate::verdict::{DeadKind, Verdict};
+
+/// Exact deadness labels for every dynamic instruction of a trace.
+///
+/// Produced by [`DeadnessAnalysis::analyze`]; see the [crate docs](crate)
+/// for the definitions and an example.
+#[derive(Debug, Clone)]
+pub struct DeadnessAnalysis {
+    verdicts: Vec<Verdict>,
+    /// Flat producer table: `producers[offsets[i]..offsets[i + 1]]` are the
+    /// seqs whose values record `i` read.
+    producers: Vec<u64>,
+    offsets: Vec<usize>,
+    stats: DeadStats,
+}
+
+/// Forward-pass bookkeeping for one pending register or store value.
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    /// Bytes of the store still visible (not yet overwritten).
+    live_bytes: u32,
+}
+
+impl DeadnessAnalysis {
+    /// Runs the analysis over a trace.
+    ///
+    /// Cost is `O(n)` in trace length with byte-granular memory tracking.
+    #[must_use]
+    pub fn analyze(trace: &Trace) -> DeadnessAnalysis {
+        let n = trace.len();
+        let records = trace.records();
+
+        // ---- forward pass: resolve reads to producers ----
+        let mut reg_writer: [Option<u64>; dide_isa::Reg::COUNT] =
+            [None; dide_isa::Reg::COUNT];
+        let mut mem_writer: HashMap<u64, u64> = HashMap::new();
+        let mut store_state: HashMap<u64, PendingStore> = HashMap::new();
+
+        let mut directly_read = vec![false; n];
+        // First-level kind hint, pending final classification.
+        let mut kind_hint: Vec<Option<DeadKind>> = vec![None; n];
+
+        let mut producers: Vec<u64> = Vec::with_capacity(n * 2);
+        let mut offsets: Vec<usize> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+
+        for r in records {
+            let start = producers.len();
+
+            // Register reads.
+            for src in r.inst.sources() {
+                if let Some(w) = reg_writer[src.index()] {
+                    directly_read[w as usize] = true;
+                    if !producers[start..].contains(&w) {
+                        producers.push(w);
+                    }
+                }
+            }
+            // Memory reads (loads), byte-granular.
+            if r.inst.op.is_load() {
+                if let Some(acc) = r.mem {
+                    for byte in acc.bytes() {
+                        if let Some(&w) = mem_writer.get(&byte) {
+                            directly_read[w as usize] = true;
+                            if !producers[start..].contains(&w) {
+                                producers.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+            offsets.push(producers.len());
+
+            // Register write: displace the previous pending writer.
+            if let Some(rd) = r.inst.dest() {
+                if let Some(prev) = reg_writer[rd.index()] {
+                    if !directly_read[prev as usize] {
+                        kind_hint[prev as usize] = Some(DeadKind::RegOverwritten);
+                    }
+                }
+                reg_writer[rd.index()] = Some(r.seq);
+            }
+            // Store: claim bytes, displacing previous owners.
+            if r.inst.op.is_store() {
+                if let Some(acc) = r.mem {
+                    for byte in acc.bytes() {
+                        if let Some(prev) = mem_writer.insert(byte, r.seq) {
+                            if prev != r.seq {
+                                if let Some(st) = store_state.get_mut(&prev) {
+                                    st.live_bytes -= 1;
+                                    if st.live_bytes == 0 && !directly_read[prev as usize] {
+                                        kind_hint[prev as usize] =
+                                            Some(DeadKind::StoreOverwritten);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    store_state.insert(
+                        r.seq,
+                        PendingStore { live_bytes: acc.width.bytes() as u32 },
+                    );
+                }
+            }
+        }
+
+        // End of program: pending unread values were never read.
+        for w in reg_writer.into_iter().flatten() {
+            if !directly_read[w as usize] {
+                kind_hint[w as usize] = Some(DeadKind::RegUnread);
+            }
+        }
+        for (&seq, st) in &store_state {
+            if st.live_bytes > 0 && !directly_read[seq as usize] {
+                kind_hint[seq as usize] = Some(DeadKind::StoreUnread);
+            }
+        }
+
+        // ---- backward pass: propagate usefulness over the exact DAG ----
+        let mut has_useful_consumer = vec![false; n];
+        let mut verdicts = vec![Verdict::NotEligible; n];
+
+        for r in records.iter().rev() {
+            let seq = r.seq as usize;
+            let eligible = (r.inst.dest().is_some() && !r.inst.op.is_control())
+                || r.inst.op.is_store();
+            let root = r.inst.op.is_control()
+                || matches!(r.inst.op.kind(), OpcodeKind::Out | OpcodeKind::Halt);
+            let useful = root || has_useful_consumer[seq];
+
+            if useful {
+                for &p in &producers[offsets[seq]..offsets[seq + 1]] {
+                    has_useful_consumer[p as usize] = true;
+                }
+            }
+
+            verdicts[seq] = if !eligible {
+                Verdict::NotEligible
+            } else if useful {
+                Verdict::Useful
+            } else if directly_read[seq] {
+                Verdict::Dead(DeadKind::Transitive)
+            } else {
+                // A never-read eligible value always received a first-level
+                // kind hint in the forward pass.
+                Verdict::Dead(kind_hint[seq].expect("unread eligible value must have a kind"))
+            };
+        }
+
+        let stats = DeadStats::from_verdicts(trace, &verdicts);
+        DeadnessAnalysis { verdicts, producers, offsets, stats }
+    }
+
+    /// The verdict for dynamic instruction `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range for the analyzed trace.
+    #[must_use]
+    pub fn verdict(&self, seq: u64) -> Verdict {
+        self.verdicts[seq as usize]
+    }
+
+    /// Whether dynamic instruction `seq` is dead.
+    #[must_use]
+    pub fn is_dead(&self, seq: u64) -> bool {
+        self.verdicts[seq as usize].is_dead()
+    }
+
+    /// All verdicts, indexed by seq.
+    #[must_use]
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// The producer seqs whose values dynamic instruction `seq` read.
+    #[must_use]
+    pub fn producers(&self, seq: u64) -> &[u64] {
+        let seq = seq as usize;
+        &self.producers[self.offsets[seq]..self.offsets[seq + 1]]
+    }
+
+    /// Aggregated deadness counters.
+    #[must_use]
+    pub fn stats(&self) -> &DeadStats {
+        &self.stats
+    }
+
+    /// Computes the per-static-instruction execution/deadness profile.
+    #[must_use]
+    pub fn static_profile(&self, trace: &Trace) -> StaticProfile {
+        StaticProfile::build(trace, &self.verdicts)
+    }
+
+    /// Computes the locality CDF of dead instances over static instructions.
+    #[must_use]
+    pub fn locality(&self, trace: &Trace) -> LocalityCdf {
+        LocalityCdf::build(&self.static_profile(trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+
+    fn analyze(b: ProgramBuilder) -> (Trace, DeadnessAnalysis) {
+        let trace = Emulator::new(&b.build().unwrap()).run().unwrap();
+        let a = DeadnessAnalysis::analyze(&trace);
+        (trace, a)
+    }
+
+    #[test]
+    fn overwritten_register_is_first_level_dead() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // 0: dead (overwritten by 1)
+        b.li(Reg::T0, 2); // 1: useful
+        b.out(Reg::T0); // 2
+        b.halt(); // 3
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(0), Verdict::Dead(DeadKind::RegOverwritten));
+        assert_eq!(a.verdict(1), Verdict::Useful);
+        assert_eq!(a.verdict(2), Verdict::NotEligible);
+    }
+
+    #[test]
+    fn unread_register_at_exit_is_dead() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // 0: never read
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(0), Verdict::Dead(DeadKind::RegUnread));
+    }
+
+    #[test]
+    fn transitive_deadness_propagates() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // 0: read only by 1, which is dead -> transitive
+        b.addi(Reg::T1, Reg::T0, 1); // 1: never read -> first-level dead
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(1), Verdict::Dead(DeadKind::RegUnread));
+        assert_eq!(a.verdict(0), Verdict::Dead(DeadKind::Transitive));
+    }
+
+    #[test]
+    fn long_transitive_chain() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1);
+        for _ in 0..10 {
+            b.addi(Reg::T0, Reg::T0, 1);
+        }
+        b.halt();
+        let (_, a) = analyze(b);
+        // Last addi is first-level dead; everything upstream transitive.
+        for seq in 0..10 {
+            assert_eq!(a.verdict(seq), Verdict::Dead(DeadKind::Transitive), "seq {seq}");
+        }
+        assert_eq!(a.verdict(10), Verdict::Dead(DeadKind::RegUnread));
+    }
+
+    #[test]
+    fn value_feeding_branch_is_useful() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // 0: feeds the branch -> useful
+        let l = b.label();
+        b.beq(Reg::T0, Reg::ZERO, l); // 1: root
+        b.bind(l);
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(0), Verdict::Useful);
+        assert_eq!(a.verdict(1), Verdict::NotEligible);
+    }
+
+    #[test]
+    fn value_feeding_out_is_useful() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 7);
+        b.out(Reg::T0);
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(0), Verdict::Useful);
+    }
+
+    #[test]
+    fn dead_store_overwritten() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // 0: transitive (feeds dead store only)
+        b.sd(Reg::T0, Reg::SP, -8); // 1: overwritten by 3
+        b.li(Reg::T1, 2); // 2: useful (feeds live store)
+        b.sd(Reg::T1, Reg::SP, -8); // 3: loaded by 4
+        b.ld(Reg::T2, Reg::SP, -8); // 4: feeds out
+        b.out(Reg::T2); // 5
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(1), Verdict::Dead(DeadKind::StoreOverwritten));
+        assert_eq!(a.verdict(0), Verdict::Dead(DeadKind::Transitive));
+        assert_eq!(a.verdict(3), Verdict::Useful);
+        assert_eq!(a.verdict(4), Verdict::Useful);
+    }
+
+    #[test]
+    fn partially_overwritten_store_classified_unread() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, -1);
+        b.sd(Reg::T0, Reg::SP, -8); // 1: 8 bytes, half overwritten, never read
+        b.sw(Reg::ZERO, Reg::SP, -8); // 2: overwrites low 4 bytes (store of zero reg)
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(1), Verdict::Dead(DeadKind::StoreUnread));
+    }
+
+    #[test]
+    fn store_read_through_partial_load_is_useful() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 0x1234_5678);
+        b.sd(Reg::T0, Reg::SP, -8); // store 8 bytes
+        b.lb(Reg::T1, Reg::SP, -8); // read one byte of it
+        b.out(Reg::T1);
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(1), Verdict::Useful);
+    }
+
+    #[test]
+    fn zero_register_write_discards_sources() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 5); // 0: read only by a zero-reg write -> dead (unread: nobody reads value)
+        b.add(Reg::ZERO, Reg::T0, Reg::T0); // 1: not eligible
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(1), Verdict::NotEligible);
+        // The li's value was read by the add (directly read), but the add is
+        // not a useful consumer, so the li is transitively dead.
+        assert_eq!(a.verdict(0), Verdict::Dead(DeadKind::Transitive));
+    }
+
+    #[test]
+    fn call_link_write_is_not_eligible() {
+        let mut b = ProgramBuilder::new("t");
+        let f = b.label();
+        b.call(f); // 0: jal writes ra but is control -> not eligible
+        b.halt();
+        b.bind(f);
+        b.ret();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(0), Verdict::NotEligible);
+    }
+
+    #[test]
+    fn dead_load_detected() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 7);
+        b.sd(Reg::T0, Reg::SP, -8); // useful: loaded
+        b.ld(Reg::T1, Reg::SP, -8); // dead: result never used
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.verdict(2), Verdict::Dead(DeadKind::RegUnread));
+        // The store feeds only a dead load -> transitively dead.
+        assert_eq!(a.verdict(1), Verdict::Dead(DeadKind::Transitive));
+        assert_eq!(a.verdict(0), Verdict::Dead(DeadKind::Transitive));
+    }
+
+    #[test]
+    fn producers_resolved_exactly() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // 0
+        b.li(Reg::T1, 2); // 1
+        b.add(Reg::T2, Reg::T0, Reg::T1); // 2 reads 0 and 1
+        b.out(Reg::T2); // 3 reads 2
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.producers(2), &[0, 1]);
+        assert_eq!(a.producers(3), &[2]);
+        assert_eq!(a.producers(0), &[] as &[u64]);
+    }
+
+    #[test]
+    fn duplicate_source_registers_deduped() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 3); // 0
+        b.add(Reg::T1, Reg::T0, Reg::T0); // 1 reads 0 twice
+        b.out(Reg::T1);
+        b.halt();
+        let (_, a) = analyze(b);
+        assert_eq!(a.producers(1), &[0]);
+    }
+
+    #[test]
+    fn loop_counter_is_useful_but_flag_calc_dead() {
+        // A loop that computes a "flag" every iteration but only uses it on exit.
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 0); // i
+        b.li(Reg::T1, 4); // n
+        let top = b.label();
+        b.bind(top);
+        b.slt(Reg::T2, Reg::T0, Reg::T1); // flag: overwritten every iteration
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T2); // only the last flag value is used
+        b.halt();
+        let (trace, a) = analyze(b);
+        let stats = a.stats();
+        // 4 slt instances; only the final one is useful.
+        let slts: Vec<_> = trace
+            .iter()
+            .filter(|r| r.inst.op == dide_isa::Opcode::Slt)
+            .map(|r| a.verdict(r.seq))
+            .collect();
+        assert_eq!(slts.len(), 4);
+        assert_eq!(slts.iter().filter(|v| v.is_dead()).count(), 3);
+        assert_eq!(*slts.last().unwrap(), Verdict::Useful);
+        assert!(stats.dead_total >= 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Locality of dead instances over static instructions (E4).
+
+use std::fmt;
+
+use crate::static_profile::StaticProfile;
+
+/// One point of the locality CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityPoint {
+    /// Number of (dead-heaviest) static instructions included.
+    pub statics: usize,
+    /// Cumulative fraction of all dead dynamic instances they account for.
+    pub cumulative_fraction: f64,
+}
+
+/// Cumulative distribution of dead dynamic instances over static
+/// instructions, sorted by per-static dead count (descending).
+///
+/// The paper's locality claim: "most of the dynamically dead instructions
+/// arise from a small set of static instructions". [`LocalityCdf::statics_for`]
+/// answers "how many statics cover X% of dead instances".
+#[derive(Debug, Clone)]
+pub struct LocalityCdf {
+    points: Vec<LocalityPoint>,
+    total_dead: u64,
+}
+
+impl LocalityCdf {
+    /// Builds the CDF from a static profile.
+    #[must_use]
+    pub fn build(profile: &StaticProfile) -> LocalityCdf {
+        let mut dead_counts: Vec<u64> = profile
+            .records()
+            .iter()
+            .map(|r| r.dead)
+            .filter(|&d| d > 0)
+            .collect();
+        dead_counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total_dead: u64 = dead_counts.iter().sum();
+        let mut points = Vec::with_capacity(dead_counts.len());
+        let mut cum = 0u64;
+        for (i, d) in dead_counts.iter().enumerate() {
+            cum += d;
+            points.push(LocalityPoint {
+                statics: i + 1,
+                cumulative_fraction: if total_dead == 0 {
+                    0.0
+                } else {
+                    cum as f64 / total_dead as f64
+                },
+            });
+        }
+        LocalityCdf { points, total_dead }
+    }
+
+    /// The CDF points, one per dead-producing static instruction.
+    #[must_use]
+    pub fn points(&self) -> &[LocalityPoint] {
+        &self.points
+    }
+
+    /// Total dead dynamic instances.
+    #[must_use]
+    pub fn total_dead(&self) -> u64 {
+        self.total_dead
+    }
+
+    /// Number of static instructions that produce at least one dead instance.
+    #[must_use]
+    pub fn dead_statics(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Smallest number of statics covering at least `fraction` of all dead
+    /// instances (`None` when there are no dead instances).
+    #[must_use]
+    pub fn statics_for(&self, fraction: f64) -> Option<usize> {
+        if self.total_dead == 0 {
+            return None;
+        }
+        self.points
+            .iter()
+            .find(|p| p.cumulative_fraction >= fraction)
+            .map(|p| p.statics)
+    }
+}
+
+impl fmt::Display for LocalityCdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dead instances over {} statics; 50%/90%/99% covered by {:?}/{:?}/{:?} statics",
+            self.total_dead,
+            self.dead_statics(),
+            self.statics_for(0.5),
+            self.statics_for(0.9),
+            self.statics_for(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeadnessAnalysis;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+
+    fn cdf(b: ProgramBuilder) -> LocalityCdf {
+        let trace = Emulator::new(&b.build().unwrap()).run().unwrap();
+        DeadnessAnalysis::analyze(&trace).locality(&trace)
+    }
+
+    /// One hot static producing many dead instances, one cold static
+    /// producing a single dead instance.
+    fn skewed() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new("skew");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 20);
+        let top = b.label();
+        b.bind(top);
+        b.slt(Reg::T2, Reg::T0, Reg::T1); // dead every iteration but last
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T2);
+        b.li(Reg::T3, 9); // one cold dead instance
+        b.halt();
+        b
+    }
+
+    #[test]
+    fn skewed_distribution_covered_by_one_static() {
+        let c = cdf(skewed());
+        assert_eq!(c.dead_statics(), 2);
+        assert_eq!(c.total_dead(), 20); // 19 slt + 1 li
+        assert_eq!(c.statics_for(0.5), Some(1));
+        assert_eq!(c.statics_for(0.95), Some(1));
+        assert_eq!(c.statics_for(0.96), Some(2));
+        assert_eq!(c.statics_for(1.0), Some(2));
+    }
+
+    #[test]
+    fn monotone_and_terminates_at_one() {
+        let c = cdf(skewed());
+        let pts = c.points();
+        for w in pts.windows(2) {
+            assert!(w[1].cumulative_fraction >= w[0].cumulative_fraction);
+        }
+        assert!((pts.last().unwrap().cumulative_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_dead_instances() {
+        let mut b = ProgramBuilder::new("live");
+        b.li(Reg::T0, 1);
+        b.out(Reg::T0);
+        b.halt();
+        let c = cdf(b);
+        assert_eq!(c.total_dead(), 0);
+        assert_eq!(c.statics_for(0.5), None);
+        assert!(c.points().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let text = cdf(skewed()).to_string();
+        assert!(text.contains("20 dead instances"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Replay-based validation of the deadness oracle.
+//!
+//! The definition of dynamic deadness makes a falsifiable promise: deleting
+//! every dead instruction from the dynamic stream must not change anything
+//! the program observably does. [`replay_outputs`] re-executes a recorded
+//! trace on a fresh architectural state while *skipping* a caller-chosen
+//! subset of instructions, and [`verify_dead_removable`] checks the promise
+//! for the verdicts of a [`DeadnessAnalysis`].
+//!
+//! This is both a library feature (downstream users can validate custom
+//! dead sets) and the backbone of this crate's property-based tests.
+
+use std::fmt;
+
+use dide_emu::{semantics, Memory, Trace};
+use dide_isa::{OpcodeKind, Reg, DATA_BASE, STACK_BASE};
+
+use crate::liveness::DeadnessAnalysis;
+
+/// Mismatch found by [`verify_dead_removable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayMismatch {
+    /// Outputs of the original trace.
+    pub expected: Vec<u64>,
+    /// Outputs of the replay with dead instructions removed.
+    pub actual: Vec<u64>,
+}
+
+impl fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dead-instruction removal changed outputs: expected {:?}, got {:?}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ReplayMismatch {}
+
+/// Re-executes the recorded instruction stream in trace order on a fresh
+/// architectural state, skipping every record for which `skip(seq)` is
+/// true, and returns the `out` values produced.
+///
+/// Control flow is not re-decided — the recorded committed path is
+/// followed — but *all data values are recomputed from scratch*, so a
+/// skipped instruction that actually mattered will corrupt downstream
+/// values and ultimately the outputs.
+///
+/// The replay assumes the trace was produced with the emulator's default
+/// initial state (stack pointer at [`STACK_BASE`]).
+pub fn replay_outputs<F: FnMut(u64) -> bool>(trace: &Trace, mut skip: F) -> Vec<u64> {
+    let mut regs = [0u64; Reg::COUNT];
+    regs[Reg::SP.index()] = STACK_BASE;
+    regs[Reg::FP.index()] = STACK_BASE;
+    let mut memory = Memory::new();
+    memory.write_bytes(DATA_BASE, trace.program().data());
+    let mut outputs = Vec::new();
+
+    let get = |regs: &[u64; Reg::COUNT], r: Reg| regs[r.index()];
+    for r in trace {
+        if skip(r.seq) {
+            continue;
+        }
+        let inst = r.inst;
+        match inst.op.kind() {
+            OpcodeKind::AluRR => {
+                let v = semantics::alu_rr(inst.op, get(&regs, inst.rs1), get(&regs, inst.rs2));
+                if !inst.rd.is_zero() {
+                    regs[inst.rd.index()] = v;
+                }
+            }
+            OpcodeKind::AluRI => {
+                let v = semantics::alu_ri(inst.op, get(&regs, inst.rs1), inst.imm);
+                if !inst.rd.is_zero() {
+                    regs[inst.rd.index()] = v;
+                }
+            }
+            OpcodeKind::LoadImm => {
+                if !inst.rd.is_zero() {
+                    regs[inst.rd.index()] = inst.imm as u64;
+                }
+            }
+            OpcodeKind::Load { width, signed } => {
+                let addr = get(&regs, inst.rs1).wrapping_add(inst.imm as u64);
+                let raw = memory.read_le(addr, width.bytes());
+                let v = if signed { semantics::sign_extend(raw, width.bytes()) } else { raw };
+                if !inst.rd.is_zero() {
+                    regs[inst.rd.index()] = v;
+                }
+            }
+            OpcodeKind::Store { width } => {
+                let addr = get(&regs, inst.rs1).wrapping_add(inst.imm as u64);
+                memory.write_le(addr, width.bytes(), get(&regs, inst.rs2));
+            }
+            OpcodeKind::Branch(_) | OpcodeKind::Halt | OpcodeKind::Nop => {}
+            OpcodeKind::Jal | OpcodeKind::Jalr => {
+                // The link value is position-derived, not data-derived.
+                if !inst.rd.is_zero() {
+                    regs[inst.rd.index()] = u64::from(r.index + 1);
+                }
+            }
+            OpcodeKind::Out => outputs.push(get(&regs, inst.rs1)),
+        }
+    }
+    outputs
+}
+
+/// Verifies that removing every instruction the analysis labels dead
+/// leaves the trace's observable outputs unchanged.
+///
+/// # Example
+///
+/// ```
+/// use dide_isa::{ProgramBuilder, Reg};
+/// use dide_emu::Emulator;
+/// use dide_analysis::{verify_dead_removable, DeadnessAnalysis};
+///
+/// let mut b = ProgramBuilder::new("check");
+/// b.li(Reg::T0, 1); // dead (overwritten)
+/// b.li(Reg::T0, 2);
+/// b.out(Reg::T0);
+/// b.halt();
+/// let trace = Emulator::new(&b.build()?).run()?;
+/// let analysis = DeadnessAnalysis::analyze(&trace);
+/// verify_dead_removable(&trace, &analysis)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ReplayMismatch`] carrying both output vectors if the
+/// promise is violated (which would indicate a bug in the analysis).
+pub fn verify_dead_removable(
+    trace: &Trace,
+    analysis: &DeadnessAnalysis,
+) -> Result<(), ReplayMismatch> {
+    let actual = replay_outputs(trace, |seq| analysis.is_dead(seq));
+    if actual == trace.outputs() {
+        Ok(())
+    } else {
+        Err(ReplayMismatch { expected: trace.outputs().to_vec(), actual })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_emu::Emulator;
+    use dide_isa::ProgramBuilder;
+
+    fn trace(b: ProgramBuilder) -> Trace {
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    fn looping_program() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new("replay");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 50);
+        b.li(Reg::S0, 0);
+        let top = b.label();
+        b.bind(top);
+        b.slt(Reg::T2, Reg::T0, Reg::T1); // mostly dead
+        b.sd(Reg::T0, Reg::SP, -8);
+        b.ld(Reg::T3, Reg::SP, -8);
+        b.add(Reg::S0, Reg::S0, Reg::T3);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::S0);
+        b.out(Reg::T2);
+        b.halt();
+        b
+    }
+
+    #[test]
+    fn full_replay_reproduces_outputs() {
+        let t = trace(looping_program());
+        let outputs = replay_outputs(&t, |_| false);
+        assert_eq!(outputs, t.outputs());
+    }
+
+    #[test]
+    fn removing_dead_preserves_outputs() {
+        let t = trace(looping_program());
+        let a = DeadnessAnalysis::analyze(&t);
+        assert!(a.stats().dead_total > 10, "the loop produces dead flags");
+        verify_dead_removable(&t, &a).expect("oracle deadness must be removable");
+    }
+
+    #[test]
+    fn removing_a_live_instruction_is_detected() {
+        let t = trace(looping_program());
+        let a = DeadnessAnalysis::analyze(&t);
+        // Skip the dead set *plus* one useful instruction (the final add
+        // into the live accumulator, whose operand is nonzero): outputs
+        // must change.
+        let victim = t
+            .iter()
+            .rev()
+            .find(|r| r.inst.op == dide_isa::Opcode::Add && a.verdict(r.seq).is_eligible())
+            .map(|r| r.seq)
+            .expect("an add exists");
+        assert!(!a.is_dead(victim));
+        let actual = replay_outputs(&t, |seq| a.is_dead(seq) || seq == victim);
+        assert_ne!(actual, t.outputs(), "skipping live work must corrupt outputs");
+    }
+
+    #[test]
+    fn mismatch_display() {
+        let m = ReplayMismatch { expected: vec![1], actual: vec![2] };
+        assert!(m.to_string().contains("changed outputs"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-static-instruction deadness profiles.
+
+use std::fmt;
+
+use dide_emu::Trace;
+
+use crate::verdict::Verdict;
+
+/// How a static instruction behaved across all of its dynamic instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StaticBehavior {
+    /// The instruction never produced an eliminable value.
+    NotValueProducing,
+    /// Every eligible instance was useful.
+    NeverDead,
+    /// Some instances were dead, some useful — the paper's *partially dead*
+    /// static instructions, the common case and the reason the predictor
+    /// needs future control-flow information.
+    PartiallyDead,
+    /// Every eligible instance was dead.
+    FullyDead,
+}
+
+/// Counters for one static instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticRecord {
+    /// Dynamic executions.
+    pub executions: u64,
+    /// Eligible (value-producing) executions.
+    pub eligible: u64,
+    /// Dead executions.
+    pub dead: u64,
+}
+
+impl StaticRecord {
+    /// Behavior classification for this static instruction.
+    #[must_use]
+    pub fn behavior(&self) -> StaticBehavior {
+        if self.eligible == 0 {
+            StaticBehavior::NotValueProducing
+        } else if self.dead == 0 {
+            StaticBehavior::NeverDead
+        } else if self.dead == self.eligible {
+            StaticBehavior::FullyDead
+        } else {
+            StaticBehavior::PartiallyDead
+        }
+    }
+
+    /// Fraction of eligible instances that were dead.
+    #[must_use]
+    pub fn dead_ratio(&self) -> f64 {
+        if self.eligible == 0 {
+            0.0
+        } else {
+            self.dead as f64 / self.eligible as f64
+        }
+    }
+}
+
+/// Deadness profile of every static instruction in a program
+/// (the paper's "static instruction behaviour" analysis, E3).
+#[derive(Debug, Clone)]
+pub struct StaticProfile {
+    records: Vec<StaticRecord>,
+}
+
+impl StaticProfile {
+    /// Builds the profile from a trace and its verdicts.
+    #[must_use]
+    pub fn build(trace: &Trace, verdicts: &[Verdict]) -> StaticProfile {
+        let mut records = vec![StaticRecord::default(); trace.program().len()];
+        for (r, v) in trace.iter().zip(verdicts) {
+            let rec = &mut records[r.index as usize];
+            rec.executions += 1;
+            if v.is_eligible() {
+                rec.eligible += 1;
+            }
+            if v.is_dead() {
+                rec.dead += 1;
+            }
+        }
+        StaticProfile { records }
+    }
+
+    /// Per-static records, indexed by static instruction index.
+    #[must_use]
+    pub fn records(&self) -> &[StaticRecord] {
+        &self.records
+    }
+
+    /// Number of static instructions whose behavior matches `behavior`,
+    /// counting only statics that executed at least once.
+    #[must_use]
+    pub fn count_behavior(&self, behavior: StaticBehavior) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.executions > 0 && r.behavior() == behavior)
+            .count()
+    }
+
+    /// Total dead dynamic instances.
+    #[must_use]
+    pub fn total_dead(&self) -> u64 {
+        self.records.iter().map(|r| r.dead).sum()
+    }
+
+    /// Dead dynamic instances contributed by statics with the given
+    /// behavior.
+    #[must_use]
+    pub fn dead_from_behavior(&self, behavior: StaticBehavior) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.behavior() == behavior)
+            .map(|r| r.dead)
+            .sum()
+    }
+
+    /// Fraction of dead dynamic instances that come from *partially dead*
+    /// static instructions — the paper's claim is that this is the majority.
+    #[must_use]
+    pub fn partial_dead_fraction(&self) -> f64 {
+        let total = self.total_dead();
+        if total == 0 {
+            0.0
+        } else {
+            self.dead_from_behavior(StaticBehavior::PartiallyDead) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for StaticProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "statics executed: {} (never-dead {}, partially-dead {}, fully-dead {})",
+            self.records.iter().filter(|r| r.executions > 0).count(),
+            self.count_behavior(StaticBehavior::NeverDead),
+            self.count_behavior(StaticBehavior::PartiallyDead),
+            self.count_behavior(StaticBehavior::FullyDead),
+        )?;
+        write!(
+            f,
+            "dead instances from partially-dead statics: {:.1}%",
+            100.0 * self.partial_dead_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeadnessAnalysis;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+
+    fn profile(b: ProgramBuilder) -> StaticProfile {
+        let trace = Emulator::new(&b.build().unwrap()).run().unwrap();
+        DeadnessAnalysis::analyze(&trace).static_profile(&trace)
+    }
+
+    /// A loop in which one static instruction (the `slt` flag computation)
+    /// is dead on all but the final iteration: a partially dead static.
+    fn partial_dead_loop() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new("loop");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 8);
+        let top = b.label();
+        b.bind(top);
+        b.slt(Reg::T2, Reg::T0, Reg::T1);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T2);
+        b.halt();
+        b
+    }
+
+    #[test]
+    fn partially_dead_static_detected() {
+        let p = profile(partial_dead_loop());
+        assert_eq!(p.count_behavior(StaticBehavior::PartiallyDead), 1);
+        // 7 of 8 slt instances are dead, all from the partially dead static.
+        assert_eq!(p.dead_from_behavior(StaticBehavior::PartiallyDead), 7);
+        assert!(p.partial_dead_fraction() > 0.99);
+    }
+
+    #[test]
+    fn fully_dead_static_detected() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // never read: fully dead static
+        b.halt();
+        let p = profile(b);
+        assert_eq!(p.count_behavior(StaticBehavior::FullyDead), 1);
+        assert_eq!(p.count_behavior(StaticBehavior::PartiallyDead), 0);
+    }
+
+    #[test]
+    fn never_dead_and_not_value_producing() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1); // useful
+        b.out(Reg::T0); // not value-producing
+        b.halt(); // not value-producing
+        let p = profile(b);
+        assert_eq!(p.count_behavior(StaticBehavior::NeverDead), 1);
+        assert_eq!(p.count_behavior(StaticBehavior::NotValueProducing), 2);
+        assert_eq!(p.total_dead(), 0);
+        assert_eq!(p.partial_dead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn record_ratios() {
+        let rec = StaticRecord { executions: 10, eligible: 10, dead: 4 };
+        assert_eq!(rec.behavior(), StaticBehavior::PartiallyDead);
+        assert!((rec.dead_ratio() - 0.4).abs() < 1e-12);
+        let none = StaticRecord::default();
+        assert_eq!(none.dead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_summary() {
+        let text = profile(partial_dead_loop()).to_string();
+        assert!(text.contains("partially-dead 1"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-instruction deadness verdicts.
+
+use std::fmt;
+
+/// Why a dynamic instruction's value went unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadKind {
+    /// Register result overwritten before any read.
+    RegOverwritten,
+    /// Register result never read again before the program ended.
+    RegUnread,
+    /// Every stored byte overwritten before any load.
+    StoreOverwritten,
+    /// Stored bytes never loaded before the program ended.
+    StoreUnread,
+    /// The value *was* read, but only by instructions that are themselves
+    /// dead (transitively dead).
+    Transitive,
+}
+
+impl DeadKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [DeadKind; 5] = [
+        DeadKind::RegOverwritten,
+        DeadKind::RegUnread,
+        DeadKind::StoreOverwritten,
+        DeadKind::StoreUnread,
+        DeadKind::Transitive,
+    ];
+
+    /// Short label used in report tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadKind::RegOverwritten => "reg-overwritten",
+            DeadKind::RegUnread => "reg-unread",
+            DeadKind::StoreOverwritten => "store-overwritten",
+            DeadKind::StoreUnread => "store-unread",
+            DeadKind::Transitive => "transitive",
+        }
+    }
+
+    /// Whether this kind counts as first-level (directly) dead, as opposed
+    /// to transitively dead.
+    #[must_use]
+    pub fn is_first_level(self) -> bool {
+        !matches!(self, DeadKind::Transitive)
+    }
+}
+
+impl fmt::Display for DeadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The analysis outcome for one dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The instruction produces no eliminable value (branch, jump, `out`,
+    /// `halt`, `nop`, or a zero-register write).
+    NotEligible,
+    /// The instruction's value is (transitively) used by a useful
+    /// instruction.
+    Useful,
+    /// The instruction is dynamically dead.
+    Dead(DeadKind),
+}
+
+impl Verdict {
+    /// Whether the verdict is [`Verdict::Dead`].
+    #[must_use]
+    pub fn is_dead(self) -> bool {
+        matches!(self, Verdict::Dead(_))
+    }
+
+    /// Whether the instruction was eligible for deadness at all.
+    #[must_use]
+    pub fn is_eligible(self) -> bool {
+        !matches!(self, Verdict::NotEligible)
+    }
+
+    /// The dead kind, when dead.
+    #[must_use]
+    pub fn dead_kind(self) -> Option<DeadKind> {
+        match self {
+            Verdict::Dead(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::NotEligible => f.write_str("not-eligible"),
+            Verdict::Useful => f.write_str("useful"),
+            Verdict::Dead(k) => write!(f, "dead({k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::Dead(DeadKind::RegUnread).is_dead());
+        assert!(!Verdict::Useful.is_dead());
+        assert!(!Verdict::NotEligible.is_eligible());
+        assert!(Verdict::Useful.is_eligible());
+        assert_eq!(
+            Verdict::Dead(DeadKind::Transitive).dead_kind(),
+            Some(DeadKind::Transitive)
+        );
+        assert_eq!(Verdict::Useful.dead_kind(), None);
+    }
+
+    #[test]
+    fn first_level_split() {
+        assert!(DeadKind::RegOverwritten.is_first_level());
+        assert!(DeadKind::StoreUnread.is_first_level());
+        assert!(!DeadKind::Transitive.is_first_level());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in DeadKind::ALL {
+            assert!(seen.insert(k.label()));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Verdict::Dead(DeadKind::RegUnread).to_string(), "dead(reg-unread)");
+        assert_eq!(Verdict::Useful.to_string(), "useful");
+        assert_eq!(Verdict::NotEligible.to_string(), "not-eligible");
+    }
+}

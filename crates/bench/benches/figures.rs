@@ -1,0 +1,110 @@
+//! Regenerates every table and figure of the paper (experiments E1–E12)
+//! and times each regeneration with Criterion.
+//!
+//! Each bench first *prints* the regenerated table — so the output of
+//! `cargo bench` contains the full set of paper artifacts — and then
+//! measures the cost of producing it.
+//!
+//! ```sh
+//! cargo bench -p dide-bench --bench figures
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dide::experiments::e01_dead_fraction::DeadFraction;
+use dide::experiments::e02_dead_breakdown::DeadBreakdown;
+use dide::experiments::e03_static_behavior::StaticBehaviorCensus;
+use dide::experiments::e04_locality::Locality;
+use dide::experiments::e05_compiler_effect::CompilerEffect;
+use dide::experiments::e06_predictor_sizing::PredictorSizing;
+use dide::experiments::e07_cfi_value::CfiValue;
+use dide::experiments::e08_resource_savings::ResourceSavingsReport;
+use dide::experiments::e09_speedup::Speedup;
+use dide::experiments::e10_machine_config::MachineConfigTable;
+use dide::experiments::e11_confidence_sweep::ConfidenceSweep;
+use dide::experiments::e12_elimination_ablation::EliminationAblation;
+use dide::experiments::e13_jump_aware::JumpAware;
+use dide::experiments::e14_oracle_limit::OracleLimit;
+use dide::experiments::e15_penalty_sweep::PenaltySweep;
+use dide::experiments::e16_dead_lifetimes::DeadLifetimeReport;
+use dide::experiments::e17_register_sweep::RegisterSweep;
+use dide_bench::{pipeline_subset, suite_o0, suite_o2};
+
+fn characterization(c: &mut Criterion) {
+    let o2 = suite_o2();
+    let o0 = suite_o0();
+    println!("\n{}\n", DeadFraction::run(o2));
+    println!("{}\n", DeadBreakdown::run(o2));
+    println!("{}\n", StaticBehaviorCensus::run(o2));
+    println!("{}\n", Locality::run(o2));
+    println!("{}\n", CompilerEffect::run(o0, o2));
+
+    let mut g = c.benchmark_group("characterization");
+    g.sample_size(10);
+    g.bench_function("e1_dead_fraction", |b| b.iter(|| black_box(DeadFraction::run(o2))));
+    g.bench_function("e2_dead_breakdown", |b| b.iter(|| black_box(DeadBreakdown::run(o2))));
+    g.bench_function("e3_static_behavior", |b| {
+        b.iter(|| black_box(StaticBehaviorCensus::run(o2)));
+    });
+    g.bench_function("e4_locality", |b| b.iter(|| black_box(Locality::run(o2))));
+    g.bench_function("e5_compiler_effect", |b| {
+        b.iter(|| black_box(CompilerEffect::run(o0, o2)));
+    });
+    g.finish();
+}
+
+fn prediction(c: &mut Criterion) {
+    let o2 = suite_o2();
+    println!("\n{}\n", PredictorSizing::run(o2));
+    println!("{}\n", CfiValue::run(o2));
+
+    let mut g = c.benchmark_group("prediction");
+    g.sample_size(10);
+    g.bench_function("e6_predictor_sizing", |b| {
+        b.iter(|| black_box(PredictorSizing::run(o2)));
+    });
+    g.bench_function("e7_cfi_value", |b| b.iter(|| black_box(CfiValue::run(o2))));
+    g.finish();
+}
+
+fn elimination(c: &mut Criterion) {
+    let o2 = suite_o2();
+    let small = pipeline_subset();
+    println!("\n{}\n", MachineConfigTable::collect());
+    println!("{}\n", ResourceSavingsReport::run(o2));
+    println!("{}\n", Speedup::run(o2));
+    println!("{}\n", ConfidenceSweep::run(small));
+    println!("{}\n", EliminationAblation::run(small));
+    println!("{}\n", JumpAware::run(small));
+    println!("{}\n", OracleLimit::run(small));
+    println!("{}\n", PenaltySweep::run(small));
+    println!("{}\n", DeadLifetimeReport::run(o2));
+    println!("{}\n", RegisterSweep::run(small));
+
+    let mut g = c.benchmark_group("elimination");
+    g.sample_size(10);
+    g.bench_function("e8_resource_savings", |b| {
+        b.iter(|| black_box(ResourceSavingsReport::run(small)));
+    });
+    g.bench_function("e9_speedup", |b| b.iter(|| black_box(Speedup::run(small))));
+    g.bench_function("e11_confidence_sweep", |b| {
+        b.iter(|| black_box(ConfidenceSweep::run(small)));
+    });
+    g.bench_function("e12_elimination_ablation", |b| {
+        b.iter(|| black_box(EliminationAblation::run(small)));
+    });
+    g.bench_function("e13_jump_aware", |b| b.iter(|| black_box(JumpAware::run(small))));
+    g.bench_function("e14_oracle_limit", |b| b.iter(|| black_box(OracleLimit::run(small))));
+    g.bench_function("e15_penalty_sweep", |b| b.iter(|| black_box(PenaltySweep::run(small))));
+    g.bench_function("e16_dead_lifetimes", |b| {
+        b.iter(|| black_box(DeadLifetimeReport::run(o2)));
+    });
+    g.bench_function("e17_register_sweep", |b| {
+        b.iter(|| black_box(RegisterSweep::run(small)));
+    });
+    g.finish();
+}
+
+criterion_group!(figures, characterization, prediction, elimination);
+criterion_main!(figures);

@@ -1,0 +1,99 @@
+//! Microbenchmarks of the substrate layers: emulator, deadness analysis,
+//! predictors, caches and the timing core. These bound the cost of the
+//! experiment harness and catch performance regressions in the simulator
+//! itself.
+//!
+//! ```sh
+//! cargo bench -p dide-bench --bench micro
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use dide::prelude::*;
+use dide_predictor::future::CfSignature;
+
+fn fixture() -> (&'static Trace, &'static DeadnessAnalysis) {
+    use std::sync::OnceLock;
+    static FIX: OnceLock<(Trace, DeadnessAnalysis)> = OnceLock::new();
+    let (t, a) = FIX.get_or_init(|| {
+        let spec = *dide::suite().iter().find(|s| s.name == "expr").unwrap();
+        let program = spec.build(OptLevel::O2, 2);
+        let trace = Emulator::new(&program).run().expect("expr halts");
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        (trace, analysis)
+    });
+    (t, a)
+}
+
+fn emulator_throughput(c: &mut Criterion) {
+    let spec = *dide::suite().iter().find(|s| s.name == "expr").unwrap();
+    let program = spec.build(OptLevel::O2, 1);
+    let len = Emulator::new(&program).run().unwrap().len() as u64;
+    let mut g = c.benchmark_group("emulator");
+    g.throughput(Throughput::Elements(len));
+    g.bench_function("trace_expr_scale1", |b| {
+        b.iter(|| black_box(Emulator::new(&program).run().unwrap()));
+    });
+    g.finish();
+}
+
+fn analysis_throughput(c: &mut Criterion) {
+    let (trace, _) = fixture();
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("deadness_expr", |b| {
+        b.iter(|| black_box(DeadnessAnalysis::analyze(trace)));
+    });
+    g.finish();
+}
+
+fn predictor_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.bench_function("cfi_predict_train", |b| {
+        let mut p = CfiDeadPredictor::new(CfiConfig::default());
+        let mut pc = 0u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(97) & 0xffff;
+            let input = dide_predictor::dead::PredictInput {
+                seq: u64::from(pc),
+                static_index: pc,
+                signature: CfSignature::new((pc & 0xf) as u16, 4),
+            };
+            let predicted = p.predict(&input);
+            p.train(&input, pc & 7 == 0);
+            black_box(predicted)
+        });
+    });
+    g.bench_function("gshare_predict_update", |b| {
+        let mut gsh = Gshare::new(10, 12);
+        let mut pc = 0u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(13) & 0xfff;
+            let t = gsh.predict(pc);
+            gsh.update(pc, pc & 3 == 0);
+            black_box(t)
+        });
+    });
+    g.finish();
+}
+
+fn pipeline_throughput(c: &mut Criterion) {
+    let (trace, analysis) = fixture();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("contended_no_elim", |b| {
+        let core = Core::new(PipelineConfig::contended());
+        b.iter(|| black_box(core.run(trace, analysis)));
+    });
+    g.bench_function("contended_with_elim", |b| {
+        let core =
+            Core::new(PipelineConfig::contended().with_elimination(DeadElimConfig::default()));
+        b.iter(|| black_box(core.run(trace, analysis)));
+    });
+    g.finish();
+}
+
+criterion_group!(micro, emulator_throughput, analysis_throughput, predictor_ops, pipeline_throughput);
+criterion_main!(micro);

@@ -1,0 +1,39 @@
+//! Benchmark-harness support: shared fixtures for the Criterion benches
+//! that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+use dide::{OptLevel, Workbench};
+
+/// The full suite at `O2`, scale 1, built once per bench process.
+pub fn suite_o2() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| Workbench::full(OptLevel::O2, 1))
+}
+
+/// The full suite at `O0`, scale 1, built once per bench process.
+pub fn suite_o0() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| Workbench::full(OptLevel::O0, 1))
+}
+
+/// A small pipeline-friendly subset for the expensive timing experiments.
+pub fn pipeline_subset() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| {
+        Workbench::subset(&["expr", "parse", "objstore", "route"], OptLevel::O2, 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(pipeline_subset().cases().len(), 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! `dide` — command-line front end for the reproduction.
+//!
+//! ```text
+//! dide list                               list the benchmark suite
+//! dide disasm <bench> [--opt O0|O2]       print a benchmark's assembly
+//! dide trace <bench> [--scale N]          run + oracle deadness summary
+//! dide run <bench> [--machine M] [--eliminate] [--oracle] [--jump-aware]
+//!                                         cycle-level pipeline run
+//! dide experiments [--scale N] [--only LIST]
+//!                                         regenerate paper tables (e1..e14)
+//! ```
+
+use std::process::ExitCode;
+
+use dide::experiments as ex;
+use dide::prelude::*;
+use dide::{OptLevel, Workbench};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    let command = it.next().unwrap_or("help");
+    let rest: Vec<&str> = it.collect();
+    match command {
+        "list" => list(),
+        "disasm" => disasm(&rest),
+        "trace" => trace(&rest),
+        "run" => run(&rest),
+        "experiments" => experiments(&rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", USAGE);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+dide — dynamic dead-instruction detection and elimination
+
+USAGE:
+  dide list
+  dide disasm <benchmark> [--opt O0|O2]
+  dide trace <benchmark> [--scale N] [--opt O0|O2] [--hot N]
+  dide run <benchmark> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N]
+  dide experiments [--scale N] [--only e1,e9,...]
+";
+
+fn flag_value<'a>(rest: &[&'a str], name: &str) -> Option<&'a str> {
+    rest.iter().position(|&a| a == name).and_then(|i| rest.get(i + 1).copied())
+}
+
+fn has_flag(rest: &[&str], name: &str) -> bool {
+    rest.contains(&name)
+}
+
+fn parse_opt(rest: &[&str]) -> Result<OptLevel, String> {
+    match flag_value(rest, "--opt") {
+        None | Some("O2") | Some("o2") => Ok(OptLevel::O2),
+        Some("O0") | Some("o0") => Ok(OptLevel::O0),
+        Some(other) => Err(format!("unknown optimization level `{other}` (use O0 or O2)")),
+    }
+}
+
+fn parse_scale(rest: &[&str]) -> Result<u32, String> {
+    match flag_value(rest, "--scale") {
+        None => Ok(1),
+        Some(s) => s.parse().map_err(|_| format!("invalid scale `{s}`")),
+    }
+}
+
+fn find_spec(name: Option<&&str>) -> Result<dide::WorkloadSpec, String> {
+    let name = name.ok_or("missing benchmark name (try `dide list`)")?;
+    dide::suite()
+        .into_iter()
+        .find(|s| s.name == *name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `dide list`)"))
+}
+
+fn fail(message: String) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn list() -> ExitCode {
+    let mut t = dide::Table::new(["name", "description"]);
+    for s in dide::suite() {
+        t.row([s.name, s.description]);
+    }
+    print!("{t}");
+    ExitCode::SUCCESS
+}
+
+fn disasm(rest: &[&str]) -> ExitCode {
+    let spec = match find_spec(rest.first()) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let opt = match parse_opt(rest) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    print!("{}", spec.build(opt, 1).listing());
+    ExitCode::SUCCESS
+}
+
+fn trace(rest: &[&str]) -> ExitCode {
+    let spec = match find_spec(rest.first()) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let (opt, scale) = match (parse_opt(rest), parse_scale(rest)) {
+        (Ok(o), Ok(s)) => (o, s),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    let program = spec.build(opt, scale);
+    let trace = match Emulator::new(&program).run() {
+        Ok(t) => t,
+        Err(e) => return fail(format!("emulation trapped: {e}")),
+    };
+    println!("== trace summary ==\n{}", trace.summary());
+    let analysis = DeadnessAnalysis::analyze(&trace);
+    println!("\n== oracle deadness ==\n{}", analysis.stats());
+    println!("\n== static profile ==\n{}", analysis.static_profile(&trace));
+    println!("\n== locality ==\n{}", analysis.locality(&trace));
+
+    if let Some(n) = flag_value(rest, "--hot") {
+        let Ok(n) = n.parse::<usize>() else {
+            return fail(format!("invalid --hot count `{n}`"));
+        };
+        let profile = analysis.static_profile(&trace);
+        let mut hot: Vec<(usize, u64, u64)> = profile
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.dead > 0)
+            .map(|(idx, r)| (idx, r.dead, r.eligible))
+            .collect();
+        hot.sort_by_key(|&(_, dead, _)| std::cmp::Reverse(dead));
+        println!("\n== hottest dead statics ==");
+        let mut t = dide::Table::new(["index", "instruction", "dead", "of eligible"]);
+        for &(idx, dead, eligible) in hot.iter().take(n) {
+            t.row([
+                idx.to_string(),
+                program.insts()[idx].to_string(),
+                dead.to_string(),
+                eligible.to_string(),
+            ]);
+        }
+        print!("{t}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(rest: &[&str]) -> ExitCode {
+    let spec = match find_spec(rest.first()) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let (opt, scale) = match (parse_opt(rest), parse_scale(rest)) {
+        (Ok(o), Ok(s)) => (o, s),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    let machine = match flag_value(rest, "--machine") {
+        None | Some("contended") => PipelineConfig::contended(),
+        Some("baseline") => PipelineConfig::baseline(),
+        Some(other) => return fail(format!("unknown machine `{other}`")),
+    };
+    let config = if has_flag(rest, "--eliminate") || has_flag(rest, "--oracle") {
+        machine.with_elimination(DeadElimConfig {
+            oracle: has_flag(rest, "--oracle"),
+            jump_aware: has_flag(rest, "--jump-aware"),
+            ..DeadElimConfig::default()
+        })
+    } else {
+        machine
+    };
+
+    let program = spec.build(opt, scale);
+    let trace = match Emulator::new(&program).run() {
+        Ok(t) => t,
+        Err(e) => return fail(format!("emulation trapped: {e}")),
+    };
+    let analysis = DeadnessAnalysis::analyze(&trace);
+    let stats = Core::new(config).run(&trace, &analysis);
+    println!("{stats}");
+    ExitCode::SUCCESS
+}
+
+fn experiments(rest: &[&str]) -> ExitCode {
+    let scale = match parse_scale(rest) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let only: Option<Vec<String>> = flag_value(rest, "--only")
+        .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect());
+    let want = |id: &str| only.as_ref().is_none_or(|o| o.iter().any(|x| x == id));
+
+    eprintln!("building the suite (O2 and O0) at scale {scale}...");
+    let o2 = Workbench::full(OptLevel::O2, scale);
+    let o0 = Workbench::full(OptLevel::O0, scale);
+
+    if want("e1") {
+        println!("{}\n", ex::e01_dead_fraction::DeadFraction::run(&o2));
+    }
+    if want("e2") {
+        println!("{}\n", ex::e02_dead_breakdown::DeadBreakdown::run(&o2));
+    }
+    if want("e3") {
+        println!("{}\n", ex::e03_static_behavior::StaticBehaviorCensus::run(&o2));
+    }
+    if want("e4") {
+        println!("{}\n", ex::e04_locality::Locality::run(&o2));
+    }
+    if want("e5") {
+        println!("{}\n", ex::e05_compiler_effect::CompilerEffect::run(&o0, &o2));
+    }
+    if want("e6") {
+        println!("{}\n", ex::e06_predictor_sizing::PredictorSizing::run(&o2));
+    }
+    if want("e7") {
+        println!("{}\n", ex::e07_cfi_value::CfiValue::run(&o2));
+    }
+    if want("e8") {
+        println!("{}\n", ex::e08_resource_savings::ResourceSavingsReport::run(&o2));
+    }
+    if want("e9") {
+        println!("{}\n", ex::e09_speedup::Speedup::run(&o2));
+    }
+    if want("e10") {
+        println!("{}\n", ex::e10_machine_config::MachineConfigTable::collect());
+    }
+    if want("e11") {
+        println!("{}\n", ex::e11_confidence_sweep::ConfidenceSweep::run(&o2));
+    }
+    if want("e12") {
+        println!("{}\n", ex::e12_elimination_ablation::EliminationAblation::run(&o2));
+    }
+    if want("e13") {
+        println!("{}\n", ex::e13_jump_aware::JumpAware::run(&o2));
+    }
+    if want("e14") {
+        println!("{}\n", ex::e14_oracle_limit::OracleLimit::run(&o2));
+    }
+    if want("e15") {
+        println!("{}\n", ex::e15_penalty_sweep::PenaltySweep::run(&o2));
+    }
+    if want("e16") {
+        println!("{}\n", ex::e16_dead_lifetimes::DeadLifetimeReport::run(&o2));
+    }
+    if want("e17") {
+        println!("{}\n", ex::e17_register_sweep::RegisterSweep::run(&o2));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,113 @@
+//! **E1 — Fraction of dynamically dead instructions.**
+//!
+//! Reproduces the paper's headline characterization figure: the fraction of
+//! dynamic instructions that are dead, per benchmark. Paper claim: 3–16%
+//! across SPEC CPU2000; our suite is calibrated to span the same range.
+
+use std::fmt;
+
+use crate::experiments::pct;
+use crate::{Table, Workbench};
+
+/// One benchmark's dead-fraction measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Eligible (value-producing) dynamic instructions.
+    pub eligible: u64,
+    /// Dead dynamic instructions.
+    pub dead: u64,
+    /// Dead as a fraction of all dynamic instructions.
+    pub fraction_of_all: f64,
+    /// Dead as a fraction of value producers.
+    pub fraction_of_producers: f64,
+}
+
+/// The E1 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadFraction {
+    /// Per-benchmark rows, in suite order.
+    pub rows: Vec<Row>,
+}
+
+impl DeadFraction {
+    /// Measures every benchmark in the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> DeadFraction {
+        let rows = bench
+            .cases()
+            .iter()
+            .map(|case| {
+                let s = case.analysis.stats();
+                Row {
+                    benchmark: case.spec.name.to_string(),
+                    total: s.total,
+                    eligible: s.eligible,
+                    dead: s.dead_total,
+                    fraction_of_all: s.dead_fraction(),
+                    fraction_of_producers: s.dead_fraction_of_eligible(),
+                }
+            })
+            .collect();
+        DeadFraction { rows }
+    }
+
+    /// Smallest and largest dead fraction across benchmarks.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        let mut min = f64::MAX;
+        let mut max = 0.0f64;
+        for r in &self.rows {
+            min = min.min(r.fraction_of_all);
+            max = max.max(r.fraction_of_all);
+        }
+        (min.min(max), max)
+    }
+}
+
+impl fmt::Display for DeadFraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E1: fraction of dynamically dead instructions (paper: 3-16%)")?;
+        let mut t = Table::new(["benchmark", "dyn insts", "producers", "dead", "% of all", "% of producers"]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                r.total.to_string(),
+                r.eligible.to_string(),
+                r.dead.to_string(),
+                pct(r.fraction_of_all),
+                pct(r.fraction_of_producers),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn rows_cover_workbench() {
+        let result = DeadFraction::run(small_o2());
+        assert_eq!(result.rows.len(), 3);
+        let expr = result.rows.iter().find(|r| r.benchmark == "expr").unwrap();
+        assert!(expr.fraction_of_all > 0.10 && expr.fraction_of_all < 0.20);
+        let stream = result.rows.iter().find(|r| r.benchmark == "stream").unwrap();
+        assert!(stream.fraction_of_all < 0.06);
+        let (min, max) = result.range();
+        assert!(min <= max);
+    }
+
+    #[test]
+    fn display_contains_benchmarks() {
+        let text = DeadFraction::run(small_o2()).to_string();
+        assert!(text.contains("expr"));
+        assert!(text.contains("stream"));
+        assert!(text.contains("E1"));
+    }
+}

@@ -1,0 +1,99 @@
+//! **E2 — Breakdown of dead instructions by kind.**
+//!
+//! Splits each benchmark's dead instructions into the paper's categories:
+//! register results overwritten before any read, register results never
+//! read, overwritten stores, never-loaded stores, and transitively dead
+//! instructions (read only by dead readers).
+
+use std::fmt;
+
+use dide_analysis::DeadKind;
+
+use crate::experiments::pct;
+use crate::{Table, Workbench};
+
+/// One benchmark's kind breakdown (fractions of its dead instructions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Total dead instructions.
+    pub dead: u64,
+    /// Fraction per kind, ordered as [`DeadKind::ALL`].
+    pub kind_fractions: [f64; 5],
+}
+
+/// The E2 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadBreakdown {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+}
+
+impl DeadBreakdown {
+    /// Measures every benchmark in the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> DeadBreakdown {
+        let rows = bench
+            .cases()
+            .iter()
+            .map(|case| {
+                let s = case.analysis.stats();
+                let dead = s.dead_total.max(1);
+                let mut kind_fractions = [0.0; 5];
+                for (i, kind) in DeadKind::ALL.into_iter().enumerate() {
+                    kind_fractions[i] = s.kind_count(kind) as f64 / dead as f64;
+                }
+                Row { benchmark: case.spec.name.to_string(), dead: s.dead_total, kind_fractions }
+            })
+            .collect();
+        DeadBreakdown { rows }
+    }
+}
+
+impl fmt::Display for DeadBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E2: breakdown of dead instructions by kind (fractions of dead)")?;
+        let mut headers = vec!["benchmark".to_string(), "dead".to_string()];
+        headers.extend(DeadKind::ALL.iter().map(|k| k.label().to_string()));
+        let mut t = Table::new(headers);
+        for r in &self.rows {
+            let mut cells = vec![r.benchmark.clone(), r.dead.to_string()];
+            cells.extend(r.kind_fractions.iter().map(|&x| pct(x)));
+            t.row(cells);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn fractions_sum_to_one_when_dead_exists() {
+        let result = DeadBreakdown::run(small_o2());
+        for r in &result.rows {
+            if r.dead > 0 {
+                let sum: f64 = r.kind_fractions.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "{}: sum {sum}", r.benchmark);
+            }
+        }
+    }
+
+    #[test]
+    fn expr_has_transitive_deadness() {
+        let result = DeadBreakdown::run(small_o2());
+        let expr = result.rows.iter().find(|r| r.benchmark == "expr").unwrap();
+        // expr's no-consumer path kills whole chains: transitive share > 0.
+        assert!(expr.kind_fractions[4] > 0.05, "transitive {}", expr.kind_fractions[4]);
+    }
+
+    #[test]
+    fn display_lists_kind_labels() {
+        let text = DeadBreakdown::run(small_o2()).to_string();
+        assert!(text.contains("reg-overwritten"));
+        assert!(text.contains("transitive"));
+    }
+}

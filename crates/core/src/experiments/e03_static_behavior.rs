@@ -1,0 +1,119 @@
+//! **E3 — Static instruction behaviour.**
+//!
+//! The paper's key observation about *where* dead instructions come from:
+//! most dead dynamic instances are produced by static instructions that
+//! also produce useful values (*partially dead* statics). This is what
+//! makes naive PC-indexed prediction insufficient and motivates CFI.
+
+use std::fmt;
+
+use dide_analysis::StaticBehavior;
+
+use crate::experiments::pct;
+use crate::{Table, Workbench};
+
+/// One benchmark's static-behaviour census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Static instructions that executed at least once.
+    pub statics_executed: usize,
+    /// Statics whose eligible instances were never dead.
+    pub never_dead: usize,
+    /// Statics with both dead and useful instances.
+    pub partially_dead: usize,
+    /// Statics whose eligible instances were always dead.
+    pub fully_dead: usize,
+    /// Fraction of dead dynamic instances coming from partially dead
+    /// statics.
+    pub dead_from_partial: f64,
+}
+
+/// The E3 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticBehaviorCensus {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+}
+
+impl StaticBehaviorCensus {
+    /// Measures every benchmark in the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> StaticBehaviorCensus {
+        let rows = bench
+            .cases()
+            .iter()
+            .map(|case| {
+                let p = case.analysis.static_profile(&case.trace);
+                Row {
+                    benchmark: case.spec.name.to_string(),
+                    statics_executed: p
+                        .records()
+                        .iter()
+                        .filter(|r| r.executions > 0)
+                        .count(),
+                    never_dead: p.count_behavior(StaticBehavior::NeverDead),
+                    partially_dead: p.count_behavior(StaticBehavior::PartiallyDead),
+                    fully_dead: p.count_behavior(StaticBehavior::FullyDead),
+                    dead_from_partial: p.partial_dead_fraction(),
+                }
+            })
+            .collect();
+        StaticBehaviorCensus { rows }
+    }
+}
+
+impl fmt::Display for StaticBehaviorCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E3: static instruction behaviour (paper: most dead instances come from partially dead statics)"
+        )?;
+        let mut t = Table::new([
+            "benchmark",
+            "statics",
+            "never-dead",
+            "partial",
+            "fully-dead",
+            "dead from partial",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                r.statics_executed.to_string(),
+                r.never_dead.to_string(),
+                r.partially_dead.to_string(),
+                r.fully_dead.to_string(),
+                pct(r.dead_from_partial),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn expr_dead_comes_from_partial_statics() {
+        let result = StaticBehaviorCensus::run(small_o2());
+        let expr = result.rows.iter().find(|r| r.benchmark == "expr").unwrap();
+        assert!(expr.partially_dead > 0);
+        assert!(
+            expr.dead_from_partial > 0.5,
+            "majority from partial statics, got {}",
+            expr.dead_from_partial
+        );
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let result = StaticBehaviorCensus::run(small_o2());
+        for r in &result.rows {
+            assert!(r.never_dead + r.partially_dead + r.fully_dead <= r.statics_executed);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! **E4 — Locality of dead instances over static instructions.**
+//!
+//! The paper's locality claim: a small set of static instructions produces
+//! most of the dead dynamic instances — the property that lets a small
+//! (<5 KB) predictor capture most of the opportunity.
+
+use std::fmt;
+
+use crate::{Table, Workbench};
+
+/// One benchmark's locality quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Total dead dynamic instances.
+    pub dead: u64,
+    /// Statics producing at least one dead instance.
+    pub dead_statics: usize,
+    /// Smallest number of statics covering 50% of dead instances.
+    pub statics_50: Option<usize>,
+    /// Smallest number of statics covering 90% of dead instances.
+    pub statics_90: Option<usize>,
+    /// Smallest number of statics covering 99% of dead instances.
+    pub statics_99: Option<usize>,
+}
+
+/// The E4 result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Locality {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+}
+
+impl Locality {
+    /// Measures every benchmark in the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> Locality {
+        let rows = bench
+            .cases()
+            .iter()
+            .map(|case| {
+                let cdf = case.analysis.locality(&case.trace);
+                Row {
+                    benchmark: case.spec.name.to_string(),
+                    dead: cdf.total_dead(),
+                    dead_statics: cdf.dead_statics(),
+                    statics_50: cdf.statics_for(0.5),
+                    statics_90: cdf.statics_for(0.9),
+                    statics_99: cdf.statics_for(0.99),
+                }
+            })
+            .collect();
+        Locality { rows }
+    }
+}
+
+fn opt_count(v: Option<usize>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
+
+impl fmt::Display for Locality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E4: locality of dead instances (statics needed to cover 50/90/99% of dead)"
+        )?;
+        let mut t = Table::new(["benchmark", "dead", "dead statics", "50%", "90%", "99%"]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                r.dead.to_string(),
+                r.dead_statics.to_string(),
+                opt_count(r.statics_50),
+                opt_count(r.statics_90),
+                opt_count(r.statics_99),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn locality_is_strong() {
+        let result = Locality::run(small_o2());
+        let expr = result.rows.iter().find(|r| r.benchmark == "expr").unwrap();
+        // Half the dead instances come from a handful of statics.
+        assert!(expr.statics_50.unwrap() <= 5, "statics_50 {:?}", expr.statics_50);
+        assert!(expr.statics_90.unwrap() <= expr.dead_statics);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        for r in &Locality::run(small_o2()).rows {
+            if let (Some(a), Some(b), Some(c)) = (r.statics_50, r.statics_90, r.statics_99) {
+                assert!(a <= b && b <= c);
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_dashes_for_no_dead() {
+        assert_eq!(opt_count(None), "-");
+        assert_eq!(opt_count(Some(3)), "3");
+    }
+}

@@ -1,0 +1,114 @@
+//! **E5 — Effect of compiler instruction scheduling.**
+//!
+//! The paper attributes a significant portion of partial deadness to
+//! compiler code motion. Our workload generator makes that causal claim
+//! testable: `O2` hoists computations above the branches that guard their
+//! consumers, `O0` sinks them into the consuming block. The dead fraction
+//! gap between the two is the scheduling contribution.
+
+use std::fmt;
+
+use crate::experiments::pct;
+use crate::{Table, Workbench};
+
+/// One benchmark's O0-vs-O2 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Dead fraction without hoisting.
+    pub dead_o0: f64,
+    /// Dead fraction with hoisting.
+    pub dead_o2: f64,
+}
+
+impl Row {
+    /// Percentage points of deadness attributable to scheduling.
+    #[must_use]
+    pub fn scheduling_contribution(&self) -> f64 {
+        self.dead_o2 - self.dead_o0
+    }
+}
+
+/// The E5 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerEffect {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+}
+
+impl CompilerEffect {
+    /// Compares two workbenches built at `O0` and `O2` over the same
+    /// benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two workbenches contain different benchmark sets.
+    #[must_use]
+    pub fn run(o0: &Workbench, o2: &Workbench) -> CompilerEffect {
+        assert_eq!(o0.cases().len(), o2.cases().len(), "workbenches must match");
+        let rows = o0
+            .cases()
+            .iter()
+            .zip(o2.cases())
+            .map(|(c0, c2)| {
+                assert_eq!(c0.spec.name, c2.spec.name, "workbenches must match");
+                Row {
+                    benchmark: c0.spec.name.to_string(),
+                    dead_o0: c0.analysis.stats().dead_fraction(),
+                    dead_o2: c2.analysis.stats().dead_fraction(),
+                }
+            })
+            .collect();
+        CompilerEffect { rows }
+    }
+}
+
+impl fmt::Display for CompilerEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E5: effect of compiler scheduling on deadness (O0 = no hoisting, O2 = hoisting)"
+        )?;
+        let mut t = Table::new(["benchmark", "dead @O0", "dead @O2", "scheduling adds"]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                pct(r.dead_o0),
+                pct(r.dead_o2),
+                format!("{:+.1} pts", 100.0 * r.scheduling_contribution()),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::{small_o0, small_o2};
+
+    #[test]
+    fn hoisting_adds_deadness_on_expr() {
+        let result = CompilerEffect::run(small_o0(), small_o2());
+        let expr = result.rows.iter().find(|r| r.benchmark == "expr").unwrap();
+        assert!(
+            expr.scheduling_contribution() > 0.05,
+            "expected >5 points from scheduling, got {}",
+            expr.scheduling_contribution()
+        );
+    }
+
+    #[test]
+    fn stream_is_scheduling_insensitive() {
+        let result = CompilerEffect::run(small_o0(), small_o2());
+        let stream = result.rows.iter().find(|r| r.benchmark == "stream").unwrap();
+        assert!(stream.scheduling_contribution().abs() < 0.01);
+    }
+
+    #[test]
+    fn display_shows_points() {
+        let text = CompilerEffect::run(small_o0(), small_o2()).to_string();
+        assert!(text.contains("pts"));
+    }
+}

@@ -1,0 +1,140 @@
+//! **E6 — Predictor coverage/accuracy vs hardware state budget.**
+//!
+//! Reproduces the paper's predictor sizing result: the CFI dead predictor
+//! reaches ~91% coverage at ~93% accuracy in *under 5 KB*. The sweep runs
+//! the full predictor (fresh per benchmark, like per-program hardware
+//! warmup) across table sizes and pools the confusion counts over the
+//! suite.
+
+use std::fmt;
+
+use dide_predictor::branch::Gshare;
+use dide_predictor::dead::{evaluate, CfiConfig, CfiDeadPredictor, DeadPredictor};
+use dide_predictor::StateBudget;
+
+use crate::experiments::pct;
+use crate::{Table, Workbench};
+
+/// Branch lookahead used throughout the sizing sweep.
+pub const LOOKAHEAD: u8 = 4;
+
+/// One table size's pooled results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Predictor table entries.
+    pub entries: u64,
+    /// Hardware state of the dead predictor.
+    pub budget: StateBudget,
+    /// Pooled coverage over the workbench.
+    pub coverage: f64,
+    /// Pooled accuracy over the workbench.
+    pub accuracy: f64,
+}
+
+/// The E6 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorSizing {
+    /// One row per table size, ascending.
+    pub rows: Vec<Row>,
+}
+
+impl PredictorSizing {
+    /// Table sizes swept (log2 entries).
+    pub const SIZES: [u32; 6] = [8, 9, 10, 11, 12, 13];
+
+    /// Runs the sweep over the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> PredictorSizing {
+        let rows = Self::SIZES
+            .iter()
+            .map(|&log2_entries| {
+                let config = CfiConfig { log2_entries, ..CfiConfig::default() };
+                let (tp, dead, predicted) = pooled_counts(bench, config);
+                Row {
+                    entries: 1 << log2_entries,
+                    budget: config.budget(),
+                    coverage: ratio(tp, dead),
+                    accuracy: if predicted == 0 { 1.0 } else { ratio(tp, predicted) },
+                }
+            })
+            .collect();
+        PredictorSizing { rows }
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Pools (true positives, actual dead, predicted dead) over all cases,
+/// with fresh predictor state per case.
+fn pooled_counts(bench: &Workbench, config: CfiConfig) -> (u64, u64, u64) {
+    let mut tp = 0;
+    let mut dead = 0;
+    let mut predicted = 0;
+    for case in bench.cases() {
+        let mut predictor = CfiDeadPredictor::new(config);
+        predictor.reset();
+        let mut gshare = Gshare::new(10, 12);
+        let report =
+            evaluate(&case.trace, &case.analysis, &mut predictor, &mut gshare, LOOKAHEAD);
+        tp += report.true_positives;
+        dead += report.actual_dead;
+        predicted += report.predicted_dead;
+    }
+    (tp, dead, predicted)
+}
+
+impl fmt::Display for PredictorSizing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E6: CFI predictor sizing (paper: >91% coverage at 93% accuracy under 5 KB)"
+        )?;
+        let mut t = Table::new(["entries", "state", "coverage", "accuracy"]);
+        for r in &self.rows {
+            t.row([
+                r.entries.to_string(),
+                r.budget.to_string(),
+                pct(r.coverage),
+                pct(r.accuracy),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn coverage_grows_with_size() {
+        let result = PredictorSizing::run(small_o2());
+        assert_eq!(result.rows.len(), PredictorSizing::SIZES.len());
+        let first = &result.rows[0];
+        let last = result.rows.last().unwrap();
+        assert!(last.coverage >= first.coverage - 0.02, "sizing should not hurt coverage");
+        assert!(last.accuracy > 0.9, "large tables stay accurate: {}", last.accuracy);
+    }
+
+    #[test]
+    fn default_size_is_under_5kb_and_effective() {
+        let result = PredictorSizing::run(small_o2());
+        let default = result.rows.iter().find(|r| r.entries == 2048).unwrap();
+        assert!(default.budget.kib() < 5.0);
+        assert!(default.coverage > 0.5, "coverage {}", default.coverage);
+        assert!(default.accuracy > 0.9, "accuracy {}", default.accuracy);
+    }
+
+    #[test]
+    fn display_lists_budgets() {
+        let text = PredictorSizing::run(small_o2()).to_string();
+        assert!(text.contains("KiB"));
+    }
+}

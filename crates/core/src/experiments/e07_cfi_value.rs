@@ -1,0 +1,157 @@
+//! **E7 — The value of future control-flow information.**
+//!
+//! The paper's central accuracy argument: distinguishing dead from useful
+//! *instances of the same static instruction* requires knowing where
+//! control goes next. This experiment compares
+//!
+//! * history-free baselines (last-outcome, PC-only bimodal),
+//! * the CFI predictor across lookahead depths (0 = PC-only), and
+//! * the CFI predictor with *oracle* branch outcomes (the upper bound set
+//!   by branch-prediction quality).
+
+use std::fmt;
+
+use dide_predictor::branch::Gshare;
+use dide_predictor::dead::{
+    evaluate, evaluate_with_signatures, BimodalDeadConfig, BimodalDeadPredictor, CfiConfig,
+    CfiDeadPredictor, DeadPredictor, LastOutcomePredictor,
+};
+use dide_predictor::future::signatures_oracle;
+
+use crate::experiments::pct;
+use crate::{Table, Workbench};
+
+/// One predictor variant's pooled results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Variant label.
+    pub variant: String,
+    /// Pooled coverage.
+    pub coverage: f64,
+    /// Pooled accuracy.
+    pub accuracy: f64,
+}
+
+/// The E7 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfiValue {
+    /// One row per variant.
+    pub rows: Vec<Row>,
+}
+
+/// Pools a closure-run evaluation over all cases.
+fn pooled<F>(bench: &Workbench, mut run_case: F) -> (f64, f64)
+where
+    F: FnMut(&crate::BenchCase) -> dide_predictor::dead::DeadPredictionReport,
+{
+    let (mut tp, mut dead, mut predicted) = (0u64, 0u64, 0u64);
+    for case in bench.cases() {
+        let r = run_case(case);
+        tp += r.true_positives;
+        dead += r.actual_dead;
+        predicted += r.predicted_dead;
+    }
+    let coverage = if dead == 0 { 0.0 } else { tp as f64 / dead as f64 };
+    let accuracy = if predicted == 0 { 1.0 } else { tp as f64 / predicted as f64 };
+    (coverage, accuracy)
+}
+
+impl CfiValue {
+    /// Lookahead depths swept for the CFI predictor.
+    pub const LOOKAHEADS: [u8; 5] = [0, 1, 2, 4, 8];
+
+    /// Runs all variants over the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> CfiValue {
+        let mut rows = Vec::new();
+
+        let (coverage, accuracy) = pooled(bench, |case| {
+            let mut p = LastOutcomePredictor::new(11);
+            let mut g = Gshare::new(10, 12);
+            evaluate(&case.trace, &case.analysis, &mut p, &mut g, 0)
+        });
+        rows.push(Row { variant: "last-outcome".to_string(), coverage, accuracy });
+
+        let (coverage, accuracy) = pooled(bench, |case| {
+            let mut p = BimodalDeadPredictor::new(BimodalDeadConfig::default());
+            let mut g = Gshare::new(10, 12);
+            evaluate(&case.trace, &case.analysis, &mut p, &mut g, 0)
+        });
+        rows.push(Row { variant: "bimodal (PC only)".to_string(), coverage, accuracy });
+
+        for lookahead in Self::LOOKAHEADS {
+            let (coverage, accuracy) = pooled(bench, |case| {
+                let mut p = CfiDeadPredictor::new(CfiConfig::default());
+                p.reset();
+                let mut g = Gshare::new(10, 12);
+                evaluate(&case.trace, &case.analysis, &mut p, &mut g, lookahead)
+            });
+            rows.push(Row { variant: format!("cfi lookahead {lookahead}"), coverage, accuracy });
+        }
+
+        let (coverage, accuracy) = pooled(bench, |case| {
+            let mut p = CfiDeadPredictor::new(CfiConfig::default());
+            p.reset();
+            let sigs = signatures_oracle(&case.trace, 4);
+            evaluate_with_signatures(&case.trace, &case.analysis, &mut p, &sigs)
+        });
+        rows.push(Row { variant: "cfi lookahead 4 (oracle branches)".to_string(), coverage, accuracy });
+
+        CfiValue { rows }
+    }
+
+    /// Convenience accessor: the row for a given variant label.
+    #[must_use]
+    pub fn variant(&self, label: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.variant == label)
+    }
+}
+
+impl fmt::Display for CfiValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E7: value of future control-flow information (paper: CFI is what enables high accuracy+coverage)"
+        )?;
+        let mut t = Table::new(["variant", "coverage", "accuracy"]);
+        for r in &self.rows {
+            t.row([r.variant.clone(), pct(r.coverage), pct(r.accuracy)]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn cfi_beats_pc_only_coverage() {
+        let result = CfiValue::run(small_o2());
+        let pc_only = result.variant("cfi lookahead 0").unwrap();
+        let cfi4 = result.variant("cfi lookahead 4").unwrap();
+        assert!(
+            cfi4.coverage > pc_only.coverage + 0.2,
+            "cfi4 {} vs pc-only {}",
+            cfi4.coverage,
+            pc_only.coverage
+        );
+    }
+
+    #[test]
+    fn oracle_branches_bound_predicted_branches() {
+        let result = CfiValue::run(small_o2());
+        let predicted = result.variant("cfi lookahead 4").unwrap();
+        let oracle = result.variant("cfi lookahead 4 (oracle branches)").unwrap();
+        assert!(oracle.coverage >= predicted.coverage - 0.02);
+    }
+
+    #[test]
+    fn last_outcome_has_poor_accuracy_on_partial_statics() {
+        let result = CfiValue::run(small_o2());
+        let last = result.variant("last-outcome").unwrap();
+        let cfi4 = result.variant("cfi lookahead 4").unwrap();
+        assert!(cfi4.accuracy > last.accuracy, "{} vs {}", cfi4.accuracy, last.accuracy);
+    }
+}

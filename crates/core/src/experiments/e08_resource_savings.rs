@@ -1,0 +1,163 @@
+//! **E8 — Resource-utilization reductions.**
+//!
+//! Runs each benchmark through the baseline machine with elimination
+//! enabled and reports the relative reduction in physical-register
+//! management, register-file traffic, and D-cache accesses. Paper claim:
+//! reductions averaging over 5% and sometimes exceeding 10%.
+
+use std::fmt;
+
+use dide_pipeline::{Core, DeadElimConfig, PipelineConfig, PipelineStats};
+
+use crate::experiments::{mean, pct};
+use crate::{Table, Workbench};
+
+/// One benchmark's reductions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Relative reduction in physical-register allocations.
+    pub alloc_reduction: f64,
+    /// Relative reduction in register-file reads.
+    pub rf_read_reduction: f64,
+    /// Relative reduction in register-file writes.
+    pub rf_write_reduction: f64,
+    /// Relative reduction in D-cache accesses.
+    pub dcache_reduction: f64,
+    /// Dead-tag violations (recovery events).
+    pub violations: u64,
+    /// Elimination accuracy in the pipeline.
+    pub accuracy: f64,
+    /// Elimination coverage in the pipeline.
+    pub coverage: f64,
+}
+
+/// The E8 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceSavingsReport {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResourceSavingsReport {
+    /// Runs every benchmark on the baseline machine with the default
+    /// elimination configuration.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> ResourceSavingsReport {
+        let config = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
+        let rows = bench
+            .cases()
+            .iter()
+            .map(|case| {
+                let s = Core::new(config).run(&case.trace, &case.analysis);
+                Row {
+                    benchmark: case.spec.name.to_string(),
+                    alloc_reduction: PipelineStats::reduction(
+                        s.phys_allocs,
+                        s.savings.phys_allocs_saved,
+                    ),
+                    rf_read_reduction: PipelineStats::reduction(
+                        s.rf_reads,
+                        s.savings.rf_reads_saved,
+                    ),
+                    rf_write_reduction: PipelineStats::reduction(
+                        s.rf_writes,
+                        s.savings.rf_writes_saved,
+                    ),
+                    dcache_reduction: PipelineStats::reduction(
+                        s.memory.l1d.accesses,
+                        s.savings.dcache_accesses_saved,
+                    ),
+                    violations: s.dead_violations,
+                    accuracy: s.elimination_accuracy(),
+                    coverage: s.elimination_coverage(),
+                }
+            })
+            .collect();
+        ResourceSavingsReport { rows }
+    }
+
+    /// Mean reduction across benchmarks for each resource, in the order
+    /// (allocs, RF reads, RF writes, D-cache).
+    #[must_use]
+    pub fn means(&self) -> (f64, f64, f64, f64) {
+        (
+            mean(&self.rows.iter().map(|r| r.alloc_reduction).collect::<Vec<_>>()),
+            mean(&self.rows.iter().map(|r| r.rf_read_reduction).collect::<Vec<_>>()),
+            mean(&self.rows.iter().map(|r| r.rf_write_reduction).collect::<Vec<_>>()),
+            mean(&self.rows.iter().map(|r| r.dcache_reduction).collect::<Vec<_>>()),
+        )
+    }
+}
+
+impl fmt::Display for ResourceSavingsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E8: resource-utilization reductions on the baseline machine (paper: >5% average)"
+        )?;
+        let mut t = Table::new([
+            "benchmark",
+            "allocs",
+            "RF reads",
+            "RF writes",
+            "D$ accesses",
+            "violations",
+            "accuracy",
+            "coverage",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                pct(r.alloc_reduction),
+                pct(r.rf_read_reduction),
+                pct(r.rf_write_reduction),
+                pct(r.dcache_reduction),
+                r.violations.to_string(),
+                pct(r.accuracy),
+                pct(r.coverage),
+            ]);
+        }
+        let (a, rr, rw, d) = self.means();
+        t.row([
+            "MEAN".to_string(),
+            pct(a),
+            pct(rr),
+            pct(rw),
+            pct(d),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn expr_reductions_exceed_five_percent() {
+        let result = ResourceSavingsReport::run(small_o2());
+        let expr = result.rows.iter().find(|r| r.benchmark == "expr").unwrap();
+        assert!(expr.alloc_reduction > 0.05, "allocs {}", expr.alloc_reduction);
+        assert!(expr.rf_write_reduction > 0.05, "rf writes {}", expr.rf_write_reduction);
+        assert!(expr.accuracy > 0.85, "accuracy {}", expr.accuracy);
+    }
+
+    #[test]
+    fn stream_reductions_are_small() {
+        let result = ResourceSavingsReport::run(small_o2());
+        let stream = result.rows.iter().find(|r| r.benchmark == "stream").unwrap();
+        assert!(stream.alloc_reduction < 0.08, "allocs {}", stream.alloc_reduction);
+    }
+
+    #[test]
+    fn display_has_mean_row() {
+        let text = ResourceSavingsReport::run(small_o2()).to_string();
+        assert!(text.contains("MEAN"));
+    }
+}

@@ -1,0 +1,133 @@
+//! **E10 — Simulated machine configuration table.**
+//!
+//! Not a measurement: renders the two machine configurations (baseline and
+//! contended) and the dead-predictor hardware, mirroring the paper's
+//! methodology table.
+
+use std::fmt;
+
+use dide_pipeline::{DeadElimConfig, PipelineConfig};
+
+use crate::Table;
+
+/// The rendered configuration table.
+#[derive(Debug, Clone)]
+pub struct MachineConfigTable {
+    /// The baseline machine.
+    pub baseline: PipelineConfig,
+    /// The contended machine.
+    pub contended: PipelineConfig,
+    /// The elimination hardware.
+    pub dead: DeadElimConfig,
+}
+
+impl MachineConfigTable {
+    /// Collects the standard configurations.
+    #[must_use]
+    pub fn collect() -> MachineConfigTable {
+        MachineConfigTable {
+            baseline: PipelineConfig::baseline(),
+            contended: PipelineConfig::contended(),
+            dead: DeadElimConfig::default(),
+        }
+    }
+}
+
+impl Default for MachineConfigTable {
+    fn default() -> Self {
+        MachineConfigTable::collect()
+    }
+}
+
+impl fmt::Display for MachineConfigTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E10: simulated machine configurations")?;
+        let (b, c) = (&self.baseline, &self.contended);
+        let mut t = Table::new(["parameter", "baseline", "contended"]);
+        t.row([
+            "pipeline width (F/R/I/C)".to_string(),
+            format!("{}/{}/{}/{}", b.fetch_width, b.rename_width, b.issue_width, b.commit_width),
+            format!("{}/{}/{}/{}", c.fetch_width, c.rename_width, c.issue_width, c.commit_width),
+        ]);
+        t.row(["ROB entries".to_string(), b.rob_entries.to_string(), c.rob_entries.to_string()]);
+        t.row(["issue queue".to_string(), b.iq_entries.to_string(), c.iq_entries.to_string()]);
+        t.row([
+            "LQ / SQ".to_string(),
+            format!("{} / {}", b.lq_entries, b.sq_entries),
+            format!("{} / {}", c.lq_entries, c.sq_entries),
+        ]);
+        t.row(["physical registers".to_string(), b.phys_regs.to_string(), c.phys_regs.to_string()]);
+        t.row([
+            "ALU / MUL / DIV / mem ports".to_string(),
+            format!("{}/{}/{}/{}", b.fu.alus, b.fu.muls, b.fu.divs, b.fu.mem_ports),
+            format!("{}/{}/{}/{}", c.fu.alus, c.fu.muls, c.fu.divs, c.fu.mem_ports),
+        ]);
+        t.row([
+            "branch predictor".to_string(),
+            format!("gshare 2^{} x {}h", b.gshare_log2_entries, b.gshare_history_bits),
+            format!("gshare 2^{} x {}h", c.gshare_log2_entries, c.gshare_history_bits),
+        ]);
+        t.row([
+            "mispredict / BTB-miss penalty".to_string(),
+            format!("{} / {}", b.mispredict_penalty, b.btb_miss_penalty),
+            format!("{} / {}", c.mispredict_penalty, c.btb_miss_penalty),
+        ]);
+        t.row([
+            "L1D".to_string(),
+            format!(
+                "{} KB {}-way, {} cy",
+                b.hierarchy.l1d.size_bytes / 1024,
+                b.hierarchy.l1d.ways,
+                b.hierarchy.l1d.hit_latency
+            ),
+            "same".to_string(),
+        ]);
+        t.row([
+            "L2 / memory".to_string(),
+            format!(
+                "{} KB {} cy / {} cy",
+                b.hierarchy.l2.size_bytes / 1024,
+                b.hierarchy.l2.hit_latency,
+                b.hierarchy.memory_latency
+            ),
+            "same".to_string(),
+        ]);
+        t.row([
+            "dead predictor".to_string(),
+            format!(
+                "CFI 2^{} entries ({}), lookahead {}, threshold {}",
+                self.dead.predictor.log2_entries,
+                self.dead.predictor.budget(),
+                self.dead.lookahead,
+                self.dead.predictor.threshold
+            ),
+            "same".to_string(),
+        ]);
+        t.row([
+            "violation penalty".to_string(),
+            self.dead.violation_penalty.to_string(),
+            "same".to_string(),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_both_machines() {
+        let text = MachineConfigTable::collect().to_string();
+        assert!(text.contains("baseline"));
+        assert!(text.contains("contended"));
+        assert!(text.contains("physical registers"));
+        assert!(text.contains("dead predictor"));
+    }
+
+    #[test]
+    fn dead_predictor_is_under_5kb() {
+        let t = MachineConfigTable::collect();
+        assert!(t.dead.predictor.budget().kib() < 5.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! **E11 — Confidence-threshold sensitivity.**
+//!
+//! The predictor only acts on high-confidence entries because a wrong dead
+//! prediction costs a recovery. Sweeping the threshold traces the
+//! coverage/accuracy frontier and its effect on contended-machine speedup.
+
+use std::fmt;
+
+use dide_predictor::branch::Gshare;
+use dide_predictor::dead::{evaluate, CfiConfig, CfiDeadPredictor};
+use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
+
+use crate::experiments::{geomean, pct};
+use crate::{Table, Workbench};
+
+/// One threshold's pooled results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Confidence threshold (out of the 4-bit counter's 15 max).
+    pub threshold: u8,
+    /// Pooled offline coverage.
+    pub coverage: f64,
+    /// Pooled offline accuracy.
+    pub accuracy: f64,
+    /// Geometric-mean speedup on the contended machine.
+    pub speedup: f64,
+    /// Total dead-tag violations across the workbench.
+    pub violations: u64,
+}
+
+/// The E11 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidenceSweep {
+    /// One row per threshold, ascending.
+    pub rows: Vec<Row>,
+}
+
+impl ConfidenceSweep {
+    /// Thresholds swept.
+    pub const THRESHOLDS: [u8; 6] = [2, 4, 8, 12, 14, 15];
+
+    /// Runs the sweep over the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> ConfidenceSweep {
+        let rows = Self::THRESHOLDS
+            .iter()
+            .map(|&threshold| {
+                let predictor_cfg = CfiConfig { threshold, ..CfiConfig::default() };
+
+                // Offline coverage/accuracy, pooled.
+                let (mut tp, mut dead, mut predicted) = (0u64, 0u64, 0u64);
+                for case in bench.cases() {
+                    let mut p = CfiDeadPredictor::new(predictor_cfg);
+                    let mut g = Gshare::new(10, 12);
+                    let r = evaluate(&case.trace, &case.analysis, &mut p, &mut g, 4);
+                    tp += r.true_positives;
+                    dead += r.actual_dead;
+                    predicted += r.predicted_dead;
+                }
+
+                // Contended-machine speedup + violations.
+                let base_cfg = PipelineConfig::contended();
+                let elim_cfg = base_cfg.with_elimination(DeadElimConfig {
+                    predictor: predictor_cfg,
+                    ..DeadElimConfig::default()
+                });
+                let mut speedups = Vec::new();
+                let mut violations = 0;
+                for case in bench.cases() {
+                    let base = Core::new(base_cfg).run(&case.trace, &case.analysis);
+                    let elim = Core::new(elim_cfg).run(&case.trace, &case.analysis);
+                    speedups.push(base.cycles as f64 / elim.cycles as f64);
+                    violations += elim.dead_violations;
+                }
+
+                Row {
+                    threshold,
+                    coverage: if dead == 0 { 0.0 } else { tp as f64 / dead as f64 },
+                    accuracy: if predicted == 0 { 1.0 } else { tp as f64 / predicted as f64 },
+                    speedup: geomean(&speedups),
+                    violations,
+                }
+            })
+            .collect();
+        ConfidenceSweep { rows }
+    }
+}
+
+impl fmt::Display for ConfidenceSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E11: confidence-threshold sensitivity (coverage/accuracy frontier and its speedup effect)"
+        )?;
+        let mut t = Table::new(["threshold", "coverage", "accuracy", "speedup", "violations"]);
+        for r in &self.rows {
+            t.row([
+                r.threshold.to_string(),
+                pct(r.coverage),
+                pct(r.accuracy),
+                format!("{:+.1}%", 100.0 * (r.speedup - 1.0)),
+                r.violations.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn threshold_trades_coverage_for_accuracy() {
+        let result = ConfidenceSweep::run(small_o2());
+        let low = &result.rows[0];
+        let high = result.rows.last().unwrap();
+        assert!(low.coverage >= high.coverage - 1e-9);
+        assert!(high.accuracy >= low.accuracy - 1e-9);
+    }
+
+    #[test]
+    fn all_thresholds_present() {
+        let result = ConfidenceSweep::run(small_o2());
+        assert_eq!(result.rows.len(), ConfidenceSweep::THRESHOLDS.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! **E12 — Elimination policy ablation.**
+//!
+//! Separates the mechanism's contributions on the contended machine:
+//! stores only, registers only, and the full mechanism, against `Off`.
+//!
+//! The striking result: `RegOnly` is *counterproductive* — a dead store
+//! whose data register was produced by an eliminated instruction reads a
+//! dead tag and triggers a recovery, and because dead values flow in
+//! chains this happens systematically. The mechanism must cover whole
+//! chains, which is exactly why the paper eliminates stores too.
+
+use std::fmt;
+
+use dide_pipeline::{Core, DeadElimConfig, EliminationPolicy, PipelineConfig};
+
+use crate::experiments::geomean;
+use crate::{Table, Workbench};
+
+/// One policy's pooled results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The elimination policy.
+    pub policy: EliminationPolicy,
+    /// Geometric-mean speedup vs `Off` on the contended machine.
+    pub speedup: f64,
+    /// Total eliminated instructions.
+    pub eliminated: u64,
+    /// Total physical-register allocations saved.
+    pub allocs_saved: u64,
+    /// Total D-cache accesses saved.
+    pub dcache_saved: u64,
+}
+
+/// The E12 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EliminationAblation {
+    /// One row per policy.
+    pub rows: Vec<Row>,
+}
+
+impl EliminationAblation {
+    /// Runs the ablation over the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> EliminationAblation {
+        let machine = PipelineConfig::contended();
+        // Baseline cycles per case.
+        let base_cycles: Vec<u64> = bench
+            .cases()
+            .iter()
+            .map(|case| Core::new(machine).run(&case.trace, &case.analysis).cycles)
+            .collect();
+
+        let rows = [
+            EliminationPolicy::Off,
+            EliminationPolicy::StoreOnly,
+            EliminationPolicy::RegOnly,
+            EliminationPolicy::RegAndStore,
+        ]
+        .into_iter()
+            .map(|policy| {
+                let cfg = machine
+                    .with_elimination(DeadElimConfig { policy, ..DeadElimConfig::default() });
+                let mut speedups = Vec::new();
+                let (mut eliminated, mut allocs_saved, mut dcache_saved) = (0, 0, 0);
+                for (case, &base) in bench.cases().iter().zip(&base_cycles) {
+                    let s = Core::new(cfg).run(&case.trace, &case.analysis);
+                    speedups.push(base as f64 / s.cycles as f64);
+                    eliminated += s.dead_predicted;
+                    allocs_saved += s.savings.phys_allocs_saved;
+                    dcache_saved += s.savings.dcache_accesses_saved;
+                }
+                Row {
+                    policy,
+                    speedup: geomean(&speedups),
+                    eliminated,
+                    allocs_saved,
+                    dcache_saved,
+                }
+            })
+            .collect();
+        EliminationAblation { rows }
+    }
+}
+
+fn policy_label(policy: EliminationPolicy) -> &'static str {
+    match policy {
+        EliminationPolicy::Off => "off",
+        EliminationPolicy::StoreOnly => "stores only",
+        EliminationPolicy::RegOnly => "registers only",
+        EliminationPolicy::RegAndStore => "registers + stores",
+    }
+}
+
+impl fmt::Display for EliminationAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E12: elimination policy ablation (contended machine)")?;
+        let mut t = Table::new(["policy", "speedup", "eliminated", "allocs saved", "D$ saved"]);
+        for r in &self.rows {
+            t.row([
+                policy_label(r.policy).to_string(),
+                format!("{:+.1}%", 100.0 * (r.speedup - 1.0)),
+                r.eliminated.to_string(),
+                r.allocs_saved.to_string(),
+                r.dcache_saved.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn off_policy_is_identity() {
+        let result = EliminationAblation::run(small_o2());
+        let off = &result.rows[0];
+        assert_eq!(off.policy, EliminationPolicy::Off);
+        assert!((off.speedup - 1.0).abs() < 1e-9);
+        assert_eq!(off.eliminated, 0);
+    }
+
+    #[test]
+    fn stores_add_dcache_savings() {
+        let result = EliminationAblation::run(small_o2());
+        let store_only = &result.rows[1];
+        let reg_only = &result.rows[2];
+        let full = &result.rows[3];
+        assert!(full.dcache_saved >= reg_only.dcache_saved);
+        assert!(full.eliminated >= reg_only.eliminated);
+        assert!(store_only.dcache_saved > 0);
+        assert_eq!(store_only.allocs_saved, 0, "stores allocate no registers");
+    }
+
+    #[test]
+    fn full_policy_dominates_reg_only() {
+        let result = EliminationAblation::run(small_o2());
+        let reg_only = &result.rows[2];
+        let full = &result.rows[3];
+        // RegOnly suffers dead-tag violations from non-eliminated dead
+        // stores; the full policy removes those chains entirely.
+        assert!(full.speedup > reg_only.speedup);
+    }
+}

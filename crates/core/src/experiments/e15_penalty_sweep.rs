@@ -1,0 +1,133 @@
+//! **E15 — Violation-penalty sensitivity.**
+//!
+//! Our violation recovery is modeled as a fixed rename stall
+//! (`DeadElimConfig::violation_penalty`, default 15 cycles) standing in for
+//! the paper's re-injection datapath. This sweep shows how the contended-
+//! machine speedup depends on that modeling choice — i.e. how robust the
+//! E9 conclusion is to the recovery-cost assumption.
+
+use std::fmt;
+
+use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
+
+use crate::experiments::geomean;
+use crate::{Table, Workbench};
+
+/// One penalty value's pooled results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Violation penalty in cycles.
+    pub penalty: u32,
+    /// Geometric-mean speedup over the workbench.
+    pub speedup: f64,
+    /// Total violations across the workbench (penalty-independent: the
+    /// same predictions are made regardless of the recovery cost).
+    pub violations: u64,
+}
+
+/// The E15 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PenaltySweep {
+    /// One row per penalty, ascending.
+    pub rows: Vec<Row>,
+}
+
+impl PenaltySweep {
+    /// Penalties swept, in cycles.
+    pub const PENALTIES: [u32; 5] = [5, 10, 15, 25, 40];
+
+    /// Runs the sweep on the contended machine.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> PenaltySweep {
+        let machine = PipelineConfig::contended();
+        let base_cycles: Vec<u64> = bench
+            .cases()
+            .iter()
+            .map(|case| Core::new(machine).run(&case.trace, &case.analysis).cycles)
+            .collect();
+        let rows = Self::PENALTIES
+            .iter()
+            .map(|&penalty| {
+                let cfg = machine.with_elimination(DeadElimConfig {
+                    violation_penalty: penalty,
+                    ..DeadElimConfig::default()
+                });
+                let mut speedups = Vec::new();
+                let mut violations = 0;
+                for (case, &base) in bench.cases().iter().zip(&base_cycles) {
+                    let s = Core::new(cfg).run(&case.trace, &case.analysis);
+                    speedups.push(base as f64 / s.cycles as f64);
+                    violations += s.dead_violations;
+                }
+                Row { penalty, speedup: geomean(&speedups), violations }
+            })
+            .collect();
+        PenaltySweep { rows }
+    }
+}
+
+impl fmt::Display for PenaltySweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E15: violation-penalty sensitivity (robustness of the E9 speedup to the recovery-cost model)"
+        )?;
+        let mut t = Table::new(["penalty (cy)", "speedup", "violations"]);
+        for r in &self.rows {
+            t.row([
+                r.penalty.to_string(),
+                format!("{:+.1}%", 100.0 * (r.speedup - 1.0)),
+                r.violations.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn speedup_degrades_monotonically_with_penalty() {
+        let result = PenaltySweep::run(small_o2());
+        for pair in result.rows.windows(2) {
+            assert!(
+                pair[1].speedup <= pair[0].speedup + 1e-9,
+                "penalty {} -> {} must not increase speedup",
+                pair[0].penalty,
+                pair[1].penalty
+            );
+        }
+    }
+
+    #[test]
+    fn conclusion_is_robust_at_40_cycles() {
+        let result = PenaltySweep::run(small_o2());
+        let worst = result.rows.last().unwrap();
+        assert_eq!(worst.penalty, 40);
+        assert!(
+            worst.speedup > 1.0,
+            "elimination must still pay off at a 40-cycle recovery: {:.4}",
+            worst.speedup
+        );
+    }
+
+    #[test]
+    fn violation_counts_are_penalty_independent() {
+        let result = PenaltySweep::run(small_o2());
+        let first = result.rows[0].violations;
+        for r in &result.rows {
+            // Timing shifts can change interleavings slightly, but the
+            // count must stay in the same ballpark.
+            assert!(
+                (r.violations as i64 - first as i64).unsigned_abs() <= first / 4 + 8,
+                "penalty {}: {} vs {}",
+                r.penalty,
+                r.violations,
+                first
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! **E16 — Dead-value lifetimes.**
+//!
+//! How long do dead register values squat in their registers? Each dead
+//! register write occupies a physical register from rename until its
+//! architectural register is next overwritten *and that overwriter
+//! commits* — so long lifetimes amplify the register-pressure cost of dead
+//! instructions, and with it the benefit of never allocating for them.
+
+use std::fmt;
+
+use dide_analysis::DeadLifetimes;
+
+use crate::{Table, Workbench};
+
+/// One benchmark's lifetime distribution summary (dynamic instructions
+/// between the dead write and its overwriter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Dead register values measured.
+    pub count: usize,
+    /// Mean lifetime.
+    pub mean: f64,
+    /// Median lifetime.
+    pub p50: u64,
+    /// 90th-percentile lifetime.
+    pub p90: u64,
+    /// Maximum lifetime.
+    pub max: u64,
+}
+
+/// The E16 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLifetimeReport {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+}
+
+impl DeadLifetimeReport {
+    /// Measures every benchmark in the workbench.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> DeadLifetimeReport {
+        let rows = bench
+            .cases()
+            .iter()
+            .map(|case| {
+                let lt = DeadLifetimes::compute(&case.trace, &case.analysis);
+                Row {
+                    benchmark: case.spec.name.to_string(),
+                    count: lt.len(),
+                    mean: lt.mean(),
+                    p50: lt.quantile(0.5).unwrap_or(0),
+                    p90: lt.quantile(0.9).unwrap_or(0),
+                    max: lt.quantile(1.0).unwrap_or(0),
+                }
+            })
+            .collect();
+        DeadLifetimeReport { rows }
+    }
+}
+
+impl fmt::Display for DeadLifetimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E16: dead-value lifetimes in dynamic instructions (register occupancy of dead writes)"
+        )?;
+        let mut t = Table::new(["benchmark", "dead values", "mean", "p50", "p90", "max"]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                r.count.to_string(),
+                format!("{:.1}", r.mean),
+                r.p50.to_string(),
+                r.p90.to_string(),
+                r.max.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn lifetimes_are_loop_scale() {
+        let result = DeadLifetimeReport::run(small_o2());
+        let expr = result.rows.iter().find(|r| r.benchmark == "expr").unwrap();
+        // Hoisted candidates die when the next iteration recomputes them:
+        // lifetime on the order of one loop body.
+        assert!(expr.count > 1000);
+        assert!(expr.p50 >= 5 && expr.p50 <= 100, "p50 {}", expr.p50);
+        assert!(expr.p90 >= expr.p50);
+        assert!(expr.max >= expr.p90);
+        assert!(expr.mean > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_everywhere() {
+        for r in &DeadLifetimeReport::run(small_o2()).rows {
+            assert!(r.p50 <= r.p90 && r.p90 <= r.max, "{}", r.benchmark);
+        }
+    }
+}

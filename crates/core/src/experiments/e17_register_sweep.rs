@@ -1,0 +1,174 @@
+//! **E17 — Register-pressure sweep.**
+//!
+//! Sweeps the physical-register file size on the contended machine, with
+//! and without elimination. Because eliminated instructions never allocate
+//! a rename register, elimination is worth some number of physical
+//! registers: the sweep shows the eliminated machine matching a larger
+//! baseline machine, and the gap closing as registers stop being the
+//! bottleneck — the cleanest visualization of the paper's "architecture
+//! exhibiting resource contention" framing.
+
+use std::fmt;
+
+use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
+
+use crate::experiments::geomean;
+use crate::{Table, Workbench};
+
+/// One register-file size's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Physical registers (including the 32 architectural).
+    pub phys_regs: usize,
+    /// Geometric-mean IPC without elimination.
+    pub ipc_base: f64,
+    /// Geometric-mean IPC with elimination.
+    pub ipc_elim: f64,
+    /// Mean rename-stall cycles per benchmark without elimination.
+    pub no_phys_stalls_base: u64,
+    /// Mean rename-stall cycles per benchmark with elimination.
+    pub no_phys_stalls_elim: u64,
+}
+
+impl Row {
+    /// Speedup from elimination at this register-file size.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.ipc_base == 0.0 {
+            1.0
+        } else {
+            self.ipc_elim / self.ipc_base
+        }
+    }
+}
+
+/// The E17 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterSweep {
+    /// One row per register-file size, ascending.
+    pub rows: Vec<Row>,
+}
+
+impl RegisterSweep {
+    /// Register-file sizes swept.
+    pub const SIZES: [usize; 6] = [40, 48, 64, 96, 128, 160];
+
+    /// Runs the sweep (contended machine otherwise).
+    #[must_use]
+    pub fn run(bench: &Workbench) -> RegisterSweep {
+        let rows = Self::SIZES
+            .iter()
+            .map(|&phys_regs| {
+                let machine = PipelineConfig { phys_regs, ..PipelineConfig::contended() };
+                let elim = machine.with_elimination(DeadElimConfig::default());
+                let mut ipc_base = Vec::new();
+                let mut ipc_elim = Vec::new();
+                let (mut stalls_base, mut stalls_elim) = (0, 0);
+                for case in bench.cases() {
+                    let b = Core::new(machine).run(&case.trace, &case.analysis);
+                    let e = Core::new(elim).run(&case.trace, &case.analysis);
+                    ipc_base.push(b.ipc());
+                    ipc_elim.push(e.ipc());
+                    stalls_base += b.no_phys_stalls;
+                    stalls_elim += e.no_phys_stalls;
+                }
+                let n = bench.cases().len().max(1) as u64;
+                Row {
+                    phys_regs,
+                    ipc_base: geomean(&ipc_base),
+                    ipc_elim: geomean(&ipc_elim),
+                    no_phys_stalls_base: stalls_base / n,
+                    no_phys_stalls_elim: stalls_elim / n,
+                }
+            })
+            .collect();
+        RegisterSweep { rows }
+    }
+
+    /// How many *extra baseline registers* the eliminated machine at
+    /// `phys_regs` is worth: the smallest swept size whose baseline IPC
+    /// meets the eliminated IPC, minus `phys_regs`.
+    ///
+    /// Returns `None` when no swept size catches up — elimination also
+    /// saves issue-queue slots and function-unit bandwidth, so on
+    /// workloads where those bind, even an unbounded register file cannot
+    /// match it. `None` is therefore a *stronger* statement than any
+    /// finite equivalent.
+    #[must_use]
+    pub fn register_equivalent(&self, phys_regs: usize) -> Option<usize> {
+        let row = self.rows.iter().find(|r| r.phys_regs == phys_regs)?;
+        let target = row.ipc_elim;
+        self.rows
+            .iter()
+            .find(|r| r.ipc_base >= target * 0.999)
+            .map(|r| r.phys_regs.saturating_sub(phys_regs))
+    }
+}
+
+impl fmt::Display for RegisterSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E17: register-pressure sweep (elimination expressed in physical registers)"
+        )?;
+        let mut t = Table::new([
+            "phys regs",
+            "IPC base",
+            "IPC elim",
+            "speedup",
+            "rename stalls base/elim",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.phys_regs.to_string(),
+                format!("{:.3}", r.ipc_base),
+                format!("{:.3}", r.ipc_elim),
+                format!("{:+.1}%", 100.0 * (r.speedup() - 1.0)),
+                format!("{} / {}", r.no_phys_stalls_base, r.no_phys_stalls_elim),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn elimination_matters_most_when_registers_are_scarce() {
+        let result = RegisterSweep::run(small_o2());
+        let tight = result.rows.first().unwrap();
+        let roomy = result.rows.last().unwrap();
+        assert!(tight.speedup() > roomy.speedup(), "{} vs {}", tight.speedup(), roomy.speedup());
+        assert!(
+            tight.no_phys_stalls_elim < tight.no_phys_stalls_base,
+            "elimination relieves rename stalls: {} vs {}",
+            tight.no_phys_stalls_elim,
+            tight.no_phys_stalls_base
+        );
+    }
+
+    #[test]
+    fn baseline_ipc_is_monotone_in_registers() {
+        let result = RegisterSweep::run(small_o2());
+        for pair in result.rows.windows(2) {
+            assert!(
+                pair[1].ipc_base >= pair[0].ipc_base - 0.02,
+                "{} regs {:.3} -> {} regs {:.3}",
+                pair[0].phys_regs,
+                pair[0].ipc_base,
+                pair[1].phys_regs,
+                pair[1].ipc_base
+            );
+        }
+    }
+
+    #[test]
+    fn register_equivalent_is_positive_under_pressure() {
+        let result = RegisterSweep::run(small_o2());
+        let equiv = result.register_equivalent(48);
+        assert!(equiv.is_some());
+    }
+}

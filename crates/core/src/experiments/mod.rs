@@ -1,0 +1,115 @@
+//! The experiment harness: one module per table/figure of the paper.
+//!
+//! Experiment IDs follow DESIGN.md §3:
+//!
+//! | ID | module | paper artifact |
+//! |----|--------|----------------|
+//! | E1 | [`e01_dead_fraction`] | fraction of dynamically dead instructions |
+//! | E2 | [`e02_dead_breakdown`] | breakdown of dead instructions by kind |
+//! | E3 | [`e03_static_behavior`] | fully vs partially dead static instructions |
+//! | E4 | [`e04_locality`] | locality of dead instances over statics |
+//! | E5 | [`e05_compiler_effect`] | effect of instruction scheduling (O0 vs O2) |
+//! | E6 | [`e06_predictor_sizing`] | predictor coverage/accuracy vs state budget |
+//! | E7 | [`e07_cfi_value`] | value of future control-flow information |
+//! | E8 | [`e08_resource_savings`] | resource-utilization reductions |
+//! | E9 | [`e09_speedup`] | speedup under resource contention |
+//! | E10 | [`e10_machine_config`] | simulated machine configuration |
+//! | E11 | [`e11_confidence_sweep`] | confidence threshold sensitivity |
+//! | E12 | [`e12_elimination_ablation`] | elimination policy ablation |
+//! | E13 | [`e13_jump_aware`] | extension: jump-aware CFI signatures |
+//! | E14 | [`e14_oracle_limit`] | oracle-elimination limit study |
+//! | E15 | [`e15_penalty_sweep`] | violation-penalty sensitivity |
+//! | E16 | [`e16_dead_lifetimes`] | dead-value lifetime distribution |
+//! | E17 | [`e17_register_sweep`] | elimination expressed in physical registers |
+//!
+//! Every experiment takes a prepared [`Workbench`](crate::Workbench) so the
+//! cost of tracing and oracle analysis is paid once, and renders itself as
+//! an aligned text table via `Display`.
+
+pub mod e01_dead_fraction;
+pub mod e02_dead_breakdown;
+pub mod e03_static_behavior;
+pub mod e04_locality;
+pub mod e05_compiler_effect;
+pub mod e06_predictor_sizing;
+pub mod e07_cfi_value;
+pub mod e08_resource_savings;
+pub mod e09_speedup;
+pub mod e10_machine_config;
+pub mod e11_confidence_sweep;
+pub mod e12_elimination_ablation;
+pub mod e13_jump_aware;
+pub mod e14_oracle_limit;
+pub mod e15_penalty_sweep;
+pub mod e16_dead_lifetimes;
+pub mod e17_register_sweep;
+
+/// Geometric mean of strictly positive values (1.0 for an empty slice).
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", 100.0 * fraction)
+}
+
+#[cfg(test)]
+pub(crate) mod testbench {
+    use std::sync::OnceLock;
+
+    use crate::{OptLevel, Workbench};
+
+    /// Benchmarks in the shared test workbench: one hoisting-heavy, one
+    /// store-heavy, one nearly dead-free.
+    pub(crate) const NAMES: [&str; 3] = ["expr", "objstore", "stream"];
+
+    /// A small shared workbench for experiment unit tests (built once).
+    pub(crate) fn small_o2() -> &'static Workbench {
+        static WB: OnceLock<Workbench> = OnceLock::new();
+        WB.get_or_init(|| Workbench::subset(&NAMES, OptLevel::O2, 1))
+    }
+
+    /// The matching O0 workbench for the compiler-effect experiment.
+    pub(crate) fn small_o0() -> &'static Workbench {
+        static WB: OnceLock<Workbench> = OnceLock::new();
+        WB.get_or_init(|| Workbench::subset(&NAMES, OptLevel::O0, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_speedups() {
+        assert!((geomean(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

@@ -1,0 +1,70 @@
+//! **DIDE** — Dynamic dead-Instruction Detection and Elimination.
+//!
+//! Top-level library of the reproduction of Butts & Sohi, *Dynamic
+//! dead-instruction detection and elimination* (ASPLOS 2002). It ties the
+//! substrate crates together and provides the experiment harness that
+//! regenerates every table and figure of the paper (see `DESIGN.md` and
+//! `EXPERIMENTS.md` at the repository root).
+//!
+//! The stack, bottom to top:
+//!
+//! | layer | crate |
+//! |-------|-------|
+//! | ISA (SIR) | [`dide_isa`] |
+//! | functional emulator + traces | [`dide_emu`] |
+//! | oracle deadness analysis | [`dide_analysis`] |
+//! | branch + dead predictors | [`dide_predictor`] |
+//! | cache hierarchy | [`dide_mem`] |
+//! | out-of-order core + elimination | [`dide_pipeline`] |
+//! | benchmark suite | [`dide_workloads`] |
+//! | experiments (this crate) | [`experiments`] |
+//!
+//! # Quickstart
+//!
+//! Measure the dead-instruction fraction of one benchmark and eliminate
+//! its dead instructions on the contended machine:
+//!
+//! ```
+//! use dide::prelude::*;
+//!
+//! let spec = *dide::suite().iter().find(|s| s.name == "expr").unwrap();
+//! let program = spec.build(OptLevel::O2, 1);
+//! let trace = Emulator::new(&program).run()?;
+//! let analysis = DeadnessAnalysis::analyze(&trace);
+//! println!("dead: {:.1}%", 100.0 * analysis.stats().dead_fraction());
+//!
+//! let config = PipelineConfig::contended().with_elimination(DeadElimConfig::default());
+//! let stats = Core::new(config).run(&trace, &analysis);
+//! println!("IPC {:.3}, eliminated {}", stats.ipc(), stats.dead_predicted);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+mod workbench;
+
+pub use table::Table;
+pub use workbench::{BenchCase, Workbench};
+
+pub use dide_workloads::{suite, OptLevel, WorkloadSpec};
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use dide_analysis::{DeadKind, DeadnessAnalysis, StaticBehavior, Verdict};
+    pub use dide_emu::{Emulator, Trace};
+    pub use dide_isa::{Inst, Opcode, Program, ProgramBuilder, Reg};
+    pub use dide_pipeline::{
+        Core, DeadElimConfig, EliminationPolicy, PipelineConfig, PipelineStats,
+    };
+    pub use dide_predictor::branch::{BimodalBranch, BranchPredictor, Gshare};
+    pub use dide_predictor::dead::{
+        evaluate, BimodalDeadConfig, BimodalDeadPredictor, CfiConfig, CfiDeadPredictor,
+        DeadPredictionReport, DeadPredictor, LastOutcomePredictor, OracleDeadPredictor,
+    };
+    pub use dide_workloads::{suite, OptLevel, WorkloadSpec};
+
+    pub use crate::workbench::{BenchCase, Workbench};
+}

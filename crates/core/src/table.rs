@@ -1,0 +1,189 @@
+//! Minimal text-table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// Cells whose content parses as a number (after stripping `%`, `x` and
+/// thousands separators) are right-aligned; everything else is
+/// left-aligned.
+///
+/// # Example
+///
+/// ```
+/// use dide::Table;
+///
+/// let mut t = Table::new(["benchmark", "dead %"]);
+/// t.row(["expr", "15.5"]);
+/// let text = t.to_string();
+/// assert!(text.contains("benchmark"));
+/// assert!(text.contains("expr"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+fn is_numeric(cell: &str) -> bool {
+    let cleaned: String = cell
+        .chars()
+        .filter(|c| !matches!(c, '%' | 'x' | ',' | '+' | ' '))
+        .collect();
+    !cleaned.is_empty() && cleaned.parse::<f64>().is_ok()
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells that contain
+    /// commas, quotes or newlines), for plotting pipelines.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dide::Table;
+    ///
+    /// let mut t = Table::new(["benchmark", "dead %"]);
+    /// t.row(["expr", "15.5"]);
+    /// assert_eq!(t.to_csv(), "benchmark,dead %\nexpr,15.5\n");
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn field(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| field(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if is_numeric(cell) {
+                    write!(f, "{cell:>width$}", width = widths[i])?;
+                } else {
+                    write!(f, "{cell:<width$}", width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        let _ = cols;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1.5"]);
+        t.row(["b", "123.25"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // Numeric column right-aligned: both values end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(is_numeric("123"));
+        assert!(is_numeric("12.5%"));
+        assert!(is_numeric("1.05x"));
+        assert!(is_numeric("-3.6"));
+        assert!(!is_numeric("expr"));
+        assert!(!is_numeric(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(["name", "note"]);
+        t.row(["a,b", "say \"hi\"\nbye"]);
+        assert_eq!(t.to_csv(), "name,note\n\"a,b\",\"say \"\"hi\"\"\nbye\"\n");
+    }
+}

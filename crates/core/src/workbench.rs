@@ -1,0 +1,100 @@
+//! Shared benchmark fixtures: traces and oracle analyses, built once and
+//! reused across experiments.
+
+use dide_analysis::DeadnessAnalysis;
+use dide_emu::{Emulator, Trace};
+use dide_workloads::{suite, OptLevel, WorkloadSpec};
+
+/// One benchmark instance: its spec, trace and oracle analysis.
+#[derive(Debug)]
+pub struct BenchCase {
+    /// The workload descriptor.
+    pub spec: WorkloadSpec,
+    /// Optimization level the program was built at.
+    pub opt: OptLevel,
+    /// The committed-path dynamic trace.
+    pub trace: Trace,
+    /// Oracle deadness labels for the trace.
+    pub analysis: DeadnessAnalysis,
+}
+
+impl BenchCase {
+    /// Builds, runs and analyzes one workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark program traps — that would be a bug in the
+    /// workload generator, not a user error.
+    #[must_use]
+    pub fn build(spec: WorkloadSpec, opt: OptLevel, scale: u32) -> BenchCase {
+        let program = spec.build(opt, scale);
+        let trace = Emulator::new(&program)
+            .run()
+            .unwrap_or_else(|e| panic!("benchmark {} must run to halt: {e}", spec.name));
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        BenchCase { spec, opt, trace, analysis }
+    }
+}
+
+/// A set of prepared benchmark cases.
+///
+/// Experiments take a `Workbench` so that test runs can use a cheap subset
+/// while the full harness uses the entire suite at a larger scale.
+#[derive(Debug)]
+pub struct Workbench {
+    cases: Vec<BenchCase>,
+}
+
+impl Workbench {
+    /// Prepares the full benchmark suite.
+    #[must_use]
+    pub fn full(opt: OptLevel, scale: u32) -> Workbench {
+        Workbench { cases: suite().into_iter().map(|s| BenchCase::build(s, opt, scale)).collect() }
+    }
+
+    /// Prepares a named subset of the suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name does not match any benchmark.
+    #[must_use]
+    pub fn subset(names: &[&str], opt: OptLevel, scale: u32) -> Workbench {
+        let all = suite();
+        let cases = names
+            .iter()
+            .map(|&n| {
+                let spec = *all
+                    .iter()
+                    .find(|s| s.name == n)
+                    .unwrap_or_else(|| panic!("unknown benchmark `{n}`"));
+                BenchCase::build(spec, opt, scale)
+            })
+            .collect();
+        Workbench { cases }
+    }
+
+    /// The prepared cases, in suite order.
+    #[must_use]
+    pub fn cases(&self) -> &[BenchCase] {
+        &self.cases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_builds_requested_cases() {
+        let wb = Workbench::subset(&["stream"], OptLevel::O2, 1);
+        assert_eq!(wb.cases().len(), 1);
+        assert_eq!(wb.cases()[0].spec.name, "stream");
+        assert!(wb.cases()[0].trace.len() > 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = Workbench::subset(&["nope"], OptLevel::O2, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Dynamic instruction records.
+
+use dide_isa::{Inst, MemWidth};
+
+/// A memory access performed by a dynamic load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Starting byte address.
+    pub addr: u64,
+    /// Access width.
+    pub width: MemWidth,
+}
+
+impl MemAccess {
+    /// Iterates over the byte addresses this access touches.
+    pub fn bytes(self) -> impl Iterator<Item = u64> {
+        (0..self.width.bytes()).map(move |i| self.addr.wrapping_add(i))
+    }
+
+    /// Whether the access overlaps `other` by at least one byte.
+    #[must_use]
+    pub fn overlaps(self, other: MemAccess) -> bool {
+        let a_end = self.addr + self.width.bytes();
+        let b_end = other.addr + other.width.bytes();
+        self.addr < b_end && other.addr < a_end
+    }
+}
+
+/// One retired dynamic instruction.
+///
+/// `seq` numbers are dense: the `i`-th record of a [`Trace`](crate::Trace)
+/// has `seq == i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Position in the dynamic instruction stream (dense, from 0).
+    pub seq: u64,
+    /// Static instruction index (the PC, in instruction units).
+    pub index: u32,
+    /// The static instruction executed.
+    pub inst: Inst,
+    /// Index of the next instruction that actually executed.
+    pub next_index: u32,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: bool,
+    /// For loads and stores: the access performed.
+    pub mem: Option<MemAccess>,
+    /// Value produced into the destination register (0 when there is none);
+    /// for stores, the value stored.
+    pub result: u64,
+}
+
+impl DynInst {
+    /// Whether this dynamic instruction is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(&self) -> bool {
+        self.inst.op.is_cond_branch()
+    }
+
+    /// Whether this dynamic instruction wrote an architectural register
+    /// (excludes zero-register writes).
+    #[must_use]
+    pub fn writes_register(&self) -> bool {
+        self.inst.dest().is_some()
+    }
+
+    /// Whether this instruction produces a *value* a later instruction could
+    /// consume: a register write or a memory store. Only these can be
+    /// dynamically dead in the paper's sense.
+    #[must_use]
+    pub fn produces_value(&self) -> bool {
+        self.writes_register() || self.inst.op.is_store()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_isa::{Opcode, Reg};
+
+    fn di(inst: Inst) -> DynInst {
+        DynInst { seq: 0, index: 0, inst, next_index: 1, taken: false, mem: None, result: 0 }
+    }
+
+    #[test]
+    fn mem_access_bytes() {
+        let a = MemAccess { addr: 0x100, width: MemWidth::B4 };
+        assert_eq!(a.bytes().collect::<Vec<_>>(), vec![0x100, 0x101, 0x102, 0x103]);
+    }
+
+    #[test]
+    fn mem_access_overlap() {
+        let a = MemAccess { addr: 0x100, width: MemWidth::B4 };
+        let b = MemAccess { addr: 0x102, width: MemWidth::B8 };
+        let c = MemAccess { addr: 0x104, width: MemWidth::B4 };
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn produces_value_classification() {
+        let add = di(Inst::new(Opcode::Add, Reg::T0, Reg::T1, Reg::T2, 0));
+        assert!(add.produces_value());
+        let add_zero = di(Inst::new(Opcode::Add, Reg::ZERO, Reg::T1, Reg::T2, 0));
+        assert!(!add_zero.produces_value());
+        let store = di(Inst::new(Opcode::Sd, Reg::ZERO, Reg::SP, Reg::T0, 0));
+        assert!(store.produces_value());
+        let branch = di(Inst::new(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 0));
+        assert!(!branch.produces_value());
+        assert!(branch.is_cond_branch());
+    }
+}

@@ -1,0 +1,367 @@
+//! The architectural interpreter.
+
+use dide_isa::{BranchCond, Inst, OpcodeKind, Program, Reg, STACK_BASE};
+
+use crate::dyninst::{DynInst, MemAccess};
+use crate::error::EmuError;
+use crate::memory::Memory;
+use crate::trace::Trace;
+
+/// Resource limits and initial conditions for an emulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmulatorConfig {
+    /// Maximum dynamic instructions before the run aborts with
+    /// [`EmuError::StepLimit`].
+    pub max_steps: u64,
+    /// Initial stack pointer.
+    pub stack_base: u64,
+}
+
+impl Default for EmulatorConfig {
+    fn default() -> Self {
+        EmulatorConfig { max_steps: 50_000_000, stack_base: STACK_BASE }
+    }
+}
+
+/// Architectural interpreter for SIR programs.
+///
+/// Executes a program to completion and captures the full dynamic trace.
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Emulator<'p> {
+    program: &'p Program,
+    config: EmulatorConfig,
+    regs: [u64; Reg::COUNT],
+    memory: Memory,
+}
+
+impl<'p> Emulator<'p> {
+    /// Creates an emulator with default limits.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Emulator<'p> {
+        Emulator::with_config(program, EmulatorConfig::default())
+    }
+
+    /// Creates an emulator with explicit limits.
+    #[must_use]
+    pub fn with_config(program: &'p Program, config: EmulatorConfig) -> Emulator<'p> {
+        let mut memory = Memory::new();
+        memory.write_bytes(dide_isa::DATA_BASE, program.data());
+        let mut regs = [0u64; Reg::COUNT];
+        regs[Reg::SP.index()] = config.stack_base;
+        regs[Reg::FP.index()] = config.stack_base;
+        Emulator { program, config, regs, memory }
+    }
+
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Runs the program to `halt`, returning the full dynamic trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EmuError`] on an invalid fetch, a memory access into the
+    /// guard region, or exhaustion of the configured step limit.
+    pub fn run(mut self) -> Result<Trace, EmuError> {
+        let mut records: Vec<DynInst> = Vec::new();
+        let mut outputs: Vec<u64> = Vec::new();
+        let mut pc: u32 = self.program.entry();
+        let len = self.program.len() as u64;
+
+        loop {
+            let seq = records.len() as u64;
+            if seq >= self.config.max_steps {
+                return Err(EmuError::StepLimit { limit: self.config.max_steps });
+            }
+            let inst: Inst = *self.program.get(pc).ok_or(EmuError::BadFetch {
+                index: u64::from(pc),
+                at_seq: seq,
+            })?;
+
+            let mut next = pc + 1;
+            let mut taken = false;
+            let mut mem: Option<MemAccess> = None;
+            let mut result: u64 = 0;
+            let mut halted = false;
+
+            match inst.op.kind() {
+                OpcodeKind::AluRR => {
+                    result = crate::semantics::alu_rr(inst.op, self.reg(inst.rs1), self.reg(inst.rs2));
+                    self.set_reg(inst.rd, result);
+                }
+                OpcodeKind::AluRI => {
+                    result = crate::semantics::alu_ri(inst.op, self.reg(inst.rs1), inst.imm);
+                    self.set_reg(inst.rd, result);
+                }
+                OpcodeKind::LoadImm => {
+                    result = inst.imm as u64;
+                    self.set_reg(inst.rd, result);
+                }
+                OpcodeKind::Load { width, signed } => {
+                    let addr = self.reg(inst.rs1).wrapping_add(inst.imm as u64);
+                    let bytes = width.bytes();
+                    if Memory::faults(addr, bytes) {
+                        return Err(EmuError::MemFault { addr, at_seq: seq });
+                    }
+                    let raw = self.memory.read_le(addr, bytes);
+                    result = if signed { crate::semantics::sign_extend(raw, bytes) } else { raw };
+                    self.set_reg(inst.rd, result);
+                    mem = Some(MemAccess { addr, width });
+                }
+                OpcodeKind::Store { width } => {
+                    let addr = self.reg(inst.rs1).wrapping_add(inst.imm as u64);
+                    let bytes = width.bytes();
+                    if Memory::faults(addr, bytes) {
+                        return Err(EmuError::MemFault { addr, at_seq: seq });
+                    }
+                    result = self.reg(inst.rs2);
+                    self.memory.write_le(addr, bytes, result);
+                    mem = Some(MemAccess { addr, width });
+                }
+                OpcodeKind::Branch(cond) => {
+                    taken = BranchCond::eval(cond, self.reg(inst.rs1), self.reg(inst.rs2));
+                    if taken {
+                        next = inst.imm as u32;
+                    }
+                }
+                OpcodeKind::Jal => {
+                    result = u64::from(pc + 1);
+                    self.set_reg(inst.rd, result);
+                    next = inst.imm as u32;
+                    taken = true;
+                }
+                OpcodeKind::Jalr => {
+                    let target = self.reg(inst.rs1).wrapping_add(inst.imm as u64);
+                    if target >= len {
+                        return Err(EmuError::BadFetch { index: target, at_seq: seq });
+                    }
+                    result = u64::from(pc + 1);
+                    self.set_reg(inst.rd, result);
+                    next = target as u32;
+                    taken = true;
+                }
+                OpcodeKind::Out => {
+                    outputs.push(self.reg(inst.rs1));
+                }
+                OpcodeKind::Halt => {
+                    halted = true;
+                    next = pc;
+                }
+                OpcodeKind::Nop => {}
+            }
+
+            records.push(DynInst { seq, index: pc, inst, next_index: next, taken, mem, result });
+
+            if halted {
+                break;
+            }
+            pc = next;
+        }
+
+        Ok(Trace::from_parts(self.program.clone(), records, outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_isa::ProgramBuilder;
+
+    fn run(b: ProgramBuilder) -> Trace {
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let mut b = ProgramBuilder::new("arith");
+        b.li(Reg::T0, 6).li(Reg::T1, 7);
+        b.mul(Reg::T2, Reg::T0, Reg::T1);
+        b.out(Reg::T2);
+        b.halt();
+        assert_eq!(run(b).outputs(), &[42]);
+    }
+
+    #[test]
+    fn signed_division_semantics() {
+        let mut b = ProgramBuilder::new("div");
+        b.li(Reg::T0, -7).li(Reg::T1, 2);
+        b.div(Reg::T2, Reg::T0, Reg::T1);
+        b.rem(Reg::T3, Reg::T0, Reg::T1);
+        b.out(Reg::T2).out(Reg::T3);
+        // division by zero: div -> all ones, rem -> dividend
+        b.li(Reg::T1, 0);
+        b.div(Reg::T4, Reg::T0, Reg::T1);
+        b.rem(Reg::T5, Reg::T0, Reg::T1);
+        b.out(Reg::T4).out(Reg::T5);
+        b.halt();
+        let t = run(b);
+        assert_eq!(
+            t.outputs(),
+            &[(-3i64) as u64, (-1i64) as u64, u64::MAX, (-7i64) as u64]
+        );
+    }
+
+    #[test]
+    fn loads_sign_extend() {
+        let mut b = ProgramBuilder::new("sext");
+        let addr = b.data_bytes(&[0xff, 0xff, 0x80, 0x00]);
+        b.li_u64(Reg::T0, addr);
+        b.lb(Reg::T1, Reg::T0, 0);
+        b.lbu(Reg::T2, Reg::T0, 0);
+        b.lh(Reg::T3, Reg::T0, 0);
+        b.lw(Reg::T4, Reg::T0, 0);
+        b.out(Reg::T1).out(Reg::T2).out(Reg::T3).out(Reg::T4);
+        b.halt();
+        let t = run(b);
+        assert_eq!(
+            t.outputs(),
+            &[
+                (-1i64) as u64,
+                0xff,
+                (-1i64) as u64,
+                0x0080_ffff,
+            ]
+        );
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let mut b = ProgramBuilder::new("mem");
+        b.li(Reg::T0, 0x0123_4567_89ab_cdef_u64 as i64);
+        b.sd(Reg::T0, Reg::SP, -8);
+        b.ld(Reg::T1, Reg::SP, -8);
+        b.lw(Reg::T2, Reg::SP, -8);
+        b.out(Reg::T1).out(Reg::T2);
+        b.halt();
+        let t = run(b);
+        assert_eq!(t.outputs()[0], 0x0123_4567_89ab_cdef);
+        assert_eq!(t.outputs()[1], 0xffff_ffff_89ab_cdef); // lw sign-extends
+    }
+
+    #[test]
+    fn zero_register_writes_discarded() {
+        let mut b = ProgramBuilder::new("zero");
+        b.li(Reg::ZERO, 99);
+        b.out(Reg::ZERO);
+        b.halt();
+        assert_eq!(run(b).outputs(), &[0]);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = ProgramBuilder::new("call");
+        let f = b.label();
+        b.li(Reg::A0, 5);
+        b.call(f);
+        b.out(Reg::A0);
+        b.halt();
+        b.bind(f);
+        b.addi(Reg::A0, Reg::A0, 10);
+        b.ret();
+        let t = run(b);
+        assert_eq!(t.outputs(), &[15]);
+        // jal and jalr recorded as taken control transfers
+        let jal = t.iter().find(|r| r.inst.op == dide_isa::Opcode::Jal).unwrap();
+        assert!(jal.taken);
+        assert_eq!(jal.next_index, 4);
+    }
+
+    #[test]
+    fn branch_records_direction_and_target() {
+        let mut b = ProgramBuilder::new("branch");
+        b.li(Reg::T0, 1);
+        let skip = b.label();
+        b.bne(Reg::T0, Reg::ZERO, skip);
+        b.li(Reg::T0, 0); // skipped
+        b.bind(skip);
+        b.out(Reg::T0);
+        b.halt();
+        let t = run(b);
+        assert_eq!(t.outputs(), &[1]);
+        let br = t.iter().find(|r| r.is_cond_branch()).unwrap();
+        assert!(br.taken);
+        assert_eq!(br.next_index, 3);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut b = ProgramBuilder::new("spin");
+        let top = b.label();
+        b.bind(top);
+        b.j(top);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = EmulatorConfig { max_steps: 100, ..EmulatorConfig::default() };
+        let err = Emulator::with_config(&p, cfg).run().unwrap_err();
+        assert_eq!(err, EmuError::StepLimit { limit: 100 });
+    }
+
+    #[test]
+    fn guard_region_faults() {
+        let mut b = ProgramBuilder::new("null");
+        b.li(Reg::T0, 0);
+        b.ld(Reg::T1, Reg::T0, 8);
+        b.halt();
+        let p = b.build().unwrap();
+        let err = Emulator::new(&p).run().unwrap_err();
+        assert!(matches!(err, EmuError::MemFault { addr: 8, .. }));
+    }
+
+    #[test]
+    fn jalr_to_invalid_index_faults() {
+        let mut b = ProgramBuilder::new("badjump");
+        b.li(Reg::T0, 1_000_000);
+        b.jalr(Reg::ZERO, Reg::T0, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(matches!(
+            Emulator::new(&p).run().unwrap_err(),
+            EmuError::BadFetch { index: 1_000_000, .. }
+        ));
+    }
+
+    #[test]
+    fn data_segment_initialized() {
+        let mut b = ProgramBuilder::new("data");
+        let addr = b.data_u64(0xdead_beef);
+        b.li_u64(Reg::T0, addr);
+        b.ld(Reg::T1, Reg::T0, 0);
+        b.out(Reg::T1);
+        b.halt();
+        assert_eq!(run(b).outputs(), &[0xdead_beef]);
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let mut b = ProgramBuilder::new("shift");
+        b.li(Reg::T0, -8);
+        b.srai(Reg::T1, Reg::T0, 1);
+        b.srli(Reg::T2, Reg::T0, 1);
+        b.slli(Reg::T3, Reg::T0, 1);
+        b.out(Reg::T1).out(Reg::T2).out(Reg::T3);
+        b.halt();
+        let t = run(b);
+        assert_eq!(t.outputs()[0], (-4i64) as u64);
+        assert_eq!(t.outputs()[1], ((-8i64) as u64) >> 1);
+        assert_eq!(t.outputs()[2], (-16i64) as u64);
+    }
+
+    #[test]
+    fn slt_comparisons() {
+        let mut b = ProgramBuilder::new("slt");
+        b.li(Reg::T0, -1).li(Reg::T1, 1);
+        b.slt(Reg::T2, Reg::T0, Reg::T1);
+        b.sltu(Reg::T3, Reg::T0, Reg::T1);
+        b.slti(Reg::T4, Reg::T0, 0);
+        b.out(Reg::T2).out(Reg::T3).out(Reg::T4);
+        b.halt();
+        assert_eq!(run(b).outputs(), &[1, 0, 1]);
+    }
+}

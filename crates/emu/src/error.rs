@@ -1,0 +1,61 @@
+//! Emulator error type.
+
+use std::fmt;
+
+/// Architectural trap or resource-limit error raised during emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// Control transferred outside the text segment.
+    BadFetch {
+        /// The invalid instruction index.
+        index: u64,
+        /// Dynamic instruction count at the time of the fault.
+        at_seq: u64,
+    },
+    /// A load or store touched the guard region near address zero (or
+    /// wrapped the address space).
+    MemFault {
+        /// Faulting byte address.
+        addr: u64,
+        /// Dynamic instruction count at the time of the fault.
+        at_seq: u64,
+    },
+    /// The configured dynamic-instruction budget was exhausted before `halt`.
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::BadFetch { index, at_seq } => {
+                write!(f, "fetch from invalid instruction index {index} at seq {at_seq}")
+            }
+            EmuError::MemFault { addr, at_seq } => {
+                write!(f, "memory fault at address {addr:#x} at seq {at_seq}")
+            }
+            EmuError::StepLimit { limit } => {
+                write!(f, "dynamic instruction limit of {limit} exhausted before halt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EmuError::MemFault { addr: 0x10, at_seq: 42 };
+        let s = e.to_string();
+        assert!(s.contains("0x10"));
+        assert!(s.contains("42"));
+        assert!(!EmuError::StepLimit { limit: 7 }.to_string().is_empty());
+        assert!(!EmuError::BadFetch { index: 1, at_seq: 2 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Functional emulator and dynamic-trace capture for the SIR ISA.
+//!
+//! The emulator executes a [`dide_isa::Program`] architecturally (no timing)
+//! and records every retired instruction as a [`DynInst`]. The resulting
+//! [`Trace`] is the substrate for the whole reproduction:
+//!
+//! * the oracle deadness analysis (`dide-analysis`) walks it forward and
+//!   backward to label each dynamic instruction dead or useful;
+//! * the dead-instruction predictors (`dide-predictor`) are trained and
+//!   evaluated over it;
+//! * the timing simulator (`dide-pipeline`) consumes it as the committed
+//!   instruction stream (correct-path, execution-driven timing).
+//!
+//! # Example
+//!
+//! ```
+//! use dide_isa::{ProgramBuilder, Reg};
+//! use dide_emu::Emulator;
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! b.li(Reg::T0, 21);
+//! b.add(Reg::T0, Reg::T0, Reg::T0);
+//! b.out(Reg::T0);
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let trace = Emulator::new(&program).run()?;
+//! assert_eq!(trace.outputs(), &[42]);
+//! assert_eq!(trace.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dyninst;
+mod emulator;
+mod error;
+mod memory;
+pub mod semantics;
+mod trace;
+
+pub use dyninst::{DynInst, MemAccess};
+pub use emulator::{Emulator, EmulatorConfig};
+pub use error::EmuError;
+pub use memory::Memory;
+pub use trace::{Trace, TraceSummary};

@@ -1,0 +1,140 @@
+//! Sparse byte-addressed memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse, page-granular byte-addressed memory.
+///
+/// Untouched bytes read as zero, which keeps synthetic workloads simple and
+/// deterministic. Addresses below [`Memory::GUARD_LIMIT`] form a guard region
+/// that traps on access (a stand-in for null-pointer protection); guesses
+/// that escape the workload's data structures are caught loudly instead of
+/// silently reading zeros.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Accesses at addresses below this limit trap.
+    pub const GUARD_LIMIT: u64 = 0x1000;
+
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Whether `addr..addr + len` intersects the guard region or wraps the
+    /// address space.
+    #[must_use]
+    pub fn faults(addr: u64, len: u64) -> bool {
+        addr < Memory::GUARD_LIMIT || addr.checked_add(len).is_none()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte. Untouched memory reads as zero.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.page(addr).map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    #[must_use]
+    pub fn read_le(&self, addr: u64, len: u64) -> u64 {
+        debug_assert!(len <= 8);
+        let mut out = 0u64;
+        for i in 0..len {
+            out |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+        }
+        out
+    }
+
+    /// Writes the low `len` bytes of `value` little-endian starting at `addr`.
+    pub fn write_le(&mut self, addr: u64, len: u64, value: u64) {
+        debug_assert!(len <= 8);
+        for i in 0..len {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Number of resident pages (for capacity diagnostics).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0x1000_0000), 0);
+        assert_eq!(m.read_le(0x1000_0000, 8), 0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut m = Memory::new();
+        m.write_u8(0x1234_5678, 0xab);
+        assert_eq!(m.read_u8(0x1234_5678), 0xab);
+        assert_eq!(m.read_u8(0x1234_5679), 0);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = Memory::new();
+        m.write_le(0x2000, 8, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_le(0x2000, 8), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_le(0x2000, 4), 0x89ab_cdef);
+        assert_eq!(m.read_u8(0x2000), 0xef);
+    }
+
+    #[test]
+    fn writes_straddle_pages() {
+        let mut m = Memory::new();
+        let addr = (1 << 12) - 4; // 4 bytes before a page boundary
+        m.write_le(addr, 8, u64::MAX);
+        assert_eq!(m.read_le(addr, 8), u64::MAX);
+        assert!(m.resident_pages() >= 2);
+    }
+
+    #[test]
+    fn guard_region() {
+        assert!(Memory::faults(0, 1));
+        assert!(Memory::faults(0xfff, 1));
+        assert!(!Memory::faults(0x1000, 8));
+        assert!(Memory::faults(u64::MAX - 3, 8));
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut m = Memory::new();
+        m.write_bytes(0x3000, &[1, 2, 3, 4]);
+        assert_eq!(m.read_le(0x3000, 4), 0x0403_0201);
+    }
+}

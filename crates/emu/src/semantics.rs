@@ -1,0 +1,103 @@
+//! Pure instruction semantics, shared by the emulator and by trace
+//! replayers (e.g. the deadness oracle's self-check in `dide-analysis`).
+
+use dide_isa::Opcode;
+
+/// Evaluates a register–register ALU operation.
+///
+/// # Panics
+///
+/// Panics if `op` is not an ALU register–register opcode.
+#[must_use]
+pub fn alu_rr(op: Opcode, a: u64, b: u64) -> u64 {
+    match op {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Sll => a.wrapping_shl((b & 63) as u32),
+        Opcode::Srl => a.wrapping_shr((b & 63) as u32),
+        Opcode::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        Opcode::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else {
+                a.wrapping_rem(b) as u64
+            }
+        }
+        Opcode::Slt => u64::from((a as i64) < (b as i64)),
+        Opcode::Sltu => u64::from(a < b),
+        _ => unreachable!("not an ALU r-r opcode: {op:?}"),
+    }
+}
+
+/// Evaluates a register–immediate ALU operation.
+///
+/// # Panics
+///
+/// Panics if `op` is not an ALU register–immediate opcode.
+#[must_use]
+pub fn alu_ri(op: Opcode, a: u64, imm: i64) -> u64 {
+    let b = imm as u64;
+    match op {
+        Opcode::Addi => a.wrapping_add(b),
+        Opcode::Andi => a & b,
+        Opcode::Ori => a | b,
+        Opcode::Xori => a ^ b,
+        Opcode::Slli => a.wrapping_shl((b & 63) as u32),
+        Opcode::Srli => a.wrapping_shr((b & 63) as u32),
+        Opcode::Srai => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        Opcode::Slti => u64::from((a as i64) < imm),
+        _ => unreachable!("not an ALU r-i opcode: {op:?}"),
+    }
+}
+
+/// Sign-extends the low `bytes * 8` bits of `value` to 64 bits.
+#[must_use]
+pub fn sign_extend(value: u64, bytes: u64) -> u64 {
+    let bits = bytes * 8;
+    if bits >= 64 {
+        return value;
+    }
+    let shift = 64 - bits;
+    (((value << shift) as i64) >> shift) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_arithmetic() {
+        assert_eq!(alu_rr(Opcode::Add, u64::MAX, 1), 0);
+        assert_eq!(alu_rr(Opcode::Mul, 1 << 63, 2), 0);
+        assert_eq!(alu_ri(Opcode::Addi, 0, -1), u64::MAX);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        assert_eq!(alu_rr(Opcode::Div, 7, 0), u64::MAX);
+        assert_eq!(alu_rr(Opcode::Rem, 7, 0), 7);
+        // i64::MIN / -1 wraps rather than trapping.
+        assert_eq!(alu_rr(Opcode::Div, i64::MIN as u64, u64::MAX), i64::MIN as u64);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xff, 1), u64::MAX);
+        assert_eq!(sign_extend(0x7f, 1), 0x7f);
+        assert_eq!(sign_extend(0x8000, 2), 0xffff_ffff_ffff_8000);
+        assert_eq!(sign_extend(0x1234, 8), 0x1234);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the emulator substrate: the sparse memory is a
+//! faithful byte store, and the shared ALU semantics agree with native
+//! Rust arithmetic.
+
+use dide_emu::{semantics, Memory};
+use dide_isa::Opcode;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn memory_roundtrips_any_width(
+        addr in 0x1000u64..u64::MAX / 2,
+        value: u64,
+        len in 1u64..=8,
+    ) {
+        let mut m = Memory::new();
+        m.write_le(addr, len, value);
+        let mask = if len == 8 { u64::MAX } else { (1u64 << (len * 8)) - 1 };
+        prop_assert_eq!(m.read_le(addr, len), value & mask);
+    }
+
+    #[test]
+    fn memory_writes_do_not_bleed(
+        addr in 0x1000u64..0xffff_0000u64,
+        value: u64,
+    ) {
+        let mut m = Memory::new();
+        m.write_le(addr, 8, value);
+        prop_assert_eq!(m.read_u8(addr.wrapping_sub(1)), 0);
+        prop_assert_eq!(m.read_u8(addr + 8), 0);
+    }
+
+    #[test]
+    fn alu_matches_native_semantics(a: u64, b: u64) {
+        prop_assert_eq!(semantics::alu_rr(Opcode::Add, a, b), a.wrapping_add(b));
+        prop_assert_eq!(semantics::alu_rr(Opcode::Sub, a, b), a.wrapping_sub(b));
+        prop_assert_eq!(semantics::alu_rr(Opcode::Xor, a, b), a ^ b);
+        prop_assert_eq!(semantics::alu_rr(Opcode::Sltu, a, b), u64::from(a < b));
+        prop_assert_eq!(
+            semantics::alu_rr(Opcode::Slt, a, b),
+            u64::from((a as i64) < (b as i64))
+        );
+    }
+
+    #[test]
+    fn shifts_mask_their_amount(a: u64, amount: u64) {
+        prop_assert_eq!(
+            semantics::alu_rr(Opcode::Sll, a, amount),
+            a.wrapping_shl((amount & 63) as u32)
+        );
+        prop_assert_eq!(
+            semantics::alu_rr(Opcode::Sra, a, amount),
+            ((a as i64) >> (amount & 63)) as u64
+        );
+    }
+
+    #[test]
+    fn division_never_panics(a: u64, b: u64) {
+        let _ = semantics::alu_rr(Opcode::Div, a, b);
+        let _ = semantics::alu_rr(Opcode::Rem, a, b);
+    }
+
+    #[test]
+    fn sign_extend_is_idempotent(value: u64, len in 1u64..=8) {
+        let once = semantics::sign_extend(value, len);
+        prop_assert_eq!(semantics::sign_extend(once, len), once);
+        // Extending the full width is the identity.
+        prop_assert_eq!(semantics::sign_extend(value, 8), value);
+    }
+}

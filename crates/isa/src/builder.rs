@@ -1,0 +1,453 @@
+//! Label-based assembler-style program builder.
+
+use crate::inst::Inst;
+use crate::opcode::Opcode;
+use crate::program::{Program, ProgramError};
+use crate::reg::Reg;
+
+/// A forward-referenceable code label.
+///
+/// Created by [`ProgramBuilder::label`] and bound to the next emitted
+/// instruction with [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`]s, in the style of an assembler.
+///
+/// Branch and jump targets are [`Label`]s that may be bound before or after
+/// use; all references are fixed up in [`ProgramBuilder::build`].
+///
+/// # Example
+///
+/// ```
+/// use dide_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new("count");
+/// b.li(Reg::T0, 3);
+/// let done = b.label();
+/// let top = b.label();
+/// b.bind(top);
+/// b.beq(Reg::T0, Reg::ZERO, done);
+/// b.addi(Reg::T0, Reg::T0, -1);
+/// b.j(top);
+/// b.bind(done);
+/// b.halt();
+/// let p = b.build().unwrap();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    data: Vec<u8>,
+    /// labels[i] = instruction index the label is bound to (None if unbound).
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs awaiting fixup.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder { name: name.into(), ..ProgramBuilder::default() }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (each label marks one place).
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len() as u32);
+        self
+    }
+
+    /// Index the next emitted instruction will have.
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Appends raw bytes to the data segment, returning their absolute
+    /// virtual address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let addr = crate::DATA_BASE + self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Appends `count` zero bytes to the data segment, returning their
+    /// absolute virtual address. Useful for reserving arrays.
+    pub fn data_zeros(&mut self, count: usize) -> u64 {
+        let addr = crate::DATA_BASE + self.data.len() as u64;
+        self.data.resize(self.data.len() + count, 0);
+        addr
+    }
+
+    /// Appends a little-endian `u64` to the data segment, returning its
+    /// absolute virtual address.
+    pub fn data_u64(&mut self, value: u64) -> u64 {
+        self.data_bytes(&value.to_le_bytes())
+    }
+
+    /// Aligns the data segment to `align` bytes (must be a power of two).
+    pub fn data_align(&mut self, align: usize) -> &mut Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        while !self.data.len().is_multiple_of(align) {
+            self.data.push(0);
+        }
+        self
+    }
+
+    fn emit(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> &mut Self {
+        self.insts.push(Inst::new(op, rd, rs1, rs2, imm));
+        self
+    }
+
+    fn emit_to_label(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label));
+        self.emit(op, rd, rs1, rs2, 0)
+    }
+
+    /// Emits a pre-formed instruction verbatim (no label fixup).
+    pub fn raw(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Finalizes the program, resolving all label references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnboundLabel`] if any referenced label was
+    /// never bound, and any error produced by [`Program::from_parts`]
+    /// validation.
+    pub fn build(mut self) -> Result<Program, ProgramError> {
+        for &(at, label) in &self.fixups {
+            let target = self.labels[label.0].ok_or(ProgramError::UnboundLabel { label: label.0 })?;
+            self.insts[at].imm = i64::from(target);
+        }
+        Program::from_parts(self.name, self.insts, self.data, 0)
+    }
+}
+
+macro_rules! alu_rr {
+    ($($(#[$m:meta])* $fn_name:ident => $op:ident),+ $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$m])*
+                pub fn $fn_name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+                    self.emit(Opcode::$op, rd, rs1, rs2, 0)
+                }
+            )+
+        }
+    };
+}
+
+macro_rules! alu_ri {
+    ($($(#[$m:meta])* $fn_name:ident => $op:ident),+ $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$m])*
+                pub fn $fn_name(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+                    self.emit(Opcode::$op, rd, rs1, Reg::ZERO, imm)
+                }
+            )+
+        }
+    };
+}
+
+macro_rules! mem_load {
+    ($($(#[$m:meta])* $fn_name:ident => $op:ident),+ $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$m])*
+                pub fn $fn_name(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+                    self.emit(Opcode::$op, rd, base, Reg::ZERO, offset)
+                }
+            )+
+        }
+    };
+}
+
+macro_rules! mem_store {
+    ($($(#[$m:meta])* $fn_name:ident => $op:ident),+ $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$m])*
+                pub fn $fn_name(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+                    self.emit(Opcode::$op, Reg::ZERO, base, src, offset)
+                }
+            )+
+        }
+    };
+}
+
+macro_rules! branches {
+    ($($(#[$m:meta])* $fn_name:ident => $op:ident),+ $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$m])*
+                pub fn $fn_name(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+                    self.emit_to_label(Opcode::$op, Reg::ZERO, rs1, rs2, target)
+                }
+            )+
+        }
+    };
+}
+
+alu_rr! {
+    /// `rd = rs1 + rs2`
+    add => Add,
+    /// `rd = rs1 - rs2`
+    sub => Sub,
+    /// `rd = rs1 & rs2`
+    and => And,
+    /// `rd = rs1 | rs2`
+    or => Or,
+    /// `rd = rs1 ^ rs2`
+    xor => Xor,
+    /// `rd = rs1 << (rs2 & 63)`
+    sll => Sll,
+    /// `rd = rs1 >> (rs2 & 63)` (logical)
+    srl => Srl,
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic)
+    sra => Sra,
+    /// `rd = rs1 * rs2`
+    mul => Mul,
+    /// `rd = rs1 / rs2` (signed)
+    div => Div,
+    /// `rd = rs1 % rs2` (signed)
+    rem => Rem,
+    /// `rd = (rs1 < rs2)` signed
+    slt => Slt,
+    /// `rd = (rs1 < rs2)` unsigned
+    sltu => Sltu,
+}
+
+alu_ri! {
+    /// `rd = rs1 + imm`
+    addi => Addi,
+    /// `rd = rs1 & imm`
+    andi => Andi,
+    /// `rd = rs1 | imm`
+    ori => Ori,
+    /// `rd = rs1 ^ imm`
+    xori => Xori,
+    /// `rd = rs1 << (imm & 63)`
+    slli => Slli,
+    /// `rd = rs1 >> (imm & 63)` (logical)
+    srli => Srli,
+    /// `rd = rs1 >> (imm & 63)` (arithmetic)
+    srai => Srai,
+    /// `rd = (rs1 < imm)` signed
+    slti => Slti,
+}
+
+mem_load! {
+    /// `rd = sext(mem8[base + offset])`
+    lb => Lb,
+    /// `rd = zext(mem8[base + offset])`
+    lbu => Lbu,
+    /// `rd = sext(mem16[base + offset])`
+    lh => Lh,
+    /// `rd = zext(mem16[base + offset])`
+    lhu => Lhu,
+    /// `rd = sext(mem32[base + offset])`
+    lw => Lw,
+    /// `rd = zext(mem32[base + offset])`
+    lwu => Lwu,
+    /// `rd = mem64[base + offset]`
+    ld => Ld,
+}
+
+mem_store! {
+    /// `mem8[base + offset] = src`
+    sb => Sb,
+    /// `mem16[base + offset] = src`
+    sh => Sh,
+    /// `mem32[base + offset] = src`
+    sw => Sw,
+    /// `mem64[base + offset] = src`
+    sd => Sd,
+}
+
+branches! {
+    /// Branch to `target` if `rs1 == rs2`.
+    beq => Beq,
+    /// Branch to `target` if `rs1 != rs2`.
+    bne => Bne,
+    /// Branch to `target` if `rs1 < rs2` (signed).
+    blt => Blt,
+    /// Branch to `target` if `rs1 >= rs2` (signed).
+    bge => Bge,
+    /// Branch to `target` if `rs1 < rs2` (unsigned).
+    bltu => Bltu,
+    /// Branch to `target` if `rs1 >= rs2` (unsigned).
+    bgeu => Bgeu,
+}
+
+impl ProgramBuilder {
+    /// `rd = imm` (full 64-bit immediate).
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::Li, rd, Reg::ZERO, Reg::ZERO, imm)
+    }
+
+    /// Loads an unsigned 64-bit immediate (convenience over [`Self::li`]).
+    pub fn li_u64(&mut self, rd: Reg, imm: u64) -> &mut Self {
+        self.li(rd, imm as i64)
+    }
+
+    /// Copy `rs1` into `rd` (`add rd, rs1, zero`).
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.emit(Opcode::Add, rd, rs1, Reg::ZERO, 0)
+    }
+
+    /// Unconditional jump to `target` (a `jal` that discards the link).
+    pub fn j(&mut self, target: Label) -> &mut Self {
+        self.emit_to_label(Opcode::Jal, Reg::ZERO, Reg::ZERO, Reg::ZERO, target)
+    }
+
+    /// Call: `jal ra, target`.
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.emit_to_label(Opcode::Jal, Reg::RA, Reg::ZERO, Reg::ZERO, target)
+    }
+
+    /// Return: `jalr zero, 0(ra)`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Opcode::Jalr, Reg::ZERO, Reg::RA, Reg::ZERO, 0)
+    }
+
+    /// Indirect jump-and-link: `rd = pc + 1; pc = rs1 + imm` (as instruction
+    /// indices).
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::Jalr, rd, rs1, Reg::ZERO, imm)
+    }
+
+    /// Emits the observable output of `rs1`.
+    pub fn out(&mut self, rs1: Reg) -> &mut Self {
+        self.emit(Opcode::Out, Reg::ZERO, rs1, Reg::ZERO, 0)
+    }
+
+    /// Stops execution.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Opcode::Halt, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Opcode::Nop, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new("labels");
+        let fwd = b.label();
+        b.j(fwd); // index 0 -> 2
+        b.nop(); // index 1 (skipped)
+        b.bind(fwd);
+        let back = b.label();
+        b.bind(back);
+        b.beq(Reg::ZERO, Reg::ZERO, back); // index 2 -> 2
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.insts()[0].imm, 2);
+        assert_eq!(p.insts()[2].imm, 2);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new("bad");
+        let l = b.label();
+        b.j(l);
+        b.halt();
+        assert!(matches!(b.build(), Err(ProgramError::UnboundLabel { label: 0 })));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn data_helpers_compute_addresses() {
+        let mut b = ProgramBuilder::new("data");
+        let a0 = b.data_u64(7);
+        assert_eq!(a0, crate::DATA_BASE);
+        let a1 = b.data_bytes(&[1, 2, 3]);
+        assert_eq!(a1, crate::DATA_BASE + 8);
+        b.data_align(8);
+        let a2 = b.data_zeros(16);
+        assert_eq!(a2, crate::DATA_BASE + 16);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.data().len(), 32);
+        assert_eq!(&p.data()[0..8], &7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn convenience_forms_encode_expected_ops() {
+        let mut b = ProgramBuilder::new("forms");
+        b.mv(Reg::T0, Reg::T1);
+        b.li(Reg::T2, -5);
+        b.out(Reg::T2);
+        b.ret();
+        let p = b.build().unwrap();
+        assert_eq!(p.insts()[0].op, Opcode::Add);
+        assert_eq!(p.insts()[0].rs2, Reg::ZERO);
+        assert_eq!(p.insts()[1].imm, -5);
+        assert_eq!(p.insts()[2].op, Opcode::Out);
+        assert_eq!(p.insts()[3].op, Opcode::Jalr);
+        assert_eq!(p.insts()[3].rs1, Reg::RA);
+    }
+
+    #[test]
+    fn here_tracks_next_index() {
+        let mut b = ProgramBuilder::new("here");
+        assert_eq!(b.here(), 0);
+        b.nop();
+        assert_eq!(b.here(), 1);
+    }
+
+    #[test]
+    fn call_links_ra() {
+        let mut b = ProgramBuilder::new("call");
+        let f = b.label();
+        b.call(f);
+        b.halt();
+        b.bind(f);
+        b.ret();
+        let p = b.build().unwrap();
+        assert_eq!(p.insts()[0].op, Opcode::Jal);
+        assert_eq!(p.insts()[0].rd, Reg::RA);
+        assert_eq!(p.insts()[0].imm, 2);
+    }
+
+    #[test]
+    fn raw_is_not_fixed_up() {
+        let mut b = ProgramBuilder::new("raw");
+        b.raw(crate::Inst::new(Opcode::Jal, Reg::ZERO, Reg::ZERO, Reg::ZERO, 1));
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.insts()[0].imm, 1);
+    }
+}

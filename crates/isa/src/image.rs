@@ -1,0 +1,235 @@
+//! Binary program images: serialize a [`Program`] to bytes and back.
+//!
+//! The format is a small, versioned, little-endian container:
+//!
+//! ```text
+//! magic  "SIR0"            4 bytes
+//! version                  u32 (currently 1)
+//! entry                    u32 (instruction index)
+//! inst_count               u32
+//! data_len                 u32
+//! name_len                 u32
+//! insts                    inst_count × 12-byte records (Inst::encode)
+//! data                     data_len bytes
+//! name                     name_len UTF-8 bytes
+//! ```
+//!
+//! Decoding re-validates everything through [`Program::from_parts`], so a
+//! hostile image can produce an error but never an invalid `Program`.
+
+use std::fmt;
+
+use crate::inst::{DecodeError, Inst};
+use crate::program::{Program, ProgramError};
+
+/// Magic bytes at the start of every image.
+pub const MAGIC: [u8; 4] = *b"SIR0";
+/// Current image format version.
+pub const VERSION: u32 = 1;
+
+/// Error produced when decoding a program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The image is shorter than its headers or declared payload.
+    Truncated,
+    /// The magic bytes are wrong.
+    BadMagic,
+    /// The version is not supported.
+    BadVersion(u32),
+    /// An instruction record failed to decode.
+    BadInst {
+        /// Index of the offending instruction.
+        index: u32,
+        /// The decoder's error.
+        cause: DecodeError,
+    },
+    /// The program name is not valid UTF-8.
+    BadName,
+    /// The decoded parts do not form a valid program.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Truncated => write!(f, "program image truncated"),
+            ImageError::BadMagic => write!(f, "not a SIR program image"),
+            ImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            ImageError::BadInst { index, cause } => {
+                write!(f, "instruction {index} failed to decode: {cause}")
+            }
+            ImageError::BadName => write!(f, "program name is not valid UTF-8"),
+            ImageError::Invalid(e) => write!(f, "decoded program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::BadInst { cause, .. } => Some(cause),
+            ImageError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Program {
+    /// Serializes the program into a binary image.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dide_isa::{Program, ProgramBuilder, Reg};
+    ///
+    /// let mut b = ProgramBuilder::new("roundtrip");
+    /// b.li(Reg::T0, 7);
+    /// b.out(Reg::T0);
+    /// b.halt();
+    /// let program = b.build()?;
+    ///
+    /// let image = program.to_bytes();
+    /// assert_eq!(Program::from_bytes(&image)?, program);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let name = self.name().as_bytes();
+        let mut out = Vec::with_capacity(
+            24 + self.len() * Inst::ENCODED_LEN + self.data().len() + name.len(),
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.entry().to_le_bytes());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.data().len() as u32).to_le_bytes());
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        for inst in self.insts() {
+            out.extend_from_slice(&inst.encode());
+        }
+        out.extend_from_slice(self.data());
+        out.extend_from_slice(name);
+        out
+    }
+
+    /// Decodes a program from the image produced by [`Program::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ImageError`] for truncated, malformed, or
+    /// semantically invalid images.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, ImageError> {
+        let header = bytes.get(..24).ok_or(ImageError::Truncated)?;
+        if header[0..4] != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let word =
+            |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("4 bytes"));
+        let version = word(4);
+        if version != VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let entry = word(8);
+        let inst_count = word(12) as usize;
+        let data_len = word(16) as usize;
+        let name_len = word(20) as usize;
+
+        let insts_end = 24usize
+            .checked_add(inst_count.checked_mul(Inst::ENCODED_LEN).ok_or(ImageError::Truncated)?)
+            .ok_or(ImageError::Truncated)?;
+        let data_end = insts_end.checked_add(data_len).ok_or(ImageError::Truncated)?;
+        let name_end = data_end.checked_add(name_len).ok_or(ImageError::Truncated)?;
+        if bytes.len() < name_end {
+            return Err(ImageError::Truncated);
+        }
+
+        let mut insts = Vec::with_capacity(inst_count);
+        for i in 0..inst_count {
+            let at = 24 + i * Inst::ENCODED_LEN;
+            let inst = Inst::decode(&bytes[at..at + Inst::ENCODED_LEN])
+                .map_err(|cause| ImageError::BadInst { index: i as u32, cause })?;
+            insts.push(inst);
+        }
+        let data = bytes[insts_end..data_end].to_vec();
+        let name = std::str::from_utf8(&bytes[data_end..name_end])
+            .map_err(|_| ImageError::BadName)?;
+        Program::from_parts(name, insts, data, entry).map_err(ImageError::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, Reg};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new("image-sample");
+        let addr = b.data_u64(0x1234);
+        b.li_u64(Reg::T0, addr);
+        b.ld(Reg::T1, Reg::T0, 0);
+        b.out(Reg::T1);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let decoded = Program::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut img = sample().to_bytes();
+        img[0] = b'X';
+        assert_eq!(Program::from_bytes(&img), Err(ImageError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut img = sample().to_bytes();
+        img[4] = 99;
+        assert_eq!(Program::from_bytes(&img), Err(ImageError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let img = sample().to_bytes();
+        for len in 0..img.len() {
+            let r = Program::from_bytes(&img[..len]);
+            assert!(r.is_err(), "length {len} must not decode");
+        }
+    }
+
+    #[test]
+    fn corrupt_instruction_reported_with_index() {
+        let mut img = sample().to_bytes();
+        img[24] = 255; // first instruction's opcode byte
+        match Program::from_bytes(&img) {
+            Err(ImageError::BadInst { index: 0, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_program_rejected() {
+        // A single nop falls off the end: structurally decodable, invalid.
+        let inst = Inst::nop();
+        let mut img = Vec::new();
+        img.extend_from_slice(&MAGIC);
+        img.extend_from_slice(&VERSION.to_le_bytes());
+        img.extend_from_slice(&0u32.to_le_bytes()); // entry
+        img.extend_from_slice(&1u32.to_le_bytes()); // one inst
+        img.extend_from_slice(&0u32.to_le_bytes()); // no data
+        img.extend_from_slice(&0u32.to_le_bytes()); // no name
+        img.extend_from_slice(&inst.encode());
+        assert!(matches!(Program::from_bytes(&img), Err(ImageError::Invalid(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ImageError::Truncated.to_string().contains("truncated"));
+        assert!(ImageError::BadMagic.to_string().contains("not a SIR"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Instruction form, operand accessors, binary encoding and disassembly.
+
+use std::fmt;
+
+use crate::opcode::{Opcode, OpcodeKind};
+use crate::reg::Reg;
+
+/// Width of a memory access, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    B1,
+    /// Two bytes.
+    B2,
+    /// Four bytes.
+    B4,
+    /// Eight bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// The width in bytes.
+    #[inline]
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// A single SIR instruction.
+///
+/// All instructions share one uniform four-operand form; which fields are
+/// meaningful depends on [`Opcode::kind`]. Unused register fields must be
+/// [`Reg::ZERO`] and an unused immediate must be `0` (enforced by
+/// [`Program`](crate::Program) validation), so that instruction equality and
+/// hashing behave predictably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register (meaningful when [`Opcode::has_dest`]).
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Immediate operand: ALU immediate, memory displacement, or absolute
+    /// branch/jump target (instruction index).
+    pub imm: i64,
+}
+
+/// Error returned when decoding a malformed binary instruction record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The record was shorter than [`Inst::ENCODED_LEN`].
+    Truncated,
+    /// The opcode byte does not name a valid opcode.
+    BadOpcode(u8),
+    /// A register field was out of range.
+    BadRegister(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction record truncated"),
+            DecodeError::BadOpcode(c) => write!(f, "invalid opcode byte {c:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "invalid register number {r}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Inst {
+    /// Length of one encoded instruction record in bytes.
+    pub const ENCODED_LEN: usize = 12;
+
+    /// Creates an instruction with explicit operands.
+    #[must_use]
+    pub fn new(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Inst {
+        Inst { op, rd, rs1, rs2, imm }
+    }
+
+    /// A canonical `nop`.
+    #[must_use]
+    pub fn nop() -> Inst {
+        Inst::new(Opcode::Nop, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// The destination register this instruction *architecturally writes*,
+    /// i.e. excluding writes to the zero register.
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        (self.op.has_dest() && !self.rd.is_zero()).then_some(self.rd)
+    }
+
+    /// Source registers read by this instruction, excluding the zero
+    /// register (which is not a real data dependence).
+    #[must_use]
+    pub fn sources(&self) -> SourceIter {
+        let (a, b) = match self.op.kind() {
+            OpcodeKind::AluRR | OpcodeKind::Branch(_) => (Some(self.rs1), Some(self.rs2)),
+            OpcodeKind::AluRI | OpcodeKind::Load { .. } | OpcodeKind::Jalr | OpcodeKind::Out => {
+                (Some(self.rs1), None)
+            }
+            OpcodeKind::Store { .. } => (Some(self.rs1), Some(self.rs2)),
+            OpcodeKind::LoadImm | OpcodeKind::Jal | OpcodeKind::Halt | OpcodeKind::Nop => {
+                (None, None)
+            }
+        };
+        let keep = |r: Option<Reg>| r.filter(|r| !r.is_zero());
+        SourceIter { a: keep(a), b: keep(b) }
+    }
+
+    /// Memory access width, for loads and stores.
+    #[must_use]
+    pub fn mem_width(&self) -> Option<MemWidth> {
+        match self.op.kind() {
+            OpcodeKind::Load { width, .. } | OpcodeKind::Store { width } => Some(width),
+            _ => None,
+        }
+    }
+
+    /// Encodes the instruction into its stable 12-byte little-endian record.
+    #[must_use]
+    pub fn encode(&self) -> [u8; Inst::ENCODED_LEN] {
+        let mut out = [0u8; Inst::ENCODED_LEN];
+        out[0] = self.op.code();
+        out[1] = self.rd.number();
+        out[2] = self.rs1.number();
+        out[3] = self.rs2.number();
+        out[4..12].copy_from_slice(&self.imm.to_le_bytes());
+        out
+    }
+
+    /// Decodes an instruction from the record produced by [`Inst::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the record is truncated, names an unknown
+    /// opcode, or contains an out-of-range register number.
+    pub fn decode(bytes: &[u8]) -> Result<Inst, DecodeError> {
+        if bytes.len() < Inst::ENCODED_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let op = Opcode::from_code(bytes[0]).ok_or(DecodeError::BadOpcode(bytes[0]))?;
+        let reg = |b: u8| Reg::try_new(b).ok_or(DecodeError::BadRegister(b));
+        let mut imm_bytes = [0u8; 8];
+        imm_bytes.copy_from_slice(&bytes[4..12]);
+        Ok(Inst {
+            op,
+            rd: reg(bytes[1])?,
+            rs1: reg(bytes[2])?,
+            rs2: reg(bytes[3])?,
+            imm: i64::from_le_bytes(imm_bytes),
+        })
+    }
+}
+
+/// Iterator over an instruction's (at most two) source registers.
+///
+/// Produced by [`Inst::sources`].
+#[derive(Debug, Clone)]
+pub struct SourceIter {
+    a: Option<Reg>,
+    b: Option<Reg>,
+}
+
+impl Iterator for SourceIter {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        self.a.take().or_else(|| self.b.take())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::from(self.a.is_some()) + usize::from(self.b.is_some());
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SourceIter {}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op.kind() {
+            OpcodeKind::AluRR => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            OpcodeKind::AluRI => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+            OpcodeKind::LoadImm => write!(f, "{m} {}, {}", self.rd, self.imm),
+            OpcodeKind::Load { .. } => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            OpcodeKind::Store { .. } => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            OpcodeKind::Branch(_) => write!(f, "{m} {}, {}, @{}", self.rs1, self.rs2, self.imm),
+            OpcodeKind::Jal => write!(f, "{m} {}, @{}", self.rd, self.imm),
+            OpcodeKind::Jalr => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            OpcodeKind::Out => write!(f, "{m} {}", self.rs1),
+            OpcodeKind::Halt | OpcodeKind::Nop => f.write_str(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Inst {
+        Inst::new(op, rd, rs1, rs2, imm)
+    }
+
+    #[test]
+    fn dest_excludes_zero_register() {
+        let i = inst(Opcode::Add, Reg::ZERO, Reg::T0, Reg::T1, 0);
+        assert_eq!(i.dest(), None);
+        let i = inst(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0);
+        assert_eq!(i.dest(), Some(Reg::T2));
+    }
+
+    #[test]
+    fn stores_and_branches_have_no_dest() {
+        assert_eq!(inst(Opcode::Sd, Reg::ZERO, Reg::SP, Reg::T0, 8).dest(), None);
+        assert_eq!(inst(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 4).dest(), None);
+    }
+
+    #[test]
+    fn sources_by_shape() {
+        let srcs = |i: Inst| i.sources().collect::<Vec<_>>();
+        assert_eq!(srcs(inst(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0)), vec![Reg::T0, Reg::T1]);
+        assert_eq!(srcs(inst(Opcode::Addi, Reg::T2, Reg::T0, Reg::ZERO, 1)), vec![Reg::T0]);
+        assert_eq!(srcs(inst(Opcode::Li, Reg::T2, Reg::ZERO, Reg::ZERO, 1)), Vec::<Reg>::new());
+        assert_eq!(srcs(inst(Opcode::Ld, Reg::T2, Reg::SP, Reg::ZERO, 8)), vec![Reg::SP]);
+        assert_eq!(srcs(inst(Opcode::Sd, Reg::ZERO, Reg::SP, Reg::T0, 8)), vec![Reg::SP, Reg::T0]);
+        assert_eq!(srcs(inst(Opcode::Jal, Reg::RA, Reg::ZERO, Reg::ZERO, 10)), Vec::<Reg>::new());
+        assert_eq!(srcs(inst(Opcode::Jalr, Reg::ZERO, Reg::RA, Reg::ZERO, 0)), vec![Reg::RA]);
+        assert_eq!(srcs(inst(Opcode::Out, Reg::ZERO, Reg::A0, Reg::ZERO, 0)), vec![Reg::A0]);
+    }
+
+    #[test]
+    fn sources_exclude_zero_register() {
+        let i = inst(Opcode::Add, Reg::T2, Reg::ZERO, Reg::T1, 0);
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![Reg::T1]);
+    }
+
+    #[test]
+    fn source_iter_len() {
+        let i = inst(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0);
+        assert_eq!(i.sources().len(), 2);
+        let i = inst(Opcode::Li, Reg::T2, Reg::ZERO, Reg::ZERO, 5);
+        assert_eq!(i.sources().len(), 0);
+    }
+
+    #[test]
+    fn mem_width() {
+        assert_eq!(inst(Opcode::Lb, Reg::T0, Reg::SP, Reg::ZERO, 0).mem_width(), Some(MemWidth::B1));
+        assert_eq!(inst(Opcode::Sw, Reg::ZERO, Reg::SP, Reg::T0, 0).mem_width(), Some(MemWidth::B4));
+        assert_eq!(inst(Opcode::Add, Reg::T0, Reg::T1, Reg::T2, 0).mem_width(), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = [
+            inst(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0),
+            inst(Opcode::Li, Reg::A0, Reg::ZERO, Reg::ZERO, -12345),
+            inst(Opcode::Sd, Reg::ZERO, Reg::SP, Reg::T0, -8),
+            inst(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 4096),
+            Inst::nop(),
+        ];
+        for i in cases {
+            assert_eq!(Inst::decode(&i.encode()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(Inst::decode(&[0u8; 4]), Err(DecodeError::Truncated));
+        let mut rec = Inst::nop().encode();
+        rec[0] = 255;
+        assert_eq!(Inst::decode(&rec), Err(DecodeError::BadOpcode(255)));
+        let mut rec = Inst::nop().encode();
+        rec[1] = 99;
+        assert_eq!(Inst::decode(&rec), Err(DecodeError::BadRegister(99)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(inst(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0).to_string(), "add t2, t0, t1");
+        assert_eq!(inst(Opcode::Addi, Reg::T0, Reg::T0, Reg::ZERO, 1).to_string(), "addi t0, t0, 1");
+        assert_eq!(inst(Opcode::Li, Reg::A0, Reg::ZERO, Reg::ZERO, 7).to_string(), "li a0, 7");
+        assert_eq!(inst(Opcode::Ld, Reg::T0, Reg::SP, Reg::ZERO, 16).to_string(), "ld t0, 16(sp)");
+        assert_eq!(inst(Opcode::Sd, Reg::ZERO, Reg::SP, Reg::T0, 16).to_string(), "sd t0, 16(sp)");
+        assert_eq!(inst(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 42).to_string(), "beq t0, t1, @42");
+        assert_eq!(inst(Opcode::Jal, Reg::RA, Reg::ZERO, Reg::ZERO, 7).to_string(), "jal ra, @7");
+        assert_eq!(inst(Opcode::Out, Reg::ZERO, Reg::A0, Reg::ZERO, 0).to_string(), "out a0");
+        assert_eq!(Inst::nop().to_string(), "nop");
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B1.bytes(), 1);
+        assert_eq!(MemWidth::B2.bytes(), 2);
+        assert_eq!(MemWidth::B4.bytes(), 4);
+        assert_eq!(MemWidth::B8.bytes(), 8);
+    }
+}

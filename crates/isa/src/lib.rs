@@ -1,0 +1,108 @@
+//! SIR — a **S**imple **I**nstruction set for **R**eproduction.
+//!
+//! This crate defines the 64-bit load/store RISC instruction set used by the
+//! DIDE reproduction of Butts & Sohi, *Dynamic dead-instruction detection and
+//! elimination* (ASPLOS 2002). The original paper evaluated Alpha binaries;
+//! SIR plays the role of the Alpha ISA: a register machine with a hardwired
+//! zero register, simple ALU operations, byte-addressed loads and stores,
+//! conditional branches, and calls/returns.
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — architectural register names (`r0` is hardwired to zero),
+//! * [`Opcode`] and [`Inst`] — the instruction forms and their classification,
+//! * [`Program`] — a validated container of instructions plus a data image,
+//! * [`ProgramBuilder`] — a label-based assembler-style builder,
+//! * binary [`Inst::encode`]/[`Inst::decode`] and a disassembler.
+//!
+//! # Example
+//!
+//! Build and disassemble a loop that sums the integers `0..10`:
+//!
+//! ```
+//! use dide_isa::{ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new("sum");
+//! let (acc, i, n) = (Reg::T0, Reg::T1, Reg::T2);
+//! b.li(acc, 0).li(i, 0).li(n, 10);
+//! let top = b.label();
+//! b.bind(top);
+//! b.add(acc, acc, i);
+//! b.addi(i, i, 1);
+//! b.blt(i, n, top);
+//! b.out(acc);
+//! b.halt();
+//! let program = b.build().expect("valid program");
+//! assert!(program.len() > 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod image;
+mod inst;
+mod opcode;
+mod program;
+mod reg;
+
+pub use builder::{Label, ProgramBuilder};
+pub use image::ImageError;
+pub use inst::{DecodeError, Inst, MemWidth};
+pub use opcode::{BranchCond, Opcode, OpcodeKind};
+pub use program::{Program, ProgramError};
+pub use reg::Reg;
+
+/// Byte size of one encoded instruction; PCs advance by this much.
+pub const INST_BYTES: u64 = 4;
+
+/// Base virtual address of the instruction image.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+
+/// Base virtual address of the static data segment.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Initial stack pointer (the stack grows toward lower addresses).
+pub const STACK_BASE: u64 = 0x7fff_f000;
+
+/// Converts an instruction index into its virtual PC.
+#[inline]
+#[must_use]
+pub fn index_to_pc(index: u32) -> u64 {
+    TEXT_BASE + u64::from(index) * INST_BYTES
+}
+
+/// Converts a virtual PC back into an instruction index.
+///
+/// Returns `None` if `pc` lies outside the text segment or is misaligned.
+#[inline]
+#[must_use]
+pub fn pc_to_index(pc: u64) -> Option<u32> {
+    let off = pc.checked_sub(TEXT_BASE)?;
+    if off % INST_BYTES != 0 {
+        return None;
+    }
+    u32::try_from(off / INST_BYTES).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_roundtrip() {
+        for idx in [0u32, 1, 7, 1_000_000] {
+            assert_eq!(pc_to_index(index_to_pc(idx)), Some(idx));
+        }
+    }
+
+    #[test]
+    fn pc_misaligned_rejected() {
+        assert_eq!(pc_to_index(TEXT_BASE + 2), None);
+    }
+
+    #[test]
+    fn pc_below_text_rejected() {
+        assert_eq!(pc_to_index(TEXT_BASE - 4), None);
+    }
+}

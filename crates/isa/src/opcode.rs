@@ -1,0 +1,331 @@
+//! Opcodes and their static classification.
+
+use std::fmt;
+
+use crate::inst::MemWidth;
+
+/// Condition tested by a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `rs1 == rs2`
+    Eq,
+    /// `rs1 != rs2`
+    Ne,
+    /// `rs1 < rs2` (signed)
+    Lt,
+    /// `rs1 >= rs2` (signed)
+    Ge,
+    /// `rs1 < rs2` (unsigned)
+    Ltu,
+    /// `rs1 >= rs2` (unsigned)
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two 64-bit register values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Coarse classification of an opcode, used by the decoder, the emulator,
+/// the deadness analysis and the pipeline to dispatch on instruction shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpcodeKind {
+    /// Register–register ALU operation: `rd = rs1 op rs2`.
+    AluRR,
+    /// Register–immediate ALU operation: `rd = rs1 op imm`.
+    AluRI,
+    /// Load immediate: `rd = imm`.
+    LoadImm,
+    /// Memory load: `rd = mem[rs1 + imm]`.
+    Load {
+        /// Access width in bytes.
+        width: MemWidth,
+        /// Whether the loaded value is sign-extended.
+        signed: bool,
+    },
+    /// Memory store: `mem[rs1 + imm] = rs2`.
+    Store {
+        /// Access width in bytes.
+        width: MemWidth,
+    },
+    /// Conditional branch to the absolute instruction index in `imm`.
+    Branch(BranchCond),
+    /// Direct jump-and-link to the absolute instruction index in `imm`.
+    Jal,
+    /// Indirect jump-and-link to `rs1 + imm`.
+    Jalr,
+    /// Observable output of `rs1` (an architectural value sink).
+    Out,
+    /// Program termination.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+macro_rules! opcodes {
+    ($(#[$em:meta])* pub enum Opcode { $($(#[$m:meta])* $name:ident => ($mnem:literal, $kind:expr, $code:literal)),+ $(,)? }) => {
+        $(#[$em])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $($(#[$m])* $name = $code),+
+        }
+
+        impl Opcode {
+            /// All opcodes, in encoding order.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$name),+];
+
+            /// Assembly mnemonic.
+            #[must_use]
+            pub fn mnemonic(self) -> &'static str {
+                match self { $(Opcode::$name => $mnem),+ }
+            }
+
+            /// Coarse instruction-shape classification.
+            #[must_use]
+            pub fn kind(self) -> OpcodeKind {
+                match self { $(Opcode::$name => $kind),+ }
+            }
+
+            /// Decodes an opcode from its binary code.
+            #[must_use]
+            pub fn from_code(code: u8) -> Option<Opcode> {
+                match code {
+                    $($code => Some(Opcode::$name),)+
+                    _ => None,
+                }
+            }
+
+            /// The opcode's binary code.
+            #[inline]
+            #[must_use]
+            pub fn code(self) -> u8 {
+                self as u8
+            }
+        }
+    };
+}
+
+opcodes! {
+    /// Every SIR operation.
+    ///
+    /// The numeric codes are the stable binary encoding used by
+    /// [`Inst::encode`](crate::Inst::encode).
+    pub enum Opcode {
+        /// `rd = rs1 + rs2`
+        Add => ("add", OpcodeKind::AluRR, 0),
+        /// `rd = rs1 - rs2`
+        Sub => ("sub", OpcodeKind::AluRR, 1),
+        /// `rd = rs1 & rs2`
+        And => ("and", OpcodeKind::AluRR, 2),
+        /// `rd = rs1 | rs2`
+        Or => ("or", OpcodeKind::AluRR, 3),
+        /// `rd = rs1 ^ rs2`
+        Xor => ("xor", OpcodeKind::AluRR, 4),
+        /// `rd = rs1 << (rs2 & 63)`
+        Sll => ("sll", OpcodeKind::AluRR, 5),
+        /// `rd = rs1 >> (rs2 & 63)` (logical)
+        Srl => ("srl", OpcodeKind::AluRR, 6),
+        /// `rd = rs1 >> (rs2 & 63)` (arithmetic)
+        Sra => ("sra", OpcodeKind::AluRR, 7),
+        /// `rd = rs1 * rs2` (low 64 bits)
+        Mul => ("mul", OpcodeKind::AluRR, 8),
+        /// `rd = rs1 / rs2` (signed; -1 on division by zero)
+        Div => ("div", OpcodeKind::AluRR, 9),
+        /// `rd = rs1 % rs2` (signed; rs1 on division by zero)
+        Rem => ("rem", OpcodeKind::AluRR, 10),
+        /// `rd = (rs1 < rs2) as u64` (signed)
+        Slt => ("slt", OpcodeKind::AluRR, 11),
+        /// `rd = (rs1 < rs2) as u64` (unsigned)
+        Sltu => ("sltu", OpcodeKind::AluRR, 12),
+
+        /// `rd = rs1 + imm`
+        Addi => ("addi", OpcodeKind::AluRI, 16),
+        /// `rd = rs1 & imm`
+        Andi => ("andi", OpcodeKind::AluRI, 17),
+        /// `rd = rs1 | imm`
+        Ori => ("ori", OpcodeKind::AluRI, 18),
+        /// `rd = rs1 ^ imm`
+        Xori => ("xori", OpcodeKind::AluRI, 19),
+        /// `rd = rs1 << (imm & 63)`
+        Slli => ("slli", OpcodeKind::AluRI, 20),
+        /// `rd = rs1 >> (imm & 63)` (logical)
+        Srli => ("srli", OpcodeKind::AluRI, 21),
+        /// `rd = rs1 >> (imm & 63)` (arithmetic)
+        Srai => ("srai", OpcodeKind::AluRI, 22),
+        /// `rd = (rs1 < imm) as u64` (signed)
+        Slti => ("slti", OpcodeKind::AluRI, 23),
+
+        /// `rd = imm` (full 64-bit immediate)
+        Li => ("li", OpcodeKind::LoadImm, 24),
+
+        /// `rd = sext(mem8[rs1 + imm])`
+        Lb => ("lb", OpcodeKind::Load { width: MemWidth::B1, signed: true }, 32),
+        /// `rd = zext(mem8[rs1 + imm])`
+        Lbu => ("lbu", OpcodeKind::Load { width: MemWidth::B1, signed: false }, 33),
+        /// `rd = sext(mem16[rs1 + imm])`
+        Lh => ("lh", OpcodeKind::Load { width: MemWidth::B2, signed: true }, 34),
+        /// `rd = zext(mem16[rs1 + imm])`
+        Lhu => ("lhu", OpcodeKind::Load { width: MemWidth::B2, signed: false }, 35),
+        /// `rd = sext(mem32[rs1 + imm])`
+        Lw => ("lw", OpcodeKind::Load { width: MemWidth::B4, signed: true }, 36),
+        /// `rd = zext(mem32[rs1 + imm])`
+        Lwu => ("lwu", OpcodeKind::Load { width: MemWidth::B4, signed: false }, 37),
+        /// `rd = mem64[rs1 + imm]`
+        Ld => ("ld", OpcodeKind::Load { width: MemWidth::B8, signed: false }, 38),
+
+        /// `mem8[rs1 + imm] = rs2`
+        Sb => ("sb", OpcodeKind::Store { width: MemWidth::B1 }, 40),
+        /// `mem16[rs1 + imm] = rs2`
+        Sh => ("sh", OpcodeKind::Store { width: MemWidth::B2 }, 41),
+        /// `mem32[rs1 + imm] = rs2`
+        Sw => ("sw", OpcodeKind::Store { width: MemWidth::B4 }, 42),
+        /// `mem64[rs1 + imm] = rs2`
+        Sd => ("sd", OpcodeKind::Store { width: MemWidth::B8 }, 43),
+
+        /// Branch if `rs1 == rs2`.
+        Beq => ("beq", OpcodeKind::Branch(BranchCond::Eq), 48),
+        /// Branch if `rs1 != rs2`.
+        Bne => ("bne", OpcodeKind::Branch(BranchCond::Ne), 49),
+        /// Branch if `rs1 < rs2` (signed).
+        Blt => ("blt", OpcodeKind::Branch(BranchCond::Lt), 50),
+        /// Branch if `rs1 >= rs2` (signed).
+        Bge => ("bge", OpcodeKind::Branch(BranchCond::Ge), 51),
+        /// Branch if `rs1 < rs2` (unsigned).
+        Bltu => ("bltu", OpcodeKind::Branch(BranchCond::Ltu), 52),
+        /// Branch if `rs1 >= rs2` (unsigned).
+        Bgeu => ("bgeu", OpcodeKind::Branch(BranchCond::Geu), 53),
+
+        /// Jump-and-link to an absolute instruction index.
+        Jal => ("jal", OpcodeKind::Jal, 56),
+        /// Jump-and-link register: target is `rs1 + imm`.
+        Jalr => ("jalr", OpcodeKind::Jalr, 57),
+
+        /// Observable output of `rs1`.
+        Out => ("out", OpcodeKind::Out, 60),
+        /// Stop execution.
+        Halt => ("halt", OpcodeKind::Halt, 61),
+        /// No operation.
+        Nop => ("nop", OpcodeKind::Nop, 62),
+    }
+}
+
+impl Opcode {
+    /// Whether this opcode writes a destination register (when `rd != zero`).
+    #[must_use]
+    pub fn has_dest(self) -> bool {
+        matches!(
+            self.kind(),
+            OpcodeKind::AluRR
+                | OpcodeKind::AluRI
+                | OpcodeKind::LoadImm
+                | OpcodeKind::Load { .. }
+                | OpcodeKind::Jal
+                | OpcodeKind::Jalr
+        )
+    }
+
+    /// Whether this opcode is a memory load.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self.kind(), OpcodeKind::Load { .. })
+    }
+
+    /// Whether this opcode is a memory store.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self.kind(), OpcodeKind::Store { .. })
+    }
+
+    /// Whether this opcode is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self.kind(), OpcodeKind::Branch(_))
+    }
+
+    /// Whether this opcode can redirect control flow (branches and jumps).
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self.kind(),
+            OpcodeKind::Branch(_) | OpcodeKind::Jal | OpcodeKind::Jalr | OpcodeKind::Halt
+        )
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.code()), "duplicate code for {op:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_code_rejected() {
+        assert_eq!(Opcode::from_code(255), None);
+        assert_eq!(Opcode::from_code(13), None);
+    }
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(!BranchCond::Eq.eval(3, 4));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval((-1i64) as u64, 0));
+        assert!(!BranchCond::Ltu.eval((-1i64) as u64, 0));
+        assert!(BranchCond::Ge.eval(0, (-1i64) as u64));
+        assert!(BranchCond::Geu.eval((-1i64) as u64, 0));
+    }
+
+    #[test]
+    fn classification_consistency() {
+        assert!(Opcode::Add.has_dest());
+        assert!(Opcode::Ld.has_dest());
+        assert!(Opcode::Jal.has_dest());
+        assert!(!Opcode::Sd.has_dest());
+        assert!(!Opcode::Beq.has_dest());
+        assert!(!Opcode::Out.has_dest());
+        assert!(Opcode::Lw.is_load());
+        assert!(Opcode::Sw.is_store());
+        assert!(Opcode::Bne.is_cond_branch());
+        assert!(Opcode::Jalr.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn mnemonics_nonempty_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(!op.mnemonic().is_empty());
+            assert!(seen.insert(op.mnemonic()));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Validated program container.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::opcode::OpcodeKind;
+use crate::reg::Reg;
+use crate::{index_to_pc, DATA_BASE};
+
+/// A validated SIR program: a text segment of instructions plus an initial
+/// data image placed at [`DATA_BASE`](crate::DATA_BASE).
+///
+/// Construct programs with [`ProgramBuilder`](crate::ProgramBuilder); direct
+/// construction via [`Program::from_parts`] validates all control-flow
+/// targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    data: Vec<u8>,
+    entry: u32,
+}
+
+/// Error produced when validating a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// The entry index is outside the text segment.
+    EntryOutOfRange {
+        /// Offending entry index.
+        entry: u32,
+        /// Number of instructions in the program.
+        len: usize,
+    },
+    /// A direct branch or jump targets an instruction index outside the text
+    /// segment.
+    TargetOutOfRange {
+        /// Index of the offending instruction.
+        at: u32,
+        /// The out-of-range target.
+        target: i64,
+    },
+    /// The program can fall off the end of the text segment (the last
+    /// instruction is not an unconditional control transfer or `halt`).
+    FallsOffEnd,
+    /// A label was used but never bound (reported by the builder).
+    UnboundLabel {
+        /// The unbound label's id.
+        label: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::EntryOutOfRange { entry, len } => {
+                write!(f, "entry index {entry} out of range for {len} instructions")
+            }
+            ProgramError::TargetOutOfRange { at, target } => {
+                write!(f, "instruction {at} targets out-of-range index {target}")
+            }
+            ProgramError::FallsOffEnd => {
+                write!(f, "control can fall off the end of the program")
+            }
+            ProgramError::UnboundLabel { label } => {
+                write!(f, "label {label} was referenced but never bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Builds a program from raw parts, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program is empty, the entry point or
+    /// any direct control-flow target is out of range, or control can run off
+    /// the end of the text segment.
+    pub fn from_parts(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        data: Vec<u8>,
+        entry: u32,
+    ) -> Result<Program, ProgramError> {
+        if insts.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if entry as usize >= insts.len() {
+            return Err(ProgramError::EntryOutOfRange { entry, len: insts.len() });
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            match inst.op.kind() {
+                OpcodeKind::Branch(_) | OpcodeKind::Jal
+                    if (inst.imm < 0 || inst.imm as usize >= insts.len()) => {
+                        return Err(ProgramError::TargetOutOfRange {
+                            at: i as u32,
+                            target: inst.imm,
+                        });
+                    }
+                _ => {}
+            }
+        }
+        let last = insts.last().expect("non-empty");
+        let terminates = matches!(
+            last.op.kind(),
+            OpcodeKind::Halt | OpcodeKind::Jal | OpcodeKind::Jalr
+        );
+        if !terminates {
+            return Err(ProgramError::FallsOffEnd);
+        }
+        Ok(Program { name: name.into(), insts, data, entry })
+    }
+
+    /// The program's name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instructions of the text segment.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The instruction at `index`, or `None` when out of range.
+    #[must_use]
+    pub fn get(&self, index: u32) -> Option<&Inst> {
+        self.insts.get(index as usize)
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the text segment is empty (never true for a validated program).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Entry instruction index.
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Initial bytes of the data segment, placed at
+    /// [`DATA_BASE`](crate::DATA_BASE).
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Registers read anywhere in the program (an upper bound on liveness at
+    /// entry, used by the workload generator's self-checks).
+    #[must_use]
+    pub fn registers_read(&self) -> Vec<Reg> {
+        let mut seen = [false; Reg::COUNT];
+        for inst in &self.insts {
+            for src in inst.sources() {
+                seen[src.index()] = true;
+            }
+        }
+        Reg::all().filter(|r| seen[r.index()]).collect()
+    }
+
+    /// Renders a human-readable disassembly listing.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "; program `{}` — {} instructions, {} data bytes", self.name, self.insts.len(), self.data.len());
+        let _ = writeln!(out, "; entry @{} (pc {:#x}), data base {:#x}", self.entry, index_to_pc(self.entry), DATA_BASE);
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{i:6}: {inst}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    fn halt() -> Inst {
+        Inst::new(Opcode::Halt, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Program::from_parts("p", vec![], vec![], 0),
+            Err(ProgramError::Empty)
+        );
+    }
+
+    #[test]
+    fn entry_out_of_range_rejected() {
+        let err = Program::from_parts("p", vec![halt()], vec![], 5).unwrap_err();
+        assert!(matches!(err, ProgramError::EntryOutOfRange { entry: 5, len: 1 }));
+    }
+
+    #[test]
+    fn branch_target_validated() {
+        let insts = vec![
+            Inst::new(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 99),
+            halt(),
+        ];
+        let err = Program::from_parts("p", insts, vec![], 0).unwrap_err();
+        assert!(matches!(err, ProgramError::TargetOutOfRange { at: 0, target: 99 }));
+    }
+
+    #[test]
+    fn negative_target_rejected() {
+        let insts = vec![Inst::new(Opcode::Jal, Reg::ZERO, Reg::ZERO, Reg::ZERO, -1), halt()];
+        assert!(Program::from_parts("p", insts, vec![], 0).is_err());
+    }
+
+    #[test]
+    fn falling_off_end_rejected() {
+        let insts = vec![Inst::nop()];
+        assert_eq!(Program::from_parts("p", insts, vec![], 0), Err(ProgramError::FallsOffEnd));
+    }
+
+    #[test]
+    fn valid_program_accepted() {
+        let insts = vec![Inst::nop(), halt()];
+        let p = Program::from_parts("p", insts, vec![1, 2, 3], 0).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.data(), &[1, 2, 3]);
+        assert_eq!(p.name(), "p");
+        assert!(p.get(0).is_some());
+        assert!(p.get(2).is_none());
+    }
+
+    #[test]
+    fn listing_contains_all_instructions() {
+        let insts = vec![Inst::nop(), halt()];
+        let p = Program::from_parts("demo", insts, vec![], 0).unwrap();
+        let l = p.listing();
+        assert!(l.contains("demo"));
+        assert!(l.contains("nop"));
+        assert!(l.contains("halt"));
+    }
+
+    #[test]
+    fn registers_read_collects_sources() {
+        let insts = vec![
+            Inst::new(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0),
+            halt(),
+        ];
+        let p = Program::from_parts("p", insts, vec![], 0).unwrap();
+        assert_eq!(p.registers_read(), vec![Reg::T0, Reg::T1]);
+    }
+}

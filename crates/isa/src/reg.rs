@@ -1,0 +1,253 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An architectural register, `r0`–`r31`.
+///
+/// `r0` ([`Reg::ZERO`]) is hardwired to zero: reads return 0 and writes are
+/// architecturally void (they are *not* counted as dead instructions — this
+/// mirrors the Alpha's `r31`).
+///
+/// A conventional ABI is layered on top for the workload generator:
+///
+/// | name | register | role |
+/// |------|----------|------|
+/// | `zero` | r0 | hardwired zero |
+/// | `ra` | r1 | return address |
+/// | `sp` | r2 | stack pointer |
+/// | `fp` | r3 | frame pointer |
+/// | `a0`–`a5` | r4–r9 | arguments / return values (caller-saved) |
+/// | `t0`–`t7` | r10–r17 | temporaries (caller-saved) |
+/// | `s0`–`s7` | r18–r25 | saved (callee-saved) |
+/// | `g0`–`g5` | r26–r31 | globals |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The hardwired zero register, `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register, `r1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer, `r2`.
+    pub const SP: Reg = Reg(2);
+    /// Frame pointer, `r3`.
+    pub const FP: Reg = Reg(3);
+    /// Argument register 0, `r4`.
+    pub const A0: Reg = Reg(4);
+    /// Argument register 1, `r5`.
+    pub const A1: Reg = Reg(5);
+    /// Argument register 2, `r6`.
+    pub const A2: Reg = Reg(6);
+    /// Argument register 3, `r7`.
+    pub const A3: Reg = Reg(7);
+    /// Argument register 4, `r8`.
+    pub const A4: Reg = Reg(8);
+    /// Argument register 5, `r9`.
+    pub const A5: Reg = Reg(9);
+    /// Temporary register 0, `r10`.
+    pub const T0: Reg = Reg(10);
+    /// Temporary register 1, `r11`.
+    pub const T1: Reg = Reg(11);
+    /// Temporary register 2, `r12`.
+    pub const T2: Reg = Reg(12);
+    /// Temporary register 3, `r13`.
+    pub const T3: Reg = Reg(13);
+    /// Temporary register 4, `r14`.
+    pub const T4: Reg = Reg(14);
+    /// Temporary register 5, `r15`.
+    pub const T5: Reg = Reg(15);
+    /// Temporary register 6, `r16`.
+    pub const T6: Reg = Reg(16);
+    /// Temporary register 7, `r17`.
+    pub const T7: Reg = Reg(17);
+    /// Callee-saved register 0, `r18`.
+    pub const S0: Reg = Reg(18);
+    /// Callee-saved register 1, `r19`.
+    pub const S1: Reg = Reg(19);
+    /// Callee-saved register 2, `r20`.
+    pub const S2: Reg = Reg(20);
+    /// Callee-saved register 3, `r21`.
+    pub const S3: Reg = Reg(21);
+    /// Callee-saved register 4, `r22`.
+    pub const S4: Reg = Reg(22);
+    /// Callee-saved register 5, `r23`.
+    pub const S5: Reg = Reg(23);
+    /// Callee-saved register 6, `r24`.
+    pub const S6: Reg = Reg(24);
+    /// Callee-saved register 7, `r25`.
+    pub const S7: Reg = Reg(25);
+    /// Global register 0, `r26`.
+    pub const G0: Reg = Reg(26);
+    /// Global register 1, `r27`.
+    pub const G1: Reg = Reg(27);
+    /// Global register 2, `r28`.
+    pub const G2: Reg = Reg(28);
+    /// Global register 3, `r29`.
+    pub const G3: Reg = Reg(29);
+    /// Global register 4, `r30`.
+    pub const G4: Reg = Reg(30);
+    /// Global register 5, `r31`.
+    pub const G5: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub fn new(n: u8) -> Reg {
+        assert!(usize::from(n) < Reg::COUNT, "register number {n} out of range");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(n: u8) -> Option<Reg> {
+        (usize::from(n) < Reg::COUNT).then_some(Reg(n))
+    }
+
+    /// The register's number, `0..32`.
+    #[inline]
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The register's number as a `usize` index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 architectural registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+
+    /// The caller-saved temporary registers `t0`–`t7`.
+    pub const TEMPS: [Reg; 8] = [
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+    ];
+
+    /// The callee-saved registers `s0`–`s7`.
+    pub const SAVED: [Reg; 8] = [
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+    ];
+
+    /// The argument registers `a0`–`a5`.
+    pub const ARGS: [Reg; 6] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
+
+    /// The global registers `g0`–`g5`.
+    pub const GLOBALS: [Reg; 6] = [Reg::G0, Reg::G1, Reg::G2, Reg::G3, Reg::G4, Reg::G5];
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => f.write_str("zero"),
+            1 => f.write_str("ra"),
+            2 => f.write_str("sp"),
+            3 => f.write_str("fp"),
+            4..=9 => write!(f, "a{}", self.0 - 4),
+            10..=17 => write!(f, "t{}", self.0 - 10),
+            18..=25 => write!(f, "s{}", self.0 - 18),
+            _ => write!(f, "g{}", self.0 - 26),
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = u8;
+
+    fn try_from(n: u8) -> Result<Reg, u8> {
+        Reg::try_new(n).ok_or(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::T0.is_zero());
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::RA.to_string(), "ra");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::T7.to_string(), "t7");
+        assert_eq!(Reg::S3.to_string(), "s3");
+        assert_eq!(Reg::G5.to_string(), "g5");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(Reg::try_new(31), Some(Reg::G5));
+        assert_eq!(Reg::try_new(32), None);
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::try_from(u8::from(r)), Ok(r));
+        }
+        assert!(Reg::try_from(200u8).is_err());
+    }
+}

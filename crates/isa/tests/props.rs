@@ -1,0 +1,81 @@
+//! Property-based tests for the ISA layer: encode/decode is a lossless
+//! bijection on valid instructions, and the decoder is total (never
+//! panics) on arbitrary bytes.
+
+use dide_isa::{Inst, Opcode, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    (0..Opcode::ALL.len()).prop_map(|i| Opcode::ALL[i])
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (arb_opcode(), arb_reg(), arb_reg(), arb_reg(), any::<i64>())
+        .prop_map(|(op, rd, rs1, rs2, imm)| Inst::new(op, rd, rs1, rs2, imm))
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let encoded = inst.encode();
+        let decoded = Inst::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded, inst);
+    }
+
+    #[test]
+    fn decode_is_total(bytes in proptest::array::uniform12(any::<u8>())) {
+        // Must never panic; errors are fine.
+        let _ = Inst::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_validates_registers(mut bytes in proptest::array::uniform12(any::<u8>())) {
+        bytes[0] = Opcode::Add.code();
+        let result = Inst::decode(&bytes);
+        let regs_valid = bytes[1] < 32 && bytes[2] < 32 && bytes[3] < 32;
+        prop_assert_eq!(result.is_ok(), regs_valid);
+    }
+
+    #[test]
+    fn display_never_empty(inst in arb_inst()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    #[test]
+    fn sources_never_include_zero(inst in arb_inst()) {
+        prop_assert!(inst.sources().all(|r| !r.is_zero()));
+        prop_assert!(inst.sources().len() <= 2);
+    }
+
+    #[test]
+    fn dest_iff_shape_and_nonzero(inst in arb_inst()) {
+        let expect = inst.op.has_dest() && !inst.rd.is_zero();
+        prop_assert_eq!(inst.dest().is_some(), expect);
+    }
+
+    #[test]
+    fn image_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes must never panic the image decoder.
+        let _ = dide_isa::Program::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn image_roundtrip_for_straightline_programs(
+        seed_insts in proptest::collection::vec((arb_reg(), any::<i64>()), 1..40),
+        name in "[a-z]{1,12}",
+    ) {
+        use dide_isa::ProgramBuilder;
+        let mut b = ProgramBuilder::new(name);
+        for (reg, imm) in &seed_insts {
+            b.li(*reg, *imm);
+        }
+        b.halt();
+        let p = b.build().expect("straight-line programs are valid");
+        let decoded = dide_isa::Program::from_bytes(&p.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(decoded, p);
+    }
+}

@@ -1,0 +1,308 @@
+//! A single set-associative cache level.
+
+use std::fmt;
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`Cache::new`]).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways > 0, "associativity must be at least 1");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines > 0 && lines.is_multiple_of(self.ways),
+            "capacity {} not divisible into {}-way sets of {}-byte lines",
+            self.size_bytes,
+            self.ways,
+            self.line_bytes
+        );
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        sets
+    }
+}
+
+/// Access counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} rd, {} wr), {} misses ({:.2}%), {} writebacks",
+            self.accesses,
+            self.reads,
+            self.writes,
+            self.misses,
+            100.0 * self.miss_rate(),
+            self.writebacks
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// One write-allocate, write-back, true-LRU set-associative cache.
+///
+/// # Example
+///
+/// ```
+/// use dide_mem::{Cache, CacheConfig};
+///
+/// let mut cache = Cache::new(CacheConfig {
+///     size_bytes: 1024,
+///     line_bytes: 64,
+///     ways: 2,
+///     hit_latency: 1,
+/// });
+/// assert!(!cache.access(0x1000, false), "cold miss");
+/// assert!(cache.access(0x1000, false), "now resident");
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    lines: Vec<Option<Line>>,
+    stats: CacheStats,
+    tick: u64,
+    offset_bits: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two, the associativity is
+    /// zero, or the capacity does not divide evenly into power-of-two sets.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets,
+            lines: vec![None; sets * config.ways],
+            stats: CacheStats::default(),
+            tick: 0,
+            offset_bits: config.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.offset_bits;
+        ((line_addr as usize) & (self.sets - 1), line_addr >> self.sets.trailing_zeros())
+    }
+
+    /// Performs one access. Returns `true` on a hit. On a miss the line is
+    /// (re)filled; a dirty eviction increments the writeback counter and the
+    /// caller is expected to charge the next level.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+
+        for l in ways.iter_mut().flatten() {
+            if l.tag == tag {
+                l.lru = self.tick;
+                l.dirty |= write;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        // Fill: pick an invalid way, else the LRU way.
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.map_or(0, |l| l.lru))
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        if let Some(old) = ways[victim] {
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        ways[victim] = Some(Line { tag, dirty: write, lru: self.tick });
+        false
+    }
+
+    /// Whether `addr`'s line is currently resident (no state change).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.config.ways;
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .any(|l| l.is_some_and(|l| l.tag == tag))
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        self.lines.fill(None);
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 16-byte lines = 64 bytes.
+        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2, hit_latency: 1 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false));
+        assert!(c.access(0x100, false));
+        assert!(c.access(0x10f, false), "same line");
+        assert!(!c.access(0x110, false), "next line");
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Three distinct lines mapping to set 0 (line addr even): line size
+        // 16, 2 sets -> set = (addr >> 4) & 1.
+        c.access(0x000, false); // set 0
+        c.access(0x020, false); // set 0
+        c.access(0x000, false); // touch first
+        c.access(0x040, false); // set 0: evicts 0x020
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x020));
+        assert!(c.probe(0x040));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x020, false);
+        c.access(0x040, false); // evicts dirty 0x000
+        c.access(0x060, false); // evicts clean 0x020
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // hit, now dirty
+        c.access(0x020, false);
+        c.access(0x040, false); // evict 0x000 (LRU) -> writeback
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut c = tiny();
+        c.access(0x0, false);
+        c.access(0x0, true);
+        let s = c.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+        assert!(s.to_string().contains("accesses"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0x0, true);
+        c.reset();
+        assert!(!c.probe(0x0));
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn empty_miss_rate_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 12, ways: 2, hit_latency: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_capacity_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 48, line_bytes: 16, ways: 2, hit_latency: 1 });
+    }
+}

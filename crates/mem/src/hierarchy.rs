@@ -1,0 +1,192 @@
+//! The full L1I / L1D / L2 / memory hierarchy.
+
+use std::fmt;
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+
+/// Configuration of the whole hierarchy (defaults follow DESIGN.md §4, a
+/// 2002-era part).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Flat main-memory latency in cycles.
+    pub memory_latency: u32,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig { size_bytes: 16 * 1024, line_bytes: 64, ways: 2, hit_latency: 1 },
+            l1d: CacheConfig { size_bytes: 16 * 1024, line_bytes: 64, ways: 4, hit_latency: 3 },
+            l2: CacheConfig { size_bytes: 256 * 1024, line_bytes: 64, ways: 8, hit_latency: 12 },
+            memory_latency: 80,
+        }
+    }
+}
+
+/// Counters for every level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Accesses that went all the way to memory.
+    pub memory_accesses: u64,
+}
+
+impl fmt::Display for HierarchyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "L1I: {}", self.l1i)?;
+        writeln!(f, "L1D: {}", self.l1d)?;
+        writeln!(f, "L2 : {}", self.l2)?;
+        write!(f, "MEM: {} accesses", self.memory_accesses)
+    }
+}
+
+/// Split-L1, unified-L2 cache hierarchy with flat-latency memory behind it.
+///
+/// Accesses are blocking and return a total latency in cycles; the pipeline
+/// overlaps them through its load/store queue occupancy rather than through
+/// MSHR modeling (see DESIGN.md substitutions).
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    memory_accesses: u64,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty hierarchy.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            config,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            memory_accesses: 0,
+        }
+    }
+
+    /// The hierarchy's configuration.
+    #[must_use]
+    pub fn config(&self) -> HierarchyConfig {
+        self.config
+    }
+
+    /// Fetches an instruction line; returns total latency in cycles.
+    pub fn access_inst(&mut self, addr: u64) -> u32 {
+        if self.l1i.access(addr, false) {
+            return self.config.l1i.hit_latency;
+        }
+        self.config.l1i.hit_latency + self.access_l2(addr, false)
+    }
+
+    /// Performs a data access; returns total latency in cycles.
+    pub fn access_data(&mut self, addr: u64, write: bool) -> u32 {
+        if self.l1d.access(addr, write) {
+            return self.config.l1d.hit_latency;
+        }
+        self.config.l1d.hit_latency + self.access_l2(addr, write)
+    }
+
+    fn access_l2(&mut self, addr: u64, write: bool) -> u32 {
+        if self.l2.access(addr, write) {
+            return self.config.l2.hit_latency;
+        }
+        self.memory_accesses += 1;
+        self.config.l2.hit_latency + self.config.memory_latency
+    }
+
+    /// Counters for every level.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            memory_accesses: self.memory_accesses,
+        }
+    }
+
+    /// Clears contents and counters of every level.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+        self.memory_accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stack_on_cold_access() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let cfg = m.config();
+        let cold = m.access_data(0x2000, false);
+        assert_eq!(cold, cfg.l1d.hit_latency + cfg.l2.hit_latency + cfg.memory_latency);
+        let warm = m.access_data(0x2000, false);
+        assert_eq!(warm, cfg.l1d.hit_latency);
+        assert_eq!(m.stats().memory_accesses, 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        // Access enough distinct lines to spill L1D but stay within L2.
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let cfg = m.config();
+        let lines = cfg.l1d.size_bytes / cfg.l1d.line_bytes * 2;
+        for i in 0..lines as u64 {
+            m.access_data(0x10_0000 + i * cfg.l1d.line_bytes as u64, false);
+        }
+        // The first line has been evicted from L1D but is still in L2.
+        let lat = m.access_data(0x10_0000, false);
+        assert_eq!(lat, cfg.l1d.hit_latency + cfg.l2.hit_latency);
+    }
+
+    #[test]
+    fn inst_and_data_paths_are_split() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.access_inst(0x40_0000);
+        m.access_data(0x40_0000, false); // same address, different L1
+        let s = m.stats();
+        assert_eq!(s.l1i.accesses, 1);
+        assert_eq!(s.l1d.accesses, 1);
+        assert_eq!(s.l1i.misses, 1);
+        assert_eq!(s.l1d.misses, 1);
+        // Second L2 access hits (unified).
+        assert_eq!(s.l2.hits, 1);
+        assert_eq!(s.l2.misses, 1);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.access_data(0x2000, true);
+        m.reset();
+        assert_eq!(m.stats(), HierarchyStats::default());
+        let cold = m.access_data(0x2000, false);
+        assert!(cold > m.config().l1d.hit_latency);
+    }
+
+    #[test]
+    fn stats_display() {
+        let m = MemoryHierarchy::new(HierarchyConfig::default());
+        let text = m.stats().to_string();
+        assert!(text.contains("L1D"));
+        assert!(text.contains("MEM"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Set-associative cache hierarchy model for the DIDE timing simulator.
+//!
+//! Models the paper's memory system: split L1 instruction/data caches backed
+//! by a unified L2 and a flat-latency main memory. Caches are
+//! write-allocate / write-back with true-LRU replacement, and every level
+//! counts accesses, hits, misses and writebacks — the D-cache access count
+//! is one of the resource-utilization metrics the elimination mechanism
+//! reduces (experiment E8).
+//!
+//! # Example
+//!
+//! ```
+//! use dide_mem::{CacheConfig, HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+//! let cold = mem.access_data(0x1000_0000, false);
+//! let warm = mem.access_data(0x1000_0000, false);
+//! assert!(cold > warm, "first touch misses all the way to memory");
+//! assert_eq!(warm, mem.config().l1d.hit_latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{HierarchyConfig, HierarchyStats, MemoryHierarchy};

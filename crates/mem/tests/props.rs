@@ -1,0 +1,90 @@
+//! Property-based tests for the cache: hit/miss behaviour must match a
+//! straightforward reference model of a set-associative true-LRU cache.
+
+use dide_mem::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// Reference model: per set, a most-recently-used-last vector of tags.
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bits: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> RefCache {
+        let sets = config.sets();
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            ways: config.ways,
+            line_bits: config.line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_bits;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> (self.set_mask.count_ones());
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&t| t == tag) {
+            let t = entries.remove(pos);
+            entries.push(t);
+            true
+        } else {
+            if entries.len() == self.ways {
+                entries.remove(0); // evict LRU
+            }
+            entries.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn matches_reference_lru(
+        addrs in proptest::collection::vec((0u64..0x4000, any::<bool>()), 1..400),
+    ) {
+        let config = CacheConfig { size_bytes: 512, line_bytes: 32, ways: 2, hit_latency: 1 };
+        let mut cache = Cache::new(config);
+        let mut reference = RefCache::new(config);
+        for &(addr, write) in &addrs {
+            let got = cache.access(addr, write);
+            let expected = reference.access(addr);
+            prop_assert_eq!(got, expected, "divergence at address {:#x}", addr);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(
+        addrs in proptest::collection::vec((0u64..0x2000, any::<bool>()), 1..200),
+    ) {
+        let config = CacheConfig { size_bytes: 256, line_bytes: 16, ways: 4, hit_latency: 1 };
+        let mut cache = Cache::new(config);
+        for &(addr, write) in &addrs {
+            cache.access(addr, write);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.reads + s.writes, s.accesses);
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.writebacks <= s.misses, "writebacks only happen on refills");
+    }
+
+    #[test]
+    fn probe_agrees_with_next_access(
+        addrs in proptest::collection::vec(0u64..0x1000, 1..100),
+        probe_addr in 0u64..0x1000,
+    ) {
+        let config = CacheConfig { size_bytes: 128, line_bytes: 16, ways: 2, hit_latency: 1 };
+        let mut cache = Cache::new(config);
+        for &addr in &addrs {
+            cache.access(addr, false);
+        }
+        let resident = cache.probe(probe_addr);
+        let hit = cache.access(probe_addr, false);
+        prop_assert_eq!(resident, hit);
+    }
+}

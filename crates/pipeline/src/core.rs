@@ -1,0 +1,485 @@
+//! The cycle loop: rename, dispatch, issue, execute, commit — with
+//! dead-instruction elimination.
+
+use std::collections::HashSet;
+
+use dide_analysis::DeadnessAnalysis;
+use dide_emu::Trace;
+use dide_isa::Reg;
+use dide_mem::MemoryHierarchy;
+use dide_predictor::dead::{
+    CfiDeadPredictor, DeadPredictor, OracleDeadPredictor, PredictInput,
+};
+use dide_predictor::future::CfSignature;
+
+use crate::config::PipelineConfig;
+use crate::frontend::Frontend;
+use crate::fu::{classify, FuClass, FuPool};
+use crate::iq::{IqEntry, IssueQueue};
+use crate::lsq::LoadStoreQueues;
+use crate::regfile::{PhysReg, PhysRegFile};
+use crate::rename::{Mapping, RenameMap};
+use crate::rob::{DestInfo, Rob, RobEntry};
+use crate::stats::PipelineStats;
+
+/// A scheduled execution completion.
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    cycle: u64,
+    seq: u64,
+    dest: Option<PhysReg>,
+    is_store: bool,
+}
+
+/// The out-of-order core.
+///
+/// See the [crate docs](crate) for the model and an example.
+#[derive(Debug, Clone)]
+pub struct Core {
+    config: PipelineConfig,
+}
+
+impl Core {
+    /// Creates a core with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`PipelineConfig::validate`]).
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Core {
+        config.validate();
+        Core { config }
+    }
+
+    /// The core's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Simulates the trace to completion and returns the run's statistics.
+    ///
+    /// The oracle `analysis` is used only for commit-time predictor
+    /// training and for scoring (never for making predictions); it must
+    /// have been computed from this same `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analysis` does not match `trace`, or if the simulation
+    /// exceeds its deadlock guard (which would indicate a model bug).
+    #[must_use]
+    pub fn run(&self, trace: &Trace, analysis: &DeadnessAnalysis) -> PipelineStats {
+        assert_eq!(
+            analysis.verdicts().len(),
+            trace.len(),
+            "analysis must come from the same trace"
+        );
+        let cfg = &self.config;
+        let records = trace.records();
+        let total = records.len() as u64;
+
+        let mut stats = PipelineStats::default();
+        let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy);
+        let mut frontend = Frontend::new(cfg, records);
+        let mut regs = PhysRegFile::new(cfg.phys_regs, Reg::COUNT);
+        let mut map = RenameMap::new();
+        let mut rob = Rob::new(cfg.rob_entries);
+        let mut iq = IssueQueue::new(cfg.iq_entries);
+        let mut lsq = LoadStoreQueues::new(cfg.lq_entries, cfg.sq_entries);
+        let mut fus = FuPool::new(cfg.fu);
+        let mut predictor: Box<dyn DeadPredictor> = if cfg.dead.oracle {
+            Box::new(OracleDeadPredictor::new(analysis))
+        } else {
+            Box::new(CfiDeadPredictor::new(cfg.dead.predictor))
+        };
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut eliminated_stores: HashSet<u64> = HashSet::new();
+        let mut rename_stalled_until = 0u64;
+
+        let mut committed = 0u64;
+        let mut now = 0u64;
+        let deadlock_guard = 10_000 + total * 1_000;
+
+        while committed < total {
+            assert!(
+                now < deadlock_guard,
+                "pipeline deadlock: {committed}/{total} committed after {now} cycles"
+            );
+
+            // ---- writeback: drain completions due this cycle ----
+            let mut i = 0;
+            while i < completions.len() {
+                if completions[i].cycle <= now {
+                    let c = completions.swap_remove(i);
+                    rob.complete(c.seq);
+                    if let Some(p) = c.dest {
+                        regs.set_ready(p);
+                        stats.rf_writes += 1;
+                    }
+                    if c.is_store {
+                        lsq.store_executed(c.seq);
+                    }
+                    if frontend.pending_branch() == Some(c.seq) {
+                        frontend.resolve_branch(c.seq, now);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+
+            // ---- commit ----
+            for _ in 0..cfg.commit_width {
+                let Some(head) = rob.head() else { break };
+                if !head.completed {
+                    break;
+                }
+                let e = rob.pop().expect("head exists");
+                let r = &records[e.seq as usize];
+                if let Some(d) = e.dest {
+                    if let Mapping::Phys(p) = d.prev {
+                        regs.free(p);
+                        stats.phys_frees += 1;
+                    }
+                }
+                if e.is_cond_branch {
+                    stats.branches += 1;
+                }
+                if r.inst.op.is_load() && !e.eliminated {
+                    lsq.pop_load(e.seq);
+                }
+                if e.is_store {
+                    if e.eliminated {
+                        stats.savings.dcache_accesses_saved += 1;
+                    } else {
+                        lsq.pop_store(e.seq);
+                        let mem = r.mem.expect("stores carry an access");
+                        hierarchy.access_data(mem.addr, true);
+                    }
+                }
+                if e.eligible {
+                    let was_dead = analysis.is_dead(e.seq);
+                    let input = PredictInput {
+                        seq: e.seq,
+                        static_index: r.index,
+                        signature: e.signature,
+                    };
+                    predictor.train(&input, was_dead);
+                    if was_dead {
+                        stats.oracle_dead_committed += 1;
+                    }
+                    if e.eliminated {
+                        stats.dead_predicted += 1;
+                        stats.dead_predicted_correct += u64::from(was_dead);
+                    }
+                }
+                committed += 1;
+                stats.committed += 1;
+            }
+
+            // ---- issue / execute ----
+            fus.begin_cycle();
+            let mut issued: Vec<usize> = Vec::new();
+            for (pos, e) in iq.entries().iter().enumerate() {
+                if issued.len() == cfg.issue_width {
+                    break;
+                }
+                if !e.ready(&regs) {
+                    continue;
+                }
+                let r = &records[e.seq as usize];
+                if e.is_load {
+                    let mem = r.mem.expect("loads carry an access");
+                    if !lsq.load_may_issue(e.seq, mem) {
+                        continue;
+                    }
+                }
+                let Some(base_latency) = fus.try_issue(e.fu, now) else { continue };
+                let latency = if e.fu == FuClass::Mem {
+                    if e.is_load {
+                        let mem = r.mem.expect("loads carry an access");
+                        // The cache is probed either way; a store-to-load
+                        // forward shortcuts the latency.
+                        let access = hierarchy.access_data(mem.addr, false);
+                        if lsq.load_forwards(e.seq, mem) {
+                            2
+                        } else {
+                            1 + access
+                        }
+                    } else {
+                        base_latency // store: address generation only
+                    }
+                } else {
+                    base_latency
+                };
+                stats.rf_reads += e.srcs.iter().flatten().count() as u64;
+                completions.push(Completion {
+                    cycle: now + u64::from(latency),
+                    seq: e.seq,
+                    dest: e.dest,
+                    is_store: r.inst.op.is_store(),
+                });
+                issued.push(pos);
+            }
+            iq.remove_issued(&issued);
+
+            // ---- rename / dispatch ----
+            if now >= rename_stalled_until {
+                'rename: for _ in 0..cfg.rename_width {
+                    let Some(seq) = frontend.peek_ready(now) else { break };
+                    if rob.is_full() {
+                        stats.rob_full_stalls += 1;
+                        break;
+                    }
+                    let r = &records[seq as usize];
+                    let dest = r.inst.dest();
+                    let is_store = r.inst.op.is_store();
+                    let is_load = r.inst.op.is_load();
+
+                    let policy = cfg.dead.policy;
+                    let eligible = if is_store {
+                        policy.covers_stores()
+                    } else {
+                        policy.covers_registers()
+                            && dest.is_some()
+                            && !r.inst.op.is_control()
+                    };
+                    let signature = if eligible {
+                        frontend.signature(seq, cfg.dead.lookahead)
+                    } else {
+                        CfSignature::empty()
+                    };
+                    let input = PredictInput { seq, static_index: r.index, signature };
+                    let eliminate = eligible && predictor.predict(&input);
+
+                    if !eliminate {
+                        // Dead-tag violations: this instruction actually
+                        // reads its sources.
+                        for src in r.inst.sources() {
+                            if let Mapping::Dead(_) = map.get(src) {
+                                // Recovery re-executes the producer: it
+                                // needs a register for the materialized
+                                // value.
+                                let Some(p) = regs.alloc() else {
+                                    stats.no_phys_stalls += 1;
+                                    break 'rename;
+                                };
+                                stats.phys_allocs += 1;
+                                regs.set_ready(p);
+                                map.set(src, Mapping::Phys(p));
+                                stats.dead_violations += 1;
+                                rename_stalled_until =
+                                    now + u64::from(cfg.dead.violation_penalty);
+                                break 'rename;
+                            }
+                        }
+                        // Loads can also trip over eliminated stores.
+                        if is_load {
+                            for &p in analysis.producers(seq) {
+                                if eliminated_stores.remove(&p) {
+                                    stats.dead_violations += 1;
+                                    rename_stalled_until =
+                                        now + u64::from(cfg.dead.violation_penalty);
+                                    break 'rename;
+                                }
+                            }
+                        }
+                    }
+
+                    if eliminate {
+                        // The instruction vanishes: no physical register,
+                        // no issue-queue slot, no execution, no cache
+                        // access. It retires through the ROB for precise
+                        // state and trains the predictor at commit.
+                        let dest_info = dest.map(|arch| {
+                            let prev = map.set(arch, Mapping::Dead(seq));
+                            DestInfo { arch, new: Mapping::Dead(seq), prev }
+                        });
+                        stats.savings.phys_allocs_saved += u64::from(dest.is_some());
+                        stats.savings.iq_slots_saved += 1;
+                        stats.savings.rf_writes_saved += u64::from(dest.is_some());
+                        stats.savings.rf_reads_saved += r.inst.sources().count() as u64;
+                        if is_load {
+                            stats.savings.dcache_accesses_saved += 1;
+                        }
+                        if is_store {
+                            eliminated_stores.insert(seq);
+                        }
+                        rob.push(RobEntry {
+                            seq,
+                            dest: dest_info,
+                            eliminated: true,
+                            completed: true,
+                            is_store,
+                            is_cond_branch: r.is_cond_branch(),
+
+                            eligible,
+                            signature,
+                        });
+                        frontend.pop(seq);
+                        continue;
+                    }
+
+                    // Normal dispatch: check resources, then allocate.
+                    if iq.is_full() {
+                        stats.iq_full_stalls += 1;
+                        break;
+                    }
+                    if is_load && lsq.lq_full() {
+                        stats.lsq_full_stalls += 1;
+                        break;
+                    }
+                    if is_store && lsq.sq_full() {
+                        stats.lsq_full_stalls += 1;
+                        break;
+                    }
+                    let mut dest_phys = None;
+                    if dest.is_some() && regs.free_count() == 0 {
+                        stats.no_phys_stalls += 1;
+                        break;
+                    }
+
+                    let mut srcs = [None, None];
+                    for (slot, src) in r.inst.sources().enumerate() {
+                        match map.get(src) {
+                            Mapping::Phys(p) => srcs[slot] = Some(p),
+                            Mapping::Dead(_) => {
+                                unreachable!("dead-tag sources were materialized above")
+                            }
+                        }
+                    }
+                    let dest_info = dest.map(|arch| {
+                        let p = regs.alloc().expect("free count checked above");
+                        stats.phys_allocs += 1;
+                        dest_phys = Some(p);
+                        let prev = map.set(arch, Mapping::Phys(p));
+                        DestInfo { arch, new: Mapping::Phys(p), prev }
+                    });
+
+                    if is_load {
+                        lsq.push_load(seq);
+                    }
+                    if is_store {
+                        lsq.push_store(seq, r.mem.expect("stores carry an access"));
+                    }
+                    iq.push(IqEntry {
+                        seq,
+                        srcs,
+                        fu: classify(r.inst.op),
+                        is_load,
+                        dest: dest_phys,
+                    });
+                    rob.push(RobEntry {
+                        seq,
+                        dest: dest_info,
+                        eliminated: false,
+                        completed: false,
+                        is_store,
+                        is_cond_branch: r.is_cond_branch(),
+
+                        eligible,
+                        signature,
+                    });
+                    frontend.pop(seq);
+                }
+            }
+
+            // ---- fetch ----
+            frontend.fetch(now, &mut hierarchy, &mut stats);
+
+            // Occupancy accounting (end-of-cycle snapshot).
+            stats.rob_occupancy_sum += rob.len() as u64;
+            stats.iq_occupancy_sum += iq.len() as u64;
+            // Registers in use beyond the architectural baseline; dead-tag
+            // mappings hold no register, so this can dip below 32 — clamp.
+            stats.phys_used_sum +=
+                (cfg.phys_regs - regs.free_count()).saturating_sub(Reg::COUNT) as u64;
+
+            now += 1;
+        }
+
+        debug_assert!(frontend.drained(), "all instructions must pass through fetch");
+        stats.cycles = now;
+        stats.memory = hierarchy.stats();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeadElimConfig, EliminationPolicy};
+    use dide_emu::Emulator;
+    use dide_isa::ProgramBuilder;
+
+    fn counted_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new("loop");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, iters);
+        let top = b.label();
+        b.bind(top);
+        b.slt(Reg::T2, Reg::T0, Reg::T1); // dead on all but the last iteration
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T2);
+        b.halt();
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    #[test]
+    fn commits_every_instruction() {
+        let t = counted_loop(200);
+        let a = DeadnessAnalysis::analyze(&t);
+        let stats = Core::new(PipelineConfig::baseline()).run(&t, &a);
+        assert_eq!(stats.committed, t.len() as u64);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.1, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn loop_branch_is_predictable() {
+        let t = counted_loop(500);
+        let a = DeadnessAnalysis::analyze(&t);
+        let stats = Core::new(PipelineConfig::baseline()).run(&t, &a);
+        assert!(stats.branch_accuracy() > 0.95, "accuracy {}", stats.branch_accuracy());
+    }
+
+    #[test]
+    fn elimination_reduces_register_traffic() {
+        let t = counted_loop(2000);
+        let a = DeadnessAnalysis::analyze(&t);
+        let base = Core::new(PipelineConfig::baseline()).run(&t, &a);
+        let elim_cfg = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
+        let elim = Core::new(elim_cfg).run(&t, &a);
+        assert_eq!(elim.committed, base.committed);
+        assert!(elim.dead_predicted > 500, "eliminated {}", elim.dead_predicted);
+        assert!(elim.savings.phys_allocs_saved > 0);
+        assert!(elim.phys_allocs < base.phys_allocs);
+        assert!(elim.rf_writes < base.rf_writes);
+        assert!(
+            elim.elimination_accuracy() > 0.9,
+            "accuracy {}",
+            elim.elimination_accuracy()
+        );
+    }
+
+    #[test]
+    fn elimination_off_by_default_in_baseline() {
+        let cfg = PipelineConfig::baseline();
+        assert_eq!(cfg.dead.policy, EliminationPolicy::Off);
+        let t = counted_loop(50);
+        let a = DeadnessAnalysis::analyze(&t);
+        let stats = Core::new(cfg).run(&t, &a);
+        assert_eq!(stats.dead_predicted, 0);
+        assert_eq!(stats.savings.phys_allocs_saved, 0);
+    }
+
+    #[test]
+    fn contended_machine_is_slower() {
+        let t = counted_loop(1000);
+        let a = DeadnessAnalysis::analyze(&t);
+        let base = Core::new(PipelineConfig::baseline()).run(&t, &a);
+        let tight = Core::new(PipelineConfig::contended()).run(&t, &a);
+        assert!(tight.cycles >= base.cycles);
+    }
+}

@@ -1,0 +1,342 @@
+//! In-order fetch engine: I-cache, branch prediction, fetch buffer.
+
+use std::collections::VecDeque;
+
+use dide_emu::DynInst;
+use dide_isa::{index_to_pc, OpcodeKind, Reg};
+use dide_mem::MemoryHierarchy;
+use dide_predictor::branch::{
+    BranchPredictor, Btb, BtbConfig, Gshare, ReturnAddressStack, TargetCache,
+};
+use dide_predictor::future::{pack_events, CfEvent, CfSignature};
+
+use crate::config::PipelineConfig;
+use crate::stats::PipelineStats;
+
+/// An instruction sitting in the fetch buffer.
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    seq: u64,
+    /// Cycle at which the instruction reaches the rename stage.
+    ready_at: u64,
+}
+
+/// The fetch engine.
+///
+/// Walks the committed-path trace in order, consulting the branch
+/// predictors exactly as a real frontend would: a mispredicted conditional
+/// branch (or indirect-jump target) stops fetch until the branch resolves
+/// in the backend plus a redirect penalty; a taken branch ends the fetch
+/// group; an I-cache miss stalls the group.
+///
+/// The frontend also records the *predicted* direction of every fetched
+/// conditional branch; those predictions form the CFI signatures consumed
+/// by the dead predictor at rename ([`Frontend::signature`]).
+#[derive(Debug)]
+pub(crate) struct Frontend<'t> {
+    records: &'t [DynInst],
+    pos: usize,
+    buffer: VecDeque<Fetched>,
+    buffer_cap: usize,
+    fetch_width: usize,
+    frontend_depth: u32,
+    mispredict_penalty: u32,
+    btb_miss_penalty: u32,
+    stalled_until: u64,
+    /// Mispredicted control instruction awaiting backend resolution.
+    pending_branch: Option<u64>,
+    gshare: Gshare,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    /// History-based indirect-target predictor for non-return `jalr`.
+    targets: TargetCache,
+    /// (seq, event) of fetched control-flow events, pruned as rename
+    /// advances: conditional-branch predictions, plus (in jump-aware mode)
+    /// predicted indirect-jump targets.
+    events: VecDeque<(u64, CfEvent)>,
+    jump_aware: bool,
+    last_line: Option<u64>,
+    l1i_hit_latency: u32,
+}
+
+impl<'t> Frontend<'t> {
+    pub(crate) fn new(config: &PipelineConfig, records: &'t [DynInst]) -> Frontend<'t> {
+        Frontend {
+            records,
+            pos: 0,
+            buffer: VecDeque::with_capacity(config.fetch_buffer),
+            buffer_cap: config.fetch_buffer,
+            fetch_width: config.fetch_width,
+            frontend_depth: config.frontend_depth,
+            mispredict_penalty: config.mispredict_penalty,
+            btb_miss_penalty: config.btb_miss_penalty,
+            stalled_until: 0,
+            pending_branch: None,
+            gshare: Gshare::new(config.gshare_history_bits, config.gshare_log2_entries),
+            btb: Btb::new(BtbConfig::default()),
+            ras: ReturnAddressStack::new(config.ras_depth),
+            targets: TargetCache::default(),
+            events: VecDeque::new(),
+            jump_aware: config.dead.jump_aware,
+            last_line: None,
+            l1i_hit_latency: config.hierarchy.l1i.hit_latency,
+        }
+    }
+
+    /// Whether every instruction has been fetched and drained.
+    pub(crate) fn drained(&self) -> bool {
+        self.pos == self.records.len() && self.buffer.is_empty()
+    }
+
+    /// The mispredicted control instruction fetch is waiting on, if any.
+    pub(crate) fn pending_branch(&self) -> Option<u64> {
+        self.pending_branch
+    }
+
+    /// Called when the pending mispredicted branch completes execution:
+    /// fetch resumes after the redirect penalty.
+    pub(crate) fn resolve_branch(&mut self, seq: u64, resolved_at: u64) {
+        if self.pending_branch == Some(seq) {
+            self.pending_branch = None;
+            self.stalled_until =
+                self.stalled_until.max(resolved_at + u64::from(self.mispredict_penalty));
+        }
+    }
+
+    /// The oldest buffered instruction that has traversed the frontend
+    /// pipe by cycle `now`.
+    pub(crate) fn peek_ready(&self, now: u64) -> Option<u64> {
+        self.buffer.front().filter(|f| f.ready_at <= now).map(|f| f.seq)
+    }
+
+    /// Consumes the oldest buffered instruction.
+    pub(crate) fn pop(&mut self, seq: u64) {
+        let f = self.buffer.pop_front().expect("pop from empty fetch buffer");
+        debug_assert_eq!(f.seq, seq);
+        while self.events.front().is_some_and(|&(s, _)| s <= seq) {
+            self.events.pop_front();
+        }
+    }
+
+    /// CFI signature for the instruction at `seq`: the next `lookahead`
+    /// control-flow events already fetched (predicted branch directions,
+    /// plus predicted indirect targets in jump-aware mode). Fewer may be
+    /// available near a fetch stall; the signature length reflects that,
+    /// exactly as in hardware (the predictor simply sees a shorter
+    /// pattern).
+    pub(crate) fn signature(&self, seq: u64, lookahead: u8) -> CfSignature {
+        pack_events(
+            self.events.iter().filter(|&&(s, _)| s > seq).map(|&(_, e)| e),
+            lookahead,
+        )
+    }
+
+    /// Fetches up to one group of instructions at cycle `now`.
+    pub(crate) fn fetch(
+        &mut self,
+        now: u64,
+        hierarchy: &mut MemoryHierarchy,
+        stats: &mut PipelineStats,
+    ) {
+        if self.pending_branch.is_some() || now < self.stalled_until {
+            stats.fetch_stall_cycles += 1;
+            return;
+        }
+        for _ in 0..self.fetch_width {
+            if self.pos == self.records.len() {
+                return;
+            }
+            if self.buffer.len() == self.buffer_cap {
+                stats.fetch_stall_cycles += 1;
+                return;
+            }
+            let r = &self.records[self.pos];
+
+            // I-cache: charge when the group crosses into a new line.
+            let pc = index_to_pc(r.index);
+            let line = pc / u64::from(hierarchy.config().l1i.line_bytes as u32);
+            if self.last_line != Some(line) {
+                let latency = hierarchy.access_inst(pc);
+                self.last_line = Some(line);
+                if latency > self.l1i_hit_latency {
+                    // Miss: fill and retry this instruction after the stall.
+                    self.stalled_until = now + u64::from(latency - self.l1i_hit_latency);
+                    return;
+                }
+            }
+
+            self.buffer.push_back(Fetched {
+                seq: r.seq,
+                ready_at: now + u64::from(self.frontend_depth),
+            });
+            self.pos += 1;
+
+            match r.inst.op.kind() {
+                OpcodeKind::Branch(_) => {
+                    let predicted = self.gshare.predict(r.index);
+                    self.gshare.update(r.index, r.taken);
+                    self.events.push_back((r.seq, CfEvent::Cond(predicted)));
+                    if predicted != r.taken {
+                        stats.branch_mispredicts += 1;
+                        self.pending_branch = Some(r.seq);
+                        return;
+                    }
+                    if r.taken {
+                        // Correct taken prediction still needs a target.
+                        if self.btb.lookup(r.index) != Some(r.next_index) {
+                            stats.btb_misses += 1;
+                            self.btb.insert(r.index, r.next_index);
+                            self.stalled_until = now + u64::from(self.btb_miss_penalty);
+                        }
+                        return; // taken branch ends the fetch group
+                    }
+                }
+                OpcodeKind::Jal => {
+                    if r.inst.rd == Reg::RA {
+                        self.ras.push(r.index + 1);
+                    }
+                    return; // direct target known at decode; group ends
+                }
+                OpcodeKind::Jalr => {
+                    let is_return = r.inst.rs1 == Reg::RA && r.inst.rd.is_zero();
+                    let predicted = if is_return {
+                        self.ras.pop()
+                    } else {
+                        if r.inst.rd == Reg::RA {
+                            self.ras.push(r.index + 1);
+                        }
+                        self.targets.predict(r.index)
+                    };
+                    if !is_return {
+                        self.targets.update(r.index, r.next_index);
+                    }
+                    if self.jump_aware && !is_return {
+                        let hash = CfEvent::hash_target(predicted.unwrap_or(0));
+                        self.events.push_back((r.seq, CfEvent::Indirect(hash)));
+                    }
+                    if predicted != Some(r.next_index) {
+                        stats.branch_mispredicts += 1;
+                        self.pending_branch = Some(r.seq);
+                    }
+                    return; // indirect transfer ends the fetch group
+                }
+                OpcodeKind::Halt => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+    use dide_mem::HierarchyConfig;
+
+    fn setup(iters: i64) -> (Vec<DynInst>, PipelineConfig) {
+        let mut b = ProgramBuilder::new("f");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, iters);
+        let top = b.label();
+        b.bind(top);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T0);
+        b.halt();
+        let t = Emulator::new(&b.build().unwrap()).run().unwrap();
+        (t.records().to_vec(), PipelineConfig::baseline())
+    }
+
+    #[test]
+    fn fetches_in_order_and_drains() {
+        let (records, cfg) = setup(3);
+        let mut fe = Frontend::new(&cfg, &records);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut stats = PipelineStats::default();
+        let mut got = Vec::new();
+        for now in 0..2000 {
+            fe.fetch(now, &mut mem, &mut stats);
+            while let Some(seq) = fe.peek_ready(now) {
+                got.push(seq);
+                fe.pop(seq);
+            }
+            if let Some(seq) = fe.pending_branch() {
+                fe.resolve_branch(seq, now);
+            }
+            if fe.drained() {
+                break;
+            }
+        }
+        assert!(fe.drained());
+        let expected: Vec<u64> = (0..records.len() as u64).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn signature_reflects_upcoming_branch_predictions() {
+        let (records, cfg) = setup(5);
+        let mut fe = Frontend::new(&cfg, &records);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut stats = PipelineStats::default();
+        // Fetch for a while to accumulate branch predictions.
+        for now in 0..200 {
+            fe.fetch(now, &mut mem, &mut stats);
+            if let Some(seq) = fe.pending_branch() {
+                fe.resolve_branch(seq, now);
+            }
+        }
+        // Instruction 0's signature covers fetched branches after it.
+        let sig = fe.signature(0, 4);
+        assert!(!sig.is_empty(), "at least one branch prediction visible");
+    }
+
+    #[test]
+    fn mispredict_blocks_fetch_until_resolved() {
+        let (records, cfg) = setup(8);
+        let mut fe = Frontend::new(&cfg, &records);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut stats = PipelineStats::default();
+        let mut now = 0;
+        // Fetch until the first mispredict appears.
+        while fe.pending_branch().is_none() {
+            fe.fetch(now, &mut mem, &mut stats);
+            now += 1;
+            assert!(now < 1000, "expected a mispredict eventually");
+        }
+        let buffered = fe.buffer.len();
+        fe.fetch(now, &mut mem, &mut stats);
+        assert_eq!(fe.buffer.len(), buffered, "no fetch while pending");
+        let seq = fe.pending_branch().unwrap();
+        fe.resolve_branch(seq, now);
+        assert!(fe.pending_branch().is_none());
+        // Still stalled for the redirect penalty.
+        fe.fetch(now + 1, &mut mem, &mut stats);
+        assert_eq!(fe.buffer.len(), buffered);
+        fe.fetch(now + 1 + u64::from(cfg.mispredict_penalty), &mut mem, &mut stats);
+        assert!(fe.buffer.len() > buffered, "fetch resumed after penalty");
+    }
+
+    #[test]
+    fn mispredicts_counted() {
+        let (records, cfg) = setup(50);
+        let mut fe = Frontend::new(&cfg, &records);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut stats = PipelineStats::default();
+        for now in 0..100_000 {
+            fe.fetch(now, &mut mem, &mut stats);
+            while let Some(seq) = fe.peek_ready(now) {
+                fe.pop(seq);
+            }
+            if let Some(seq) = fe.pending_branch() {
+                fe.resolve_branch(seq, now);
+            }
+            if fe.drained() {
+                break;
+            }
+        }
+        // The loop branch mispredicts at least on the final iteration.
+        assert!(stats.branch_mispredicts >= 1);
+        assert!(fe.drained());
+    }
+}

@@ -1,0 +1,121 @@
+//! Issue queue with oldest-first select.
+
+use crate::fu::FuClass;
+use crate::regfile::{PhysReg, PhysRegFile};
+
+/// One issue-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IqEntry {
+    /// Dynamic sequence number (also the age for oldest-first select).
+    pub(crate) seq: u64,
+    /// Source physical registers still awaited.
+    pub(crate) srcs: [Option<PhysReg>; 2],
+    /// Function-unit class.
+    pub(crate) fu: FuClass,
+    /// Whether the entry is a load (subject to memory ordering).
+    pub(crate) is_load: bool,
+    /// Destination physical register, when the instruction writes one.
+    pub(crate) dest: Option<PhysReg>,
+}
+
+impl IqEntry {
+    /// Whether all source operands are available.
+    pub(crate) fn ready(&self, regs: &PhysRegFile) -> bool {
+        self.srcs
+            .iter()
+            .flatten()
+            .all(|&p| regs.is_ready(p))
+    }
+}
+
+/// A unified, capacity-bounded issue queue.
+///
+/// Entries are kept in age order (insertion order equals program order), so
+/// a linear scan implements oldest-first select.
+#[derive(Debug, Clone)]
+pub(crate) struct IssueQueue {
+    entries: Vec<IqEntry>,
+    capacity: usize,
+}
+
+impl IssueQueue {
+    pub(crate) fn new(capacity: usize) -> IssueQueue {
+        assert!(capacity > 0, "issue queue needs at least one entry");
+        IssueQueue { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn push(&mut self, entry: IqEntry) {
+        debug_assert!(!self.is_full(), "pushed into a full issue queue");
+        debug_assert!(
+            self.entries.last().is_none_or(|last| last.seq < entry.seq),
+            "issue queue must stay age-ordered"
+        );
+        self.entries.push(entry);
+    }
+
+    /// Entries in age order, for the select loop.
+    pub(crate) fn entries(&self) -> &[IqEntry] {
+        &self.entries
+    }
+
+    /// Removes the issued entries (by their positions in [`Self::entries`],
+    /// strictly increasing).
+    pub(crate) fn remove_issued(&mut self, positions: &[usize]) {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        for &pos in positions.iter().rev() {
+            self.entries.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, srcs: [Option<PhysReg>; 2]) -> IqEntry {
+        IqEntry { seq, srcs, fu: FuClass::Alu, is_load: false, dest: None }
+    }
+
+    #[test]
+    fn readiness_tracks_regfile() {
+        let mut regs = PhysRegFile::new(40, 32);
+        let p = regs.alloc().unwrap();
+        let e = entry(0, [Some(p), Some(PhysReg(3))]);
+        assert!(!e.ready(&regs));
+        regs.set_ready(p);
+        assert!(e.ready(&regs));
+    }
+
+    #[test]
+    fn no_sources_is_always_ready() {
+        let regs = PhysRegFile::new(40, 32);
+        assert!(entry(0, [None, None]).ready(&regs));
+    }
+
+    #[test]
+    fn oldest_first_order_preserved() {
+        let mut iq = IssueQueue::new(4);
+        iq.push(entry(1, [None, None]));
+        iq.push(entry(5, [None, None]));
+        iq.push(entry(9, [None, None]));
+        iq.remove_issued(&[0, 2]);
+        assert_eq!(iq.len(), 1);
+        assert_eq!(iq.entries()[0].seq, 5);
+    }
+
+    #[test]
+    fn capacity() {
+        let mut iq = IssueQueue::new(1);
+        assert!(!iq.is_full());
+        iq.push(entry(0, [None, None]));
+        assert!(iq.is_full());
+    }
+}

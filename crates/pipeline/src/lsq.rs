@@ -1,0 +1,150 @@
+//! Load and store queues with oracle memory disambiguation.
+//!
+//! The trace supplies every access address at dispatch time, so
+//! disambiguation is exact ("oracle"): a load may issue once every older
+//! overlapping store has executed (its address and data are known). This is
+//! a common simulator idealization; see DESIGN.md's substitution table.
+
+use std::collections::VecDeque;
+
+use dide_emu::MemAccess;
+
+/// One store-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StoreEntry {
+    pub(crate) seq: u64,
+    pub(crate) mem: MemAccess,
+    /// Address and data available (store has executed).
+    pub(crate) executed: bool,
+}
+
+/// Split load/store queues.
+#[derive(Debug, Clone)]
+pub(crate) struct LoadStoreQueues {
+    loads: VecDeque<u64>,
+    stores: VecDeque<StoreEntry>,
+    lq_capacity: usize,
+    sq_capacity: usize,
+}
+
+impl LoadStoreQueues {
+    pub(crate) fn new(lq_capacity: usize, sq_capacity: usize) -> LoadStoreQueues {
+        assert!(lq_capacity > 0 && sq_capacity > 0, "LSQ needs capacity");
+        LoadStoreQueues {
+            loads: VecDeque::new(),
+            stores: VecDeque::new(),
+            lq_capacity,
+            sq_capacity,
+        }
+    }
+
+    pub(crate) fn lq_full(&self) -> bool {
+        self.loads.len() == self.lq_capacity
+    }
+
+    pub(crate) fn sq_full(&self) -> bool {
+        self.stores.len() == self.sq_capacity
+    }
+
+    pub(crate) fn push_load(&mut self, seq: u64) {
+        debug_assert!(!self.lq_full());
+        self.loads.push_back(seq);
+    }
+
+    pub(crate) fn push_store(&mut self, seq: u64, mem: MemAccess) {
+        debug_assert!(!self.sq_full());
+        self.stores.push_back(StoreEntry { seq, mem, executed: false });
+    }
+
+    /// Marks the store with sequence `seq` as executed.
+    pub(crate) fn store_executed(&mut self, seq: u64) {
+        if let Some(e) = self.stores.iter_mut().find(|e| e.seq == seq) {
+            e.executed = true;
+        }
+    }
+
+    /// Whether the load with sequence `seq` may issue: every older store
+    /// whose access overlaps has executed.
+    pub(crate) fn load_may_issue(&self, seq: u64, mem: MemAccess) -> bool {
+        self.stores
+            .iter()
+            .take_while(|s| s.seq < seq)
+            .all(|s| s.executed || !s.mem.overlaps(mem))
+    }
+
+    /// Whether the load would be forwarded from an executed, older,
+    /// overlapping store still in the queue.
+    pub(crate) fn load_forwards(&self, seq: u64, mem: MemAccess) -> bool {
+        self.stores
+            .iter()
+            .take_while(|s| s.seq < seq)
+            .any(|s| s.executed && s.mem.overlaps(mem))
+    }
+
+    /// Retires the oldest load (at commit).
+    pub(crate) fn pop_load(&mut self, seq: u64) {
+        debug_assert_eq!(self.loads.front(), Some(&seq), "loads retire in order");
+        self.loads.pop_front();
+    }
+
+    /// Retires the oldest store (at commit).
+    pub(crate) fn pop_store(&mut self, seq: u64) {
+        debug_assert_eq!(
+            self.stores.front().map(|e| e.seq),
+            Some(seq),
+            "stores retire in order"
+        );
+        self.stores.pop_front();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_isa::MemWidth;
+
+    fn acc(addr: u64, width: MemWidth) -> MemAccess {
+        MemAccess { addr, width }
+    }
+
+    #[test]
+    fn load_waits_for_overlapping_older_store() {
+        let mut lsq = LoadStoreQueues::new(4, 4);
+        lsq.push_store(1, acc(0x100, MemWidth::B8));
+        lsq.push_load(2);
+        assert!(!lsq.load_may_issue(2, acc(0x104, MemWidth::B4)));
+        lsq.store_executed(1);
+        assert!(lsq.load_may_issue(2, acc(0x104, MemWidth::B4)));
+        assert!(lsq.load_forwards(2, acc(0x104, MemWidth::B4)));
+    }
+
+    #[test]
+    fn disjoint_store_does_not_block() {
+        let mut lsq = LoadStoreQueues::new(4, 4);
+        lsq.push_store(1, acc(0x100, MemWidth::B8));
+        lsq.push_load(2);
+        assert!(lsq.load_may_issue(2, acc(0x200, MemWidth::B8)));
+        assert!(!lsq.load_forwards(2, acc(0x200, MemWidth::B8)));
+    }
+
+    #[test]
+    fn younger_store_is_ignored() {
+        let mut lsq = LoadStoreQueues::new(4, 4);
+        lsq.push_load(1);
+        lsq.push_store(2, acc(0x100, MemWidth::B8));
+        assert!(lsq.load_may_issue(1, acc(0x100, MemWidth::B8)));
+    }
+
+    #[test]
+    fn capacity_and_retirement() {
+        let mut lsq = LoadStoreQueues::new(1, 1);
+        lsq.push_load(1);
+        assert!(lsq.lq_full());
+        lsq.push_store(2, acc(0x0, MemWidth::B1));
+        assert!(lsq.sq_full());
+        lsq.pop_load(1);
+        lsq.pop_store(2);
+        assert!(!lsq.lq_full());
+        assert!(!lsq.sq_full());
+    }
+}

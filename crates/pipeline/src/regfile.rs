@@ -1,0 +1,105 @@
+//! Physical register file with a free list and ready bits.
+
+/// Index of a physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct PhysReg(pub(crate) u16);
+
+/// The physical register file: a free list plus per-register ready bits.
+///
+/// The first 32 physical registers are pre-allocated to the architectural
+/// registers at reset and marked ready; the remainder form the free list.
+/// Rename stalls when the free list is empty — the contention that
+/// dead-instruction elimination relieves (experiment E9).
+#[derive(Debug, Clone)]
+pub(crate) struct PhysRegFile {
+    free: Vec<PhysReg>,
+    ready: Vec<bool>,
+}
+
+impl PhysRegFile {
+    /// Creates a register file with `total` physical registers, the first
+    /// `reserved` of which are pre-allocated and ready.
+    pub(crate) fn new(total: usize, reserved: usize) -> PhysRegFile {
+        assert!(total > reserved, "need more than {reserved} physical registers");
+        assert!(total <= u16::MAX as usize, "physical register file too large");
+        let free = (reserved..total).rev().map(|i| PhysReg(i as u16)).collect();
+        let mut ready = vec![false; total];
+        ready[..reserved].fill(true);
+        PhysRegFile { free, ready }
+    }
+
+    /// Allocates a register (not ready), or `None` if the free list is
+    /// empty.
+    pub(crate) fn alloc(&mut self) -> Option<PhysReg> {
+        let p = self.free.pop()?;
+        self.ready[p.0 as usize] = false;
+        Some(p)
+    }
+
+    /// Returns a register to the free list.
+    pub(crate) fn free(&mut self, p: PhysReg) {
+        debug_assert!(
+            !self.free.contains(&p),
+            "double free of physical register {p:?}"
+        );
+        self.free.push(p);
+    }
+
+    /// Marks a register's value as available.
+    pub(crate) fn set_ready(&mut self, p: PhysReg) {
+        self.ready[p.0 as usize] = true;
+    }
+
+    /// Whether a register's value is available.
+    pub(crate) fn is_ready(&self, p: PhysReg) -> bool {
+        self.ready[p.0 as usize]
+    }
+
+    /// Registers currently on the free list.
+    pub(crate) fn free_count(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_cycle() {
+        let mut rf = PhysRegFile::new(40, 32);
+        assert_eq!(rf.free_count(), 8);
+        let p = rf.alloc().unwrap();
+        assert!(!rf.is_ready(p));
+        rf.set_ready(p);
+        assert!(rf.is_ready(p));
+        rf.free(p);
+        assert_eq!(rf.free_count(), 8);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = PhysRegFile::new(34, 32);
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_none());
+    }
+
+    #[test]
+    fn reserved_registers_start_ready() {
+        let rf = PhysRegFile::new(40, 32);
+        for i in 0..32 {
+            assert!(rf.is_ready(PhysReg(i)));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_caught_in_debug() {
+        let mut rf = PhysRegFile::new(34, 32);
+        let p = rf.alloc().unwrap();
+        rf.free(p);
+        rf.free(p);
+    }
+}

@@ -1,0 +1,71 @@
+//! The register rename map, including dead-tag mappings.
+
+use dide_isa::Reg;
+
+use crate::regfile::PhysReg;
+
+/// What an architectural register currently maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mapping {
+    /// A physical register holding (or about to hold) the value.
+    Phys(PhysReg),
+    /// The value was produced by an *eliminated* (predicted-dead)
+    /// instruction with this sequence number and does not exist. Reading
+    /// this mapping is a dead-prediction violation.
+    Dead(u64),
+}
+
+/// Architectural-to-physical register map.
+#[derive(Debug, Clone)]
+pub(crate) struct RenameMap {
+    map: [Mapping; Reg::COUNT],
+}
+
+impl RenameMap {
+    /// Identity-maps the architectural registers onto the first 32 physical
+    /// registers.
+    pub(crate) fn new() -> RenameMap {
+        let mut map = [Mapping::Phys(PhysReg(0)); Reg::COUNT];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = Mapping::Phys(PhysReg(i as u16));
+        }
+        RenameMap { map }
+    }
+
+    /// Current mapping of `r`.
+    ///
+    /// The zero register never appears here: [`dide_isa::Inst::sources`]
+    /// and [`dide_isa::Inst::dest`] filter it out.
+    pub(crate) fn get(&self, r: Reg) -> Mapping {
+        debug_assert!(!r.is_zero(), "zero register is never renamed");
+        self.map[r.index()]
+    }
+
+    /// Rebinds `r`, returning the previous mapping (to be freed when the
+    /// new binding commits).
+    pub(crate) fn set(&mut self, r: Reg, m: Mapping) -> Mapping {
+        debug_assert!(!r.is_zero(), "zero register is never renamed");
+        std::mem::replace(&mut self.map[r.index()], m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_reset() {
+        let m = RenameMap::new();
+        assert_eq!(m.get(Reg::T0), Mapping::Phys(PhysReg(Reg::T0.number() as u16)));
+    }
+
+    #[test]
+    fn set_returns_previous() {
+        let mut m = RenameMap::new();
+        let prev = m.set(Reg::T0, Mapping::Dead(42));
+        assert_eq!(prev, Mapping::Phys(PhysReg(10)));
+        assert_eq!(m.get(Reg::T0), Mapping::Dead(42));
+        let prev = m.set(Reg::T0, Mapping::Phys(PhysReg(50)));
+        assert_eq!(prev, Mapping::Dead(42));
+    }
+}

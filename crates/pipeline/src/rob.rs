@@ -1,0 +1,141 @@
+//! Reorder buffer.
+
+use dide_isa::Reg;
+use dide_predictor::future::CfSignature;
+
+use crate::rename::Mapping;
+
+/// Destination bookkeeping for a renamed instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DestInfo {
+    /// Architectural destination (kept for diagnostics and future
+    /// squash-based recovery).
+    #[allow(dead_code)]
+    pub(crate) arch: Reg,
+    /// The new mapping installed at rename (kept for diagnostics and future
+    /// squash-based recovery).
+    #[allow(dead_code)]
+    pub(crate) new: Mapping,
+    /// The mapping displaced at rename (freed when this entry commits, if
+    /// physical).
+    pub(crate) prev: Mapping,
+}
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone)]
+pub(crate) struct RobEntry {
+    /// Dynamic sequence number (trace position).
+    pub(crate) seq: u64,
+    /// Destination bookkeeping, when the instruction writes a register.
+    pub(crate) dest: Option<DestInfo>,
+    /// Whether the instruction was eliminated as predicted-dead.
+    pub(crate) eliminated: bool,
+    /// Whether execution has completed (eliminated entries complete
+    /// immediately).
+    pub(crate) completed: bool,
+    /// Whether the instruction is a store.
+    pub(crate) is_store: bool,
+    /// Whether the instruction is a conditional branch.
+    pub(crate) is_cond_branch: bool,
+    /// Whether this instance was eligible for dead prediction under the
+    /// active policy (drives commit-time training).
+    pub(crate) eligible: bool,
+    /// CFI signature captured at rename (for commit-time training).
+    pub(crate) signature: CfSignature,
+}
+
+/// A bounded in-order reorder buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct Rob {
+    entries: std::collections::VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl Rob {
+    pub(crate) fn new(capacity: usize) -> Rob {
+        assert!(capacity > 0, "ROB needs at least one entry");
+        Rob { entries: std::collections::VecDeque::with_capacity(capacity), capacity }
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn push(&mut self, entry: RobEntry) {
+        debug_assert!(!self.is_full(), "pushed into a full ROB");
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest entry, if any.
+    pub(crate) fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry.
+    pub(crate) fn pop(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Marks the entry with sequence number `seq` as completed.
+    pub(crate) fn complete(&mut self, seq: u64) {
+        // Entries are seq-ordered; binary search by seq.
+        let front = self.entries.front().expect("completion for an empty ROB").seq;
+        let idx = (seq - front) as usize;
+        debug_assert_eq!(self.entries[idx].seq, seq, "ROB seqs must be dense");
+        self.entries[idx].completed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry {
+            seq,
+            dest: None,
+            eliminated: false,
+            completed: false,
+            is_store: false,
+            is_cond_branch: false,
+            eligible: false,
+            signature: CfSignature::empty(),
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        assert_eq!(rob.head().unwrap().seq, 0);
+        assert_eq!(rob.pop().unwrap().seq, 0);
+        assert_eq!(rob.pop().unwrap().seq, 1);
+        assert!(rob.head().is_none());
+    }
+
+    #[test]
+    fn capacity_tracking() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(0));
+        assert!(!rob.is_full());
+        rob.push(entry(1));
+        assert!(rob.is_full());
+    }
+
+    #[test]
+    fn complete_by_seq() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(10));
+        rob.push(entry(11));
+        rob.push(entry(12));
+        rob.complete(11);
+        assert!(!rob.head().unwrap().completed);
+        rob.pop();
+        assert!(rob.head().unwrap().completed);
+    }
+}

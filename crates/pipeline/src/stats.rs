@@ -1,0 +1,254 @@
+//! Pipeline statistics and resource-savings accounting.
+
+use std::fmt;
+
+use dide_mem::HierarchyStats;
+
+/// Resource-utilization deltas attributable to dead-instruction
+/// elimination — the quantities behind the paper's ">5% average reduction"
+/// claim (experiment E8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceSavings {
+    /// Physical-register allocations avoided (each implies a matching free
+    /// avoided later).
+    pub phys_allocs_saved: u64,
+    /// Register-file read ports not consumed.
+    pub rf_reads_saved: u64,
+    /// Register-file write ports not consumed.
+    pub rf_writes_saved: u64,
+    /// D-cache accesses avoided (eliminated loads and stores).
+    pub dcache_accesses_saved: u64,
+    /// Issue-queue slots never occupied.
+    pub iq_slots_saved: u64,
+}
+
+/// Counters for one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Physical registers allocated at rename.
+    pub phys_allocs: u64,
+    /// Physical registers returned to the free list at commit.
+    pub phys_frees: u64,
+    /// Register-file reads performed by executing instructions.
+    pub rf_reads: u64,
+    /// Register-file writes performed by completing instructions.
+    pub rf_writes: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub branch_mispredicts: u64,
+    /// Taken control transfers whose target missed the BTB.
+    pub btb_misses: u64,
+    /// Dynamic instructions predicted dead at rename.
+    pub dead_predicted: u64,
+    /// Of those, instructions the oracle also labels dead.
+    pub dead_predicted_correct: u64,
+    /// Dead-tag reads (each charged the violation penalty).
+    pub dead_violations: u64,
+    /// Oracle-dead instructions that committed (eliminated or not).
+    pub oracle_dead_committed: u64,
+    /// Cycles rename stalled for a full ROB.
+    pub rob_full_stalls: u64,
+    /// Cycles rename stalled for a full issue queue.
+    pub iq_full_stalls: u64,
+    /// Cycles rename stalled for an empty free list.
+    pub no_phys_stalls: u64,
+    /// Cycles rename stalled for a full load or store queue.
+    pub lsq_full_stalls: u64,
+    /// Cycles fetch was blocked (mispredict redirects, I-cache misses,
+    /// full fetch buffer).
+    pub fetch_stall_cycles: u64,
+    /// Sum over cycles of ROB occupancy (divide by cycles for the mean).
+    pub rob_occupancy_sum: u64,
+    /// Sum over cycles of issue-queue occupancy.
+    pub iq_occupancy_sum: u64,
+    /// Sum over cycles of allocated (non-free) rename registers beyond the
+    /// architectural 32.
+    pub phys_used_sum: u64,
+    /// Savings attributable to elimination.
+    pub savings: ResourceSavings,
+    /// Cache-hierarchy counters.
+    pub memory: HierarchyStats,
+}
+
+impl PipelineStats {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch prediction accuracy.
+    #[must_use]
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Precision of acted-on dead predictions.
+    #[must_use]
+    pub fn elimination_accuracy(&self) -> f64 {
+        if self.dead_predicted == 0 {
+            1.0
+        } else {
+            self.dead_predicted_correct as f64 / self.dead_predicted as f64
+        }
+    }
+
+    /// Fraction of oracle-dead committed instructions that were eliminated.
+    #[must_use]
+    pub fn elimination_coverage(&self) -> f64 {
+        if self.oracle_dead_committed == 0 {
+            0.0
+        } else {
+            self.dead_predicted_correct as f64 / self.oracle_dead_committed as f64
+        }
+    }
+
+    /// Relative reduction of a resource against its no-elimination usage:
+    /// `saved / (used + saved)`.
+    #[must_use]
+    pub fn reduction(used: u64, saved: u64) -> f64 {
+        if used + saved == 0 {
+            0.0
+        } else {
+            saved as f64 / (used + saved) as f64
+        }
+    }
+
+    /// Mean reorder-buffer occupancy per cycle.
+    #[must_use]
+    pub fn mean_rob_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rob_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean issue-queue occupancy per cycle.
+    #[must_use]
+    pub fn mean_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean rename registers in use (beyond the architectural 32) per
+    /// cycle.
+    #[must_use]
+    pub fn mean_phys_used(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.phys_used_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles {} | committed {} | IPC {:.3}", self.cycles, self.committed, self.ipc())?;
+        writeln!(
+            f,
+            "branches {} ({:.2}% accurate) | BTB misses {}",
+            self.branches,
+            100.0 * self.branch_accuracy(),
+            self.btb_misses
+        )?;
+        writeln!(
+            f,
+            "phys allocs {} | RF r/w {}/{} | stalls rob/iq/phys/lsq {}/{}/{}/{}",
+            self.phys_allocs,
+            self.rf_reads,
+            self.rf_writes,
+            self.rob_full_stalls,
+            self.iq_full_stalls,
+            self.no_phys_stalls,
+            self.lsq_full_stalls
+        )?;
+        writeln!(
+            f,
+            "eliminated {} ({:.2}% accurate, {:.2}% coverage) | violations {}",
+            self.dead_predicted,
+            100.0 * self.elimination_accuracy(),
+            100.0 * self.elimination_coverage(),
+            self.dead_violations
+        )?;
+        writeln!(
+            f,
+            "mean occupancy: rob {:.1} | iq {:.1} | rename regs {:.1}",
+            self.mean_rob_occupancy(),
+            self.mean_iq_occupancy(),
+            self.mean_phys_used()
+        )?;
+        write!(
+            f,
+            "saved: {} allocs, {}/{} RF r/w, {} D$ accesses, {} IQ slots",
+            self.savings.phys_allocs_saved,
+            self.savings.rf_reads_saved,
+            self.savings.rf_writes_saved,
+            self.savings.dcache_accesses_saved,
+            self.savings.iq_slots_saved
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_accuracy() {
+        let s = PipelineStats {
+            cycles: 100,
+            committed: 250,
+            branches: 10,
+            branch_mispredicts: 1,
+            dead_predicted: 20,
+            dead_predicted_correct: 19,
+            oracle_dead_committed: 38,
+            ..PipelineStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.branch_accuracy() - 0.9).abs() < 1e-12);
+        assert!((s.elimination_accuracy() - 0.95).abs() < 1e-12);
+        assert!((s.elimination_coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics() {
+        let s = PipelineStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.branch_accuracy(), 1.0);
+        assert_eq!(s.elimination_accuracy(), 1.0);
+        assert_eq!(s.elimination_coverage(), 0.0);
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert!((PipelineStats::reduction(95, 5) - 0.05).abs() < 1e-12);
+        assert_eq!(PipelineStats::reduction(0, 0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let text = PipelineStats::default().to_string();
+        assert!(text.contains("IPC"));
+        assert!(text.contains("eliminated"));
+        assert!(text.contains("saved"));
+    }
+}

@@ -1,0 +1,93 @@
+//! PC-indexed bimodal direction predictor.
+
+use super::{BranchPredictor, Counter2};
+use crate::budget::StateBudget;
+
+/// A classic bimodal predictor: one 2-bit counter per PC-indexed entry.
+#[derive(Debug, Clone)]
+pub struct BimodalBranch {
+    table: Vec<Counter2>,
+    mask: u32,
+}
+
+impl BimodalBranch {
+    /// Creates a predictor with `2^log2_entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` exceeds 24 (a 16 M-entry table is beyond any
+    /// plausible hardware budget and almost certainly a configuration bug).
+    #[must_use]
+    pub fn new(log2_entries: u32) -> BimodalBranch {
+        assert!(log2_entries <= 24, "bimodal table too large: 2^{log2_entries}");
+        let entries = 1usize << log2_entries;
+        BimodalBranch {
+            table: vec![Counter2::weakly_taken(); entries],
+            mask: (entries - 1) as u32,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        (pc & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for BimodalBranch {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+    }
+
+    fn budget(&self) -> StateBudget {
+        StateBudget::from_entries(self.table.len() as u64, 2)
+    }
+
+    fn name(&self) -> String {
+        format!("bimodal-{}", self.table.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut p = BimodalBranch::new(4);
+        for _ in 0..4 {
+            p.update(5, true);
+        }
+        assert!(p.predict(5));
+        for _ in 0..4 {
+            p.update(5, false);
+        }
+        assert!(!p.predict(5));
+    }
+
+    #[test]
+    fn entries_alias_by_mask() {
+        let mut p = BimodalBranch::new(2); // 4 entries
+        for _ in 0..4 {
+            p.update(1, false);
+        }
+        // pc 5 aliases to the same entry as pc 1.
+        assert!(!p.predict(5));
+    }
+
+    #[test]
+    fn budget_is_two_bits_per_entry() {
+        let p = BimodalBranch::new(10);
+        assert_eq!(p.budget().bits(), 2048);
+        assert_eq!(p.name(), "bimodal-1024");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_table_panics() {
+        let _ = BimodalBranch::new(25);
+    }
+}

@@ -1,0 +1,149 @@
+//! Branch target buffer.
+
+use crate::budget::StateBudget;
+
+/// Configuration of a set-associative [`Btb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl Default for BtbConfig {
+    fn default() -> Self {
+        BtbConfig { sets: 128, ways: 4 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    tag: u32,
+    target: u32,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative branch target buffer mapping branch PCs to predicted
+/// targets.
+///
+/// The frontend can only redirect fetch on a predicted-taken branch if the
+/// BTB knows the target; a BTB miss on a taken branch costs a misfetch
+/// (modeled by the pipeline as a short redirect penalty).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    config: BtbConfig,
+    entries: Vec<Option<BtbEntry>>,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    #[must_use]
+    pub fn new(config: BtbConfig) -> Btb {
+        assert!(config.sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(config.ways > 0, "BTB needs at least one way");
+        Btb { config, entries: vec![None; config.sets * config.ways], tick: 0 }
+    }
+
+    fn set_range(&self, pc: u32) -> std::ops::Range<usize> {
+        let set = (pc as usize) & (self.config.sets - 1);
+        let start = set * self.config.ways;
+        start..start + self.config.ways
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u32) -> Option<u32> {
+        self.tick += 1;
+        let range = self.set_range(pc);
+        let tick = self.tick;
+        for e in self.entries[range].iter_mut().flatten() {
+            if e.tag == pc {
+                e.lru = tick;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Installs or refreshes the target for the branch at `pc`.
+    pub fn insert(&mut self, pc: u32, target: u32) {
+        self.tick += 1;
+        let range = self.set_range(pc);
+        let tick = self.tick;
+        // Hit: update in place.
+        for e in self.entries[range.clone()].iter_mut().flatten() {
+            if e.tag == pc {
+                e.target = target;
+                e.lru = tick;
+                return;
+            }
+        }
+        // Miss: fill an empty way or evict LRU.
+        let victim = self.entries[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, slot)| slot.map_or(0, |e| e.lru))
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        self.entries[range][victim] = Some(BtbEntry { tag: pc, target, lru: tick });
+    }
+
+    /// Hardware state: tag + target + LRU bits per entry (approximated as
+    /// 32 + 32 + 2 bits).
+    #[must_use]
+    pub fn budget(&self) -> StateBudget {
+        StateBudget::from_entries(self.entries.len() as u64, 66)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(BtbConfig { sets: 4, ways: 2 });
+        assert_eq!(btb.lookup(100), None);
+        btb.insert(100, 7);
+        assert_eq!(btb.lookup(100), Some(7));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut btb = Btb::new(BtbConfig::default());
+        btb.insert(100, 7);
+        btb.insert(100, 9);
+        assert_eq!(btb.lookup(100), Some(9));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut btb = Btb::new(BtbConfig { sets: 1, ways: 2 });
+        btb.insert(1, 11);
+        btb.insert(2, 22);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(btb.lookup(1), Some(11));
+        btb.insert(3, 33);
+        assert_eq!(btb.lookup(2), None, "2 should have been evicted");
+        assert_eq!(btb.lookup(1), Some(11));
+        assert_eq!(btb.lookup(3), Some(33));
+    }
+
+    #[test]
+    fn budget_scales_with_entries() {
+        let btb = Btb::new(BtbConfig { sets: 128, ways: 4 });
+        assert_eq!(btb.budget().bits(), 512 * 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        let _ = Btb::new(BtbConfig { sets: 3, ways: 1 });
+    }
+}

@@ -1,0 +1,142 @@
+//! Branch-direction predictors, branch target buffer, return-address stack.
+//!
+//! The dead-instruction predictor leans on branch prediction twice: the
+//! pipeline frontend uses it to follow the predicted path, and the CFI
+//! signature (see [`crate::future`]) is assembled from the *predicted*
+//! directions of upcoming branches, so branch-prediction quality bounds
+//! dead-prediction quality (experiment E7).
+
+mod bimodal;
+mod btb;
+mod gshare;
+mod ras;
+mod target_cache;
+
+pub use bimodal::BimodalBranch;
+pub use btb::{Btb, BtbConfig};
+pub use gshare::Gshare;
+pub use ras::ReturnAddressStack;
+pub use target_cache::{TargetCache, TargetCacheConfig};
+
+use crate::budget::StateBudget;
+
+/// A conditional-branch direction predictor.
+///
+/// `pc` is the static instruction index of the branch. Implementations are
+/// updated with the resolved direction via [`BranchPredictor::update`];
+/// callers must call `predict` before `update` for each dynamic branch, in
+/// program order.
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc` (`true` = taken).
+    fn predict(&mut self, pc: u32) -> bool;
+
+    /// Trains the predictor with the branch's resolved direction.
+    fn update(&mut self, pc: u32, taken: bool);
+
+    /// Hardware state used by the predictor.
+    fn budget(&self) -> StateBudget;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// A perfect direction predictor, for limit studies (oracle CFI in E7).
+///
+/// `predict` replays a queue of oracle outcomes pushed by the caller via
+/// [`PerfectBranch::provide`] before each prediction.
+#[derive(Debug, Default)]
+pub struct PerfectBranch {
+    next: std::collections::VecDeque<bool>,
+}
+
+impl PerfectBranch {
+    /// Creates an empty perfect predictor.
+    #[must_use]
+    pub fn new() -> PerfectBranch {
+        PerfectBranch::default()
+    }
+
+    /// Supplies the actual outcome of the next branch to be predicted.
+    pub fn provide(&mut self, taken: bool) {
+        self.next.push_back(taken);
+    }
+}
+
+impl BranchPredictor for PerfectBranch {
+    fn predict(&mut self, _pc: u32) -> bool {
+        self.next.pop_front().expect("PerfectBranch::provide must precede predict")
+    }
+
+    fn update(&mut self, _pc: u32, _taken: bool) {}
+
+    fn budget(&self) -> StateBudget {
+        StateBudget::from_bits(0)
+    }
+
+    fn name(&self) -> String {
+        "perfect".to_string()
+    }
+}
+
+/// A 2-bit saturating counter, the building block of direction predictors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Counter2(u8);
+
+impl Counter2 {
+    /// Weakly-taken initial state.
+    pub(crate) fn weakly_taken() -> Counter2 {
+        Counter2(2)
+    }
+
+    pub(crate) fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    pub(crate) fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter2_saturates() {
+        let mut c = Counter2::default();
+        assert!(!c.taken());
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert!(c.taken());
+        c.train(false);
+        assert!(c.taken()); // hysteresis: 3 -> 2 still predicts taken
+        c.train(false);
+        assert!(!c.taken());
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert!(!c.taken());
+    }
+
+    #[test]
+    fn perfect_branch_replays_provided_outcomes() {
+        let mut p = PerfectBranch::new();
+        p.provide(true);
+        p.provide(false);
+        assert!(p.predict(0));
+        assert!(!p.predict(0));
+        assert_eq!(p.budget().bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "provide must precede")]
+    fn perfect_branch_requires_provide() {
+        let mut p = PerfectBranch::new();
+        let _ = p.predict(0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Return-address stack.
+
+use crate::budget::StateBudget;
+
+/// A bounded return-address stack.
+///
+/// `jal`-with-link pushes the return index; a return (`jalr` through `ra`)
+/// pops the prediction. Overflow wraps (oldest entry is lost), like real
+/// hardware.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    slots: Vec<u32>,
+    top: usize,
+    len: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(depth: usize) -> ReturnAddressStack {
+        assert!(depth > 0, "RAS needs at least one entry");
+        ReturnAddressStack { slots: vec![0; depth], top: 0, len: 0 }
+    }
+
+    /// Pushes a return address, overwriting the oldest entry when full.
+    pub fn push(&mut self, return_index: u32) {
+        self.top = (self.top + 1) % self.slots.len();
+        self.slots[self.top] = return_index;
+        self.len = (self.len + 1).min(self.slots.len());
+    }
+
+    /// Pops the predicted return address (`None` when empty).
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.slots[self.top];
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Current number of valid entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stack is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Hardware state: 32 bits per slot.
+    #[must_use]
+    pub fn budget(&self) -> StateBudget {
+        StateBudget::from_entries(self.slots.len() as u64, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(1);
+        ras.push(2);
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // evicts 1
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut ras = ReturnAddressStack::new(2);
+        assert!(ras.is_empty());
+        ras.push(5);
+        assert!(!ras.is_empty());
+    }
+
+    #[test]
+    fn budget() {
+        assert_eq!(ReturnAddressStack::new(16).budget().bits(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_depth_panics() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! History-based indirect-jump target predictor (a "target cache" in the
+//! style of Chang, Hao & Patt, 1997).
+
+use crate::budget::StateBudget;
+
+/// Configuration of a [`TargetCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetCacheConfig {
+    /// `log2` of the number of table entries.
+    pub log2_entries: u32,
+    /// Tag bits per entry.
+    pub tag_bits: u8,
+    /// Bits of folded target history used in the index.
+    pub history_bits: u32,
+}
+
+impl Default for TargetCacheConfig {
+    fn default() -> Self {
+        TargetCacheConfig { log2_entries: 9, tag_bits: 8, history_bits: 9 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tag: u16,
+    target: u32,
+}
+
+/// Predicts indirect-jump targets from the jump PC *and* a folded history
+/// of recent targets.
+///
+/// A plain BTB predicts "same target as last time", which fails on
+/// interpreter dispatch loops where consecutive executions of the same
+/// `jalr` go to different handlers. Folding recent targets into the index
+/// lets the table learn the dispatch *sequence* — both improving frontend
+/// redirects and providing a meaningful predicted-target event for
+/// jump-aware CFI signatures (experiment E13).
+///
+/// # Example
+///
+/// ```
+/// use dide_predictor::branch::TargetCache;
+///
+/// let mut cache = TargetCache::default();
+/// // A jump alternating between two targets: learnable through history.
+/// for i in 0..200u32 {
+///     cache.update(7, if i % 2 == 0 { 100 } else { 200 });
+/// }
+/// assert_eq!(cache.predict(7), Some(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TargetCache {
+    config: TargetCacheConfig,
+    table: Vec<Option<Entry>>,
+    history: u32,
+    index_mask: u32,
+    tag_mask: u16,
+}
+
+impl TargetCache {
+    /// Creates an empty target cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries > 20` or `tag_bits > 16`.
+    #[must_use]
+    pub fn new(config: TargetCacheConfig) -> TargetCache {
+        assert!(config.log2_entries <= 20, "target cache too large");
+        assert!(config.tag_bits <= 16, "tag too wide");
+        let entries = 1usize << config.log2_entries;
+        TargetCache {
+            config,
+            table: vec![None; entries],
+            history: 0,
+            index_mask: (entries - 1) as u32,
+            tag_mask: if config.tag_bits == 0 {
+                0
+            } else {
+                ((1u32 << config.tag_bits) - 1) as u16
+            },
+        }
+    }
+
+    fn slot(&self, pc: u32) -> (usize, u16) {
+        let hist_mask = if self.config.history_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.config.history_bits) - 1
+        };
+        let h = (u64::from(pc) ^ (u64::from(self.history & hist_mask) << 13))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let index = ((h >> 16) as u32 & self.index_mask) as usize;
+        let tag = (((h >> 48) as u16) & self.tag_mask).max(1); // 0 = never matches empty
+        (index, tag)
+    }
+
+    /// Predicts the target of the indirect jump at `pc`, or `None` on a
+    /// (cold or conflicting) miss.
+    #[must_use]
+    pub fn predict(&self, pc: u32) -> Option<u32> {
+        let (index, tag) = self.slot(pc);
+        self.table[index].filter(|e| e.tag == tag).map(|e| e.target)
+    }
+
+    /// Trains with the jump's resolved target and folds it into the
+    /// history.
+    pub fn update(&mut self, pc: u32, target: u32) {
+        let (index, tag) = self.slot(pc);
+        self.table[index] = Some(Entry { tag, target });
+        self.history = (self.history << 3)
+            ^ ((target.wrapping_mul(0x9E37_79B9) >> 26) & 0x3f);
+    }
+
+    /// Hardware state: tag + 32-bit target per entry, plus the history
+    /// register.
+    #[must_use]
+    pub fn budget(&self) -> StateBudget {
+        StateBudget::from_entries(self.table.len() as u64, u64::from(self.config.tag_bits) + 32)
+            .plus(StateBudget::from_bits(u64::from(self.config.history_bits)))
+    }
+}
+
+impl Default for TargetCache {
+    fn default() -> Self {
+        TargetCache::new(TargetCacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_learns() {
+        let mut tc = TargetCache::default();
+        assert_eq!(tc.predict(5), None);
+        tc.update(5, 100);
+        // Same history point next time around.
+        let mut tc2 = TargetCache::default();
+        tc2.update(5, 100);
+        assert_eq!(tc2.history, tc.history);
+    }
+
+    #[test]
+    fn learns_alternating_targets_through_history() {
+        // One jalr alternating between two targets: a last-target BTB is
+        // wrong every time after warmup; the target cache learns it.
+        let mut tc = TargetCache::default();
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..400u32 {
+            let target = if i % 2 == 0 { 100 } else { 200 };
+            if i >= 50 {
+                total += 1;
+                correct += u32::from(tc.predict(7) == Some(target));
+            }
+            tc.update(7, target);
+        }
+        assert!(correct * 10 >= total * 9, "{correct}/{total}");
+    }
+
+    #[test]
+    fn learns_a_repeating_phrase() {
+        let phrase = [10u32, 30, 20, 10, 40, 20, 50, 10];
+        let mut tc = TargetCache::default();
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..800usize {
+            let target = phrase[i % phrase.len()];
+            if i >= 100 {
+                total += 1;
+                correct += u32::from(tc.predict(7) == Some(target));
+            }
+            tc.update(7, target);
+        }
+        assert!(correct * 10 >= total * 9, "{correct}/{total}");
+    }
+
+    #[test]
+    fn budget_counts_table_and_history() {
+        let tc = TargetCache::default();
+        assert_eq!(tc.budget().bits(), 512 * 40 + 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_panics() {
+        let _ = TargetCache::new(TargetCacheConfig { log2_entries: 21, ..Default::default() });
+    }
+}

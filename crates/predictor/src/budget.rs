@@ -1,0 +1,87 @@
+//! Hardware state accounting.
+
+use std::fmt;
+
+/// A hardware state budget, counted in bits.
+///
+/// The paper's headline predictor claim is accuracy/coverage *within less
+/// than 5 KB of state*; every predictor reports its budget through this type
+/// so that sizing sweeps (experiment E6) compare like for like.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateBudget {
+    bits: u64,
+}
+
+impl StateBudget {
+    /// A budget of `bits` bits.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> StateBudget {
+        StateBudget { bits }
+    }
+
+    /// A budget of `entries` table entries of `bits_per_entry` bits each.
+    #[must_use]
+    pub fn from_entries(entries: u64, bits_per_entry: u64) -> StateBudget {
+        StateBudget { bits: entries * bits_per_entry }
+    }
+
+    /// Total bits.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Total bytes, rounded up.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        self.bits.div_ceil(8)
+    }
+
+    /// Total kibibytes, as a float (for report tables).
+    #[must_use]
+    pub fn kib(self) -> f64 {
+        self.bits as f64 / 8.0 / 1024.0
+    }
+
+    /// Sum of two budgets.
+    #[must_use]
+    pub fn plus(self, other: StateBudget) -> StateBudget {
+        StateBudget { bits: self.bits + other.bits }
+    }
+}
+
+impl fmt::Display for StateBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} KiB", self.kib())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let b = StateBudget::from_entries(2048, 18);
+        assert_eq!(b.bits(), 36_864);
+        assert_eq!(b.bytes(), 4_608);
+        assert!((b.kib() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_up_bytes() {
+        assert_eq!(StateBudget::from_bits(9).bytes(), 2);
+        assert_eq!(StateBudget::from_bits(8).bytes(), 1);
+    }
+
+    #[test]
+    fn plus_adds() {
+        let a = StateBudget::from_bits(100).plus(StateBudget::from_bits(28));
+        assert_eq!(a.bits(), 128);
+    }
+
+    #[test]
+    fn display_kib() {
+        assert_eq!(StateBudget::from_bits(8 * 1024 * 5).to_string(), "5.00 KiB");
+    }
+}

@@ -1,0 +1,166 @@
+//! PC-only (bimodal) dead predictor with confidence.
+
+use super::{Confidence, DeadPredictor, PredictInput};
+use crate::budget::StateBudget;
+
+/// Configuration for [`BimodalDeadPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BimodalDeadConfig {
+    /// `log2` of the number of table entries.
+    pub log2_entries: u32,
+    /// Bits per confidence counter.
+    pub counter_bits: u8,
+    /// Minimum confidence at which a dead prediction is made.
+    pub threshold: u8,
+}
+
+impl Default for BimodalDeadConfig {
+    fn default() -> Self {
+        BimodalDeadConfig { log2_entries: 11, counter_bits: 4, threshold: 12 }
+    }
+}
+
+/// A dead predictor indexed by PC only.
+///
+/// Equivalent to the CFI predictor with lookahead 0: it can learn statics
+/// that are (almost) always dead, but has no way to separate the dead from
+/// the useful instances of a *partially dead* static — which is where most
+/// dead instances come from (experiment E3). Its coverage ceiling is what
+/// motivates CFI indexing (experiment E7).
+#[derive(Debug, Clone)]
+pub struct BimodalDeadPredictor {
+    config: BimodalDeadConfig,
+    table: Vec<Confidence>,
+    mask: u32,
+}
+
+impl BimodalDeadPredictor {
+    /// Creates a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries > 24`, `counter_bits` is outside `1..=7`, or
+    /// the threshold exceeds the counter maximum.
+    #[must_use]
+    pub fn new(config: BimodalDeadConfig) -> BimodalDeadPredictor {
+        assert!(config.log2_entries <= 24, "table too large");
+        let max = (1u16 << config.counter_bits) - 1;
+        assert!(
+            u16::from(config.threshold) <= max,
+            "threshold {} exceeds counter max {max}",
+            config.threshold
+        );
+        let entries = 1usize << config.log2_entries;
+        BimodalDeadPredictor {
+            config,
+            table: vec![Confidence::new(config.counter_bits); entries],
+            mask: (entries - 1) as u32,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        (pc & self.mask) as usize
+    }
+}
+
+impl DeadPredictor for BimodalDeadPredictor {
+    fn predict(&mut self, input: &PredictInput) -> bool {
+        self.table[self.index(input.static_index)].is_at_least(self.config.threshold)
+    }
+
+    fn train(&mut self, input: &PredictInput, was_dead: bool) {
+        let idx = self.index(input.static_index);
+        if was_dead {
+            self.table[idx].strengthen();
+        } else {
+            self.table[idx].collapse();
+        }
+    }
+
+    fn budget(&self) -> StateBudget {
+        StateBudget::from_entries(self.table.len() as u64, u64::from(self.config.counter_bits))
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "bimodal-dead-{}x{}b@{}",
+            self.table.len(),
+            self.config.counter_bits,
+            self.config.threshold
+        )
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(Confidence::new(self.config.counter_bits));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future::CfSignature;
+
+    fn input(pc: u32) -> PredictInput {
+        PredictInput { seq: 0, static_index: pc, signature: CfSignature::empty() }
+    }
+
+    fn predictor(threshold: u8) -> BimodalDeadPredictor {
+        BimodalDeadPredictor::new(BimodalDeadConfig {
+            log2_entries: 6,
+            counter_bits: 4,
+            threshold,
+        })
+    }
+
+    #[test]
+    fn needs_sustained_deadness_to_predict() {
+        let mut p = predictor(3);
+        for _ in 0..2 {
+            p.train(&input(9), true);
+        }
+        assert!(!p.predict(&input(9)), "below threshold");
+        p.train(&input(9), true);
+        assert!(p.predict(&input(9)));
+    }
+
+    #[test]
+    fn one_useful_instance_collapses_confidence() {
+        let mut p = predictor(3);
+        for _ in 0..10 {
+            p.train(&input(9), true);
+        }
+        assert!(p.predict(&input(9)));
+        p.train(&input(9), false);
+        assert!(!p.predict(&input(9)));
+    }
+
+    #[test]
+    fn cannot_separate_alternating_instances() {
+        // A partially dead static alternating dead/useful never reaches a
+        // threshold of 12 — coverage 0, by design.
+        let mut p = BimodalDeadPredictor::new(BimodalDeadConfig::default());
+        let mut predicted_dead = 0;
+        for i in 0..100 {
+            predicted_dead += u32::from(p.predict(&input(5)));
+            p.train(&input(5), i % 2 == 0);
+        }
+        assert_eq!(predicted_dead, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_above_counter_max_panics() {
+        let _ = BimodalDeadPredictor::new(BimodalDeadConfig {
+            log2_entries: 4,
+            counter_bits: 2,
+            threshold: 4,
+        });
+    }
+
+    #[test]
+    fn budget_and_name() {
+        let p = BimodalDeadPredictor::new(BimodalDeadConfig::default());
+        assert_eq!(p.budget().bits(), 2048 * 4);
+        assert!(p.name().contains("bimodal-dead"));
+    }
+}

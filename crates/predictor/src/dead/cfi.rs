@@ -1,0 +1,259 @@
+//! The paper's dead-instruction predictor: PC × CFI-signature indexed,
+//! tagged, with confidence.
+
+use super::{Confidence, DeadPredictor, PredictInput};
+use crate::budget::StateBudget;
+use crate::future::CfSignature;
+
+/// Configuration for [`CfiDeadPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfiConfig {
+    /// `log2` of the number of table entries.
+    pub log2_entries: u32,
+    /// Tag bits stored per entry (reduces destructive aliasing).
+    pub tag_bits: u8,
+    /// Bits per confidence counter.
+    pub counter_bits: u8,
+    /// Minimum confidence at which a dead prediction is made.
+    pub threshold: u8,
+}
+
+impl Default for CfiConfig {
+    /// The paper-scale default: 2048 entries × (8-bit tag + 4-bit counter)
+    /// = 3 KiB — comfortably under the 5 KB headline budget.
+    fn default() -> Self {
+        CfiConfig { log2_entries: 11, tag_bits: 8, counter_bits: 4, threshold: 12 }
+    }
+}
+
+impl CfiConfig {
+    /// Hardware state implied by this configuration.
+    #[must_use]
+    pub fn budget(&self) -> StateBudget {
+        StateBudget::from_entries(
+            1u64 << self.log2_entries,
+            u64::from(self.tag_bits) + u64::from(self.counter_bits),
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    tag: u16,
+    valid: bool,
+    confidence: Confidence,
+}
+
+/// The paper's dead-instruction predictor.
+///
+/// Each table entry is selected by a hash of the instruction's PC *and* its
+/// CFI signature (the predicted directions of the next *L* conditional
+/// branches — see [`crate::future`]). A partially dead static instruction
+/// therefore occupies *different* entries for the future paths on which its
+/// value dies and those on which it is consumed, which is what lifts
+/// coverage past the PC-only ceiling while holding accuracy high.
+///
+/// Entries are tagged to suppress aliasing and carry a saturating
+/// confidence counter that is strengthened by confirmed-dead outcomes and
+/// collapsed by useful ones; a dead prediction is only made above a (high)
+/// confidence threshold, because acting on a wrong one triggers a pipeline
+/// squash.
+///
+/// # Example
+///
+/// ```
+/// use dide_predictor::dead::{CfiConfig, CfiDeadPredictor, DeadPredictor, PredictInput};
+/// use dide_predictor::future::CfSignature;
+///
+/// let mut p = CfiDeadPredictor::new(CfiConfig { threshold: 3, ..CfiConfig::default() });
+/// // Same PC, two control-flow futures: dead when the next branch is
+/// // taken, useful when it is not.
+/// let dead_ctx = PredictInput { seq: 0, static_index: 42, signature: CfSignature::new(1, 1) };
+/// let live_ctx = PredictInput { seq: 0, static_index: 42, signature: CfSignature::new(0, 1) };
+/// for _ in 0..5 {
+///     p.train(&dead_ctx, true);
+///     p.train(&live_ctx, false);
+/// }
+/// assert!(p.predict(&dead_ctx));
+/// assert!(!p.predict(&live_ctx));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CfiDeadPredictor {
+    config: CfiConfig,
+    table: Vec<Entry>,
+    index_mask: u64,
+    tag_mask: u16,
+}
+
+impl CfiDeadPredictor {
+    /// Creates a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries > 24`, `tag_bits > 16`, `counter_bits` is
+    /// outside `1..=7`, or `threshold` exceeds the counter maximum.
+    #[must_use]
+    pub fn new(config: CfiConfig) -> CfiDeadPredictor {
+        assert!(config.log2_entries <= 24, "table too large");
+        assert!(config.tag_bits <= 16, "tag too wide");
+        let max = (1u16 << config.counter_bits) - 1;
+        assert!(
+            u16::from(config.threshold) <= max,
+            "threshold {} exceeds counter max {max}",
+            config.threshold
+        );
+        let entries = 1usize << config.log2_entries;
+        CfiDeadPredictor {
+            config,
+            table: vec![Entry::default(); entries],
+            index_mask: (entries - 1) as u64,
+            tag_mask: if config.tag_bits == 0 { 0 } else { (1u32 << config.tag_bits) as u16 - 1 },
+        }
+    }
+
+    /// The predictor's configuration.
+    #[must_use]
+    pub fn config(&self) -> CfiConfig {
+        self.config
+    }
+
+    fn slot(&self, pc: u32, sig: CfSignature) -> (usize, u16) {
+        let h = sig.hash_with(pc);
+        let index = (h & self.index_mask) as usize;
+        let tag = ((h >> self.config.log2_entries) as u16) & self.tag_mask;
+        (index, tag)
+    }
+}
+
+impl DeadPredictor for CfiDeadPredictor {
+    fn predict(&mut self, input: &PredictInput) -> bool {
+        let (index, tag) = self.slot(input.static_index, input.signature);
+        let e = &self.table[index];
+        e.valid && e.tag == tag && e.confidence.is_at_least(self.config.threshold)
+    }
+
+    fn train(&mut self, input: &PredictInput, was_dead: bool) {
+        let (index, tag) = self.slot(input.static_index, input.signature);
+        let e = &mut self.table[index];
+        if e.valid && e.tag == tag {
+            if was_dead {
+                e.confidence.strengthen();
+            } else {
+                e.confidence.collapse();
+            }
+        } else if was_dead {
+            // Allocate on dead outcomes only; useful instances do not evict
+            // learned dead contexts.
+            let mut confidence = Confidence::new(self.config.counter_bits);
+            confidence.strengthen();
+            *e = Entry { tag, valid: true, confidence };
+        }
+    }
+
+    fn budget(&self) -> StateBudget {
+        self.config.budget()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "cfi-{}x({}t+{}c)@{}",
+            self.table.len(),
+            self.config.tag_bits,
+            self.config.counter_bits,
+            self.config.threshold
+        )
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(Entry::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(pc: u32, bits: u16, len: u8) -> PredictInput {
+        PredictInput { seq: 0, static_index: pc, signature: CfSignature::new(bits, len) }
+    }
+
+    fn small() -> CfiDeadPredictor {
+        CfiDeadPredictor::new(CfiConfig {
+            log2_entries: 8,
+            tag_bits: 8,
+            counter_bits: 4,
+            threshold: 3,
+        })
+    }
+
+    #[test]
+    fn separates_instances_by_signature() {
+        let mut p = small();
+        // Same PC: dead when the next branch is taken, useful otherwise.
+        for _ in 0..10 {
+            p.train(&input(42, 0b1, 1), true);
+            p.train(&input(42, 0b0, 1), false);
+        }
+        assert!(p.predict(&input(42, 0b1, 1)), "dead context should predict dead");
+        assert!(!p.predict(&input(42, 0b0, 1)), "useful context should not");
+    }
+
+    #[test]
+    fn confidence_gate_requires_repeats() {
+        let mut p = small();
+        p.train(&input(7, 0, 0), true);
+        assert!(!p.predict(&input(7, 0, 0)), "one observation is not enough");
+        p.train(&input(7, 0, 0), true);
+        p.train(&input(7, 0, 0), true);
+        assert!(p.predict(&input(7, 0, 0)));
+    }
+
+    #[test]
+    fn useful_outcome_collapses_entry() {
+        let mut p = small();
+        for _ in 0..10 {
+            p.train(&input(7, 0, 0), true);
+        }
+        assert!(p.predict(&input(7, 0, 0)));
+        p.train(&input(7, 0, 0), false);
+        assert!(!p.predict(&input(7, 0, 0)));
+    }
+
+    #[test]
+    fn useful_outcomes_do_not_allocate() {
+        let mut p = small();
+        for _ in 0..100 {
+            p.train(&input(9, 0, 0), false);
+        }
+        // Entry for pc 9 never allocated; a dead context at another pc that
+        // hashes elsewhere is unaffected.
+        assert!(!p.predict(&input(9, 0, 0)));
+    }
+
+    #[test]
+    fn default_config_is_under_5kb() {
+        let p = CfiDeadPredictor::new(CfiConfig::default());
+        assert!(p.budget().kib() < 5.0, "budget {}", p.budget());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = small();
+        for _ in 0..10 {
+            p.train(&input(7, 0, 0), true);
+        }
+        p.reset();
+        assert!(!p.predict(&input(7, 0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tag too wide")]
+    fn oversized_tag_panics() {
+        let _ = CfiDeadPredictor::new(CfiConfig {
+            log2_entries: 8,
+            tag_bits: 17,
+            counter_bits: 4,
+            threshold: 3,
+        });
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline evaluation of dead predictors over a trace.
+
+use std::fmt;
+
+use dide_analysis::DeadnessAnalysis;
+use dide_emu::Trace;
+
+use super::{DeadPredictor, PredictInput};
+use crate::branch::BranchPredictor;
+use crate::future::{signatures_predicted, BranchStats, CfSignature};
+
+/// Coverage/accuracy report for one dead-predictor run — the paper's
+/// predictor metrics (93% accuracy at 91% coverage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadPredictionReport {
+    /// Eligible (value-producing) dynamic instructions considered.
+    pub eligible: u64,
+    /// Of those, actually dead per the oracle.
+    pub actual_dead: u64,
+    /// Predicted dead.
+    pub predicted_dead: u64,
+    /// Predicted dead and actually dead.
+    pub true_positives: u64,
+    /// Predicted dead but actually useful (the costly mispredictions).
+    pub false_positives: u64,
+    /// Actually dead but predicted useful (missed opportunity).
+    pub false_negatives: u64,
+    /// Predicted useful and actually useful.
+    pub true_negatives: u64,
+    /// Branch-direction statistics of the run that produced the CFI
+    /// signatures.
+    pub branch: BranchStats,
+}
+
+impl DeadPredictionReport {
+    /// Coverage: the fraction of actually-dead instructions identified
+    /// (recall). The paper reports >91%.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.actual_dead == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / self.actual_dead as f64
+        }
+    }
+
+    /// Accuracy: the fraction of dead predictions that were correct
+    /// (precision). The paper reports 93%.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predicted_dead == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.predicted_dead as f64
+        }
+    }
+
+    /// Fraction of all eligible instructions mispredicted in either
+    /// direction.
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.eligible == 0 {
+            0.0
+        } else {
+            (self.false_positives + self.false_negatives) as f64 / self.eligible as f64
+        }
+    }
+}
+
+impl fmt::Display for DeadPredictionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "eligible {} | dead {} | predicted {} (tp {}, fp {}, fn {}, tn {})",
+            self.eligible,
+            self.actual_dead,
+            self.predicted_dead,
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives,
+            self.true_negatives
+        )?;
+        write!(
+            f,
+            "coverage {:.2}% | accuracy {:.2}% | branch accuracy {:.2}%",
+            100.0 * self.coverage(),
+            100.0 * self.accuracy(),
+            100.0 * self.branch.accuracy()
+        )
+    }
+}
+
+/// Evaluates `predictor` over `trace` with CFI signatures built from
+/// `branch_predictor`'s predictions with the given `lookahead`.
+///
+/// Each eligible dynamic instruction is predicted, scored against the
+/// oracle, then used for training — the same predict-at-rename /
+/// train-at-commit ordering the pipeline uses.
+pub fn evaluate(
+    trace: &Trace,
+    analysis: &DeadnessAnalysis,
+    predictor: &mut dyn DeadPredictor,
+    branch_predictor: &mut dyn BranchPredictor,
+    lookahead: u8,
+) -> DeadPredictionReport {
+    let (signatures, branch) = signatures_predicted(trace, branch_predictor, lookahead);
+    let mut report = evaluate_with_signatures(trace, analysis, predictor, &signatures);
+    report.branch = branch;
+    report
+}
+
+/// Evaluates `predictor` with externally supplied signatures (e.g. oracle
+/// signatures from [`crate::future::signatures_oracle`]).
+///
+/// # Panics
+///
+/// Panics if `signatures.len() != trace.len()`.
+pub fn evaluate_with_signatures(
+    trace: &Trace,
+    analysis: &DeadnessAnalysis,
+    predictor: &mut dyn DeadPredictor,
+    signatures: &[CfSignature],
+) -> DeadPredictionReport {
+    assert_eq!(signatures.len(), trace.len(), "one signature per record required");
+    let mut report = DeadPredictionReport::default();
+    for r in trace {
+        let verdict = analysis.verdict(r.seq);
+        if !verdict.is_eligible() {
+            continue;
+        }
+        report.eligible += 1;
+        let was_dead = verdict.is_dead();
+        report.actual_dead += u64::from(was_dead);
+
+        let input = PredictInput {
+            seq: r.seq,
+            static_index: r.index,
+            signature: signatures[r.seq as usize],
+        };
+        let predicted = predictor.predict(&input);
+        report.predicted_dead += u64::from(predicted);
+        match (predicted, was_dead) {
+            (true, true) => report.true_positives += 1,
+            (true, false) => report.false_positives += 1,
+            (false, true) => report.false_negatives += 1,
+            (false, false) => report.true_negatives += 1,
+        }
+        predictor.train(&input, was_dead);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::Gshare;
+    use crate::dead::{BimodalDeadConfig, BimodalDeadPredictor, CfiConfig, CfiDeadPredictor, OracleDeadPredictor};
+    use crate::future::signatures_oracle;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+
+    /// A loop with a partially dead static: `t2 = x & mask` is consumed only
+    /// on iterations where an inner condition takes the consuming path.
+    fn partial_dead_workload() -> Trace {
+        let mut b = ProgramBuilder::new("pd");
+        b.li(Reg::T0, 0); // i
+        b.li(Reg::T1, 2000); // n
+        b.li(Reg::S0, 0); // acc
+        let top = b.label();
+        let skip = b.label();
+        b.bind(top);
+        b.andi(Reg::T2, Reg::T0, 0xff); // partially dead: used only when branch not taken
+        b.andi(Reg::T3, Reg::T0, 3);
+        b.bne(Reg::T3, Reg::ZERO, skip); // taken 3/4 of the time -> t2 dead
+        b.add(Reg::S0, Reg::S0, Reg::T2); // consumes t2 on the fallthrough path
+        b.bind(skip);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::S0);
+        b.halt();
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let t = partial_dead_workload();
+        let analysis = DeadnessAnalysis::analyze(&t);
+        let mut oracle = OracleDeadPredictor::new(&analysis);
+        let sigs = signatures_oracle(&t, 0);
+        let r = evaluate_with_signatures(&t, &analysis, &mut oracle, &sigs);
+        assert_eq!(r.false_positives, 0);
+        assert_eq!(r.false_negatives, 0);
+        assert!((r.coverage() - 1.0).abs() < 1e-12);
+        assert!((r.accuracy() - 1.0).abs() < 1e-12);
+        assert!(r.actual_dead > 0);
+    }
+
+    #[test]
+    fn cfi_beats_bimodal_on_partially_dead_static() {
+        let t = partial_dead_workload();
+        let analysis = DeadnessAnalysis::analyze(&t);
+
+        let mut bimodal = BimodalDeadPredictor::new(BimodalDeadConfig {
+            log2_entries: 10,
+            counter_bits: 4,
+            threshold: 8,
+        });
+        let mut g1 = Gshare::new(10, 12);
+        let bi = evaluate(&t, &analysis, &mut bimodal, &mut g1, 0);
+
+        let mut cfi = CfiDeadPredictor::new(CfiConfig {
+            log2_entries: 10,
+            tag_bits: 8,
+            counter_bits: 4,
+            threshold: 8,
+        });
+        let mut g2 = Gshare::new(10, 12);
+        let cf = evaluate(&t, &analysis, &mut cfi, &mut g2, 2);
+
+        assert!(
+            cf.coverage() > bi.coverage() + 0.2,
+            "cfi coverage {:.3} vs bimodal {:.3}",
+            cf.coverage(),
+            bi.coverage()
+        );
+        assert!(cf.accuracy() > 0.9, "cfi accuracy {:.3}", cf.accuracy());
+    }
+
+    #[test]
+    fn high_threshold_trades_coverage_for_accuracy() {
+        let t = partial_dead_workload();
+        let analysis = DeadnessAnalysis::analyze(&t);
+        let run = |threshold: u8| {
+            let mut p = CfiDeadPredictor::new(CfiConfig { threshold, ..CfiConfig::default() });
+            let mut g = Gshare::new(10, 12);
+            evaluate(&t, &analysis, &mut p, &mut g, 2)
+        };
+        let low = run(1);
+        let high = run(15);
+        assert!(low.coverage() >= high.coverage());
+        assert!(high.accuracy() >= low.accuracy() - 1e-9);
+    }
+
+    #[test]
+    fn report_display_and_rates() {
+        let r = DeadPredictionReport {
+            eligible: 100,
+            actual_dead: 20,
+            predicted_dead: 15,
+            true_positives: 14,
+            false_positives: 1,
+            false_negatives: 6,
+            true_negatives: 79,
+            branch: BranchStats { branches: 10, mispredicts: 1 },
+        };
+        assert!((r.coverage() - 0.7).abs() < 1e-12);
+        assert!((r.accuracy() - 14.0 / 15.0).abs() < 1e-12);
+        assert!((r.misprediction_rate() - 0.07).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("coverage"));
+        assert!(text.contains("accuracy"));
+    }
+
+    #[test]
+    fn empty_report_degenerate_metrics() {
+        let r = DeadPredictionReport::default();
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.accuracy(), 1.0);
+        assert_eq!(r.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one signature per record")]
+    fn signature_length_mismatch_panics() {
+        let t = partial_dead_workload();
+        let analysis = DeadnessAnalysis::analyze(&t);
+        let mut p = CfiDeadPredictor::new(CfiConfig::default());
+        let _ = evaluate_with_signatures(&t, &analysis, &mut p, &[]);
+    }
+}

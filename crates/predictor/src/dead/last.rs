@@ -1,0 +1,90 @@
+//! Last-outcome dead predictor (the weakest baseline).
+
+use super::{DeadPredictor, PredictInput};
+use crate::budget::StateBudget;
+
+/// Predicts that an instance will be dead iff the previous instance of the
+/// same (PC-indexed, untagged) entry was dead. One bit of state per entry.
+///
+/// This baseline shows why partially dead static instructions defeat
+/// history-free prediction: any static that alternates between dead and
+/// useful instances mispredicts on every transition.
+#[derive(Debug, Clone)]
+pub struct LastOutcomePredictor {
+    table: Vec<bool>,
+    mask: u32,
+}
+
+impl LastOutcomePredictor {
+    /// Creates a predictor with `2^log2_entries` one-bit entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries > 24`.
+    #[must_use]
+    pub fn new(log2_entries: u32) -> LastOutcomePredictor {
+        assert!(log2_entries <= 24, "table too large: 2^{log2_entries}");
+        let entries = 1usize << log2_entries;
+        LastOutcomePredictor { table: vec![false; entries], mask: (entries - 1) as u32 }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        (pc & self.mask) as usize
+    }
+}
+
+impl DeadPredictor for LastOutcomePredictor {
+    fn predict(&mut self, input: &PredictInput) -> bool {
+        self.table[self.index(input.static_index)]
+    }
+
+    fn train(&mut self, input: &PredictInput, was_dead: bool) {
+        let idx = self.index(input.static_index);
+        self.table[idx] = was_dead;
+    }
+
+    fn budget(&self) -> StateBudget {
+        StateBudget::from_entries(self.table.len() as u64, 1)
+    }
+
+    fn name(&self) -> String {
+        format!("last-outcome-{}", self.table.len())
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future::CfSignature;
+
+    fn input(pc: u32) -> PredictInput {
+        PredictInput { seq: 0, static_index: pc, signature: CfSignature::empty() }
+    }
+
+    #[test]
+    fn follows_last_outcome() {
+        let mut p = LastOutcomePredictor::new(4);
+        assert!(!p.predict(&input(3)));
+        p.train(&input(3), true);
+        assert!(p.predict(&input(3)));
+        p.train(&input(3), false);
+        assert!(!p.predict(&input(3)));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = LastOutcomePredictor::new(4);
+        p.train(&input(3), true);
+        p.reset();
+        assert!(!p.predict(&input(3)));
+    }
+
+    #[test]
+    fn budget_one_bit_per_entry() {
+        assert_eq!(LastOutcomePredictor::new(10).budget().bits(), 1024);
+    }
+}

@@ -1,0 +1,117 @@
+//! Dead-instruction predictors (the paper's contribution) and their offline
+//! evaluation harness.
+//!
+//! All predictors implement [`DeadPredictor`]: given a static instruction
+//! and its CFI signature, they answer "will this dynamic instance be dead?".
+//! Prediction happens at rename time in the pipeline; training happens at
+//! commit, when the oracle deadness of the committed instruction is known.
+//!
+//! A *dead* prediction is only acted on when the predictor is highly
+//! confident, because acting on a wrong one costs a squash-and-replay; the
+//! confidence machinery therefore trades coverage for accuracy
+//! (experiment E11).
+
+mod bimodal;
+mod cfi;
+mod eval;
+mod last;
+mod oracle;
+
+pub use bimodal::{BimodalDeadConfig, BimodalDeadPredictor};
+pub use cfi::{CfiConfig, CfiDeadPredictor};
+pub use eval::{evaluate, evaluate_with_signatures, DeadPredictionReport};
+pub use last::LastOutcomePredictor;
+pub use oracle::OracleDeadPredictor;
+
+use crate::budget::StateBudget;
+use crate::future::CfSignature;
+
+/// Everything a dead predictor may consult for one dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictInput {
+    /// Dynamic sequence number (used only by the oracle predictor).
+    pub seq: u64,
+    /// Static instruction index (the PC in instruction units).
+    pub static_index: u32,
+    /// Future control-flow signature available at prediction time.
+    pub signature: CfSignature,
+}
+
+/// A dead-instruction predictor.
+///
+/// Callers must interleave `predict` and `train` in program order, exactly
+/// once each per eligible dynamic instruction.
+pub trait DeadPredictor {
+    /// Predicts whether this dynamic instance will be dead.
+    fn predict(&mut self, input: &PredictInput) -> bool;
+
+    /// Trains with the instance's oracle outcome.
+    fn train(&mut self, input: &PredictInput, was_dead: bool);
+
+    /// Hardware state used by the predictor.
+    fn budget(&self) -> StateBudget;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Resets all learned state (between benchmark runs in sweeps).
+    fn reset(&mut self);
+}
+
+/// An `n`-bit saturating confidence counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Confidence {
+    value: u8,
+    max: u8,
+}
+
+impl Confidence {
+    pub(crate) fn new(bits: u8) -> Confidence {
+        assert!((1..=7).contains(&bits), "confidence bits must be 1..=7");
+        Confidence { value: 0, max: (1u8 << bits) - 1 }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn value(self) -> u8 {
+        self.value
+    }
+
+    pub(crate) fn is_at_least(self, threshold: u8) -> bool {
+        self.value >= threshold
+    }
+
+    /// Strengthen on a confirming outcome.
+    pub(crate) fn strengthen(&mut self) {
+        self.value = (self.value + 1).min(self.max);
+    }
+
+    /// Collapse on a disconfirming outcome. Dead mispredictions are
+    /// expensive, so confidence resets rather than decays.
+    pub(crate) fn collapse(&mut self) {
+        self.value = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_saturates_and_collapses() {
+        let mut c = Confidence::new(4);
+        for _ in 0..20 {
+            c.strengthen();
+        }
+        assert_eq!(c.value(), 15);
+        assert!(c.is_at_least(15));
+        c.collapse();
+        assert_eq!(c.value(), 0);
+        assert!(!c.is_at_least(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence bits")]
+    fn zero_bits_panics() {
+        let _ = Confidence::new(0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Future control-flow (CFI) signatures.
+//!
+//! The paper's key accuracy lever: the deadness of an instance of a static
+//! instruction is strongly correlated with *where control goes next* —
+//! whether the paths that would have consumed the value are about to be
+//! taken. The frontend already knows this: the branch predictor has
+//! predicted the directions of the branches that follow. A **CFI signature**
+//! packages the predicted directions of the next *L* conditional branches
+//! after an instruction into a small bit pattern that indexes the dead
+//! predictor alongside the PC.
+
+use dide_emu::Trace;
+
+use crate::branch::BranchPredictor;
+
+/// Maximum supported lookahead, in conditional branches.
+pub const MAX_LOOKAHEAD: u8 = 16;
+
+/// The predicted (or oracle) directions of the next `len` conditional
+/// branches following an instruction, packed little-endian (bit 0 = the
+/// nearest branch; `true` = taken).
+///
+/// Near the end of a run fewer than `len` branches may remain; `len`
+/// reflects how many bits are valid so that short signatures do not alias
+/// padded long ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CfSignature {
+    bits: u16,
+    len: u8,
+}
+
+impl CfSignature {
+    /// Builds a signature from packed direction bits and a valid length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_LOOKAHEAD`.
+    #[must_use]
+    pub fn new(bits: u16, len: u8) -> CfSignature {
+        assert!(len <= MAX_LOOKAHEAD, "lookahead {len} exceeds {MAX_LOOKAHEAD}");
+        let mask = if len == 0 { 0 } else { u16::MAX >> (16 - u16::from(len).min(16)) };
+        CfSignature { bits: bits & mask, len }
+    }
+
+    /// The empty signature (lookahead 0 — degenerates to PC-only
+    /// prediction).
+    #[must_use]
+    pub fn empty() -> CfSignature {
+        CfSignature::default()
+    }
+
+    /// Packed direction bits.
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.bits
+    }
+
+    /// Number of valid direction bits.
+    #[must_use]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether the signature carries no control-flow information.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Mixes the signature with a PC into a table index hash.
+    #[must_use]
+    pub fn hash_with(self, pc: u32) -> u64 {
+        // Fibonacci-style mixing; cheap and adequate for table indexing.
+        let x = u64::from(pc).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let y = (u64::from(self.bits) | (u64::from(self.len) << 16))
+            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mut h = x ^ y.rotate_left(31);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// One upcoming control-flow event contributing to a [`CfSignature`].
+///
+/// The paper builds signatures from conditional-branch *directions*. The
+/// [`CfEvent::Indirect`] variant is this reproduction's extension
+/// (experiment E13): a small hash of an indirect jump's *predicted target*
+/// — the information that distinguishes interpreter handlers, where
+/// conditional directions say nothing about which operands die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CfEvent {
+    /// A conditional branch's (predicted) direction.
+    Cond(bool),
+    /// A 3-bit hash of an indirect jump's (predicted) target.
+    Indirect(u8),
+}
+
+impl CfEvent {
+    /// The event's contribution: `(value, bit width)`.
+    #[must_use]
+    pub fn bits(self) -> (u16, u8) {
+        match self {
+            CfEvent::Cond(taken) => (u16::from(taken), 1),
+            CfEvent::Indirect(hash) => (u16::from(hash & 7), 3),
+        }
+    }
+
+    /// Hashes an indirect-jump target index into the 3-bit event space.
+    #[must_use]
+    pub fn hash_target(target: u32) -> u8 {
+        ((u64::from(target).wrapping_mul(0x9E37_79B9) >> 29) & 7) as u8
+    }
+}
+
+/// Packs the first events of `events` into a signature, nearest event in
+/// the low bits, stopping when the 16-bit window is full.
+#[must_use]
+pub fn pack_events<I: IntoIterator<Item = CfEvent>>(events: I, max_events: u8) -> CfSignature {
+    let mut bits = 0u16;
+    let mut pos = 0u8;
+    let mut len = 0u8;
+    for event in events {
+        if len == max_events {
+            break;
+        }
+        let (value, width) = event.bits();
+        if pos + width > 16 {
+            break;
+        }
+        bits |= value << pos;
+        pos += width;
+        len += 1;
+    }
+    CfSignature { bits, len }
+}
+
+/// Per-branch bookkeeping from one pass of a direction predictor over a
+/// trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Dynamic conditional branches.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+}
+
+impl BranchStats {
+    /// Direction-prediction accuracy in `[0, 1]`.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// The CFI signature of every dynamic instruction in a trace, computed from
+/// a direction predictor's *predictions* (the information the frontend
+/// actually has), plus the predictor's accuracy on this trace.
+///
+/// The signature at seq `i` covers the first `lookahead` conditional
+/// branches with seq strictly greater than `i`.
+pub fn signatures_predicted(
+    trace: &Trace,
+    predictor: &mut dyn BranchPredictor,
+    lookahead: u8,
+) -> (Vec<CfSignature>, BranchStats) {
+    assert!(lookahead <= MAX_LOOKAHEAD, "lookahead {lookahead} exceeds {MAX_LOOKAHEAD}");
+    let mut stats = BranchStats::default();
+    let mut events: Vec<(u64, CfEvent)> = Vec::new();
+    for r in trace {
+        if r.is_cond_branch() {
+            let predicted = predictor.predict(r.index);
+            stats.branches += 1;
+            stats.mispredicts += u64::from(predicted != r.taken);
+            events.push((r.seq, CfEvent::Cond(predicted)));
+            predictor.update(r.index, r.taken);
+        }
+    }
+    (pack_signatures(trace, &events, lookahead), stats)
+}
+
+/// Jump-aware CFI signatures (experiment E13): like
+/// [`signatures_predicted`], but indirect jumps (`jalr`) also contribute an
+/// event — a 3-bit hash of the jump's predicted target, produced by a
+/// history-based [`TargetCache`](crate::branch::TargetCache) (the same
+/// structure the frontend uses to redirect fetch).
+pub fn signatures_jump_aware(
+    trace: &Trace,
+    predictor: &mut dyn BranchPredictor,
+    lookahead: u8,
+) -> (Vec<CfSignature>, BranchStats) {
+    assert!(lookahead <= MAX_LOOKAHEAD, "lookahead {lookahead} exceeds {MAX_LOOKAHEAD}");
+    let mut stats = BranchStats::default();
+    let mut targets = crate::branch::TargetCache::default();
+    let mut events: Vec<(u64, CfEvent)> = Vec::new();
+    for r in trace {
+        if r.is_cond_branch() {
+            let predicted = predictor.predict(r.index);
+            stats.branches += 1;
+            stats.mispredicts += u64::from(predicted != r.taken);
+            events.push((r.seq, CfEvent::Cond(predicted)));
+            predictor.update(r.index, r.taken);
+        } else if matches!(r.inst.op.kind(), dide_isa::OpcodeKind::Jalr) {
+            // Returns are RAS-predicted and carry no dispatch information;
+            // they neither contribute an event nor pollute the history.
+            let is_return = r.inst.rs1 == dide_isa::Reg::RA && r.inst.rd.is_zero();
+            if !is_return {
+                let predicted = targets.predict(r.index).unwrap_or(0);
+                events.push((r.seq, CfEvent::Indirect(CfEvent::hash_target(predicted))));
+                targets.update(r.index, r.next_index);
+            }
+        }
+    }
+    (pack_signatures(trace, &events, lookahead), stats)
+}
+
+/// Oracle CFI signatures: built from the *actual* directions of upcoming
+/// branches. Used as the limit case in experiment E7.
+#[must_use]
+pub fn signatures_oracle(trace: &Trace, lookahead: u8) -> Vec<CfSignature> {
+    assert!(lookahead <= MAX_LOOKAHEAD, "lookahead {lookahead} exceeds {MAX_LOOKAHEAD}");
+    let events: Vec<(u64, CfEvent)> = trace
+        .iter()
+        .filter(|r| r.is_cond_branch())
+        .map(|r| (r.seq, CfEvent::Cond(r.taken)))
+        .collect();
+    pack_signatures(trace, &events, lookahead)
+}
+
+fn pack_signatures(
+    trace: &Trace,
+    events: &[(u64, CfEvent)],
+    lookahead: u8,
+) -> Vec<CfSignature> {
+    let n = trace.len();
+    let mut out = vec![CfSignature::empty(); n];
+    if lookahead == 0 {
+        return out;
+    }
+    // `next` = index of the first event with seq > i, maintained by a
+    // backward sweep.
+    let mut next = events.len();
+    for i in (0..n).rev() {
+        while next > 0 && events[next - 1].0 > i as u64 {
+            next -= 1;
+        }
+        out[i] = pack_events(events[next..].iter().map(|&(_, e)| e), lookahead);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::Gshare;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+
+    fn loop_trace(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new("loop");
+        b.li(Reg::T0, 0); // 0
+        b.li(Reg::T1, iters); // 1
+        let top = b.label();
+        b.bind(top);
+        b.addi(Reg::T0, Reg::T0, 1); // 2
+        b.blt(Reg::T0, Reg::T1, top); // 3
+        b.out(Reg::T0); // 4
+        b.halt(); // 5
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    #[test]
+    fn oracle_signature_matches_actual_directions() {
+        let t = loop_trace(3);
+        // Dynamic stream: li li (addi blt)*3 out halt; branch outcomes T,T,N.
+        let sigs = signatures_oracle(&t, 2);
+        // First instruction sees branches (T, T) => bits 0b11, len 2.
+        assert_eq!(sigs[0], CfSignature::new(0b11, 2));
+        // The first addi (seq 2) sees its own following branches (T, T).
+        assert_eq!(sigs[2], CfSignature::new(0b11, 2));
+        // The second branch (seq 5) sees (N) only... the remaining branch is
+        // the third one, outcome N => bits 0, len 1.
+        assert_eq!(sigs[5], CfSignature::new(0b0, 1));
+        // Last instruction sees no further branches.
+        assert_eq!(sigs[t.len() - 1], CfSignature::empty());
+    }
+
+    #[test]
+    fn signature_excludes_own_branch() {
+        let t = loop_trace(2);
+        let sigs = signatures_oracle(&t, 1);
+        // Branch records themselves see the *next* branch, not their own.
+        let branch_seqs: Vec<u64> =
+            t.iter().filter(|r| r.is_cond_branch()).map(|r| r.seq).collect();
+        assert_eq!(branch_seqs.len(), 2);
+        // The first branch's signature is the second branch's outcome (N).
+        assert_eq!(sigs[branch_seqs[0] as usize], CfSignature::new(0, 1));
+    }
+
+    #[test]
+    fn predicted_signatures_track_predictor() {
+        let t = loop_trace(50);
+        let mut g = Gshare::new(8, 10);
+        let (sigs, stats) = signatures_predicted(&t, &mut g, 4);
+        assert_eq!(sigs.len(), t.len());
+        assert_eq!(stats.branches, 50);
+        // A monotone loop branch is easy; accuracy should be high.
+        assert!(stats.accuracy() > 0.9, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn zero_lookahead_gives_empty_signatures() {
+        let t = loop_trace(3);
+        let sigs = signatures_oracle(&t, 0);
+        assert!(sigs.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn signature_masks_extra_bits() {
+        let s = CfSignature::new(0b1111, 2);
+        assert_eq!(s.bits(), 0b11);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn hash_differs_by_signature() {
+        let a = CfSignature::new(0b01, 2).hash_with(100);
+        let b = CfSignature::new(0b10, 2).hash_with(100);
+        let c = CfSignature::new(0b01, 2).hash_with(101);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn padded_and_unpadded_signatures_differ() {
+        let short = CfSignature::new(0b0, 1);
+        let long = CfSignature::new(0b00, 2);
+        assert_ne!(short, long);
+        assert_ne!(short.hash_with(5), long.hash_with(5));
+    }
+
+    #[test]
+    fn branch_stats_accuracy_empty() {
+        assert_eq!(BranchStats::default().accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_lookahead_panics() {
+        let t = loop_trace(1);
+        let _ = signatures_oracle(&t, 17);
+    }
+
+    #[test]
+    fn pack_events_mixes_widths() {
+        let sig = pack_events(
+            [CfEvent::Cond(true), CfEvent::Indirect(0b101), CfEvent::Cond(false)],
+            4,
+        );
+        // Layout: bit 0 = cond(true); bits 1..4 = indirect 0b101; bit 4 = 0.
+        #[allow(clippy::unusual_byte_groupings)] // grouped by event: cond | indirect | cond
+        { assert_eq!(sig.bits(), 0b0_101_1); }
+        assert_eq!(sig.len(), 3);
+    }
+
+    #[test]
+    fn pack_events_respects_window_and_count() {
+        // Six 3-bit events exceed the 16-bit window after five.
+        let sig = pack_events(std::iter::repeat_n(CfEvent::Indirect(7), 6), 16);
+        assert_eq!(sig.len(), 5);
+        let sig = pack_events(std::iter::repeat_n(CfEvent::Cond(true), 6), 2);
+        assert_eq!(sig.len(), 2);
+        assert_eq!(sig.bits(), 0b11);
+    }
+
+    #[test]
+    fn target_hash_distinguishes_stride_aligned_targets() {
+        // Handler-table targets differ by a fixed stride; the hash must
+        // still separate them.
+        let hashes: std::collections::HashSet<u8> =
+            (0..8u32).map(|h| CfEvent::hash_target(100 + h * 8)).collect();
+        assert!(hashes.len() >= 4, "got {hashes:?}");
+    }
+
+    fn jalr_trace() -> Trace {
+        // Alternating dispatch between two targets via jalr.
+        let mut b = ProgramBuilder::new("jalr");
+        let main = b.label();
+        b.j(main);
+        // target 1 (index 1)
+        b.raw(dide_isa::Inst::new(dide_isa::Opcode::Jalr, Reg::ZERO, Reg::S1, Reg::ZERO, 0));
+        // target 2 (index 2)
+        b.raw(dide_isa::Inst::new(dide_isa::Opcode::Jalr, Reg::ZERO, Reg::S1, Reg::ZERO, 0));
+        b.bind(main);
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 6);
+        let top = b.label();
+        b.bind(top);
+        b.andi(Reg::T2, Reg::T0, 1);
+        b.addi(Reg::T2, Reg::T2, 1); // handler index 1 or 2
+        // return-to register: continue after the jalr below
+        let after = b.here() + 2;
+        b.li(Reg::S1, i64::from(after));
+        b.jalr(Reg::ZERO, Reg::T2, 0);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T0);
+        b.halt();
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    #[test]
+    fn jump_aware_signatures_see_indirect_targets() {
+        let t = jalr_trace();
+        let mut g = Gshare::new(8, 10);
+        let (jump_aware, _) = signatures_jump_aware(&t, &mut g, 4);
+        let mut g2 = Gshare::new(8, 10);
+        let (cond_only, _) = signatures_predicted(&t, &mut g2, 4);
+        assert_eq!(jump_aware.len(), t.len());
+        // Some signature must differ: the trace contains jalr events.
+        assert!(
+            jump_aware.iter().zip(&cond_only).any(|(a, b)| a != b),
+            "indirect events must be visible in signatures"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Branch predictors and dead-instruction predictors.
+//!
+//! This crate implements the paper's core contribution — the
+//! **dead-instruction predictor** — together with the branch-prediction
+//! substrate it relies on:
+//!
+//! * [`branch`] — bimodal and gshare direction predictors, a branch target
+//!   buffer and a return-address stack (used by the pipeline frontend and by
+//!   the CFI signature stream);
+//! * [`future`] — **future control-flow (CFI) signatures**: the predicted
+//!   directions of the next *L* conditional branches after an instruction,
+//!   the information that lets the predictor distinguish dead from useful
+//!   instances of the same static instruction;
+//! * [`dead`] — the predictors themselves: [`dead::LastOutcomePredictor`],
+//!   [`dead::BimodalDeadPredictor`] (PC-only), [`dead::CfiDeadPredictor`]
+//!   (the paper's design, PC × CFI-signature indexed with confidence), and
+//!   [`dead::OracleDeadPredictor`] for limit studies — plus an offline
+//!   evaluation harness producing the paper's coverage/accuracy metrics.
+//!
+//! # Example
+//!
+//! Evaluate the CFI predictor on a toy loop:
+//!
+//! ```
+//! use dide_isa::{ProgramBuilder, Reg};
+//! use dide_emu::Emulator;
+//! use dide_analysis::DeadnessAnalysis;
+//! use dide_predictor::branch::Gshare;
+//! use dide_predictor::dead::{evaluate, CfiConfig, CfiDeadPredictor};
+//!
+//! let mut b = ProgramBuilder::new("loop");
+//! b.li(Reg::T0, 0).li(Reg::T1, 100);
+//! let top = b.label();
+//! b.bind(top);
+//! b.slt(Reg::T2, Reg::T0, Reg::T1); // dead on all but the last iteration
+//! b.addi(Reg::T0, Reg::T0, 1);
+//! b.blt(Reg::T0, Reg::T1, top);
+//! b.out(Reg::T2);
+//! b.halt();
+//! let trace = Emulator::new(&b.build()?).run()?;
+//! let analysis = DeadnessAnalysis::analyze(&trace);
+//!
+//! let mut predictor = CfiDeadPredictor::new(CfiConfig::default());
+//! let mut gshare = Gshare::new(10, 12);
+//! let report = evaluate(&trace, &analysis, &mut predictor, &mut gshare, 4);
+//! assert!(report.coverage() > 0.5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod dead;
+pub mod future;
+
+mod budget;
+
+pub use budget::StateBudget;

@@ -1,0 +1,80 @@
+//! Property-based tests for the predictors: signatures are well-formed for
+//! any input, and the confidence gate really gates.
+
+use dide_predictor::dead::{
+    CfiConfig, CfiDeadPredictor, DeadPredictor, LastOutcomePredictor, PredictInput,
+};
+use dide_predictor::future::CfSignature;
+use proptest::prelude::*;
+
+fn arb_signature() -> impl Strategy<Value = CfSignature> {
+    (any::<u16>(), 0u8..=16).prop_map(|(bits, len)| CfSignature::new(bits, len))
+}
+
+proptest! {
+    #[test]
+    fn signature_masks_invalid_bits(bits: u16, len in 0u8..=16) {
+        let s = CfSignature::new(bits, len);
+        prop_assert_eq!(s.len(), len);
+        if len < 16 {
+            prop_assert_eq!(s.bits() >> len, 0, "no bits beyond len");
+        }
+    }
+
+    #[test]
+    fn signature_hash_is_deterministic(sig in arb_signature(), pc: u32) {
+        prop_assert_eq!(sig.hash_with(pc), sig.hash_with(pc));
+    }
+
+    #[test]
+    fn cfi_never_predicts_below_threshold(
+        pc: u32,
+        sig in arb_signature(),
+        trainings in 0usize..12,
+    ) {
+        let config = CfiConfig { threshold: 12, ..CfiConfig::default() };
+        let mut p = CfiDeadPredictor::new(config);
+        let input = PredictInput { seq: 0, static_index: pc, signature: sig };
+        for _ in 0..trainings {
+            p.train(&input, true);
+        }
+        // Fewer than `threshold` confirmations: the gate must stay closed.
+        prop_assert!(!p.predict(&input));
+    }
+
+    #[test]
+    fn cfi_one_useful_outcome_closes_the_gate(pc: u32, sig in arb_signature()) {
+        let config = CfiConfig { threshold: 4, ..CfiConfig::default() };
+        let mut p = CfiDeadPredictor::new(config);
+        let input = PredictInput { seq: 0, static_index: pc, signature: sig };
+        for _ in 0..20 {
+            p.train(&input, true);
+        }
+        prop_assert!(p.predict(&input));
+        p.train(&input, false);
+        prop_assert!(!p.predict(&input));
+    }
+
+    #[test]
+    fn reset_forgets_everything(pc: u32, sig in arb_signature()) {
+        let mut p = CfiDeadPredictor::new(CfiConfig { threshold: 1, ..CfiConfig::default() });
+        let input = PredictInput { seq: 0, static_index: pc, signature: sig };
+        for _ in 0..20 {
+            p.train(&input, true);
+        }
+        p.reset();
+        prop_assert!(!p.predict(&input));
+    }
+
+    #[test]
+    fn last_outcome_tracks_exactly(outcomes in proptest::collection::vec(any::<bool>(), 1..50)) {
+        let mut p = LastOutcomePredictor::new(4);
+        let input = PredictInput { seq: 0, static_index: 3, signature: CfSignature::empty() };
+        let mut last = false;
+        for &o in &outcomes {
+            prop_assert_eq!(p.predict(&input), last);
+            p.train(&input, o);
+            last = o;
+        }
+    }
+}

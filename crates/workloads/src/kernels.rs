@@ -1,0 +1,98 @@
+//! Shared code-emission idioms used by all benchmarks.
+
+use dide_isa::{ProgramBuilder, Reg};
+
+/// Multiplier of the in-program LCG (Knuth's MMIX constants).
+pub(crate) const LCG_MUL: i64 = 6364136223846793005;
+/// Increment of the in-program LCG.
+pub(crate) const LCG_ADD: i64 = 1442695040888963407;
+
+/// Seeds the in-program random state register.
+pub(crate) fn lcg_init(b: &mut ProgramBuilder, state: Reg, seed: i64) {
+    b.li(state, seed);
+}
+
+/// Advances the LCG: `state = state * MUL + ADD` (clobbers `tmp`).
+///
+/// Emitting the multiplier load every step mirrors constant-rematerialization
+/// in real compiled code and keeps the step self-contained.
+pub(crate) fn lcg_step(b: &mut ProgramBuilder, state: Reg, tmp: Reg) {
+    b.li(tmp, LCG_MUL);
+    b.mul(state, state, tmp);
+    b.addi(state, state, LCG_ADD);
+}
+
+/// Extracts `bits` pseudo-random bits into `dst`: `(state >> shift) & mask`.
+///
+/// Uses the LCG's high bits (shift ≥ 24 recommended); low bits of an LCG are
+/// weak.
+pub(crate) fn rng_bits(b: &mut ProgramBuilder, dst: Reg, state: Reg, shift: i64, bits: u32) {
+    b.srli(dst, state, shift);
+    b.andi(dst, dst, (1i64 << bits) - 1);
+}
+
+/// Emits a standard function prologue: pushes `ra` and the given
+/// callee-saved registers. The frame is `8 * (saved.len() + 1)` bytes.
+///
+/// This save/restore traffic is a real-world source of dead stores: saves
+/// of registers the callee never actually clobbers are overwritten by the
+/// next frame without ever being loaded.
+pub(crate) fn prologue(b: &mut ProgramBuilder, saved: &[Reg]) {
+    let frame = 8 * (saved.len() as i64 + 1);
+    b.addi(Reg::SP, Reg::SP, -frame);
+    b.sd(Reg::RA, Reg::SP, 0);
+    for (i, &r) in saved.iter().enumerate() {
+        b.sd(r, Reg::SP, 8 * (i as i64 + 1));
+    }
+}
+
+/// Emits the matching epilogue for [`prologue`] and returns.
+pub(crate) fn epilogue(b: &mut ProgramBuilder, saved: &[Reg]) {
+    let frame = 8 * (saved.len() as i64 + 1);
+    for (i, &r) in saved.iter().enumerate() {
+        b.ld(r, Reg::SP, 8 * (i as i64 + 1));
+    }
+    b.ld(Reg::RA, Reg::SP, 0);
+    b.addi(Reg::SP, Reg::SP, frame);
+    b.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_isa::ProgramBuilder;
+
+    #[test]
+    fn lcg_emits_three_instructions() {
+        let mut b = ProgramBuilder::new("t");
+        lcg_init(&mut b, Reg::S0, 42);
+        let before = b.here();
+        lcg_step(&mut b, Reg::S0, Reg::T0);
+        assert_eq!(b.here() - before, 3);
+        b.halt();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn prologue_epilogue_balance() {
+        let mut b = ProgramBuilder::new("t");
+        let f = b.label();
+        b.call(f);
+        b.halt();
+        b.bind(f);
+        prologue(&mut b, &[Reg::S0, Reg::S1]);
+        epilogue(&mut b, &[Reg::S0, Reg::S1]);
+        let p = b.build().unwrap();
+        // 2 (call+halt) + 1 addi + 3 sd + 3 ld + 1 addi + 1 ret
+        assert_eq!(p.len(), 11);
+    }
+
+    #[test]
+    fn rng_bits_mask() {
+        let mut b = ProgramBuilder::new("t");
+        rng_bits(&mut b, Reg::T0, Reg::S0, 32, 4);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.insts()[1].imm, 15);
+    }
+}

@@ -1,0 +1,97 @@
+//! `anneal` — simulated-annealing accept/reject loop (twolf-like).
+//!
+//! Each iteration proposes a cell swap: the cost delta is always computed
+//! (it feeds the accept test, so it is live), but at `O2` the *new
+//! position* values are computed before the test and die on every rejected
+//! proposal.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernels::{lcg_init, lcg_step, rng_bits};
+use crate::OptLevel;
+
+const CELLS: usize = 256;
+const BASE_ITERS: i64 = 3000;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "anneal-O0",
+        OptLevel::O2 => "anneal-O2",
+    });
+
+    // Cell positions, 8 bytes each.
+    let mut rng = StdRng::seed_from_u64(0x7A0);
+    let mut cell_base = 0;
+    for idx in 0..CELLS {
+        let addr = b.data_u64(rng.gen_range(0..4096));
+        if idx == 0 {
+            cell_base = addr;
+        }
+    }
+
+    let (i, n, acc) = (Reg::S0, Reg::S1, Reg::S3);
+    let (base, lcg) = (Reg::S4, Reg::S2);
+
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    b.li_u64(base, cell_base);
+    lcg_init(&mut b, lcg, 0x7001);
+
+    let top = b.label();
+    let reject = b.label();
+    let join = b.label();
+
+    b.bind(top);
+    lcg_step(&mut b, lcg, Reg::T0);
+    // Pick a cell and load its position.
+    rng_bits(&mut b, Reg::T1, lcg, 35, 8);
+    b.slli(Reg::T1, Reg::T1, 3);
+    b.add(Reg::T1, Reg::T1, base);
+    b.ld(Reg::T2, Reg::T1, 0);
+
+    // Cost delta: always live (feeds the accept test and the accumulator).
+    b.xor(Reg::T3, Reg::T2, i);
+    b.andi(Reg::T3, Reg::T3, 0xff);
+    b.add(acc, acc, Reg::T3);
+
+    if opt == OptLevel::O2 {
+        // Hoisted new position, dead whenever the proposal is rejected.
+        b.addi(Reg::T4, Reg::T2, 17);
+        b.andi(Reg::T4, Reg::T4, 0xfff);
+    }
+
+    // Accept roughly 1 in 4 proposals (periodic: cooling schedule).
+    b.andi(Reg::T5, i, 3);
+    b.bne(Reg::T5, Reg::ZERO, reject);
+    if opt == OptLevel::O0 {
+        b.addi(Reg::T4, Reg::T2, 17);
+        b.andi(Reg::T4, Reg::T4, 0xfff);
+    }
+    b.sd(Reg::T4, Reg::T1, 0); // commit the move (read by later loads)
+    b.j(join);
+
+    b.bind(reject);
+    b.addi(acc, acc, 1);
+
+    b.bind(join);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("anneal benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_levels() {
+        assert!(build(OptLevel::O2, 1).len() > 20);
+        assert!(build(OptLevel::O0, 1).len() > 20);
+    }
+}

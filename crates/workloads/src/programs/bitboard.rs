@@ -1,0 +1,89 @@
+//! `bitboard` — 64-bit mask move generation (crafty-like).
+//!
+//! Chess-engine style bit manipulation: the move mask is always consumed,
+//! while the hoisted capture and promotion masks are consumed only on the
+//! iterations whose (periodic) phase examines them.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+
+use crate::kernels::{lcg_init, lcg_step};
+use crate::OptLevel;
+
+const BASE_ITERS: i64 = 4000;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "bitboard-O0",
+        OptLevel::O2 => "bitboard-O2",
+    });
+
+    let (i, n, acc, lcg) = (Reg::S0, Reg::S1, Reg::S3, Reg::S2);
+    let (pieces, occupied, enemy, ones) = (Reg::S4, Reg::S5, Reg::S6, Reg::G0);
+
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    lcg_init(&mut b, lcg, 0xB17B0A2D);
+    b.li(pieces, 0x00ff_0000_0000_ff00_u64 as i64);
+    b.li(occupied, 0x0f0f_0f0f_f0f0_f0f0_u64 as i64);
+    b.li(enemy, 0x5555_aaaa_5555_aaaa_u64 as i64);
+    b.li(ones, -1);
+
+    let top = b.label();
+    let no_capture = b.label();
+    let no_promo = b.label();
+
+    b.bind(top);
+    lcg_step(&mut b, lcg, Reg::T0);
+    // Evolve the boards (live: loop-carried).
+    b.xor(pieces, pieces, lcg);
+    b.srli(Reg::T0, occupied, 1);
+    b.xor(occupied, occupied, Reg::T0);
+
+    // Move mask: moves = (pieces << 9) & ~occupied. Always consumed.
+    b.slli(Reg::T1, pieces, 9);
+    b.xor(Reg::T2, occupied, ones); // ~occupied
+    b.and(Reg::T3, Reg::T1, Reg::T2);
+    b.andi(Reg::T4, Reg::T3, 0xff); // popcount stand-in
+    b.add(acc, acc, Reg::T4);
+
+    if opt == OptLevel::O2 {
+        // Hoisted capture and promotion masks.
+        b.and(Reg::T5, Reg::T3, enemy);
+        b.srli(Reg::T6, Reg::T3, 56);
+    }
+    // Examine captures on even iterations.
+    b.andi(Reg::T7, i, 1);
+    b.bne(Reg::T7, Reg::ZERO, no_capture);
+    if opt == OptLevel::O0 {
+        b.and(Reg::T5, Reg::T3, enemy);
+    }
+    b.add(acc, acc, Reg::T5);
+    b.bind(no_capture);
+    // Examine promotions every fourth iteration.
+    b.andi(Reg::T7, i, 3);
+    b.bne(Reg::T7, Reg::ZERO, no_promo);
+    if opt == OptLevel::O0 {
+        b.srli(Reg::T6, Reg::T3, 56);
+    }
+    b.add(acc, acc, Reg::T6);
+    b.bind(no_promo);
+
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("bitboard benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_levels() {
+        assert!(build(OptLevel::O2, 1).len() > 25);
+        assert!(build(OptLevel::O0, 1).len() > 25);
+    }
+}

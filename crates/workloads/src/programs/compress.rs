@@ -1,0 +1,110 @@
+//! `compress` — byte-stream compression inner loop (gzip-like).
+//!
+//! Hashes input bytes into a chained hash table. The table insertions are
+//! *naturally* partially dead stores (slots are frequently overwritten
+//! before the next probe of that slot), and at `O2` the match-length and
+//! distance computations are hoisted above the "emit match?" test that
+//! consumes them only on match iterations.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::OptLevel;
+
+const INPUT_BYTES: usize = 4096;
+const TABLE_SLOTS: usize = 256;
+const BASE_ITERS: i64 = 4000;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "compress-O0",
+        OptLevel::O2 => "compress-O2",
+    });
+
+    // Compressible-ish input: runs of repeated bytes with noise.
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    let mut input = Vec::with_capacity(INPUT_BYTES);
+    let mut current = 0u8;
+    for _ in 0..INPUT_BYTES {
+        if rng.gen_ratio(1, 6) {
+            current = rng.gen();
+        }
+        input.push(current);
+    }
+    let in_base = b.data_bytes(&input);
+    b.data_align(8);
+    let table_base = b.data_zeros(TABLE_SLOTS * 8);
+
+    let (i, n, acc) = (Reg::S0, Reg::S1, Reg::S3);
+    let (inp, tab, hash) = (Reg::S4, Reg::S5, Reg::S6);
+
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    b.li_u64(inp, in_base);
+    b.li_u64(tab, table_base);
+    b.li(hash, 5381);
+
+    let top = b.label();
+    let no_match = b.label();
+
+    b.bind(top);
+    // Load the next input byte.
+    b.andi(Reg::T0, i, (INPUT_BYTES - 1) as i64);
+    b.add(Reg::T0, Reg::T0, inp);
+    b.lbu(Reg::T1, Reg::T0, 0);
+
+    // Rolling hash (always live: feeds the table address).
+    b.slli(Reg::T2, hash, 5);
+    b.xor(hash, Reg::T2, Reg::T1);
+    b.andi(hash, hash, 0x7fff);
+
+    // Hash-chain maintenance: remember the previous occupant, then insert
+    // the current position (the gzip `prev[]` idiom — the loads keep the
+    // inserts live).
+    b.andi(Reg::T3, hash, (TABLE_SLOTS - 1) as i64);
+    b.slli(Reg::T3, Reg::T3, 3);
+    b.add(Reg::T3, Reg::T3, tab);
+    b.ld(Reg::T7, Reg::T3, 0);
+    b.sd(i, Reg::T3, 0);
+    b.sub(Reg::T7, i, Reg::T7);
+    b.add(acc, acc, Reg::T7);
+
+    if opt == OptLevel::O2 {
+        // Hoisted match metadata, consumed only on match iterations.
+        b.andi(Reg::T4, Reg::T1, 7); // match length guess
+        b.srli(Reg::T5, hash, 3); // distance guess
+        b.andi(Reg::T5, Reg::T5, 63);
+    }
+
+    // "Emit match" on half the iterations (periodic, predictable).
+    b.andi(Reg::T6, i, 1);
+    b.bne(Reg::T6, Reg::ZERO, no_match);
+    if opt == OptLevel::O0 {
+        b.andi(Reg::T4, Reg::T1, 7);
+        b.srli(Reg::T5, hash, 3);
+        b.andi(Reg::T5, Reg::T5, 63);
+    }
+    b.add(acc, acc, Reg::T4);
+    b.add(acc, acc, Reg::T5);
+    b.bind(no_match);
+
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("compress benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_levels() {
+        assert!(build(OptLevel::O2, 1).len() > 20);
+        assert!(build(OptLevel::O0, 1).len() > 20);
+    }
+}

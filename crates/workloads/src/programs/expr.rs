@@ -1,0 +1,131 @@
+//! `expr` — expression-tree evaluation with heavy speculative hoisting
+//! (gcc-like). The high end of the paper's 3–16% dead range.
+//!
+//! Each iteration loads an "expression node" and — at `O2` — eagerly
+//! computes three candidate results *before* the operator dispatch, exactly
+//! the inter-block code motion a scheduling compiler performs. The dispatch
+//! consumes at most one candidate, so the others die; on the
+//! no-candidate path even the node load and its address arithmetic become
+//! transitively dead.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernels::{lcg_init, lcg_step, rng_bits};
+use crate::OptLevel;
+
+const NODES: usize = 256;
+const BASE_ITERS: i64 = 4000;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "expr-O0",
+        OptLevel::O2 => "expr-O2",
+    });
+
+    // Node table: pseudo-random 64-bit "expression nodes".
+    let mut rng = StdRng::seed_from_u64(0xE59);
+    let mut node_base = 0;
+    for i in 0..NODES {
+        let addr = b.data_u64(rng.gen::<u64>());
+        if i == 0 {
+            node_base = addr;
+        }
+    }
+
+    let (i, n, lcg, acc, base) = (Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4);
+    // Dispatch constants, loop-invariant.
+    let (c3, c6, c7, mul3) = (Reg::G0, Reg::G1, Reg::G2, Reg::G3);
+
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    lcg_init(&mut b, lcg, 0x1234_5678_9abc);
+    b.li(acc, 0);
+    b.li_u64(base, node_base);
+    b.li(c3, 3);
+    b.li(c6, 6);
+    b.li(c7, 7);
+    b.li(mul3, 3);
+
+    let top = b.label();
+    let path_a = b.label();
+    let path_b = b.label();
+    let path_d = b.label();
+    let join = b.label();
+
+    b.bind(top);
+    lcg_step(&mut b, lcg, Reg::T0);
+    // Node index from the RNG high bits; load the node.
+    rng_bits(&mut b, Reg::T1, lcg, 33, 8);
+    b.slli(Reg::T1, Reg::T1, 3);
+    b.add(Reg::T1, Reg::T1, base);
+    b.ld(Reg::T2, Reg::T1, 0);
+
+    // Operator selector: periodic (predictable) three-bit pattern.
+    b.andi(Reg::T6, i, 7);
+
+    if opt == OptLevel::O2 {
+        // Hoisted candidates (the scheduler moved them above the dispatch).
+        b.mul(Reg::T3, Reg::T2, mul3); // candidate A (1 inst)
+        b.srli(Reg::T4, Reg::T2, 2); // candidate B (2 insts)
+        b.andi(Reg::T4, Reg::T4, 0xff);
+        b.xor(Reg::T5, Reg::T2, lcg); // candidate C (1 inst)
+    }
+
+    // Dispatch: A 3/8, B 3/8, C 1/8, D (no consumer) 1/8.
+    b.blt(Reg::T6, c3, path_a);
+    b.blt(Reg::T6, c6, path_b);
+    b.beq(Reg::T6, c7, path_d);
+
+    // Path C (fallthrough).
+    if opt == OptLevel::O0 {
+        b.xor(Reg::T5, Reg::T2, lcg);
+    }
+    b.add(acc, acc, Reg::T5);
+    b.j(join);
+
+    b.bind(path_a);
+    if opt == OptLevel::O0 {
+        b.mul(Reg::T3, Reg::T2, mul3);
+    }
+    b.add(acc, acc, Reg::T3);
+    b.j(join);
+
+    b.bind(path_b);
+    if opt == OptLevel::O0 {
+        b.srli(Reg::T4, Reg::T2, 2);
+        b.andi(Reg::T4, Reg::T4, 0xff);
+    }
+    b.add(acc, acc, Reg::T4);
+    b.j(join);
+
+    b.bind(path_d);
+    b.addi(acc, acc, 1);
+
+    b.bind(join);
+    // Live epilogue work each iteration.
+    b.add(acc, acc, i);
+    b.add(acc, acc, Reg::T6);
+    b.xor(acc, acc, lcg);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("expr benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_scales() {
+        let p1 = build(OptLevel::O2, 1);
+        let p0 = build(OptLevel::O0, 1);
+        assert!(p1.len() > 30);
+        // O2 hoists into the main block: the static program differs.
+        assert_ne!(p1.insts(), p0.insts());
+    }
+}

@@ -1,0 +1,164 @@
+//! `interp` — bytecode interpreter dispatch loop (perl-like).
+//!
+//! An indirect-jump dispatch loop over eight handlers. At `O2` the operand
+//! loads are hoisted above the dispatch (the interpreter "pre-decodes"
+//! both potential operands), but unary and nullary handlers consume only
+//! one or neither — speculative operand fetch is a classic interpreter
+//! source of dead loads.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::OptLevel;
+
+const CODE_BYTES: usize = 1024;
+const BASE_ITERS: i64 = 2500;
+/// Instruction slots per handler (handlers are padded to this stride).
+const STRIDE: i64 = 8;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "interp-O0",
+        OptLevel::O2 => "interp-O2",
+    });
+
+    // Bytecode: a repeating phrase with occasional random opcodes, so the
+    // dispatch stream is largely (but not perfectly) predictable.
+    let mut rng = StdRng::seed_from_u64(0x1E7);
+    let phrase = [0u8, 3, 1, 0, 4, 2, 5, 0, 3, 7, 1, 6];
+    let mut code = Vec::with_capacity(CODE_BYTES);
+    for i in 0..CODE_BYTES {
+        if rng.gen_ratio(1, 25) {
+            code.push(rng.gen_range(0..8u8));
+        } else {
+            code.push(phrase[i % phrase.len()]);
+        }
+    }
+    let code_base = b.data_bytes(&code);
+    b.data_align(8);
+    // Two-slot operand stack in memory.
+    let stack_base = b.data_zeros(16);
+
+    let (i, n, acc) = (Reg::S0, Reg::S1, Reg::S3);
+    let (cbase, vsp, flag) = (Reg::S4, Reg::S5, Reg::S6);
+
+    let main = b.label();
+    b.j(main);
+
+    // --- handler table: 8 handlers, each padded to STRIDE instructions ---
+    // All handlers end with `ret`. t4 = first operand, t5 = second.
+    let handler_base = b.here();
+    let emit_handler = |b: &mut ProgramBuilder, body: &dyn Fn(&mut ProgramBuilder)| {
+        let start = b.here();
+        body(b);
+        b.ret();
+        assert!(i64::from(b.here() - start) <= STRIDE, "handler exceeds stride");
+        while i64::from(b.here() - start) < STRIDE {
+            b.nop();
+        }
+    };
+    // 0: add — consumes both operands.
+    emit_handler(&mut b, &|b| {
+        b.add(Reg::T6, Reg::T4, Reg::T5);
+        b.add(acc, acc, Reg::T6);
+    });
+    // 1: neg — consumes t4 only.
+    emit_handler(&mut b, &|b| {
+        b.sub(Reg::T6, Reg::ZERO, Reg::T4);
+        b.add(acc, acc, Reg::T6);
+    });
+    // 2: const — consumes neither operand.
+    emit_handler(&mut b, &|b| {
+        b.addi(acc, acc, 3);
+    });
+    // 3: mul — consumes both.
+    emit_handler(&mut b, &|b| {
+        b.mul(Reg::T6, Reg::T4, Reg::T5);
+        b.add(acc, acc, Reg::T6);
+    });
+    // 4: dup — consumes t4 only.
+    emit_handler(&mut b, &|b| {
+        b.add(acc, acc, Reg::T4);
+    });
+    // 5: cmp — sets a flag consumed by a later conditional handler.
+    emit_handler(&mut b, &|b| {
+        b.slt(flag, Reg::T4, Reg::T5);
+    });
+    // 6: condadd — consumes the flag.
+    emit_handler(&mut b, &|b| {
+        b.add(acc, acc, flag);
+    });
+    // 7: xorip — consumes neither operand.
+    emit_handler(&mut b, &|b| {
+        b.xor(acc, acc, i);
+    });
+
+    b.bind(main);
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    b.li_u64(cbase, code_base);
+    b.li_u64(vsp, stack_base);
+    b.li(flag, 0);
+    b.li(Reg::G0, STRIDE);
+
+    let top = b.label();
+    b.bind(top);
+    // Fetch the opcode.
+    b.andi(Reg::T0, i, (CODE_BYTES - 1) as i64);
+    b.add(Reg::T0, Reg::T0, cbase);
+    b.lbu(Reg::T1, Reg::T0, 0);
+
+    if opt == OptLevel::O2 {
+        // Hoisted speculative operand fetch (pre-decode).
+        b.ld(Reg::T4, vsp, 0);
+        b.ld(Reg::T5, vsp, 8);
+    }
+
+    // Indirect dispatch: target = handler_base + op * STRIDE.
+    b.mul(Reg::T2, Reg::T1, Reg::G0);
+    b.jalr(Reg::RA, Reg::T2, i64::from(handler_base));
+
+    if opt == OptLevel::O0 {
+        // Without hoisting, handlers that need operands reload them after
+        // returning (modeled as a post-dispatch fixup block keyed on the
+        // opcode class): only binary/unary opcodes reload.
+        let skip2 = b.label();
+        let skip1 = b.label();
+        b.andi(Reg::T3, Reg::T1, 1); // odd opcodes: unary-ish
+        b.bne(Reg::T3, Reg::ZERO, skip1);
+        b.ld(Reg::T4, vsp, 0);
+        b.ld(Reg::T5, vsp, 8);
+        b.add(acc, acc, Reg::T4);
+        b.add(acc, acc, Reg::T5);
+        b.j(skip2);
+        b.bind(skip1);
+        b.ld(Reg::T4, vsp, 0);
+        b.add(acc, acc, Reg::T4);
+        b.bind(skip2);
+    }
+
+    // Update the operand stack so later iterations read fresh values.
+    b.sd(acc, vsp, 0);
+    b.sd(i, vsp, 8);
+
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("interp benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handlers_are_stride_aligned() {
+        // Building validates strides via the internal assertion.
+        let p = build(OptLevel::O2, 1);
+        assert!(p.len() > 8 * STRIDE as usize);
+    }
+}

@@ -1,0 +1,148 @@
+//! The benchmark suite: eleven synthetic SPECint-style programs.
+
+mod anneal;
+mod bitboard;
+mod compress;
+mod expr;
+mod interp;
+mod netflow;
+mod objstore;
+mod parse;
+mod route;
+mod sort;
+mod stream;
+
+use dide_isa::Program;
+
+use crate::OptLevel;
+
+/// Identifies one benchmark of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchKind {
+    /// Expression-tree evaluation with heavy speculative hoisting
+    /// (gcc-like; the high end of the dead range).
+    Expr,
+    /// Byte-stream compression inner loop (gzip-like).
+    Compress,
+    /// Pointer-chasing network flow relaxation (mcf-like).
+    Netflow,
+    /// Token classification with deep call chains (parser-like).
+    Parse,
+    /// Bytecode interpreter dispatch loop (perl-like).
+    Interp,
+    /// Simulated-annealing accept/reject loop (twolf-like).
+    Anneal,
+    /// Object creation/update with redundant field stores (vortex-like).
+    Objstore,
+    /// Grid routing with conditional bend penalties (vpr-like).
+    Route,
+    /// 64-bit mask move generation (crafty-like).
+    Bitboard,
+    /// Recursive quicksort: deep call chains and data-dependent partition
+    /// branches that defeat prediction.
+    Sort,
+    /// Dense streaming arithmetic where nearly everything is consumed
+    /// (the low end of the dead range).
+    Stream,
+}
+
+/// A buildable benchmark descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Short name used in report tables.
+    pub name: &'static str,
+    /// Which benchmark this is.
+    pub kind: BenchKind,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+impl WorkloadSpec {
+    /// Builds the benchmark program.
+    ///
+    /// `scale` multiplies the iteration count linearly (`1` gives a dynamic
+    /// trace of roughly 50–200 k instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    #[must_use]
+    pub fn build(&self, opt: OptLevel, scale: u32) -> Program {
+        assert!(scale > 0, "scale must be at least 1");
+        match self.kind {
+            BenchKind::Expr => expr::build(opt, scale),
+            BenchKind::Compress => compress::build(opt, scale),
+            BenchKind::Netflow => netflow::build(opt, scale),
+            BenchKind::Parse => parse::build(opt, scale),
+            BenchKind::Interp => interp::build(opt, scale),
+            BenchKind::Anneal => anneal::build(opt, scale),
+            BenchKind::Objstore => objstore::build(opt, scale),
+            BenchKind::Route => route::build(opt, scale),
+            BenchKind::Bitboard => bitboard::build(opt, scale),
+            BenchKind::Sort => sort::build(opt, scale),
+            BenchKind::Stream => stream::build(opt, scale),
+        }
+    }
+}
+
+/// The full eleven-benchmark suite, in reporting order.
+#[must_use]
+pub fn suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "expr",
+            kind: BenchKind::Expr,
+            description: "expression evaluation, heavy speculative hoisting (gcc-like)",
+        },
+        WorkloadSpec {
+            name: "compress",
+            kind: BenchKind::Compress,
+            description: "byte-stream compression inner loop (gzip-like)",
+        },
+        WorkloadSpec {
+            name: "netflow",
+            kind: BenchKind::Netflow,
+            description: "pointer-chasing flow relaxation (mcf-like)",
+        },
+        WorkloadSpec {
+            name: "parse",
+            kind: BenchKind::Parse,
+            description: "token classification with call chains (parser-like)",
+        },
+        WorkloadSpec {
+            name: "interp",
+            kind: BenchKind::Interp,
+            description: "bytecode interpreter dispatch (perl-like)",
+        },
+        WorkloadSpec {
+            name: "anneal",
+            kind: BenchKind::Anneal,
+            description: "annealing accept/reject loop (twolf-like)",
+        },
+        WorkloadSpec {
+            name: "objstore",
+            kind: BenchKind::Objstore,
+            description: "object store with redundant field writes (vortex-like)",
+        },
+        WorkloadSpec {
+            name: "route",
+            kind: BenchKind::Route,
+            description: "grid routing with bend penalties (vpr-like)",
+        },
+        WorkloadSpec {
+            name: "bitboard",
+            kind: BenchKind::Bitboard,
+            description: "64-bit mask move generation (crafty-like)",
+        },
+        WorkloadSpec {
+            name: "sort",
+            kind: BenchKind::Sort,
+            description: "recursive quicksort: deep calls, unpredictable partitions",
+        },
+        WorkloadSpec {
+            name: "stream",
+            kind: BenchKind::Stream,
+            description: "dense streaming arithmetic, minimal deadness",
+        },
+    ]
+}

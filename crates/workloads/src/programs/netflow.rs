@@ -1,0 +1,92 @@
+//! `netflow` — pointer-chasing arc relaxation (mcf-like).
+//!
+//! Walks a single-cycle linked list of "arc" nodes laid out randomly in
+//! memory (poor locality, like mcf). The relaxation always accumulates the
+//! arc weight; the *excess* computation is hoisted at `O2` but consumed
+//! only on the periodic "augmenting" iterations.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::OptLevel;
+
+const NODES: usize = 1024;
+const BASE_ITERS: i64 = 4000;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "netflow-O0",
+        OptLevel::O2 => "netflow-O2",
+    });
+
+    // Nodes: 16 bytes each, [next_node_index, weight]. A random permutation
+    // cycle touches all nodes before repeating.
+    let mut rng = StdRng::seed_from_u64(0x3CF);
+    let mut order: Vec<u64> = (0..NODES as u64).collect();
+    order.shuffle(&mut rng);
+    let mut next = vec![0u64; NODES];
+    for w in 0..NODES {
+        next[order[w] as usize] = order[(w + 1) % NODES];
+    }
+    let mut node_base = 0;
+    for (idx, &nx) in next.iter().enumerate() {
+        let addr = b.data_u64(nx);
+        b.data_u64(rng.gen_range(1..1000));
+        if idx == 0 {
+            node_base = addr;
+        }
+    }
+
+    let (i, n, acc) = (Reg::S0, Reg::S1, Reg::S3);
+    let (base, cur) = (Reg::S4, Reg::S5);
+
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    b.li_u64(base, node_base);
+    b.li(cur, 0);
+
+    let top = b.label();
+    let no_augment = b.label();
+
+    b.bind(top);
+    // addr = base + cur * 16
+    b.slli(Reg::T0, cur, 4);
+    b.add(Reg::T0, Reg::T0, base);
+    b.ld(cur, Reg::T0, 0); // next (loop-carried: always live)
+    b.ld(Reg::T1, Reg::T0, 8); // weight
+    b.add(acc, acc, Reg::T1); // relaxation (live)
+
+    if opt == OptLevel::O2 {
+        // Hoisted excess computation.
+        b.addi(Reg::T2, Reg::T1, -500);
+    }
+    // Augment on 1 of 4 iterations (periodic).
+    b.andi(Reg::T3, i, 3);
+    b.bne(Reg::T3, Reg::ZERO, no_augment);
+    if opt == OptLevel::O0 {
+        b.addi(Reg::T2, Reg::T1, -500);
+    }
+    b.add(acc, acc, Reg::T2);
+    b.bind(no_augment);
+
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("netflow benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_has_node_table() {
+        let p = build(OptLevel::O2, 1);
+        assert_eq!(p.data().len(), NODES * 16);
+    }
+}

@@ -1,0 +1,102 @@
+//! `objstore` — object creation and update with redundant field writes
+//! (vortex-like).
+//!
+//! Objects are "created" with default field values and immediately
+//! specialized: two of the default-initializing stores are overwritten
+//! before they can ever be read — genuinely dead stores that no scheduling
+//! level removes (the `O0`/`O2` difference here is small by design, unlike
+//! `expr`). A third field is read back only on every eighth iteration, so
+//! most of its writes die too.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+
+use crate::kernels::{lcg_init, lcg_step, rng_bits};
+use crate::OptLevel;
+
+const OBJECTS: usize = 256;
+/// Bytes per object record (4 fields of 8 bytes).
+const OBJ_BYTES: usize = 32;
+const BASE_ITERS: i64 = 3000;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "objstore-O0",
+        OptLevel::O2 => "objstore-O2",
+    });
+
+    let heap_base = b.data_zeros(OBJECTS * OBJ_BYTES);
+
+    let (i, n, acc) = (Reg::S0, Reg::S1, Reg::S3);
+    let (base, lcg, defaults) = (Reg::S4, Reg::S2, Reg::S5);
+
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    b.li_u64(base, heap_base);
+    b.li(defaults, 0x5a5a);
+    lcg_init(&mut b, lcg, 0x0B57);
+
+    let top = b.label();
+    let no_audit = b.label();
+
+    b.bind(top);
+    lcg_step(&mut b, lcg, Reg::T0);
+    // Object address.
+    rng_bits(&mut b, Reg::T1, lcg, 34, 8);
+    b.slli(Reg::T1, Reg::T1, 5);
+    b.add(Reg::T1, Reg::T1, base);
+
+    // "Constructor": default-initialize fields 0, 2 and 3.
+    b.sd(defaults, Reg::T1, 0); // overwritten below: always dead
+    b.sd(defaults, Reg::T1, 16); // read on audit iterations only
+    b.sd(i, Reg::T1, 24); // read below: live
+
+    // "Specialize": overwrite fields 0 and 1 with computed values.
+    b.xor(Reg::T2, i, lcg);
+    b.sd(Reg::T2, Reg::T1, 0);
+    b.addi(Reg::T3, i, 42);
+    b.sd(Reg::T3, Reg::T1, 8);
+
+    // Use the object: read fields 0 and 3.
+    b.ld(Reg::T4, Reg::T1, 0);
+    b.add(acc, acc, Reg::T4);
+    b.ld(Reg::T5, Reg::T1, 24);
+    b.add(acc, acc, Reg::T5);
+    b.xor(acc, acc, Reg::T2);
+    b.add(acc, acc, lcg);
+
+    if opt == OptLevel::O2 {
+        // Hoisted audit checksum, consumed only on audit iterations.
+        b.xor(Reg::T6, Reg::T4, Reg::T5);
+    }
+    // Audit every fourth iteration: read fields 1 and 2 as well.
+    b.andi(Reg::T7, i, 3);
+    b.bne(Reg::T7, Reg::ZERO, no_audit);
+    if opt == OptLevel::O0 {
+        b.xor(Reg::T6, Reg::T4, Reg::T5);
+    }
+    b.ld(Reg::T0, Reg::T1, 8);
+    b.add(acc, acc, Reg::T0);
+    b.ld(Reg::T0, Reg::T1, 16);
+    b.add(acc, acc, Reg::T0);
+    b.add(acc, acc, Reg::T6);
+    b.bind(no_audit);
+
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("objstore benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_heap() {
+        let p = build(OptLevel::O2, 1);
+        assert_eq!(p.data().len(), OBJECTS * OBJ_BYTES);
+    }
+}

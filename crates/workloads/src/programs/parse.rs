@@ -1,0 +1,111 @@
+//! `parse` — token classification with call chains (parser-like).
+//!
+//! Exercises the calling-convention sources of deadness the paper
+//! identifies: the `classify` callee saves and restores a callee-saved
+//! register that the caller never actually reads again (the entire
+//! save/restore chain is transitively dead), and the caller conservatively
+//! spills a computed value across the call but reloads it on only half of
+//! the iterations.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernels::{epilogue, prologue};
+use crate::OptLevel;
+
+const TOKENS: usize = 2048;
+const BASE_ITERS: i64 = 2500;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "parse-O0",
+        OptLevel::O2 => "parse-O2",
+    });
+
+    // Token stream: mostly-structured token codes 0..16.
+    let mut rng = StdRng::seed_from_u64(0xBA5);
+    let mut tokens = Vec::with_capacity(TOKENS);
+    for i in 0..TOKENS {
+        let code: u8 = if i % 3 == 0 { (i % 16) as u8 } else { rng.gen_range(0..16) };
+        tokens.push(code);
+    }
+    let tok_base = b.data_bytes(&tokens);
+
+    let (i, n, acc, tbase) = (Reg::S0, Reg::S1, Reg::S3, Reg::S4);
+
+    let main = b.label();
+    b.j(main);
+
+    // fn classify(a0: token) -> a0: class
+    // Saves s6 "by convention" and then clobbers it as scratch. The caller
+    // never reads s6, so every save/restore pair is dynamically dead.
+    let classify = b.label();
+    b.bind(classify);
+    prologue(&mut b, &[Reg::S6]);
+    b.andi(Reg::T0, Reg::A0, 15);
+    b.slli(Reg::S6, Reg::A0, 2); // scratch use of the saved register
+    b.add(Reg::T0, Reg::T0, Reg::S6);
+    b.andi(Reg::A0, Reg::T0, 31);
+    epilogue(&mut b, &[Reg::S6]);
+
+    b.bind(main);
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    b.li_u64(tbase, tok_base);
+
+    let top = b.label();
+    let no_reload = b.label();
+
+    b.bind(top);
+    // Fetch the next token.
+    b.andi(Reg::T1, i, (TOKENS - 1) as i64);
+    b.add(Reg::T1, Reg::T1, tbase);
+    b.lbu(Reg::A0, Reg::T1, 0);
+
+    if opt == OptLevel::O2 {
+        // Conservative caller-save spill: v = token hash, spilled across the
+        // call "in case" — reloaded on only half the iterations.
+        b.slli(Reg::T2, Reg::A0, 3);
+        b.xor(Reg::T2, Reg::T2, i);
+        b.sd(Reg::T2, Reg::SP, -8);
+    }
+
+    b.call(classify);
+    b.add(acc, acc, Reg::A0); // class is always consumed
+
+    b.andi(Reg::T3, i, 1);
+    b.bne(Reg::T3, Reg::ZERO, no_reload);
+    if opt == OptLevel::O2 {
+        b.ld(Reg::T4, Reg::SP, -8);
+    } else {
+        // Unspilled at O0: recompute in the consuming block. The token must
+        // be re-fetched because the call clobbered a0.
+        b.andi(Reg::T4, i, (TOKENS - 1) as i64);
+        b.add(Reg::T4, Reg::T4, tbase);
+        b.lbu(Reg::T4, Reg::T4, 0);
+        b.slli(Reg::T4, Reg::T4, 3);
+        b.xor(Reg::T4, Reg::T4, i);
+    }
+    b.add(acc, acc, Reg::T4);
+    b.bind(no_reload);
+
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("parse benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_levels() {
+        assert!(build(OptLevel::O2, 1).len() > 25);
+        assert!(build(OptLevel::O0, 1).len() > 25);
+    }
+}

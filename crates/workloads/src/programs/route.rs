@@ -1,0 +1,103 @@
+//! `route` — grid routing with conditional bend penalties (vpr-like).
+//!
+//! A maze-router inner loop: every step computes the Manhattan cost toward
+//! the target (live), while at `O2` the bend-penalty computation is hoisted
+//! above the "did the direction change?" test and dies on straight moves.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+
+use crate::kernels::{lcg_init, lcg_step, rng_bits};
+use crate::OptLevel;
+
+const BASE_ITERS: i64 = 3500;
+
+/// Emits `dst = |a - b|` using the shift-xor-sub idiom (clobbers `tmp`).
+fn emit_abs_diff(b: &mut ProgramBuilder, dst: Reg, a: Reg, bb: Reg, tmp: Reg) {
+    b.sub(dst, a, bb);
+    b.srai(tmp, dst, 63);
+    b.xor(dst, dst, tmp);
+    b.sub(dst, dst, tmp);
+}
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "route-O0",
+        OptLevel::O2 => "route-O2",
+    });
+
+    let (i, n, acc, lcg) = (Reg::S0, Reg::S1, Reg::S3, Reg::S2);
+    let (x, y, tx, ty, dir) = (Reg::S4, Reg::S5, Reg::S6, Reg::S7, Reg::G0);
+
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    lcg_init(&mut b, lcg, 0x40_77E);
+    b.li(x, 0).li(y, 0);
+    b.li(tx, 100).li(ty, 100);
+    b.li(dir, 0);
+
+    let top = b.label();
+    let straight = b.label();
+
+    b.bind(top);
+    lcg_step(&mut b, lcg, Reg::T0);
+    // Step direction: low-period pattern plus noise bit -> mostly
+    // predictable direction changes.
+    b.andi(Reg::T1, i, 1);
+    rng_bits(&mut b, Reg::T2, lcg, 40, 1);
+    b.xor(Reg::T1, Reg::T1, Reg::T2);
+    // Move: x += 1 or y += 1.
+    let move_y = b.label();
+    let moved = b.label();
+    b.bne(Reg::T1, Reg::ZERO, move_y);
+    b.addi(x, x, 1);
+    b.j(moved);
+    b.bind(move_y);
+    b.addi(y, y, 1);
+    b.bind(moved);
+
+    // Manhattan cost toward the target: always consumed.
+    emit_abs_diff(&mut b, Reg::T3, x, tx, Reg::T0);
+    emit_abs_diff(&mut b, Reg::T4, y, ty, Reg::T0);
+    b.add(Reg::T5, Reg::T3, Reg::T4);
+    b.add(acc, acc, Reg::T5);
+
+    if opt == OptLevel::O2 {
+        // Hoisted bend penalty: dead whenever the move was straight.
+        b.slli(Reg::T6, Reg::T5, 1);
+        b.addi(Reg::T6, Reg::T6, 13);
+        b.andi(Reg::T6, Reg::T6, 0xff);
+    }
+    // Bend iff the direction changed.
+    b.beq(Reg::T1, dir, straight);
+    if opt == OptLevel::O0 {
+        b.slli(Reg::T6, Reg::T5, 1);
+        b.addi(Reg::T6, Reg::T6, 13);
+        b.andi(Reg::T6, Reg::T6, 0xff);
+    }
+    b.add(acc, acc, Reg::T6);
+    b.bind(straight);
+    b.mv(dir, Reg::T1);
+
+    // Wrap the walker so coordinates stay bounded.
+    b.andi(x, x, 0x3ff);
+    b.andi(y, y, 0x3ff);
+
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("route benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_levels() {
+        assert!(build(OptLevel::O2, 1).len() > 30);
+        assert!(build(OptLevel::O0, 1).len() > 30);
+    }
+}

@@ -1,0 +1,171 @@
+//! `sort` — recursive quicksort (the suite's genuinely recursive program).
+//!
+//! A Lomuto-partition quicksort over a 512-element array, exercising deep
+//! call chains (return-address-stack behaviour), callee-save convention
+//! traffic, and — unlike the loop benchmarks — a *data-dependent* partition
+//! branch that defeats the branch predictor. At `O2` the swap-address
+//! computation is hoisted above the partition test and dies on the
+//! not-swapped path; because that path is decided by a ~50/50 branch, the
+//! CFI predictor (correctly) struggles here, giving the suite a low-
+//! coverage data point like real SPEC inputs do.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+
+use crate::kernels::{epilogue, lcg_init, lcg_step, prologue, rng_bits};
+use crate::OptLevel;
+
+const ELEMS: i64 = 512;
+
+pub(crate) fn build(opt: OptLevel, scale: u32) -> Program {
+    let mut b = ProgramBuilder::new(match opt {
+        OptLevel::O0 => "sort-O0",
+        OptLevel::O2 => "sort-O2",
+    });
+
+    let array_base = b.data_zeros(ELEMS as usize * 8);
+
+    let (lo, hi) = (Reg::A0, Reg::A1);
+    let base = Reg::G5;
+    let (i, j, pivot) = (Reg::T5, Reg::T6, Reg::S6);
+
+    let main = b.label();
+    b.j(main);
+
+    // fn qsort(a0 = lo, a1 = hi), array base in g5.
+    let qsort = b.label();
+    let body = b.label();
+    b.bind(qsort);
+    b.blt(lo, hi, body);
+    b.ret();
+    b.bind(body);
+    prologue(&mut b, &[Reg::S4, Reg::S5, Reg::S6]);
+    b.mv(Reg::S4, lo);
+    b.mv(Reg::S5, hi);
+    // pivot = a[hi]
+    b.slli(Reg::T0, Reg::S5, 3);
+    b.add(Reg::T0, Reg::T0, base);
+    b.ld(pivot, Reg::T0, 0);
+    // i = lo - 1; j = lo
+    b.addi(i, Reg::S4, -1);
+    b.mv(j, Reg::S4);
+
+    let loop_top = b.label();
+    let loop_end = b.label();
+    let skip = b.label();
+    b.bind(loop_top);
+    b.bge(j, Reg::S5, loop_end);
+    // t1 = a[j]
+    b.slli(Reg::T0, j, 3);
+    b.add(Reg::T0, Reg::T0, base);
+    b.ld(Reg::T1, Reg::T0, 0);
+    if opt == OptLevel::O2 {
+        // Hoisted swap-destination address a[i + 1]: dead when a[j] > pivot
+        // (a data-dependent, roughly 50/50 branch).
+        b.slli(Reg::T3, i, 3);
+        b.addi(Reg::T3, Reg::T3, 8);
+        b.add(Reg::T3, Reg::T3, base);
+    }
+    b.blt(pivot, Reg::T1, skip); // a[j] > pivot: no swap
+    b.addi(i, i, 1);
+    if opt == OptLevel::O0 {
+        b.slli(Reg::T3, i, 3);
+        b.add(Reg::T3, Reg::T3, base);
+    }
+    // swap a[i], a[j]
+    b.ld(Reg::T4, Reg::T3, 0);
+    b.sd(Reg::T4, Reg::T0, 0);
+    b.sd(Reg::T1, Reg::T3, 0);
+    b.bind(skip);
+    b.addi(j, j, 1);
+    b.j(loop_top);
+    b.bind(loop_end);
+
+    // Place the pivot: swap a[i + 1], a[hi].
+    b.addi(i, i, 1);
+    b.slli(Reg::T0, i, 3);
+    b.add(Reg::T0, Reg::T0, base);
+    b.ld(Reg::T1, Reg::T0, 0);
+    b.slli(Reg::T2, Reg::S5, 3);
+    b.add(Reg::T2, Reg::T2, base);
+    b.ld(Reg::T3, Reg::T2, 0);
+    b.sd(Reg::T3, Reg::T0, 0);
+    b.sd(Reg::T1, Reg::T2, 0);
+    // p survives the recursive calls in s6 (pivot value is dead by now).
+    b.mv(Reg::S6, i);
+    // qsort(lo, p - 1)
+    b.mv(lo, Reg::S4);
+    b.addi(hi, Reg::S6, -1);
+    b.call(qsort);
+    // qsort(p + 1, hi)
+    b.addi(lo, Reg::S6, 1);
+    b.mv(hi, Reg::S5);
+    b.call(qsort);
+    epilogue(&mut b, &[Reg::S4, Reg::S5, Reg::S6]);
+
+    // --- main ---
+    b.bind(main);
+    let (round, rounds, acc, lcg) = (Reg::S0, Reg::S1, Reg::S3, Reg::S2);
+    b.li(round, 0);
+    b.li(rounds, i64::from(scale));
+    b.li(acc, 0);
+    b.li_u64(base, array_base);
+    lcg_init(&mut b, lcg, 0x50_47);
+
+    let round_top = b.label();
+    b.bind(round_top);
+
+    // Fill the array with fresh pseudo-random values.
+    let fill = b.label();
+    b.li(Reg::T0, 0);
+    b.bind(fill);
+    lcg_step(&mut b, lcg, Reg::T1);
+    rng_bits(&mut b, Reg::T2, lcg, 30, 16);
+    b.slli(Reg::T3, Reg::T0, 3);
+    b.add(Reg::T3, Reg::T3, base);
+    b.sd(Reg::T2, Reg::T3, 0);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.li(Reg::T4, ELEMS);
+    b.blt(Reg::T0, Reg::T4, fill);
+
+    // Sort it.
+    b.li(lo, 0);
+    b.li(hi, ELEMS - 1);
+    b.call(qsort);
+
+    // Verify: accumulate values and count inversions (must be zero).
+    let check = b.label();
+    let sorted = b.label();
+    b.li(Reg::T0, 1); // index
+    b.li(Reg::T7, 0); // inversions
+    b.bind(check);
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::T1, base);
+    b.ld(Reg::T2, Reg::T1, 0); // a[k]
+    b.ld(Reg::T3, Reg::T1, -8); // a[k-1]
+    b.add(acc, acc, Reg::T2);
+    b.bge(Reg::T2, Reg::T3, sorted);
+    b.addi(Reg::T7, Reg::T7, 1);
+    b.bind(sorted);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.li(Reg::T4, ELEMS);
+    b.blt(Reg::T0, Reg::T4, check);
+    b.out(Reg::T7); // inversion count: 0 iff correctly sorted
+
+    b.addi(round, round, 1);
+    b.blt(round, rounds, round_top);
+
+    b.out(acc);
+    b.halt();
+    b.build().expect("sort benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_levels() {
+        assert!(build(OptLevel::O2, 1).len() > 60);
+        assert!(build(OptLevel::O0, 1).len() > 60);
+    }
+}

@@ -1,0 +1,109 @@
+//! `stream` — dense streaming arithmetic (the low end of the dead range).
+//!
+//! A fused triad `c[k] = a[k] * s + b[k]` over two elements per iteration,
+//! where every stored value is later reloaded (within the loop or by the
+//! final checksum). The only dead instructions are the classic
+//! per-iteration loop-exit flag (consumed only on the final iteration) and
+//! the final pass's ripple stores — landing the benchmark near the paper's
+//! 3% floor.
+
+use dide_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::OptLevel;
+
+const ELEMS: usize = 512;
+const BASE_ITERS: i64 = 2000;
+
+pub(crate) fn build(_opt: OptLevel, scale: u32) -> Program {
+    // Scheduling has nothing to hoist here; both levels build the same code.
+    let mut b = ProgramBuilder::new("stream");
+
+    let mut rng = StdRng::seed_from_u64(0x57E);
+    let mut a_base = 0;
+    for i in 0..ELEMS {
+        let addr = b.data_u64(rng.gen_range(0..1_000_000));
+        if i == 0 {
+            a_base = addr;
+        }
+    }
+    let b_base = b.data_zeros(ELEMS * 8);
+    let c_base = b.data_zeros(ELEMS * 8);
+
+    let (i, n, acc) = (Reg::S0, Reg::S1, Reg::S3);
+    let (pa, pb, pc, s, flag) = (Reg::S4, Reg::S5, Reg::S6, Reg::S7, Reg::G4);
+
+    b.li(i, 0);
+    b.li(n, BASE_ITERS * i64::from(scale));
+    b.li(acc, 0);
+    b.li_u64(pa, a_base);
+    b.li_u64(pb, b_base);
+    b.li_u64(pc, c_base);
+    b.li(s, 3);
+
+    // Emits one triad element: c[k] = a[k] * s + b[k], consuming the
+    // previous c[k] so the store is always eventually read, and rippling
+    // b[k] forward so the b store is read by the next pass.
+    let element = |b: &mut ProgramBuilder, lane: i64| {
+        b.addi(Reg::T0, i, lane);
+        b.andi(Reg::T0, Reg::T0, (ELEMS - 1) as i64);
+        b.slli(Reg::T0, Reg::T0, 3);
+        b.add(Reg::T1, Reg::T0, pa);
+        b.ld(Reg::T2, Reg::T1, 0);
+        b.mul(Reg::T2, Reg::T2, s);
+        b.add(Reg::T3, Reg::T0, pb);
+        b.ld(Reg::T4, Reg::T3, 0);
+        b.add(Reg::T2, Reg::T2, Reg::T4);
+        b.add(Reg::T5, Reg::T0, pc);
+        b.ld(Reg::T6, Reg::T5, 0); // previous pass's c value: keeps it live
+        b.add(acc, acc, Reg::T6);
+        b.sd(Reg::T2, Reg::T5, 0);
+        b.xor(acc, acc, Reg::T2);
+        b.addi(Reg::T7, Reg::T2, 1);
+        b.sd(Reg::T7, Reg::T3, 0); // ripple b[k] forward
+    };
+
+    let top = b.label();
+    b.bind(top);
+    element(&mut b, 0);
+    element(&mut b, 1);
+    // Loop-exit flag, recomputed every iteration, consumed after the loop:
+    // dead on every iteration but the last.
+    b.slt(flag, i, n);
+    b.addi(i, i, 2);
+    b.blt(i, n, top);
+
+    // The final flag and checksums of b[] and c[] escape via `out`.
+    b.out(flag);
+    let sum = b.label();
+    let (j, ptr_c, ptr_b) = (Reg::T0, Reg::T1, Reg::T5);
+    b.li(j, 0);
+    b.mv(ptr_c, pc);
+    b.mv(ptr_b, pb);
+    b.bind(sum);
+    b.ld(Reg::T2, ptr_c, 0);
+    b.add(acc, acc, Reg::T2);
+    b.ld(Reg::T3, ptr_b, 0);
+    b.add(acc, acc, Reg::T3);
+    b.addi(ptr_c, ptr_c, 8);
+    b.addi(ptr_b, ptr_b, 8);
+    b.addi(j, j, 1);
+    b.li(Reg::T4, ELEMS as i64);
+    b.blt(j, Reg::T4, sum);
+    b.out(acc);
+    b.halt();
+    b.build().expect("stream benchmark is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o0_and_o2_identical() {
+        let p0 = build(OptLevel::O0, 1);
+        let p2 = build(OptLevel::O2, 1);
+        assert_eq!(p0.insts(), p2.insts());
+    }
+}

@@ -1,0 +1,48 @@
+//! Calibration tests: the suite must span the paper's 3–16% dead range,
+//! with `O2` (hoisting) producing substantially more dead instructions than
+//! `O0` on the scheduling-sensitive benchmarks.
+
+use dide_analysis::DeadnessAnalysis;
+use dide_emu::Emulator;
+use dide_workloads::{suite, OptLevel};
+
+fn dead_fraction(name: &str, opt: OptLevel) -> f64 {
+    let spec = *suite().iter().find(|s| s.name == name).expect("known benchmark");
+    let program = spec.build(opt, 1);
+    let trace = Emulator::new(&program).run().expect("benchmark runs to halt");
+    let analysis = DeadnessAnalysis::analyze(&trace);
+    analysis.stats().dead_fraction()
+}
+
+#[test]
+fn suite_spans_the_papers_range_at_o2() {
+    let mut fractions = Vec::new();
+    for spec in suite() {
+        let f = dead_fraction(spec.name, OptLevel::O2);
+        println!("{:<10} O2 dead fraction: {:.2}%", spec.name, 100.0 * f);
+        fractions.push((spec.name, f));
+    }
+    let min = fractions.iter().map(|&(_, f)| f).fold(f64::MAX, f64::min);
+    let max = fractions.iter().map(|&(_, f)| f).fold(0.0, f64::max);
+    assert!((0.01..=0.06).contains(&min), "floor should be near 3%: {min}");
+    assert!((0.12..=0.22).contains(&max), "ceiling should be near 16%: {max}");
+}
+
+#[test]
+fn hoisting_creates_dead_instructions() {
+    for name in ["expr", "route", "anneal", "bitboard"] {
+        let o0 = dead_fraction(name, OptLevel::O0);
+        let o2 = dead_fraction(name, OptLevel::O2);
+        println!("{name:<10} O0 {:.2}% -> O2 {:.2}%", 100.0 * o0, 100.0 * o2);
+        assert!(
+            o2 > o0 + 0.02,
+            "{name}: O2 ({o2:.3}) should exceed O0 ({o0:.3}) by >=2 points"
+        );
+    }
+}
+
+#[test]
+fn stream_is_the_low_water_mark() {
+    let f = dead_fraction("stream", OptLevel::O2);
+    assert!(f < 0.06, "stream should be near the 3% floor, got {f:.3}");
+}

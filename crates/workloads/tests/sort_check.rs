@@ -1,0 +1,29 @@
+//! The `sort` benchmark must actually sort: its first output is the
+//! inversion count of the final array, which must be zero.
+
+use dide_emu::Emulator;
+use dide_workloads::{suite, OptLevel};
+
+#[test]
+fn quicksort_sorts() {
+    let spec = *suite().iter().find(|s| s.name == "sort").unwrap();
+    for opt in OptLevel::ALL {
+        let program = spec.build(opt, 1);
+        let trace = Emulator::new(&program).run().expect("sort halts");
+        assert_eq!(trace.outputs()[0], 0, "{opt}: inversion count must be zero");
+        assert!(trace.outputs()[1] > 0, "checksum accumulates");
+        assert!(trace.len() > 30_000, "meaningful dynamic length: {}", trace.len());
+    }
+}
+
+#[test]
+fn rounds_scale_linearly() {
+    let spec = *suite().iter().find(|s| s.name == "sort").unwrap();
+    let t1 = Emulator::new(&spec.build(OptLevel::O2, 1)).run().unwrap();
+    let t2 = Emulator::new(&spec.build(OptLevel::O2, 2)).run().unwrap();
+    // One inversion-count output per round plus the final checksum.
+    assert_eq!(t1.outputs().len(), 2);
+    assert_eq!(t2.outputs().len(), 3);
+    assert!(t2.outputs()[..2].iter().all(|&inv| inv == 0), "every round sorts");
+    assert!(t2.len() > t1.len() * 3 / 2);
+}

@@ -1,0 +1,31 @@
+//! Characterization study (experiments E1–E5): how many instructions are
+//! dead, of what kind, from which static instructions, and how much of it
+//! the "compiler" (workload hoisting) is responsible for.
+//!
+//! ```sh
+//! cargo run --release --example characterize [scale]
+//! ```
+
+use dide::experiments::{
+    e01_dead_fraction::DeadFraction, e02_dead_breakdown::DeadBreakdown,
+    e03_static_behavior::StaticBehaviorCensus, e04_locality::Locality,
+    e05_compiler_effect::CompilerEffect,
+};
+use dide::{OptLevel, Workbench};
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    eprintln!("building the suite at O2 and O0, scale {scale}...");
+    let o2 = Workbench::full(OptLevel::O2, scale);
+    let o0 = Workbench::full(OptLevel::O0, scale);
+
+    println!("{}", DeadFraction::run(&o2));
+    println!();
+    println!("{}", DeadBreakdown::run(&o2));
+    println!();
+    println!("{}", StaticBehaviorCensus::run(&o2));
+    println!();
+    println!("{}", Locality::run(&o2));
+    println!();
+    println!("{}", CompilerEffect::run(&o0, &o2));
+}

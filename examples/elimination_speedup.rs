@@ -1,0 +1,38 @@
+//! Elimination studies (experiments E8, E9, E12, E14–E17 plus the E10
+//! machine table): resource-utilization reductions, contended-machine
+//! speedup, the policy ablation, the oracle limit, recovery-cost and
+//! register-pressure sweeps, and dead-value lifetimes.
+//!
+//! ```sh
+//! cargo run --release --example elimination_speedup [scale]
+//! ```
+
+use dide::experiments::{
+    e08_resource_savings::ResourceSavingsReport, e09_speedup::Speedup,
+    e10_machine_config::MachineConfigTable, e12_elimination_ablation::EliminationAblation,
+    e14_oracle_limit::OracleLimit, e15_penalty_sweep::PenaltySweep,
+    e16_dead_lifetimes::DeadLifetimeReport, e17_register_sweep::RegisterSweep,
+};
+use dide::{OptLevel, Workbench};
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    eprintln!("building the suite at O2, scale {scale}...");
+    let bench = Workbench::full(OptLevel::O2, scale);
+
+    println!("{}", MachineConfigTable::collect());
+    println!();
+    println!("{}", ResourceSavingsReport::run(&bench));
+    println!();
+    println!("{}", Speedup::run(&bench));
+    println!();
+    println!("{}", EliminationAblation::run(&bench));
+    println!();
+    println!("{}", OracleLimit::run(&bench));
+    println!();
+    println!("{}", PenaltySweep::run(&bench));
+    println!();
+    println!("{}", DeadLifetimeReport::run(&bench));
+    println!();
+    println!("{}", RegisterSweep::run(&bench));
+}

@@ -1,0 +1,27 @@
+//! Predictor studies (experiments E6, E7, E11, E13): state-budget sizing,
+//! the value of future control-flow information, the confidence
+//! coverage/accuracy frontier, and jump-aware signatures.
+//!
+//! ```sh
+//! cargo run --release --example predictor_tuning [scale]
+//! ```
+
+use dide::experiments::{
+    e06_predictor_sizing::PredictorSizing, e07_cfi_value::CfiValue,
+    e11_confidence_sweep::ConfidenceSweep, e13_jump_aware::JumpAware,
+};
+use dide::{OptLevel, Workbench};
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    eprintln!("building the suite at O2, scale {scale}...");
+    let bench = Workbench::full(OptLevel::O2, scale);
+
+    println!("{}", PredictorSizing::run(&bench));
+    println!();
+    println!("{}", CfiValue::run(&bench));
+    println!();
+    println!("{}", ConfidenceSweep::run(&bench));
+    println!();
+    println!("{}", JumpAware::run(&bench));
+}

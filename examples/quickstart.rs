@@ -1,0 +1,67 @@
+//! Quickstart: write a tiny program, find its dead instructions, and watch
+//! the pipeline eliminate them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dide::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A loop that hoists a "diagnostic record" above the branch that
+    // guards its only consumer — the classic compiler-scheduling source of
+    // partially dead instructions. The record is consumed on one iteration
+    // in eight; the other seven times all four instructions die.
+    let mut b = ProgramBuilder::new("quickstart");
+    let (i, n, acc) = (Reg::T0, Reg::T1, Reg::T3);
+    b.li(i, 0).li(n, 10_000).li(acc, 0);
+    let top = b.label();
+    let skip = b.label();
+    b.bind(top);
+    // Hoisted diagnostic: dead unless the audit branch falls through.
+    b.slli(Reg::T2, i, 3);
+    b.xor(Reg::T2, Reg::T2, acc);
+    b.andi(Reg::T4, i, 0xff);
+    b.add(Reg::T4, Reg::T4, Reg::T2);
+    // Useful work.
+    b.add(acc, acc, i);
+    b.xor(acc, acc, n);
+    // Audit every eighth iteration consumes the diagnostic.
+    b.andi(Reg::T5, i, 7);
+    b.bne(Reg::T5, Reg::ZERO, skip);
+    b.add(acc, acc, Reg::T4);
+    b.bind(skip);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.out(acc);
+    b.halt();
+    let program = b.build()?;
+
+    // 1. Run it architecturally and label every dynamic instruction.
+    let trace = Emulator::new(&program).run()?;
+    let analysis = DeadnessAnalysis::analyze(&trace);
+    let stats = analysis.stats();
+    println!("== oracle deadness ==");
+    println!("{stats}");
+    println!();
+
+    // 2. Time it on the contended machine, without and with elimination.
+    let machine = PipelineConfig::contended();
+    let base = Core::new(machine).run(&trace, &analysis);
+    let elim = Core::new(machine.with_elimination(DeadElimConfig::default()))
+        .run(&trace, &analysis);
+
+    println!("== pipeline, no elimination ==");
+    println!("{base}");
+    println!();
+    println!("== pipeline, with dead-instruction elimination ==");
+    println!("{elim}");
+    println!();
+    println!(
+        "speedup: {:+.2}%  (eliminated {} of {} oracle-dead instructions)",
+        100.0 * (base.cycles as f64 / elim.cycles as f64 - 1.0),
+        elim.dead_predicted_correct,
+        elim.oracle_dead_committed,
+    );
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: the characterization claims (E1–E5) hold when
+//! the workloads, emulator and analysis are composed through the public
+//! API.
+
+use dide_analysis::{verify_dead_removable, IntervalSeries};
+
+use dide::experiments::e01_dead_fraction::DeadFraction;
+use dide::experiments::e02_dead_breakdown::DeadBreakdown;
+use dide::experiments::e03_static_behavior::StaticBehaviorCensus;
+use dide::experiments::e04_locality::Locality;
+use dide::experiments::e05_compiler_effect::CompilerEffect;
+use dide::{OptLevel, Workbench};
+
+fn bench_o2() -> Workbench {
+    Workbench::subset(&["expr", "compress", "objstore", "stream"], OptLevel::O2, 1)
+}
+
+#[test]
+fn e1_dead_fractions_span_papers_range() {
+    let result = DeadFraction::run(&bench_o2());
+    let (min, max) = result.range();
+    assert!(min < 0.06, "floor near 3%: {min:.3}");
+    assert!(max > 0.10 && max < 0.22, "ceiling near 16%: {max:.3}");
+    for row in &result.rows {
+        assert!(row.dead <= row.eligible);
+        assert!(row.eligible <= row.total);
+    }
+}
+
+#[test]
+fn e2_register_deadness_dominates_overall() {
+    let result = DeadBreakdown::run(&bench_o2());
+    // Pooled over benchmarks, register kinds + transitive should dominate
+    // (objstore is store-heavy by design, so check the pool, not each row).
+    let mut reg_like = 0.0;
+    let mut store_like = 0.0;
+    for r in &result.rows {
+        let w = r.dead as f64;
+        reg_like += w * (r.kind_fractions[0] + r.kind_fractions[1] + r.kind_fractions[4]);
+        store_like += w * (r.kind_fractions[2] + r.kind_fractions[3]);
+    }
+    assert!(reg_like > store_like, "reg {reg_like:.0} vs store {store_like:.0}");
+}
+
+#[test]
+fn e3_partially_dead_statics_produce_most_dead_instances() {
+    let result = StaticBehaviorCensus::run(&bench_o2());
+    let pooled: f64 = result.rows.iter().map(|r| r.dead_from_partial).sum::<f64>()
+        / result.rows.len() as f64;
+    assert!(pooled > 0.5, "paper: majority from partially dead statics; got {pooled:.3}");
+}
+
+#[test]
+fn e4_small_static_sets_cover_most_dead_instances() {
+    let result = Locality::run(&bench_o2());
+    for r in &result.rows {
+        if r.dead < 100 {
+            continue;
+        }
+        let s90 = r.statics_90.unwrap();
+        assert!(
+            s90 <= 40,
+            "{}: 90% of dead instances should come from few statics, needed {s90}",
+            r.benchmark
+        );
+    }
+}
+
+#[test]
+fn oracle_labels_are_removable_on_every_benchmark() {
+    // The strongest end-to-end check of the deadness oracle: for every
+    // benchmark of the suite, deleting the dead instructions from the
+    // dynamic stream must leave the program's outputs bit-identical.
+    let wb = dide::Workbench::full(OptLevel::O2, 1);
+    for case in wb.cases() {
+        verify_dead_removable(&case.trace, &case.analysis)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.spec.name));
+    }
+}
+
+#[test]
+fn deadness_is_a_steady_program_property() {
+    // Per-window dead fractions must not be a warmup artifact: across
+    // 10k-instruction windows the fraction stays in a band around the
+    // whole-run mean for the loop-structured benchmarks.
+    for case in bench_o2().cases() {
+        let series = IntervalSeries::compute(&case.trace, &case.analysis, 10_000);
+        let mean = case.analysis.stats().dead_fraction();
+        let (min, max) = series.dead_fraction_range();
+        assert!(
+            max - min < 0.15,
+            "{}: window range [{min:.3}, {max:.3}] too wide around mean {mean:.3}",
+            case.spec.name
+        );
+        assert!(
+            series.dead_fraction_stddev() < 0.05,
+            "{}: stddev {:.3}",
+            case.spec.name,
+            series.dead_fraction_stddev()
+        );
+    }
+}
+
+#[test]
+fn e5_scheduling_creates_significant_deadness() {
+    let names = ["expr", "route", "anneal", "bitboard"];
+    let o0 = Workbench::subset(&names, OptLevel::O0, 1);
+    let o2 = Workbench::subset(&names, OptLevel::O2, 1);
+    let result = CompilerEffect::run(&o0, &o2);
+    for row in &result.rows {
+        assert!(
+            row.scheduling_contribution() > 0.02,
+            "{}: scheduling should add >2 points, got {:.3}",
+            row.benchmark,
+            row.scheduling_contribution()
+        );
+    }
+}

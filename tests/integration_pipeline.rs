@@ -1,0 +1,93 @@
+//! Cross-crate integration: the timing pipeline agrees with the functional
+//! emulator on *what* executes (it commits exactly the trace), for both
+//! hand-written and randomly generated programs, with and without
+//! elimination.
+
+use dide::prelude::*;
+use dide_workloads::{random_program, GenConfig};
+
+fn full_stack(program: &Program, config: PipelineConfig) -> (Trace, PipelineStats) {
+    let trace = Emulator::new(program).run().expect("program halts");
+    let analysis = DeadnessAnalysis::analyze(&trace);
+    let stats = Core::new(config).run(&trace, &analysis);
+    (trace, stats)
+}
+
+#[test]
+fn random_programs_commit_fully_across_machines() {
+    let gen_config = GenConfig::default();
+    for seed in 0..25 {
+        let program = random_program(seed, &gen_config);
+        for machine in [PipelineConfig::baseline(), PipelineConfig::contended()] {
+            let (trace, stats) = full_stack(&program, machine);
+            assert_eq!(
+                stats.committed,
+                trace.len() as u64,
+                "seed {seed}: all instructions must commit"
+            );
+            assert!(stats.cycles >= trace.len() as u64 / 8, "seed {seed}: width bound");
+        }
+    }
+}
+
+#[test]
+fn random_programs_survive_elimination() {
+    let gen_config = GenConfig { segments: 12, segment_len: 16, ..GenConfig::default() };
+    let machine = PipelineConfig::contended().with_elimination(DeadElimConfig::default());
+    for seed in 100..120 {
+        let program = random_program(seed, &gen_config);
+        let (trace, stats) = full_stack(&program, machine);
+        assert_eq!(stats.committed, trace.len() as u64, "seed {seed}");
+        // Every eliminated-correct instruction must be oracle-dead.
+        assert!(stats.dead_predicted_correct <= stats.oracle_dead_committed, "seed {seed}");
+    }
+}
+
+#[test]
+fn elimination_only_changes_timing_not_commitment() {
+    let spec = *dide::suite().iter().find(|s| s.name == "compress").unwrap();
+    let program = spec.build(OptLevel::O2, 1);
+    let machine = PipelineConfig::contended();
+    let (trace_a, base) = full_stack(&program, machine);
+    let (trace_b, elim) =
+        full_stack(&program, machine.with_elimination(DeadElimConfig::default()));
+    assert_eq!(trace_a.outputs(), trace_b.outputs(), "architectural outputs identical");
+    assert_eq!(base.committed, elim.committed);
+}
+
+#[test]
+fn deterministic_simulation() {
+    let spec = *dide::suite().iter().find(|s| s.name == "route").unwrap();
+    let program = spec.build(OptLevel::O2, 1);
+    let machine = PipelineConfig::contended().with_elimination(DeadElimConfig::default());
+    let (_, a) = full_stack(&program, machine);
+    let (_, b) = full_stack(&program, machine);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.dead_predicted, b.dead_predicted);
+    assert_eq!(a.dead_violations, b.dead_violations);
+    assert_eq!(a.rf_reads, b.rf_reads);
+}
+
+#[test]
+fn wider_machine_is_not_slower() {
+    let spec = *dide::suite().iter().find(|s| s.name == "stream").unwrap();
+    let program = spec.build(OptLevel::O2, 1);
+    let (_, tight) = full_stack(&program, PipelineConfig::contended());
+    let (_, wide) = full_stack(&program, PipelineConfig::baseline());
+    assert!(wide.cycles <= tight.cycles, "wide {} vs tight {}", wide.cycles, tight.cycles);
+}
+
+#[test]
+fn violations_are_rare_relative_to_eliminations() {
+    let spec = *dide::suite().iter().find(|s| s.name == "expr").unwrap();
+    let program = spec.build(OptLevel::O2, 1);
+    let machine = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
+    let (_, stats) = full_stack(&program, machine);
+    assert!(stats.dead_predicted > 1000, "eliminations happen at scale");
+    assert!(
+        (stats.dead_violations as f64) < 0.1 * stats.dead_predicted as f64,
+        "violations ({}) must be rare vs eliminations ({})",
+        stats.dead_violations,
+        stats.dead_predicted
+    );
+}

@@ -1,0 +1,65 @@
+//! Cross-crate integration: the predictor claims (E6, E7, E11) hold when
+//! composed through the public API.
+
+use dide::experiments::e06_predictor_sizing::PredictorSizing;
+use dide::experiments::e07_cfi_value::CfiValue;
+use dide::experiments::e11_confidence_sweep::ConfidenceSweep;
+use dide::{OptLevel, Workbench};
+
+fn bench() -> Workbench {
+    Workbench::subset(
+        &["expr", "compress", "netflow", "parse", "anneal", "objstore", "route", "bitboard"],
+        OptLevel::O2,
+        1,
+    )
+}
+
+#[test]
+fn e6_default_budget_is_small_and_effective() {
+    let result = PredictorSizing::run(&bench());
+    let default = result.rows.iter().find(|r| r.entries == 2048).expect("default size swept");
+    assert!(default.budget.kib() < 5.0, "paper: <5 KB, got {}", default.budget);
+    assert!(default.accuracy > 0.88, "paper: ~93% accuracy, got {:.3}", default.accuracy);
+    assert!(default.coverage > 0.75, "paper: ~91% coverage, got {:.3}", default.coverage);
+}
+
+#[test]
+fn e6_small_tables_lose_coverage_to_aliasing() {
+    let result = PredictorSizing::run(&bench());
+    let tiny = result.rows.first().unwrap();
+    let big = result.rows.last().unwrap();
+    assert!(big.coverage >= tiny.coverage, "{} vs {}", big.coverage, tiny.coverage);
+}
+
+#[test]
+fn e7_future_control_flow_is_the_key_ingredient() {
+    let result = CfiValue::run(&bench());
+    let pc_only = result.variant("cfi lookahead 0").unwrap();
+    let cfi = result.variant("cfi lookahead 4").unwrap();
+    assert!(
+        cfi.coverage > pc_only.coverage + 0.25,
+        "CFI should add large coverage: {:.3} vs {:.3}",
+        cfi.coverage,
+        pc_only.coverage
+    );
+    assert!(cfi.accuracy > 0.88, "accuracy with CFI: {:.3}", cfi.accuracy);
+
+    // And the last-outcome baseline pays for its coverage with accuracy.
+    let last = result.variant("last-outcome").unwrap();
+    assert!(cfi.accuracy > last.accuracy + 0.03);
+}
+
+#[test]
+fn e11_confidence_frontier_is_monotone() {
+    let result = ConfidenceSweep::run(&Workbench::subset(&["expr", "route"], OptLevel::O2, 1));
+    for pair in result.rows.windows(2) {
+        assert!(
+            pair[1].coverage <= pair[0].coverage + 1e-9,
+            "coverage should fall with threshold"
+        );
+        assert!(
+            pair[1].accuracy >= pair[0].accuracy - 0.02,
+            "accuracy should (weakly) rise with threshold"
+        );
+    }
+}

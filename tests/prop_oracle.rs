@@ -1,0 +1,112 @@
+//! Whole-stack property tests over randomly generated programs:
+//!
+//! * the deadness oracle's removability promise (deleting dead
+//!   instructions preserves outputs),
+//! * structural invariants of the dynamic dependence graph, and
+//! * conservation laws of the timing pipeline.
+
+use dide::prelude::*;
+use dide_analysis::{replay_outputs, verify_dead_removable};
+use dide_workloads::{random_program, GenConfig};
+use proptest::prelude::*;
+
+fn trace_for(seed: u64) -> Trace {
+    let program = random_program(seed, &GenConfig::default());
+    Emulator::new(&program).run().expect("generated programs halt")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dead_instructions_are_removable(seed: u64) {
+        let trace = trace_for(seed);
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        verify_dead_removable(&trace, &analysis)
+            .expect("removing oracle-dead instructions must preserve outputs");
+    }
+
+    #[test]
+    fn full_replay_is_faithful(seed: u64) {
+        let trace = trace_for(seed);
+        let outputs = replay_outputs(&trace, |_| false);
+        prop_assert_eq!(outputs, trace.outputs().to_vec());
+    }
+
+    #[test]
+    fn useful_instructions_read_only_useful_producers(seed: u64) {
+        let trace = trace_for(seed);
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        for r in &trace {
+            let v = analysis.verdict(r.seq);
+            // Producers always precede their consumers.
+            for &p in analysis.producers(r.seq) {
+                prop_assert!(p < r.seq, "producer {} of {} out of order", p, r.seq);
+            }
+            // A useful (or root) instruction's producers must be useful:
+            // dead values are read only by dead instructions.
+            let consumes = v == Verdict::Useful || !v.is_eligible();
+            let roots_or_useful = consumes
+                && (r.inst.op.is_control()
+                    || matches!(
+                        r.inst.op.kind(),
+                        dide_isa::OpcodeKind::Out | dide_isa::OpcodeKind::Halt
+                    )
+                    || v == Verdict::Useful);
+            if roots_or_useful {
+                for &p in analysis.producers(r.seq) {
+                    prop_assert!(
+                        !analysis.is_dead(p),
+                        "useful seq {} read dead producer {}",
+                        r.seq,
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_counts_are_conserved(seed: u64) {
+        let trace = trace_for(seed);
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        let stats = analysis.stats();
+        let dead_by_scan = analysis.verdicts().iter().filter(|v| v.is_dead()).count() as u64;
+        let eligible_by_scan =
+            analysis.verdicts().iter().filter(|v| v.is_eligible()).count() as u64;
+        prop_assert_eq!(stats.dead_total, dead_by_scan);
+        prop_assert_eq!(stats.eligible, eligible_by_scan);
+        prop_assert!(stats.dead_total <= stats.eligible);
+        prop_assert_eq!(stats.total, trace.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn pipeline_conserves_instructions_and_registers(seed: u64) {
+        let trace = trace_for(seed);
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        for config in [
+            PipelineConfig::contended(),
+            PipelineConfig::contended().with_elimination(DeadElimConfig::default()),
+        ] {
+            let stats = Core::new(config).run(&trace, &analysis);
+            prop_assert_eq!(stats.committed, trace.len() as u64);
+            // Registers: everything allocated is eventually freed except
+            // what is still live in the rename map (bounded by the
+            // architectural register count).
+            prop_assert!(stats.phys_allocs >= stats.phys_frees);
+            prop_assert!(
+                stats.phys_allocs - stats.phys_frees <= dide_isa::Reg::COUNT as u64,
+                "leak: {} allocs vs {} frees",
+                stats.phys_allocs,
+                stats.phys_frees
+            );
+            // Only oracle-dead instructions count as correct eliminations.
+            prop_assert!(stats.dead_predicted_correct <= stats.dead_predicted);
+            prop_assert!(stats.dead_predicted_correct <= stats.oracle_dead_committed);
+        }
+    }
+}
