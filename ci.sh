@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Mirrors .github/workflows/ci.yml:
+#
+#   ./ci.sh            # fmt + clippy + tier-1 (release build + full tests)
+#
+# The tier-1 gate is the pair of commands ROADMAP.md designates as the
+# regression bar: `cargo build --release` and `cargo test -q`.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "CI gate passed."

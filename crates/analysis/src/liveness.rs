@@ -41,8 +41,7 @@ impl DeadnessAnalysis {
         let records = trace.records();
 
         // ---- forward pass: resolve reads to producers ----
-        let mut reg_writer: [Option<u64>; dide_isa::Reg::COUNT] =
-            [None; dide_isa::Reg::COUNT];
+        let mut reg_writer: [Option<u64>; dide_isa::Reg::COUNT] = [None; dide_isa::Reg::COUNT];
         let mut mem_writer: HashMap<u64, u64> = HashMap::new();
         let mut store_state: HashMap<u64, PendingStore> = HashMap::new();
 
@@ -99,17 +98,14 @@ impl DeadnessAnalysis {
                                 if let Some(st) = store_state.get_mut(&prev) {
                                     st.live_bytes -= 1;
                                     if st.live_bytes == 0 && !directly_read[prev as usize] {
-                                        kind_hint[prev as usize] =
-                                            Some(DeadKind::StoreOverwritten);
+                                        kind_hint[prev as usize] = Some(DeadKind::StoreOverwritten);
                                     }
                                 }
                             }
                         }
                     }
-                    store_state.insert(
-                        r.seq,
-                        PendingStore { live_bytes: acc.width.bytes() as u32 },
-                    );
+                    store_state
+                        .insert(r.seq, PendingStore { live_bytes: acc.width.bytes() as u32 });
                 }
             }
         }
@@ -132,8 +128,8 @@ impl DeadnessAnalysis {
 
         for r in records.iter().rev() {
             let seq = r.seq as usize;
-            let eligible = (r.inst.dest().is_some() && !r.inst.op.is_control())
-                || r.inst.op.is_store();
+            let eligible =
+                (r.inst.dest().is_some() && !r.inst.op.is_control()) || r.inst.op.is_store();
             let root = r.inst.op.is_control()
                 || matches!(r.inst.op.kind(), OpcodeKind::Out | OpcodeKind::Halt);
             let useful = root || has_useful_consumer[seq];

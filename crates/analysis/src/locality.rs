@@ -29,12 +29,8 @@ impl LocalityCdf {
     /// Builds the CDF from a static profile.
     #[must_use]
     pub fn build(profile: &StaticProfile) -> LocalityCdf {
-        let mut dead_counts: Vec<u64> = profile
-            .records()
-            .iter()
-            .map(|r| r.dead)
-            .filter(|&d| d > 0)
-            .collect();
+        let mut dead_counts: Vec<u64> =
+            profile.records().iter().map(|r| r.dead).filter(|&d| d > 0).collect();
         dead_counts.sort_unstable_by(|a, b| b.cmp(a));
         let total_dead: u64 = dead_counts.iter().sum();
         let mut points = Vec::with_capacity(dead_counts.len());
@@ -78,10 +74,7 @@ impl LocalityCdf {
         if self.total_dead == 0 {
             return None;
         }
-        self.points
-            .iter()
-            .find(|p| p.cumulative_fraction >= fraction)
-            .map(|p| p.statics)
+        self.points.iter().find(|p| p.cumulative_fraction >= fraction).map(|p| p.statics)
     }
 }
 

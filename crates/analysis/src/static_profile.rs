@@ -93,10 +93,7 @@ impl StaticProfile {
     /// counting only statics that executed at least once.
     #[must_use]
     pub fn count_behavior(&self, behavior: StaticBehavior) -> usize {
-        self.records
-            .iter()
-            .filter(|r| r.executions > 0 && r.behavior() == behavior)
-            .count()
+        self.records.iter().filter(|r| r.executions > 0 && r.behavior() == behavior).count()
     }
 
     /// Total dead dynamic instances.
@@ -109,11 +106,7 @@ impl StaticProfile {
     /// behavior.
     #[must_use]
     pub fn dead_from_behavior(&self, behavior: StaticBehavior) -> u64 {
-        self.records
-            .iter()
-            .filter(|r| r.behavior() == behavior)
-            .map(|r| r.dead)
-            .sum()
+        self.records.iter().filter(|r| r.behavior() == behavior).map(|r| r.dead).sum()
     }
 
     /// Fraction of dead dynamic instances that come from *partially dead*

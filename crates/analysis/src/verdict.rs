@@ -110,10 +110,7 @@ mod tests {
         assert!(!Verdict::Useful.is_dead());
         assert!(!Verdict::NotEligible.is_eligible());
         assert!(Verdict::Useful.is_eligible());
-        assert_eq!(
-            Verdict::Dead(DeadKind::Transitive).dead_kind(),
-            Some(DeadKind::Transitive)
-        );
+        assert_eq!(Verdict::Dead(DeadKind::Transitive).dead_kind(), Some(DeadKind::Transitive));
         assert_eq!(Verdict::Useful.dead_kind(), None);
     }
 

@@ -95,5 +95,11 @@ fn pipeline_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(micro, emulator_throughput, analysis_throughput, predictor_ops, pipeline_throughput);
+criterion_group!(
+    micro,
+    emulator_throughput,
+    analysis_throughput,
+    predictor_ops,
+    pipeline_throughput
+);
 criterion_main!(micro);

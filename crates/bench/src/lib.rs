@@ -23,9 +23,7 @@ pub fn suite_o0() -> &'static Workbench {
 /// A small pipeline-friendly subset for the expensive timing experiments.
 pub fn pipeline_subset() -> &'static Workbench {
     static WB: OnceLock<Workbench> = OnceLock::new();
-    WB.get_or_init(|| {
-        Workbench::subset(&["expr", "parse", "objstore", "route"], OptLevel::O2, 1)
-    })
+    WB.get_or_init(|| Workbench::subset(&["expr", "parse", "objstore", "route"], OptLevel::O2, 1))
 }
 
 #[cfg(test)]

@@ -6,15 +6,14 @@
 //! dide trace <bench> [--scale N]          run + oracle deadness summary
 //! dide run <bench> [--machine M] [--eliminate] [--oracle] [--jump-aware]
 //!                                         cycle-level pipeline run
-//! dide experiments [--scale N] [--only LIST]
-//!                                         regenerate paper tables (e1..e14)
+//! dide experiments [--scale N] [--only LIST] [--jobs N] [--timings]
+//!                                         regenerate paper tables (e1..e17)
 //! ```
 
 use std::process::ExitCode;
 
-use dide::experiments as ex;
 use dide::prelude::*;
-use dide::{OptLevel, Workbench};
+use dide::{ExperimentOptions, OptLevel};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,7 +45,13 @@ USAGE:
   dide disasm <benchmark> [--opt O0|O2]
   dide trace <benchmark> [--scale N] [--opt O0|O2] [--hot N]
   dide run <benchmark> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N]
-  dide experiments [--scale N] [--only e1,e9,...]
+  dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings]
+
+EXPERIMENTS:
+  --jobs N     worker threads (default: available parallelism; 1 = serial).
+               Tables are byte-identical for every N.
+  --timings    print the per-span timing detail in addition to the summary
+               (timing always goes to stderr; tables go to stdout)
 ";
 
 fn flag_value<'a>(rest: &[&'a str], name: &str) -> Option<&'a str> {
@@ -195,64 +200,22 @@ fn experiments(rest: &[&str]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
-    let only: Option<Vec<String>> = flag_value(rest, "--only")
-        .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect());
-    let want = |id: &str| only.as_ref().is_none_or(|o| o.iter().any(|x| x == id));
+    let only: Option<Vec<String>> =
+        flag_value(rest, "--only").map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect());
+    let jobs = match flag_value(rest, "--jobs") {
+        None => 0,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return fail(format!("invalid --jobs `{s}` (expected an integer >= 1)")),
+        },
+    };
+    let options = ExperimentOptions { scale, only, jobs, timings: has_flag(rest, "--timings") };
 
-    eprintln!("building the suite (O2 and O0) at scale {scale}...");
-    let o2 = Workbench::full(OptLevel::O2, scale);
-    let o0 = Workbench::full(OptLevel::O0, scale);
-
-    if want("e1") {
-        println!("{}\n", ex::e01_dead_fraction::DeadFraction::run(&o2));
-    }
-    if want("e2") {
-        println!("{}\n", ex::e02_dead_breakdown::DeadBreakdown::run(&o2));
-    }
-    if want("e3") {
-        println!("{}\n", ex::e03_static_behavior::StaticBehaviorCensus::run(&o2));
-    }
-    if want("e4") {
-        println!("{}\n", ex::e04_locality::Locality::run(&o2));
-    }
-    if want("e5") {
-        println!("{}\n", ex::e05_compiler_effect::CompilerEffect::run(&o0, &o2));
-    }
-    if want("e6") {
-        println!("{}\n", ex::e06_predictor_sizing::PredictorSizing::run(&o2));
-    }
-    if want("e7") {
-        println!("{}\n", ex::e07_cfi_value::CfiValue::run(&o2));
-    }
-    if want("e8") {
-        println!("{}\n", ex::e08_resource_savings::ResourceSavingsReport::run(&o2));
-    }
-    if want("e9") {
-        println!("{}\n", ex::e09_speedup::Speedup::run(&o2));
-    }
-    if want("e10") {
-        println!("{}\n", ex::e10_machine_config::MachineConfigTable::collect());
-    }
-    if want("e11") {
-        println!("{}\n", ex::e11_confidence_sweep::ConfidenceSweep::run(&o2));
-    }
-    if want("e12") {
-        println!("{}\n", ex::e12_elimination_ablation::EliminationAblation::run(&o2));
-    }
-    if want("e13") {
-        println!("{}\n", ex::e13_jump_aware::JumpAware::run(&o2));
-    }
-    if want("e14") {
-        println!("{}\n", ex::e14_oracle_limit::OracleLimit::run(&o2));
-    }
-    if want("e15") {
-        println!("{}\n", ex::e15_penalty_sweep::PenaltySweep::run(&o2));
-    }
-    if want("e16") {
-        println!("{}\n", ex::e16_dead_lifetimes::DeadLifetimeReport::run(&o2));
-    }
-    if want("e17") {
-        println!("{}\n", ex::e17_register_sweep::RegisterSweep::run(&o2));
+    let run = dide::run_experiments(&options);
+    print!("{}", run.tables);
+    eprintln!("{}", run.timing_summary);
+    if options.timings {
+        eprintln!("{}", run.timing_detail);
     }
     ExitCode::SUCCESS
 }

@@ -71,7 +71,14 @@ impl DeadFraction {
 impl fmt::Display for DeadFraction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "E1: fraction of dynamically dead instructions (paper: 3-16%)")?;
-        let mut t = Table::new(["benchmark", "dyn insts", "producers", "dead", "% of all", "% of producers"]);
+        let mut t = Table::new([
+            "benchmark",
+            "dyn insts",
+            "producers",
+            "dead",
+            "% of all",
+            "% of producers",
+        ]);
         for r in &self.rows {
             t.row([
                 r.benchmark.clone(),

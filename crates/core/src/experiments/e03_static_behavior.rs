@@ -48,11 +48,7 @@ impl StaticBehaviorCensus {
                 let p = case.analysis.static_profile(&case.trace);
                 Row {
                     benchmark: case.spec.name.to_string(),
-                    statics_executed: p
-                        .records()
-                        .iter()
-                        .filter(|r| r.executions > 0)
-                        .count(),
+                    statics_executed: p.records().iter().filter(|r| r.executions > 0).count(),
                     never_dead: p.count_behavior(StaticBehavior::NeverDead),
                     partially_dead: p.count_behavior(StaticBehavior::PartiallyDead),
                     fully_dead: p.count_behavior(StaticBehavior::FullyDead),

@@ -61,10 +61,7 @@ fn opt_count(v: Option<usize>) -> String {
 
 impl fmt::Display for Locality {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "E4: locality of dead instances (statics needed to cover 50/90/99% of dead)"
-        )?;
+        writeln!(f, "E4: locality of dead instances (statics needed to cover 50/90/99% of dead)")?;
         let mut t = Table::new(["benchmark", "dead", "dead statics", "50%", "90%", "99%"]);
         for r in &self.rows {
             t.row([

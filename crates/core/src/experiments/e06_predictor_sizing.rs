@@ -80,8 +80,7 @@ fn pooled_counts(bench: &Workbench, config: CfiConfig) -> (u64, u64, u64) {
         let mut predictor = CfiDeadPredictor::new(config);
         predictor.reset();
         let mut gshare = Gshare::new(10, 12);
-        let report =
-            evaluate(&case.trace, &case.analysis, &mut predictor, &mut gshare, LOOKAHEAD);
+        let report = evaluate(&case.trace, &case.analysis, &mut predictor, &mut gshare, LOOKAHEAD);
         tp += report.true_positives;
         dead += report.actual_dead;
         predicted += report.predicted_dead;
@@ -91,18 +90,10 @@ fn pooled_counts(bench: &Workbench, config: CfiConfig) -> (u64, u64, u64) {
 
 impl fmt::Display for PredictorSizing {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "E6: CFI predictor sizing (paper: >91% coverage at 93% accuracy under 5 KB)"
-        )?;
+        writeln!(f, "E6: CFI predictor sizing (paper: >91% coverage at 93% accuracy under 5 KB)")?;
         let mut t = Table::new(["entries", "state", "coverage", "accuracy"]);
         for r in &self.rows {
-            t.row([
-                r.entries.to_string(),
-                r.budget.to_string(),
-                pct(r.coverage),
-                pct(r.accuracy),
-            ]);
+            t.row([r.entries.to_string(), r.budget.to_string(), pct(r.coverage), pct(r.accuracy)]);
         }
         write!(f, "{t}")
     }

@@ -95,7 +95,11 @@ impl CfiValue {
             let sigs = signatures_oracle(&case.trace, 4);
             evaluate_with_signatures(&case.trace, &case.analysis, &mut p, &sigs)
         });
-        rows.push(Row { variant: "cfi lookahead 4 (oracle branches)".to_string(), coverage, accuracy });
+        rows.push(Row {
+            variant: "cfi lookahead 4 (oracle branches)".to_string(),
+            coverage,
+            accuracy,
+        });
 
         CfiValue { rows }
     }

@@ -10,7 +10,7 @@ use std::fmt;
 use dide_pipeline::{Core, DeadElimConfig, PipelineConfig, PipelineStats};
 
 use crate::experiments::{mean, pct};
-use crate::{Table, Workbench};
+use crate::{harness, Table, Workbench};
 
 /// One benchmark's reductions.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,36 +45,36 @@ impl ResourceSavingsReport {
     /// elimination configuration.
     #[must_use]
     pub fn run(bench: &Workbench) -> ResourceSavingsReport {
+        ResourceSavingsReport::run_jobs(bench, 1)
+    }
+
+    /// Like [`ResourceSavingsReport::run`], fanning the per-benchmark
+    /// simulations out across `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> ResourceSavingsReport {
         let config = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
-        let rows = bench
-            .cases()
-            .iter()
-            .map(|case| {
-                let s = Core::new(config).run(&case.trace, &case.analysis);
-                Row {
-                    benchmark: case.spec.name.to_string(),
-                    alloc_reduction: PipelineStats::reduction(
-                        s.phys_allocs,
-                        s.savings.phys_allocs_saved,
-                    ),
-                    rf_read_reduction: PipelineStats::reduction(
-                        s.rf_reads,
-                        s.savings.rf_reads_saved,
-                    ),
-                    rf_write_reduction: PipelineStats::reduction(
-                        s.rf_writes,
-                        s.savings.rf_writes_saved,
-                    ),
-                    dcache_reduction: PipelineStats::reduction(
-                        s.memory.l1d.accesses,
-                        s.savings.dcache_accesses_saved,
-                    ),
-                    violations: s.dead_violations,
-                    accuracy: s.elimination_accuracy(),
-                    coverage: s.elimination_coverage(),
-                }
-            })
-            .collect();
+        let rows = harness::map_ordered(jobs, bench.cases(), |case| {
+            let s = Core::new(config).run(&case.trace, &case.analysis);
+            Row {
+                benchmark: case.spec.name.to_string(),
+                alloc_reduction: PipelineStats::reduction(
+                    s.phys_allocs,
+                    s.savings.phys_allocs_saved,
+                ),
+                rf_read_reduction: PipelineStats::reduction(s.rf_reads, s.savings.rf_reads_saved),
+                rf_write_reduction: PipelineStats::reduction(
+                    s.rf_writes,
+                    s.savings.rf_writes_saved,
+                ),
+                dcache_reduction: PipelineStats::reduction(
+                    s.memory.l1d.accesses,
+                    s.savings.dcache_accesses_saved,
+                ),
+                violations: s.dead_violations,
+                accuracy: s.elimination_accuracy(),
+                coverage: s.elimination_coverage(),
+            }
+        });
         ResourceSavingsReport { rows }
     }
 

@@ -9,7 +9,7 @@ use std::fmt;
 use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
 
 use crate::experiments::geomean;
-use crate::{Table, Workbench};
+use crate::{harness, Table, Workbench};
 
 /// One benchmark's speedup measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,25 +50,34 @@ impl Speedup {
         Speedup::run_on(bench, PipelineConfig::contended())
     }
 
+    /// Like [`Speedup::run`], fanning the per-benchmark simulations out
+    /// across `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> Speedup {
+        Speedup::run_on_jobs(bench, PipelineConfig::contended(), jobs)
+    }
+
     /// Runs the comparison on an arbitrary machine.
     #[must_use]
     pub fn run_on(bench: &Workbench, machine: PipelineConfig) -> Speedup {
+        Speedup::run_on_jobs(bench, machine, 1)
+    }
+
+    /// Like [`Speedup::run_on`], with a worker-thread budget.
+    #[must_use]
+    pub fn run_on_jobs(bench: &Workbench, machine: PipelineConfig, jobs: usize) -> Speedup {
         let elim_cfg = machine.with_elimination(DeadElimConfig::default());
-        let rows = bench
-            .cases()
-            .iter()
-            .map(|case| {
-                let base = Core::new(machine).run(&case.trace, &case.analysis);
-                let elim = Core::new(elim_cfg).run(&case.trace, &case.analysis);
-                Row {
-                    benchmark: case.spec.name.to_string(),
-                    base_cycles: base.cycles,
-                    elim_cycles: elim.cycles,
-                    base_ipc: base.ipc(),
-                    elim_ipc: elim.ipc(),
-                }
-            })
-            .collect();
+        let rows = harness::map_ordered(jobs, bench.cases(), |case| {
+            let base = Core::new(machine).run(&case.trace, &case.analysis);
+            let elim = Core::new(elim_cfg).run(&case.trace, &case.analysis);
+            Row {
+                benchmark: case.spec.name.to_string(),
+                base_cycles: base.cycles,
+                elim_cycles: elim.cycles,
+                base_ipc: base.ipc(),
+                elim_ipc: elim.ipc(),
+            }
+        });
         Speedup { rows, machine }
     }
 
@@ -85,8 +94,14 @@ impl fmt::Display for Speedup {
             f,
             "E9: speedup from elimination on the contended machine (paper: +3.6% average)"
         )?;
-        let mut t =
-            Table::new(["benchmark", "base cycles", "elim cycles", "base IPC", "elim IPC", "speedup"]);
+        let mut t = Table::new([
+            "benchmark",
+            "base cycles",
+            "elim cycles",
+            "base IPC",
+            "elim IPC",
+            "speedup",
+        ]);
         for r in &self.rows {
             t.row([
                 r.benchmark.clone(),

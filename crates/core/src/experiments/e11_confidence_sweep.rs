@@ -6,12 +6,12 @@
 
 use std::fmt;
 
+use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
 use dide_predictor::branch::Gshare;
 use dide_predictor::dead::{evaluate, CfiConfig, CfiDeadPredictor};
-use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
 
 use crate::experiments::{geomean, pct};
-use crate::{Table, Workbench};
+use crate::{harness, Table, Workbench};
 
 /// One threshold's pooled results.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,35 +42,50 @@ impl ConfidenceSweep {
     /// Runs the sweep over the workbench.
     #[must_use]
     pub fn run(bench: &Workbench) -> ConfidenceSweep {
+        ConfidenceSweep::run_jobs(bench, 1)
+    }
+
+    /// Like [`ConfidenceSweep::run`], fanning each threshold's per-benchmark
+    /// work out across `jobs` worker threads. Per-case measurements are
+    /// collected in suite order before pooling, so the rows are identical
+    /// for every job count.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> ConfidenceSweep {
         let rows = Self::THRESHOLDS
             .iter()
             .map(|&threshold| {
                 let predictor_cfg = CfiConfig { threshold, ..CfiConfig::default() };
-
-                // Offline coverage/accuracy, pooled.
-                let (mut tp, mut dead, mut predicted) = (0u64, 0u64, 0u64);
-                for case in bench.cases() {
-                    let mut p = CfiDeadPredictor::new(predictor_cfg);
-                    let mut g = Gshare::new(10, 12);
-                    let r = evaluate(&case.trace, &case.analysis, &mut p, &mut g, 4);
-                    tp += r.true_positives;
-                    dead += r.actual_dead;
-                    predicted += r.predicted_dead;
-                }
-
-                // Contended-machine speedup + violations.
                 let base_cfg = PipelineConfig::contended();
                 let elim_cfg = base_cfg.with_elimination(DeadElimConfig {
                     predictor: predictor_cfg,
                     ..DeadElimConfig::default()
                 });
-                let mut speedups = Vec::new();
-                let mut violations = 0;
-                for case in bench.cases() {
+
+                // (tp, dead, predicted, speedup, violations) per case.
+                let per_case = harness::map_ordered(jobs, bench.cases(), |case| {
+                    let mut p = CfiDeadPredictor::new(predictor_cfg);
+                    let mut g = Gshare::new(10, 12);
+                    let r = evaluate(&case.trace, &case.analysis, &mut p, &mut g, 4);
                     let base = Core::new(base_cfg).run(&case.trace, &case.analysis);
                     let elim = Core::new(elim_cfg).run(&case.trace, &case.analysis);
-                    speedups.push(base.cycles as f64 / elim.cycles as f64);
-                    violations += elim.dead_violations;
+                    (
+                        r.true_positives,
+                        r.actual_dead,
+                        r.predicted_dead,
+                        base.cycles as f64 / elim.cycles as f64,
+                        elim.dead_violations,
+                    )
+                });
+
+                let (mut tp, mut dead, mut predicted) = (0u64, 0u64, 0u64);
+                let mut speedups = Vec::new();
+                let mut violations = 0;
+                for (case_tp, case_dead, case_predicted, speedup, case_violations) in per_case {
+                    tp += case_tp;
+                    dead += case_dead;
+                    predicted += case_predicted;
+                    speedups.push(speedup);
+                    violations += case_violations;
                 }
 
                 Row {

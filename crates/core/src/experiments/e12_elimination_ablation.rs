@@ -14,7 +14,7 @@ use std::fmt;
 use dide_pipeline::{Core, DeadElimConfig, EliminationPolicy, PipelineConfig};
 
 use crate::experiments::geomean;
-use crate::{Table, Workbench};
+use crate::{harness, Table, Workbench};
 
 /// One policy's pooled results.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,13 +42,18 @@ impl EliminationAblation {
     /// Runs the ablation over the workbench.
     #[must_use]
     pub fn run(bench: &Workbench) -> EliminationAblation {
+        EliminationAblation::run_jobs(bench, 1)
+    }
+
+    /// Like [`EliminationAblation::run`], fanning each policy's per-benchmark
+    /// simulations out across `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> EliminationAblation {
         let machine = PipelineConfig::contended();
         // Baseline cycles per case.
-        let base_cycles: Vec<u64> = bench
-            .cases()
-            .iter()
-            .map(|case| Core::new(machine).run(&case.trace, &case.analysis).cycles)
-            .collect();
+        let base_cycles: Vec<u64> = harness::map_ordered(jobs, bench.cases(), |case| {
+            Core::new(machine).run(&case.trace, &case.analysis).cycles
+        });
 
         let rows = [
             EliminationPolicy::Off,
@@ -57,27 +62,23 @@ impl EliminationAblation {
             EliminationPolicy::RegAndStore,
         ]
         .into_iter()
-            .map(|policy| {
-                let cfg = machine
-                    .with_elimination(DeadElimConfig { policy, ..DeadElimConfig::default() });
-                let mut speedups = Vec::new();
-                let (mut eliminated, mut allocs_saved, mut dcache_saved) = (0, 0, 0);
-                for (case, &base) in bench.cases().iter().zip(&base_cycles) {
-                    let s = Core::new(cfg).run(&case.trace, &case.analysis);
-                    speedups.push(base as f64 / s.cycles as f64);
-                    eliminated += s.dead_predicted;
-                    allocs_saved += s.savings.phys_allocs_saved;
-                    dcache_saved += s.savings.dcache_accesses_saved;
-                }
-                Row {
-                    policy,
-                    speedup: geomean(&speedups),
-                    eliminated,
-                    allocs_saved,
-                    dcache_saved,
-                }
-            })
-            .collect();
+        .map(|policy| {
+            let cfg =
+                machine.with_elimination(DeadElimConfig { policy, ..DeadElimConfig::default() });
+            let stats = harness::map_ordered(jobs, bench.cases(), |case| {
+                Core::new(cfg).run(&case.trace, &case.analysis)
+            });
+            let mut speedups = Vec::new();
+            let (mut eliminated, mut allocs_saved, mut dcache_saved) = (0, 0, 0);
+            for (s, &base) in stats.iter().zip(&base_cycles) {
+                speedups.push(base as f64 / s.cycles as f64);
+                eliminated += s.dead_predicted;
+                allocs_saved += s.savings.phys_allocs_saved;
+                dcache_saved += s.savings.dcache_accesses_saved;
+            }
+            Row { policy, speedup: geomean(&speedups), eliminated, allocs_saved, dcache_saved }
+        })
+        .collect();
         EliminationAblation { rows }
     }
 }

@@ -13,13 +13,11 @@ use std::fmt;
 
 use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
 use dide_predictor::branch::Gshare;
-use dide_predictor::dead::{
-    evaluate_with_signatures, CfiConfig, CfiDeadPredictor,
-};
+use dide_predictor::dead::{evaluate_with_signatures, CfiConfig, CfiDeadPredictor};
 use dide_predictor::future::{signatures_jump_aware, signatures_predicted};
 
 use crate::experiments::pct;
-use crate::{BenchCase, Table, Workbench};
+use crate::{harness, BenchCase, Table, Workbench};
 
 /// One benchmark's direction-only vs jump-aware comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,8 +58,8 @@ fn offline(case: &BenchCase, jump_aware: bool) -> (f64, f64) {
 fn speedup(case: &BenchCase, jump_aware: bool) -> f64 {
     let machine = PipelineConfig::contended();
     let base = Core::new(machine).run(&case.trace, &case.analysis);
-    let elim_cfg = machine
-        .with_elimination(DeadElimConfig { jump_aware, ..DeadElimConfig::default() });
+    let elim_cfg =
+        machine.with_elimination(DeadElimConfig { jump_aware, ..DeadElimConfig::default() });
     let elim = Core::new(elim_cfg).run(&case.trace, &case.analysis);
     base.cycles as f64 / elim.cycles as f64
 }
@@ -70,22 +68,25 @@ impl JumpAware {
     /// Runs the comparison over the workbench.
     #[must_use]
     pub fn run(bench: &Workbench) -> JumpAware {
-        let rows = bench
-            .cases()
-            .iter()
-            .map(|case| {
-                let (coverage_cond, _) = offline(case, false);
-                let (coverage_jump, accuracy_jump) = offline(case, true);
-                Row {
-                    benchmark: case.spec.name.to_string(),
-                    coverage_cond,
-                    coverage_jump,
-                    accuracy_jump,
-                    speedup_cond: speedup(case, false),
-                    speedup_jump: speedup(case, true),
-                }
-            })
-            .collect();
+        JumpAware::run_jobs(bench, 1)
+    }
+
+    /// Like [`JumpAware::run`], fanning the per-benchmark work out across
+    /// `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> JumpAware {
+        let rows = harness::map_ordered(jobs, bench.cases(), |case| {
+            let (coverage_cond, _) = offline(case, false);
+            let (coverage_jump, accuracy_jump) = offline(case, true);
+            Row {
+                benchmark: case.spec.name.to_string(),
+                coverage_cond,
+                coverage_jump,
+                accuracy_jump,
+                speedup_cond: speedup(case, false),
+                speedup_jump: speedup(case, true),
+            }
+        });
         JumpAware { rows }
     }
 }

@@ -11,7 +11,7 @@ use std::fmt;
 use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
 
 use crate::experiments::geomean;
-use crate::{Table, Workbench};
+use crate::{harness, Table, Workbench};
 
 /// One benchmark's predictor-vs-oracle comparison on the contended machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,27 +56,30 @@ impl OracleLimit {
     /// Runs the limit study on the contended machine.
     #[must_use]
     pub fn run(bench: &Workbench) -> OracleLimit {
+        OracleLimit::run_jobs(bench, 1)
+    }
+
+    /// Like [`OracleLimit::run`], fanning the per-benchmark simulations out
+    /// across `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> OracleLimit {
         let machine = PipelineConfig::contended();
         let predictor_cfg = machine.with_elimination(DeadElimConfig::default());
         let oracle_cfg =
             machine.with_elimination(DeadElimConfig { oracle: true, ..DeadElimConfig::default() });
-        let rows = bench
-            .cases()
-            .iter()
-            .map(|case| {
-                let base = Core::new(machine).run(&case.trace, &case.analysis);
-                let pred = Core::new(predictor_cfg).run(&case.trace, &case.analysis);
-                let oracle = Core::new(oracle_cfg).run(&case.trace, &case.analysis);
-                Row {
-                    benchmark: case.spec.name.to_string(),
-                    speedup_predictor: base.cycles as f64 / pred.cycles as f64,
-                    speedup_oracle: base.cycles as f64 / oracle.cycles as f64,
-                    violations_predictor: pred.dead_violations,
-                    violations_oracle: oracle.dead_violations,
-                    eliminated_oracle: oracle.dead_predicted,
-                }
-            })
-            .collect();
+        let rows = harness::map_ordered(jobs, bench.cases(), |case| {
+            let base = Core::new(machine).run(&case.trace, &case.analysis);
+            let pred = Core::new(predictor_cfg).run(&case.trace, &case.analysis);
+            let oracle = Core::new(oracle_cfg).run(&case.trace, &case.analysis);
+            Row {
+                benchmark: case.spec.name.to_string(),
+                speedup_predictor: base.cycles as f64 / pred.cycles as f64,
+                speedup_oracle: base.cycles as f64 / oracle.cycles as f64,
+                violations_predictor: pred.dead_violations,
+                violations_oracle: oracle.dead_violations,
+                eliminated_oracle: oracle.dead_predicted,
+            }
+        });
         OracleLimit { rows }
     }
 

@@ -11,7 +11,7 @@ use std::fmt;
 use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
 
 use crate::experiments::geomean;
-use crate::{Table, Workbench};
+use crate::{harness, Table, Workbench};
 
 /// One penalty value's pooled results.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,12 +39,17 @@ impl PenaltySweep {
     /// Runs the sweep on the contended machine.
     #[must_use]
     pub fn run(bench: &Workbench) -> PenaltySweep {
+        PenaltySweep::run_jobs(bench, 1)
+    }
+
+    /// Like [`PenaltySweep::run`], fanning each penalty's per-benchmark
+    /// simulations out across `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> PenaltySweep {
         let machine = PipelineConfig::contended();
-        let base_cycles: Vec<u64> = bench
-            .cases()
-            .iter()
-            .map(|case| Core::new(machine).run(&case.trace, &case.analysis).cycles)
-            .collect();
+        let base_cycles: Vec<u64> = harness::map_ordered(jobs, bench.cases(), |case| {
+            Core::new(machine).run(&case.trace, &case.analysis).cycles
+        });
         let rows = Self::PENALTIES
             .iter()
             .map(|&penalty| {
@@ -52,10 +57,12 @@ impl PenaltySweep {
                     violation_penalty: penalty,
                     ..DeadElimConfig::default()
                 });
+                let stats = harness::map_ordered(jobs, bench.cases(), |case| {
+                    Core::new(cfg).run(&case.trace, &case.analysis)
+                });
                 let mut speedups = Vec::new();
                 let mut violations = 0;
-                for (case, &base) in bench.cases().iter().zip(&base_cycles) {
-                    let s = Core::new(cfg).run(&case.trace, &case.analysis);
+                for (s, &base) in stats.iter().zip(&base_cycles) {
                     speedups.push(base as f64 / s.cycles as f64);
                     violations += s.dead_violations;
                 }

@@ -10,7 +10,7 @@ use std::fmt;
 
 use dide_analysis::DeadLifetimes;
 
-use crate::{Table, Workbench};
+use crate::{harness, Table, Workbench};
 
 /// One benchmark's lifetime distribution summary (dynamic instructions
 /// between the dead write and its overwriter).
@@ -41,21 +41,24 @@ impl DeadLifetimeReport {
     /// Measures every benchmark in the workbench.
     #[must_use]
     pub fn run(bench: &Workbench) -> DeadLifetimeReport {
-        let rows = bench
-            .cases()
-            .iter()
-            .map(|case| {
-                let lt = DeadLifetimes::compute(&case.trace, &case.analysis);
-                Row {
-                    benchmark: case.spec.name.to_string(),
-                    count: lt.len(),
-                    mean: lt.mean(),
-                    p50: lt.quantile(0.5).unwrap_or(0),
-                    p90: lt.quantile(0.9).unwrap_or(0),
-                    max: lt.quantile(1.0).unwrap_or(0),
-                }
-            })
-            .collect();
+        DeadLifetimeReport::run_jobs(bench, 1)
+    }
+
+    /// Like [`DeadLifetimeReport::run`], fanning the per-benchmark
+    /// measurements out across `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> DeadLifetimeReport {
+        let rows = harness::map_ordered(jobs, bench.cases(), |case| {
+            let lt = DeadLifetimes::compute(&case.trace, &case.analysis);
+            Row {
+                benchmark: case.spec.name.to_string(),
+                count: lt.len(),
+                mean: lt.mean(),
+                p50: lt.quantile(0.5).unwrap_or(0),
+                p90: lt.quantile(0.9).unwrap_or(0),
+                max: lt.quantile(1.0).unwrap_or(0),
+            }
+        });
         DeadLifetimeReport { rows }
     }
 }

@@ -13,7 +13,7 @@ use std::fmt;
 use dide_pipeline::{Core, DeadElimConfig, PipelineConfig};
 
 use crate::experiments::geomean;
-use crate::{Table, Workbench};
+use crate::{harness, Table, Workbench};
 
 /// One register-file size's measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,21 +56,31 @@ impl RegisterSweep {
     /// Runs the sweep (contended machine otherwise).
     #[must_use]
     pub fn run(bench: &Workbench) -> RegisterSweep {
+        RegisterSweep::run_jobs(bench, 1)
+    }
+
+    /// Like [`RegisterSweep::run`], fanning each size's per-benchmark
+    /// simulations out across `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> RegisterSweep {
         let rows = Self::SIZES
             .iter()
             .map(|&phys_regs| {
                 let machine = PipelineConfig { phys_regs, ..PipelineConfig::contended() };
                 let elim = machine.with_elimination(DeadElimConfig::default());
+                let per_case = harness::map_ordered(jobs, bench.cases(), |case| {
+                    let b = Core::new(machine).run(&case.trace, &case.analysis);
+                    let e = Core::new(elim).run(&case.trace, &case.analysis);
+                    (b.ipc(), e.ipc(), b.no_phys_stalls, e.no_phys_stalls)
+                });
                 let mut ipc_base = Vec::new();
                 let mut ipc_elim = Vec::new();
                 let (mut stalls_base, mut stalls_elim) = (0, 0);
-                for case in bench.cases() {
-                    let b = Core::new(machine).run(&case.trace, &case.analysis);
-                    let e = Core::new(elim).run(&case.trace, &case.analysis);
-                    ipc_base.push(b.ipc());
-                    ipc_elim.push(e.ipc());
-                    stalls_base += b.no_phys_stalls;
-                    stalls_elim += e.no_phys_stalls;
+                for (b_ipc, e_ipc, b_stalls, e_stalls) in per_case {
+                    ipc_base.push(b_ipc);
+                    ipc_elim.push(e_ipc);
+                    stalls_base += b_stalls;
+                    stalls_elim += e_stalls;
                 }
                 let n = bench.cases().len().max(1) as u64;
                 Row {
@@ -107,17 +117,9 @@ impl RegisterSweep {
 
 impl fmt::Display for RegisterSweep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "E17: register-pressure sweep (elimination expressed in physical registers)"
-        )?;
-        let mut t = Table::new([
-            "phys regs",
-            "IPC base",
-            "IPC elim",
-            "speedup",
-            "rename stalls base/elim",
-        ]);
+        writeln!(f, "E17: register-pressure sweep (elimination expressed in physical registers)")?;
+        let mut t =
+            Table::new(["phys regs", "IPC base", "IPC elim", "speedup", "rename stalls base/elim"]);
         for r in &self.rows {
             t.row([
                 r.phys_regs.to_string(),

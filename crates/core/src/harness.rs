@@ -1,0 +1,238 @@
+//! Execution substrate for the experiment harness: a deterministic
+//! work-stealing parallel map and a process-wide phase-timing registry.
+//!
+//! Everything here is std-only (`std::thread::scope` + `std::time::Instant`);
+//! the build environment has no access to crates.io, so no rayon or tracing
+//! dependencies are available — nor needed at this scale.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::Table;
+
+/// Default worker count: the machine's available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning the
+/// results **in input order**.
+///
+/// Output ordering is what keeps the experiment tables byte-identical
+/// regardless of the worker count: items are claimed from a shared counter
+/// (so fast workers take more), but results are reassembled by index.
+/// With `jobs <= 1` (or a single item) the items run inline on the calling
+/// thread, preserving strictly serial behavior.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+pub fn map_ordered<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                let value = f(item);
+                results.lock().unwrap().push((index, value));
+            });
+        }
+    });
+    let mut indexed = results.into_inner().unwrap();
+    indexed.sort_unstable_by_key(|&(index, _)| index);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
+/// A phase of the experiment pipeline, for timing attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Program construction (workload generator).
+    Build,
+    /// Functional emulation producing the committed-path trace.
+    Trace,
+    /// Oracle deadness analysis of the trace.
+    Analyze,
+    /// Cycle-level simulation and table rendering (per experiment).
+    Simulate,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 4] = [Phase::Build, Phase::Trace, Phase::Analyze, Phase::Simulate];
+
+    /// Lower-case label used in timing tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Build => "build",
+            Phase::Trace => "trace",
+            Phase::Analyze => "analyze",
+            Phase::Simulate => "simulate",
+        }
+    }
+}
+
+/// One timed span: which fixture or experiment, which phase, how long.
+#[derive(Debug, Clone)]
+pub struct TimingRecord {
+    /// What was timed (a benchmark fixture or an experiment id).
+    pub label: String,
+    /// The pipeline phase the span belongs to.
+    pub phase: Phase,
+    /// Wall-clock duration of the span.
+    pub elapsed: Duration,
+}
+
+fn registry() -> &'static Mutex<Vec<TimingRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<TimingRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records one timed span in the process-wide registry.
+pub fn record(label: impl Into<String>, phase: Phase, elapsed: Duration) {
+    registry().lock().unwrap().push(TimingRecord { label: label.into(), phase, elapsed });
+}
+
+/// Times `f`, records the span, and returns its result.
+pub fn time<T>(label: &str, phase: Phase, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let value = f();
+    record(label, phase, start.elapsed());
+    value
+}
+
+/// Snapshots every span recorded so far (fixture phases are recorded once —
+/// cached fixtures do not re-record).
+#[must_use]
+pub fn timing_records() -> Vec<TimingRecord> {
+    registry().lock().unwrap().clone()
+}
+
+/// Renders the per-phase summary: total wall-clock and span count per
+/// phase, plus per-experiment simulate times.
+#[must_use]
+pub fn timing_summary(records: &[TimingRecord]) -> String {
+    let mut out = String::from("== timing summary (wall-clock per phase) ==\n");
+    let mut t = Table::new(["phase", "spans", "total"]);
+    for phase in Phase::ALL {
+        let spans: Vec<&TimingRecord> = records.iter().filter(|r| r.phase == phase).collect();
+        let total: Duration = spans.iter().map(|r| r.elapsed).sum();
+        t.row([phase.label().to_string(), spans.len().to_string(), fmt_duration(total)]);
+    }
+    out.push_str(&t.to_string());
+    let simulated: Vec<&TimingRecord> =
+        records.iter().filter(|r| r.phase == Phase::Simulate).collect();
+    if !simulated.is_empty() {
+        out.push_str("\n== per-experiment wall-clock ==\n");
+        let mut t = Table::new(["experiment", "time"]);
+        for r in simulated {
+            t.row([r.label.clone(), fmt_duration(r.elapsed)]);
+        }
+        out.push_str(&t.to_string());
+    }
+    out
+}
+
+/// Renders every recorded span (the `--timings` detail view).
+#[must_use]
+pub fn timing_detail(records: &[TimingRecord]) -> String {
+    let mut out = String::from("== timing detail (every span) ==\n");
+    let mut t = Table::new(["label", "phase", "time"]);
+    for r in records {
+        t.row([r.label.clone(), r.phase.label().to_string(), fmt_duration(r.elapsed)]);
+    }
+    out.push_str(&t.to_string());
+    out
+}
+
+/// Formats a duration compactly for timing tables.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_ordered_preserves_input_order() {
+        let items: Vec<u32> = (0..100).collect();
+        for jobs in [1, 2, 4, 16] {
+            let doubled = map_ordered(jobs, &items, |&x| x * 2);
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn map_ordered_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_ordered(8, &empty, |&x| x).is_empty());
+        assert_eq!(map_ordered(8, &[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn map_ordered_runs_every_item_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..57).collect();
+        let out = map_ordered(4, &items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(counter.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn timing_summary_mentions_all_phases() {
+        let records = vec![
+            TimingRecord {
+                label: "x".into(),
+                phase: Phase::Build,
+                elapsed: Duration::from_millis(2),
+            },
+            TimingRecord {
+                label: "e9".into(),
+                phase: Phase::Simulate,
+                elapsed: Duration::from_secs(1),
+            },
+        ];
+        let summary = timing_summary(&records);
+        for phase in Phase::ALL {
+            assert!(summary.contains(phase.label()), "missing {}", phase.label());
+        }
+        assert!(summary.contains("e9"));
+        let detail = timing_detail(&records);
+        assert!(detail.contains("2.00 ms"));
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(15)), "15 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.0 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

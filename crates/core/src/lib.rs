@@ -43,9 +43,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod runner;
 mod table;
 mod workbench;
 
+pub use runner::{run_experiments, ExperimentOptions, ExperimentRun};
 pub use table::Table;
 pub use workbench::{BenchCase, Workbench};
 

@@ -1,0 +1,216 @@
+//! The `dide experiments` runner: schedules the E1–E17 experiment modules
+//! across a worker pool, reuses cached fixtures, and reports per-phase
+//! wall-clock timing.
+//!
+//! The runner is a library function (rather than living in `bin/dide.rs`)
+//! so integration tests can assert its central invariant: the rendered
+//! tables are **byte-identical for any `--jobs` value**. Experiments are
+//! rendered to per-experiment strings by the pool and concatenated in
+//! experiment-ID order; timing goes to a separate report, never into the
+//! tables.
+
+use crate::experiments as ex;
+use crate::harness::{self, Phase};
+use crate::{OptLevel, Workbench};
+
+/// Options accepted by [`run_experiments`] (the `dide experiments` CLI).
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Workload scale factor.
+    pub scale: u32,
+    /// Lower-cased experiment ids to run (`None` = all).
+    pub only: Option<Vec<String>>,
+    /// Worker threads for experiment execution (`0` = available
+    /// parallelism). `1` preserves strictly serial execution.
+    pub jobs: usize,
+    /// Whether the caller wants the per-span timing detail view.
+    pub timings: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> ExperimentOptions {
+        ExperimentOptions { scale: 1, only: None, jobs: 0, timings: false }
+    }
+}
+
+impl ExperimentOptions {
+    fn wants(&self, id: &str) -> bool {
+        self.only.as_ref().is_none_or(|only| only.iter().any(|x| x == id))
+    }
+
+    fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            harness::default_jobs()
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// The rendered result of one [`run_experiments`] call.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Every requested experiment's table in E1..E17 order, each followed
+    /// by a blank line — byte-identical for any job count.
+    pub tables: String,
+    /// Per-phase timing summary (wall-clock; varies run to run).
+    pub timing_summary: String,
+    /// Per-span timing detail (the `--timings` view).
+    pub timing_detail: String,
+}
+
+/// Experiment ids that read the O2 workbench (everything but the static
+/// configuration table E10; E5 additionally reads O0).
+const NEEDS_O2: [&str; 16] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e11", "e12", "e13", "e14", "e15", "e16",
+    "e17",
+];
+
+/// Runs the requested experiments and renders their tables.
+///
+/// Independent experiments execute across a worker pool of
+/// `options.jobs` threads, and the heavy pipeline experiments additionally
+/// fan their per-benchmark inner loops out on the same job budget.
+/// Progress messages go to stderr; the returned tables contain no timing
+/// data.
+///
+/// # Panics
+///
+/// Panics if a workload fails to build or trace (a workload-generator bug).
+#[must_use]
+pub fn run_experiments(options: &ExperimentOptions) -> ExperimentRun {
+    let jobs = options.effective_jobs();
+    let scale = options.scale;
+
+    // Build only the fixture sets the selection actually reads.
+    let o2_store = NEEDS_O2.iter().any(|id| options.wants(id)).then(|| {
+        eprintln!("building the O2 suite at scale {scale} ({jobs} jobs)...");
+        Workbench::full(OptLevel::O2, scale)
+    });
+    let o0_store = options.wants("e5").then(|| {
+        eprintln!("building the O0 suite at scale {scale} ({jobs} jobs)...");
+        Workbench::full(OptLevel::O0, scale)
+    });
+    let o2 = || o2_store.as_ref().expect("O2 suite built for this selection");
+    let o0 = || o0_store.as_ref().expect("O0 suite built for this selection");
+
+    type Job<'wb> = (&'static str, Box<dyn Fn() -> String + Send + Sync + 'wb>);
+    let mut schedule: Vec<Job> = Vec::new();
+    schedule.push(("e1", Box::new(|| ex::e01_dead_fraction::DeadFraction::run(o2()).to_string())));
+    schedule
+        .push(("e2", Box::new(|| ex::e02_dead_breakdown::DeadBreakdown::run(o2()).to_string())));
+    schedule.push((
+        "e3",
+        Box::new(|| ex::e03_static_behavior::StaticBehaviorCensus::run(o2()).to_string()),
+    ));
+    schedule.push(("e4", Box::new(|| ex::e04_locality::Locality::run(o2()).to_string())));
+    schedule.push((
+        "e5",
+        Box::new(|| ex::e05_compiler_effect::CompilerEffect::run(o0(), o2()).to_string()),
+    ));
+    schedule.push((
+        "e6",
+        Box::new(|| ex::e06_predictor_sizing::PredictorSizing::run(o2()).to_string()),
+    ));
+    schedule.push(("e7", Box::new(|| ex::e07_cfi_value::CfiValue::run(o2()).to_string())));
+    schedule.push((
+        "e8",
+        Box::new(move || {
+            ex::e08_resource_savings::ResourceSavingsReport::run_jobs(o2(), jobs).to_string()
+        }),
+    ));
+    schedule
+        .push(("e9", Box::new(move || ex::e09_speedup::Speedup::run_jobs(o2(), jobs).to_string())));
+    schedule.push((
+        "e10",
+        Box::new(|| ex::e10_machine_config::MachineConfigTable::collect().to_string()),
+    ));
+    schedule.push((
+        "e11",
+        Box::new(move || {
+            ex::e11_confidence_sweep::ConfidenceSweep::run_jobs(o2(), jobs).to_string()
+        }),
+    ));
+    schedule.push((
+        "e12",
+        Box::new(move || {
+            ex::e12_elimination_ablation::EliminationAblation::run_jobs(o2(), jobs).to_string()
+        }),
+    ));
+    schedule.push((
+        "e13",
+        Box::new(move || ex::e13_jump_aware::JumpAware::run_jobs(o2(), jobs).to_string()),
+    ));
+    schedule.push((
+        "e14",
+        Box::new(move || ex::e14_oracle_limit::OracleLimit::run_jobs(o2(), jobs).to_string()),
+    ));
+    schedule.push((
+        "e15",
+        Box::new(move || ex::e15_penalty_sweep::PenaltySweep::run_jobs(o2(), jobs).to_string()),
+    ));
+    schedule.push((
+        "e16",
+        Box::new(move || {
+            ex::e16_dead_lifetimes::DeadLifetimeReport::run_jobs(o2(), jobs).to_string()
+        }),
+    ));
+    schedule.push((
+        "e17",
+        Box::new(move || ex::e17_register_sweep::RegisterSweep::run_jobs(o2(), jobs).to_string()),
+    ));
+    schedule.retain(|(id, _)| options.wants(id));
+
+    let rendered =
+        harness::map_ordered(jobs, &schedule, |(id, job)| harness::time(id, Phase::Simulate, job));
+
+    let mut tables = String::new();
+    for table in rendered {
+        tables.push_str(&table);
+        tables.push_str("\n\n");
+    }
+
+    let records = harness::timing_records();
+    ExperimentRun {
+        tables,
+        timing_summary: harness::timing_summary(&records),
+        timing_detail: harness::timing_detail(&records),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subset_options(jobs: usize) -> ExperimentOptions {
+        ExperimentOptions {
+            scale: 1,
+            only: Some(vec!["e1".into(), "e10".into()]),
+            jobs,
+            timings: false,
+        }
+    }
+
+    #[test]
+    fn only_filter_selects_tables_in_id_order() {
+        let run = run_experiments(&subset_options(1));
+        let e1 = run.tables.find("E1:").expect("E1 present");
+        let e10 = run.tables.find("E10:").expect("E10 present");
+        assert!(e1 < e10);
+        assert!(!run.tables.contains("E9:"));
+    }
+
+    #[test]
+    fn timing_reports_cover_the_run() {
+        let run = run_experiments(&subset_options(2));
+        assert!(run.timing_summary.contains("simulate"));
+        assert!(run.timing_detail.contains("e1"));
+    }
+
+    #[test]
+    fn job_count_does_not_change_tables() {
+        let serial = run_experiments(&subset_options(1));
+        let parallel = run_experiments(&subset_options(4));
+        assert_eq!(serial.tables, parallel.tables);
+    }
+}

@@ -26,10 +26,8 @@ pub struct Table {
 }
 
 fn is_numeric(cell: &str) -> bool {
-    let cleaned: String = cell
-        .chars()
-        .filter(|c| !matches!(c, '%' | 'x' | ',' | '+' | ' '))
-        .collect();
+    let cleaned: String =
+        cell.chars().filter(|c| !matches!(c, '%' | 'x' | ',' | '+' | ' ')).collect();
     !cleaned.is_empty() && cleaned.parse::<f64>().is_ok()
 }
 

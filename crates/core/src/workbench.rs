@@ -1,9 +1,22 @@
-//! Shared benchmark fixtures: traces and oracle analyses, built once and
-//! reused across experiments.
+//! Shared benchmark fixtures: traces and oracle analyses, built once per
+//! process and reused across experiments, examples, and benches.
+//!
+//! A [`BenchCase`] is a pure function of `(spec, opt, scale)` — workload
+//! programs are generated from fixed seeds, emulation is deterministic, and
+//! the oracle analysis is a pure function of the trace. [`BenchCase::cached`]
+//! therefore memoizes cases in a process-wide table, and [`Workbench`]
+//! construction fans the (independent) per-benchmark builds out across
+//! threads; experiments, the `dide experiments` runner, the examples and the
+//! bench harness all share one set of fixtures instead of re-deriving them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use dide_analysis::DeadnessAnalysis;
 use dide_emu::{Emulator, Trace};
 use dide_workloads::{suite, OptLevel, WorkloadSpec};
+
+use crate::harness::{self, Phase};
 
 /// One benchmark instance: its spec, trace and oracle analysis.
 #[derive(Debug)]
@@ -12,14 +25,32 @@ pub struct BenchCase {
     pub spec: WorkloadSpec,
     /// Optimization level the program was built at.
     pub opt: OptLevel,
+    /// Scale factor the program was built at.
+    pub scale: u32,
     /// The committed-path dynamic trace.
     pub trace: Trace,
     /// Oracle deadness labels for the trace.
     pub analysis: DeadnessAnalysis,
 }
 
+/// Memo key: a case is a pure function of this tuple.
+type CaseKey = (&'static str, OptLevel, u32);
+
+/// Per-key cells so two threads racing on the *same* case build it once,
+/// while builds of different cases proceed in parallel.
+type CaseCell = Arc<OnceLock<Arc<BenchCase>>>;
+
+fn case_cache() -> &'static Mutex<HashMap<CaseKey, CaseCell>> {
+    static CACHE: OnceLock<Mutex<HashMap<CaseKey, CaseCell>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 impl BenchCase {
-    /// Builds, runs and analyzes one workload.
+    /// Builds, runs and analyzes one workload, bypassing the fixture cache.
+    ///
+    /// Records build/trace/analyze wall-clock in the timing registry
+    /// (see [`crate::harness`]). Prefer [`BenchCase::cached`] unless a
+    /// freshly built, uniquely owned case is required.
     ///
     /// # Panics
     ///
@@ -27,29 +58,51 @@ impl BenchCase {
     /// workload generator, not a user error.
     #[must_use]
     pub fn build(spec: WorkloadSpec, opt: OptLevel, scale: u32) -> BenchCase {
-        let program = spec.build(opt, scale);
-        let trace = Emulator::new(&program)
-            .run()
-            .unwrap_or_else(|e| panic!("benchmark {} must run to halt: {e}", spec.name));
-        let analysis = DeadnessAnalysis::analyze(&trace);
-        BenchCase { spec, opt, trace, analysis }
+        let label = format!("{}@{opt}/s{scale}", spec.name);
+        let program = harness::time(&label, Phase::Build, || spec.build(opt, scale));
+        let trace = harness::time(&label, Phase::Trace, || {
+            Emulator::new(&program)
+                .run()
+                .unwrap_or_else(|e| panic!("benchmark {} must run to halt: {e}", spec.name))
+        });
+        let analysis = harness::time(&label, Phase::Analyze, || DeadnessAnalysis::analyze(&trace));
+        BenchCase { spec, opt, scale, trace, analysis }
+    }
+
+    /// Returns the process-wide shared instance of this case, building it
+    /// on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark program traps (see [`BenchCase::build`]).
+    #[must_use]
+    pub fn cached(spec: WorkloadSpec, opt: OptLevel, scale: u32) -> Arc<BenchCase> {
+        let cell = {
+            let mut cache = case_cache().lock().unwrap();
+            cache.entry((spec.name, opt, scale)).or_default().clone()
+        };
+        // Building outside the cache lock keeps distinct cases parallel;
+        // the per-key cell still deduplicates racing builds of one case.
+        cell.get_or_init(|| Arc::new(BenchCase::build(spec, opt, scale))).clone()
     }
 }
 
 /// A set of prepared benchmark cases.
 ///
 /// Experiments take a `Workbench` so that test runs can use a cheap subset
-/// while the full harness uses the entire suite at a larger scale.
+/// while the full harness uses the entire suite at a larger scale. Cases
+/// are built concurrently (one thread per missing case) and shared through
+/// the process-wide fixture cache.
 #[derive(Debug)]
 pub struct Workbench {
-    cases: Vec<BenchCase>,
+    cases: Vec<Arc<BenchCase>>,
 }
 
 impl Workbench {
     /// Prepares the full benchmark suite.
     #[must_use]
     pub fn full(opt: OptLevel, scale: u32) -> Workbench {
-        Workbench { cases: suite().into_iter().map(|s| BenchCase::build(s, opt, scale)).collect() }
+        Workbench::of_specs(&suite(), opt, scale)
     }
 
     /// Prepares a named subset of the suite.
@@ -60,22 +113,26 @@ impl Workbench {
     #[must_use]
     pub fn subset(names: &[&str], opt: OptLevel, scale: u32) -> Workbench {
         let all = suite();
-        let cases = names
+        let specs: Vec<WorkloadSpec> = names
             .iter()
             .map(|&n| {
-                let spec = *all
-                    .iter()
+                *all.iter()
                     .find(|s| s.name == n)
-                    .unwrap_or_else(|| panic!("unknown benchmark `{n}`"));
-                BenchCase::build(spec, opt, scale)
+                    .unwrap_or_else(|| panic!("unknown benchmark `{n}`"))
             })
             .collect();
+        Workbench::of_specs(&specs, opt, scale)
+    }
+
+    fn of_specs(specs: &[WorkloadSpec], opt: OptLevel, scale: u32) -> Workbench {
+        let jobs = harness::default_jobs();
+        let cases = harness::map_ordered(jobs, specs, |&spec| BenchCase::cached(spec, opt, scale));
         Workbench { cases }
     }
 
     /// The prepared cases, in suite order.
     #[must_use]
-    pub fn cases(&self) -> &[BenchCase] {
+    pub fn cases(&self) -> &[Arc<BenchCase>] {
         &self.cases
     }
 }
@@ -89,6 +146,7 @@ mod tests {
         let wb = Workbench::subset(&["stream"], OptLevel::O2, 1);
         assert_eq!(wb.cases().len(), 1);
         assert_eq!(wb.cases()[0].spec.name, "stream");
+        assert_eq!(wb.cases()[0].scale, 1);
         assert!(wb.cases()[0].trace.len() > 1000);
     }
 
@@ -96,5 +154,35 @@ mod tests {
     #[should_panic(expected = "unknown benchmark")]
     fn unknown_name_panics() {
         let _ = Workbench::subset(&["nope"], OptLevel::O2, 1);
+    }
+
+    #[test]
+    fn cache_returns_the_same_fixture() {
+        let a = BenchCase::cached(suite()[0], OptLevel::O2, 1);
+        let b = BenchCase::cached(suite()[0], OptLevel::O2, 1);
+        assert!(Arc::ptr_eq(&a, &b), "same (spec, opt, scale) must share one build");
+        let c = BenchCase::cached(suite()[0], OptLevel::O0, 1);
+        assert!(!Arc::ptr_eq(&a, &c), "different opt levels are distinct cases");
+    }
+
+    #[test]
+    fn workbenches_share_cached_cases() {
+        let w1 = Workbench::subset(&["expr", "stream"], OptLevel::O2, 1);
+        let w2 = Workbench::subset(&["stream"], OptLevel::O2, 1);
+        assert!(Arc::ptr_eq(&w1.cases()[1], &w2.cases()[0]));
+    }
+
+    #[test]
+    fn concurrent_cached_builds_converge() {
+        let spec = *suite().iter().find(|s| s.name == "route").expect("route exists");
+        let cases: Vec<Arc<BenchCase>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(move || BenchCase::cached(spec, OptLevel::O2, 1)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for case in &cases[1..] {
+            assert!(Arc::ptr_eq(&cases[0], case));
+        }
     }
 }

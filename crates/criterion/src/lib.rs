@@ -1,0 +1,185 @@
+//! Offline drop-in replacement for the subset of [`criterion`] used by this
+//! workspace's benches.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` crate cannot be fetched. This shim keeps `cargo bench`
+//! working with the same bench sources: it runs each registered function a
+//! configurable number of times, reports median wall-clock per iteration,
+//! and derives throughput from [`Throughput::Elements`]/[`Throughput::Bytes`].
+//! There is no statistical outlier analysis, warm-up tuning, HTML report,
+//! or baseline comparison.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (std's is the real thing).
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+}
+
+/// Per-iteration work amount used to derive a rate from the measured time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration work amount for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One untimed warm-up sample, then the recorded ones.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut per_iter: Vec<Duration> = bencher.samples;
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => rate_suffix(n, median, "elem/s"),
+            Some(Throughput::Bytes(n)) => rate_suffix(n, median, "B/s"),
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}  time: [{} {} {}]{rate}",
+            self.name,
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi),
+        );
+        self
+    }
+
+    /// Ends the group (kept for source compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Times the body the bench function hands to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures one sample of `f`, keeping its result live via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn rate_suffix(amount: u64, time: Duration, unit: &str) -> String {
+    let secs = time.as_secs_f64();
+    if secs <= 0.0 {
+        return String::new();
+    }
+    format!("  thrpt: {:.3e} {unit}", amount as f64 / secs)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a bench group function calling each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_without_panicking() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        g.finish();
+        assert_eq!(runs, 4, "one warm-up + three samples");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(1)), "1.000 s");
+    }
+}

@@ -80,10 +80,10 @@ impl<'p> Emulator<'p> {
             if seq >= self.config.max_steps {
                 return Err(EmuError::StepLimit { limit: self.config.max_steps });
             }
-            let inst: Inst = *self.program.get(pc).ok_or(EmuError::BadFetch {
-                index: u64::from(pc),
-                at_seq: seq,
-            })?;
+            let inst: Inst = *self
+                .program
+                .get(pc)
+                .ok_or(EmuError::BadFetch { index: u64::from(pc), at_seq: seq })?;
 
             let mut next = pc + 1;
             let mut taken = false;
@@ -93,7 +93,8 @@ impl<'p> Emulator<'p> {
 
             match inst.op.kind() {
                 OpcodeKind::AluRR => {
-                    result = crate::semantics::alu_rr(inst.op, self.reg(inst.rs1), self.reg(inst.rs2));
+                    result =
+                        crate::semantics::alu_rr(inst.op, self.reg(inst.rs1), self.reg(inst.rs2));
                     self.set_reg(inst.rd, result);
                 }
                 OpcodeKind::AluRI => {
@@ -202,10 +203,7 @@ mod tests {
         b.out(Reg::T4).out(Reg::T5);
         b.halt();
         let t = run(b);
-        assert_eq!(
-            t.outputs(),
-            &[(-3i64) as u64, (-1i64) as u64, u64::MAX, (-7i64) as u64]
-        );
+        assert_eq!(t.outputs(), &[(-3i64) as u64, (-1i64) as u64, u64::MAX, (-7i64) as u64]);
     }
 
     #[test]
@@ -220,15 +218,7 @@ mod tests {
         b.out(Reg::T1).out(Reg::T2).out(Reg::T3).out(Reg::T4);
         b.halt();
         let t = run(b);
-        assert_eq!(
-            t.outputs(),
-            &[
-                (-1i64) as u64,
-                0xff,
-                (-1i64) as u64,
-                0x0080_ffff,
-            ]
-        );
+        assert_eq!(t.outputs(), &[(-1i64) as u64, 0xff, (-1i64) as u64, 0x0080_ffff,]);
     }
 
     #[test]

@@ -113,10 +113,7 @@ impl Trace {
             if r.produces_value() {
                 s.value_producers += 1;
             }
-            if matches!(
-                r.inst.op.kind(),
-                dide_isa::OpcodeKind::Jal | dide_isa::OpcodeKind::Jalr
-            ) {
+            if matches!(r.inst.op.kind(), dide_isa::OpcodeKind::Jal | dide_isa::OpcodeKind::Jalr) {
                 s.jumps += 1;
             }
         }

@@ -113,7 +113,14 @@ impl ProgramBuilder {
         self
     }
 
-    fn emit_to_label(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+    fn emit_to_label(
+        &mut self,
+        op: Opcode,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        label: Label,
+    ) -> &mut Self {
         self.fixups.push((self.insts.len(), label));
         self.emit(op, rd, rs1, rs2, 0)
     }
@@ -133,7 +140,8 @@ impl ProgramBuilder {
     /// validation.
     pub fn build(mut self) -> Result<Program, ProgramError> {
         for &(at, label) in &self.fixups {
-            let target = self.labels[label.0].ok_or(ProgramError::UnboundLabel { label: label.0 })?;
+            let target =
+                self.labels[label.0].ok_or(ProgramError::UnboundLabel { label: label.0 })?;
             self.insts[at].imm = i64::from(target);
         }
         Program::from_parts(self.name, self.insts, self.data, 0)

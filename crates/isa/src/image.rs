@@ -123,8 +123,7 @@ impl Program {
         if header[0..4] != MAGIC {
             return Err(ImageError::BadMagic);
         }
-        let word =
-            |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("4 bytes"));
+        let word = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().expect("4 bytes"));
         let version = word(4);
         if version != VERSION {
             return Err(ImageError::BadVersion(version));
@@ -151,8 +150,8 @@ impl Program {
             insts.push(inst);
         }
         let data = bytes[insts_end..data_end].to_vec();
-        let name = std::str::from_utf8(&bytes[data_end..name_end])
-            .map_err(|_| ImageError::BadName)?;
+        let name =
+            std::str::from_utf8(&bytes[data_end..name_end]).map_err(|_| ImageError::BadName)?;
         Program::from_parts(name, insts, data, entry).map_err(ImageError::Invalid)
     }
 }

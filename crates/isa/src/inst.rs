@@ -256,8 +256,14 @@ mod tests {
 
     #[test]
     fn mem_width() {
-        assert_eq!(inst(Opcode::Lb, Reg::T0, Reg::SP, Reg::ZERO, 0).mem_width(), Some(MemWidth::B1));
-        assert_eq!(inst(Opcode::Sw, Reg::ZERO, Reg::SP, Reg::T0, 0).mem_width(), Some(MemWidth::B4));
+        assert_eq!(
+            inst(Opcode::Lb, Reg::T0, Reg::SP, Reg::ZERO, 0).mem_width(),
+            Some(MemWidth::B1)
+        );
+        assert_eq!(
+            inst(Opcode::Sw, Reg::ZERO, Reg::SP, Reg::T0, 0).mem_width(),
+            Some(MemWidth::B4)
+        );
         assert_eq!(inst(Opcode::Add, Reg::T0, Reg::T1, Reg::T2, 0).mem_width(), None);
     }
 
@@ -289,11 +295,17 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(inst(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0).to_string(), "add t2, t0, t1");
-        assert_eq!(inst(Opcode::Addi, Reg::T0, Reg::T0, Reg::ZERO, 1).to_string(), "addi t0, t0, 1");
+        assert_eq!(
+            inst(Opcode::Addi, Reg::T0, Reg::T0, Reg::ZERO, 1).to_string(),
+            "addi t0, t0, 1"
+        );
         assert_eq!(inst(Opcode::Li, Reg::A0, Reg::ZERO, Reg::ZERO, 7).to_string(), "li a0, 7");
         assert_eq!(inst(Opcode::Ld, Reg::T0, Reg::SP, Reg::ZERO, 16).to_string(), "ld t0, 16(sp)");
         assert_eq!(inst(Opcode::Sd, Reg::ZERO, Reg::SP, Reg::T0, 16).to_string(), "sd t0, 16(sp)");
-        assert_eq!(inst(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 42).to_string(), "beq t0, t1, @42");
+        assert_eq!(
+            inst(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 42).to_string(),
+            "beq t0, t1, @42"
+        );
         assert_eq!(inst(Opcode::Jal, Reg::RA, Reg::ZERO, Reg::ZERO, 7).to_string(), "jal ra, @7");
         assert_eq!(inst(Opcode::Out, Reg::ZERO, Reg::A0, Reg::ZERO, 0).to_string(), "out a0");
         assert_eq!(Inst::nop().to_string(), "nop");

@@ -96,20 +96,16 @@ impl Program {
         for (i, inst) in insts.iter().enumerate() {
             match inst.op.kind() {
                 OpcodeKind::Branch(_) | OpcodeKind::Jal
-                    if (inst.imm < 0 || inst.imm as usize >= insts.len()) => {
-                        return Err(ProgramError::TargetOutOfRange {
-                            at: i as u32,
-                            target: inst.imm,
-                        });
-                    }
+                    if (inst.imm < 0 || inst.imm as usize >= insts.len()) =>
+                {
+                    return Err(ProgramError::TargetOutOfRange { at: i as u32, target: inst.imm });
+                }
                 _ => {}
             }
         }
         let last = insts.last().expect("non-empty");
-        let terminates = matches!(
-            last.op.kind(),
-            OpcodeKind::Halt | OpcodeKind::Jal | OpcodeKind::Jalr
-        );
+        let terminates =
+            matches!(last.op.kind(), OpcodeKind::Halt | OpcodeKind::Jal | OpcodeKind::Jalr);
         if !terminates {
             return Err(ProgramError::FallsOffEnd);
         }
@@ -177,8 +173,20 @@ impl Program {
     pub fn listing(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "; program `{}` — {} instructions, {} data bytes", self.name, self.insts.len(), self.data.len());
-        let _ = writeln!(out, "; entry @{} (pc {:#x}), data base {:#x}", self.entry, index_to_pc(self.entry), DATA_BASE);
+        let _ = writeln!(
+            out,
+            "; program `{}` — {} instructions, {} data bytes",
+            self.name,
+            self.insts.len(),
+            self.data.len()
+        );
+        let _ = writeln!(
+            out,
+            "; entry @{} (pc {:#x}), data base {:#x}",
+            self.entry,
+            index_to_pc(self.entry),
+            DATA_BASE
+        );
         for (i, inst) in self.insts.iter().enumerate() {
             let _ = writeln!(out, "{i:6}: {inst}");
         }
@@ -203,10 +211,7 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(
-            Program::from_parts("p", vec![], vec![], 0),
-            Err(ProgramError::Empty)
-        );
+        assert_eq!(Program::from_parts("p", vec![], vec![], 0), Err(ProgramError::Empty));
     }
 
     #[test]
@@ -217,10 +222,7 @@ mod tests {
 
     #[test]
     fn branch_target_validated() {
-        let insts = vec![
-            Inst::new(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 99),
-            halt(),
-        ];
+        let insts = vec![Inst::new(Opcode::Beq, Reg::ZERO, Reg::T0, Reg::T1, 99), halt()];
         let err = Program::from_parts("p", insts, vec![], 0).unwrap_err();
         assert!(matches!(err, ProgramError::TargetOutOfRange { at: 0, target: 99 }));
     }
@@ -261,10 +263,7 @@ mod tests {
 
     #[test]
     fn registers_read_collects_sources() {
-        let insts = vec![
-            Inst::new(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0),
-            halt(),
-        ];
+        let insts = vec![Inst::new(Opcode::Add, Reg::T2, Reg::T0, Reg::T1, 0), halt()];
         let p = Program::from_parts("p", insts, vec![], 0).unwrap();
         assert_eq!(p.registers_read(), vec![Reg::T0, Reg::T1]);
     }

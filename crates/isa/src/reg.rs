@@ -136,28 +136,12 @@ impl Reg {
     }
 
     /// The caller-saved temporary registers `t0`–`t7`.
-    pub const TEMPS: [Reg; 8] = [
-        Reg::T0,
-        Reg::T1,
-        Reg::T2,
-        Reg::T3,
-        Reg::T4,
-        Reg::T5,
-        Reg::T6,
-        Reg::T7,
-    ];
+    pub const TEMPS: [Reg; 8] =
+        [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::T6, Reg::T7];
 
     /// The callee-saved registers `s0`–`s7`.
-    pub const SAVED: [Reg; 8] = [
-        Reg::S0,
-        Reg::S1,
-        Reg::S2,
-        Reg::S3,
-        Reg::S4,
-        Reg::S5,
-        Reg::S6,
-        Reg::S7,
-    ];
+    pub const SAVED: [Reg; 8] =
+        [Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6, Reg::S7];
 
     /// The argument registers `a0`–`a5`.
     pub const ARGS: [Reg; 6] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];

@@ -200,9 +200,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         let base = set * self.config.ways;
-        self.lines[base..base + self.config.ways]
-            .iter()
-            .any(|l| l.is_some_and(|l| l.tag == tag))
+        self.lines[base..base + self.config.ways].iter().any(|l| l.is_some_and(|l| l.tag == tag))
     }
 
     /// Clears contents and counters.

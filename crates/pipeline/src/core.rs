@@ -7,9 +7,7 @@ use dide_analysis::DeadnessAnalysis;
 use dide_emu::Trace;
 use dide_isa::Reg;
 use dide_mem::MemoryHierarchy;
-use dide_predictor::dead::{
-    CfiDeadPredictor, DeadPredictor, OracleDeadPredictor, PredictInput,
-};
+use dide_predictor::dead::{CfiDeadPredictor, DeadPredictor, OracleDeadPredictor, PredictInput};
 use dide_predictor::future::CfSignature;
 
 use crate::config::PipelineConfig;
@@ -159,11 +157,8 @@ impl Core {
                 }
                 if e.eligible {
                     let was_dead = analysis.is_dead(e.seq);
-                    let input = PredictInput {
-                        seq: e.seq,
-                        static_index: r.index,
-                        signature: e.signature,
-                    };
+                    let input =
+                        PredictInput { seq: e.seq, static_index: r.index, signature: e.signature };
                     predictor.train(&input, was_dead);
                     if was_dead {
                         stats.oracle_dead_committed += 1;
@@ -240,9 +235,7 @@ impl Core {
                     let eligible = if is_store {
                         policy.covers_stores()
                     } else {
-                        policy.covers_registers()
-                            && dest.is_some()
-                            && !r.inst.op.is_control()
+                        policy.covers_registers() && dest.is_some() && !r.inst.op.is_control()
                     };
                     let signature = if eligible {
                         frontend.signature(seq, cfg.dead.lookahead)
@@ -268,8 +261,7 @@ impl Core {
                                 regs.set_ready(p);
                                 map.set(src, Mapping::Phys(p));
                                 stats.dead_violations += 1;
-                                rename_stalled_until =
-                                    now + u64::from(cfg.dead.violation_penalty);
+                                rename_stalled_until = now + u64::from(cfg.dead.violation_penalty);
                                 break 'rename;
                             }
                         }
@@ -456,11 +448,7 @@ mod tests {
         assert!(elim.savings.phys_allocs_saved > 0);
         assert!(elim.phys_allocs < base.phys_allocs);
         assert!(elim.rf_writes < base.rf_writes);
-        assert!(
-            elim.elimination_accuracy() > 0.9,
-            "accuracy {}",
-            elim.elimination_accuracy()
-        );
+        assert!(elim.elimination_accuracy() > 0.9, "accuracy {}", elim.elimination_accuracy());
     }
 
     #[test]

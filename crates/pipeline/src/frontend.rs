@@ -125,10 +125,7 @@ impl<'t> Frontend<'t> {
     /// exactly as in hardware (the predictor simply sees a shorter
     /// pattern).
     pub(crate) fn signature(&self, seq: u64, lookahead: u8) -> CfSignature {
-        pack_events(
-            self.events.iter().filter(|&&(s, _)| s > seq).map(|&(_, e)| e),
-            lookahead,
-        )
+        pack_events(self.events.iter().filter(|&&(s, _)| s > seq).map(|&(_, e)| e), lookahead)
     }
 
     /// Fetches up to one group of instructions at cycle `now`.
@@ -165,10 +162,8 @@ impl<'t> Frontend<'t> {
                 }
             }
 
-            self.buffer.push_back(Fetched {
-                seq: r.seq,
-                ready_at: now + u64::from(self.frontend_depth),
-            });
+            self.buffer
+                .push_back(Fetched { seq: r.seq, ready_at: now + u64::from(self.frontend_depth) });
             self.pos += 1;
 
             match r.inst.op.kind() {

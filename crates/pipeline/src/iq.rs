@@ -21,10 +21,7 @@ pub(crate) struct IqEntry {
 impl IqEntry {
     /// Whether all source operands are available.
     pub(crate) fn ready(&self, regs: &PhysRegFile) -> bool {
-        self.srcs
-            .iter()
-            .flatten()
-            .all(|&p| regs.is_ready(p))
+        self.srcs.iter().flatten().all(|&p| regs.is_ready(p))
     }
 }
 

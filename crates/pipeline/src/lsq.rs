@@ -66,19 +66,13 @@ impl LoadStoreQueues {
     /// Whether the load with sequence `seq` may issue: every older store
     /// whose access overlaps has executed.
     pub(crate) fn load_may_issue(&self, seq: u64, mem: MemAccess) -> bool {
-        self.stores
-            .iter()
-            .take_while(|s| s.seq < seq)
-            .all(|s| s.executed || !s.mem.overlaps(mem))
+        self.stores.iter().take_while(|s| s.seq < seq).all(|s| s.executed || !s.mem.overlaps(mem))
     }
 
     /// Whether the load would be forwarded from an executed, older,
     /// overlapping store still in the queue.
     pub(crate) fn load_forwards(&self, seq: u64, mem: MemAccess) -> bool {
-        self.stores
-            .iter()
-            .take_while(|s| s.seq < seq)
-            .any(|s| s.executed && s.mem.overlaps(mem))
+        self.stores.iter().take_while(|s| s.seq < seq).any(|s| s.executed && s.mem.overlaps(mem))
     }
 
     /// Retires the oldest load (at commit).
@@ -89,11 +83,7 @@ impl LoadStoreQueues {
 
     /// Retires the oldest store (at commit).
     pub(crate) fn pop_store(&mut self, seq: u64) {
-        debug_assert_eq!(
-            self.stores.front().map(|e| e.seq),
-            Some(seq),
-            "stores retire in order"
-        );
+        debug_assert_eq!(self.stores.front().map(|e| e.seq), Some(seq), "stores retire in order");
         self.stores.pop_front();
     }
 }

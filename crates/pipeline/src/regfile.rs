@@ -38,10 +38,7 @@ impl PhysRegFile {
 
     /// Returns a register to the free list.
     pub(crate) fn free(&mut self, p: PhysReg) {
-        debug_assert!(
-            !self.free.contains(&p),
-            "double free of physical register {p:?}"
-        );
+        debug_assert!(!self.free.contains(&p), "double free of physical register {p:?}");
         self.free.push(p);
     }
 

@@ -161,7 +161,13 @@ impl PipelineStats {
 
 impl fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "cycles {} | committed {} | IPC {:.3}", self.cycles, self.committed, self.ipc())?;
+        writeln!(
+            f,
+            "cycles {} | committed {} | IPC {:.3}",
+            self.cycles,
+            self.committed,
+            self.ipc()
+        )?;
         writeln!(
             f,
             "branches {} ({:.2}% accurate) | BTB misses {}",

@@ -21,19 +21,12 @@ fn expr_elimination_saves_resources_on_baseline() {
     let t = trace_for("expr");
     let a = DeadnessAnalysis::analyze(&t);
     let base = run(&t, &a, PipelineConfig::baseline());
-    let elim = run(
-        &t,
-        &a,
-        PipelineConfig::baseline().with_elimination(DeadElimConfig::default()),
-    );
+    let elim = run(&t, &a, PipelineConfig::baseline().with_elimination(DeadElimConfig::default()));
     assert_eq!(base.committed, elim.committed);
 
-    let alloc_reduction = PipelineStats::reduction(
-        elim.phys_allocs,
-        elim.savings.phys_allocs_saved,
-    );
-    let rf_write_reduction =
-        PipelineStats::reduction(elim.rf_writes, elim.savings.rf_writes_saved);
+    let alloc_reduction =
+        PipelineStats::reduction(elim.phys_allocs, elim.savings.phys_allocs_saved);
+    let rf_write_reduction = PipelineStats::reduction(elim.rf_writes, elim.savings.rf_writes_saved);
     println!(
         "expr: alloc -{:.1}%, rf writes -{:.1}%, d$ saved {}, accuracy {:.1}%, coverage {:.1}%, violations {}",
         100.0 * alloc_reduction,
@@ -54,11 +47,7 @@ fn expr_elimination_speeds_up_contended_machine() {
     let t = trace_for("expr");
     let a = DeadnessAnalysis::analyze(&t);
     let base = run(&t, &a, PipelineConfig::contended());
-    let elim = run(
-        &t,
-        &a,
-        PipelineConfig::contended().with_elimination(DeadElimConfig::default()),
-    );
+    let elim = run(&t, &a, PipelineConfig::contended().with_elimination(DeadElimConfig::default()));
     let speedup = base.cycles as f64 / elim.cycles as f64;
     println!(
         "expr contended: base {} cy (ipc {:.3}) -> elim {} cy (ipc {:.3}); speedup {:.3}",
@@ -76,11 +65,7 @@ fn elimination_lowers_rename_register_pressure() {
     let t = trace_for("expr");
     let a = DeadnessAnalysis::analyze(&t);
     let base = run(&t, &a, PipelineConfig::contended());
-    let elim = run(
-        &t,
-        &a,
-        PipelineConfig::contended().with_elimination(DeadElimConfig::default()),
-    );
+    let elim = run(&t, &a, PipelineConfig::contended().with_elimination(DeadElimConfig::default()));
     println!(
         "expr contended occupancy: phys {:.1} -> {:.1}, iq {:.1} -> {:.1}, rob {:.1} -> {:.1}",
         base.mean_phys_used(),
@@ -105,11 +90,8 @@ fn all_benchmarks_commit_fully_with_elimination() {
     for spec in suite() {
         let t = Emulator::new(&spec.build(OptLevel::O2, 1)).run().expect("halts");
         let a = DeadnessAnalysis::analyze(&t);
-        let stats = run(
-            &t,
-            &a,
-            PipelineConfig::contended().with_elimination(DeadElimConfig::default()),
-        );
+        let stats =
+            run(&t, &a, PipelineConfig::contended().with_elimination(DeadElimConfig::default()));
         assert_eq!(stats.committed, t.len() as u64, "{} must commit fully", spec.name);
         // Accuracy only means something once the predictor acts at scale;
         // `interp`'s deadness is keyed to indirect-jump targets, which the

@@ -21,10 +21,7 @@ impl BimodalBranch {
     pub fn new(log2_entries: u32) -> BimodalBranch {
         assert!(log2_entries <= 24, "bimodal table too large: 2^{log2_entries}");
         let entries = 1usize << log2_entries;
-        BimodalBranch {
-            table: vec![Counter2::weakly_taken(); entries],
-            mask: (entries - 1) as u32,
-        }
+        BimodalBranch { table: vec![Counter2::weakly_taken(); entries], mask: (entries - 1) as u32 }
     }
 
     fn index(&self, pc: u32) -> usize {

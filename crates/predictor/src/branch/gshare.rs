@@ -49,11 +49,8 @@ impl Gshare {
     }
 
     fn index(&self, pc: u32) -> usize {
-        let hist_mask = if self.history_bits == 32 {
-            u32::MAX
-        } else {
-            (1u32 << self.history_bits) - 1
-        };
+        let hist_mask =
+            if self.history_bits == 32 { u32::MAX } else { (1u32 << self.history_bits) - 1 };
         ((pc ^ (self.history & hist_mask)) & self.mask) as usize
     }
 

@@ -73,11 +73,7 @@ impl TargetCache {
             table: vec![None; entries],
             history: 0,
             index_mask: (entries - 1) as u32,
-            tag_mask: if config.tag_bits == 0 {
-                0
-            } else {
-                ((1u32 << config.tag_bits) - 1) as u16
-            },
+            tag_mask: if config.tag_bits == 0 { 0 } else { ((1u32 << config.tag_bits) - 1) as u16 },
         }
     }
 
@@ -107,8 +103,7 @@ impl TargetCache {
     pub fn update(&mut self, pc: u32, target: u32) {
         let (index, tag) = self.slot(pc);
         self.table[index] = Some(Entry { tag, target });
-        self.history = (self.history << 3)
-            ^ ((target.wrapping_mul(0x9E37_79B9) >> 26) & 0x3f);
+        self.history = (self.history << 3) ^ ((target.wrapping_mul(0x9E37_79B9) >> 26) & 0x3f);
     }
 
     /// Hardware state: tag + 32-bit target per entry, plus the history

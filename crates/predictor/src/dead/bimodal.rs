@@ -44,6 +44,11 @@ impl BimodalDeadPredictor {
     #[must_use]
     pub fn new(config: BimodalDeadConfig) -> BimodalDeadPredictor {
         assert!(config.log2_entries <= 24, "table too large");
+        assert!(
+            (1..=7).contains(&config.counter_bits),
+            "counter bits {} outside 1..=7",
+            config.counter_bits
+        );
         let max = (1u16 << config.counter_bits) - 1;
         assert!(
             u16::from(config.threshold) <= max,
@@ -105,11 +110,7 @@ mod tests {
     }
 
     fn predictor(threshold: u8) -> BimodalDeadPredictor {
-        BimodalDeadPredictor::new(BimodalDeadConfig {
-            log2_entries: 6,
-            counter_bits: 4,
-            threshold,
-        })
+        BimodalDeadPredictor::new(BimodalDeadConfig { log2_entries: 6, counter_bits: 4, threshold })
     }
 
     #[test]

@@ -96,6 +96,11 @@ impl CfiDeadPredictor {
     pub fn new(config: CfiConfig) -> CfiDeadPredictor {
         assert!(config.log2_entries <= 24, "table too large");
         assert!(config.tag_bits <= 16, "tag too wide");
+        assert!(
+            (1..=7).contains(&config.counter_bits),
+            "counter bits {} outside 1..=7",
+            config.counter_bits
+        );
         let max = (1u16 << config.counter_bits) - 1;
         assert!(
             u16::from(config.threshold) <= max,
@@ -103,11 +108,14 @@ impl CfiDeadPredictor {
             config.threshold
         );
         let entries = 1usize << config.log2_entries;
+        // Subtract before narrowing: at tag_bits == 16 the shifted value is
+        // 0x1_0000, which narrows to 0 and makes `0u16 - 1` panic.
+        let tag_mask = ((1u32 << config.tag_bits) - 1) as u16;
         CfiDeadPredictor {
             config,
             table: vec![Entry::default(); entries],
             index_mask: (entries - 1) as u64,
-            tag_mask: if config.tag_bits == 0 { 0 } else { (1u32 << config.tag_bits) as u16 - 1 },
+            tag_mask,
         }
     }
 
@@ -254,6 +262,88 @@ mod tests {
             tag_bits: 17,
             counter_bits: 4,
             threshold: 3,
+        });
+    }
+
+    #[test]
+    fn widest_tag_uses_all_sixteen_bits() {
+        // Regression: `(1u32 << 16) as u16` narrows to 0, so computing the
+        // mask as `shifted as u16 - 1` panicked for the widest legal tag.
+        let mut p = CfiDeadPredictor::new(CfiConfig {
+            log2_entries: 8,
+            tag_bits: 16,
+            counter_bits: 4,
+            threshold: 3,
+        });
+        assert_eq!(p.tag_mask, u16::MAX);
+        for _ in 0..5 {
+            p.train(&input(42, 0b1, 1), true);
+        }
+        assert!(p.predict(&input(42, 0b1, 1)));
+    }
+
+    #[test]
+    fn zero_tag_bits_disables_tagging() {
+        let p = CfiDeadPredictor::new(CfiConfig {
+            log2_entries: 8,
+            tag_bits: 0,
+            counter_bits: 4,
+            threshold: 3,
+        });
+        assert_eq!(p.tag_mask, 0);
+    }
+
+    #[test]
+    fn counter_bits_bounds_are_usable() {
+        for (bits, threshold) in [(1u8, 1u8), (7, 127)] {
+            let mut p = CfiDeadPredictor::new(CfiConfig {
+                log2_entries: 8,
+                tag_bits: 8,
+                counter_bits: bits,
+                threshold,
+            });
+            // Threshold equal to the counter maximum: reachable by
+            // saturation, so the gate must still open.
+            for _ in 0..200 {
+                p.train(&input(42, 0b1, 1), true);
+            }
+            assert!(p.predict(&input(42, 0b1, 1)), "counter_bits {bits}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "counter bits")]
+    fn zero_counter_bits_panics() {
+        let _ = CfiDeadPredictor::new(CfiConfig {
+            log2_entries: 8,
+            tag_bits: 8,
+            counter_bits: 0,
+            threshold: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "counter bits")]
+    fn oversized_counter_bits_panics() {
+        // Regression: `1u16 << counter_bits` itself overflows for
+        // counter_bits >= 16, so the old constructor panicked with a shift
+        // overflow instead of a validation message.
+        let _ = CfiDeadPredictor::new(CfiConfig {
+            log2_entries: 8,
+            tag_bits: 8,
+            counter_bits: 16,
+            threshold: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds counter max")]
+    fn threshold_above_counter_max_panics() {
+        let _ = CfiDeadPredictor::new(CfiConfig {
+            log2_entries: 8,
+            tag_bits: 8,
+            counter_bits: 4,
+            threshold: 16,
         });
     }
 }

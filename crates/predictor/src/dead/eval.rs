@@ -154,7 +154,9 @@ pub fn evaluate_with_signatures(
 mod tests {
     use super::*;
     use crate::branch::Gshare;
-    use crate::dead::{BimodalDeadConfig, BimodalDeadPredictor, CfiConfig, CfiDeadPredictor, OracleDeadPredictor};
+    use crate::dead::{
+        BimodalDeadConfig, BimodalDeadPredictor, CfiConfig, CfiDeadPredictor, OracleDeadPredictor,
+    };
     use crate::future::signatures_oracle;
     use dide_emu::Emulator;
     use dide_isa::{ProgramBuilder, Reg};

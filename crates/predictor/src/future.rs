@@ -232,11 +232,7 @@ pub fn signatures_oracle(trace: &Trace, lookahead: u8) -> Vec<CfSignature> {
     pack_signatures(trace, &events, lookahead)
 }
 
-fn pack_signatures(
-    trace: &Trace,
-    events: &[(u64, CfEvent)],
-    lookahead: u8,
-) -> Vec<CfSignature> {
+fn pack_signatures(trace: &Trace, events: &[(u64, CfEvent)], lookahead: u8) -> Vec<CfSignature> {
     let n = trace.len();
     let mut out = vec![CfSignature::empty(); n];
     if lookahead == 0 {
@@ -358,13 +354,13 @@ mod tests {
 
     #[test]
     fn pack_events_mixes_widths() {
-        let sig = pack_events(
-            [CfEvent::Cond(true), CfEvent::Indirect(0b101), CfEvent::Cond(false)],
-            4,
-        );
+        let sig =
+            pack_events([CfEvent::Cond(true), CfEvent::Indirect(0b101), CfEvent::Cond(false)], 4);
         // Layout: bit 0 = cond(true); bits 1..4 = indirect 0b101; bit 4 = 0.
         #[allow(clippy::unusual_byte_groupings)] // grouped by event: cond | indirect | cond
-        { assert_eq!(sig.bits(), 0b0_101_1); }
+        {
+            assert_eq!(sig.bits(), 0b0_101_1);
+        }
         assert_eq!(sig.len(), 3);
     }
 
@@ -403,7 +399,7 @@ mod tests {
         b.bind(top);
         b.andi(Reg::T2, Reg::T0, 1);
         b.addi(Reg::T2, Reg::T2, 1); // handler index 1 or 2
-        // return-to register: continue after the jalr below
+                                     // return-to register: continue after the jalr below
         let after = b.here() + 2;
         b.li(Reg::S1, i64::from(after));
         b.jalr(Reg::ZERO, Reg::T2, 0);

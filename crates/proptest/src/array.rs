@@ -1,0 +1,30 @@
+//! Fixed-size array strategies (`proptest::array::uniform12`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by the `uniform*` constructors.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+/// A strategy producing `[T; N]` with every element drawn from `element`.
+#[must_use]
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+    UniformArray { element }
+}
+
+/// A strategy producing `[T; 12]` (upstream-compatible name).
+#[must_use]
+pub fn uniform12<S: Strategy>(element: S) -> UniformArray<S, 12> {
+    uniform(element)
+}

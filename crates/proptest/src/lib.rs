@@ -1,0 +1,192 @@
+//! Offline drop-in replacement for the subset of [`proptest`] used by this
+//! workspace.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `proptest` crate cannot be fetched. This shim keeps the workspace's
+//! property tests source-compatible: the [`proptest!`] macro, `Strategy`
+//! with `prop_map`, `any::<T>()`, integer-range and tuple strategies,
+//! `proptest::collection::vec`, `proptest::array::uniform12`, a tiny
+//! character-class string strategy, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * inputs are drawn from a deterministic per-test PRNG (seeded from the
+//!   test's name), so failures always reproduce — there is no persistence
+//!   file;
+//! * there is no shrinking: a failing case reports the panic directly;
+//! * `prop_assert*` are plain `assert*` (they panic rather than return
+//!   `Err`), which is observably identical under a test harness.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests.
+///
+/// Each `#[test] fn name(inputs) { body }` item becomes an ordinary test
+/// that draws `ProptestConfig::cases` input tuples from the strategies and
+/// runs the body once per draw. Inputs are either `pattern in strategy`
+/// or `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $crate::__proptest_case! { rng; $($params)*; $body }
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {case}/{} of `{}` failed",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one case's inputs, then
+/// runs the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident; ; $body:block) => { $body };
+    ($rng:ident; $p:pat in $s:expr; $body:block) => {
+        {
+            let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+            $body
+        }
+    };
+    ($rng:ident; $p:pat in $s:expr, $($rest:tt)*) => {
+        {
+            let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+            $crate::__proptest_case! { $rng; $($rest)* }
+        }
+    };
+    ($rng:ident; $i:ident : $t:ty; $body:block) => {
+        {
+            let $i = $crate::strategy::Strategy::generate(
+                &$crate::arbitrary::any::<$t>(), &mut $rng,
+            );
+            $body
+        }
+    };
+    ($rng:ident; $i:ident : $t:ty, $($rest:tt)*) => {
+        {
+            let $i = $crate::strategy::Strategy::generate(
+                &$crate::arbitrary::any::<$t>(), &mut $rng,
+            );
+            $crate::__proptest_case! { $rng; $($rest)* }
+        }
+    };
+    ($rng:ident; mut $i:ident : $t:ty; $body:block) => {
+        {
+            let mut $i = $crate::strategy::Strategy::generate(
+                &$crate::arbitrary::any::<$t>(), &mut $rng,
+            );
+            $body
+        }
+    };
+    ($rng:ident; mut $i:ident : $t:ty, $($rest:tt)*) => {
+        {
+            let mut $i = $crate::strategy::Strategy::generate(
+                &$crate::arbitrary::any::<$t>(), &mut $rng,
+            );
+            $crate::__proptest_case! { $rng; $($rest)* }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn double(x: u8) -> u16 {
+        u16::from(x) * 2
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn typed_params_and_strategies(a: u8, b in 3u32..10, v in crate::collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!(u16::from(a) <= 255);
+            prop_assert!((3..10).contains(&b));
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(d in (0u8..10).prop_map(double)) {
+            prop_assert_eq!(d % 2, 0);
+            prop_assert!(d < 20);
+        }
+
+        #[test]
+        fn string_strategy_matches_class(s in "[a-z]{1,12}") {
+            prop_assert!((1..=12).contains(&s.len()));
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn arrays_and_tuples((x, y) in (any::<u16>(), 1u8..=3), bytes in crate::array::uniform12(any::<u8>())) {
+            prop_assert_ne!(u32::from(x) + 256, 0);
+            prop_assert!((1..=3).contains(&y));
+            prop_assert_eq!(bytes.len(), 12);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The [`Strategy`] trait and the built-in strategy kinds: integer ranges,
+//! tuples, mapped strategies, and a small character-class string strategy.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// The shim's strategies generate directly (no shrinking), so the trait is
+/// just "produce one value from the test's PRNG".
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy applying `map` to every generated value.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategy from a character-class pattern.
+///
+/// Upstream interprets `&str` strategies as full regexes; the shim supports
+/// the single form this workspace uses — `[a-z]{m,n}` (one character class
+/// with a bounded repetition) — and panics on anything fancier so a future
+/// pattern change fails loudly instead of silently generating garbage.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, rep) = split_pattern(self);
+        let chars = expand_class(class);
+        assert!(!chars.is_empty(), "empty character class in `{self}`");
+        let (min, max) = parse_repetition(rep);
+        let len = min + rng.below(max - min + 1);
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// Splits `[class]{m,n}` into its bracketed parts.
+fn split_pattern(pattern: &str) -> (&str, &str) {
+    let inner = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported string pattern `{pattern}`"));
+    let (class, rest) = inner
+        .split_once(']')
+        .unwrap_or_else(|| panic!("unterminated character class in `{pattern}`"));
+    let rep = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in `{pattern}` (use `{{m,n}}`)"));
+    (class, rep)
+}
+
+/// Expands a character class body (`a-z`, literals, or both) to its members.
+fn expand_class(class: &str) -> Vec<char> {
+    let src: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < src.len() {
+        if i + 2 < src.len() && src[i + 1] == '-' {
+            assert!(src[i] <= src[i + 2], "descending range in character class");
+            for c in src[i]..=src[i + 2] {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(src[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses `m,n` (or a bare `m`) repetition bounds.
+fn parse_repetition(rep: &str) -> (u64, u64) {
+    let parse = |s: &str| s.trim().parse::<u64>().expect("numeric repetition bound");
+    let (min, max) = match rep.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => (parse(rep), parse(rep)),
+    };
+    assert!(min <= max && max > 0, "bad repetition bounds {{{rep}}}");
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_their_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let s = 0u8..=1;
+        let drawn: Vec<u8> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(drawn.contains(&0) && drawn.contains(&1));
+    }
+
+    #[test]
+    fn class_expansion() {
+        assert_eq!(expand_class("a-c"), vec!['a', 'b', 'c']);
+        assert_eq!(expand_class("xy"), vec!['x', 'y']);
+        assert_eq!(expand_class("a-bz"), vec!['a', 'b', 'z']);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string pattern")]
+    fn fancy_regex_rejected() {
+        let mut rng = TestRng::from_seed(2);
+        let _ = "hello+".generate(&mut rng);
+    }
+}

@@ -34,10 +34,7 @@ fn hoisting_creates_dead_instructions() {
         let o0 = dead_fraction(name, OptLevel::O0);
         let o2 = dead_fraction(name, OptLevel::O2);
         println!("{name:<10} O0 {:.2}% -> O2 {:.2}%", 100.0 * o0, 100.0 * o2);
-        assert!(
-            o2 > o0 + 0.02,
-            "{name}: O2 ({o2:.3}) should exceed O0 ({o0:.3}) by >=2 points"
-        );
+        assert!(o2 > o0 + 0.02, "{name}: O2 ({o2:.3}) should exceed O0 ({o0:.3}) by >=2 points");
     }
 }
 

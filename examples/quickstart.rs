@@ -48,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Time it on the contended machine, without and with elimination.
     let machine = PipelineConfig::contended();
     let base = Core::new(machine).run(&trace, &analysis);
-    let elim = Core::new(machine.with_elimination(DeadElimConfig::default()))
-        .run(&trace, &analysis);
+    let elim =
+        Core::new(machine.with_elimination(DeadElimConfig::default())).run(&trace, &analysis);
 
     println!("== pipeline, no elimination ==");
     println!("{base}");

@@ -45,8 +45,8 @@ fn e2_register_deadness_dominates_overall() {
 #[test]
 fn e3_partially_dead_statics_produce_most_dead_instances() {
     let result = StaticBehaviorCensus::run(&bench_o2());
-    let pooled: f64 = result.rows.iter().map(|r| r.dead_from_partial).sum::<f64>()
-        / result.rows.len() as f64;
+    let pooled: f64 =
+        result.rows.iter().map(|r| r.dead_from_partial).sum::<f64>() / result.rows.len() as f64;
     assert!(pooled > 0.5, "paper: majority from partially dead statics; got {pooled:.3}");
 }
 

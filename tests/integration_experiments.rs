@@ -80,3 +80,34 @@ fn e10_machine_table_renders() {
         assert!(text.contains(needle), "missing {needle}");
     }
 }
+
+#[test]
+fn parallel_run_jobs_match_serial_rows() {
+    // The per-benchmark fan-out must not change any row: same inputs, same
+    // simulations, only the execution schedule differs.
+    let wb = bench();
+    assert_eq!(ResourceSavingsReport::run(&wb).rows, ResourceSavingsReport::run_jobs(&wb, 4).rows);
+    assert_eq!(Speedup::run(&wb).rows, Speedup::run_jobs(&wb, 4).rows);
+    assert_eq!(EliminationAblation::run(&wb).rows, EliminationAblation::run_jobs(&wb, 4).rows);
+}
+
+#[test]
+fn experiment_runner_output_is_job_count_invariant() {
+    // The `dide experiments` contract: tables are byte-identical for every
+    // `--jobs` value. Cheap experiments keep this affordable in debug
+    // builds; the heavy per-benchmark fan-out paths are covered by
+    // `parallel_run_jobs_match_serial_rows` above on a subset workbench.
+    let options = |jobs| dide::ExperimentOptions {
+        scale: 1,
+        only: Some(vec!["e1".into(), "e10".into(), "e16".into()]),
+        jobs,
+        timings: false,
+    };
+    let serial = dide::run_experiments(&options(1));
+    let parallel = dide::run_experiments(&options(4));
+    assert!(!serial.tables.is_empty());
+    assert_eq!(serial.tables, parallel.tables, "tables must not depend on --jobs");
+    for id in ["E1:", "E10:", "E16:"] {
+        assert!(serial.tables.contains(id), "missing {id}");
+    }
+}

@@ -49,8 +49,7 @@ fn elimination_only_changes_timing_not_commitment() {
     let program = spec.build(OptLevel::O2, 1);
     let machine = PipelineConfig::contended();
     let (trace_a, base) = full_stack(&program, machine);
-    let (trace_b, elim) =
-        full_stack(&program, machine.with_elimination(DeadElimConfig::default()));
+    let (trace_b, elim) = full_stack(&program, machine.with_elimination(DeadElimConfig::default()));
     assert_eq!(trace_a.outputs(), trace_b.outputs(), "architectural outputs identical");
     assert_eq!(base.committed, elim.committed);
 }

@@ -53,10 +53,7 @@ fn e7_future_control_flow_is_the_key_ingredient() {
 fn e11_confidence_frontier_is_monotone() {
     let result = ConfidenceSweep::run(&Workbench::subset(&["expr", "route"], OptLevel::O2, 1));
     for pair in result.rows.windows(2) {
-        assert!(
-            pair[1].coverage <= pair[0].coverage + 1e-9,
-            "coverage should fall with threshold"
-        );
+        assert!(pair[1].coverage <= pair[0].coverage + 1e-9, "coverage should fall with threshold");
         assert!(
             pair[1].accuracy >= pair[0].accuracy - 0.02,
             "accuracy should (weakly) rise with threshold"
