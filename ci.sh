@@ -2,12 +2,24 @@
 # The full CI gate, runnable locally. Mirrors .github/workflows/ci.yml:
 #
 #   ./ci.sh            # fmt + clippy + tier-1 (release build + full tests)
+#                      # + differential verify + golden tables
+#   ./ci.sh --deep     # same, with 256 property-test cases per property
+#                      # and a 256-seed verify sweep
 #
 # The tier-1 gate is the pair of commands ROADMAP.md designates as the
 # regression bar: `cargo build --release` and `cargo test -q`.
 
 set -euo pipefail
 cd "$(dirname "$0")"
+
+VERIFY_SEEDS=64
+if [[ "${1:-}" == "--deep" ]]; then
+  # Scale the property suite up (see TESTING.md); the default is sized for
+  # quick iteration, --deep for pre-merge confidence.
+  export DIDE_PROPTEST_CASES=256
+  VERIFY_SEEDS=256
+  echo "deep mode: DIDE_PROPTEST_CASES=256, verify sweep of ${VERIFY_SEEDS} seeds"
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -20,5 +32,11 @@ cargo build --release
 
 echo "== tier-1: test suite =="
 cargo test -q
+
+echo "== differential verify (${VERIFY_SEEDS} seeds) =="
+cargo run --release --bin dide -- verify --seeds "${VERIFY_SEEDS}" --jobs 2
+
+echo "== golden tables =="
+cargo run --release --bin dide -- verify --golden
 
 echo "CI gate passed."

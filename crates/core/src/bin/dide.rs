@@ -8,6 +8,10 @@
 //!                                         cycle-level pipeline run
 //! dide experiments [--scale N] [--only LIST] [--jobs N] [--timings]
 //!                                         regenerate paper tables (e1..e17)
+//! dide verify [--seeds N] [--jobs N] [--corpus DIR]
+//!                                         differential fuzzing of the stack
+//! dide verify --golden [--bless] [--dir DIR] [--only LIST] [--jobs N]
+//!                                         golden-table regression
 //! ```
 
 use std::process::ExitCode;
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
         "trace" => trace(&rest),
         "run" => run(&rest),
         "experiments" => experiments(&rest),
+        "verify" => verify(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             ExitCode::SUCCESS
@@ -46,12 +51,27 @@ USAGE:
   dide trace <benchmark> [--scale N] [--opt O0|O2] [--hot N]
   dide run <benchmark> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N]
   dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings]
+  dide verify [--seeds N] [--jobs N] [--corpus DIR]
+  dide verify --golden [--bless] [--dir DIR] [--only e1,e9,...] [--jobs N]
 
 EXPERIMENTS:
   --jobs N     worker threads (default: available parallelism; 1 = serial).
                Tables are byte-identical for every N.
   --timings    print the per-span timing detail in addition to the summary
                (timing always goes to stderr; tables go to stdout)
+
+VERIFY (differential fuzzing):
+  --seeds N    fresh random seeds to check (default 64); each seed runs the
+               second liveness oracle and the metamorphic invariants
+  --corpus DIR replay previously failing cases from DIR first; shrink and
+               persist new failures there
+  --jobs N     worker threads; the report is byte-identical for every N
+
+VERIFY (golden tables):
+  --golden     compare rendered experiment tables byte-for-byte against
+               tests/golden/ snapshots (exit 1 on any difference)
+  --bless      rewrite the snapshots instead of comparing
+  --dir DIR    snapshot directory (default tests/golden)
 ";
 
 fn flag_value<'a>(rest: &[&'a str], name: &str) -> Option<&'a str> {
@@ -195,19 +215,75 @@ fn run(rest: &[&str]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn parse_jobs(rest: &[&str]) -> Result<usize, String> {
+    match flag_value(rest, "--jobs") {
+        None => Ok(0),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("invalid --jobs `{s}` (expected an integer >= 1)")),
+        },
+    }
+}
+
+fn parse_only(rest: &[&str]) -> Option<Vec<String>> {
+    flag_value(rest, "--only").map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect())
+}
+
+fn verify(rest: &[&str]) -> ExitCode {
+    let jobs = match parse_jobs(rest) {
+        Ok(j) => j,
+        Err(e) => return fail(e),
+    };
+    if has_flag(rest, "--golden") {
+        let options = dide::GoldenOptions {
+            dir: flag_value(rest, "--dir").unwrap_or("tests/golden").into(),
+            only: parse_only(rest),
+            jobs,
+            bless: has_flag(rest, "--bless"),
+        };
+        return match dide::run_golden(&options) {
+            Ok(run) => {
+                print!("{}", run.report);
+                if run.mismatches == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => fail(format!("golden comparison failed: {e}")),
+        };
+    }
+    let seeds = match flag_value(rest, "--seeds") {
+        None => 64,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => return fail(format!("invalid --seeds `{s}`")),
+        },
+    };
+    let options =
+        dide::VerifyOptions { seeds, jobs, corpus: flag_value(rest, "--corpus").map(Into::into) };
+    match dide::run_verify(&options) {
+        Ok(run) => {
+            print!("{}", run.report);
+            if run.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(format!("verification failed: {e}")),
+    }
+}
+
 fn experiments(rest: &[&str]) -> ExitCode {
     let scale = match parse_scale(rest) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
-    let only: Option<Vec<String>> =
-        flag_value(rest, "--only").map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect());
-    let jobs = match flag_value(rest, "--jobs") {
-        None => 0,
-        Some(s) => match s.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => return fail(format!("invalid --jobs `{s}` (expected an integer >= 1)")),
-        },
+    let only = parse_only(rest);
+    let jobs = match parse_jobs(rest) {
+        Ok(j) => j,
+        Err(e) => return fail(e),
     };
     let options = ExperimentOptions { scale, only, jobs, timings: has_flag(rest, "--timings") };
 

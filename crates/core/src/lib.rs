@@ -46,10 +46,12 @@ pub mod experiments;
 pub mod harness;
 pub mod runner;
 mod table;
+pub mod verifyrun;
 mod workbench;
 
 pub use runner::{run_experiments, ExperimentOptions, ExperimentRun};
 pub use table::Table;
+pub use verifyrun::{run_golden, run_verify, GoldenOptions, GoldenRun, VerifyOptions, VerifyRun};
 pub use workbench::{BenchCase, Workbench};
 
 pub use dide_workloads::{suite, OptLevel, WorkloadSpec};

@@ -53,6 +53,9 @@ pub struct ExperimentRun {
     /// Every requested experiment's table in E1..E17 order, each followed
     /// by a blank line — byte-identical for any job count.
     pub tables: String,
+    /// The same tables keyed by experiment id (`e1`..`e17`), for golden
+    /// snapshot comparison.
+    pub per_experiment: Vec<(String, String)>,
     /// Per-phase timing summary (wall-clock; varies run to run).
     pub timing_summary: String,
     /// Per-span timing detail (the `--timings` view).
@@ -161,18 +164,20 @@ pub fn run_experiments(options: &ExperimentOptions) -> ExperimentRun {
     ));
     schedule.retain(|(id, _)| options.wants(id));
 
-    let rendered =
-        harness::map_ordered(jobs, &schedule, |(id, job)| harness::time(id, Phase::Simulate, job));
+    let rendered = harness::map_ordered(jobs, &schedule, |(id, job)| {
+        (id.to_string(), harness::time(id, Phase::Simulate, job))
+    });
 
     let mut tables = String::new();
-    for table in rendered {
-        tables.push_str(&table);
+    for (_, table) in &rendered {
+        tables.push_str(table);
         tables.push_str("\n\n");
     }
 
     let records = harness::timing_records();
     ExperimentRun {
         tables,
+        per_experiment: rendered,
         timing_summary: harness::timing_summary(&records),
         timing_detail: harness::timing_detail(&records),
     }

@@ -1,0 +1,236 @@
+//! The `dide verify` driver: differential fuzzing and golden-table
+//! regression from the command line.
+//!
+//! Two modes share the subcommand:
+//!
+//! * **fuzz** ([`run_verify`]) — replay the on-disk corpus of previously
+//!   found failures first, then fan fresh seeds over the worker pool;
+//!   every seed runs the full differential check (second liveness oracle
+//!   and metamorphic invariants, see the `dide-verify` crate). New failures
+//!   are shrunk to a minimal generator configuration and persisted to the
+//!   corpus.
+//! * **golden** ([`run_golden`]) — render the E1–E17 experiment tables and
+//!   compare them byte-for-byte against committed snapshots
+//!   (`--bless` rewrites them).
+//!
+//! Like the experiment runner, both reports are **byte-identical for any
+//! `--jobs` value**: work is fanned out by [`harness::map_ordered`], which
+//! reassembles results in input order, and nothing timing-dependent goes
+//! into the report.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+use dide_verify::{
+    bless_golden, compare_golden, load_corpus, save_case, shrink_case, verify_seed,
+    verify_seed_with, CorpusCase,
+};
+use dide_workloads::random_program;
+
+use crate::harness;
+use crate::runner::{run_experiments, ExperimentOptions};
+
+/// Options for [`run_verify`] (the fuzzing mode of `dide verify`).
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Number of fresh random seeds to check (seeds `0..seeds`).
+    pub seeds: u64,
+    /// Worker threads (`0` = available parallelism; `1` = serial). The
+    /// report is byte-identical for every value.
+    pub jobs: usize,
+    /// Corpus directory: previously failing cases are replayed from here
+    /// before fresh seeds, and new failures are shrunk and saved here.
+    /// `None` disables persistence entirely.
+    pub corpus: Option<PathBuf>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions { seeds: 64, jobs: 0, corpus: None }
+    }
+}
+
+/// The result of one [`run_verify`] call.
+#[derive(Debug, Clone)]
+pub struct VerifyRun {
+    /// Human-readable report (deterministic for a given option set).
+    pub report: String,
+    /// Corpus cases replayed before the random sweep.
+    pub corpus_replayed: usize,
+    /// Fresh seeds checked.
+    pub seeds_checked: u64,
+    /// Total failing cases (corpus replays still failing + new failures).
+    pub failures: usize,
+}
+
+impl VerifyRun {
+    /// Whether every corpus case and every fresh seed passed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        harness::default_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Replays the corpus, then sweeps fresh seeds through the differential
+/// verifier, shrinking and persisting any new failure.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from corpus loading and saving; a missing
+/// corpus directory is an empty corpus, not an error. Verification
+/// failures are reported in the returned [`VerifyRun`], not as `Err`.
+pub fn run_verify(options: &VerifyOptions) -> io::Result<VerifyRun> {
+    let jobs = effective_jobs(options.jobs);
+    let mut report = String::new();
+    let mut failures = 0usize;
+
+    // Corpus replay first: a once-found bug stays found until fixed.
+    let corpus = match &options.corpus {
+        Some(dir) => load_corpus(dir)?,
+        None => Vec::new(),
+    };
+    if !corpus.is_empty() {
+        let _ = writeln!(report, "replaying {} corpus case(s)", corpus.len());
+        let replayed =
+            harness::map_ordered(jobs, &corpus, |case| verify_seed_with(case.seed, &case.config));
+        for (case, result) in corpus.iter().zip(&replayed) {
+            if result.is_clean() {
+                let _ = writeln!(
+                    report,
+                    "  seed {:#018x}: clean (fixed — the case file can be deleted)",
+                    case.seed
+                );
+            } else {
+                failures += 1;
+                let _ = writeln!(report, "  STILL FAILING: {}", result.describe());
+            }
+        }
+    }
+
+    // Fresh random sweep. Each seed derives its own generator config, so
+    // the fuzzer explores program shapes as well as contents.
+    let seeds: Vec<u64> = (0..options.seeds).collect();
+    let results = harness::map_ordered(jobs, &seeds, |&seed| verify_seed(seed));
+    let mut total_insts = 0u64;
+    let mut total_dead = 0u64;
+    for result in &results {
+        total_insts += result.trace_len as u64;
+        total_dead += result.dead_total;
+        if result.is_clean() {
+            continue;
+        }
+        failures += 1;
+        let _ = writeln!(report, "FAILURE: {}", result.describe());
+        // Shrink serially (it re-runs the whole check O(log) times per
+        // config field) and persist, so the failure reproduces minimally
+        // on the next run.
+        if let Some(dir) = &options.corpus {
+            let shrunk = shrink_case(result.seed, &result.config, |seed, config| {
+                !verify_seed_with(seed, config).is_clean()
+            });
+            let minimal = verify_seed_with(result.seed, &shrunk);
+            let reason = minimal
+                .mismatches
+                .iter()
+                .chain(&minimal.violations)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join("\n");
+            let listing = random_program(result.seed, &shrunk).listing();
+            let case = CorpusCase { seed: result.seed, config: shrunk, reason };
+            let path = save_case(dir, &case, &listing)?;
+            let _ = writeln!(report, "  shrunk case saved to {}", path.display());
+        }
+    }
+
+    let _ = writeln!(
+        report,
+        "checked {} seed(s) ({} dynamic instructions, {} oracle-dead): {} failure(s)",
+        options.seeds, total_insts, total_dead, failures
+    );
+    Ok(VerifyRun { report, corpus_replayed: corpus.len(), seeds_checked: options.seeds, failures })
+}
+
+/// Options for [`run_golden`] (the snapshot mode of `dide verify`).
+#[derive(Debug, Clone)]
+pub struct GoldenOptions {
+    /// Snapshot directory (the committed tree uses `tests/golden`).
+    pub dir: PathBuf,
+    /// Lower-cased experiment ids to check (`None` = all of E1–E17).
+    pub only: Option<Vec<String>>,
+    /// Worker threads for rendering (`0` = available parallelism). Does
+    /// not affect the rendered bytes.
+    pub jobs: usize,
+    /// Rewrite the snapshots instead of comparing against them.
+    pub bless: bool,
+}
+
+impl Default for GoldenOptions {
+    fn default() -> GoldenOptions {
+        GoldenOptions { dir: PathBuf::from("tests/golden"), only: None, jobs: 0, bless: false }
+    }
+}
+
+/// The result of one [`run_golden`] call.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// Human-readable report.
+    pub report: String,
+    /// Experiments whose table differs from (or lacks) a snapshot. Always
+    /// `0` after a bless.
+    pub mismatches: usize,
+}
+
+/// Renders the (selected) experiment tables at scale 1 and compares them
+/// byte-for-byte against the snapshots in `options.dir` — or rewrites the
+/// snapshots when `options.bless` is set.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; table mismatches are reported in the
+/// returned [`GoldenRun`], not as `Err`.
+///
+/// # Panics
+///
+/// Panics if a workload fails to build or trace (a workload-generator
+/// bug), as [`run_experiments`] does.
+pub fn run_golden(options: &GoldenOptions) -> io::Result<GoldenRun> {
+    let run = run_experiments(&ExperimentOptions {
+        scale: 1,
+        only: options.only.clone(),
+        jobs: options.jobs,
+        timings: false,
+    });
+    let mut report = String::new();
+    if options.bless {
+        bless_golden(&options.dir, &run.per_experiment)?;
+        let _ = writeln!(
+            report,
+            "blessed {} snapshot(s) in {}",
+            run.per_experiment.len(),
+            options.dir.display()
+        );
+        return Ok(GoldenRun { report, mismatches: 0 });
+    }
+    let mismatches = compare_golden(&options.dir, &run.per_experiment)?;
+    for m in &mismatches {
+        let _ = writeln!(report, "MISMATCH {}: {}", m.id, m.message);
+    }
+    let _ = writeln!(
+        report,
+        "compared {} table(s) against {}: {} mismatch(es)",
+        run.per_experiment.len(),
+        options.dir.display(),
+        mismatches.len()
+    );
+    Ok(GoldenRun { report, mismatches: mismatches.len() })
+}

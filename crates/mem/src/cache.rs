@@ -293,6 +293,65 @@ mod tests {
     }
 
     #[test]
+    fn four_way_eviction_follows_exact_lru_order() {
+        // 1 set x 4 ways: victims must come out in recency order, not
+        // insertion order.
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 4, hit_latency: 1 });
+        for addr in [0x00u64, 0x10, 0x20, 0x30] {
+            c.access(addr, false);
+        }
+        // Recency now 0x00 < 0x10 < 0x20 < 0x30. Touch 0x00 and 0x20 so
+        // the LRU order becomes 0x10 < 0x30 < 0x00 < 0x20.
+        c.access(0x00, false);
+        c.access(0x20, false);
+        c.access(0x40, false); // evicts 0x10
+        assert!(!c.probe(0x10));
+        assert!(c.probe(0x30) && c.probe(0x00) && c.probe(0x20));
+        c.access(0x50, false); // evicts 0x30
+        assert!(!c.probe(0x30));
+        c.access(0x60, false); // evicts 0x00
+        assert!(!c.probe(0x00));
+        assert!(c.probe(0x20), "most recently used line survives three evictions");
+    }
+
+    #[test]
+    fn probe_changes_neither_lru_nor_stats() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x020, false);
+        let before = c.stats();
+        // If probing updated recency, these probes of 0x000 would protect
+        // it from the next eviction.
+        for _ in 0..8 {
+            assert!(c.probe(0x000));
+        }
+        assert_eq!(c.stats(), before, "probe must not count as an access");
+        c.access(0x020, false);
+        c.access(0x040, false); // evicts the true LRU line, 0x000
+        assert!(!c.probe(0x000));
+        assert!(c.probe(0x020));
+    }
+
+    #[test]
+    fn counters_are_conserved_over_a_random_workload() {
+        let mut c = tiny();
+        // Deterministic pseudo-random accesses (LCG) over a footprint large
+        // enough to force plenty of misses and writebacks.
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            c.access((x >> 16) & 0x3ff, x & 1 == 1);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, 10_000);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.reads + s.writes, s.accesses);
+        assert!(s.writebacks <= s.misses, "a writeback needs an eviction, which needs a miss");
+        assert!(s.misses > 0 && s.writebacks > 0, "workload exercises both paths");
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
         let _ = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 12, ways: 2, hit_latency: 1 });

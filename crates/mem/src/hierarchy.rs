@@ -183,6 +183,44 @@ mod tests {
     }
 
     #[test]
+    fn l2_traffic_is_exactly_the_l1_misses() {
+        // Inclusion law of the blocking hierarchy: every L1I or L1D miss
+        // makes exactly one L2 access, and every L2 miss goes to memory.
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut x = 0xdead_beef_u64;
+        for i in 0..5_000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            m.access_inst((x >> 8) & 0xf_ffff);
+            m.access_data((x >> 24) & 0xf_ffff, i % 3 == 0);
+        }
+        let s = m.stats();
+        assert_eq!(s.l2.accesses, s.l1i.misses + s.l1d.misses);
+        assert_eq!(s.memory_accesses, s.l2.misses);
+        for level in [s.l1i, s.l1d, s.l2] {
+            assert_eq!(level.hits + level.misses, level.accesses);
+            assert_eq!(level.reads + level.writes, level.accesses);
+        }
+        assert!(s.l2.misses > 0, "footprint exceeds L2");
+    }
+
+    #[test]
+    fn dirty_l1_evictions_count_writebacks() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let cfg = m.config();
+        // Dirty one line, then stream enough clean lines through its set's
+        // cache to evict it.
+        m.access_data(0x0, true);
+        let lines = (cfg.l1d.size_bytes / cfg.l1d.line_bytes) as u64;
+        for i in 1..=lines {
+            m.access_data(i * cfg.l1d.line_bytes as u64, false);
+        }
+        let s = m.stats();
+        assert_eq!(s.l1d.writebacks, 1);
+        assert_eq!(s.l1d.writes, 1);
+        assert_eq!(s.l1d.reads, lines);
+    }
+
+    #[test]
     fn stats_display() {
         let m = MemoryHierarchy::new(HierarchyConfig::default());
         let text = m.stats().to_string();

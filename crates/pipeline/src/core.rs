@@ -297,6 +297,7 @@ impl Core {
                         if is_store {
                             eliminated_stores.insert(seq);
                         }
+                        stats.dispatched += 1;
                         rob.push(RobEntry {
                             seq,
                             dest: dest_info,
@@ -361,6 +362,7 @@ impl Core {
                         is_load,
                         dest: dest_phys,
                     });
+                    stats.dispatched += 1;
                     rob.push(RobEntry {
                         seq,
                         dest: dest_info,
@@ -424,8 +426,10 @@ mod tests {
         let a = DeadnessAnalysis::analyze(&t);
         let stats = Core::new(PipelineConfig::baseline()).run(&t, &a);
         assert_eq!(stats.committed, t.len() as u64);
+        assert_eq!(stats.dispatched, t.len() as u64);
         assert!(stats.cycles > 0);
         assert!(stats.ipc() > 0.1, "ipc {}", stats.ipc());
+        assert!(stats.invariant_violations().is_empty(), "{:?}", stats.invariant_violations());
     }
 
     #[test]
@@ -449,6 +453,7 @@ mod tests {
         assert!(elim.phys_allocs < base.phys_allocs);
         assert!(elim.rf_writes < base.rf_writes);
         assert!(elim.elimination_accuracy() > 0.9, "accuracy {}", elim.elimination_accuracy());
+        assert!(elim.invariant_violations().is_empty(), "{:?}", elim.invariant_violations());
     }
 
     #[test]

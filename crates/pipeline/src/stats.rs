@@ -29,6 +29,14 @@ pub struct PipelineStats {
     pub cycles: u64,
     /// Instructions committed.
     pub committed: u64,
+    /// Instructions dispatched into the ROB at rename (eliminated or not).
+    pub dispatched: u64,
+    /// Dispatched instructions squashed before commit. The model is
+    /// trace-driven — only committed-path instructions are simulated — so
+    /// this stays zero today; the counter exists so the conservation law
+    /// `committed + squashed == dispatched` keeps holding verbatim once
+    /// wrong-path execution lands (ROADMAP).
+    pub squashed: u64,
     /// Physical registers allocated at rename.
     pub phys_allocs: u64,
     /// Physical registers returned to the free list at commit.
@@ -157,6 +165,104 @@ impl PipelineStats {
             self.phys_used_sum as f64 / self.cycles as f64
         }
     }
+
+    /// Checks the conservation laws every run must satisfy, returning one
+    /// human-readable description per violated law (empty = healthy).
+    ///
+    /// These are internal-consistency checks on a single run; cross-run
+    /// laws (savings vs. a baseline run's usage) live in `dide-verify`.
+    #[must_use]
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let mut law = |ok: bool, msg: String| {
+            if !ok {
+                v.push(msg);
+            }
+        };
+        law(
+            self.committed + self.squashed == self.dispatched,
+            format!(
+                "committed ({}) + squashed ({}) != dispatched ({})",
+                self.committed, self.squashed, self.dispatched
+            ),
+        );
+        law(
+            self.dead_predicted_correct <= self.dead_predicted,
+            format!(
+                "dead_predicted_correct ({}) > dead_predicted ({})",
+                self.dead_predicted_correct, self.dead_predicted
+            ),
+        );
+        law(
+            self.dead_predicted_correct <= self.oracle_dead_committed,
+            format!(
+                "dead_predicted_correct ({}) > oracle_dead_committed ({})",
+                self.dead_predicted_correct, self.oracle_dead_committed
+            ),
+        );
+        law(
+            self.savings.iq_slots_saved == self.dead_predicted,
+            format!(
+                "iq_slots_saved ({}) != dead_predicted ({}): every elimination skips \
+                 exactly one IQ slot",
+                self.savings.iq_slots_saved, self.dead_predicted
+            ),
+        );
+        // The 32 initial architectural mappings are backed by pre-allocated
+        // physical registers that never show up in `phys_allocs`, and an
+        // eliminated writer frees its predecessor's register without
+        // allocating one — so frees may exceed allocs, but never by more
+        // than those 32 initial registers.
+        law(
+            self.phys_frees <= self.phys_allocs + dide_isa::Reg::COUNT as u64,
+            format!(
+                "phys_frees ({}) > phys_allocs ({}) + {} initial mappings",
+                self.phys_frees,
+                self.phys_allocs,
+                dide_isa::Reg::COUNT
+            ),
+        );
+        law(
+            self.branch_mispredicts <= self.branches,
+            format!(
+                "branch_mispredicts ({}) > branches ({})",
+                self.branch_mispredicts, self.branches
+            ),
+        );
+        for (name, c) in
+            [("l1i", self.memory.l1i), ("l1d", self.memory.l1d), ("l2", self.memory.l2)]
+        {
+            law(
+                c.hits + c.misses == c.accesses,
+                format!(
+                    "{name}: hits ({}) + misses ({}) != accesses ({})",
+                    c.hits, c.misses, c.accesses
+                ),
+            );
+            law(
+                c.reads + c.writes == c.accesses,
+                format!(
+                    "{name}: reads ({}) + writes ({}) != accesses ({})",
+                    c.reads, c.writes, c.accesses
+                ),
+            );
+        }
+        law(
+            self.memory.l2.accesses == self.memory.l1i.misses + self.memory.l1d.misses,
+            format!(
+                "l2 accesses ({}) != l1i misses ({}) + l1d misses ({})",
+                self.memory.l2.accesses, self.memory.l1i.misses, self.memory.l1d.misses
+            ),
+        );
+        law(
+            self.memory.memory_accesses == self.memory.l2.misses,
+            format!(
+                "memory accesses ({}) != l2 misses ({})",
+                self.memory.memory_accesses, self.memory.l2.misses
+            ),
+        );
+        v
+    }
 }
 
 impl fmt::Display for PipelineStats {
@@ -242,6 +348,53 @@ mod tests {
         assert_eq!(s.branch_accuracy(), 1.0);
         assert_eq!(s.elimination_accuracy(), 1.0);
         assert_eq!(s.elimination_coverage(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_means_at_zero_cycles() {
+        // Zero denominators must yield clean zeros, not NaN/inf.
+        let s = PipelineStats {
+            rob_occupancy_sum: 7,
+            iq_occupancy_sum: 9,
+            phys_used_sum: 3,
+            ..PipelineStats::default()
+        };
+        assert_eq!(s.mean_rob_occupancy(), 0.0);
+        assert_eq!(s.mean_iq_occupancy(), 0.0);
+        assert_eq!(s.mean_phys_used(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_satisfy_all_invariants() {
+        assert!(PipelineStats::default().invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn each_broken_law_is_reported() {
+        let check = |s: &PipelineStats, needle: &str| {
+            let v = s.invariant_violations();
+            assert!(
+                v.iter().any(|m| m.contains(needle)),
+                "expected a violation mentioning {needle:?}, got {v:?}"
+            );
+        };
+        let mut s = PipelineStats { committed: 5, ..PipelineStats::default() };
+        check(&s, "dispatched");
+        s = PipelineStats {
+            dead_predicted_correct: 2,
+            oracle_dead_committed: 2,
+            dead_predicted: 2,
+            ..PipelineStats::default()
+        };
+        check(&s, "iq_slots_saved");
+        s = PipelineStats { phys_frees: 33, ..PipelineStats::default() };
+        check(&s, "phys_frees");
+        s = PipelineStats { branch_mispredicts: 1, ..PipelineStats::default() };
+        check(&s, "branch_mispredicts");
+        s = PipelineStats::default();
+        s.memory.l1d.accesses = 3;
+        s.memory.l1d.reads = 3;
+        check(&s, "hits");
     }
 
     #[test]

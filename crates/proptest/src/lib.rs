@@ -11,9 +11,16 @@
 //! Differences from upstream, on purpose:
 //!
 //! * inputs are drawn from a deterministic per-test PRNG (seeded from the
-//!   test's name), so failures always reproduce — there is no persistence
-//!   file;
-//! * there is no shrinking: a failing case reports the panic directly;
+//!   test's name and case index), so failures always reproduce;
+//! * shrinking operates on the recorded *draw stream* (shortest failing
+//!   prefix, then each draw minimized toward zero) rather than on
+//!   per-strategy value trees — simpler, and it covers every strategy;
+//! * failing cases persist to one file per test under
+//!   `proptest-regressions/` (override the directory with
+//!   `DIDE_PROPTEST_PERSIST`, or disable with `DIDE_PROPTEST_PERSIST=off`)
+//!   and are replayed before random cases on every run;
+//! * `ProptestConfig::from_env` lets `DIDE_PROPTEST_CASES` scale case
+//!   counts without editing tests;
 //! * `prop_assert*` are plain `assert*` (they panic rather than return
 //!   `Err`), which is observably identical under a test harness.
 //!
@@ -70,7 +77,8 @@ macro_rules! proptest {
     };
 }
 
-/// Implementation detail of [`proptest!`]: expands each test fn.
+/// Implementation detail of [`proptest!`]: expands each test fn into a
+/// call to the shrinking/persisting property driver.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_fns {
@@ -79,22 +87,13 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
-                    module_path!(), "::", stringify!($name)
-                ));
-                for case in 0..config.cases {
-                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                        $crate::__proptest_case! { rng; $($params)*; $body }
-                    }));
-                    if let Err(payload) = result {
-                        eprintln!(
-                            "proptest case {case}/{} of `{}` failed",
-                            config.cases,
-                            stringify!($name),
-                        );
-                        ::std::panic::resume_unwind(payload);
-                    }
-                }
+                $crate::test_runner::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config,
+                    &|__proptest_rng: &mut $crate::test_runner::TestRng| {
+                        $crate::__proptest_case! { __proptest_rng; $($params)*; $body }
+                    },
+                );
             }
         )*
     };
@@ -108,20 +107,20 @@ macro_rules! __proptest_case {
     ($rng:ident; ; $body:block) => { $body };
     ($rng:ident; $p:pat in $s:expr; $body:block) => {
         {
-            let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+            let $p = $crate::strategy::Strategy::generate(&($s), &mut *$rng);
             $body
         }
     };
     ($rng:ident; $p:pat in $s:expr, $($rest:tt)*) => {
         {
-            let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+            let $p = $crate::strategy::Strategy::generate(&($s), &mut *$rng);
             $crate::__proptest_case! { $rng; $($rest)* }
         }
     };
     ($rng:ident; $i:ident : $t:ty; $body:block) => {
         {
             let $i = $crate::strategy::Strategy::generate(
-                &$crate::arbitrary::any::<$t>(), &mut $rng,
+                &$crate::arbitrary::any::<$t>(), &mut *$rng,
             );
             $body
         }
@@ -129,7 +128,7 @@ macro_rules! __proptest_case {
     ($rng:ident; $i:ident : $t:ty, $($rest:tt)*) => {
         {
             let $i = $crate::strategy::Strategy::generate(
-                &$crate::arbitrary::any::<$t>(), &mut $rng,
+                &$crate::arbitrary::any::<$t>(), &mut *$rng,
             );
             $crate::__proptest_case! { $rng; $($rest)* }
         }
@@ -137,7 +136,7 @@ macro_rules! __proptest_case {
     ($rng:ident; mut $i:ident : $t:ty; $body:block) => {
         {
             let mut $i = $crate::strategy::Strategy::generate(
-                &$crate::arbitrary::any::<$t>(), &mut $rng,
+                &$crate::arbitrary::any::<$t>(), &mut *$rng,
             );
             $body
         }
@@ -145,7 +144,7 @@ macro_rules! __proptest_case {
     ($rng:ident; mut $i:ident : $t:ty, $($rest:tt)*) => {
         {
             let mut $i = $crate::strategy::Strategy::generate(
-                &$crate::arbitrary::any::<$t>(), &mut $rng,
+                &$crate::arbitrary::any::<$t>(), &mut *$rng,
             );
             $crate::__proptest_case! { $rng; $($rest)* }
         }

@@ -1,4 +1,21 @@
-//! Test-runner configuration and the deterministic input generator.
+//! Test-runner configuration, the deterministic input generator, and the
+//! property driver with shrinking and failure persistence.
+//!
+//! Shrinking operates on the *draw stream*: every `next_u64` a case pulls
+//! from its [`TestRng`] is recorded, and a failing case is minimized by
+//! truncating the stream and binary-searching each surviving draw toward
+//! zero (replayed draws past the end of the stream read as zero). This
+//! shrinks beneath the strategy layer, so every strategy — tuples,
+//! collections, mapped ranges — shrinks for free.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Total case executions the shrinker may spend per failure.
+const SHRINK_BUDGET: u32 = 4096;
 
 /// Configuration accepted by `#![proptest_config(...)]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +30,27 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
+
+    /// A configuration whose case count honors the `DIDE_PROPTEST_CASES`
+    /// environment variable, falling back to `default_cases` when the
+    /// variable is unset or unusable. Lets CI smoke runs stay small while
+    /// `ci.sh --deep` sweeps hundreds of cases through the same tests.
+    #[must_use]
+    pub fn from_env(default_cases: u32) -> ProptestConfig {
+        let var = std::env::var("DIDE_PROPTEST_CASES").ok();
+        ProptestConfig::with_cases(parse_cases(var.as_deref(), default_cases))
+    }
+}
+
+/// Parses a `DIDE_PROPTEST_CASES` value; zero, empty, or malformed values
+/// fall back to `default_cases`. Pure, for unit testing without touching
+/// the (process-global, race-prone) environment.
+#[must_use]
+pub fn parse_cases(var: Option<&str>, default_cases: u32) -> u32 {
+    match var.and_then(|v| v.trim().parse::<u32>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => default_cases,
+    }
 }
 
 impl Default for ProptestConfig {
@@ -25,24 +63,21 @@ impl Default for ProptestConfig {
 /// Deterministic PRNG driving input generation (xoshiro256**).
 ///
 /// Seeded from the fully qualified test name, so every test draws the same
-/// input sequence on every run and on every platform — failures always
-/// reproduce without a persistence file.
+/// input sequence on every run and on every platform. Every draw is
+/// recorded; a rng can also be constructed to *replay* a recorded stream,
+/// which is how the shrinker and the regression file re-run exact cases.
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: [u64; 4],
+    record: Vec<u64>,
+    replay: Option<Vec<u64>>,
 }
 
 impl TestRng {
     /// Creates the generator for the named test.
     #[must_use]
     pub fn for_test(name: &str) -> TestRng {
-        // FNV-1a over the test name picks the stream.
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in name.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        TestRng::from_seed(h)
+        TestRng::from_seed(fnv1a(name))
     }
 
     /// Creates a generator from a raw seed (SplitMix64-expanded).
@@ -56,19 +91,32 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         };
-        TestRng { state: [next(), next(), next(), next()] }
+        TestRng { state: [next(), next(), next(), next()], record: Vec::new(), replay: None }
+    }
+
+    /// Creates a generator that replays `draws` verbatim; draws past the
+    /// end of the stream read as zero (the minimal value).
+    #[must_use]
+    pub fn from_draws(draws: Vec<u64>) -> TestRng {
+        TestRng { state: [0; 4], record: Vec::new(), replay: Some(draws) }
     }
 
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = self.state[1] << 17;
-        self.state[2] ^= self.state[0];
-        self.state[3] ^= self.state[1];
-        self.state[1] ^= self.state[2];
-        self.state[0] ^= self.state[3];
-        self.state[2] ^= t;
-        self.state[3] = self.state[3].rotate_left(45);
+        let result = if let Some(draws) = &self.replay {
+            draws.get(self.record.len()).copied().unwrap_or(0)
+        } else {
+            let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        };
+        self.record.push(result);
         result
     }
 
@@ -77,6 +125,276 @@ impl TestRng {
         debug_assert!(bound > 0);
         self.next_u64() % bound
     }
+
+    /// The draws made so far (in order).
+    #[must_use]
+    pub fn record(&self) -> &[u64] {
+        &self.record
+    }
+
+    /// Consumes the rng and returns its recorded draw stream.
+    #[must_use]
+    pub fn take_record(self) -> Vec<u64> {
+        self.record
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A property failure, carrying the minimal (shrunk) draw stream.
+#[derive(Debug)]
+pub struct PropertyFailure {
+    /// Fully qualified test name.
+    pub name: String,
+    /// Where the failing input came from.
+    pub source: FailureSource,
+    /// The minimal failing draw stream.
+    pub draws: Vec<u64>,
+    /// Panic message of the minimal case.
+    pub message: String,
+    /// Where the case was persisted, if persistence is enabled.
+    pub persisted_to: Option<PathBuf>,
+}
+
+/// Origin of a failing case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureSource {
+    /// Replayed from the regression file.
+    Regression,
+    /// Found by this run's random case with the given index, then shrunk.
+    Random(u32),
+}
+
+impl fmt::Display for PropertyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.source {
+            FailureSource::Regression => {
+                writeln!(f, "property `{}` failed on a persisted regression case", self.name)?;
+            }
+            FailureSource::Random(i) => {
+                writeln!(f, "property `{}` failed (random case {i}, then shrunk)", self.name)?;
+            }
+        }
+        writeln!(f, "minimal draws: {:?}", self.draws)?;
+        if let Some(p) = &self.persisted_to {
+            writeln!(f, "persisted to {} (replayed first on future runs)", p.display())?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Runs `case` against one replayed draw stream, returning the panic
+/// message if it fails.
+fn run_case(case: &dyn Fn(&mut TestRng), draws: &[u64]) -> Option<String> {
+    let mut rng = TestRng::from_draws(draws.to_vec());
+    match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+        Ok(()) => None,
+        Err(payload) => Some(panic_message(&*payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Minimizes a failing draw stream: truncates to the shortest failing
+/// prefix, then minimizes each draw (exhaustively near zero, binary search
+/// above), iterating to a fixpoint within [`SHRINK_BUDGET`] executions.
+///
+/// `fails` must return true for `draws` itself; the result is guaranteed
+/// to still fail.
+pub fn shrink_draws<F: FnMut(&[u64]) -> bool>(draws: &[u64], mut fails: F) -> Vec<u64> {
+    let mut best = draws.to_vec();
+    debug_assert!(fails(&best), "shrink_draws requires a failing input");
+    let mut budget = SHRINK_BUDGET;
+    let mut try_case = |candidate: &[u64], budget: &mut u32| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        fails(candidate)
+    };
+
+    // Shortest failing prefix (draws past the end replay as zero).
+    let (mut lo, mut hi) = (0usize, best.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if try_case(&best[..mid], &mut budget) {
+            best.truncate(mid);
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    // Per-draw minimization, repeated until nothing improves.
+    loop {
+        let before = best.clone();
+        for i in 0..best.len() {
+            let original = best[i];
+            if original == 0 {
+                continue;
+            }
+            // Exhaustive scan near zero guarantees the true minimum when
+            // it is small (the common case for `x % bound` draws) ...
+            let scan_top = original.min(64);
+            let mut found = false;
+            for cand in 0..scan_top {
+                let mut c = best.clone();
+                c[i] = cand;
+                if try_case(&c, &mut budget) {
+                    best = c;
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                continue;
+            }
+            // ... and binary search handles large draws (approximate for
+            // non-monotone predicates, but always failure-preserving).
+            let (mut lo, mut hi) = (scan_top, original);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut c = best.clone();
+                c[i] = mid;
+                if try_case(&c, &mut budget) {
+                    best = c;
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+        if best == before || budget == 0 {
+            return best;
+        }
+    }
+}
+
+/// Runs a property: replays persisted regression cases first, then
+/// `config.cases` fresh random cases; on failure, shrinks the draw stream,
+/// persists the minimal case, and panics with a report.
+///
+/// # Panics
+///
+/// Panics (like any failing test) when the property fails.
+pub fn run_property(name: &str, config: ProptestConfig, case: &dyn Fn(&mut TestRng)) {
+    if let Err(failure) = run_property_at(name, config, default_persist(name).as_deref(), case) {
+        panic!("{failure}");
+    }
+}
+
+/// [`run_property`] with an explicit persistence file (`None` disables
+/// persistence). Returns the failure instead of panicking, for tests of
+/// the runner itself.
+///
+/// # Errors
+///
+/// Returns the (shrunk) [`PropertyFailure`] if any persisted or random
+/// case fails.
+pub fn run_property_at(
+    name: &str,
+    config: ProptestConfig,
+    persist: Option<&Path>,
+    case: &dyn Fn(&mut TestRng),
+) -> Result<(), PropertyFailure> {
+    if let Some(path) = persist {
+        for draws in load_regressions(path) {
+            if let Some(message) = run_case(case, &draws) {
+                return Err(PropertyFailure {
+                    name: name.to_string(),
+                    source: FailureSource::Regression,
+                    draws,
+                    message,
+                    persisted_to: Some(path.to_path_buf()),
+                });
+            }
+        }
+    }
+    for i in 0..config.cases {
+        // Independent stream per case so a failure can be re-run and
+        // shrunk in isolation.
+        let mut rng =
+            TestRng::from_seed(fnv1a(name) ^ u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if catch_unwind(AssertUnwindSafe(|| case(&mut rng))).is_ok() {
+            continue;
+        }
+        let draws = rng.take_record();
+        let minimal = shrink_draws(&draws, |d| run_case(case, d).is_some());
+        let message = run_case(case, &minimal)
+            .expect("shrinking preserves failure; the minimal case must still fail");
+        let persisted_to =
+            persist.and_then(|p| append_regression(p, &minimal).then(|| p.to_path_buf()));
+        return Err(PropertyFailure {
+            name: name.to_string(),
+            source: FailureSource::Random(i),
+            draws: minimal,
+            message,
+            persisted_to,
+        });
+    }
+    Ok(())
+}
+
+/// The default regression file for a test: one file per test under
+/// `proptest-regressions/` (override the directory with
+/// `DIDE_PROPTEST_PERSIST`; set it to `off` or `0` to disable).
+fn default_persist(name: &str) -> Option<PathBuf> {
+    let dir = match std::env::var("DIDE_PROPTEST_PERSIST") {
+        Ok(v) if v == "off" || v == "0" => return None,
+        Ok(v) => PathBuf::from(v),
+        Err(_) => PathBuf::from("proptest-regressions"),
+    };
+    Some(dir.join(format!("{}.txt", name.replace("::", "-"))))
+}
+
+/// Loads persisted draw streams; a missing file is an empty list, and
+/// unreadable lines are skipped (a stale format must not brick the test).
+fn load_regressions(path: &Path) -> Vec<Vec<u64>> {
+    let Ok(text) = fs::read_to_string(path) else { return Vec::new() };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            l.split(',').map(|v| v.trim().parse::<u64>()).collect::<Result<Vec<u64>, _>>().ok()
+        })
+        .collect()
+}
+
+/// Appends a draw stream to the regression file (deduplicated); returns
+/// whether the case is on disk afterwards.
+fn append_regression(path: &Path, draws: &[u64]) -> bool {
+    let line = draws.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+    if load_regressions(path).iter().any(|d| d == draws) {
+        return true;
+    }
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        if f.metadata()?.len() == 0 {
+            writeln!(f, "# proptest regression cases: comma-separated draw streams,")?;
+            writeln!(f, "# replayed before random cases on every run. Delete a line")?;
+            writeln!(f, "# only when its bug is fixed.")?;
+        }
+        writeln!(f, "{line}")
+    };
+    write().is_ok()
 }
 
 #[cfg(test)]
@@ -93,5 +411,126 @@ mod tests {
         let cv: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
         assert_eq!(av, bv);
         assert_ne!(av, cv);
+    }
+
+    #[test]
+    fn replay_reproduces_and_pads_with_zero() {
+        let mut r = TestRng::from_draws(vec![7, 8]);
+        assert_eq!(r.next_u64(), 7);
+        assert_eq!(r.next_u64(), 8);
+        assert_eq!(r.next_u64(), 0, "past-the-end draws are zero");
+        assert_eq!(r.record(), &[7, 8, 0]);
+    }
+
+    #[test]
+    fn recording_matches_generation() {
+        let mut r = TestRng::for_test("rec");
+        let vals: Vec<u64> = (0..5).map(|_| r.next_u64()).collect();
+        assert_eq!(r.take_record(), vals);
+    }
+
+    #[test]
+    fn parse_cases_handles_every_input_shape() {
+        assert_eq!(parse_cases(None, 24), 24);
+        assert_eq!(parse_cases(Some("256"), 24), 256);
+        assert_eq!(parse_cases(Some(" 8 "), 24), 8);
+        assert_eq!(parse_cases(Some("0"), 24), 24, "zero cases would test nothing");
+        assert_eq!(parse_cases(Some("lots"), 24), 24);
+        assert_eq!(parse_cases(Some(""), 24), 24);
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_counterexample() {
+        // Fails iff the drawn value (mod 100) is >= 10: the minimal
+        // counterexample is the single draw [10].
+        let failing = |d: &[u64]| {
+            let mut rng = TestRng::from_draws(d.to_vec());
+            rng.below(100) >= 10
+        };
+        // Pick the first seed whose initial case actually fails.
+        let seed = (0u64..)
+            .find(|&s| {
+                let mut r = TestRng::from_seed(s);
+                r.below(100) >= 10
+            })
+            .unwrap();
+        let mut rng = TestRng::from_seed(seed);
+        let _ = rng.below(100);
+        let minimal = shrink_draws(rng.record(), failing);
+        assert_eq!(minimal, vec![10]);
+    }
+
+    #[test]
+    fn shrinking_truncates_irrelevant_draws() {
+        // Three draws, failure depends only on the first being >= 5.
+        let failing = |d: &[u64]| {
+            let mut rng = TestRng::from_draws(d.to_vec());
+            let a = rng.below(64);
+            let _b = rng.next_u64();
+            let _c = rng.next_u64();
+            a >= 5
+        };
+        let start = vec![37, 999, 12345];
+        assert!(failing(&start));
+        let minimal = shrink_draws(&start, failing);
+        assert_eq!(minimal, vec![5], "later draws truncate, first minimizes");
+    }
+
+    fn temp_file(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dide-proptest-{tag}-{}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn failure_is_shrunk_persisted_and_replayed() {
+        let path = temp_file("persist");
+        let _ = fs::remove_file(&path);
+        let case = |rng: &mut TestRng| {
+            let v = rng.below(1000);
+            assert!(v < 40, "boom: {v}");
+        };
+        let err = run_property_at("t::persist", ProptestConfig::with_cases(50), Some(&path), &case)
+            .expect_err("property must fail");
+        assert!(matches!(err.source, FailureSource::Random(_)));
+        assert_eq!(err.draws, vec![40], "shrunk to the boundary");
+        assert!(err.message.contains("boom: 40"), "message was: {:?}", err.message);
+        assert_eq!(err.persisted_to.as_deref(), Some(path.as_path()));
+        let text = err.to_string();
+        assert!(text.contains("minimal draws: [40]"), "{text}");
+
+        // Second run: the persisted case fails first, before any random case.
+        let err2 =
+            run_property_at("t::persist", ProptestConfig::with_cases(50), Some(&path), &case)
+                .expect_err("regression must be replayed");
+        assert_eq!(err2.source, FailureSource::Regression);
+        assert_eq!(err2.draws, vec![40]);
+
+        // "Fix the bug": the regression now passes and the run is green.
+        let fixed = |rng: &mut TestRng| {
+            let _ = rng.below(1000);
+        };
+        run_property_at("t::persist", ProptestConfig::with_cases(50), Some(&path), &fixed)
+            .expect("fixed property is green, regression file intact");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_regressions_are_not_appended() {
+        let path = temp_file("dedupe");
+        let _ = fs::remove_file(&path);
+        assert!(append_regression(&path, &[1, 2]));
+        assert!(append_regression(&path, &[1, 2]));
+        assert_eq!(load_regressions(&path), vec![vec![1, 2]]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn passing_property_touches_no_file() {
+        let path = temp_file("clean");
+        let _ = fs::remove_file(&path);
+        run_property_at("t::clean", ProptestConfig::with_cases(16), Some(&path), &|rng| {
+            let _ = rng.next_u64();
+        })
+        .expect("trivially true property");
+        assert!(!path.exists(), "persistence only writes on failure");
     }
 }

@@ -1,0 +1,105 @@
+//! Verdict-by-verdict comparison of the production analysis against the
+//! reference oracle.
+
+use std::fmt;
+
+use dide_analysis::{DeadnessAnalysis, Verdict};
+use dide_emu::Trace;
+
+use crate::oracle::ReferenceOracle;
+
+/// One dynamic instruction on which the two oracles disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictMismatch {
+    /// Dynamic sequence number of the disagreement.
+    pub seq: u64,
+    /// Static instruction index.
+    pub index: u32,
+    /// Disassembly of the instruction, for the report.
+    pub disasm: String,
+    /// What `DeadnessAnalysis` said.
+    pub analysis: Verdict,
+    /// What the reference oracle said.
+    pub reference: Verdict,
+}
+
+impl fmt::Display for VerdictMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seq {} (inst {}: {}): analysis says {:?}, reference says {:?}",
+            self.seq, self.index, self.disasm, self.analysis, self.reference
+        )
+    }
+}
+
+/// Runs the reference oracle over `trace` and returns every dynamic
+/// instruction where it disagrees with `analysis`. An empty result means
+/// the two independent implementations agree on the whole trace.
+#[must_use]
+pub fn differential_verdicts(trace: &Trace, analysis: &DeadnessAnalysis) -> Vec<VerdictMismatch> {
+    let reference = ReferenceOracle::analyze(trace);
+    trace
+        .iter()
+        .filter_map(|r| {
+            let a = analysis.verdict(r.seq);
+            let b = reference.verdict(r.seq);
+            if a == b {
+                None
+            } else {
+                Some(VerdictMismatch {
+                    seq: r.seq,
+                    index: r.index,
+                    disasm: r.inst.to_string(),
+                    analysis: a,
+                    reference: b,
+                })
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+    use dide_workloads::{random_program, GenConfig};
+
+    #[test]
+    fn agrees_on_a_straight_line_program() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 1);
+        b.li(Reg::T0, 2);
+        b.out(Reg::T0);
+        b.halt();
+        let t = Emulator::new(&b.build().unwrap()).run().unwrap();
+        let analysis = DeadnessAnalysis::analyze(&t);
+        assert!(differential_verdicts(&t, &analysis).is_empty());
+    }
+
+    #[test]
+    fn agrees_on_random_programs() {
+        for seed in 0..32u64 {
+            let cfg = GenConfig::default();
+            let t = Emulator::new(&random_program(seed, &cfg)).run().unwrap();
+            let analysis = DeadnessAnalysis::analyze(&t);
+            let diffs = differential_verdicts(&t, &analysis);
+            assert!(diffs.is_empty(), "seed {seed}: first mismatch: {}", diffs[0]);
+        }
+    }
+
+    #[test]
+    fn mismatch_display_is_readable() {
+        let m = VerdictMismatch {
+            seq: 7,
+            index: 3,
+            disasm: "li t0, 5".into(),
+            analysis: Verdict::Useful,
+            reference: Verdict::NotEligible,
+        };
+        let text = m.to_string();
+        assert!(text.contains("seq 7"));
+        assert!(text.contains("li t0, 5"));
+    }
+}

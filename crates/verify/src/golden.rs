@@ -1,0 +1,174 @@
+//! Golden-snapshot comparison for rendered experiment tables.
+//!
+//! The experiment tables are deterministic functions of the committed
+//! code; a byte changed in any of them is either an intended result change
+//! (re-bless) or a regression (fix it). This module only diffs and writes
+//! text — rendering the tables is the caller's job, which keeps the crate
+//! free of a dependency on the experiment runner.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One experiment whose rendered table disagrees with its snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenMismatch {
+    /// Experiment id (e.g. `e7`).
+    pub id: String,
+    /// What went wrong, including the first differing line.
+    pub message: String,
+}
+
+/// The snapshot file for an experiment id.
+#[must_use]
+pub fn golden_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{id}.txt"))
+}
+
+/// Compares rendered tables against the snapshots in `dir`, returning one
+/// mismatch per experiment that is missing or differs. Comparison is
+/// byte-exact; the report pinpoints the first differing line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than a missing snapshot (which is
+/// reported as a mismatch, with a hint to run `--bless`).
+pub fn compare_golden(
+    dir: &Path,
+    rendered: &[(String, String)],
+) -> io::Result<Vec<GoldenMismatch>> {
+    let mut mismatches = Vec::new();
+    for (id, text) in rendered {
+        let path = golden_path(dir, id);
+        let expected = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                mismatches.push(GoldenMismatch {
+                    id: id.clone(),
+                    message: format!(
+                        "no snapshot at {} (run `dide verify --golden --bless` to create it)",
+                        path.display()
+                    ),
+                });
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if expected != *text {
+            mismatches
+                .push(GoldenMismatch { id: id.clone(), message: first_diff(&expected, text) });
+        }
+    }
+    Ok(mismatches)
+}
+
+/// Writes (or rewrites) the snapshots for the rendered tables, creating
+/// `dir` if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn bless_golden(dir: &Path, rendered: &[(String, String)]) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    for (id, text) in rendered {
+        fs::write(golden_path(dir, id), text)?;
+    }
+    Ok(())
+}
+
+/// Describes the first line where two renderings diverge.
+fn first_diff(expected: &str, actual: &str) -> String {
+    let mut e = expected.lines();
+    let mut a = actual.lines();
+    let mut line_no = 1usize;
+    loop {
+        match (e.next(), a.next()) {
+            (Some(el), Some(al)) if el == al => line_no += 1,
+            (Some(el), Some(al)) => {
+                return format!("line {line_no} differs:\n  snapshot: {el}\n  actual:   {al}");
+            }
+            (Some(el), None) => {
+                return format!("actual output ends early; snapshot line {line_no}: {el}");
+            }
+            (None, Some(al)) => {
+                return format!("actual output has extra line {line_no}: {al}");
+            }
+            (None, None) => {
+                // Same lines but different bytes (e.g. trailing newline).
+                return "line endings or trailing whitespace differ".into();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dide-golden-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tables() -> Vec<(String, String)> {
+        vec![
+            ("e1".to_string(), "E1\nrow a\nrow b\n".to_string()),
+            ("e2".to_string(), "E2\nrow c\n".to_string()),
+        ]
+    }
+
+    #[test]
+    fn bless_then_compare_is_clean() {
+        let dir = temp_dir("clean");
+        bless_golden(&dir, &tables()).unwrap();
+        assert!(compare_golden(&dir, &tables()).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_perturbed_table_is_caught_with_line_info() {
+        let dir = temp_dir("perturbed");
+        bless_golden(&dir, &tables()).unwrap();
+        let mut t = tables();
+        t[1].1 = "E2\nrow C\n".to_string();
+        let m = compare_golden(&dir, &t).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].id, "e2");
+        assert!(m[0].message.contains("line 2"), "{}", m[0].message);
+        assert!(m[0].message.contains("row c"));
+        assert!(m[0].message.contains("row C"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_perturbed_snapshot_is_caught_too() {
+        // The CI direction: someone edits the committed snapshot.
+        let dir = temp_dir("tampered");
+        bless_golden(&dir, &tables()).unwrap();
+        fs::write(golden_path(&dir, "e1"), "E1\nrow a\nrow b\nextra\n").unwrap();
+        let m = compare_golden(&dir, &tables()).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(m[0].message.contains("ends early"), "{}", m[0].message);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_suggests_bless() {
+        let dir = temp_dir("unblessed");
+        let m = compare_golden(&dir, &tables()).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m[0].message.contains("--bless"));
+    }
+
+    #[test]
+    fn trailing_newline_difference_is_detected() {
+        let dir = temp_dir("trailing");
+        bless_golden(&dir, &tables()).unwrap();
+        let mut t = tables();
+        t[0].1 = "E1\nrow a\nrow b".to_string();
+        let m = compare_golden(&dir, &t).unwrap();
+        assert_eq!(m.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

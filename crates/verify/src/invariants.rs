@@ -1,0 +1,233 @@
+//! Metamorphic whole-stack invariants.
+//!
+//! Each check states a law the stack must obey on *every* trace — not an
+//! expected value for one input, but a relation between runs (remove the
+//! dead set and outputs survive; add elimination and port traffic is
+//! conserved; raise the confidence threshold and predictions shrink).
+//! Violations come back as human-readable strings so the fuzz driver can
+//! persist them alongside the failing seed.
+
+use dide_analysis::{replay_outputs, verify_dead_removable, DeadnessAnalysis};
+use dide_emu::Trace;
+use dide_pipeline::{Core, DeadElimConfig, PipelineConfig, PipelineStats};
+use dide_predictor::branch::Gshare;
+use dide_predictor::dead::{evaluate, CfiConfig, CfiDeadPredictor};
+
+use crate::oracle::ReferenceOracle;
+
+/// Runs every metamorphic invariant over one trace and returns one message
+/// per violated law. Empty means the whole stack is consistent on this
+/// trace.
+#[must_use]
+pub fn check_invariants(trace: &Trace, analysis: &DeadnessAnalysis) -> Vec<String> {
+    let mut violations = Vec::new();
+    check_replay(trace, analysis, &mut violations);
+    check_pipeline(trace, analysis, &mut violations);
+    check_threshold_monotonicity(trace, analysis, &mut violations);
+    violations
+}
+
+/// Removal invariants: replaying the committed path with no skips is
+/// faithful, and skipping either oracle's dead set preserves outputs.
+fn check_replay(trace: &Trace, analysis: &DeadnessAnalysis, violations: &mut Vec<String>) {
+    let faithful = replay_outputs(trace, |_| false);
+    if faithful != trace.outputs() {
+        violations.push(format!(
+            "full replay diverged from the emulator: expected {:?}, got {:?}",
+            trace.outputs(),
+            faithful
+        ));
+    }
+    if let Err(m) = verify_dead_removable(trace, analysis) {
+        violations.push(format!("analysis dead set is not removable: {m}"));
+    }
+    let reference = ReferenceOracle::analyze(trace);
+    let ref_removed = replay_outputs(trace, |seq| reference.is_dead(seq));
+    if ref_removed != trace.outputs() {
+        violations.push(format!(
+            "reference-oracle dead set is not removable: expected {:?}, got {:?}",
+            trace.outputs(),
+            ref_removed
+        ));
+    }
+}
+
+/// Pipeline invariants: per-run conservation laws plus exact cross-run
+/// laws between a baseline run and elimination runs on the same trace.
+fn check_pipeline(trace: &Trace, analysis: &DeadnessAnalysis, violations: &mut Vec<String>) {
+    let base = run_pipeline(trace, analysis, PipelineConfig::baseline(), "baseline", violations);
+    let cfi_cfg = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
+    let cfi = run_pipeline(trace, analysis, cfi_cfg, "cfi-elim", violations);
+    let oracle_cfg = PipelineConfig::baseline()
+        .with_elimination(DeadElimConfig { oracle: true, ..DeadElimConfig::default() });
+    let oracle = run_pipeline(trace, analysis, oracle_cfg, "oracle-elim", violations);
+
+    // Every eliminated write/read/access in an elimination run must show up
+    // as a saving, and nothing else may change: port traffic is conserved
+    // exactly between runs on the same committed path.
+    for (name, elim) in [("cfi-elim", &cfi), ("oracle-elim", &oracle)] {
+        let mut law = |ok: bool, msg: String| {
+            if !ok {
+                violations.push(format!("{name}: {msg}"));
+            }
+        };
+        law(
+            elim.rf_writes + elim.savings.rf_writes_saved == base.rf_writes,
+            format!(
+                "rf_writes ({}) + saved ({}) != baseline rf_writes ({})",
+                elim.rf_writes, elim.savings.rf_writes_saved, base.rf_writes
+            ),
+        );
+        law(
+            elim.rf_reads + elim.savings.rf_reads_saved == base.rf_reads,
+            format!(
+                "rf_reads ({}) + saved ({}) != baseline rf_reads ({})",
+                elim.rf_reads, elim.savings.rf_reads_saved, base.rf_reads
+            ),
+        );
+        law(
+            elim.memory.l1d.accesses + elim.savings.dcache_accesses_saved
+                == base.memory.l1d.accesses,
+            format!(
+                "l1d accesses ({}) + saved ({}) != baseline l1d accesses ({})",
+                elim.memory.l1d.accesses,
+                elim.savings.dcache_accesses_saved,
+                base.memory.l1d.accesses
+            ),
+        );
+        // Allocations are only bounded: each dead-tag violation recovery
+        // allocates a register the baseline never needed.
+        let recovered = elim.phys_allocs + elim.savings.phys_allocs_saved;
+        law(
+            base.phys_allocs <= recovered && recovered <= base.phys_allocs + elim.dead_violations,
+            format!(
+                "phys_allocs ({}) + saved ({}) outside [baseline ({}), baseline + violations \
+                 ({})]",
+                elim.phys_allocs,
+                elim.savings.phys_allocs_saved,
+                base.phys_allocs,
+                base.phys_allocs + elim.dead_violations
+            ),
+        );
+    }
+
+    // The oracle predictor eliminates exactly the committed oracle-dead
+    // set, and no real predictor can correctly eliminate more than that.
+    if oracle.dead_predicted != oracle.oracle_dead_committed {
+        violations.push(format!(
+            "oracle-elim: dead_predicted ({}) != oracle_dead_committed ({})",
+            oracle.dead_predicted, oracle.oracle_dead_committed
+        ));
+    }
+    if oracle.dead_predicted_correct != oracle.dead_predicted {
+        violations.push(format!(
+            "oracle-elim: dead_predicted_correct ({}) != dead_predicted ({})",
+            oracle.dead_predicted_correct, oracle.dead_predicted
+        ));
+    }
+    if cfi.dead_predicted_correct > oracle.dead_predicted {
+        violations.push(format!(
+            "cfi-elim eliminated more true-dead instructions ({}) than the oracle limit ({})",
+            cfi.dead_predicted_correct, oracle.dead_predicted
+        ));
+    }
+}
+
+fn run_pipeline(
+    trace: &Trace,
+    analysis: &DeadnessAnalysis,
+    config: PipelineConfig,
+    name: &str,
+    violations: &mut Vec<String>,
+) -> PipelineStats {
+    let stats = Core::new(config).run(trace, analysis);
+    if stats.committed != trace.len() as u64 {
+        violations.push(format!(
+            "{name}: committed {} of {} instructions",
+            stats.committed,
+            trace.len()
+        ));
+    }
+    for law in stats.invariant_violations() {
+        violations.push(format!("{name}: {law}"));
+    }
+    stats
+}
+
+/// Exact threshold monotonicity of the offline evaluation: the CFI
+/// predictor's training is prediction-independent and prediction is
+/// side-effect-free, so its counters evolve identically for every
+/// threshold — raising the threshold can only shrink the predicted-dead
+/// set. (This is *not* asserted at the pipeline level, where elimination
+/// feeds back into timing and training order.)
+fn check_threshold_monotonicity(
+    trace: &Trace,
+    analysis: &DeadnessAnalysis,
+    violations: &mut Vec<String>,
+) {
+    let run = |threshold: u8| {
+        let mut p = CfiDeadPredictor::new(CfiConfig { threshold, ..CfiConfig::default() });
+        let mut g = Gshare::new(10, 12);
+        evaluate(trace, analysis, &mut p, &mut g, 4)
+    };
+    let reports: Vec<_> = [1u8, 8, 15].iter().map(|&t| (t, run(t))).collect();
+    for pair in reports.windows(2) {
+        let (lo_t, lo) = &pair[0];
+        let (hi_t, hi) = &pair[1];
+        if hi.predicted_dead > lo.predicted_dead {
+            violations.push(format!(
+                "threshold {hi_t} predicts more dead ({}) than threshold {lo_t} ({})",
+                hi.predicted_dead, lo.predicted_dead
+            ));
+        }
+        if hi.true_positives > lo.true_positives {
+            violations.push(format!(
+                "threshold {hi_t} has more true positives ({}) than threshold {lo_t} ({})",
+                hi.true_positives, lo.true_positives
+            ));
+        }
+        if hi.eligible != lo.eligible || hi.actual_dead != lo.actual_dead {
+            violations.push(format!(
+                "eligible/actual_dead changed between thresholds {lo_t} and {hi_t}: \
+                 {}/{} vs {}/{}",
+                lo.eligible, lo.actual_dead, hi.eligible, hi.actual_dead
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dide_emu::Emulator;
+    use dide_isa::{ProgramBuilder, Reg};
+    use dide_workloads::{random_program, GenConfig};
+
+    #[test]
+    fn loop_with_partial_deadness_is_clean() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 100);
+        let top = b.label();
+        b.bind(top);
+        b.slt(Reg::T2, Reg::T0, Reg::T1);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T2);
+        b.halt();
+        let t = Emulator::new(&b.build().unwrap()).run().unwrap();
+        let analysis = DeadnessAnalysis::analyze(&t);
+        let v = check_invariants(&t, &analysis);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn random_workloads_are_clean() {
+        for seed in [0u64, 17, 42] {
+            let t = Emulator::new(&random_program(seed, &GenConfig::default())).run().unwrap();
+            let analysis = DeadnessAnalysis::analyze(&t);
+            let v = check_invariants(&t, &analysis);
+            assert!(v.is_empty(), "seed {seed}: {v:?}");
+        }
+    }
+}

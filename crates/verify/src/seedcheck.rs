@@ -1,0 +1,167 @@
+//! One fuzzing seed, end to end: generate, emulate, cross-check.
+//!
+//! [`verify_seed`] is the unit of work the `dide verify` driver fans out
+//! over its worker pool. Everything here is deterministic in `(seed,
+//! config)` so reports are byte-identical regardless of job count.
+
+use std::fmt::Write as _;
+
+use dide_analysis::DeadnessAnalysis;
+use dide_emu::Emulator;
+use dide_workloads::{random_program, GenConfig};
+
+use crate::diff::differential_verdicts;
+use crate::invariants::check_invariants;
+
+/// Everything the driver needs to know about one verified seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedReport {
+    /// The generator seed.
+    pub seed: u64,
+    /// The generator configuration used (derived from the seed unless the
+    /// case came from the corpus).
+    pub config: GenConfig,
+    /// Dynamic instructions in the generated trace (0 if emulation failed).
+    pub trace_len: usize,
+    /// Oracle-dead dynamic instructions in the trace.
+    pub dead_total: u64,
+    /// Rendered verdict disagreements between the two oracles.
+    pub mismatches: Vec<String>,
+    /// Rendered metamorphic-invariant violations.
+    pub violations: Vec<String>,
+}
+
+impl SeedReport {
+    /// Whether this seed passed every check.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty() && self.violations.is_empty()
+    }
+
+    /// A short single-line summary, plus one indented line per failure.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "seed {:#018x} ({} insts, {} dead): {} mismatches, {} violations",
+            self.seed,
+            self.trace_len,
+            self.dead_total,
+            self.mismatches.len(),
+            self.violations.len()
+        );
+        for m in &self.mismatches {
+            let _ = write!(s, "\n  diff: {m}");
+        }
+        for v in &self.violations {
+            let _ = write!(s, "\n  invariant: {v}");
+        }
+        s
+    }
+}
+
+/// Derives a deterministic generator configuration from a seed, so the
+/// fuzzer sweeps program *shapes* as well as contents. Ranges are chosen
+/// to keep a single seed cheap (a few thousand dynamic instructions at
+/// most) while still covering loops, nests of diamonds, and tight memory.
+#[must_use]
+pub fn derive_config(seed: u64) -> GenConfig {
+    // splitmix64 over the seed: independent of the program generator's own
+    // RNG, so config and content are uncorrelated.
+    let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    GenConfig {
+        segments: 2 + (next() % 9) as usize,
+        segment_len: 4 + (next() % 13) as usize,
+        loop_iters: 1 + (next() % 6) as u32,
+        memory_slots: 4 + (next() % 21) as usize,
+    }
+}
+
+/// Verifies one seed with its derived configuration.
+#[must_use]
+pub fn verify_seed(seed: u64) -> SeedReport {
+    verify_seed_with(seed, &derive_config(seed))
+}
+
+/// Verifies one seed with an explicit configuration (corpus replay and
+/// shrinking run reduced configs against the original seed).
+#[must_use]
+pub fn verify_seed_with(seed: u64, config: &GenConfig) -> SeedReport {
+    let mut report = SeedReport {
+        seed,
+        config: *config,
+        trace_len: 0,
+        dead_total: 0,
+        mismatches: Vec::new(),
+        violations: Vec::new(),
+    };
+    if let Err(e) = config.validate() {
+        report.violations.push(format!("invalid config: {e}"));
+        return report;
+    }
+    let program = random_program(seed, config);
+    let trace = match Emulator::new(&program).run() {
+        Ok(t) => t,
+        Err(e) => {
+            report.violations.push(format!("emulation failed: {e}"));
+            return report;
+        }
+    };
+    report.trace_len = trace.len();
+    let analysis = DeadnessAnalysis::analyze(&trace);
+    report.dead_total = analysis.stats().dead_total;
+    report.mismatches =
+        differential_verdicts(&trace, &analysis).iter().map(ToString::to_string).collect();
+    report.violations = check_invariants(&trace, &analysis);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_configs_are_deterministic_and_valid() {
+        for seed in 0..200u64 {
+            let a = derive_config(seed);
+            assert_eq!(a, derive_config(seed));
+            a.validate().expect("derived configs are always valid");
+            assert!((2..=10).contains(&a.segments));
+            assert!((4..=16).contains(&a.segment_len));
+            assert!((1..=6).contains(&a.loop_iters));
+            assert!((4..=24).contains(&a.memory_slots));
+        }
+        // The derivation actually varies the shape.
+        assert_ne!(derive_config(1), derive_config(2));
+    }
+
+    #[test]
+    fn a_healthy_seed_is_clean() {
+        let r = verify_seed(0);
+        assert!(r.is_clean(), "{}", r.describe());
+        assert!(r.trace_len > 0);
+        assert_eq!(r, verify_seed(0), "verification is deterministic");
+    }
+
+    #[test]
+    fn invalid_config_is_reported_not_panicked() {
+        let r = verify_seed_with(1, &GenConfig { segments: 0, ..GenConfig::default() });
+        assert!(!r.is_clean());
+        assert!(r.violations[0].contains("invalid config"));
+    }
+
+    #[test]
+    fn describe_includes_failures() {
+        let mut r = verify_seed(0);
+        r.mismatches.push("synthetic".into());
+        let text = r.describe();
+        assert!(text.contains("1 mismatches"));
+        assert!(text.contains("diff: synthetic"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Failing-case minimization.
+//!
+//! A fuzzing failure is only as useful as it is small. [`shrink_case`]
+//! minimizes the *generator configuration* of a failing seed — fewer
+//! segments, shorter segments, fewer loop iterations, less memory — while
+//! re-checking that the failure survives, and iterates to a fixpoint.
+//! (Draw-level shrinking of individual property inputs lives in the
+//! `proptest` shim; this is the whole-program analogue.)
+
+use dide_workloads::GenConfig;
+
+/// Minimizes `config` field by field (binary search per field, smallest
+/// failing value wins) such that `fails(seed, &minimized)` still returns
+/// true. `fails` must be deterministic; it is called O(log) times per
+/// field per round, and rounds repeat until no field shrinks further.
+///
+/// Returns `config` unchanged if it does not fail in the first place.
+pub fn shrink_case<F: FnMut(u64, &GenConfig) -> bool>(
+    seed: u64,
+    config: &GenConfig,
+    mut fails: F,
+) -> GenConfig {
+    if !fails(seed, config) {
+        return *config;
+    }
+    let mut best = *config;
+    // Each accessor pair reads/writes one field as u64 so one binary
+    // search routine covers all four.
+    type Get = fn(&GenConfig) -> u64;
+    type Set = fn(&mut GenConfig, u64);
+    let fields: [(Get, Set); 4] = [
+        (|c| c.segments as u64, |c, v| c.segments = v as usize),
+        (|c| c.segment_len as u64, |c, v| c.segment_len = v as usize),
+        (|c| u64::from(c.loop_iters), |c, v| c.loop_iters = v as u32),
+        (|c| c.memory_slots as u64, |c, v| c.memory_slots = v as usize),
+    ];
+    loop {
+        let before = best;
+        for (get, set) in fields {
+            // Invariant: `best` fails. Find the smallest value in [1, cur]
+            // for this field that still fails, assuming rough monotonicity;
+            // when the failure is not monotone in the field the search
+            // still returns *a* failing value, just not always the global
+            // minimum — acceptable for a shrinker.
+            let (mut lo, mut hi) = (1u64, get(&best));
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best;
+                set(&mut candidate, mid);
+                if fails(seed, &candidate) {
+                    best = candidate;
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+        if best == before {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_failing_config_is_untouched() {
+        let cfg = GenConfig::default();
+        assert_eq!(shrink_case(0, &cfg, |_, _| false), cfg);
+    }
+
+    #[test]
+    fn monotone_failure_shrinks_to_its_threshold() {
+        // Fails whenever segments * segment_len >= 6: the minimum is found
+        // on both contributing fields.
+        let cfg = GenConfig { segments: 8, segment_len: 12, loop_iters: 5, memory_slots: 16 };
+        let shrunk = shrink_case(0, &cfg, |_, c| c.segments * c.segment_len >= 6);
+        assert!(shrunk.segments * shrunk.segment_len >= 6, "failure must be preserved");
+        assert_eq!(shrunk.loop_iters, 1);
+        assert_eq!(shrunk.memory_slots, 1);
+        assert!(shrunk.segments <= 2 && shrunk.segment_len <= 6, "{shrunk:?}");
+    }
+
+    #[test]
+    fn always_failing_case_reaches_the_floor() {
+        let shrunk = shrink_case(0, &GenConfig::default(), |_, _| true);
+        assert_eq!(
+            shrunk,
+            GenConfig { segments: 1, segment_len: 1, loop_iters: 1, memory_slots: 1 }
+        );
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let f = |_: u64, c: &GenConfig| c.segment_len >= 3;
+        let a = shrink_case(9, &GenConfig::default(), f);
+        let b = shrink_case(9, &GenConfig::default(), f);
+        assert_eq!(a, b);
+    }
+}

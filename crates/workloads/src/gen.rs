@@ -4,6 +4,12 @@
 //! programs for property-based differential testing: the emulator, the
 //! deadness analysis and the timing pipeline are all exercised against the
 //! same random programs.
+//!
+//! Beyond plain ALU traffic the generator manufactures the patterns that
+//! make deadness analysis hard: sub-word stores and loads that partially
+//! alias each other, diamond control flow whose arms kill each other's
+//! values, and call-like save/clobber/restore sequences whose spill slots
+//! are frequently overwritten before they are reloaded.
 
 use dide_isa::{Program, ProgramBuilder, Reg};
 use rand::rngs::StdRng;
@@ -25,6 +31,38 @@ pub struct GenConfig {
 impl Default for GenConfig {
     fn default() -> Self {
         GenConfig { segments: 8, segment_len: 12, loop_iters: 5, memory_slots: 16 }
+    }
+}
+
+impl GenConfig {
+    /// Checks that the configuration can generate a valid, terminating
+    /// program, returning a description of the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Every field must be at least 1: zero segments or zero
+    /// `segment_len` generate an empty program, zero memory slots leave
+    /// loads/stores nowhere legal to touch, and a zero `loop_iters`
+    /// would emit loops whose counter starts at zero and counts *down*,
+    /// never terminating.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segments == 0 {
+            return Err("GenConfig: segments must be at least 1 (got 0)".into());
+        }
+        if self.segment_len == 0 {
+            return Err("GenConfig: segment_len must be at least 1 (got 0)".into());
+        }
+        if self.memory_slots == 0 {
+            return Err("GenConfig: need at least one memory slot (got 0)".into());
+        }
+        if self.loop_iters == 0 {
+            return Err(
+                "GenConfig: loop_iters must be at least 1 (a zero-trip loop would decrement \
+                 its counter past zero and never terminate)"
+                    .into(),
+            );
+        }
+        Ok(())
     }
 }
 
@@ -52,10 +90,12 @@ const SCRATCH: [Reg; 12] = [
 ///
 /// # Panics
 ///
-/// Panics if `config.memory_slots` is zero.
+/// Panics if `config` is invalid (see [`GenConfig::validate`]).
 #[must_use]
 pub fn random_program(seed: u64, config: &GenConfig) -> Program {
-    assert!(config.memory_slots > 0, "need at least one memory slot");
+    if let Err(e) = config.validate() {
+        panic!("{e}");
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new(format!("random-{seed:#x}"));
 
@@ -103,9 +143,18 @@ fn pick(rng: &mut StdRng) -> Reg {
     SCRATCH[rng.gen_range(0..SCRATCH.len())]
 }
 
+/// A random byte offset into the scratch area such that an access of
+/// `width` bytes stays in bounds. Offsets are *not* width-aligned, so
+/// accesses of different widths partially overlap each other — the aliasing
+/// patterns that distinguish `StoreUnread` / `StoreOverwritten` /
+/// transitively-dead stores.
+fn unaligned_offset(rng: &mut StdRng, slots: usize, width: usize) -> i64 {
+    rng.gen_range(0..=(slots * 8 - width) as i64)
+}
+
 fn emit_random_op(b: &mut ProgramBuilder, rng: &mut StdRng, base: Reg, slots: usize) {
     let (d, s1, s2) = (pick(rng), pick(rng), pick(rng));
-    match rng.gen_range(0..14) {
+    match rng.gen_range(0..18) {
         0 => b.add(d, s1, s2),
         1 => b.sub(d, s1, s2),
         2 => b.xor(d, s1, s2),
@@ -117,12 +166,29 @@ fn emit_random_op(b: &mut ProgramBuilder, rng: &mut StdRng, base: Reg, slots: us
         8 => b.addi(d, s1, rng.gen_range(-64..64)),
         9 => b.slli(d, s1, rng.gen_range(0..8)),
         10 => {
-            let off = 8 * rng.gen_range(0..slots as i64);
-            b.sd(s1, base, off)
+            // Sub-word store at an arbitrary (unaligned) offset.
+            let w = [1usize, 2, 4, 8][rng.gen_range(0..4usize)];
+            let off = unaligned_offset(rng, slots, w);
+            match w {
+                1 => b.sb(s1, base, off),
+                2 => b.sh(s1, base, off),
+                4 => b.sw(s1, base, off),
+                _ => b.sd(s1, base, off),
+            }
         }
         11 => {
-            let off = 8 * rng.gen_range(0..slots as i64);
-            b.ld(d, base, off)
+            // Sub-word load, signed or unsigned, at an arbitrary offset.
+            let w = [1usize, 2, 4, 8][rng.gen_range(0..4usize)];
+            let off = unaligned_offset(rng, slots, w);
+            match (w, rng.gen_bool(0.5)) {
+                (1, true) => b.lb(d, base, off),
+                (1, false) => b.lbu(d, base, off),
+                (2, true) => b.lh(d, base, off),
+                (2, false) => b.lhu(d, base, off),
+                (4, true) => b.lw(d, base, off),
+                (4, false) => b.lwu(d, base, off),
+                _ => b.ld(d, base, off),
+            }
         }
         12 => {
             // Forward skip over a couple of ops.
@@ -131,6 +197,38 @@ fn emit_random_op(b: &mut ProgramBuilder, rng: &mut StdRng, base: Reg, slots: us
             b.add(d, s1, s2);
             b.addi(d, d, 1);
             b.bind(skip)
+        }
+        13 => {
+            // Diamond: both arms define `d`, so the not-taken arm's write
+            // is killed at the join whenever the taken arm re-defines it.
+            let else_arm = b.label();
+            let merge = b.label();
+            b.blt(s1, s2, else_arm);
+            b.add(d, s1, s2);
+            b.j(merge);
+            b.bind(else_arm);
+            b.sub(d, s2, s1);
+            b.bind(merge)
+        }
+        14 => {
+            // Call-like save/clobber/restore: spill `s1`, clobber it, then
+            // reload. The spill is useful only if nothing overwrites the
+            // slot before the reload — later stores frequently do.
+            let off = 8 * rng.gen_range(0..slots as i64);
+            b.sd(s1, base, off);
+            b.xor(s1, s1, s2);
+            b.addi(s1, s1, rng.gen_range(-8..8));
+            b.ld(s1, base, off)
+        }
+        15 => {
+            // Double-word store at an aligned slot (dense aliasing with
+            // the save/restore pattern above).
+            let off = 8 * rng.gen_range(0..slots as i64);
+            b.sd(s1, base, off)
+        }
+        16 => {
+            let off = 8 * rng.gen_range(0..slots as i64);
+            b.ld(d, base, off)
         }
         _ => b.li(d, rng.gen_range(-100..100)),
     };
@@ -164,8 +262,48 @@ mod tests {
     }
 
     #[test]
+    fn validate_accepts_default_and_minimal() {
+        assert!(GenConfig::default().validate().is_ok());
+        let minimal = GenConfig { segments: 1, segment_len: 1, loop_iters: 1, memory_slots: 1 };
+        assert!(minimal.validate().is_ok());
+        // The minimal config must actually generate and terminate.
+        let p = random_program(3, &minimal);
+        assert!(p.len() >= 2);
+    }
+
+    #[test]
+    fn validate_rejects_each_zero_field() {
+        let d = GenConfig::default();
+        for (cfg, needle) in [
+            (GenConfig { segments: 0, ..d }, "segments"),
+            (GenConfig { segment_len: 0, ..d }, "segment_len"),
+            (GenConfig { memory_slots: 0, ..d }, "memory slot"),
+            (GenConfig { loop_iters: 0, ..d }, "loop_iters"),
+        ] {
+            let err = cfg.validate().expect_err("zero field must be rejected");
+            assert!(err.contains(needle), "error {err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "memory slot")]
     fn zero_slots_panics() {
         let _ = random_program(0, &GenConfig { memory_slots: 0, ..GenConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "loop_iters")]
+    fn zero_loop_iters_panics() {
+        let _ = random_program(0, &GenConfig { loop_iters: 0, ..GenConfig::default() });
+    }
+
+    #[test]
+    fn single_slot_accesses_stay_in_bounds() {
+        // With one 8-byte slot every generated access must fit inside it;
+        // emulating proves no out-of-bounds/guard-page faults occur.
+        let cfg = GenConfig { memory_slots: 1, ..GenConfig::default() };
+        for seed in 0..20 {
+            let _ = random_program(seed, &cfg);
+        }
     }
 }

@@ -16,7 +16,9 @@ fn trace_for(seed: u64) -> Trace {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // 24 cases by default; `DIDE_PROPTEST_CASES` (e.g. via `./ci.sh --deep`)
+    // scales this up without editing the test.
+    #![proptest_config(ProptestConfig::from_env(24))]
 
     #[test]
     fn dead_instructions_are_removable(seed: u64) {
@@ -82,7 +84,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::from_env(10))]
 
     #[test]
     fn pipeline_conserves_instructions_and_registers(seed: u64) {
