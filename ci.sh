@@ -39,4 +39,15 @@ cargo run --release --bin dide -- verify --seeds "${VERIFY_SEEDS}" --jobs 2
 echo "== golden tables =="
 cargo run --release --bin dide -- verify --golden
 
+echo "== bench smoke (BENCH.json) =="
+cargo run --release --bin dide -- bench --quick --out BENCH.json
+# The perf harness must produce a non-empty, well-formed report.
+test -s BENCH.json || { echo "BENCH.json is missing or empty" >&2; exit 1; }
+grep -q '"schema": "dide-bench/v1"' BENCH.json \
+  || { echo "BENCH.json lacks the dide-bench/v1 schema marker" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool BENCH.json >/dev/null \
+    || { echo "BENCH.json is not valid JSON" >&2; exit 1; }
+fi
+
 echo "CI gate passed."

@@ -1,8 +1,6 @@
 //! The two-pass oracle deadness algorithm.
 
-use std::collections::HashMap;
-
-use dide_emu::Trace;
+use dide_emu::{PagedShadow, Trace};
 use dide_isa::OpcodeKind;
 
 use crate::locality::LocalityCdf;
@@ -24,114 +22,287 @@ pub struct DeadnessAnalysis {
     stats: DeadStats,
 }
 
-/// Forward-pass bookkeeping for one pending register or store value.
+/// Per-seq forward-pass bookkeeping, packed so that resolving one producer
+/// touches one 16-byte entry (one cache line) instead of three parallel
+/// arrays.
 #[derive(Debug, Clone, Copy)]
-struct PendingStore {
-    /// Bytes of the store still visible (not yet overwritten).
+struct SeqState {
+    /// Stamp (seq) of the last consumer that listed this producer — the
+    /// duplicate-producer filter. Replaces the seed's
+    /// `producers[start..].contains(&w)` scan, which was quadratic in a
+    /// consumer's producer count (per-byte resolution of wide loads bit).
+    last_touch: u64,
+    /// For stores: bytes of the store still visible (not yet overwritten).
     live_bytes: u32,
+    /// Whether any later instruction read this value.
+    read: bool,
+    /// First-level deadness hint, pending final classification.
+    hint: Option<DeadKind>,
+}
+
+impl SeqState {
+    /// No consumer yet, no visible bytes, unread, no hint. `u64::MAX` is a
+    /// safe stamp sentinel: stamps are consumer seqs, which are dense
+    /// from 0 and bounded by the trace length.
+    const EMPTY: SeqState =
+        SeqState { last_touch: u64::MAX, live_bytes: 0, read: false, hint: None };
+}
+
+/// Forward-pass state: pending register writers, the byte-granular
+/// last-store shadow table, and the producer edges resolved so far.
+struct Forward {
+    /// Pending writer seq per architectural register.
+    reg_writer: [Option<u64>; dide_isa::Reg::COUNT],
+    /// Last store to claim each byte address, as `seq + 1` (0 = untouched).
+    /// One page resolution per access instead of one hash probe per byte.
+    mem_writer: PagedShadow<u64>,
+    /// Packed per-seq state, indexed by seq.
+    state: Vec<SeqState>,
+    /// Flat producer table under construction.
+    producers: Vec<u64>,
+    /// `offsets[i]..offsets[i + 1]` brackets record `i`'s producers.
+    offsets: Vec<usize>,
+}
+
+impl Forward {
+    fn new(n: usize) -> Forward {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        Forward {
+            reg_writer: [None; dide_isa::Reg::COUNT],
+            mem_writer: PagedShadow::new(),
+            state: vec![SeqState::EMPTY; n],
+            producers: Vec::with_capacity(n * 2),
+            offsets,
+        }
+    }
+
+    /// Resolves a read of producer `w` by the consumer `stamp` (its seq):
+    /// marks the value read and appends a producer edge unless this
+    /// consumer already listed `w`.
+    #[inline]
+    fn note_read(&mut self, w: u64, stamp: u64) {
+        let st = &mut self.state[w as usize];
+        st.read = true;
+        if st.last_touch != stamp {
+            st.last_touch = stamp;
+            self.producers.push(w);
+        }
+    }
+
+    /// Resolves a register read. No zero-register filter is needed: writes
+    /// never claim the zero register, so its slot is permanently `None`.
+    #[inline]
+    fn read_reg(&mut self, src: dide_isa::Reg, stamp: u64) {
+        if let Some(w) = self.reg_writer[src.index()] {
+            self.note_read(w, stamp);
+        }
+    }
+
+    /// Resolves a memory read, byte-granular.
+    #[inline]
+    fn read_mem(&mut self, acc: dide_emu::MemAccess, stamp: u64) {
+        let len = acc.width.bytes();
+        if !PagedShadow::<u64>::crosses_page(acc.addr, len) {
+            // Fast path: one page resolution for the whole access. The
+            // `note_read` body is inlined so the span borrow (of
+            // `mem_writer`) stays disjoint from the `state`/`producers`
+            // updates.
+            if let Some(cells) = self.mem_writer.span(acc.addr, len) {
+                for &cell in cells {
+                    if cell != 0 {
+                        let w = cell - 1;
+                        let st = &mut self.state[w as usize];
+                        st.read = true;
+                        if st.last_touch != stamp {
+                            st.last_touch = stamp;
+                            self.producers.push(w);
+                        }
+                    }
+                }
+            }
+        } else {
+            for byte in acc.bytes() {
+                let cell = self.mem_writer.get(byte);
+                if cell != 0 {
+                    self.note_read(cell - 1, stamp);
+                }
+            }
+        }
+    }
+
+    /// Closes the current record's producer bracket.
+    #[inline]
+    fn end_reads(&mut self) {
+        self.offsets.push(self.producers.len());
+    }
+
+    /// Register write: displace the previous pending writer.
+    #[inline]
+    fn write_reg(&mut self, rd: dide_isa::Reg, seq: u64) {
+        if rd.is_zero() {
+            return;
+        }
+        if let Some(prev) = self.reg_writer[rd.index()] {
+            let prev_state = &mut self.state[prev as usize];
+            if !prev_state.read {
+                prev_state.hint = Some(DeadKind::RegOverwritten);
+            }
+        }
+        self.reg_writer[rd.index()] = Some(seq);
+    }
+
+    /// A store displaced `prev_cell`'s claim on one byte: burn one of the
+    /// previous owner's live bytes, classifying it once fully overwritten.
+    /// Self-displacement (a wrapping synthetic access revisiting its own
+    /// bytes) is skipped.
+    #[inline]
+    fn displace(&mut self, prev_cell: u64, claimed: u64) {
+        if prev_cell != 0 && prev_cell != claimed {
+            // A displaced owner always has a live-byte counter: bytes only
+            // enter the shadow table through `write_mem`.
+            let prev = &mut self.state[(prev_cell - 1) as usize];
+            prev.live_bytes -= 1;
+            if prev.live_bytes == 0 && !prev.read {
+                prev.hint = Some(DeadKind::StoreOverwritten);
+            }
+        }
+    }
+
+    /// Store: claim bytes, displacing previous owners.
+    #[inline]
+    fn write_mem(&mut self, acc: dide_emu::MemAccess, seq: u64) {
+        let len = acc.width.bytes();
+        let claimed = seq + 1;
+        if !PagedShadow::<u64>::crosses_page(acc.addr, len) {
+            let cells = self.mem_writer.span_mut(acc.addr, len);
+            for cell in cells {
+                let prev_cell = std::mem::replace(cell, claimed);
+                if prev_cell != 0 && prev_cell != claimed {
+                    let prev = &mut self.state[(prev_cell - 1) as usize];
+                    prev.live_bytes -= 1;
+                    if prev.live_bytes == 0 && !prev.read {
+                        prev.hint = Some(DeadKind::StoreOverwritten);
+                    }
+                }
+            }
+        } else {
+            for byte in acc.bytes() {
+                let prev_cell = self.mem_writer.get(byte);
+                self.mem_writer.set(byte, claimed);
+                self.displace(prev_cell, claimed);
+            }
+        }
+        self.state[seq as usize].live_bytes = len as u32;
+    }
 }
 
 impl DeadnessAnalysis {
     /// Runs the analysis over a trace.
     ///
     /// Cost is `O(n)` in trace length with byte-granular memory tracking.
+    /// Memory liveness state lives in a [`PagedShadow`] last-writer table
+    /// (one `u64` cell per byte address, holding `seq + 1`, 0 = no writer):
+    /// one page resolution per access — usually satisfied by the shadow's
+    /// page-handle cache — instead of one hash probe per byte. All per-seq
+    /// bookkeeping (consumer stamps, store live-byte counters, read flags,
+    /// deadness hints) is packed in a flat table indexed by seq, and both
+    /// passes dispatch on the opcode kind exactly once per record.
     #[must_use]
     pub fn analyze(trace: &Trace) -> DeadnessAnalysis {
         let n = trace.len();
         let records = trace.records();
 
         // ---- forward pass: resolve reads to producers ----
-        let mut reg_writer: [Option<u64>; dide_isa::Reg::COUNT] = [None; dide_isa::Reg::COUNT];
-        let mut mem_writer: HashMap<u64, u64> = HashMap::new();
-        let mut store_state: HashMap<u64, PendingStore> = HashMap::new();
-
-        let mut directly_read = vec![false; n];
-        // First-level kind hint, pending final classification.
-        let mut kind_hint: Vec<Option<DeadKind>> = vec![None; n];
-
-        let mut producers: Vec<u64> = Vec::with_capacity(n * 2);
-        let mut offsets: Vec<usize> = Vec::with_capacity(n + 1);
-        offsets.push(0);
-
+        let mut fwd = Forward::new(n);
         for r in records {
-            let start = producers.len();
-
-            // Register reads.
-            for src in r.inst.sources() {
-                if let Some(w) = reg_writer[src.index()] {
-                    directly_read[w as usize] = true;
-                    if !producers[start..].contains(&w) {
-                        producers.push(w);
+            let seq = r.seq;
+            let inst = &r.inst;
+            match inst.op.kind() {
+                OpcodeKind::AluRR => {
+                    fwd.read_reg(inst.rs1, seq);
+                    fwd.read_reg(inst.rs2, seq);
+                    fwd.end_reads();
+                    fwd.write_reg(inst.rd, seq);
+                }
+                OpcodeKind::AluRI => {
+                    fwd.read_reg(inst.rs1, seq);
+                    fwd.end_reads();
+                    fwd.write_reg(inst.rd, seq);
+                }
+                OpcodeKind::LoadImm | OpcodeKind::Jal => {
+                    fwd.end_reads();
+                    fwd.write_reg(inst.rd, seq);
+                }
+                OpcodeKind::Load { .. } => {
+                    fwd.read_reg(inst.rs1, seq);
+                    if let Some(acc) = r.mem {
+                        fwd.read_mem(acc, seq);
+                    }
+                    fwd.end_reads();
+                    fwd.write_reg(inst.rd, seq);
+                }
+                OpcodeKind::Store { .. } => {
+                    fwd.read_reg(inst.rs1, seq);
+                    fwd.read_reg(inst.rs2, seq);
+                    fwd.end_reads();
+                    if let Some(acc) = r.mem {
+                        fwd.write_mem(acc, seq);
                     }
                 }
-            }
-            // Memory reads (loads), byte-granular.
-            if r.inst.op.is_load() {
-                if let Some(acc) = r.mem {
-                    for byte in acc.bytes() {
-                        if let Some(&w) = mem_writer.get(&byte) {
-                            directly_read[w as usize] = true;
-                            if !producers[start..].contains(&w) {
-                                producers.push(w);
-                            }
-                        }
-                    }
+                OpcodeKind::Branch(_) => {
+                    fwd.read_reg(inst.rs1, seq);
+                    fwd.read_reg(inst.rs2, seq);
+                    fwd.end_reads();
                 }
-            }
-            offsets.push(producers.len());
-
-            // Register write: displace the previous pending writer.
-            if let Some(rd) = r.inst.dest() {
-                if let Some(prev) = reg_writer[rd.index()] {
-                    if !directly_read[prev as usize] {
-                        kind_hint[prev as usize] = Some(DeadKind::RegOverwritten);
-                    }
+                OpcodeKind::Jalr => {
+                    fwd.read_reg(inst.rs1, seq);
+                    fwd.end_reads();
+                    fwd.write_reg(inst.rd, seq);
                 }
-                reg_writer[rd.index()] = Some(r.seq);
-            }
-            // Store: claim bytes, displacing previous owners.
-            if r.inst.op.is_store() {
-                if let Some(acc) = r.mem {
-                    for byte in acc.bytes() {
-                        if let Some(prev) = mem_writer.insert(byte, r.seq) {
-                            if prev != r.seq {
-                                if let Some(st) = store_state.get_mut(&prev) {
-                                    st.live_bytes -= 1;
-                                    if st.live_bytes == 0 && !directly_read[prev as usize] {
-                                        kind_hint[prev as usize] = Some(DeadKind::StoreOverwritten);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    store_state
-                        .insert(r.seq, PendingStore { live_bytes: acc.width.bytes() as u32 });
+                OpcodeKind::Out => {
+                    fwd.read_reg(inst.rs1, seq);
+                    fwd.end_reads();
                 }
+                OpcodeKind::Halt | OpcodeKind::Nop => fwd.end_reads(),
             }
         }
 
-        // End of program: pending unread values were never read.
+        let Forward { reg_writer, mut state, producers, offsets, .. } = fwd;
+
+        // End of program: register values still pending were never read.
+        // (Stores are classified during the backward pass below: a store's
+        // hint is only inspected at its own backward step, so pending
+        // unread stores need no separate sweep.)
         for w in reg_writer.into_iter().flatten() {
-            if !directly_read[w as usize] {
-                kind_hint[w as usize] = Some(DeadKind::RegUnread);
-            }
-        }
-        for (&seq, st) in &store_state {
-            if st.live_bytes > 0 && !directly_read[seq as usize] {
-                kind_hint[seq as usize] = Some(DeadKind::StoreUnread);
+            let st = &mut state[w as usize];
+            if !st.read {
+                st.hint = Some(DeadKind::RegUnread);
             }
         }
 
         // ---- backward pass: propagate usefulness over the exact DAG ----
+        // Verdicts are assigned and tallied in one sweep with a single
+        // opcode-kind dispatch per record.
         let mut has_useful_consumer = vec![false; n];
         let mut verdicts = vec![Verdict::NotEligible; n];
+        let mut stats = DeadStats { total: n as u64, ..DeadStats::default() };
 
         for r in records.iter().rev() {
             let seq = r.seq as usize;
-            let eligible =
-                (r.inst.dest().is_some() && !r.inst.op.is_control()) || r.inst.op.is_store();
-            let root = r.inst.op.is_control()
-                || matches!(r.inst.op.kind(), OpcodeKind::Out | OpcodeKind::Halt);
+            let (eligible, root, is_load, is_store) = match r.inst.op.kind() {
+                OpcodeKind::AluRR | OpcodeKind::AluRI | OpcodeKind::LoadImm => {
+                    (!r.inst.rd.is_zero(), false, false, false)
+                }
+                OpcodeKind::Load { .. } => (!r.inst.rd.is_zero(), false, true, false),
+                OpcodeKind::Store { .. } => (true, false, false, true),
+                OpcodeKind::Branch(_)
+                | OpcodeKind::Jal
+                | OpcodeKind::Jalr
+                | OpcodeKind::Halt
+                | OpcodeKind::Out => (false, true, false, false),
+                OpcodeKind::Nop => (false, false, false, false),
+            };
             let useful = root || has_useful_consumer[seq];
 
             if useful {
@@ -140,20 +311,39 @@ impl DeadnessAnalysis {
                 }
             }
 
-            verdicts[seq] = if !eligible {
+            let st = state[seq];
+            let verdict = if !eligible {
                 Verdict::NotEligible
             } else if useful {
                 Verdict::Useful
-            } else if directly_read[seq] {
+            } else if st.read {
                 Verdict::Dead(DeadKind::Transitive)
+            } else if is_store && st.live_bytes > 0 {
+                // Bytes of this store survived to the end of the program
+                // without being loaded.
+                Verdict::Dead(DeadKind::StoreUnread)
             } else {
-                // A never-read eligible value always received a first-level
-                // kind hint in the forward pass.
-                Verdict::Dead(kind_hint[seq].expect("unread eligible value must have a kind"))
+                // Any other never-read eligible value received a
+                // first-level kind hint in the forward pass.
+                Verdict::Dead(st.hint.expect("unread eligible value must have a kind"))
             };
+
+            stats.eligible += u64::from(eligible);
+            if let Verdict::Dead(kind) = verdict {
+                stats.dead_total += 1;
+                match kind {
+                    DeadKind::RegOverwritten => stats.reg_overwritten += 1,
+                    DeadKind::RegUnread => stats.reg_unread += 1,
+                    DeadKind::StoreOverwritten => stats.store_overwritten += 1,
+                    DeadKind::StoreUnread => stats.store_unread += 1,
+                    DeadKind::Transitive => stats.transitive += 1,
+                }
+                stats.dead_loads += u64::from(is_load);
+                stats.dead_stores += u64::from(is_store);
+            }
+            verdicts[seq] = verdict;
         }
 
-        let stats = DeadStats::from_verdicts(trace, &verdicts);
         DeadnessAnalysis { verdicts, producers, offsets, stats }
     }
 

@@ -46,6 +46,19 @@ fn analysis_throughput(c: &mut Criterion) {
         b.iter(|| black_box(DeadnessAnalysis::analyze(trace)));
     });
     g.finish();
+
+    // objstore is the store-heavy benchmark: its analyze cost is dominated
+    // by the shadow-memory last-writer table rather than register
+    // bookkeeping, so it isolates regressions in the memory fast paths.
+    let spec = *dide::suite().iter().find(|s| s.name == "objstore").unwrap();
+    let program = spec.build(OptLevel::O2, 1);
+    let store_trace = Emulator::new(&program).run().expect("objstore halts");
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(store_trace.len() as u64));
+    g.bench_function("deadness_objstore", |b| {
+        b.iter(|| black_box(DeadnessAnalysis::analyze(&store_trace)));
+    });
+    g.finish();
 }
 
 fn predictor_ops(c: &mut Criterion) {

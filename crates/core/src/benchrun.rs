@@ -1,0 +1,303 @@
+//! The `dide bench` runner: a tracked performance harness over the
+//! benchmark suite.
+//!
+//! Runs the four pipeline phases (build → trace → analyze → simulate) for
+//! every benchmark at the requested scales, bypassing the fixture cache so
+//! each phase is actually re-executed and timed, and renders the result as
+//! a machine-readable `BENCH.json`. CI runs `dide bench --quick` as a smoke
+//! stage and archives the file; comparing two `BENCH.json` files from
+//! different commits is how analyze/trace-phase regressions are caught
+//! (see `TESTING.md`).
+//!
+//! The JSON is hand-rolled: the build environment has no serde, and the
+//! schema is small and flat. Key order is fixed so diffs are stable.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dide_pipeline::{Core, PipelineConfig};
+use dide_workloads::{suite, OptLevel, WorkloadSpec};
+
+use crate::harness::{self, Phase};
+use crate::{BenchCase, Table};
+
+/// Schema identifier written into `BENCH.json`; bump on layout changes.
+pub const BENCH_SCHEMA: &str = "dide-bench/v1";
+
+/// Benchmarks used by `--quick` (CI smoke): small but covering the three
+/// workload families (expression-heavy, store-heavy, pointer-chasing).
+const QUICK_SUITE: [&str; 3] = ["expr", "objstore", "route"];
+
+/// Options accepted by [`run_bench`] (the `dide bench` CLI).
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Workload scales to measure. The full run uses `[1, 4]`.
+    pub scales: Vec<u32>,
+    /// Smoke mode: only the [`QUICK_SUITE`] benchmarks at scale 1.
+    pub quick: bool,
+    /// Where to write the JSON report.
+    pub out: PathBuf,
+}
+
+impl Default for BenchOptions {
+    fn default() -> BenchOptions {
+        BenchOptions { scales: vec![1, 4], quick: false, out: PathBuf::from("BENCH.json") }
+    }
+}
+
+/// Wall-clock of the four phases for one benchmark at one scale.
+#[derive(Debug, Clone)]
+pub struct BenchMeasurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Optimization level measured (the suite default, O2).
+    pub opt: OptLevel,
+    /// Workload scale.
+    pub scale: u32,
+    /// Dynamic trace length, for ns-per-instruction normalization.
+    pub trace_len: u64,
+    /// Wall-clock per phase, in [`Phase::ALL`] order.
+    pub phases: [Duration; 4],
+}
+
+impl BenchMeasurement {
+    /// Sum of the four phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.phases.iter().sum()
+    }
+}
+
+/// The result of one [`run_bench`] call.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Every measurement, in (scale, suite) order.
+    pub measurements: Vec<BenchMeasurement>,
+    /// The `BENCH.json` document.
+    pub json: String,
+    /// Human-readable summary table (stderr).
+    pub report: String,
+}
+
+/// Runs the benchmark harness and writes `BENCH.json`.
+///
+/// # Errors
+///
+/// Returns an error if the output file cannot be written.
+///
+/// # Panics
+///
+/// Panics if a benchmark program traps (a workload-generator bug).
+pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
+    let specs: Vec<WorkloadSpec> = if options.quick {
+        let all = suite();
+        QUICK_SUITE
+            .iter()
+            .map(|&n| *all.iter().find(|s| s.name == n).expect("quick benchmark exists"))
+            .collect()
+    } else {
+        suite()
+    };
+    let scales: &[u32] = if options.quick { &[1] } else { &options.scales };
+
+    let mut measurements = Vec::new();
+    for &scale in scales {
+        for &spec in &specs {
+            eprintln!("bench: {}@{}/s{scale}...", spec.name, OptLevel::O2);
+            measurements.push(measure(spec, OptLevel::O2, scale));
+        }
+    }
+
+    let json = render_json(scales, &measurements);
+    std::fs::File::create(&options.out)?.write_all(json.as_bytes())?;
+    let report = render_report(&measurements, &options.out);
+    Ok(BenchRun { measurements, json, report })
+}
+
+/// Measures one benchmark at one scale: a fresh (uncached) build, trace and
+/// analyze, then a contended-machine simulation.
+fn measure(spec: WorkloadSpec, opt: OptLevel, scale: u32) -> BenchMeasurement {
+    let before = harness::timing_records().len();
+    // `build` bypasses the fixture cache and records Build/Trace/Analyze
+    // spans in the process-wide registry; the simulation span is recorded
+    // here under the same label.
+    let case = BenchCase::build(spec, opt, scale);
+    let label = format!("{}@{opt}/s{scale}", spec.name);
+    let _stats = harness::time(&label, Phase::Simulate, || {
+        Core::new(PipelineConfig::contended()).run(&case.trace, &case.analysis)
+    });
+
+    let mut phases = [Duration::ZERO; 4];
+    for r in &harness::timing_records()[before..] {
+        if r.label == label {
+            let slot = Phase::ALL.iter().position(|&p| p == r.phase).expect("phase in ALL");
+            phases[slot] += r.elapsed;
+        }
+    }
+    BenchMeasurement {
+        name: spec.name.to_string(),
+        opt,
+        scale,
+        trace_len: case.trace.len() as u64,
+        phases,
+    }
+}
+
+/// Renders the `BENCH.json` document. Deterministic layout: fixed key
+/// order, benchmarks in measurement order, 2-space indentation.
+#[must_use]
+pub fn render_json(scales: &[u32], measurements: &[BenchMeasurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"scales\": [{}],\n",
+        scales.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    ));
+
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", m.name));
+        out.push_str(&format!("      \"opt\": \"{}\",\n", m.opt));
+        out.push_str(&format!("      \"scale\": {},\n", m.scale));
+        out.push_str(&format!("      \"trace_len\": {},\n", m.trace_len));
+        out.push_str("      \"phases_ns\": {");
+        for (slot, phase) in Phase::ALL.iter().enumerate() {
+            if slot > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", phase.label(), m.phases[slot].as_nanos()));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("      \"total_ns\": {}\n", m.total().as_nanos()));
+        out.push_str(if i + 1 < measurements.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"totals_ns\": {");
+    for (slot, phase) in Phase::ALL.iter().enumerate() {
+        if slot > 0 {
+            out.push_str(", ");
+        }
+        let total: u128 = measurements.iter().map(|m| m.phases[slot].as_nanos()).sum();
+        out.push_str(&format!("\"{}\": {total}", phase.label()));
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"per_scale_totals_ns\": {\n");
+    for (i, &scale) in scales.iter().enumerate() {
+        out.push_str(&format!("    \"{scale}\": {{"));
+        for (slot, phase) in Phase::ALL.iter().enumerate() {
+            if slot > 0 {
+                out.push_str(", ");
+            }
+            let total: u128 = measurements
+                .iter()
+                .filter(|m| m.scale == scale)
+                .map(|m| m.phases[slot].as_nanos())
+                .sum();
+            out.push_str(&format!("\"{}\": {total}", phase.label()));
+        }
+        out.push_str(if i + 1 < scales.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Renders the human-readable summary.
+fn render_report(measurements: &[BenchMeasurement], out: &std::path::Path) -> String {
+    let mut text = String::from("== bench (wall-clock per phase) ==\n");
+    let mut t =
+        Table::new(["benchmark", "scale", "build", "trace", "analyze", "simulate", "total"]);
+    for m in measurements {
+        t.row([
+            m.name.clone(),
+            m.scale.to_string(),
+            harness::fmt_duration(m.phases[0]),
+            harness::fmt_duration(m.phases[1]),
+            harness::fmt_duration(m.phases[2]),
+            harness::fmt_duration(m.phases[3]),
+            harness::fmt_duration(m.total()),
+        ]);
+    }
+    text.push_str(&t.to_string());
+    text.push_str(&format!("\nwrote {}\n", out.display()));
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BenchMeasurement> {
+        vec![
+            BenchMeasurement {
+                name: "expr".into(),
+                opt: OptLevel::O2,
+                scale: 1,
+                trace_len: 1000,
+                phases: [
+                    Duration::from_nanos(10),
+                    Duration::from_nanos(20),
+                    Duration::from_nanos(30),
+                    Duration::from_nanos(40),
+                ],
+            },
+            BenchMeasurement {
+                name: "route".into(),
+                opt: OptLevel::O2,
+                scale: 4,
+                trace_len: 4000,
+                phases: [
+                    Duration::from_nanos(1),
+                    Duration::from_nanos(2),
+                    Duration::from_nanos(3),
+                    Duration::from_nanos(4),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn json_has_schema_and_per_phase_totals() {
+        let json = render_json(&[1, 4], &sample());
+        assert!(json.contains("\"schema\": \"dide-bench/v1\""));
+        assert!(json.contains("\"scales\": [1, 4]"));
+        assert!(json.contains("\"name\": \"expr\""));
+        assert!(json.contains(
+            "\"phases_ns\": {\"build\": 10, \"trace\": 20, \"analyze\": 30, \"simulate\": 40}"
+        ));
+        assert!(json.contains("\"total_ns\": 100"));
+        assert!(json.contains(
+            "\"totals_ns\": {\"build\": 11, \"trace\": 22, \"analyze\": 33, \"simulate\": 44}"
+        ));
+        assert!(json.contains("\"1\": {\"build\": 10"));
+        assert!(json.contains("\"4\": {\"build\": 1"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = render_json(&[1], &sample()[..1]);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quick_bench_writes_well_formed_json() {
+        let dir = std::env::temp_dir().join("dide-benchrun-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH.json");
+        let options = BenchOptions { quick: true, out: out.clone(), ..BenchOptions::default() };
+        let run = run_bench(&options).expect("bench writes");
+        assert_eq!(run.measurements.len(), QUICK_SUITE.len());
+        assert!(run.measurements.iter().all(|m| m.scale == 1));
+        assert!(run.measurements.iter().all(|m| m.trace_len > 0));
+        let written = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(written, run.json);
+        assert!(written.contains("\"schema\": \"dide-bench/v1\""));
+        assert!(run.report.contains("objstore"));
+        std::fs::remove_file(&out).ok();
+    }
+}

@@ -8,6 +8,8 @@
 //!                                         cycle-level pipeline run
 //! dide experiments [--scale N] [--only LIST] [--jobs N] [--timings]
 //!                                         regenerate paper tables (e1..e17)
+//! dide bench [--quick] [--out PATH] [--scales 1,4]
+//!                                         timed phase harness -> BENCH.json
 //! dide verify [--seeds N] [--jobs N] [--corpus DIR]
 //!                                         differential fuzzing of the stack
 //! dide verify --golden [--bless] [--dir DIR] [--only LIST] [--jobs N]
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
         "trace" => trace(&rest),
         "run" => run(&rest),
         "experiments" => experiments(&rest),
+        "bench" => bench(&rest),
         "verify" => verify(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
@@ -51,6 +54,7 @@ USAGE:
   dide trace <benchmark> [--scale N] [--opt O0|O2] [--hot N]
   dide run <benchmark> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N]
   dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings]
+  dide bench [--quick] [--out PATH] [--scales 1,4]
   dide verify [--seeds N] [--jobs N] [--corpus DIR]
   dide verify --golden [--bless] [--dir DIR] [--only e1,e9,...] [--jobs N]
 
@@ -59,6 +63,13 @@ EXPERIMENTS:
                Tables are byte-identical for every N.
   --timings    print the per-span timing detail in addition to the summary
                (timing always goes to stderr; tables go to stdout)
+
+BENCH (perf tracking):
+  --quick      smoke subset (expr, objstore, route at scale 1) for CI
+  --out PATH   where to write the JSON report (default BENCH.json)
+  --scales L   comma-separated workload scales (default 1,4)
+               every phase is re-run uncached; wall-clock goes to stderr,
+               machine-readable nanoseconds go to the JSON file
 
 VERIFY (differential fuzzing):
   --seeds N    fresh random seeds to check (default 64); each seed runs the
@@ -272,6 +283,32 @@ fn verify(rest: &[&str]) -> ExitCode {
             }
         }
         Err(e) => fail(format!("verification failed: {e}")),
+    }
+}
+
+fn bench(rest: &[&str]) -> ExitCode {
+    let scales = match flag_value(rest, "--scales") {
+        None => vec![1, 4],
+        Some(s) => {
+            let parsed: Result<Vec<u32>, _> =
+                s.split(',').map(|x| x.trim().parse::<u32>()).collect();
+            match parsed {
+                Ok(v) if !v.is_empty() => v,
+                _ => return fail(format!("invalid --scales `{s}` (expected e.g. 1,4)")),
+            }
+        }
+    };
+    let options = dide::BenchOptions {
+        scales,
+        quick: has_flag(rest, "--quick"),
+        out: flag_value(rest, "--out").unwrap_or("BENCH.json").into(),
+    };
+    match dide::run_bench(&options) {
+        Ok(run) => {
+            eprintln!("{}", run.report);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("bench failed: {e}")),
     }
 }
 

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchrun;
 pub mod experiments;
 pub mod harness;
 pub mod runner;
@@ -49,6 +50,7 @@ mod table;
 pub mod verifyrun;
 mod workbench;
 
+pub use benchrun::{run_bench, BenchOptions, BenchRun};
 pub use runner::{run_experiments, ExperimentOptions, ExperimentRun};
 pub use table::Table;
 pub use verifyrun::{run_golden, run_verify, GoldenOptions, GoldenRun, VerifyOptions, VerifyRun};

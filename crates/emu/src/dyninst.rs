@@ -18,11 +18,18 @@ impl MemAccess {
     }
 
     /// Whether the access overlaps `other` by at least one byte.
+    ///
+    /// Compares inclusive last-byte addresses, saturating at `u64::MAX`:
+    /// an access whose byte range would wrap past the top of the address
+    /// space is treated as ending there. The emulator faults wrapping
+    /// accesses before they reach a trace, so the clamp only affects
+    /// synthetic records, where it keeps the predicate total instead of
+    /// panicking in debug builds.
     #[must_use]
     pub fn overlaps(self, other: MemAccess) -> bool {
-        let a_end = self.addr + self.width.bytes();
-        let b_end = other.addr + other.width.bytes();
-        self.addr < b_end && other.addr < a_end
+        let a_last = self.addr.saturating_add(self.width.bytes() - 1);
+        let b_last = other.addr.saturating_add(other.width.bytes() - 1);
+        self.addr <= b_last && other.addr <= a_last
     }
 }
 
@@ -95,6 +102,24 @@ mod tests {
         assert!(a.overlaps(b));
         assert!(b.overlaps(a));
         assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn overlap_at_address_space_boundary_does_not_panic() {
+        // `addr + width` would overflow u64 here; the predicate must stay
+        // total (saturating) instead of panicking in debug builds.
+        let top = MemAccess { addr: u64::MAX - 1, width: MemWidth::B8 };
+        let near = MemAccess { addr: u64::MAX - 4, width: MemWidth::B4 };
+        let low = MemAccess { addr: 0x1000, width: MemWidth::B8 };
+        assert!(top.overlaps(top));
+        assert!(top.overlaps(near));
+        assert!(near.overlaps(top));
+        assert!(!top.overlaps(low));
+        assert!(!low.overlaps(top));
+        // Exactly at the limit: end saturates to u64::MAX, still exclusive.
+        let last = MemAccess { addr: u64::MAX, width: MemWidth::B1 };
+        assert!(last.overlaps(top));
+        assert!(!last.overlaps(near));
     }
 
     #[test]

@@ -38,10 +38,12 @@ mod emulator;
 mod error;
 mod memory;
 pub mod semantics;
+pub mod shadow;
 mod trace;
 
 pub use dyninst::{DynInst, MemAccess};
 pub use emulator::{Emulator, EmulatorConfig};
 pub use error::EmuError;
 pub use memory::Memory;
+pub use shadow::PagedShadow;
 pub use trace::{Trace, TraceSummary};

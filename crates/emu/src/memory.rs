@@ -1,9 +1,6 @@
 //! Sparse byte-addressed memory.
 
-use std::collections::HashMap;
-
-const PAGE_BITS: u32 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_BITS;
+use crate::shadow::PagedShadow;
 
 /// Sparse, page-granular byte-addressed memory.
 ///
@@ -12,9 +9,15 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// that traps on access (a stand-in for null-pointer protection); guesses
 /// that escape the workload's data structures are caught loudly instead of
 /// silently reading zeros.
+///
+/// Storage is a [`PagedShadow<u8>`]: whole accesses that stay inside one
+/// 4 KiB page (every aligned 1/2/4/8-byte access does) resolve their page
+/// once and move data with a single slice copy, and a one-entry page-handle
+/// cache removes even that lookup for consecutive same-page accesses. Only
+/// unaligned page-crossing accesses fall back to byte-at-a-time movement.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    data: PagedShadow<u8>,
 }
 
 impl Memory {
@@ -34,32 +37,36 @@ impl Memory {
         addr < Memory::GUARD_LIMIT || addr.checked_add(len).is_none()
     }
 
-    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
-    }
-
-    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
-    }
-
     /// Reads one byte. Untouched memory reads as zero.
     #[must_use]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        self.page(addr).map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+        self.data.get(addr)
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+        self.data.set(addr, value);
     }
 
     /// Reads `N` little-endian bytes starting at `addr`.
     #[must_use]
     pub fn read_le(&self, addr: u64, len: u64) -> u64 {
         debug_assert!(len <= 8);
+        if !PagedShadow::<u8>::crosses_page(addr, len) {
+            // Fast path: the whole access lives in one page — one page
+            // resolution and one word-sized copy, aligned or not.
+            return match self.data.span(addr, len) {
+                None => 0,
+                Some(bytes) => {
+                    let mut word = [0u8; 8];
+                    word[..bytes.len()].copy_from_slice(bytes);
+                    u64::from_le_bytes(word)
+                }
+            };
+        }
         let mut out = 0u64;
         for i in 0..len {
-            out |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+            out |= u64::from(self.data.get(addr.wrapping_add(i))) << (8 * i);
         }
         out
     }
@@ -67,22 +74,34 @@ impl Memory {
     /// Writes the low `len` bytes of `value` little-endian starting at `addr`.
     pub fn write_le(&mut self, addr: u64, len: u64, value: u64) {
         debug_assert!(len <= 8);
-        for i in 0..len {
-            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        let word = value.to_le_bytes();
+        if !PagedShadow::<u8>::crosses_page(addr, len) {
+            self.data.span_mut(addr, len).copy_from_slice(&word[..len as usize]);
+            return;
+        }
+        for (i, &b) in word.iter().enumerate().take(len as usize) {
+            self.data.set(addr.wrapping_add(i as u64), b);
         }
     }
 
     /// Copies `bytes` into memory starting at `addr`.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+        // Page-sized runs: each chunk is one page resolution + memcpy.
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let room = crate::shadow::PAGE_CELLS - PagedShadow::<u8>::offset(addr);
+            let run = room.min(rest.len());
+            self.data.span_mut(addr, run as u64).copy_from_slice(&rest[..run]);
+            addr += run as u64;
+            rest = &rest[run..];
         }
     }
 
     /// Number of resident pages (for capacity diagnostics).
     #[must_use]
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.data.resident_pages()
     }
 }
 
@@ -115,12 +134,44 @@ mod tests {
     }
 
     #[test]
+    fn unaligned_within_page_roundtrip() {
+        let mut m = Memory::new();
+        m.write_le(0x2003, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_le(0x2003, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_le(0x2005, 2), 0x5566);
+        assert_eq!(m.read_u8(0x200a), 0x11);
+    }
+
+    #[test]
     fn writes_straddle_pages() {
         let mut m = Memory::new();
         let addr = (1 << 12) - 4; // 4 bytes before a page boundary
         m.write_le(addr, 8, u64::MAX);
         assert_eq!(m.read_le(addr, 8), u64::MAX);
         assert!(m.resident_pages() >= 2);
+    }
+
+    #[test]
+    fn page_crossing_value_is_split_correctly() {
+        let mut m = Memory::new();
+        let addr = 0x3000 - 3; // 3 bytes in the low page, 5 in the high one
+        m.write_le(addr, 8, 0x8877_6655_4433_2211);
+        assert_eq!(m.read_u8(addr), 0x11);
+        assert_eq!(m.read_u8(0x3000 - 1), 0x33);
+        assert_eq!(m.read_u8(0x3000), 0x44);
+        assert_eq!(m.read_u8(0x3004), 0x88);
+        // Both byte-wise and whole reads agree across the boundary.
+        assert_eq!(m.read_le(addr, 8), 0x8877_6655_4433_2211);
+        assert_eq!(m.read_le(0x3000 - 1, 2), 0x4433);
+    }
+
+    #[test]
+    fn narrow_writes_partially_overwrite_wide_one() {
+        let mut m = Memory::new();
+        m.write_le(0x4000, 8, u64::MAX);
+        m.write_le(0x4000, 4, 0x0a0b_0c0d); // low half
+        m.write_le(0x4006, 2, 0x1112); // top two bytes
+        assert_eq!(m.read_le(0x4000, 8), 0x1112_ffff_0a0b_0c0d);
     }
 
     #[test]
@@ -136,5 +187,16 @@ mod tests {
         let mut m = Memory::new();
         m.write_bytes(0x3000, &[1, 2, 3, 4]);
         assert_eq!(m.read_le(0x3000, 4), 0x0403_0201);
+    }
+
+    #[test]
+    fn write_bytes_across_many_pages() {
+        let mut m = Memory::new();
+        let blob: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(0x7ff0, &blob);
+        for (i, &b) in blob.iter().enumerate() {
+            assert_eq!(m.read_u8(0x7ff0 + i as u64), b, "byte {i}");
+        }
+        assert!(m.resident_pages() >= 3);
     }
 }

@@ -93,28 +93,43 @@ impl Trace {
     }
 
     /// Computes whole-run counters.
+    ///
+    /// One `match` on [`OpcodeKind`](dide_isa::OpcodeKind) per record: the
+    /// summary runs over every record in several experiments, so the
+    /// per-category predicates (`is_load`, `is_store`, ... — each its own
+    /// kind dispatch) are folded into a single dispatch.
     #[must_use]
     pub fn summary(&self) -> TraceSummary {
+        use dide_isa::OpcodeKind;
         let mut s = TraceSummary { total: self.records.len() as u64, ..TraceSummary::default() };
         for r in &self.records {
-            if r.is_cond_branch() {
-                s.cond_branches += 1;
-                s.taken_branches += u64::from(r.taken);
-            }
-            if r.inst.op.is_load() {
-                s.loads += 1;
-            }
-            if r.inst.op.is_store() {
-                s.stores += 1;
-            }
-            if r.writes_register() {
-                s.reg_writers += 1;
-            }
-            if r.produces_value() {
-                s.value_producers += 1;
-            }
-            if matches!(r.inst.op.kind(), dide_isa::OpcodeKind::Jal | dide_isa::OpcodeKind::Jalr) {
-                s.jumps += 1;
+            // Kinds with a destination register count as writers (and value
+            // producers) unless the destination is the zero register.
+            let writes_reg = !r.inst.rd.is_zero();
+            match r.inst.op.kind() {
+                OpcodeKind::AluRR | OpcodeKind::AluRI | OpcodeKind::LoadImm => {
+                    s.reg_writers += u64::from(writes_reg);
+                    s.value_producers += u64::from(writes_reg);
+                }
+                OpcodeKind::Load { .. } => {
+                    s.loads += 1;
+                    s.reg_writers += u64::from(writes_reg);
+                    s.value_producers += u64::from(writes_reg);
+                }
+                OpcodeKind::Store { .. } => {
+                    s.stores += 1;
+                    s.value_producers += 1;
+                }
+                OpcodeKind::Branch(_) => {
+                    s.cond_branches += 1;
+                    s.taken_branches += u64::from(r.taken);
+                }
+                OpcodeKind::Jal | OpcodeKind::Jalr => {
+                    s.jumps += 1;
+                    s.reg_writers += u64::from(writes_reg);
+                    s.value_producers += u64::from(writes_reg);
+                }
+                OpcodeKind::Out | OpcodeKind::Halt | OpcodeKind::Nop => {}
             }
         }
         s
@@ -177,6 +192,28 @@ mod tests {
         for (i, r) in t.iter().enumerate() {
             assert_eq!(r.seq, i as u64);
         }
+    }
+
+    #[test]
+    fn summary_matches_per_record_predicates() {
+        // The single-dispatch summary must agree with the (slower)
+        // per-predicate definitions it replaced.
+        let t = sample_trace();
+        let s = t.summary();
+        let count = |p: &dyn Fn(&crate::DynInst) -> bool| t.iter().filter(|r| p(r)).count() as u64;
+        assert_eq!(s.loads, count(&|r| r.inst.op.is_load()));
+        assert_eq!(s.stores, count(&|r| r.inst.op.is_store()));
+        assert_eq!(s.cond_branches, count(&|r| r.is_cond_branch()));
+        assert_eq!(s.taken_branches, count(&|r| r.is_cond_branch() && r.taken));
+        assert_eq!(s.reg_writers, count(&|r| r.writes_register()));
+        assert_eq!(s.value_producers, count(&|r| r.produces_value()));
+        assert_eq!(
+            s.jumps,
+            count(&|r| matches!(
+                r.inst.op.kind(),
+                dide_isa::OpcodeKind::Jal | dide_isa::OpcodeKind::Jalr
+            ))
+        );
     }
 
     #[test]
