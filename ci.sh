@@ -39,6 +39,18 @@ cargo run --release --bin dide -- verify --seeds "${VERIFY_SEEDS}" --jobs 2
 echo "== golden tables =="
 cargo run --release --bin dide -- verify --golden
 
+echo "== stats smoke (dide-stats/v1) =="
+cargo run --release --bin dide -- stats --benchmark expr --eliminate --json > stats.json
+# The observability export must produce a non-empty, schema-tagged document.
+test -s stats.json || { echo "stats.json is missing or empty" >&2; exit 1; }
+grep -q '"schema": "dide-stats/v1"' stats.json \
+  || { echo "stats.json lacks the dide-stats/v1 schema marker" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool stats.json >/dev/null \
+    || { echo "stats.json is not valid JSON" >&2; exit 1; }
+fi
+rm -f stats.json
+
 echo "== bench smoke (BENCH.json) =="
 cargo run --release --bin dide -- bench --quick --out BENCH.json
 # The perf harness must produce a non-empty, well-formed report.

@@ -103,6 +103,21 @@ impl DeadStats {
     }
 }
 
+impl dide_obs::Observe for DeadStats {
+    fn observe(&self, scope: &mut dide_obs::Scope<'_>) {
+        scope.counter("total", self.total);
+        scope.counter("eligible", self.eligible);
+        scope.counter("dead_total", self.dead_total);
+        scope.counter("reg_overwritten", self.reg_overwritten);
+        scope.counter("reg_unread", self.reg_unread);
+        scope.counter("store_overwritten", self.store_overwritten);
+        scope.counter("store_unread", self.store_unread);
+        scope.counter("transitive", self.transitive);
+        scope.counter("dead_loads", self.dead_loads);
+        scope.counter("dead_stores", self.dead_stores);
+    }
+}
+
 impl fmt::Display for DeadStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "dynamic instructions : {}", self.total)?;

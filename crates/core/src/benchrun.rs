@@ -14,8 +14,9 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use dide_obs::{EventTrace, EventsConfig};
 use dide_pipeline::{Core, PipelineConfig};
 use dide_workloads::{suite, OptLevel, WorkloadSpec};
 
@@ -74,10 +75,41 @@ impl BenchMeasurement {
 pub struct BenchRun {
     /// Every measurement, in (scale, suite) order.
     pub measurements: Vec<BenchMeasurement>,
+    /// Event-trace overhead on the fixed reference workload.
+    pub events_overhead: EventsOverhead,
     /// The `BENCH.json` document.
     pub json: String,
     /// Human-readable summary table (stderr).
     pub report: String,
+}
+
+/// Wall-clock of one fixed simulation with cycle-event tracing off versus
+/// sampled, recorded into `BENCH.json` so a regression in the
+/// tracing-disabled hot path shows up in CI history.
+#[derive(Debug, Clone)]
+pub struct EventsOverhead {
+    /// Workload measured (the fixed reference point `expr@O2/s1`).
+    pub workload: String,
+    /// Simulation wall-clock with no event trace attached.
+    pub off: Duration,
+    /// Simulation wall-clock with a sampled event trace attached.
+    pub sampled: Duration,
+    /// Whether both runs produced bit-identical pipeline statistics.
+    /// Anything but `true` is a tracing-hook bug.
+    pub identical: bool,
+}
+
+impl EventsOverhead {
+    /// Sampled-over-off wall-clock ratio (1.0 when `off` was too fast to
+    /// time).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.off.is_zero() {
+            1.0
+        } else {
+            self.sampled.as_secs_f64() / self.off.as_secs_f64()
+        }
+    }
 }
 
 /// Runs the benchmark harness and writes `BENCH.json`.
@@ -109,10 +141,41 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
         }
     }
 
-    let json = render_json(scales, &measurements);
+    eprintln!("bench: events-overhead reference point...");
+    let events_overhead = measure_events_overhead();
+
+    let json = render_json(scales, &measurements, Some(&events_overhead));
     std::fs::File::create(&options.out)?.write_all(json.as_bytes())?;
-    let report = render_report(&measurements, &options.out);
-    Ok(BenchRun { measurements, json, report })
+    let report = render_report(&measurements, &events_overhead, &options.out);
+    Ok(BenchRun { measurements, events_overhead, json, report })
+}
+
+/// Times the same contended-machine simulation with event tracing off and
+/// with the default sampling config, on the fixed `expr@O2/s1` reference
+/// workload. The architectural results must be bit-identical — tracing is
+/// pure observation — and the wall-clock ratio goes into `BENCH.json`.
+#[must_use]
+pub fn measure_events_overhead() -> EventsOverhead {
+    let spec = *suite().iter().find(|s| s.name == "expr").expect("expr is in the suite");
+    let case = crate::BenchCase::cached(spec, OptLevel::O2, 1);
+    let config = PipelineConfig::contended();
+
+    let start = Instant::now();
+    let off_stats = Core::new(config).run_observed(&case.trace, &case.analysis, None);
+    let off = start.elapsed();
+
+    let mut events = EventTrace::new(EventsConfig::default());
+    let start = Instant::now();
+    let sampled_stats =
+        Core::new(config).run_observed(&case.trace, &case.analysis, Some(&mut events));
+    let sampled = start.elapsed();
+
+    EventsOverhead {
+        workload: format!("{}@{}/s1", spec.name, OptLevel::O2),
+        off,
+        sampled,
+        identical: off_stats == sampled_stats,
+    }
 }
 
 /// Measures one benchmark at one scale: a fresh (uncached) build, trace and
@@ -147,7 +210,11 @@ fn measure(spec: WorkloadSpec, opt: OptLevel, scale: u32) -> BenchMeasurement {
 /// Renders the `BENCH.json` document. Deterministic layout: fixed key
 /// order, benchmarks in measurement order, 2-space indentation.
 #[must_use]
-pub fn render_json(scales: &[u32], measurements: &[BenchMeasurement]) -> String {
+pub fn render_json(
+    scales: &[u32],
+    measurements: &[BenchMeasurement],
+    events: Option<&EventsOverhead>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
     out.push_str(&format!(
@@ -201,12 +268,27 @@ pub fn render_json(scales: &[u32], measurements: &[BenchMeasurement]) -> String 
         }
         out.push_str(if i + 1 < scales.len() { "},\n" } else { "}\n" });
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  }");
+
+    if let Some(ev) = events {
+        out.push_str(",\n  \"events_overhead\": {\n");
+        out.push_str(&format!("    \"workload\": \"{}\",\n", ev.workload));
+        out.push_str(&format!("    \"off_ns\": {},\n", ev.off.as_nanos()));
+        out.push_str(&format!("    \"sampled_ns\": {},\n", ev.sampled.as_nanos()));
+        out.push_str(&format!("    \"ratio\": {:.3},\n", ev.ratio()));
+        out.push_str(&format!("    \"identical\": {}\n", ev.identical));
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
 /// Renders the human-readable summary.
-fn render_report(measurements: &[BenchMeasurement], out: &std::path::Path) -> String {
+fn render_report(
+    measurements: &[BenchMeasurement],
+    events: &EventsOverhead,
+    out: &std::path::Path,
+) -> String {
     let mut text = String::from("== bench (wall-clock per phase) ==\n");
     let mut t =
         Table::new(["benchmark", "scale", "build", "trace", "analyze", "simulate", "total"]);
@@ -222,7 +304,15 @@ fn render_report(measurements: &[BenchMeasurement], out: &std::path::Path) -> St
         ]);
     }
     text.push_str(&t.to_string());
-    text.push_str(&format!("\nwrote {}\n", out.display()));
+    text.push_str(&format!(
+        "\nevents overhead on {}: off {}, sampled {} (ratio {:.3}, {})\n",
+        events.workload,
+        harness::fmt_duration(events.off),
+        harness::fmt_duration(events.sampled),
+        events.ratio(),
+        if events.identical { "results identical" } else { "RESULTS DIVERGED" },
+    ));
+    text.push_str(&format!("wrote {}\n", out.display()));
     text
 }
 
@@ -259,9 +349,18 @@ mod tests {
         ]
     }
 
+    fn overhead() -> EventsOverhead {
+        EventsOverhead {
+            workload: "expr@O2/s1".into(),
+            off: Duration::from_nanos(1000),
+            sampled: Duration::from_nanos(1100),
+            identical: true,
+        }
+    }
+
     #[test]
     fn json_has_schema_and_per_phase_totals() {
-        let json = render_json(&[1, 4], &sample());
+        let json = render_json(&[1, 4], &sample(), None);
         assert!(json.contains("\"schema\": \"dide-bench/v1\""));
         assert!(json.contains("\"scales\": [1, 4]"));
         assert!(json.contains("\"name\": \"expr\""));
@@ -278,10 +377,33 @@ mod tests {
 
     #[test]
     fn json_is_structurally_balanced() {
-        let json = render_json(&[1], &sample()[..1]);
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.ends_with("}\n"));
+        for events in [None, Some(&overhead())] {
+            let json = render_json(&[1], &sample()[..1], events);
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
+            assert!(json.ends_with("}\n"));
+        }
+    }
+
+    #[test]
+    fn json_records_events_overhead() {
+        let json = render_json(&[1], &sample()[..1], Some(&overhead()));
+        assert!(json.contains("\"events_overhead\": {"));
+        assert!(json.contains("\"workload\": \"expr@O2/s1\""));
+        assert!(json.contains("\"off_ns\": 1000"));
+        assert!(json.contains("\"sampled_ns\": 1100"));
+        assert!(json.contains("\"ratio\": 1.100"));
+        assert!(json.contains("\"identical\": true"));
+    }
+
+    #[test]
+    fn event_tracing_never_changes_architectural_results() {
+        // The regression test behind the `identical` flag: the sampled run
+        // must be a pure observer. (The timing itself is environment noise,
+        // so only the architectural equality is asserted.)
+        let ev = measure_events_overhead();
+        assert!(ev.identical, "event tracing perturbed the pipeline on {}", ev.workload);
+        assert!(!ev.off.is_zero() && !ev.sampled.is_zero());
     }
 
     #[test]
@@ -297,7 +419,10 @@ mod tests {
         let written = std::fs::read_to_string(&out).unwrap();
         assert_eq!(written, run.json);
         assert!(written.contains("\"schema\": \"dide-bench/v1\""));
+        assert!(written.contains("\"events_overhead\""));
+        assert!(run.events_overhead.identical);
         assert!(run.report.contains("objstore"));
+        assert!(run.report.contains("events overhead"));
         std::fs::remove_file(&out).ok();
     }
 }

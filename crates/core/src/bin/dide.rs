@@ -14,6 +14,10 @@
 //!                                         differential fuzzing of the stack
 //! dide verify --golden [--bless] [--dir DIR] [--only LIST] [--jobs N]
 //!                                         golden-table regression
+//! dide stats [--benchmark NAME] [--json|--csv]
+//!                                         full-stack counter registry dump
+//! dide events [--benchmark NAME] [--last N] [--sample-every N]
+//!                                         cycle-event trace tail
 //! ```
 
 use std::process::ExitCode;
@@ -34,6 +38,8 @@ fn main() -> ExitCode {
         "experiments" => experiments(&rest),
         "bench" => bench(&rest),
         "verify" => verify(&rest),
+        "stats" => stats(&rest),
+        "events" => events(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             ExitCode::SUCCESS
@@ -57,6 +63,8 @@ USAGE:
   dide bench [--quick] [--out PATH] [--scales 1,4]
   dide verify [--seeds N] [--jobs N] [--corpus DIR]
   dide verify --golden [--bless] [--dir DIR] [--only e1,e9,...] [--jobs N]
+  dide stats [--benchmark NAME] [--json|--csv] [run flags]
+  dide events [--benchmark NAME] [--last N] [--sample-every N] [run flags]
 
 EXPERIMENTS:
   --jobs N     worker threads (default: available parallelism; 1 = serial).
@@ -83,6 +91,16 @@ VERIFY (golden tables):
                tests/golden/ snapshots (exit 1 on any difference)
   --bless      rewrite the snapshots instead of comparing
   --dir DIR    snapshot directory (default tests/golden)
+
+STATS / EVENTS (observability):
+  both take the `dide run` flags [--opt O0|O2] [--scale N]
+  [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware];
+  the benchmark is chosen with --benchmark NAME (default expr)
+  --json       stats: emit the dide-stats/v1 JSON document (default)
+  --csv        stats: emit `# dide-stats/v1` then counter,value rows
+  --last N     events: show the N most recent events (default 32)
+  --sample-every N
+               events: occupancy sampling period in cycles (default 64)
 ";
 
 fn flag_value<'a>(rest: &[&'a str], name: &str) -> Option<&'a str> {
@@ -104,7 +122,7 @@ fn parse_opt(rest: &[&str]) -> Result<OptLevel, String> {
 fn parse_scale(rest: &[&str]) -> Result<u32, String> {
     match flag_value(rest, "--scale") {
         None => Ok(1),
-        Some(s) => s.parse().map_err(|_| format!("invalid scale `{s}`")),
+        Some(s) => dide::cli::parse_positive("--scale", s),
     }
 }
 
@@ -289,14 +307,10 @@ fn verify(rest: &[&str]) -> ExitCode {
 fn bench(rest: &[&str]) -> ExitCode {
     let scales = match flag_value(rest, "--scales") {
         None => vec![1, 4],
-        Some(s) => {
-            let parsed: Result<Vec<u32>, _> =
-                s.split(',').map(|x| x.trim().parse::<u32>()).collect();
-            match parsed {
-                Ok(v) if !v.is_empty() => v,
-                _ => return fail(format!("invalid --scales `{s}` (expected e.g. 1,4)")),
-            }
-        }
+        Some(s) => match dide::cli::parse_positive_list("--scales", s) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        },
     };
     let options = dide::BenchOptions {
         scales,
@@ -309,6 +323,75 @@ fn bench(rest: &[&str]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => fail(format!("bench failed: {e}")),
+    }
+}
+
+/// Parses the shared `dide stats` / `dide events` run-selection flags.
+fn parse_selection(rest: &[&str]) -> Result<dide::RunSelection, String> {
+    let mut select = dide::RunSelection::default();
+    if let Some(name) = flag_value(rest, "--benchmark") {
+        // Validate early so the error names the flag, not a build failure.
+        if !dide::suite().iter().any(|s| s.name == name) {
+            return Err(format!("unknown benchmark `{name}` (try `dide list`)"));
+        }
+        select.benchmark = name.to_string();
+    }
+    select.opt = parse_opt(rest)?;
+    select.scale = parse_scale(rest)?;
+    select.contended = match flag_value(rest, "--machine") {
+        None | Some("contended") => true,
+        Some("baseline") => false,
+        Some(other) => return Err(format!("unknown machine `{other}`")),
+    };
+    select.eliminate = has_flag(rest, "--eliminate");
+    select.oracle = has_flag(rest, "--oracle");
+    select.jump_aware = has_flag(rest, "--jump-aware");
+    Ok(select)
+}
+
+fn stats(rest: &[&str]) -> ExitCode {
+    let select = match parse_selection(rest) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let format = match (has_flag(rest, "--json"), has_flag(rest, "--csv")) {
+        (_, false) => dide::StatsFormat::Json,
+        (false, true) => dide::StatsFormat::Csv,
+        (true, true) => return fail("pass at most one of --json / --csv".to_string()),
+    };
+    match dide::run_stats(&dide::StatsOptions { select, format: Some(format) }) {
+        Ok(run) => {
+            print!("{}", run.output);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn events(rest: &[&str]) -> ExitCode {
+    let select = match parse_selection(rest) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let mut options = dide::EventsOptions { select, ..dide::EventsOptions::default() };
+    if let Some(n) = flag_value(rest, "--last") {
+        match dide::cli::parse_positive("--last", n) {
+            Ok(n) => options.last = n as usize,
+            Err(e) => return fail(e),
+        }
+    }
+    if let Some(n) = flag_value(rest, "--sample-every") {
+        match dide::cli::parse_positive("--sample-every", n) {
+            Ok(n) => options.sample_every = u64::from(n),
+            Err(e) => return fail(e),
+        }
+    }
+    match dide::run_events(&options) {
+        Ok(run) => {
+            print!("{}", run.report);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
     }
 }
 

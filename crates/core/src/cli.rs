@@ -1,0 +1,68 @@
+//! Strict parsing of numeric CLI flag values.
+//!
+//! Shared by every `dide` subcommand so a bad `--scale`, `--scales`,
+//! `--last` or `--sample-every` is rejected with a one-line error instead
+//! of panicking deep inside a workload build (scale 0 builds a degenerate
+//! program; a zero sampling period would divide by zero in the event
+//! trace).
+
+/// Parses one positive (>= 1) integer flag value.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the flag when the value is empty,
+/// non-numeric, or zero.
+pub fn parse_positive(flag: &str, value: &str) -> Result<u32, String> {
+    match value.trim().parse::<u32>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("invalid {flag} `{value}` (expected an integer >= 1)")),
+    }
+}
+
+/// Parses a non-empty comma-separated list of positive integers
+/// (e.g. `--scales 1,4`).
+///
+/// # Errors
+///
+/// Returns a one-line message naming the flag when the list is empty or
+/// any element is empty, non-numeric, or zero.
+pub fn parse_positive_list(flag: &str, value: &str) -> Result<Vec<u32>, String> {
+    if value.trim().is_empty() {
+        return Err(format!("invalid {flag} `{value}` (expected a non-empty list like 1,4)"));
+    }
+    value.split(',').map(|item| parse_positive(flag, item)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_accepts_and_trims() {
+        assert_eq!(parse_positive("--scale", "4"), Ok(4));
+        assert_eq!(parse_positive("--scale", " 7 "), Ok(7));
+    }
+
+    #[test]
+    fn positive_rejects_zero_empty_and_garbage() {
+        for bad in ["0", "", "  ", "-1", "1.5", "abc", "4x"] {
+            let err = parse_positive("--scale", bad).unwrap_err();
+            assert!(err.contains("--scale"), "{err}");
+            assert!(err.contains(">= 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn list_parses_and_trims_elements() {
+        assert_eq!(parse_positive_list("--scales", "1,4"), Ok(vec![1, 4]));
+        assert_eq!(parse_positive_list("--scales", " 2 , 8 "), Ok(vec![2, 8]));
+    }
+
+    #[test]
+    fn list_rejects_empty_zero_and_trailing_comma() {
+        for bad in ["", "  ", "1,0", "0", "1,,4", "1,4,", "a,b"] {
+            let err = parse_positive_list("--scales", bad).unwrap_err();
+            assert!(err.contains("--scales"), "{err}");
+        }
+    }
+}

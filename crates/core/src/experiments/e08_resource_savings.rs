@@ -55,22 +55,31 @@ impl ResourceSavingsReport {
         let config = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
         let rows = harness::map_ordered(jobs, bench.cases(), |case| {
             let s = Core::new(config).run(&case.trace, &case.analysis);
+            // Rows read the unified counter registry — the same snapshot
+            // `dide stats` exports — so the table and the exported document
+            // can never disagree about a counter.
+            let c = s.counters();
+            let reduction =
+                |used: &str, saved: &str| PipelineStats::reduction(c.expect(used), c.expect(saved));
             Row {
                 benchmark: case.spec.name.to_string(),
-                alloc_reduction: PipelineStats::reduction(
-                    s.phys_allocs,
-                    s.savings.phys_allocs_saved,
+                alloc_reduction: reduction(
+                    "pipeline.phys_allocs",
+                    "pipeline.savings.phys_allocs_saved",
                 ),
-                rf_read_reduction: PipelineStats::reduction(s.rf_reads, s.savings.rf_reads_saved),
-                rf_write_reduction: PipelineStats::reduction(
-                    s.rf_writes,
-                    s.savings.rf_writes_saved,
+                rf_read_reduction: reduction(
+                    "pipeline.rf_reads",
+                    "pipeline.savings.rf_reads_saved",
                 ),
-                dcache_reduction: PipelineStats::reduction(
-                    s.memory.l1d.accesses,
-                    s.savings.dcache_accesses_saved,
+                rf_write_reduction: reduction(
+                    "pipeline.rf_writes",
+                    "pipeline.savings.rf_writes_saved",
                 ),
-                violations: s.dead_violations,
+                dcache_reduction: reduction(
+                    "pipeline.mem.l1d.accesses",
+                    "pipeline.savings.dcache_accesses_saved",
+                ),
+                violations: c.expect("pipeline.dead_violations"),
                 accuracy: s.elimination_accuracy(),
                 coverage: s.elimination_coverage(),
             }

@@ -43,15 +43,21 @@
 #![warn(missing_docs)]
 
 pub mod benchrun;
+pub mod cli;
 pub mod experiments;
 pub mod harness;
 pub mod runner;
+pub mod statsrun;
 mod table;
 pub mod verifyrun;
 mod workbench;
 
-pub use benchrun::{run_bench, BenchOptions, BenchRun};
+pub use benchrun::{measure_events_overhead, run_bench, BenchOptions, BenchRun, EventsOverhead};
 pub use runner::{run_experiments, ExperimentOptions, ExperimentRun};
+pub use statsrun::{
+    run_events, run_stats, EventsOptions, EventsRun, RunSelection, StatsFormat, StatsOptions,
+    StatsRun, STATS_SCHEMA,
+};
 pub use table::Table;
 pub use verifyrun::{run_golden, run_verify, GoldenOptions, GoldenRun, VerifyOptions, VerifyRun};
 pub use workbench::{BenchCase, Workbench};

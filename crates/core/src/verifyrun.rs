@@ -30,6 +30,7 @@ use dide_workloads::random_program;
 
 use crate::harness;
 use crate::runner::{run_experiments, ExperimentOptions};
+use crate::statsrun::{run_stats, RunSelection, StatsOptions};
 
 /// Options for [`run_verify`] (the fuzzing mode of `dide verify`).
 #[derive(Debug, Clone)]
@@ -210,27 +211,52 @@ pub fn run_golden(options: &GoldenOptions) -> io::Result<GoldenRun> {
         jobs: options.jobs,
         timings: false,
     });
+    let mut rendered = run.per_experiment.clone();
+    rendered.extend(stats_documents(options.only.as_deref()));
     let mut report = String::new();
     if options.bless {
-        bless_golden(&options.dir, &run.per_experiment)?;
-        let _ = writeln!(
-            report,
-            "blessed {} snapshot(s) in {}",
-            run.per_experiment.len(),
-            options.dir.display()
-        );
+        bless_golden(&options.dir, &rendered)?;
+        let _ =
+            writeln!(report, "blessed {} snapshot(s) in {}", rendered.len(), options.dir.display());
         return Ok(GoldenRun { report, mismatches: 0 });
     }
-    let mismatches = compare_golden(&options.dir, &run.per_experiment)?;
+    let mismatches = compare_golden(&options.dir, &rendered)?;
     for m in &mismatches {
         let _ = writeln!(report, "MISMATCH {}: {}", m.id, m.message);
     }
     let _ = writeln!(
         report,
         "compared {} table(s) against {}: {} mismatch(es)",
-        run.per_experiment.len(),
+        rendered.len(),
         options.dir.display(),
         mismatches.len()
     );
     Ok(GoldenRun { report, mismatches: mismatches.len() })
+}
+
+/// The `dide stats` documents snapshotted alongside the experiment tables:
+/// one CFI-elimination run and one oracle run on the baseline machine.
+/// Stats output is a pure function of the committed code (fixtures are
+/// deterministic and jobs-independent), so it goldens exactly like a table.
+fn stats_documents(only: Option<&[String]>) -> Vec<(String, String)> {
+    let docs: [(&str, RunSelection); 2] = [
+        ("stats_expr.json", RunSelection { eliminate: true, ..RunSelection::default() }),
+        (
+            "stats_route.json",
+            RunSelection {
+                benchmark: "route".to_string(),
+                contended: false,
+                oracle: true,
+                ..RunSelection::default()
+            },
+        ),
+    ];
+    docs.into_iter()
+        .filter(|(id, _)| only.is_none_or(|ids| ids.iter().any(|x| x == id)))
+        .map(|(id, select)| {
+            let stats =
+                run_stats(&StatsOptions { select, format: None }).expect("suite benchmark exists");
+            (id.to_string(), stats.output)
+        })
+        .collect()
 }

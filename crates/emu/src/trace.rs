@@ -28,6 +28,19 @@ pub struct TraceSummary {
     pub jumps: u64,
 }
 
+impl dide_obs::Observe for TraceSummary {
+    fn observe(&self, scope: &mut dide_obs::Scope<'_>) {
+        scope.counter("total", self.total);
+        scope.counter("cond_branches", self.cond_branches);
+        scope.counter("taken_branches", self.taken_branches);
+        scope.counter("loads", self.loads);
+        scope.counter("stores", self.stores);
+        scope.counter("reg_writers", self.reg_writers);
+        scope.counter("value_producers", self.value_producers);
+        scope.counter("jumps", self.jumps);
+    }
+}
+
 impl fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "total instructions : {}", self.total)?;

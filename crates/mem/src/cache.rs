@@ -68,6 +68,17 @@ impl CacheStats {
     }
 }
 
+impl dide_obs::Observe for CacheStats {
+    fn observe(&self, scope: &mut dide_obs::Scope<'_>) {
+        scope.counter("accesses", self.accesses);
+        scope.counter("reads", self.reads);
+        scope.counter("writes", self.writes);
+        scope.counter("hits", self.hits);
+        scope.counter("misses", self.misses);
+        scope.counter("writebacks", self.writebacks);
+    }
+}
+
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -42,6 +42,15 @@ pub struct HierarchyStats {
     pub memory_accesses: u64,
 }
 
+impl dide_obs::Observe for HierarchyStats {
+    fn observe(&self, scope: &mut dide_obs::Scope<'_>) {
+        scope.observe("l1i", &self.l1i);
+        scope.observe("l1d", &self.l1d);
+        scope.observe("l2", &self.l2);
+        scope.counter("memory_accesses", self.memory_accesses);
+    }
+}
+
 impl fmt::Display for HierarchyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "L1I: {}", self.l1i)?;

@@ -1,0 +1,196 @@
+//! The counter registry: an ordered set of named `u64` counters.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A source of counters. Stats structs across the stack implement this so
+/// one registry snapshot can be assembled from any combination of them.
+pub trait Observe {
+    /// Writes this source's counters into `scope`.
+    fn observe(&self, scope: &mut Scope<'_>);
+}
+
+/// An ordered registry of named counters.
+///
+/// Names are dot-separated (`pipeline.rf_writes`, `mem.l1d.hits`) and
+/// unique; registration order is preserved, which is what makes the JSON
+/// and CSV exports byte-deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSet {
+    names: Vec<String>,
+    values: Vec<u64>,
+    index: HashMap<String, usize>,
+}
+
+impl CounterSet {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Opens a namespace; counters written through the returned [`Scope`]
+    /// are prefixed with `prefix` plus a dot (empty prefix = root).
+    pub fn scope(&mut self, prefix: &str) -> Scope<'_> {
+        Scope { set: self, prefix: prefix.to_string() }
+    }
+
+    /// Registers one fully-qualified counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered — two sources claiming one
+    /// name is a wiring bug, not a runtime condition.
+    pub fn record(&mut self, name: &str, value: u64) {
+        assert!(
+            !self.index.contains_key(name),
+            "counter `{name}` registered twice (namespace collision)"
+        );
+        self.index.insert(name.to_string(), self.names.len());
+        self.names.push(name.to_string());
+        self.values.push(value);
+    }
+
+    /// The value of `name`, if registered.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.index.get(name).map(|&i| self.values[i])
+    }
+
+    /// The value of `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the missing name if it was never registered — reading an
+    /// unregistered counter is a wiring bug.
+    #[must_use]
+    pub fn expect(&self, name: &str) -> u64 {
+        self.get(name).unwrap_or_else(|| panic!("counter `{name}` is not registered"))
+    }
+
+    /// Iterates `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names.iter().map(String::as_str).zip(self.values.iter().copied())
+    }
+
+    /// Number of registered counters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.names.iter().map(String::len).max().unwrap_or(0);
+        for (name, value) in self.iter() {
+            writeln!(f, "{name:<width$} {value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A namespaced view into a [`CounterSet`].
+#[derive(Debug)]
+pub struct Scope<'a> {
+    set: &'a mut CounterSet,
+    prefix: String,
+}
+
+impl Scope<'_> {
+    fn qualify(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.prefix)
+        }
+    }
+
+    /// Registers `name` under this scope's prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate fully-qualified name (see
+    /// [`CounterSet::record`]).
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let full = self.qualify(name);
+        self.set.record(&full, value);
+    }
+
+    /// Opens a nested namespace under this one.
+    pub fn scope(&mut self, sub: &str) -> Scope<'_> {
+        let prefix = self.qualify(sub);
+        Scope { set: self.set, prefix }
+    }
+
+    /// Lets `source` register its counters under the nested namespace
+    /// `sub`.
+    pub fn observe(&mut self, sub: &str, source: &dyn Observe) {
+        source.observe(&mut self.scope(sub));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_names_are_dotted_and_ordered() {
+        let mut set = CounterSet::new();
+        let mut p = set.scope("pipeline");
+        p.counter("cycles", 10);
+        let mut m = p.scope("mem");
+        m.counter("hits", 3);
+        set.scope("").counter("root", 1);
+        let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["pipeline.cycles", "pipeline.mem.hits", "root"]);
+        assert_eq!(set.get("pipeline.mem.hits"), Some(3));
+        assert_eq!(set.get("missing"), None);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut set = CounterSet::new();
+        set.record("x", 1);
+        set.record("x", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn expect_on_missing_counter_panics() {
+        let _ = CounterSet::new().expect("pipeline.cycles");
+    }
+
+    #[test]
+    fn observe_delegates_into_a_sub_scope() {
+        struct Two;
+        impl Observe for Two {
+            fn observe(&self, scope: &mut Scope<'_>) {
+                scope.counter("a", 1);
+                scope.counter("b", 2);
+            }
+        }
+        let mut set = CounterSet::new();
+        set.scope("outer").observe("inner", &Two);
+        assert_eq!(set.expect("outer.inner.a"), 1);
+        assert_eq!(set.expect("outer.inner.b"), 2);
+    }
+
+    #[test]
+    fn display_lists_every_counter() {
+        let mut set = CounterSet::new();
+        set.record("a.long.name", 7);
+        set.record("b", 8);
+        let text = set.to_string();
+        assert!(text.contains("a.long.name 7"));
+        assert!(text.contains('8'));
+    }
+}

@@ -1,0 +1,262 @@
+//! Cycle-event tracing: a bounded ring buffer of cycle-stamped events.
+//!
+//! Tracing is runtime-toggled: the pipeline takes an `Option<&mut
+//! EventTrace>` and a disabled run (the default) pays one branch per cycle
+//! and allocates nothing. Occupancy is *sampled* every
+//! [`EventsConfig::sample_every`] cycles; discrete events (predictor
+//! verdicts, eliminations, dead-tag violations) are recorded as they
+//! happen. The ring keeps the most recent [`EventsConfig::capacity`]
+//! events — `dide events --last N` is a view of where a run ended up, not
+//! an unbounded log.
+
+use std::fmt;
+
+/// Configuration of one event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventsConfig {
+    /// Record an occupancy sample every this many cycles.
+    pub sample_every: u64,
+    /// Ring-buffer capacity in events; older events are overwritten.
+    pub capacity: usize,
+}
+
+impl Default for EventsConfig {
+    fn default() -> EventsConfig {
+        EventsConfig { sample_every: 64, capacity: 4096 }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Per-stage occupancy snapshot (end of a sampled cycle).
+    Sample {
+        /// Reorder-buffer entries in use.
+        rob: u32,
+        /// Issue-queue entries in use.
+        iq: u32,
+        /// Load-queue entries in use.
+        lq: u32,
+        /// Store-queue entries in use.
+        sq: u32,
+        /// Physical registers on the free list.
+        free_regs: u32,
+    },
+    /// A dead-predictor verdict on an eligible instruction at rename.
+    Verdict {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Whether the predictor called it dead.
+        predicted_dead: bool,
+    },
+    /// An instruction was eliminated (dispatched without resources).
+    Eliminated {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// A dead-tag read forced a recovery.
+    Violation {
+        /// Dynamic sequence number of the reader.
+        seq: u64,
+    },
+}
+
+impl EventKind {
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Sample { .. } => "sample",
+            EventKind::Verdict { .. } => "verdict",
+            EventKind::Eliminated { .. } => "eliminated",
+            EventKind::Violation { .. } => "violation",
+        }
+    }
+}
+
+/// One cycle-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleEvent {
+    /// Cycle the event was recorded in.
+    pub cycle: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for CycleEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {:>8} {:<10} ", self.cycle, self.kind.label())?;
+        match self.kind {
+            EventKind::Sample { rob, iq, lq, sq, free_regs } => {
+                write!(f, "rob={rob} iq={iq} lq={lq} sq={sq} free_regs={free_regs}")
+            }
+            EventKind::Verdict { seq, predicted_dead } => {
+                write!(f, "seq={seq} predicted_dead={predicted_dead}")
+            }
+            EventKind::Eliminated { seq } | EventKind::Violation { seq } => write!(f, "seq={seq}"),
+        }
+    }
+}
+
+/// A bounded ring buffer of [`CycleEvent`]s.
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    config: EventsConfig,
+    ring: Vec<CycleEvent>,
+    /// Next write position once the ring is full.
+    head: usize,
+    /// Events ever recorded (recorded - len = overwritten).
+    recorded: u64,
+}
+
+impl EventTrace {
+    /// Creates an empty trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity or sampling period is zero.
+    #[must_use]
+    pub fn new(config: EventsConfig) -> EventTrace {
+        assert!(config.capacity > 0, "event ring needs capacity");
+        assert!(config.sample_every > 0, "sampling period must be positive");
+        EventTrace {
+            config,
+            ring: Vec::with_capacity(config.capacity.min(1024)),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// The trace's configuration.
+    #[must_use]
+    pub fn config(&self) -> EventsConfig {
+        self.config
+    }
+
+    /// Whether `cycle` is an occupancy-sampling cycle.
+    #[must_use]
+    pub fn should_sample(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.config.sample_every)
+    }
+
+    /// Records one event, overwriting the oldest once full.
+    pub fn record(&mut self, cycle: u64, kind: EventKind) {
+        let event = CycleEvent { cycle, kind };
+        if self.ring.len() < self.config.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.config.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Events currently held, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<CycleEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+        out
+    }
+
+    /// The `n` most recent events, oldest first.
+    #[must_use]
+    pub fn last(&self, n: usize) -> Vec<CycleEvent> {
+        let all = self.events();
+        let skip = all.len().saturating_sub(n);
+        all[skip..].to_vec()
+    }
+
+    /// Events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events ever recorded, including overwritten ones.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to ring overwrites.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(capacity: usize) -> EventTrace {
+        EventTrace::new(EventsConfig { sample_every: 4, capacity })
+    }
+
+    #[test]
+    fn sampling_period_is_modular() {
+        let t = trace(8);
+        assert!(t.should_sample(0));
+        assert!(!t.should_sample(3));
+        assert!(t.should_sample(8));
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events_in_order() {
+        let mut t = trace(3);
+        for seq in 0..5u64 {
+            t.record(seq * 10, EventKind::Eliminated { seq });
+        }
+        let events: Vec<u64> = t.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(events, [20, 30, 40]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn last_slices_the_tail() {
+        let mut t = trace(8);
+        for seq in 0..6u64 {
+            t.record(seq, EventKind::Violation { seq });
+        }
+        let tail: Vec<u64> = t.last(2).iter().map(|e| e.cycle).collect();
+        assert_eq!(tail, [4, 5]);
+        assert_eq!(t.last(100).len(), 6);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn display_renders_each_kind() {
+        let sample = CycleEvent {
+            cycle: 64,
+            kind: EventKind::Sample { rob: 1, iq: 2, lq: 3, sq: 4, free_regs: 5 },
+        };
+        let text = sample.to_string();
+        assert!(text.contains("sample"));
+        assert!(text.contains("free_regs=5"));
+        let verdict =
+            CycleEvent { cycle: 1, kind: EventKind::Verdict { seq: 9, predicted_dead: true } };
+        assert!(verdict.to_string().contains("predicted_dead=true"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = EventTrace::new(EventsConfig { sample_every: 1, capacity: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period")]
+    fn zero_period_panics() {
+        let _ = EventTrace::new(EventsConfig { sample_every: 0, capacity: 1 });
+    }
+}

@@ -1,0 +1,93 @@
+//! Deterministic export helpers for counter registries.
+//!
+//! Hand-rolled like `BENCH.json`: the build host has no crates.io access,
+//! so there is no serde — and the formats are small and flat enough that a
+//! fixed layout (registration order, 2-space indentation) doubles as the
+//! schema's determinism guarantee.
+
+use crate::counters::CounterSet;
+
+/// Escapes a string for embedding in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the registry as a JSON object (one counter per line, in
+/// registration order), indented by `indent` spaces.
+#[must_use]
+pub fn counters_json(set: &CounterSet, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let inner = " ".repeat(indent + 2);
+    let mut out = String::from("{\n");
+    let last = set.len().saturating_sub(1);
+    for (i, (name, value)) in set.iter().enumerate() {
+        out.push_str(&inner);
+        out.push_str(&format!("\"{}\": {value}", json_escape(name)));
+        out.push_str(if i < last { ",\n" } else { "\n" });
+    }
+    out.push_str(&pad);
+    out.push('}');
+    out
+}
+
+/// Renders the registry as CSV: a `counter,value` header then one row per
+/// counter in registration order.
+#[must_use]
+pub fn counters_csv(set: &CounterSet) -> String {
+    let mut out = String::from("counter,value\n");
+    for (name, value) in set.iter() {
+        out.push_str(&format!("{name},{value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterSet {
+        let mut set = CounterSet::new();
+        let mut p = set.scope("pipeline");
+        p.counter("cycles", 12);
+        p.counter("committed", 34);
+        set
+    }
+
+    #[test]
+    fn json_object_is_ordered_and_balanced() {
+        let json = counters_json(&sample(), 2);
+        assert_eq!(json, "{\n    \"pipeline.cycles\": 12,\n    \"pipeline.committed\": 34\n  }");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_registry_renders_an_empty_object() {
+        let json = counters_json(&CounterSet::new(), 0);
+        assert_eq!(json, "{\n}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = counters_csv(&sample());
+        assert_eq!(csv, "counter,value\npipeline.cycles,12\npipeline.committed,34\n");
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,218 @@
+//! Conservation rules over counter names.
+//!
+//! A [`Rule`] relates two [`Expr`]s — each a sum of counters plus a
+//! constant — by equality or ordering. Checking a rule set against a
+//! [`CounterSet`] yields one human-readable message per violated law,
+//! which is the shape `PipelineStats::invariant_violations` and the
+//! `dide-verify` metamorphic checks both report in.
+
+use crate::counters::CounterSet;
+
+/// A linear expression: the sum of named counters plus a constant.
+#[derive(Debug, Clone, Default)]
+pub struct Expr {
+    terms: Vec<String>,
+    constant: u64,
+}
+
+impl Expr {
+    /// A single counter.
+    #[must_use]
+    pub fn counter(name: impl Into<String>) -> Expr {
+        Expr { terms: vec![name.into()], constant: 0 }
+    }
+
+    /// A sum of counters.
+    #[must_use]
+    pub fn sum<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Expr {
+        Expr { terms: names.into_iter().map(Into::into).collect(), constant: 0 }
+    }
+
+    /// Adds a constant term.
+    #[must_use]
+    pub fn plus(mut self, constant: u64) -> Expr {
+        self.constant += constant;
+        self
+    }
+
+    /// Evaluates against `set`, or reports the first missing counter.
+    fn eval(&self, set: &CounterSet) -> Result<u64, String> {
+        let mut total = self.constant;
+        for name in &self.terms {
+            let value =
+                set.get(name).ok_or_else(|| format!("counter `{name}` is not registered"))?;
+            total += value;
+        }
+        Ok(total)
+    }
+
+    /// Renders `a + b + k` for violation messages.
+    fn render(&self) -> String {
+        let mut parts: Vec<String> = self.terms.clone();
+        if self.constant != 0 || parts.is_empty() {
+            parts.push(self.constant.to_string());
+        }
+        parts.join(" + ")
+    }
+
+    fn prefixed(&self, prefix: &str) -> Expr {
+        Expr {
+            terms: self.terms.iter().map(|t| format!("{prefix}.{t}")).collect(),
+            constant: self.constant,
+        }
+    }
+}
+
+/// How a rule relates its two sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Relation {
+    Eq,
+    Le,
+}
+
+/// One conservation law.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    lhs: Expr,
+    rhs: Expr,
+    relation: Relation,
+    note: Option<String>,
+}
+
+impl Rule {
+    /// `lhs == rhs`.
+    #[must_use]
+    pub fn eq(lhs: Expr, rhs: Expr) -> Rule {
+        Rule { lhs, rhs, relation: Relation::Eq, note: None }
+    }
+
+    /// `lhs <= rhs`.
+    #[must_use]
+    pub fn le(lhs: Expr, rhs: Expr) -> Rule {
+        Rule { lhs, rhs, relation: Relation::Le, note: None }
+    }
+
+    /// Attaches an explanation appended to the violation message.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Rule {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// The same law with every counter name under `prefix.` — how per-run
+    /// rule sets are reused across the `base.`/`elim.` sides of a cross-run
+    /// comparison.
+    #[must_use]
+    pub fn prefixed(&self, prefix: &str) -> Rule {
+        Rule {
+            lhs: self.lhs.prefixed(prefix),
+            rhs: self.rhs.prefixed(prefix),
+            relation: self.relation,
+            note: self.note.clone(),
+        }
+    }
+
+    /// Checks the rule, returning a violation message if it fails.
+    #[must_use]
+    pub fn check(&self, set: &CounterSet) -> Option<String> {
+        let (lhs, rhs) = match (self.lhs.eval(set), self.rhs.eval(set)) {
+            (Ok(l), Ok(r)) => (l, r),
+            (Err(m), _) | (_, Err(m)) => return Some(m),
+        };
+        let holds = match self.relation {
+            Relation::Eq => lhs == rhs,
+            Relation::Le => lhs <= rhs,
+        };
+        if holds {
+            return None;
+        }
+        let op = match self.relation {
+            Relation::Eq => "!=",
+            Relation::Le => ">",
+        };
+        let mut message =
+            format!("{} ({lhs}) {op} {} ({rhs})", self.lhs.render(), self.rhs.render());
+        if let Some(note) = &self.note {
+            message.push_str(": ");
+            message.push_str(note);
+        }
+        Some(message)
+    }
+}
+
+/// Checks every rule against `set`, returning one message per violation
+/// (empty = all laws hold).
+#[must_use]
+pub fn check_rules(rules: &[Rule], set: &CounterSet) -> Vec<String> {
+    rules.iter().filter_map(|rule| rule.check(set)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(&str, u64)]) -> CounterSet {
+        let mut s = CounterSet::new();
+        for &(name, value) in pairs {
+            s.record(name, value);
+        }
+        s
+    }
+
+    #[test]
+    fn sum_equality_holds_and_fails() {
+        let s = set(&[("a", 3), ("b", 4), ("c", 7)]);
+        let good = Rule::eq(Expr::sum(["a", "b"]), Expr::counter("c"));
+        assert!(good.check(&s).is_none());
+        let bad = Rule::eq(Expr::sum(["a", "c"]), Expr::counter("b"));
+        let msg = bad.check(&s).unwrap();
+        assert!(msg.contains("a + c (10) != b (4)"), "{msg}");
+    }
+
+    #[test]
+    fn le_with_constant_slack() {
+        let s = set(&[("frees", 40), ("allocs", 10)]);
+        let ok = Rule::le(Expr::counter("frees"), Expr::counter("allocs").plus(32));
+        assert!(ok.check(&s).is_none());
+        let tight = Rule::le(Expr::counter("frees"), Expr::counter("allocs").plus(16));
+        let msg = tight.check(&s).unwrap();
+        assert!(msg.contains("frees (40) > allocs + 16 (26)"), "{msg}");
+    }
+
+    #[test]
+    fn note_is_appended() {
+        let s = set(&[("x", 1), ("y", 0)]);
+        let msg = Rule::eq(Expr::counter("x"), Expr::counter("y"))
+            .note("every elimination skips exactly one slot")
+            .check(&s)
+            .unwrap();
+        assert!(msg.ends_with("every elimination skips exactly one slot"), "{msg}");
+    }
+
+    #[test]
+    fn missing_counter_is_a_violation_not_a_panic() {
+        let s = set(&[("x", 1)]);
+        let msg = Rule::eq(Expr::counter("x"), Expr::counter("ghost")).check(&s).unwrap();
+        assert!(msg.contains("`ghost` is not registered"), "{msg}");
+    }
+
+    #[test]
+    fn prefixed_rules_retarget_every_term() {
+        let s = set(&[("elim.a", 2), ("elim.b", 2)]);
+        let rule = Rule::eq(Expr::counter("a"), Expr::counter("b")).prefixed("elim");
+        assert!(rule.check(&s).is_none());
+        let other = set(&[("a", 1), ("b", 2)]);
+        assert!(rule.check(&other).unwrap().contains("not registered"));
+    }
+
+    #[test]
+    fn check_rules_collects_every_violation() {
+        let s = set(&[("a", 1), ("b", 2)]);
+        let rules = [
+            Rule::eq(Expr::counter("a"), Expr::counter("b")),
+            Rule::le(Expr::counter("b"), Expr::counter("a")),
+            Rule::eq(Expr::counter("a"), Expr::counter("a")),
+        ];
+        assert_eq!(check_rules(&rules, &s).len(), 2);
+    }
+}

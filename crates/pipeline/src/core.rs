@@ -7,6 +7,7 @@ use dide_analysis::DeadnessAnalysis;
 use dide_emu::Trace;
 use dide_isa::Reg;
 use dide_mem::MemoryHierarchy;
+use dide_obs::EventKind;
 use dide_predictor::dead::{CfiDeadPredictor, DeadPredictor, OracleDeadPredictor, PredictInput};
 use dide_predictor::future::CfSignature;
 
@@ -68,6 +69,29 @@ impl Core {
     /// exceeds its deadlock guard (which would indicate a model bug).
     #[must_use]
     pub fn run(&self, trace: &Trace, analysis: &DeadnessAnalysis) -> PipelineStats {
+        self.run_observed(trace, analysis, None)
+    }
+
+    /// [`Core::run`] with an optional cycle-event trace attached.
+    ///
+    /// With `events = None` (what [`Core::run`] passes) the loop pays one
+    /// branch per hook and records nothing — architectural results are
+    /// bit-identical either way, which `dide bench` asserts. With a trace
+    /// attached, occupancy is sampled every
+    /// [`EventsConfig::sample_every`](dide_obs::EventsConfig) cycles and
+    /// predictor verdicts, eliminations and dead-tag violations are
+    /// recorded as they retire through rename.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Core::run`].
+    #[must_use]
+    pub fn run_observed(
+        &self,
+        trace: &Trace,
+        analysis: &DeadnessAnalysis,
+        mut events: Option<&mut dide_obs::EventTrace>,
+    ) -> PipelineStats {
         assert_eq!(
             analysis.verdicts().len(),
             trace.len(),
@@ -244,6 +268,11 @@ impl Core {
                     };
                     let input = PredictInput { seq, static_index: r.index, signature };
                     let eliminate = eligible && predictor.predict(&input);
+                    if eligible {
+                        if let Some(tr) = events.as_deref_mut() {
+                            tr.record(now, EventKind::Verdict { seq, predicted_dead: eliminate });
+                        }
+                    }
 
                     if !eliminate {
                         // Dead-tag violations: this instruction actually
@@ -261,6 +290,9 @@ impl Core {
                                 regs.set_ready(p);
                                 map.set(src, Mapping::Phys(p));
                                 stats.dead_violations += 1;
+                                if let Some(tr) = events.as_deref_mut() {
+                                    tr.record(now, EventKind::Violation { seq });
+                                }
                                 rename_stalled_until = now + u64::from(cfg.dead.violation_penalty);
                                 break 'rename;
                             }
@@ -270,6 +302,9 @@ impl Core {
                             for &p in analysis.producers(seq) {
                                 if eliminated_stores.remove(&p) {
                                     stats.dead_violations += 1;
+                                    if let Some(tr) = events.as_deref_mut() {
+                                        tr.record(now, EventKind::Violation { seq });
+                                    }
                                     rename_stalled_until =
                                         now + u64::from(cfg.dead.violation_penalty);
                                     break 'rename;
@@ -296,6 +331,9 @@ impl Core {
                         }
                         if is_store {
                             eliminated_stores.insert(seq);
+                        }
+                        if let Some(tr) = events.as_deref_mut() {
+                            tr.record(now, EventKind::Eliminated { seq });
                         }
                         stats.dispatched += 1;
                         rob.push(RobEntry {
@@ -388,6 +426,20 @@ impl Core {
             // mappings hold no register, so this can dip below 32 — clamp.
             stats.phys_used_sum +=
                 (cfg.phys_regs - regs.free_count()).saturating_sub(Reg::COUNT) as u64;
+            if let Some(tr) = events.as_deref_mut() {
+                if tr.should_sample(now) {
+                    tr.record(
+                        now,
+                        EventKind::Sample {
+                            rob: rob.len() as u32,
+                            iq: iq.len() as u32,
+                            lq: lsq.lq_len() as u32,
+                            sq: lsq.sq_len() as u32,
+                            free_regs: regs.free_count() as u32,
+                        },
+                    );
+                }
+            }
 
             now += 1;
         }
@@ -456,6 +508,79 @@ mod tests {
         assert!(elim.invariant_violations().is_empty(), "{:?}", elim.invariant_violations());
     }
 
+    fn store_load_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new("memloop");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, iters);
+        let top = b.label();
+        b.bind(top);
+        b.sd(Reg::T0, Reg::SP, -8);
+        b.ld(Reg::T2, Reg::SP, -8);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T2);
+        b.halt();
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    #[test]
+    fn rob_pressure_shows_up_in_registry_counters() {
+        // A 4-entry ROB wraps its ring dozens of times on a 300-iteration
+        // loop; the registry must report the resulting backpressure while
+        // every conservation law still holds.
+        let t = counted_loop(300);
+        let a = DeadnessAnalysis::analyze(&t);
+        let mut cfg = PipelineConfig::baseline();
+        cfg.rob_entries = 4;
+        let stats = Core::new(cfg).run(&t, &a);
+        let c = stats.counters();
+        assert_eq!(c.expect("pipeline.committed"), t.len() as u64);
+        assert!(c.expect("pipeline.rob_full_stalls") > 0, "tiny ROB must stall dispatch");
+        assert!(stats.invariant_violations().is_empty(), "{:?}", stats.invariant_violations());
+    }
+
+    #[test]
+    fn free_list_exhaustion_shows_up_in_registry_counters() {
+        // Two spare physical registers: rename repeatedly drains the free
+        // list and recycles registers freed at commit. The registry reports
+        // the stalls, and frees stay bounded by allocs plus the initial
+        // architectural mappings.
+        let t = counted_loop(300);
+        let a = DeadnessAnalysis::analyze(&t);
+        let mut cfg = PipelineConfig::baseline();
+        cfg.phys_regs = 34;
+        let stats = Core::new(cfg).run(&t, &a);
+        let c = stats.counters();
+        assert_eq!(c.expect("pipeline.committed"), t.len() as u64);
+        assert!(c.expect("pipeline.no_phys_stalls") > 0, "2 spare registers must stall rename");
+        assert!(c.expect("pipeline.phys_allocs") > 0);
+        assert!(
+            c.expect("pipeline.phys_frees") <= c.expect("pipeline.phys_allocs") + Reg::COUNT as u64
+        );
+        assert!(stats.invariant_violations().is_empty(), "{:?}", stats.invariant_violations());
+    }
+
+    #[test]
+    fn store_load_traffic_shows_up_in_registry_counters() {
+        // Store-to-load forwarding pressure through a 1-entry store queue:
+        // the LSQ stalls are counted, and the memory scope feeds the L1D
+        // conservation rules (hits + misses == accesses).
+        let t = store_load_loop(200);
+        let a = DeadnessAnalysis::analyze(&t);
+        let mut cfg = PipelineConfig::baseline();
+        cfg.sq_entries = 1;
+        let stats = Core::new(cfg).run(&t, &a);
+        let c = stats.counters();
+        assert_eq!(c.expect("pipeline.committed"), t.len() as u64);
+        assert!(c.expect("pipeline.lsq_full_stalls") > 0, "1-entry SQ must stall dispatch");
+        assert!(c.expect("pipeline.mem.l1d.accesses") >= 400, "each iteration touches the L1D");
+        assert_eq!(
+            c.expect("pipeline.mem.l1d.hits") + c.expect("pipeline.mem.l1d.misses"),
+            c.expect("pipeline.mem.l1d.accesses")
+        );
+        assert!(stats.invariant_violations().is_empty(), "{:?}", stats.invariant_violations());
+    }
+
     #[test]
     fn elimination_off_by_default_in_baseline() {
         let cfg = PipelineConfig::baseline();
@@ -465,6 +590,30 @@ mod tests {
         let stats = Core::new(cfg).run(&t, &a);
         assert_eq!(stats.dead_predicted, 0);
         assert_eq!(stats.savings.phys_allocs_saved, 0);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_records_events() {
+        use dide_obs::{EventKind, EventTrace, EventsConfig};
+        let t = counted_loop(600);
+        let a = DeadnessAnalysis::analyze(&t);
+        let cfg = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
+        let core = Core::new(cfg);
+        let plain = core.run(&t, &a);
+        let mut events = EventTrace::new(EventsConfig { sample_every: 16, capacity: 512 });
+        let observed = core.run_observed(&t, &a, Some(&mut events));
+        assert_eq!(plain, observed, "tracing must not perturb architectural results");
+        assert!(!events.is_empty());
+        let kinds: Vec<&str> = events.events().iter().map(|e| e.kind.label()).collect();
+        assert!(kinds.contains(&"sample"));
+        assert!(kinds.contains(&"verdict"));
+        assert!(kinds.contains(&"eliminated"));
+        let verdicts = events
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Verdict { predicted_dead: true, .. }))
+            .count();
+        assert!(verdicts > 0, "an eliminating run must record dead verdicts");
     }
 
     #[test]

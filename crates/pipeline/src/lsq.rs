@@ -42,6 +42,14 @@ impl LoadStoreQueues {
         self.loads.len() == self.lq_capacity
     }
 
+    pub(crate) fn lq_len(&self) -> usize {
+        self.loads.len()
+    }
+
+    pub(crate) fn sq_len(&self) -> usize {
+        self.stores.len()
+    }
+
     pub(crate) fn sq_full(&self) -> bool {
         self.stores.len() == self.sq_capacity
     }
@@ -115,6 +123,57 @@ mod tests {
         lsq.push_load(2);
         assert!(lsq.load_may_issue(2, acc(0x200, MemWidth::B8)));
         assert!(!lsq.load_forwards(2, acc(0x200, MemWidth::B8)));
+    }
+
+    #[test]
+    fn forwarding_across_partial_overlap() {
+        // An executed 8-byte store at [0x100, 0x108) must forward to (and
+        // never block) loads that only partially overlap it: the first byte,
+        // the last byte, a straddle of its start, and a straddle of its end.
+        let mut lsq = LoadStoreQueues::new(8, 8);
+        lsq.push_store(1, acc(0x100, MemWidth::B8));
+        lsq.push_load(2);
+        let partials = [
+            acc(0x100, MemWidth::B1), // first byte
+            acc(0x107, MemWidth::B1), // last byte
+            acc(0xFC, MemWidth::B8),  // straddles the store's start
+            acc(0x104, MemWidth::B8), // straddles the store's end
+        ];
+        for mem in partials {
+            assert!(!lsq.load_may_issue(2, mem), "{mem:?} must wait");
+            assert!(!lsq.load_forwards(2, mem), "{mem:?} cannot forward yet");
+        }
+        lsq.store_executed(1);
+        for mem in partials {
+            assert!(lsq.load_may_issue(2, mem), "{mem:?} may issue");
+            assert!(lsq.load_forwards(2, mem), "{mem:?} forwards");
+        }
+        // One byte past either end is disjoint: issues freely, no forward.
+        for mem in [acc(0xFF, MemWidth::B1), acc(0x108, MemWidth::B1)] {
+            assert!(lsq.load_may_issue(2, mem), "{mem:?} is disjoint");
+            assert!(!lsq.load_forwards(2, mem), "{mem:?} must not forward");
+        }
+    }
+
+    #[test]
+    fn forwarding_only_from_older_overlapping_stores() {
+        // Three stores around one load: an older disjoint store and a
+        // younger overlapping store contribute nothing; only the older
+        // partially-overlapping store gates and forwards.
+        let mut lsq = LoadStoreQueues::new(8, 8);
+        lsq.push_store(1, acc(0x200, MemWidth::B4)); // older, disjoint
+        lsq.push_store(2, acc(0x102, MemWidth::B2)); // older, partial overlap
+        lsq.push_load(3);
+        lsq.push_store(4, acc(0x100, MemWidth::B8)); // younger, full overlap
+        let load = acc(0x100, MemWidth::B4);
+        assert!(!lsq.load_may_issue(3, load));
+        lsq.store_executed(1);
+        assert!(!lsq.load_may_issue(3, load), "disjoint store execution is irrelevant");
+        lsq.store_executed(4);
+        assert!(!lsq.load_may_issue(3, load), "younger store execution is irrelevant");
+        lsq.store_executed(2);
+        assert!(lsq.load_may_issue(3, load));
+        assert!(lsq.load_forwards(3, load));
     }
 
     #[test]

@@ -83,6 +83,28 @@ mod tests {
     }
 
     #[test]
+    fn exhaustion_then_recycle_reuses_freed_registers() {
+        let mut rf = PhysRegFile::new(36, 32);
+        let held: Vec<PhysReg> = std::iter::from_fn(|| rf.alloc()).collect();
+        assert_eq!(held.len(), 4);
+        assert_eq!(rf.free_count(), 0);
+        assert!(rf.alloc().is_none(), "exhausted free list must stay empty");
+        // Mark values available, then recycle two registers: the free list
+        // is LIFO, so the last one freed comes back first, not ready.
+        for &p in &held {
+            rf.set_ready(p);
+        }
+        rf.free(held[0]);
+        rf.free(held[1]);
+        assert_eq!(rf.free_count(), 2);
+        let recycled = rf.alloc().unwrap();
+        assert_eq!(recycled, held[1]);
+        assert!(!rf.is_ready(recycled), "recycled register must drop its stale ready bit");
+        assert_eq!(rf.alloc().unwrap(), held[0]);
+        assert!(rf.alloc().is_none(), "back to exhausted after recycling both");
+    }
+
+    #[test]
     fn reserved_registers_start_ready() {
         let rf = PhysRegFile::new(40, 32);
         for i in 0..32 {

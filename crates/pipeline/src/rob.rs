@@ -128,6 +128,42 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_at_capacity_keeps_fifo_order_and_seq_indexing() {
+        // Drive the head/tail indices around the ring many times past the
+        // capacity: pop-one/push-one at full keeps the buffer full while the
+        // physical positions wrap, and `complete` (which indexes by seq
+        // offset from the head) must keep hitting the right entry.
+        const CAP: usize = 4;
+        let mut rob = Rob::new(CAP);
+        for seq in 0..CAP as u64 {
+            rob.push(entry(seq));
+        }
+        assert!(rob.is_full());
+        let mut next = CAP as u64;
+        for _ in 0..10 * CAP {
+            // Complete the youngest entry, which sits just before the
+            // wrapped tail position.
+            rob.complete(next - 1);
+            let popped = rob.pop().expect("full ROB has a head");
+            assert_eq!(popped.seq, next - CAP as u64, "FIFO order across wraparound");
+            assert!(!rob.is_full());
+            rob.push(entry(next));
+            assert!(rob.is_full());
+            assert_eq!(rob.len(), CAP);
+            next += 1;
+        }
+        // Everything still drains oldest-first, and the completion marks
+        // landed on the right (wrapped) entries.
+        let mut expected = next - CAP as u64;
+        while let Some(e) = rob.pop() {
+            assert_eq!(e.seq, expected);
+            assert_eq!(e.completed, e.seq < next - 1, "seq {} completion mark", e.seq);
+            expected += 1;
+        }
+        assert_eq!(expected, next);
+    }
+
+    #[test]
     fn complete_by_seq() {
         let mut rob = Rob::new(4);
         rob.push(entry(10));

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use dide_mem::HierarchyStats;
+use dide_obs::{check_rules, CounterSet, Expr, Observe, Rule, Scope};
 
 /// Resource-utilization deltas attributable to dead-instruction
 /// elimination — the quantities behind the paper's ">5% average reduction"
@@ -22,8 +23,18 @@ pub struct ResourceSavings {
     pub iq_slots_saved: u64,
 }
 
+impl Observe for ResourceSavings {
+    fn observe(&self, scope: &mut Scope<'_>) {
+        scope.counter("phys_allocs_saved", self.phys_allocs_saved);
+        scope.counter("rf_reads_saved", self.rf_reads_saved);
+        scope.counter("rf_writes_saved", self.rf_writes_saved);
+        scope.counter("dcache_accesses_saved", self.dcache_accesses_saved);
+        scope.counter("iq_slots_saved", self.iq_slots_saved);
+    }
+}
+
 /// Counters for one pipeline run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Total cycles simulated.
     pub cycles: u64,
@@ -166,102 +177,108 @@ impl PipelineStats {
         }
     }
 
+    /// Snapshots every counter into a registry under the `pipeline.`
+    /// namespace (savings under `pipeline.savings.`, cache hierarchy under
+    /// `pipeline.mem.`).
+    ///
+    /// The hot path never touches the registry — stats are plain field
+    /// increments during simulation and this snapshot is taken once,
+    /// post-run.
+    #[must_use]
+    pub fn counters(&self) -> CounterSet {
+        let mut set = CounterSet::new();
+        self.observe(&mut set.scope("pipeline"));
+        set
+    }
+
+    /// The conservation laws every run must satisfy, expressed over the
+    /// counter names produced by [`PipelineStats::counters`].
+    ///
+    /// These are internal-consistency checks on a single run; cross-run
+    /// laws (savings vs. a baseline run's usage) live in `dide-verify`,
+    /// built from the same rule vocabulary via [`Rule::prefixed`].
+    #[must_use]
+    pub fn conservation_rules() -> Vec<Rule> {
+        let c = |name: &str| Expr::counter(format!("pipeline.{name}"));
+        let mut rules = vec![
+            Rule::eq(Expr::sum(["pipeline.committed", "pipeline.squashed"]), c("dispatched")),
+            Rule::le(c("dead_predicted_correct"), c("dead_predicted")),
+            Rule::le(c("dead_predicted_correct"), c("oracle_dead_committed")),
+            Rule::eq(c("savings.iq_slots_saved"), c("dead_predicted"))
+                .note("every elimination skips exactly one IQ slot"),
+            // The 32 initial architectural mappings are backed by
+            // pre-allocated physical registers that never show up in
+            // `phys_allocs`, and an eliminated writer frees its
+            // predecessor's register without allocating one — so frees may
+            // exceed allocs, but never by more than those 32 initial
+            // registers.
+            Rule::le(c("phys_frees"), c("phys_allocs").plus(dide_isa::Reg::COUNT as u64))
+                .note("frees may outrun allocs only by the initial mappings"),
+            Rule::le(c("branch_mispredicts"), c("branches")),
+        ];
+        for level in ["l1i", "l1d", "l2"] {
+            let cache = |field: &str| Expr::counter(format!("pipeline.mem.{level}.{field}"));
+            rules.push(Rule::eq(
+                Expr::sum([
+                    format!("pipeline.mem.{level}.hits"),
+                    format!("pipeline.mem.{level}.misses"),
+                ]),
+                cache("accesses"),
+            ));
+            rules.push(Rule::eq(
+                Expr::sum([
+                    format!("pipeline.mem.{level}.reads"),
+                    format!("pipeline.mem.{level}.writes"),
+                ]),
+                cache("accesses"),
+            ));
+        }
+        rules.push(Rule::eq(
+            c("mem.l2.accesses"),
+            Expr::sum(["pipeline.mem.l1i.misses", "pipeline.mem.l1d.misses"]),
+        ));
+        rules.push(Rule::eq(c("mem.memory_accesses"), c("mem.l2.misses")));
+        rules
+    }
+
     /// Checks the conservation laws every run must satisfy, returning one
     /// human-readable description per violated law (empty = healthy).
     ///
-    /// These are internal-consistency checks on a single run; cross-run
-    /// laws (savings vs. a baseline run's usage) live in `dide-verify`.
+    /// Implemented as [`PipelineStats::conservation_rules`] checked against
+    /// the [`PipelineStats::counters`] snapshot.
     #[must_use]
     pub fn invariant_violations(&self) -> Vec<String> {
-        let mut v = Vec::new();
-        let mut law = |ok: bool, msg: String| {
-            if !ok {
-                v.push(msg);
-            }
-        };
-        law(
-            self.committed + self.squashed == self.dispatched,
-            format!(
-                "committed ({}) + squashed ({}) != dispatched ({})",
-                self.committed, self.squashed, self.dispatched
-            ),
-        );
-        law(
-            self.dead_predicted_correct <= self.dead_predicted,
-            format!(
-                "dead_predicted_correct ({}) > dead_predicted ({})",
-                self.dead_predicted_correct, self.dead_predicted
-            ),
-        );
-        law(
-            self.dead_predicted_correct <= self.oracle_dead_committed,
-            format!(
-                "dead_predicted_correct ({}) > oracle_dead_committed ({})",
-                self.dead_predicted_correct, self.oracle_dead_committed
-            ),
-        );
-        law(
-            self.savings.iq_slots_saved == self.dead_predicted,
-            format!(
-                "iq_slots_saved ({}) != dead_predicted ({}): every elimination skips \
-                 exactly one IQ slot",
-                self.savings.iq_slots_saved, self.dead_predicted
-            ),
-        );
-        // The 32 initial architectural mappings are backed by pre-allocated
-        // physical registers that never show up in `phys_allocs`, and an
-        // eliminated writer frees its predecessor's register without
-        // allocating one — so frees may exceed allocs, but never by more
-        // than those 32 initial registers.
-        law(
-            self.phys_frees <= self.phys_allocs + dide_isa::Reg::COUNT as u64,
-            format!(
-                "phys_frees ({}) > phys_allocs ({}) + {} initial mappings",
-                self.phys_frees,
-                self.phys_allocs,
-                dide_isa::Reg::COUNT
-            ),
-        );
-        law(
-            self.branch_mispredicts <= self.branches,
-            format!(
-                "branch_mispredicts ({}) > branches ({})",
-                self.branch_mispredicts, self.branches
-            ),
-        );
-        for (name, c) in
-            [("l1i", self.memory.l1i), ("l1d", self.memory.l1d), ("l2", self.memory.l2)]
-        {
-            law(
-                c.hits + c.misses == c.accesses,
-                format!(
-                    "{name}: hits ({}) + misses ({}) != accesses ({})",
-                    c.hits, c.misses, c.accesses
-                ),
-            );
-            law(
-                c.reads + c.writes == c.accesses,
-                format!(
-                    "{name}: reads ({}) + writes ({}) != accesses ({})",
-                    c.reads, c.writes, c.accesses
-                ),
-            );
-        }
-        law(
-            self.memory.l2.accesses == self.memory.l1i.misses + self.memory.l1d.misses,
-            format!(
-                "l2 accesses ({}) != l1i misses ({}) + l1d misses ({})",
-                self.memory.l2.accesses, self.memory.l1i.misses, self.memory.l1d.misses
-            ),
-        );
-        law(
-            self.memory.memory_accesses == self.memory.l2.misses,
-            format!(
-                "memory accesses ({}) != l2 misses ({})",
-                self.memory.memory_accesses, self.memory.l2.misses
-            ),
-        );
-        v
+        check_rules(&Self::conservation_rules(), &self.counters())
+    }
+}
+
+impl Observe for PipelineStats {
+    fn observe(&self, scope: &mut Scope<'_>) {
+        scope.counter("cycles", self.cycles);
+        scope.counter("committed", self.committed);
+        scope.counter("dispatched", self.dispatched);
+        scope.counter("squashed", self.squashed);
+        scope.counter("phys_allocs", self.phys_allocs);
+        scope.counter("phys_frees", self.phys_frees);
+        scope.counter("rf_reads", self.rf_reads);
+        scope.counter("rf_writes", self.rf_writes);
+        scope.counter("branches", self.branches);
+        scope.counter("branch_mispredicts", self.branch_mispredicts);
+        scope.counter("btb_misses", self.btb_misses);
+        scope.counter("dead_predicted", self.dead_predicted);
+        scope.counter("dead_predicted_correct", self.dead_predicted_correct);
+        scope.counter("dead_violations", self.dead_violations);
+        scope.counter("oracle_dead_committed", self.oracle_dead_committed);
+        scope.counter("rob_full_stalls", self.rob_full_stalls);
+        scope.counter("iq_full_stalls", self.iq_full_stalls);
+        scope.counter("no_phys_stalls", self.no_phys_stalls);
+        scope.counter("lsq_full_stalls", self.lsq_full_stalls);
+        scope.counter("fetch_stall_cycles", self.fetch_stall_cycles);
+        scope.counter("rob_occupancy_sum", self.rob_occupancy_sum);
+        scope.counter("iq_occupancy_sum", self.iq_occupancy_sum);
+        scope.counter("phys_used_sum", self.phys_used_sum);
+        scope.observe("savings", &self.savings);
+        scope.observe("mem", &self.memory);
     }
 }
 

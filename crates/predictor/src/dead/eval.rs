@@ -67,6 +67,19 @@ impl DeadPredictionReport {
     }
 }
 
+impl dide_obs::Observe for DeadPredictionReport {
+    fn observe(&self, scope: &mut dide_obs::Scope<'_>) {
+        scope.counter("eligible", self.eligible);
+        scope.counter("actual_dead", self.actual_dead);
+        scope.counter("predicted_dead", self.predicted_dead);
+        scope.counter("true_positives", self.true_positives);
+        scope.counter("false_positives", self.false_positives);
+        scope.counter("false_negatives", self.false_negatives);
+        scope.counter("true_negatives", self.true_negatives);
+        scope.observe("branch", &self.branch);
+    }
+}
+
 impl fmt::Display for DeadPredictionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

@@ -146,6 +146,13 @@ pub struct BranchStats {
     pub mispredicts: u64,
 }
 
+impl dide_obs::Observe for BranchStats {
+    fn observe(&self, scope: &mut dide_obs::Scope<'_>) {
+        scope.counter("branches", self.branches);
+        scope.counter("mispredicts", self.mispredicts);
+    }
+}
+
 impl BranchStats {
     /// Direction-prediction accuracy in `[0, 1]`.
     #[must_use]

@@ -19,10 +19,16 @@ pub struct GoldenMismatch {
     pub message: String,
 }
 
-/// The snapshot file for an experiment id.
+/// The snapshot file for a document id. Experiment ids (`e7`) get a `.txt`
+/// extension; ids that already carry one (`stats_expr.json`) are used
+/// verbatim.
 #[must_use]
 pub fn golden_path(dir: &Path, id: &str) -> PathBuf {
-    dir.join(format!("{id}.txt"))
+    if Path::new(id).extension().is_some() {
+        dir.join(id)
+    } else {
+        dir.join(format!("{id}.txt"))
+    }
 }
 
 /// Compares rendered tables against the snapshots in `dir`, returning one
@@ -116,6 +122,13 @@ mod tests {
             ("e1".to_string(), "E1\nrow a\nrow b\n".to_string()),
             ("e2".to_string(), "E2\nrow c\n".to_string()),
         ]
+    }
+
+    #[test]
+    fn ids_with_extensions_keep_them() {
+        let dir = Path::new("tests/golden");
+        assert_eq!(golden_path(dir, "e7"), dir.join("e7.txt"));
+        assert_eq!(golden_path(dir, "stats_expr.json"), dir.join("stats_expr.json"));
     }
 
     #[test]

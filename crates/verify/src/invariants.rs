@@ -9,6 +9,7 @@
 
 use dide_analysis::{replay_outputs, verify_dead_removable, DeadnessAnalysis};
 use dide_emu::Trace;
+use dide_obs::{check_rules, CounterSet, Expr, Observe, Rule};
 use dide_pipeline::{Core, DeadElimConfig, PipelineConfig, PipelineStats};
 use dide_predictor::branch::Gshare;
 use dide_predictor::dead::{evaluate, CfiConfig, CfiDeadPredictor};
@@ -53,84 +54,92 @@ fn check_replay(trace: &Trace, analysis: &DeadnessAnalysis, violations: &mut Vec
 }
 
 /// Pipeline invariants: per-run conservation laws plus exact cross-run
-/// laws between a baseline run and elimination runs on the same trace.
+/// laws between a baseline run and elimination runs on the same trace —
+/// all expressed as registry rules over one prefixed [`CounterSet`]
+/// (`base.pipeline.*`, `cfi.pipeline.*`, `oracle.pipeline.*`).
 fn check_pipeline(trace: &Trace, analysis: &DeadnessAnalysis, violations: &mut Vec<String>) {
-    let base = run_pipeline(trace, analysis, PipelineConfig::baseline(), "baseline", violations);
+    let base = run_pipeline(trace, analysis, PipelineConfig::baseline(), "base", violations);
     let cfi_cfg = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
-    let cfi = run_pipeline(trace, analysis, cfi_cfg, "cfi-elim", violations);
+    let cfi = run_pipeline(trace, analysis, cfi_cfg, "cfi", violations);
     let oracle_cfg = PipelineConfig::baseline()
         .with_elimination(DeadElimConfig { oracle: true, ..DeadElimConfig::default() });
-    let oracle = run_pipeline(trace, analysis, oracle_cfg, "oracle-elim", violations);
+    let oracle = run_pipeline(trace, analysis, oracle_cfg, "oracle", violations);
 
-    // Every eliminated write/read/access in an elimination run must show up
-    // as a saving, and nothing else may change: port traffic is conserved
-    // exactly between runs on the same committed path.
-    for (name, elim) in [("cfi-elim", &cfi), ("oracle-elim", &oracle)] {
-        let mut law = |ok: bool, msg: String| {
-            if !ok {
-                violations.push(format!("{name}: {msg}"));
-            }
-        };
-        law(
-            elim.rf_writes + elim.savings.rf_writes_saved == base.rf_writes,
-            format!(
-                "rf_writes ({}) + saved ({}) != baseline rf_writes ({})",
-                elim.rf_writes, elim.savings.rf_writes_saved, base.rf_writes
-            ),
-        );
-        law(
-            elim.rf_reads + elim.savings.rf_reads_saved == base.rf_reads,
-            format!(
-                "rf_reads ({}) + saved ({}) != baseline rf_reads ({})",
-                elim.rf_reads, elim.savings.rf_reads_saved, base.rf_reads
-            ),
-        );
-        law(
-            elim.memory.l1d.accesses + elim.savings.dcache_accesses_saved
-                == base.memory.l1d.accesses,
-            format!(
-                "l1d accesses ({}) + saved ({}) != baseline l1d accesses ({})",
-                elim.memory.l1d.accesses,
-                elim.savings.dcache_accesses_saved,
-                base.memory.l1d.accesses
-            ),
-        );
+    let mut set = CounterSet::new();
+    base.observe(&mut set.scope("base.pipeline"));
+    cfi.observe(&mut set.scope("cfi.pipeline"));
+    oracle.observe(&mut set.scope("oracle.pipeline"));
+
+    let mut rules: Vec<Rule> = Vec::new();
+    // Per-run conservation laws, retargeted into each run's namespace.
+    for run in ["base", "cfi", "oracle"] {
+        rules.extend(PipelineStats::conservation_rules().iter().map(|r| r.prefixed(run)));
+    }
+    // Cross-run conservation between the baseline and each elimination run.
+    for run in ["cfi", "oracle"] {
+        rules.extend(cross_run_rules("base", run));
+    }
+    rules.extend(oracle_exactness_rules("oracle", "cfi"));
+    violations.extend(check_rules(&rules, &set));
+}
+
+/// The exact cross-run conservation laws between a baseline run
+/// (registered under `<base>.pipeline.*`) and an elimination run
+/// (under `<elim>.pipeline.*`) on the same committed path: every
+/// eliminated write/read/access must show up as a saving, and nothing
+/// else may change.
+#[must_use]
+pub fn cross_run_rules(base: &str, elim: &str) -> Vec<Rule> {
+    let b = |n: &str| Expr::counter(format!("{base}.pipeline.{n}"));
+    let e = |n: &str| format!("{elim}.pipeline.{n}");
+    let conserved = |resource: &str, saved: &str| {
+        Rule::eq(Expr::sum([e(resource), e(saved)]), b(resource))
+            .note("port traffic is conserved exactly between runs on one committed path")
+    };
+    vec![
+        conserved("rf_writes", "savings.rf_writes_saved"),
+        conserved("rf_reads", "savings.rf_reads_saved"),
+        conserved("mem.l1d.accesses", "savings.dcache_accesses_saved"),
         // Allocations are only bounded: each dead-tag violation recovery
         // allocates a register the baseline never needed.
-        let recovered = elim.phys_allocs + elim.savings.phys_allocs_saved;
-        law(
-            base.phys_allocs <= recovered && recovered <= base.phys_allocs + elim.dead_violations,
-            format!(
-                "phys_allocs ({}) + saved ({}) outside [baseline ({}), baseline + violations \
-                 ({})]",
-                elim.phys_allocs,
-                elim.savings.phys_allocs_saved,
-                base.phys_allocs,
-                base.phys_allocs + elim.dead_violations
-            ),
-        );
-    }
+        Rule::le(b("phys_allocs"), Expr::sum([e("phys_allocs"), e("savings.phys_allocs_saved")]))
+            .note("elimination cannot allocate fewer registers than it saves"),
+        Rule::le(
+            Expr::sum([e("phys_allocs"), e("savings.phys_allocs_saved")]),
+            Expr::sum([format!("{base}.pipeline.phys_allocs"), e("dead_violations")]),
+        )
+        .note("each recovery allocates at most one extra register"),
+    ]
+}
 
-    // The oracle predictor eliminates exactly the committed oracle-dead
-    // set, and no real predictor can correctly eliminate more than that.
-    if oracle.dead_predicted != oracle.oracle_dead_committed {
-        violations.push(format!(
-            "oracle-elim: dead_predicted ({}) != oracle_dead_committed ({})",
-            oracle.dead_predicted, oracle.oracle_dead_committed
-        ));
-    }
-    if oracle.dead_predicted_correct != oracle.dead_predicted {
-        violations.push(format!(
-            "oracle-elim: dead_predicted_correct ({}) != dead_predicted ({})",
-            oracle.dead_predicted_correct, oracle.dead_predicted
-        ));
-    }
-    if cfi.dead_predicted_correct > oracle.dead_predicted {
-        violations.push(format!(
-            "cfi-elim eliminated more true-dead instructions ({}) than the oracle limit ({})",
-            cfi.dead_predicted_correct, oracle.dead_predicted
-        ));
-    }
+/// Oracle-exactness laws: the oracle predictor eliminates exactly the
+/// committed oracle-dead set, and no real predictor can correctly
+/// eliminate more than that.
+fn oracle_exactness_rules(oracle: &str, cfi: &str) -> Vec<Rule> {
+    let o = |n: &str| Expr::counter(format!("{oracle}.pipeline.{n}"));
+    vec![
+        Rule::eq(o("dead_predicted"), o("oracle_dead_committed"))
+            .note("the oracle eliminates exactly the committed oracle-dead set"),
+        Rule::eq(o("dead_predicted_correct"), o("dead_predicted"))
+            .note("the oracle is never wrong"),
+        Rule::le(
+            Expr::counter(format!("{cfi}.pipeline.dead_predicted_correct")),
+            o("dead_predicted"),
+        )
+        .note("no real predictor correctly eliminates more than the oracle"),
+    ]
+}
+
+/// Checks the cross-run conservation laws between one baseline run and one
+/// elimination run on the same trace, through the counter registry. The
+/// returned messages use the `base.pipeline.*` / `elim.pipeline.*`
+/// namespaces.
+#[must_use]
+pub fn cross_run_violations(base: &PipelineStats, elim: &PipelineStats) -> Vec<String> {
+    let mut set = CounterSet::new();
+    base.observe(&mut set.scope("base.pipeline"));
+    elim.observe(&mut set.scope("elim.pipeline"));
+    check_rules(&cross_run_rules("base", "elim"), &set)
 }
 
 fn run_pipeline(
@@ -147,9 +156,6 @@ fn run_pipeline(
             stats.committed,
             trace.len()
         ));
-    }
-    for law in stats.invariant_violations() {
-        violations.push(format!("{name}: {law}"));
     }
     stats
 }
@@ -219,6 +225,32 @@ mod tests {
         let analysis = DeadnessAnalysis::analyze(&t);
         let v = check_invariants(&t, &analysis);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cross_run_violations_catch_unconserved_savings() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 64);
+        let top = b.label();
+        b.bind(top);
+        b.slt(Reg::T2, Reg::T0, Reg::T1);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T2);
+        b.halt();
+        let t = Emulator::new(&b.build().unwrap()).run().unwrap();
+        let analysis = DeadnessAnalysis::analyze(&t);
+        let base = Core::new(PipelineConfig::baseline()).run(&t, &analysis);
+        let elim_cfg = PipelineConfig::baseline().with_elimination(DeadElimConfig::default());
+        let mut elim = Core::new(elim_cfg).run(&t, &analysis);
+        assert!(cross_run_violations(&base, &elim).is_empty());
+        // Drop one saved write: the conservation rule pinpoints it.
+        elim.savings.rf_writes_saved -= 1;
+        let v = cross_run_violations(&base, &elim);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("rf_writes"), "{}", v[0]);
+        assert!(v[0].contains("conserved"), "{}", v[0]);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! End-to-end flag validation of the `dide` binary.
+//!
+//! Every bad flag value must die with exit code 1 and a one-line
+//! `error: ...` diagnostic naming the flag — never a panic, never a
+//! backtrace, never output on stdout. These run the real binary
+//! (`CARGO_BIN_EXE_dide`), so they cover the flag plumbing the unit tests
+//! in `dide::cli` cannot: which subcommand routes which flag through the
+//! strict parser.
+
+use std::process::{Command, Output};
+
+fn dide(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dide")).args(args).output().expect("dide binary runs")
+}
+
+/// Asserts the invocation fails cleanly: exit 1, empty stdout, and a
+/// single-line stderr diagnostic containing every expected fragment.
+fn assert_one_line_error(args: &[&str], fragments: &[&str]) {
+    let out = dide(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{args:?} must exit 1; stderr: {stderr}");
+    assert!(out.stdout.is_empty(), "{args:?} must not write stdout");
+    assert_eq!(stderr.lines().count(), 1, "{args:?} must emit one line, got: {stderr}");
+    assert!(stderr.starts_with("error: "), "{args:?} stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "{args:?} panicked: {stderr}");
+    for fragment in fragments {
+        assert!(stderr.contains(fragment), "{args:?} stderr missing `{fragment}`: {stderr}");
+    }
+}
+
+#[test]
+fn bench_rejects_bad_scales() {
+    assert_one_line_error(&["bench", "--scales", "0"], &["--scales", ">= 1"]);
+    assert_one_line_error(&["bench", "--scales", ""], &["--scales", "non-empty list"]);
+    assert_one_line_error(&["bench", "--scales", "1,x,4"], &["--scales", ">= 1"]);
+    assert_one_line_error(&["bench", "--scales", "1,4,"], &["--scales"]);
+}
+
+#[test]
+fn run_and_trace_reject_zero_scale() {
+    assert_one_line_error(&["run", "expr", "--scale", "0"], &["--scale", ">= 1"]);
+    assert_one_line_error(&["trace", "expr", "--scale", "zero"], &["--scale", ">= 1"]);
+}
+
+#[test]
+fn verify_rejects_bad_numeric_flags() {
+    assert_one_line_error(&["verify", "--seeds", "many"], &["--seeds"]);
+    assert_one_line_error(&["verify", "--jobs", "0"], &["--jobs", ">= 1"]);
+}
+
+#[test]
+fn stats_rejects_bad_flags() {
+    assert_one_line_error(&["stats", "--benchmark", "nope"], &["unknown benchmark", "dide list"]);
+    assert_one_line_error(&["stats", "--scale", "0"], &["--scale", ">= 1"]);
+    assert_one_line_error(&["stats", "--json", "--csv"], &["at most one"]);
+    assert_one_line_error(&["stats", "--machine", "turbo"], &["unknown machine"]);
+}
+
+#[test]
+fn events_rejects_bad_flags() {
+    assert_one_line_error(&["events", "--last", "0"], &["--last", ">= 1"]);
+    assert_one_line_error(&["events", "--sample-every", "-4"], &["--sample-every", ">= 1"]);
+    assert_one_line_error(&["events", "--benchmark", "nope"], &["unknown benchmark"]);
+}
+
+#[test]
+fn stats_happy_path_emits_schema() {
+    let out = dide(&["stats", "--benchmark", "route", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"dide-stats/v1\""), "{stdout}");
+    assert!(stdout.contains("\"benchmark\": \"route\""), "{stdout}");
+}
+
+#[test]
+fn events_happy_path_shows_tail() {
+    let out = dide(&["events", "--benchmark", "route", "--last", "5", "--eliminate"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recorded event(s)"), "{stdout}");
+}

@@ -1,0 +1,83 @@
+//! End-to-end tests of the observability layer: the `dide stats` golden
+//! snapshots, the `dide-stats/v1` document shape, and the golden plumbing
+//! that snapshots stats documents alongside the experiment tables.
+
+use std::path::{Path, PathBuf};
+
+use dide::{
+    run_golden, run_stats, GoldenOptions, RunSelection, StatsFormat, StatsOptions, STATS_SCHEMA,
+};
+
+fn committed_golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// The snapshotted CFI-elimination document (`tests/golden/stats_expr.json`).
+fn expr_cfi() -> RunSelection {
+    RunSelection { eliminate: true, ..RunSelection::default() }
+}
+
+#[test]
+fn stats_json_matches_committed_golden_snapshot() {
+    // Byte-exact against the blessed snapshot, like the experiment tables.
+    // `dide verify --golden --bless` rewrites it on an intended change.
+    let rendered = run_stats(&StatsOptions { select: expr_cfi(), format: None }).unwrap();
+    let snapshot = std::fs::read_to_string(committed_golden_dir().join("stats_expr.json")).unwrap();
+    assert_eq!(rendered.output, snapshot, "stats document drifted from its golden snapshot");
+}
+
+#[test]
+fn stats_output_is_deterministic_and_well_formed() {
+    // The guard CI relies on, mirrored for BENCH.json: never empty, never
+    // truncated, schema-tagged, and identical across invocations.
+    let a = run_stats(&StatsOptions { select: expr_cfi(), format: None }).unwrap();
+    let b = run_stats(&StatsOptions { select: expr_cfi(), format: None }).unwrap();
+    assert_eq!(a.output, b.output);
+    let json = &a.output;
+    assert!(!json.trim().is_empty());
+    assert!(json.starts_with("{\n") && json.ends_with("}\n"), "truncated document");
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(json.contains(&format!("\"schema\": \"{STATS_SCHEMA}\"")));
+    assert!(a.violations.is_empty(), "conservation laws: {:?}", a.violations);
+}
+
+#[test]
+fn csv_and_json_agree_on_counters() {
+    let select = expr_cfi();
+    let json = run_stats(&StatsOptions { select: select.clone(), format: Some(StatsFormat::Json) })
+        .unwrap();
+    let csv = run_stats(&StatsOptions { select, format: Some(StatsFormat::Csv) }).unwrap();
+    assert!(csv.output.starts_with(&format!("# {STATS_SCHEMA}\n")));
+    // Same registry behind both renderings: every CSV row's value appears
+    // in the JSON under the same counter name.
+    let mut rows = 0;
+    for line in csv.output.lines().skip(2) {
+        let (name, value) = line.split_once(',').expect("counter,value row");
+        assert!(
+            json.output.contains(&format!("\"{name}\": {value}")),
+            "JSON disagrees with CSV on {name}={value}"
+        );
+        rows += 1;
+    }
+    assert!(rows > 30, "expected the full registry, got {rows} rows");
+}
+
+#[test]
+fn blessing_snapshots_stats_documents_alongside_tables() {
+    let dir = std::env::temp_dir().join(format!("dide-obs-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = GoldenOptions {
+        dir: dir.clone(),
+        only: Some(vec!["e1".to_string(), "stats_expr.json".to_string()]),
+        jobs: 1,
+        bless: true,
+    };
+    let run = run_golden(&options).unwrap();
+    assert!(run.report.contains("blessed 2 snapshot(s)"), "{}", run.report);
+    let blessed = std::fs::read_to_string(dir.join("stats_expr.json")).unwrap();
+    assert!(blessed.contains(STATS_SCHEMA));
+    // And the comparison direction is clean against what was just blessed.
+    let check = run_golden(&GoldenOptions { bless: false, ..options }).unwrap();
+    assert_eq!(check.mismatches, 0, "{}", check.report);
+    std::fs::remove_dir_all(&dir).ok();
+}
