@@ -4,10 +4,12 @@
 //! Runs the four pipeline phases (build → trace → analyze → simulate) for
 //! every benchmark at the requested scales, bypassing the fixture cache so
 //! each phase is actually re-executed and timed, and renders the result as
-//! a machine-readable `BENCH.json`. CI runs `dide bench --quick` as a smoke
-//! stage and archives the file; comparing two `BENCH.json` files from
-//! different commits is how analyze/trace-phase regressions are caught
-//! (see `TESTING.md`).
+//! a machine-readable `BENCH.json`. CI runs `dide bench --quick
+//! --check-against BENCH.json` as a smoke stage: the simulate phase is
+//! compared against the committed baseline ([`check_regression`]) and the
+//! report is archived; comparing two `BENCH.json` files from different
+//! commits is how analyze/trace-phase regressions are caught (see
+//! `TESTING.md`).
 //!
 //! The JSON is hand-rolled: the build environment has no serde, and the
 //! schema is small and flat. Key order is fixed so diffs are stable.
@@ -39,13 +41,35 @@ pub struct BenchOptions {
     pub quick: bool,
     /// Where to write the JSON report.
     pub out: PathBuf,
+    /// A committed `BENCH.json` to compare the simulate phase against
+    /// (`--check-against`); see [`check_regression`].
+    pub check_against: Option<PathBuf>,
 }
 
 impl Default for BenchOptions {
     fn default() -> BenchOptions {
-        BenchOptions { scales: vec![1, 4], quick: false, out: PathBuf::from("BENCH.json") }
+        BenchOptions {
+            scales: vec![1, 4],
+            quick: false,
+            out: PathBuf::from("BENCH.json"),
+            check_against: None,
+        }
     }
 }
+
+/// Simulate-phase slowdown (relative to the baseline file) above which
+/// [`check_regression`] fails. Deliberately generous: CI shares one CPU
+/// with other jobs and single-shot phase timings jitter by tens of
+/// percent, so the gate only catches order-of-magnitude regressions
+/// (e.g. an accidentally quadratic pipeline structure), not tuning drift.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Absolute slowdown floor: differences under this many milliseconds are
+/// never flagged, whatever the ratio — sub-millisecond baselines would
+/// otherwise trip on scheduler noise alone. Kept below a single quick-run
+/// simulate phase (~8ms), so a genuine 2x regression there still clears
+/// the floor.
+const REGRESSION_FLOOR_MS: u128 = 5;
 
 /// Wall-clock of the four phases for one benchmark at one scale.
 #[derive(Debug, Clone)]
@@ -81,6 +105,18 @@ pub struct BenchRun {
     pub json: String,
     /// Human-readable summary table (stderr).
     pub report: String,
+    /// Baseline comparison, when `--check-against` was given.
+    pub regression: Option<RegressionCheck>,
+}
+
+/// Outcome of comparing a run's simulate phase against a baseline
+/// `BENCH.json` (see [`check_regression`]).
+#[derive(Debug, Clone)]
+pub struct RegressionCheck {
+    /// Per-benchmark comparison lines, for the report.
+    pub lines: Vec<String>,
+    /// Whether every compared benchmark stayed within the tolerance.
+    pub ok: bool,
 }
 
 /// Wall-clock of one fixed simulation with cycle-event tracing off versus
@@ -146,8 +182,128 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
 
     let json = render_json(scales, &measurements, Some(&events_overhead));
     std::fs::File::create(&options.out)?.write_all(json.as_bytes())?;
-    let report = render_report(&measurements, &events_overhead, &options.out);
-    Ok(BenchRun { measurements, events_overhead, json, report })
+    let mut report = render_report(&measurements, &events_overhead, &options.out);
+    let regression = match &options.check_against {
+        None => None,
+        Some(path) => {
+            let baseline = std::fs::read_to_string(path)?;
+            let check = check_regression(&measurements, &parse_baseline(&baseline));
+            report.push_str(&format!("\n== regression check against {} ==\n", path.display()));
+            for line in &check.lines {
+                report.push_str(line);
+                report.push('\n');
+            }
+            report.push_str(if check.ok {
+                "regression check passed\n"
+            } else {
+                "REGRESSION CHECK FAILED\n"
+            });
+            Some(check)
+        }
+    };
+    Ok(BenchRun { measurements, events_overhead, json, report, regression })
+}
+
+/// A `(benchmark, scale)` simulate-phase time parsed from a baseline
+/// `BENCH.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Workload scale.
+    pub scale: u32,
+    /// Simulate-phase wall-clock, in nanoseconds.
+    pub simulate_ns: u128,
+}
+
+/// Extracts per-benchmark simulate times from a `BENCH.json` document.
+///
+/// The build environment has no serde, so this is a line-oriented reader
+/// of the fixed layout [`render_json`] produces (one key per line inside
+/// each benchmark object, `phases_ns` on a single line). Unparseable
+/// lines are skipped; a malformed file yields an empty baseline, which
+/// [`check_regression`] reports as "no baseline entry" rather than
+/// failing the gate.
+#[must_use]
+pub fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
+    fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\": \""))?;
+        rest.split('"').next()
+    }
+    fn num_field(line: &str, key: &str) -> Option<u128> {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\": "))?;
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    }
+
+    let mut entries = Vec::new();
+    let mut name: Option<String> = None;
+    let mut scale: Option<u32> = None;
+    for line in json.lines() {
+        // `totals_ns` also contains a `"simulate":` key; benchmark
+        // entries are recognized by having seen a `name` first, which the
+        // totals sections never carry.
+        if let Some(n) = str_field(line, "name") {
+            name = Some(n.to_string());
+            scale = None;
+        } else if let Some(s) = num_field(line, "scale") {
+            scale = u32::try_from(s).ok();
+        } else if let Some(i) = line.find("\"simulate\": ") {
+            if let (Some(n), Some(sc)) = (name.take(), scale.take()) {
+                let digits: String = line[i + "\"simulate\": ".len()..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect();
+                if let Ok(ns) = digits.parse() {
+                    entries.push(BaselineEntry { name: n, scale: sc, simulate_ns: ns });
+                }
+            }
+        }
+    }
+    entries
+}
+
+/// Compares each measurement's simulate phase against the baseline.
+///
+/// A benchmark fails when its simulate time exceeds the baseline by more
+/// than [`REGRESSION_FACTOR`] *and* by more than [`REGRESSION_FLOOR_MS`]
+/// of absolute wall-clock; benchmarks without a matching baseline entry
+/// are reported but never fail (the baseline may predate a new workload).
+#[must_use]
+pub fn check_regression(
+    measurements: &[BenchMeasurement],
+    baseline: &[BaselineEntry],
+) -> RegressionCheck {
+    let simulate_slot =
+        Phase::ALL.iter().position(|p| p.label() == "simulate").expect("simulate phase exists");
+    let mut lines = Vec::new();
+    let mut ok = true;
+    for m in measurements {
+        let label = format!("{}@{}/s{}", m.name, m.opt, m.scale);
+        let Some(base) = baseline.iter().find(|b| b.name == m.name && b.scale == m.scale) else {
+            lines.push(format!("{label}: no baseline entry (skipped)"));
+            continue;
+        };
+        let current = m.phases[simulate_slot].as_nanos();
+        #[allow(clippy::cast_precision_loss)]
+        let ratio =
+            if base.simulate_ns == 0 { 1.0 } else { current as f64 / base.simulate_ns as f64 };
+        let over_factor = ratio > REGRESSION_FACTOR;
+        let over_floor = current.saturating_sub(base.simulate_ns) > REGRESSION_FLOOR_MS * 1_000_000;
+        if over_factor && over_floor {
+            ok = false;
+            lines.push(format!(
+                "{label}: simulate {current}ns vs baseline {}ns ({ratio:.2}x) — REGRESSION",
+                base.simulate_ns
+            ));
+        } else {
+            lines.push(format!(
+                "{label}: simulate {current}ns vs baseline {}ns ({ratio:.2}x) — ok",
+                base.simulate_ns
+            ));
+        }
+    }
+    RegressionCheck { lines, ok }
 }
 
 /// Times the same contended-machine simulation with event tracing off and
@@ -404,6 +560,58 @@ mod tests {
         let ev = measure_events_overhead();
         assert!(ev.identical, "event tracing perturbed the pipeline on {}", ev.workload);
         assert!(!ev.off.is_zero() && !ev.sampled.is_zero());
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_the_renderer() {
+        // The parser must read exactly what render_json writes — including
+        // not confusing the `totals_ns` simulate key with a benchmark's.
+        let json = render_json(&[1, 4], &sample(), Some(&overhead()));
+        let parsed = parse_baseline(&json);
+        assert_eq!(
+            parsed,
+            vec![
+                BaselineEntry { name: "expr".into(), scale: 1, simulate_ns: 40 },
+                BaselineEntry { name: "route".into(), scale: 4, simulate_ns: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_parser_tolerates_garbage() {
+        assert!(parse_baseline("").is_empty());
+        assert!(parse_baseline("not json at all").is_empty());
+        assert!(parse_baseline("{\"simulate\": 12}").is_empty(), "simulate without a name");
+    }
+
+    #[test]
+    fn regression_check_flags_only_large_real_slowdowns() {
+        let mut m = sample();
+        // expr baseline 100ms; current 40ns → fine (a speedup).
+        let baseline = vec![
+            BaselineEntry { name: "expr".into(), scale: 1, simulate_ns: 100_000_000 },
+            BaselineEntry { name: "route".into(), scale: 4, simulate_ns: 4 },
+        ];
+        let check = check_regression(&m, &baseline);
+        assert!(check.ok, "{:?}", check.lines);
+        // route: ratio 1.0 — fine.
+        assert!(check.lines[1].contains("ok"));
+
+        // A 3x slowdown that is still under the 5ms floor must pass
+        // (sub-millisecond noise), then one over both thresholds must fail.
+        m[0].phases[3] = Duration::from_nanos(300_000_000);
+        let noisy = vec![BaselineEntry { name: "expr".into(), scale: 1, simulate_ns: 1 }];
+        let check = check_regression(&m[..1], &noisy);
+        assert!(!check.ok, "300ms over a 1ns baseline is a regression");
+        let small = vec![BaselineEntry { name: "expr".into(), scale: 1, simulate_ns: 299_000_000 }];
+        assert!(check_regression(&m[..1], &small).ok, "1ms over baseline is noise");
+    }
+
+    #[test]
+    fn regression_check_skips_unmatched_benchmarks() {
+        let check = check_regression(&sample(), &[]);
+        assert!(check.ok);
+        assert!(check.lines.iter().all(|l| l.contains("no baseline entry")));
     }
 
     #[test]

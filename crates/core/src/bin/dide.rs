@@ -8,7 +8,7 @@
 //!                                         cycle-level pipeline run
 //! dide experiments [--scale N] [--only LIST] [--jobs N] [--timings]
 //!                                         regenerate paper tables (e1..e17)
-//! dide bench [--quick] [--out PATH] [--scales 1,4]
+//! dide bench [--quick] [--out PATH] [--scales 1,4] [--check-against PATH]
 //!                                         timed phase harness -> BENCH.json
 //! dide verify [--seeds N] [--jobs N] [--corpus DIR]
 //!                                         differential fuzzing of the stack
@@ -60,7 +60,7 @@ USAGE:
   dide trace <benchmark> [--scale N] [--opt O0|O2] [--hot N]
   dide run <benchmark> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N]
   dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings]
-  dide bench [--quick] [--out PATH] [--scales 1,4]
+  dide bench [--quick] [--out PATH] [--scales 1,4] [--check-against PATH]
   dide verify [--seeds N] [--jobs N] [--corpus DIR]
   dide verify --golden [--bless] [--dir DIR] [--only e1,e9,...] [--jobs N]
   dide stats [--benchmark NAME] [--json|--csv] [run flags]
@@ -78,6 +78,10 @@ BENCH (perf tracking):
   --scales L   comma-separated workload scales (default 1,4)
                every phase is re-run uncached; wall-clock goes to stderr,
                machine-readable nanoseconds go to the JSON file
+  --check-against PATH
+               compare the simulate phase against a committed BENCH.json
+               and exit 1 on a >2x (and >5ms) slowdown; the tolerance is
+               generous because CI timings on a shared CPU are noisy
 
 VERIFY (differential fuzzing):
   --seeds N    fresh random seeds to check (default 64); each seed runs the
@@ -316,11 +320,15 @@ fn bench(rest: &[&str]) -> ExitCode {
         scales,
         quick: has_flag(rest, "--quick"),
         out: flag_value(rest, "--out").unwrap_or("BENCH.json").into(),
+        check_against: flag_value(rest, "--check-against").map(Into::into),
     };
     match dide::run_bench(&options) {
         Ok(run) => {
             eprintln!("{}", run.report);
-            ExitCode::SUCCESS
+            match &run.regression {
+                Some(check) if !check.ok => fail("bench regression check failed".to_string()),
+                _ => ExitCode::SUCCESS,
+            }
         }
         Err(e) => fail(format!("bench failed: {e}")),
     }

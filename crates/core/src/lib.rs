@@ -52,7 +52,10 @@ mod table;
 pub mod verifyrun;
 mod workbench;
 
-pub use benchrun::{measure_events_overhead, run_bench, BenchOptions, BenchRun, EventsOverhead};
+pub use benchrun::{
+    check_regression, measure_events_overhead, parse_baseline, run_bench, BaselineEntry,
+    BenchOptions, BenchRun, EventsOverhead, RegressionCheck,
+};
 pub use runner::{run_experiments, ExperimentOptions, ExperimentRun};
 pub use statsrun::{
     run_events, run_stats, EventsOptions, EventsRun, RunSelection, StatsFormat, StatsOptions,

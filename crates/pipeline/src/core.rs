@@ -11,24 +11,17 @@ use dide_obs::EventKind;
 use dide_predictor::dead::{CfiDeadPredictor, DeadPredictor, OracleDeadPredictor, PredictInput};
 use dide_predictor::future::CfSignature;
 
-use crate::config::PipelineConfig;
-use crate::frontend::Frontend;
-use crate::fu::{classify, FuClass, FuPool};
+use crate::config::{EliminationPolicy, PipelineConfig};
+use crate::frontend::{FetchBlock, Frontend};
+use crate::fu::{FuClass, FuPool};
 use crate::iq::{IqEntry, IssueQueue};
 use crate::lsq::LoadStoreQueues;
-use crate::regfile::{PhysReg, PhysRegFile};
+use crate::predecode::predecode;
+use crate::regfile::PhysRegFile;
 use crate::rename::{Mapping, RenameMap};
 use crate::rob::{DestInfo, Rob, RobEntry};
 use crate::stats::PipelineStats;
-
-/// A scheduled execution completion.
-#[derive(Debug, Clone, Copy)]
-struct Completion {
-    cycle: u64,
-    seq: u64,
-    dest: Option<PhysReg>,
-    is_store: bool,
-}
+use crate::wheel::{Completion, CompletionQueue};
 
 /// The out-of-order core.
 ///
@@ -36,6 +29,15 @@ struct Completion {
 #[derive(Debug, Clone)]
 pub struct Core {
     config: PipelineConfig,
+}
+
+/// Which rename-blocking stall counter a skipped idle cycle replicates.
+#[derive(Debug, Clone, Copy)]
+enum RenameStall {
+    RobFull,
+    IqFull,
+    LsqFull,
+    NoPhys,
 }
 
 impl Core {
@@ -100,14 +102,15 @@ impl Core {
         let cfg = &self.config;
         let records = trace.records();
         let total = records.len() as u64;
+        let predec = predecode(records, cfg);
 
         let mut stats = PipelineStats::default();
         let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy);
-        let mut frontend = Frontend::new(cfg, records);
+        let mut frontend = Frontend::new(cfg, records, &predec);
         let mut regs = PhysRegFile::new(cfg.phys_regs, Reg::COUNT);
         let mut map = RenameMap::new();
         let mut rob = Rob::new(cfg.rob_entries);
-        let mut iq = IssueQueue::new(cfg.iq_entries);
+        let mut iq = IssueQueue::new(cfg.iq_entries, cfg.phys_regs);
         let mut lsq = LoadStoreQueues::new(cfg.lq_entries, cfg.sq_entries);
         let mut fus = FuPool::new(cfg.fu);
         let mut predictor: Box<dyn DeadPredictor> = if cfg.dead.oracle {
@@ -115,38 +118,47 @@ impl Core {
         } else {
             Box::new(CfiDeadPredictor::new(cfg.dead.predictor))
         };
-        let mut completions: Vec<Completion> = Vec::new();
+        let mut completions = CompletionQueue::new();
         let mut eliminated_stores: HashSet<u64> = HashSet::new();
         let mut rename_stalled_until = 0u64;
+        // Scratch for issue select, reused across cycles.
+        let mut ready_scratch: Vec<(u64, u32)> = Vec::new();
 
         let mut committed = 0u64;
         let mut now = 0u64;
-        let deadlock_guard = 10_000 + total * 1_000;
+        let deadlock_guard = 10_000u64.saturating_add(total.saturating_mul(1_000));
 
         while committed < total {
             assert!(
                 now < deadlock_guard,
-                "pipeline deadlock: {committed}/{total} committed after {now} cycles"
+                "pipeline deadlock: {committed}/{total} committed after {now} cycles \
+                 (rob {}/{}, iq {}/{}, lq {}/{}, sq {}/{}, free regs {})",
+                rob.len(),
+                cfg.rob_entries,
+                iq.len(),
+                cfg.iq_entries,
+                lsq.lq_len(),
+                cfg.lq_entries,
+                lsq.sq_len(),
+                cfg.sq_entries,
+                regs.free_count(),
             );
 
             // ---- writeback: drain completions due this cycle ----
-            let mut i = 0;
-            while i < completions.len() {
-                if completions[i].cycle <= now {
-                    let c = completions.swap_remove(i);
-                    rob.complete(c.seq);
-                    if let Some(p) = c.dest {
-                        regs.set_ready(p);
-                        stats.rf_writes += 1;
-                    }
-                    if c.is_store {
-                        lsq.store_executed(c.seq);
-                    }
-                    if frontend.pending_branch() == Some(c.seq) {
-                        frontend.resolve_branch(c.seq, now);
-                    }
-                } else {
-                    i += 1;
+            // `pop_due` yields same-cycle completions in ascending seq
+            // order (see wheel.rs for why that pinning is benign).
+            while let Some(c) = completions.pop_due(now) {
+                rob.complete(c.seq);
+                if let Some(p) = c.dest {
+                    regs.set_ready(p);
+                    iq.wakeup(p);
+                    stats.rf_writes += 1;
+                }
+                if c.is_store {
+                    lsq.store_executed(c.seq);
+                }
+                if frontend.pending_branch() == Some(c.seq) {
+                    frontend.resolve_branch(c.seq, now);
                 }
             }
 
@@ -157,7 +169,6 @@ impl Core {
                     break;
                 }
                 let e = rob.pop().expect("head exists");
-                let r = &records[e.seq as usize];
                 if let Some(d) = e.dest {
                     if let Mapping::Phys(p) = d.prev {
                         regs.free(p);
@@ -167,7 +178,7 @@ impl Core {
                 if e.is_cond_branch {
                     stats.branches += 1;
                 }
-                if r.inst.op.is_load() && !e.eliminated {
+                if e.is_load && !e.eliminated {
                     lsq.pop_load(e.seq);
                 }
                 if e.is_store {
@@ -175,11 +186,12 @@ impl Core {
                         stats.savings.dcache_accesses_saved += 1;
                     } else {
                         lsq.pop_store(e.seq);
-                        let mem = r.mem.expect("stores carry an access");
+                        let mem = records[e.seq as usize].mem.expect("stores carry an access");
                         hierarchy.access_data(mem.addr, true);
                     }
                 }
                 if e.eligible {
+                    let r = &records[e.seq as usize];
                     let was_dead = analysis.is_dead(e.seq);
                     let input =
                         PredictInput { seq: e.seq, static_index: r.index, signature: e.signature };
@@ -197,50 +209,59 @@ impl Core {
             }
 
             // ---- issue / execute ----
+            let mut issued = 0usize;
             fus.begin_cycle();
-            let mut issued: Vec<usize> = Vec::new();
-            for (pos, e) in iq.entries().iter().enumerate() {
-                if issued.len() == cfg.issue_width {
-                    break;
-                }
-                if !e.ready(&regs) {
-                    continue;
-                }
-                let r = &records[e.seq as usize];
-                if e.is_load {
-                    let mem = r.mem.expect("loads carry an access");
-                    if !lsq.load_may_issue(e.seq, mem) {
+            if iq.ready_count() > 0 {
+                // Select visits only *ready* entries, oldest first — the
+                // queue's age list yields them already in sequence order.
+                ready_scratch.clear();
+                iq.collect_ready(&mut ready_scratch);
+                for &(seq, slot) in &ready_scratch {
+                    if issued == cfg.issue_width {
+                        break;
+                    }
+                    // FU availability first: it is a pure counter check,
+                    // and skipping it saves the (pricier) LSQ probe for
+                    // loads once the memory ports are exhausted. The probe
+                    // is side-effect-free, so swapping the check order
+                    // changes no outcome.
+                    let e = iq.entry(slot);
+                    let fu = e.fu;
+                    if !fus.can_issue(fu, now) {
                         continue;
                     }
-                }
-                let Some(base_latency) = fus.try_issue(e.fu, now) else { continue };
-                let latency = if e.fu == FuClass::Mem {
-                    if e.is_load {
-                        let mem = r.mem.expect("loads carry an access");
+                    let is_load = e.is_load;
+                    if is_load {
+                        let mem = records[seq as usize].mem.expect("loads carry an access");
+                        if !lsq.load_may_issue(seq, mem) {
+                            continue;
+                        }
+                    }
+                    let base_latency = fus.try_issue(fu, now).expect("availability checked above");
+                    let latency = if is_load {
+                        let mem = records[seq as usize].mem.expect("loads carry an access");
                         // The cache is probed either way; a store-to-load
                         // forward shortcuts the latency.
                         let access = hierarchy.access_data(mem.addr, false);
-                        if lsq.load_forwards(e.seq, mem) {
+                        if lsq.load_forwards(seq, mem) {
                             2
                         } else {
                             1 + access
                         }
                     } else {
                         base_latency // store: address generation only
-                    }
-                } else {
-                    base_latency
-                };
-                stats.rf_reads += e.srcs.iter().flatten().count() as u64;
-                completions.push(Completion {
-                    cycle: now + u64::from(latency),
-                    seq: e.seq,
-                    dest: e.dest,
-                    is_store: r.inst.op.is_store(),
-                });
-                issued.push(pos);
+                    };
+                    stats.rf_reads += e.srcs.iter().flatten().count() as u64;
+                    completions.push(Completion {
+                        cycle: now + u64::from(latency),
+                        seq,
+                        dest: e.dest,
+                        is_store: fu == FuClass::Mem && !is_load,
+                    });
+                    iq.remove(slot);
+                    issued += 1;
+                }
             }
-            iq.remove_issued(&issued);
 
             // ---- rename / dispatch ----
             if now >= rename_stalled_until {
@@ -251,16 +272,12 @@ impl Core {
                         break;
                     }
                     let r = &records[seq as usize];
-                    let dest = r.inst.dest();
-                    let is_store = r.inst.op.is_store();
-                    let is_load = r.inst.op.is_load();
+                    let pre = &predec[r.index as usize];
+                    let dest = pre.dest;
+                    let is_store = pre.is_store;
+                    let is_load = pre.is_load;
 
-                    let policy = cfg.dead.policy;
-                    let eligible = if is_store {
-                        policy.covers_stores()
-                    } else {
-                        policy.covers_registers() && dest.is_some() && !r.inst.op.is_control()
-                    };
+                    let eligible = pre.eligible;
                     let signature = if eligible {
                         frontend.signature(seq, cfg.dead.lookahead)
                     } else {
@@ -274,31 +291,43 @@ impl Core {
                         }
                     }
 
+                    let mut srcs = [None, None];
                     if !eliminate {
-                        // Dead-tag violations: this instruction actually
-                        // reads its sources.
-                        for src in r.inst.sources() {
-                            if let Mapping::Dead(_) = map.get(src) {
-                                // Recovery re-executes the producer: it
-                                // needs a register for the materialized
-                                // value.
-                                let Some(p) = regs.alloc() else {
-                                    stats.no_phys_stalls += 1;
+                        // Map sources, detecting dead-tag violations (this
+                        // instruction actually reads its sources) in the
+                        // same pass.
+                        for (i, &src) in pre.srcs.iter().flatten().enumerate() {
+                            match map.get(src) {
+                                Mapping::Phys(p) => srcs[i] = Some(p),
+                                Mapping::Dead(_) => {
+                                    // Recovery re-executes the producer: it
+                                    // needs a register for the materialized
+                                    // value.
+                                    let Some(p) = regs.alloc() else {
+                                        stats.no_phys_stalls += 1;
+                                        break 'rename;
+                                    };
+                                    stats.phys_allocs += 1;
+                                    regs.set_ready(p);
+                                    // No in-flight entry can reference a reg
+                                    // straight off the free list, but keep the
+                                    // set_ready → wakeup pairing uniform.
+                                    iq.wakeup(p);
+                                    map.set(src, Mapping::Phys(p));
+                                    stats.dead_violations += 1;
+                                    if let Some(tr) = events.as_deref_mut() {
+                                        tr.record(now, EventKind::Violation { seq });
+                                    }
+                                    rename_stalled_until =
+                                        now + u64::from(cfg.dead.violation_penalty);
                                     break 'rename;
-                                };
-                                stats.phys_allocs += 1;
-                                regs.set_ready(p);
-                                map.set(src, Mapping::Phys(p));
-                                stats.dead_violations += 1;
-                                if let Some(tr) = events.as_deref_mut() {
-                                    tr.record(now, EventKind::Violation { seq });
                                 }
-                                rename_stalled_until = now + u64::from(cfg.dead.violation_penalty);
-                                break 'rename;
                             }
                         }
-                        // Loads can also trip over eliminated stores.
-                        if is_load {
+                        // Loads can also trip over eliminated stores. (The
+                        // emptiness guard keeps elimination-off runs from
+                        // hashing every load's producer set.)
+                        if is_load && !eliminated_stores.is_empty() {
                             for &p in analysis.producers(seq) {
                                 if eliminated_stores.remove(&p) {
                                     stats.dead_violations += 1;
@@ -320,12 +349,12 @@ impl Core {
                         // state and trains the predictor at commit.
                         let dest_info = dest.map(|arch| {
                             let prev = map.set(arch, Mapping::Dead(seq));
-                            DestInfo { arch, new: Mapping::Dead(seq), prev }
+                            DestInfo { prev }
                         });
                         stats.savings.phys_allocs_saved += u64::from(dest.is_some());
                         stats.savings.iq_slots_saved += 1;
                         stats.savings.rf_writes_saved += u64::from(dest.is_some());
-                        stats.savings.rf_reads_saved += r.inst.sources().count() as u64;
+                        stats.savings.rf_reads_saved += pre.srcs.iter().flatten().count() as u64;
                         if is_load {
                             stats.savings.dcache_accesses_saved += 1;
                         }
@@ -341,8 +370,9 @@ impl Core {
                             dest: dest_info,
                             eliminated: true,
                             completed: true,
+                            is_load,
                             is_store,
-                            is_cond_branch: r.is_cond_branch(),
+                            is_cond_branch: pre.is_cond_branch,
 
                             eligible,
                             signature,
@@ -370,21 +400,12 @@ impl Core {
                         break;
                     }
 
-                    let mut srcs = [None, None];
-                    for (slot, src) in r.inst.sources().enumerate() {
-                        match map.get(src) {
-                            Mapping::Phys(p) => srcs[slot] = Some(p),
-                            Mapping::Dead(_) => {
-                                unreachable!("dead-tag sources were materialized above")
-                            }
-                        }
-                    }
                     let dest_info = dest.map(|arch| {
                         let p = regs.alloc().expect("free count checked above");
                         stats.phys_allocs += 1;
                         dest_phys = Some(p);
                         let prev = map.set(arch, Mapping::Phys(p));
-                        DestInfo { arch, new: Mapping::Phys(p), prev }
+                        DestInfo { prev }
                     });
 
                     if is_load {
@@ -393,21 +414,16 @@ impl Core {
                     if is_store {
                         lsq.push_store(seq, r.mem.expect("stores carry an access"));
                     }
-                    iq.push(IqEntry {
-                        seq,
-                        srcs,
-                        fu: classify(r.inst.op),
-                        is_load,
-                        dest: dest_phys,
-                    });
+                    iq.push(IqEntry { seq, srcs, fu: pre.fu, is_load, dest: dest_phys }, &regs);
                     stats.dispatched += 1;
                     rob.push(RobEntry {
                         seq,
                         dest: dest_info,
                         eliminated: false,
                         completed: false,
+                        is_load,
                         is_store,
-                        is_cond_branch: r.is_cond_branch(),
+                        is_cond_branch: pre.is_cond_branch,
 
                         eligible,
                         signature,
@@ -442,8 +458,118 @@ impl Core {
             }
 
             now += 1;
-        }
 
+            // ---- idle-cycle skip-ahead ----
+            // When no stage can make progress, jump `now` to the next
+            // cycle at which one can, replicating exactly the per-cycle
+            // accounting the skipped no-op cycles would have performed.
+            // Stage-by-stage, a cycle `t` in the skipped window is a no-op:
+            //  * writeback — the earliest pending completion bounds the
+            //    target, so nothing is due before it;
+            //  * commit — requires a *completed* ROB head, checked below;
+            //    nothing completes in the window, and dispatch (which can
+            //    push pre-completed eliminated entries) is blocked;
+            //  * issue — requires a ready IQ entry, checked below; wakeups
+            //    only happen at writeback, dispatch is blocked;
+            //  * rename — before `rename_wake`, rename is gated by its
+            //    stall window or an empty/unready fetch buffer and touches
+            //    no counter. From `rename_wake` on, the buffer-front
+            //    instruction is presented every cycle; if a structural
+            //    resource blocks it, the attempt's only side effect is one
+            //    stall-counter bump, replicated below, and the window may
+            //    extend past `rename_wake`. A full ROB qualifies
+            //    unconditionally (the check precedes every other rename
+            //    side effect, including the predictor verdict and its
+            //    event). The IQ/LSQ/phys-reg checks qualify only with
+            //    elimination off, where nothing is ever `eligible`: the
+            //    attempt then runs no predictor query, records no event,
+            //    and the dead-tag scan is read-only, so re-running it every
+            //    skipped cycle is observationally a counter bump. If no
+            //    resource blocks, rename would dispatch: `rename_wake`
+            //    bounds the target;
+            //  * fetch — classified via `block_state`: blocked states only
+            //    bump `fetch_stall_cycles` (replicated below); a state that
+            //    would fetch forbids skipping outright.
+            // All machine state is therefore frozen across the window and
+            // the classification cannot change mid-window, except for
+            // `Stalled`, whose expiry cycle also bounds the target.
+            if committed < total
+                && iq.ready_count() == 0
+                && !rob.head().is_some_and(|h| h.completed)
+            {
+                let mut target = completions.next_cycle().unwrap_or(u64::MAX);
+                let rename_wake = match frontend.next_ready_at() {
+                    Some(ready_at) => ready_at.max(rename_stalled_until),
+                    None => u64::MAX,
+                };
+                let blocked = if rob.is_full() {
+                    Some(RenameStall::RobFull)
+                } else if cfg.dead.policy == EliminationPolicy::Off {
+                    frontend.next_seq().and_then(|seq| {
+                        let pre = &predec[records[seq as usize].index as usize];
+                        if iq.is_full() {
+                            Some(RenameStall::IqFull)
+                        } else if (pre.is_load && lsq.lq_full()) || (pre.is_store && lsq.sq_full())
+                        {
+                            Some(RenameStall::LsqFull)
+                        } else if pre.dest.is_some() && regs.free_count() == 0 {
+                            Some(RenameStall::NoPhys)
+                        } else {
+                            None
+                        }
+                    })
+                } else {
+                    None
+                };
+                if blocked.is_none() {
+                    target = target.min(rename_wake);
+                }
+                let fetch_stalls = match frontend.block_state(now) {
+                    FetchBlock::Pending | FetchBlock::BufferFull => true,
+                    FetchBlock::Stalled(until) => {
+                        target = target.min(until);
+                        true
+                    }
+                    FetchBlock::Exhausted => false,
+                    FetchBlock::Progress => {
+                        target = now; // fetch would advance: cannot skip
+                        false
+                    }
+                };
+                if let Some(tr) = events.as_deref() {
+                    // Never skip over an occupancy-sample cycle; the loop
+                    // body records it naturally once `now` lands there.
+                    let every = tr.config().sample_every;
+                    if every > 0 {
+                        target = target.min(now.next_multiple_of(every));
+                    }
+                }
+                if target > now && target != u64::MAX {
+                    let skipped = target - now;
+                    stats.rob_occupancy_sum += rob.len() as u64 * skipped;
+                    stats.iq_occupancy_sum += iq.len() as u64 * skipped;
+                    stats.phys_used_sum +=
+                        (cfg.phys_regs - regs.free_count()).saturating_sub(Reg::COUNT) as u64
+                            * skipped;
+                    if fetch_stalls {
+                        stats.fetch_stall_cycles += skipped;
+                    }
+                    if rename_wake < target {
+                        // Each skipped cycle from `rename_wake` on would
+                        // have presented a ready instruction to rename and
+                        // stalled on the blocking resource.
+                        let stalled = target - rename_wake.max(now);
+                        match blocked.expect("an unblocked rename bounds the target") {
+                            RenameStall::RobFull => stats.rob_full_stalls += stalled,
+                            RenameStall::IqFull => stats.iq_full_stalls += stalled,
+                            RenameStall::LsqFull => stats.lsq_full_stalls += stalled,
+                            RenameStall::NoPhys => stats.no_phys_stalls += stalled,
+                        }
+                    }
+                    now = target;
+                }
+            }
+        }
         debug_assert!(frontend.drained(), "all instructions must pass through fetch");
         stats.cycles = now;
         stats.memory = hierarchy.stats();
@@ -614,6 +740,43 @@ mod tests {
             .filter(|e| matches!(e.kind, EventKind::Verdict { predicted_dead: true, .. }))
             .count();
         assert!(verdicts > 0, "an eliminating run must record dead verdicts");
+    }
+
+    #[test]
+    fn eliminated_stores_never_reach_the_store_queue() {
+        // Each iteration's first store is overwritten before any load:
+        // the oracle eliminates it at rename, so it must never be pushed
+        // into the store queue or issued. If one ever leaked into the
+        // execute path, writeback's `store_executed` would panic on the
+        // absent sequence number (see lsq.rs) — this run completing is
+        // the regression guard.
+        let mut b = ProgramBuilder::new("deadstores");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 200);
+        let top = b.label();
+        b.bind(top);
+        b.sd(Reg::T0, Reg::SP, -8); // dead: overwritten below, never read
+        b.sd(Reg::T1, Reg::SP, -8);
+        b.ld(Reg::T2, Reg::SP, -8);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T2);
+        b.halt();
+        let t = Emulator::new(&b.build().unwrap()).run().unwrap();
+        let a = DeadnessAnalysis::analyze(&t);
+        let cfg = PipelineConfig::baseline().with_elimination(DeadElimConfig {
+            policy: EliminationPolicy::StoreOnly,
+            oracle: true,
+            ..DeadElimConfig::default()
+        });
+        let stats = Core::new(cfg).run(&t, &a);
+        assert_eq!(stats.committed, t.len() as u64);
+        assert!(stats.dead_predicted > 0, "the oracle must eliminate the dead stores");
+        assert!(
+            stats.savings.dcache_accesses_saved > 0,
+            "eliminated stores must skip the D-cache at commit"
+        );
+        assert!(stats.invariant_violations().is_empty(), "{:?}", stats.invariant_violations());
     }
 
     #[test]

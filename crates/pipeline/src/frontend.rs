@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use dide_emu::DynInst;
-use dide_isa::{index_to_pc, OpcodeKind, Reg};
+use dide_isa::index_to_pc;
 use dide_mem::MemoryHierarchy;
 use dide_predictor::branch::{
     BranchPredictor, Btb, BtbConfig, Gshare, ReturnAddressStack, TargetCache,
@@ -11,6 +11,7 @@ use dide_predictor::branch::{
 use dide_predictor::future::{pack_events, CfEvent, CfSignature};
 
 use crate::config::PipelineConfig;
+use crate::predecode::{Ctrl, PreDec};
 use crate::stats::PipelineStats;
 
 /// An instruction sitting in the fetch buffer.
@@ -19,6 +20,27 @@ struct Fetched {
     seq: u64,
     /// Cycle at which the instruction reaches the rename stage.
     ready_at: u64,
+}
+
+/// What [`Frontend::fetch`] would do at a given cycle, for the cycle
+/// loop's idle-skip decision. Mirrors `fetch`'s check order exactly:
+/// pending branch / stall window first, then trace exhaustion, then buffer
+/// occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FetchBlock {
+    /// Blocked on an unresolved mispredicted branch; counts a fetch-stall
+    /// cycle. Only a backend completion can unblock it.
+    Pending,
+    /// Blocked until the contained cycle (I-cache fill, redirect penalty,
+    /// BTB miss); counts a fetch-stall cycle while blocked.
+    Stalled(u64),
+    /// Trace exhausted: fetch is a silent no-op forever.
+    Exhausted,
+    /// Fetch buffer full; counts a fetch-stall cycle. Only rename draining
+    /// the buffer can unblock it.
+    BufferFull,
+    /// Fetch would make progress; the cycle cannot be skipped.
+    Progress,
 }
 
 /// The fetch engine.
@@ -35,6 +57,9 @@ struct Fetched {
 #[derive(Debug)]
 pub(crate) struct Frontend<'t> {
     records: &'t [DynInst],
+    /// Per-static-instruction decode (control class, RAS behavior),
+    /// indexed by `DynInst::index`.
+    predec: &'t [PreDec],
     pos: usize,
     buffer: VecDeque<Fetched>,
     buffer_cap: usize,
@@ -57,12 +82,20 @@ pub(crate) struct Frontend<'t> {
     jump_aware: bool,
     last_line: Option<u64>,
     l1i_hit_latency: u32,
+    /// `log2` of the I-cache line size (line sizes are asserted to be
+    /// powers of two), so the per-instruction line check is a shift.
+    line_shift: u32,
 }
 
 impl<'t> Frontend<'t> {
-    pub(crate) fn new(config: &PipelineConfig, records: &'t [DynInst]) -> Frontend<'t> {
+    pub(crate) fn new(
+        config: &PipelineConfig,
+        records: &'t [DynInst],
+        predec: &'t [PreDec],
+    ) -> Frontend<'t> {
         Frontend {
             records,
+            predec,
             pos: 0,
             buffer: VecDeque::with_capacity(config.fetch_buffer),
             buffer_cap: config.fetch_buffer,
@@ -80,6 +113,7 @@ impl<'t> Frontend<'t> {
             jump_aware: config.dead.jump_aware,
             last_line: None,
             l1i_hit_latency: config.hierarchy.l1i.hit_latency,
+            line_shift: config.hierarchy.l1i.line_bytes.trailing_zeros(),
         }
     }
 
@@ -107,6 +141,37 @@ impl<'t> Frontend<'t> {
     /// pipe by cycle `now`.
     pub(crate) fn peek_ready(&self, now: u64) -> Option<u64> {
         self.buffer.front().filter(|f| f.ready_at <= now).map(|f| f.seq)
+    }
+
+    /// Cycle at which the oldest buffered instruction reaches rename
+    /// (`None` when the buffer is empty). [`Frontend::peek_ready`] first
+    /// succeeds at this cycle: the buffer is FIFO and `ready_at` is
+    /// monotone in fetch order, so the front has the earliest.
+    pub(crate) fn next_ready_at(&self) -> Option<u64> {
+        self.buffer.front().map(|f| f.ready_at)
+    }
+
+    /// Sequence number of the instruction rename will see next (the buffer
+    /// front), whether or not it is ready yet.
+    pub(crate) fn next_seq(&self) -> Option<u64> {
+        self.buffer.front().map(|f| f.seq)
+    }
+
+    /// Classifies what [`Frontend::fetch`] would do at cycle `t`, assuming
+    /// no intervening frontend activity. The checks replicate `fetch`'s
+    /// order (and its stall-counter behavior, documented per variant).
+    pub(crate) fn block_state(&self, t: u64) -> FetchBlock {
+        if self.pending_branch.is_some() {
+            FetchBlock::Pending
+        } else if t < self.stalled_until {
+            FetchBlock::Stalled(self.stalled_until)
+        } else if self.pos == self.records.len() {
+            FetchBlock::Exhausted
+        } else if self.buffer.len() == self.buffer_cap {
+            FetchBlock::BufferFull
+        } else {
+            FetchBlock::Progress
+        }
     }
 
     /// Consumes the oldest buffered instruction.
@@ -151,7 +216,7 @@ impl<'t> Frontend<'t> {
 
             // I-cache: charge when the group crosses into a new line.
             let pc = index_to_pc(r.index);
-            let line = pc / u64::from(hierarchy.config().l1i.line_bytes as u32);
+            let line = pc >> self.line_shift;
             if self.last_line != Some(line) {
                 let latency = hierarchy.access_inst(pc);
                 self.last_line = Some(line);
@@ -166,8 +231,9 @@ impl<'t> Frontend<'t> {
                 .push_back(Fetched { seq: r.seq, ready_at: now + u64::from(self.frontend_depth) });
             self.pos += 1;
 
-            match r.inst.op.kind() {
-                OpcodeKind::Branch(_) => {
+            match self.predec[r.index as usize].ctrl {
+                Ctrl::None => {}
+                Ctrl::CondBranch => {
                     let predicted = self.gshare.predict(r.index);
                     self.gshare.update(r.index, r.taken);
                     self.events.push_back((r.seq, CfEvent::Cond(predicted)));
@@ -186,18 +252,17 @@ impl<'t> Frontend<'t> {
                         return; // taken branch ends the fetch group
                     }
                 }
-                OpcodeKind::Jal => {
-                    if r.inst.rd == Reg::RA {
+                Ctrl::Jal { push_ras } => {
+                    if push_ras {
                         self.ras.push(r.index + 1);
                     }
                     return; // direct target known at decode; group ends
                 }
-                OpcodeKind::Jalr => {
-                    let is_return = r.inst.rs1 == Reg::RA && r.inst.rd.is_zero();
+                Ctrl::Jalr { is_return, push_ras } => {
                     let predicted = if is_return {
                         self.ras.pop()
                     } else {
-                        if r.inst.rd == Reg::RA {
+                        if push_ras {
                             self.ras.push(r.index + 1);
                         }
                         self.targets.predict(r.index)
@@ -215,8 +280,7 @@ impl<'t> Frontend<'t> {
                     }
                     return; // indirect transfer ends the fetch group
                 }
-                OpcodeKind::Halt => return,
-                _ => {}
+                Ctrl::Halt => return,
             }
         }
     }
@@ -229,7 +293,7 @@ mod tests {
     use dide_isa::{ProgramBuilder, Reg};
     use dide_mem::HierarchyConfig;
 
-    fn setup(iters: i64) -> (Vec<DynInst>, PipelineConfig) {
+    fn setup(iters: i64) -> (Vec<DynInst>, Vec<PreDec>, PipelineConfig) {
         let mut b = ProgramBuilder::new("f");
         b.li(Reg::T0, 0);
         b.li(Reg::T1, iters);
@@ -240,13 +304,15 @@ mod tests {
         b.out(Reg::T0);
         b.halt();
         let t = Emulator::new(&b.build().unwrap()).run().unwrap();
-        (t.records().to_vec(), PipelineConfig::baseline())
+        let cfg = PipelineConfig::baseline();
+        let predec = crate::predecode::predecode(t.records(), &cfg);
+        (t.records().to_vec(), predec, cfg)
     }
 
     #[test]
     fn fetches_in_order_and_drains() {
-        let (records, cfg) = setup(3);
-        let mut fe = Frontend::new(&cfg, &records);
+        let (records, predec, cfg) = setup(3);
+        let mut fe = Frontend::new(&cfg, &records, &predec);
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         let mut stats = PipelineStats::default();
         let mut got = Vec::new();
@@ -270,8 +336,8 @@ mod tests {
 
     #[test]
     fn signature_reflects_upcoming_branch_predictions() {
-        let (records, cfg) = setup(5);
-        let mut fe = Frontend::new(&cfg, &records);
+        let (records, predec, cfg) = setup(5);
+        let mut fe = Frontend::new(&cfg, &records, &predec);
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         let mut stats = PipelineStats::default();
         // Fetch for a while to accumulate branch predictions.
@@ -288,8 +354,8 @@ mod tests {
 
     #[test]
     fn mispredict_blocks_fetch_until_resolved() {
-        let (records, cfg) = setup(8);
-        let mut fe = Frontend::new(&cfg, &records);
+        let (records, predec, cfg) = setup(8);
+        let mut fe = Frontend::new(&cfg, &records, &predec);
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         let mut stats = PipelineStats::default();
         let mut now = 0;
@@ -314,8 +380,8 @@ mod tests {
 
     #[test]
     fn mispredicts_counted() {
-        let (records, cfg) = setup(50);
-        let mut fe = Frontend::new(&cfg, &records);
+        let (records, predec, cfg) = setup(50);
+        let mut fe = Frontend::new(&cfg, &records, &predec);
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         let mut stats = PipelineStats::default();
         for now in 0..100_000 {

@@ -54,6 +54,18 @@ impl FuPool {
         self.mem_used = 0;
     }
 
+    /// Whether a unit of `class` could be claimed at `cycle`, without
+    /// claiming it. Lets the select loop skip per-entry issue checks (LSQ
+    /// disambiguation probes) once a class is exhausted this cycle.
+    pub(crate) fn can_issue(&self, class: FuClass, cycle: u64) -> bool {
+        match class {
+            FuClass::Alu => self.alu_used < self.config.alus,
+            FuClass::Mul => self.mul_used < self.config.muls,
+            FuClass::Div => cycle >= self.div_busy_until,
+            FuClass::Mem => self.mem_used < self.config.mem_ports,
+        }
+    }
+
     /// Attempts to claim a unit of `class` at `cycle`; returns the
     /// operation's base execution latency on success.
     pub(crate) fn try_issue(&mut self, class: FuClass, cycle: u64) -> Option<u32> {

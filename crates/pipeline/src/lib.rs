@@ -54,10 +54,12 @@ mod frontend;
 mod fu;
 mod iq;
 mod lsq;
+mod predecode;
 mod regfile;
 mod rename;
 mod rob;
 mod stats;
+mod wheel;
 
 pub use crate::core::Core;
 pub use config::{DeadElimConfig, EliminationPolicy, FuConfig, PipelineConfig};

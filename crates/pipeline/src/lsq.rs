@@ -4,6 +4,15 @@
 //! disambiguation is exact ("oracle"): a load may issue once every older
 //! overlapping store has executed (its address and data are known). This is
 //! a common simulator idealization; see DESIGN.md's substitution table.
+//!
+//! The store queue is **indexed** rather than scanned: entries are
+//! seq-sorted (dispatch order), so seq→slot resolution is a binary search,
+//! and an **executed-prefix** index tracks the first unexecuted entry —
+//! [`LoadStoreQueues::load_may_issue`], called every cycle for every
+//! ready-but-blocked load, answers from the prefix in O(1) in the common
+//! case and only walks the (short) unexecuted window otherwise. An address
+//! envelope over the queued stores lets loads disjoint from everything in
+//! the queue skip the walk entirely.
 
 use std::collections::VecDeque;
 
@@ -22,9 +31,24 @@ pub(crate) struct StoreEntry {
 #[derive(Debug, Clone)]
 pub(crate) struct LoadStoreQueues {
     loads: VecDeque<u64>,
+    /// Seq-sorted (dispatch-order) store entries.
     stores: VecDeque<StoreEntry>,
+    /// Queue index of the oldest unexecuted store (== `stores.len()` when
+    /// every queued store has executed). Entries before it have all
+    /// executed: the executed-prefix summary.
+    first_unexecuted: usize,
+    /// Conservative address envelope (first byte, last byte) over the
+    /// queued stores; grows on push, reset when the queue drains. Loads
+    /// disjoint from the envelope overlap nothing in the queue.
+    envelope: Option<(u64, u64)>,
     lq_capacity: usize,
     sq_capacity: usize,
+}
+
+/// Inclusive byte interval of an access (addresses near `u64::MAX`
+/// saturate, matching [`MemAccess::overlaps`]).
+fn span(mem: MemAccess) -> (u64, u64) {
+    (mem.addr, mem.addr.saturating_add(mem.width.bytes() - 1))
 }
 
 impl LoadStoreQueues {
@@ -33,6 +57,8 @@ impl LoadStoreQueues {
         LoadStoreQueues {
             loads: VecDeque::new(),
             stores: VecDeque::new(),
+            first_unexecuted: 0,
+            envelope: None,
             lq_capacity,
             sq_capacity,
         }
@@ -61,26 +87,84 @@ impl LoadStoreQueues {
 
     pub(crate) fn push_store(&mut self, seq: u64, mem: MemAccess) {
         debug_assert!(!self.sq_full());
+        debug_assert!(
+            self.stores.back().is_none_or(|last| last.seq < seq),
+            "store queue must stay seq-ordered"
+        );
         self.stores.push_back(StoreEntry { seq, mem, executed: false });
+        let (lo, hi) = span(mem);
+        self.envelope = Some(match self.envelope {
+            None => (lo, hi),
+            Some((elo, ehi)) => (elo.min(lo), ehi.max(hi)),
+        });
+    }
+
+    /// Number of queued stores older than `seq` (also: the queue index of
+    /// `seq` itself, when present).
+    fn older_than(&self, seq: u64) -> usize {
+        self.stores.partition_point(|s| s.seq < seq)
     }
 
     /// Marks the store with sequence `seq` as executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in the queue: every executed store was
+    /// dispatched and has not yet committed, so a miss means a model bug —
+    /// most likely an *eliminated* store leaking an execution completion.
+    #[inline]
     pub(crate) fn store_executed(&mut self, seq: u64) {
-        if let Some(e) = self.stores.iter_mut().find(|e| e.seq == seq) {
-            e.executed = true;
+        let idx = self.older_than(seq);
+        assert!(
+            self.stores.get(idx).is_some_and(|e| e.seq == seq),
+            "store_executed: seq {seq} is not in the store queue \
+             (an eliminated or committed store leaked a completion)"
+        );
+        self.stores[idx].executed = true;
+        if idx == self.first_unexecuted {
+            while self.stores.get(self.first_unexecuted).is_some_and(|e| e.executed) {
+                self.first_unexecuted += 1;
+            }
         }
     }
 
     /// Whether the load with sequence `seq` may issue: every older store
     /// whose access overlaps has executed.
+    #[inline]
     pub(crate) fn load_may_issue(&self, seq: u64, mem: MemAccess) -> bool {
-        self.stores.iter().take_while(|s| s.seq < seq).all(|s| s.executed || !s.mem.overlaps(mem))
+        if self.outside_envelope(mem) {
+            return true;
+        }
+        let older = self.older_than(seq);
+        if older <= self.first_unexecuted {
+            return true; // executed-prefix fast path: all older stores done
+        }
+        self.stores
+            .iter()
+            .skip(self.first_unexecuted)
+            .take(older - self.first_unexecuted)
+            .all(|s| s.executed || !s.mem.overlaps(mem))
     }
 
     /// Whether the load would be forwarded from an executed, older,
     /// overlapping store still in the queue.
+    #[inline]
     pub(crate) fn load_forwards(&self, seq: u64, mem: MemAccess) -> bool {
-        self.stores.iter().take_while(|s| s.seq < seq).any(|s| s.executed && s.mem.overlaps(mem))
+        if self.outside_envelope(mem) {
+            return false;
+        }
+        let older = self.older_than(seq);
+        self.stores.iter().take(older).any(|s| s.executed && s.mem.overlaps(mem))
+    }
+
+    fn outside_envelope(&self, mem: MemAccess) -> bool {
+        match self.envelope {
+            None => true,
+            Some((elo, ehi)) => {
+                let (lo, hi) = span(mem);
+                hi < elo || lo > ehi
+            }
+        }
     }
 
     /// Retires the oldest load (at commit).
@@ -92,7 +176,12 @@ impl LoadStoreQueues {
     /// Retires the oldest store (at commit).
     pub(crate) fn pop_store(&mut self, seq: u64) {
         debug_assert_eq!(self.stores.front().map(|e| e.seq), Some(seq), "stores retire in order");
-        self.stores.pop_front();
+        let popped = self.stores.pop_front().expect("store queue non-empty");
+        debug_assert!(popped.executed, "stores execute before they commit");
+        self.first_unexecuted = self.first_unexecuted.saturating_sub(1);
+        if self.stores.is_empty() {
+            self.envelope = None; // the envelope only ever grows; reset when drained
+        }
     }
 }
 
@@ -192,8 +281,57 @@ mod tests {
         lsq.push_store(2, acc(0x0, MemWidth::B1));
         assert!(lsq.sq_full());
         lsq.pop_load(1);
+        lsq.store_executed(2);
         lsq.pop_store(2);
         assert!(!lsq.lq_full());
         assert!(!lsq.sq_full());
+    }
+
+    #[test]
+    fn executed_prefix_tracks_out_of_order_execution() {
+        // Stores execute 3, then 1, then 2: the prefix index must only
+        // advance over the contiguous executed run at the head.
+        let mut lsq = LoadStoreQueues::new(8, 8);
+        lsq.push_store(1, acc(0x100, MemWidth::B8));
+        lsq.push_store(2, acc(0x108, MemWidth::B8));
+        lsq.push_store(3, acc(0x110, MemWidth::B8));
+        lsq.push_load(4);
+        let probe = acc(0x100, MemWidth::B8);
+        lsq.store_executed(3);
+        assert!(!lsq.load_may_issue(4, probe), "head store still pending");
+        lsq.store_executed(1);
+        assert!(lsq.load_may_issue(4, probe), "only the overlapping store matters");
+        lsq.store_executed(2);
+        assert!(lsq.load_may_issue(4, acc(0x108, MemWidth::B8)));
+        // Retire everything in order; the prefix stays consistent and a
+        // later push still disambiguates correctly.
+        lsq.pop_store(1);
+        lsq.pop_store(2);
+        lsq.pop_store(3);
+        lsq.push_store(5, acc(0x100, MemWidth::B8));
+        lsq.push_load(6);
+        assert!(!lsq.load_may_issue(6, probe));
+        lsq.store_executed(5);
+        assert!(lsq.load_may_issue(6, probe));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the store queue")]
+    fn completion_for_unknown_store_panics() {
+        // Satellite regression: a completion for a store that was never
+        // dispatched (e.g. an *eliminated* store) must not silently no-op.
+        let mut lsq = LoadStoreQueues::new(4, 4);
+        lsq.push_store(1, acc(0x100, MemWidth::B8));
+        lsq.store_executed(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the store queue")]
+    fn completion_for_committed_store_panics() {
+        let mut lsq = LoadStoreQueues::new(4, 4);
+        lsq.push_store(1, acc(0x100, MemWidth::B8));
+        lsq.store_executed(1);
+        lsq.pop_store(1);
+        lsq.store_executed(1);
     }
 }

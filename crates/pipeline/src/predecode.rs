@@ -1,0 +1,132 @@
+//! Per-static-instruction predecode table.
+//!
+//! Fetch, rename and commit all need the same opcode-derived facts for
+//! every dynamic instance of an instruction; resolving them once per
+//! *static* instruction replaces repeated `Opcode::kind` dispatch (an
+//! indirect jump per instruction) on the hot path with a table lookup
+//! indexed by the record's static index.
+
+use dide_isa::{OpcodeKind, Reg};
+
+use crate::config::PipelineConfig;
+use crate::fu::{classify, FuClass};
+
+/// Control-flow class of a static instruction, with the register facts
+/// fetch needs (return-address-stack pushes, return detection) folded in
+/// so the fetch loop never re-examines operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ctrl {
+    /// Not a control transfer: fetch keeps streaming.
+    None,
+    /// Conditional branch: gshare-predicted; ends the group when taken.
+    CondBranch,
+    /// Direct jump: target known at decode; ends the fetch group.
+    /// `push_ras` when it links through `ra`.
+    Jal { push_ras: bool },
+    /// Indirect jump: target predicted (RAS for returns, target cache
+    /// otherwise); ends the fetch group.
+    Jalr { is_return: bool, push_ras: bool },
+    /// Trace terminator.
+    Halt,
+}
+
+/// Per-static-instruction decode, indexed by `DynInst::index`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PreDec {
+    pub(crate) dest: Option<Reg>,
+    pub(crate) srcs: [Option<Reg>; 2],
+    pub(crate) fu: FuClass,
+    pub(crate) is_load: bool,
+    pub(crate) is_store: bool,
+    pub(crate) is_cond_branch: bool,
+    /// Eligibility for dead prediction under the run's (fixed) policy.
+    pub(crate) eligible: bool,
+    pub(crate) ctrl: Ctrl,
+}
+
+/// Builds the table for a trace by decoding the first dynamic instance of
+/// each static instruction.
+pub(crate) fn predecode(records: &[dide_emu::DynInst], cfg: &PipelineConfig) -> Vec<PreDec> {
+    let placeholder = PreDec {
+        dest: None,
+        srcs: [None, None],
+        fu: FuClass::Alu,
+        is_load: false,
+        is_store: false,
+        is_cond_branch: false,
+        eligible: false,
+        ctrl: Ctrl::None,
+    };
+    let max_index = records.iter().map(|r| r.index as usize).max().map_or(0, |m| m + 1);
+    let mut table = vec![placeholder; max_index];
+    let mut seen = vec![false; max_index];
+    let policy = cfg.dead.policy;
+    for r in records {
+        let idx = r.index as usize;
+        if seen[idx] {
+            continue;
+        }
+        seen[idx] = true;
+        let dest = r.inst.dest();
+        let mut srcs = [None, None];
+        for (i, s) in r.inst.sources().enumerate() {
+            srcs[i] = Some(s);
+        }
+        let is_store = r.inst.op.is_store();
+        let ctrl = match r.inst.op.kind() {
+            OpcodeKind::Branch(_) => Ctrl::CondBranch,
+            OpcodeKind::Jal => Ctrl::Jal { push_ras: r.inst.rd == Reg::RA },
+            OpcodeKind::Jalr => Ctrl::Jalr {
+                is_return: r.inst.rs1 == Reg::RA && r.inst.rd.is_zero(),
+                push_ras: r.inst.rd == Reg::RA,
+            },
+            OpcodeKind::Halt => Ctrl::Halt,
+            _ => Ctrl::None,
+        };
+        table[idx] = PreDec {
+            dest,
+            srcs,
+            fu: classify(r.inst.op),
+            is_load: r.inst.op.is_load(),
+            is_store,
+            is_cond_branch: r.is_cond_branch(),
+            eligible: if is_store {
+                policy.covers_stores()
+            } else {
+                policy.covers_registers() && dest.is_some() && !r.inst.op.is_control()
+            },
+            ctrl,
+        };
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use dide_emu::Emulator;
+    use dide_isa::ProgramBuilder;
+
+    #[test]
+    fn control_classes_cover_the_jump_shapes() {
+        let mut b = ProgramBuilder::new("ctrl");
+        b.li(Reg::T0, 1);
+        let f = b.label();
+        let over = b.label();
+        b.j(over); // skip the function body
+        b.bind(f);
+        b.ret(); // jalr zero, ra, 0: a return
+        b.bind(over);
+        b.call(f); // jal ra, f: links through ra
+        b.out(Reg::T0);
+        b.halt();
+        let t = Emulator::new(&b.build().unwrap()).run().unwrap();
+        let pre = predecode(t.records(), &PipelineConfig::baseline());
+        let by_seq: Vec<Ctrl> = t.records().iter().map(|r| pre[r.index as usize].ctrl).collect();
+        assert!(by_seq.contains(&Ctrl::Jal { push_ras: true }), "{by_seq:?}");
+        assert!(by_seq.contains(&Ctrl::Jalr { is_return: true, push_ras: false }), "{by_seq:?}");
+        assert_eq!(*by_seq.last().unwrap(), Ctrl::Halt);
+        assert_eq!(by_seq[0], Ctrl::None);
+    }
+}

@@ -1,10 +1,12 @@
-//! Physical register file with a free list and ready bits.
+//! Physical register file with a free list and a ready bitset.
 
 /// Index of a physical register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct PhysReg(pub(crate) u16);
 
-/// The physical register file: a free list plus per-register ready bits.
+/// The physical register file: a free list plus a per-register ready
+/// bitset (one bit per register, packed into `u64` words so readiness
+/// tests are an index + mask).
 ///
 /// The first 32 physical registers are pre-allocated to the architectural
 /// registers at reset and marked ready; the remainder form the free list.
@@ -13,7 +15,8 @@ pub(crate) struct PhysReg(pub(crate) u16);
 #[derive(Debug, Clone)]
 pub(crate) struct PhysRegFile {
     free: Vec<PhysReg>,
-    ready: Vec<bool>,
+    /// Ready bits, 64 registers per word.
+    ready: Vec<u64>,
 }
 
 impl PhysRegFile {
@@ -23,8 +26,10 @@ impl PhysRegFile {
         assert!(total > reserved, "need more than {reserved} physical registers");
         assert!(total <= u16::MAX as usize, "physical register file too large");
         let free = (reserved..total).rev().map(|i| PhysReg(i as u16)).collect();
-        let mut ready = vec![false; total];
-        ready[..reserved].fill(true);
+        let mut ready = vec![0u64; total.div_ceil(64)];
+        for i in 0..reserved {
+            ready[i / 64] |= 1 << (i % 64);
+        }
         PhysRegFile { free, ready }
     }
 
@@ -32,7 +37,7 @@ impl PhysRegFile {
     /// empty.
     pub(crate) fn alloc(&mut self) -> Option<PhysReg> {
         let p = self.free.pop()?;
-        self.ready[p.0 as usize] = false;
+        self.ready[p.0 as usize / 64] &= !(1 << (p.0 as usize % 64));
         Some(p)
     }
 
@@ -44,12 +49,12 @@ impl PhysRegFile {
 
     /// Marks a register's value as available.
     pub(crate) fn set_ready(&mut self, p: PhysReg) {
-        self.ready[p.0 as usize] = true;
+        self.ready[p.0 as usize / 64] |= 1 << (p.0 as usize % 64);
     }
 
     /// Whether a register's value is available.
     pub(crate) fn is_ready(&self, p: PhysReg) -> bool {
-        self.ready[p.0 as usize]
+        self.ready[p.0 as usize / 64] & (1 << (p.0 as usize % 64)) != 0
     }
 
     /// Registers currently on the free list.
@@ -109,6 +114,22 @@ mod tests {
         let rf = PhysRegFile::new(40, 32);
         for i in 0..32 {
             assert!(rf.is_ready(PhysReg(i)));
+        }
+    }
+
+    #[test]
+    fn ready_bits_straddle_word_boundaries() {
+        // Registers 63/64 and 127/128 sit on either side of the packed u64
+        // word edges; setting an edge bit must not alias its neighbors.
+        let mut rf = PhysRegFile::new(160, 32);
+        while rf.alloc().is_some() {} // registers 32..160 all allocated, not ready
+        for edge in [63u16, 64, 127, 128] {
+            assert!(!rf.is_ready(PhysReg(edge)), "register {edge} starts not ready");
+            rf.set_ready(PhysReg(edge));
+            assert!(rf.is_ready(PhysReg(edge)));
+        }
+        for neighbor in [62u16, 65, 126, 129] {
+            assert!(!rf.is_ready(PhysReg(neighbor)), "edge bits must not leak to {neighbor}");
         }
     }
 

@@ -1,23 +1,17 @@
 //! Reorder buffer.
 
-use dide_isa::Reg;
 use dide_predictor::future::CfSignature;
 
 use crate::rename::Mapping;
 
-/// Destination bookkeeping for a renamed instruction.
+/// Destination bookkeeping for a renamed instruction: the mapping the
+/// rename displaced (freed when this entry commits, if physical). Commit
+/// is the only consumer — the architectural register and the installed
+/// mapping are recoverable from the trace record if diagnostics ever need
+/// them, so the ROB does not carry them through the pipeline.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct DestInfo {
-    /// Architectural destination (kept for diagnostics and future
-    /// squash-based recovery).
-    #[allow(dead_code)]
-    pub(crate) arch: Reg,
-    /// The new mapping installed at rename (kept for diagnostics and future
-    /// squash-based recovery).
-    #[allow(dead_code)]
-    pub(crate) new: Mapping,
-    /// The mapping displaced at rename (freed when this entry commits, if
-    /// physical).
+    /// The mapping displaced at rename.
     pub(crate) prev: Mapping,
 }
 
@@ -33,6 +27,8 @@ pub(crate) struct RobEntry {
     /// Whether execution has completed (eliminated entries complete
     /// immediately).
     pub(crate) completed: bool,
+    /// Whether the instruction is a load.
+    pub(crate) is_load: bool,
     /// Whether the instruction is a store.
     pub(crate) is_store: bool,
     /// Whether the instruction is a conditional branch.
@@ -100,6 +96,7 @@ mod tests {
             dest: None,
             eliminated: false,
             completed: false,
+            is_load: false,
             is_store: false,
             is_cond_branch: false,
             eligible: false,

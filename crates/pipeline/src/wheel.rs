@@ -1,0 +1,285 @@
+//! Completion event wheel: execution completions keyed by cycle.
+//!
+//! The pre-rework writeback stage kept pending completions in a flat `Vec`
+//! and scan-and-`swap_remove`d the due ones every cycle — O(in-flight) per
+//! cycle, and with a *tie order for same-cycle completions that depended
+//! on prior removal history*. This queue is a calendar wheel: a power-of-
+//! two ring of buckets indexed by `cycle & mask`, plus an occupancy
+//! bitmask over the buckets.
+//!
+//! * the per-cycle drain check is a single bit test ([`CompletionQueue::
+//!   pop_due`]), and draining touches only due events;
+//! * same-cycle completions drain in **ascending sequence order**, a
+//!   defined, insertion-order-independent tie-break (the per-completion
+//!   writeback actions — ROB complete, ready-bit set, store-executed mark,
+//!   branch resolve — commute architecturally, so this pinning keeps all
+//!   goldens byte-identical while making the order reproducible). Buckets
+//!   are kept sorted by descending seq, so popping from the back yields
+//!   ascending seq;
+//! * [`CompletionQueue::next_cycle`] is a short bitmask scan, which is
+//!   what lets the cycle loop skip ahead over stretches of cycles where
+//!   nothing completes.
+//!
+//! A binary heap was tried first and measurably lost: every push and pop
+//! pays O(log n) branchy comparisons, while in-flight lifetimes are
+//! bounded by the execution latencies (≲ 100 cycles for a worst-case
+//! memory access), so a modest ring indexes every pending event directly.
+//! If a configuration ever schedules past the horizon, the wheel grows to
+//! the next power of two that fits.
+
+use crate::regfile::PhysReg;
+
+/// A scheduled execution completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Completion {
+    /// Cycle at which the result becomes available.
+    pub(crate) cycle: u64,
+    /// Completing instruction's dynamic sequence number.
+    pub(crate) seq: u64,
+    /// Destination physical register to mark ready, if any.
+    pub(crate) dest: Option<PhysReg>,
+    /// Whether the completion marks a store's address/data as known.
+    pub(crate) is_store: bool,
+}
+
+/// Covers the deepest default pipeline latency (a through-memory load)
+/// with room to spare.
+const MIN_BUCKETS: usize = 256;
+
+/// Min-queue of pending completions, draining in `(cycle, seq)` order.
+///
+/// The caller drains with `pop_due(now)` at every cycle it visits and
+/// never jumps `now` past [`CompletionQueue::next_cycle`], so all pending
+/// completions lie in `(cursor, cursor + buckets.len()]`.
+#[derive(Debug, Clone)]
+pub(crate) struct CompletionQueue {
+    /// Ring of buckets indexed by `cycle & mask`, each sorted by
+    /// descending seq.
+    buckets: Vec<Vec<Completion>>,
+    /// One bit per bucket: non-empty.
+    occupied: Vec<u64>,
+    mask: u64,
+    /// All cycles `<= cursor` have been fully drained.
+    cursor: u64,
+    len: usize,
+}
+
+impl Default for CompletionQueue {
+    fn default() -> CompletionQueue {
+        CompletionQueue::with_buckets(MIN_BUCKETS)
+    }
+}
+
+impl CompletionQueue {
+    pub(crate) fn new() -> CompletionQueue {
+        CompletionQueue::default()
+    }
+
+    fn with_buckets(n: usize) -> CompletionQueue {
+        debug_assert!(n.is_power_of_two() && n >= 64);
+        CompletionQueue {
+            buckets: vec![Vec::new(); n],
+            occupied: vec![0; n / 64],
+            mask: n as u64 - 1,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules a completion. `c.cycle` must be beyond the last fully
+    /// drained cycle.
+    #[inline(always)]
+    pub(crate) fn push(&mut self, c: Completion) {
+        debug_assert!(c.cycle > self.cursor, "completion scheduled into the past");
+        if c.cycle - self.cursor > self.buckets.len() as u64 {
+            self.grow(c.cycle);
+        }
+        let b = (c.cycle & self.mask) as usize;
+        let bucket = &mut self.buckets[b];
+        let pos = bucket.partition_point(|e| e.seq > c.seq);
+        bucket.insert(pos, c);
+        self.occupied[b / 64] |= 1 << (b % 64);
+        self.len += 1;
+    }
+
+    /// Pops the oldest completion due at `now`, if any. Repeated calls
+    /// drain a cycle's completions in ascending sequence order; a `None`
+    /// return marks `now` as fully drained.
+    #[inline(always)]
+    pub(crate) fn pop_due(&mut self, now: u64) -> Option<Completion> {
+        let b = (now & self.mask) as usize;
+        if self.occupied[b / 64] & (1 << (b % 64)) == 0 {
+            if now > self.cursor {
+                self.cursor = now;
+            }
+            return None;
+        }
+        let bucket = &mut self.buckets[b];
+        debug_assert_eq!(bucket.last().map(|c| c.cycle), Some(now), "bucket alias");
+        let c = bucket.pop().expect("occupied bucket is non-empty");
+        if bucket.is_empty() {
+            self.occupied[b / 64] &= !(1 << (b % 64));
+        }
+        self.len -= 1;
+        Some(c)
+    }
+
+    /// Cycle of the earliest pending completion (the skip-ahead bound).
+    pub(crate) fn next_cycle(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let start = ((self.cursor + 1) & self.mask) as usize;
+        let mut word = start / 64;
+        let mut bits = self.occupied[word] & !((1u64 << (start % 64)) - 1);
+        for _ in 0..=n / 64 {
+            if bits != 0 {
+                let b = word * 64 + bits.trailing_zeros() as usize;
+                let delta = (b + n - start) & (n - 1);
+                return Some(self.cursor + 1 + delta as u64);
+            }
+            word = (word + 1) % (n / 64);
+            bits = self.occupied[word];
+        }
+        unreachable!("len > 0 but no occupied bucket");
+    }
+
+    /// Re-homes every pending completion into a ring large enough that
+    /// `cycle` is within the horizon.
+    fn grow(&mut self, cycle: u64) {
+        let need = (cycle - self.cursor).next_power_of_two() as usize;
+        let mut bigger = CompletionQueue::with_buckets(need.max(2 * self.buckets.len()));
+        bigger.cursor = self.cursor;
+        for bucket in &self.buckets {
+            for &c in bucket {
+                bigger.push(c);
+            }
+        }
+        *self = bigger;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion(cycle: u64, seq: u64) -> Completion {
+        Completion { cycle, seq, dest: None, is_store: seq.is_multiple_of(2) }
+    }
+
+    fn drain_all(q: &mut CompletionQueue) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        loop {
+            while let Some(c) = q.pop_due(now) {
+                out.push((c.cycle, c.seq));
+            }
+            match q.next_cycle() {
+                Some(next) => now = next,
+                None => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn drains_by_cycle_then_seq() {
+        let mut q = CompletionQueue::new();
+        for (cycle, seq) in [(5, 9), (3, 4), (5, 2), (3, 1), (8, 7)] {
+            q.push(completion(cycle, seq));
+        }
+        assert_eq!(q.next_cycle(), Some(3));
+        assert_eq!(drain_all(&mut q), [(3, 1), (3, 4), (5, 2), (5, 9), (8, 7)]);
+    }
+
+    #[test]
+    fn nothing_due_before_its_cycle() {
+        let mut q = CompletionQueue::new();
+        q.push(completion(4, 0));
+        assert!(q.pop_due(3).is_none());
+        assert!(q.pop_due(4).is_some());
+        assert!(q.pop_due(5).is_none());
+        assert_eq!(q.next_cycle(), None);
+    }
+
+    #[test]
+    fn wraps_and_grows_past_the_horizon() {
+        let mut q = CompletionQueue::new();
+        // March far enough that bucket indices wrap the ring several
+        // times, with events spaced near the horizon.
+        let mut now = 0u64;
+        for round in 0..40u64 {
+            let cycle = now + 90 + (round % 13);
+            q.push(completion(cycle, round));
+            while q.pop_due(now).is_none() && q.next_cycle().is_some() {
+                now = q.next_cycle().unwrap();
+            }
+            assert_eq!(q.next_cycle(), None, "drained round {round}");
+        }
+        // A completion beyond the ring forces growth and survives it.
+        q.push(completion(now + 5, 1000));
+        q.push(completion(now + 10_000, 1001));
+        assert_eq!(q.next_cycle(), Some(now + 5));
+        assert_eq!(drain_all_from(&mut q, now), [(now + 5, 1000), (now + 10_000, 1001)]);
+    }
+
+    fn drain_all_from(q: &mut CompletionQueue, mut now: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        loop {
+            while let Some(c) = q.pop_due(now) {
+                out.push((c.cycle, c.seq));
+            }
+            match q.next_cycle() {
+                Some(next) => now = next,
+                None => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn every_insertion_permutation_drains_identically() {
+        // The satellite bugfix this queue locks in: same-cycle completion
+        // order must not depend on insertion (previously removal) history.
+        // All 720 permutations of a set with two same-cycle tie groups must
+        // drain in one canonical (cycle, seq) order.
+        let events = [(2u64, 3u64), (2, 8), (2, 5), (7, 1), (7, 6), (9, 0)];
+        let canonical = {
+            let mut q = CompletionQueue::new();
+            for &(c, s) in &events {
+                q.push(completion(c, s));
+            }
+            drain_all(&mut q)
+        };
+        let mut expected = events.to_vec();
+        expected.sort_unstable();
+        assert_eq!(canonical, expected, "drain order is ascending (cycle, seq)");
+
+        // Heap's algorithm, iteratively: deterministic enumeration of all
+        // n! orders without any randomness.
+        let mut perm = events;
+        let mut counters = [0usize; 6];
+        let mut i = 0;
+        let mut checked = 1u32;
+        while i < perm.len() {
+            if counters[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(counters[i], i);
+                }
+                let mut q = CompletionQueue::new();
+                for &(c, s) in &perm {
+                    q.push(completion(c, s));
+                }
+                assert_eq!(drain_all(&mut q), canonical, "permutation {perm:?} diverged");
+                checked += 1;
+                counters[i] += 1;
+                i = 0;
+            } else {
+                counters[i] = 0;
+                i += 1;
+            }
+        }
+        assert_eq!(checked, 720, "visited every permutation");
+    }
+}

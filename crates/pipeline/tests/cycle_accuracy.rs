@@ -1,0 +1,140 @@
+//! Cycle-accuracy pins: hand-built micro-traces with known exact cycle
+//! counts, asserted before the simulate-phase hot-path rework and kept
+//! green through it. These pin the model at *cycle* granularity — an
+//! off-by-one in writeback ordering, idle-cycle skip-ahead, or issue
+//! select shows up here even when end-to-end benchmark stats still agree.
+//!
+//! The exact constants were recorded from the pre-rework cycle loop (the
+//! per-cycle linear-scan implementation); every relative assertion below
+//! explains *why* the counts relate the way they do, so a legitimate model
+//! change (as opposed to a rework bug) is distinguishable.
+
+use dide_analysis::DeadnessAnalysis;
+use dide_emu::{Emulator, Trace};
+use dide_isa::{ProgramBuilder, Reg};
+use dide_pipeline::{Core, PipelineConfig, PipelineStats};
+
+fn run(trace: &Trace, config: PipelineConfig) -> PipelineStats {
+    let analysis = DeadnessAnalysis::analyze(trace);
+    Core::new(config).run(trace, &analysis)
+}
+
+/// A loop whose body is a chain of `body` serially dependent `addi`s (the
+/// chain value carries across iterations, so issue fully serializes); the
+/// loop warms the I-cache and branch predictor, isolating wakeup/select
+/// timing from cold-fetch effects.
+fn dep_chain_loop(body: usize, iters: i64) -> Trace {
+    let mut b = ProgramBuilder::new("chain");
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, iters);
+    b.li(Reg::T2, 0);
+    let top = b.label();
+    b.bind(top);
+    for _ in 0..body {
+        b.addi(Reg::T2, Reg::T2, 1);
+    }
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.blt(Reg::T0, Reg::T1, top);
+    b.out(Reg::T2);
+    b.halt();
+    Emulator::new(&b.build().unwrap()).run().unwrap()
+}
+
+/// A loop whose body is `body` *independent* single-cycle ALU ops (all
+/// reading the stable `S0`), so throughput is capped by issue width once
+/// the I-cache and branch predictor are warm.
+fn independent_alus_loop(body: usize, iters: i64) -> Trace {
+    let mut b = ProgramBuilder::new("wide");
+    b.li(Reg::S0, 7);
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, iters);
+    let top = b.label();
+    b.bind(top);
+    for i in 0..body {
+        b.addi(Reg::TEMPS[2 + i % 6], Reg::S0, i as i64);
+    }
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.blt(Reg::T0, Reg::T1, top);
+    b.halt();
+    Emulator::new(&b.build().unwrap()).run().unwrap()
+}
+
+/// A store at `SP-8` followed by a load of the same (or a disjoint)
+/// address, then a consumer of the loaded value.
+fn store_then_load(overlapping: bool) -> Trace {
+    let mut b = ProgramBuilder::new("stld");
+    b.li(Reg::T0, 99);
+    b.sd(Reg::T0, Reg::SP, -8);
+    b.ld(Reg::T1, Reg::SP, if overlapping { -8 } else { -16 });
+    b.addi(Reg::T2, Reg::T1, 1);
+    b.out(Reg::T2);
+    b.halt();
+    Emulator::new(&b.build().unwrap()).run().unwrap()
+}
+
+/// A blocking 12-cycle divide at the ROB head, then `k` independent adds
+/// that must all wait for commit space behind it.
+fn div_then_adds(k: usize) -> Trace {
+    let mut b = ProgramBuilder::new("robfull");
+    b.li(Reg::T0, 144);
+    b.li(Reg::T1, 12);
+    b.div(Reg::T2, Reg::T0, Reg::T1);
+    for i in 0..k {
+        b.addi(Reg::TEMPS[3 + i % 4], Reg::S0, i as i64);
+    }
+    b.out(Reg::T2);
+    b.halt();
+    Emulator::new(&b.build().unwrap()).run().unwrap()
+}
+
+#[test]
+fn single_dependency_chain_is_cycle_exact() {
+    let short = run(&dep_chain_loop(8, 50), PipelineConfig::baseline());
+    let long = run(&dep_chain_loop(16, 50), PipelineConfig::baseline());
+    assert_eq!(short.cycles, 499, "8-link chain body cycles");
+    assert_eq!(long.cycles, 981, "16-link chain body cycles");
+    // The chain value carries across iterations, so every extra link costs
+    // at least one cycle per iteration (8 extra links × 50 iterations =
+    // 400 cycles, plus the occasional fetch bubble on the longer body).
+    assert!(long.cycles - short.cycles >= 400, "one cycle per link per iteration");
+}
+
+#[test]
+fn issue_width_saturation_is_cycle_exact() {
+    let w4 = run(&independent_alus_loop(12, 50), PipelineConfig::baseline());
+    assert_eq!(w4.cycles, 411, "4-wide cycles");
+    let mut narrow = PipelineConfig::baseline();
+    narrow.issue_width = 1;
+    let w1 = run(&independent_alus_loop(12, 50), narrow);
+    assert_eq!(w1.cycles, 900, "1-wide cycles");
+    // A warm loop of independent ALU ops is issue-width-bound: ~14 ops per
+    // iteration need ≥14 cycles at width 1 but ~4 at width 4.
+    assert!(w1.cycles > 2 * w4.cycles, "1-wide must be at least 2x slower");
+}
+
+#[test]
+fn load_blocked_on_overlapping_store_is_cycle_exact() {
+    let blocked = run(&store_then_load(true), PipelineConfig::baseline());
+    let free = run(&store_then_load(false), PipelineConfig::baseline());
+    assert_eq!(blocked.cycles, 105, "overlapping store+load cycles");
+    assert_eq!(free.cycles, 195, "disjoint store+load cycles");
+    // The overlapping load waits for the store to execute, then forwards
+    // (fixed 2-cycle latency, no memory round-trip); the disjoint load
+    // issues immediately alongside the store but pays the L1D cold miss
+    // the forwarded load avoids, so the *disjoint* variant is slower here.
+    assert!(free.cycles > blocked.cycles);
+}
+
+#[test]
+fn rob_full_stall_is_cycle_exact() {
+    let mut tiny = PipelineConfig::baseline();
+    tiny.rob_entries = 4;
+    let stats = run(&div_then_adds(32), tiny);
+    assert_eq!(stats.cycles, 292, "tiny-ROB div cycles");
+    assert!(stats.rob_full_stalls > 0, "the divide must back the 4-entry ROB up into rename");
+    // The same program on the 128-entry baseline ROB never stalls rename.
+    let roomy = run(&div_then_adds(32), PipelineConfig::baseline());
+    assert_eq!(roomy.cycles, 291, "baseline-ROB div cycles");
+    assert_eq!(roomy.rob_full_stalls, 0);
+    assert!(stats.cycles > roomy.cycles, "backpressure must cost cycles");
+}
