@@ -1,0 +1,95 @@
+; matmul.asm — 8x8 integer matrix multiply, repeated for 4 rounds.
+;
+; A is initialised from the .data image, B is filled at runtime, and
+; C = A x B is recomputed every round into the same buffer. Only the final
+; round's stores are read by the checksum loop at the end, so three out of
+; four rounds produce dead stores — rich ground for the deadness analysis.
+
+.data
+A:
+  .word  1,  2,  3,  4,  5,  6,  7,  8
+  .word  2,  3,  4,  5,  6,  7,  8,  9
+  .word  3,  4,  5,  6,  7,  8,  9, 10
+  .word  4,  5,  6,  7,  8,  9, 10, 11
+  .word  5,  6,  7,  8,  9, 10, 11, 12
+  .word  6,  7,  8,  9, 10, 11, 12, 13
+  .word  7,  8,  9, 10, 11, 12, 13, 14
+  .word  8,  9, 10, 11, 12, 13, 14, 15
+B:
+  .zero 256
+C:
+  .zero 256
+
+.text
+main:
+  la   g0, A
+  la   g1, B
+  la   g2, C
+
+  ; fill B at runtime: B[k] = (k & 7) + 1, i.e. column index + 1
+  li   t0, 0            ; k
+  li   t1, 64
+initb:
+  andi t2, t0, 7
+  addi t2, t2, 1
+  slli t3, t0, 2
+  add  t3, t3, g1
+  sw   t2, 0(t3)
+  addi t0, t0, 1
+  blt  t0, t1, initb
+
+  li   s3, 0            ; round counter
+rounds:
+  li   s0, 0            ; i
+iloop:
+  li   s1, 0            ; j
+jloop:
+  li   s5, 0            ; accumulator
+  li   s2, 0            ; k
+kloop:
+  slli t0, s0, 3        ; t2 = A[i][k]
+  add  t0, t0, s2
+  slli t0, t0, 2
+  add  t0, t0, g0
+  lw   t2, 0(t0)
+  slli t1, s2, 3        ; t3 = B[k][j]
+  add  t1, t1, s1
+  slli t1, t1, 2
+  add  t1, t1, g1
+  lw   t3, 0(t1)
+  mul  t2, t2, t3
+  add  s5, s5, t2
+  addi s2, s2, 1
+  li   t4, 8
+  blt  s2, t4, kloop
+
+  slli t0, s0, 3        ; C[i][j] = acc — dead in every round but the last
+  add  t0, t0, s1
+  slli t0, t0, 2
+  add  t0, t0, g2
+  sw   s5, 0(t0)
+
+  addi s1, s1, 1
+  li   t4, 8
+  blt  s1, t4, jloop
+  addi s0, s0, 1
+  li   t4, 8
+  blt  s0, t4, iloop
+  addi s3, s3, 1
+  li   t4, 4
+  blt  s3, t4, rounds
+
+  ; checksum over the final C
+  li   s5, 0
+  li   t0, 0
+  li   t1, 64
+sumloop:
+  slli t2, t0, 2
+  add  t2, t2, g2
+  lw   t3, 0(t2)
+  add  s5, s5, t3
+  addi t0, t0, 1
+  blt  t0, t1, sumloop
+
+  out  s5
+  halt

@@ -1,0 +1,40 @@
+; prime.asm — trial-division prime counting over [2, 400].
+;
+; Outputs: the number of primes found (78), the largest prime (397), and a
+; per-iteration snapshot register whose intermediate writes are dead — only
+; the final write before `done:` is ever read, which makes this a natural
+; workload for dead-instruction detection.
+
+main:
+  li   s0, 2            ; candidate under test
+  li   s1, 400          ; inclusive upper limit
+  li   s2, 0            ; count of primes found
+  li   s3, 0            ; largest prime seen
+  li   s4, 0            ; snapshot (count + candidate), dead until the end
+
+outer:
+  blt  s1, s0, done     ; candidate > limit -> finished
+  li   t0, 2            ; trial divisor
+
+trial:
+  mul  t1, t0, t0
+  blt  s0, t1, is_prime ; divisor^2 > candidate -> no factor exists
+  rem  t2, s0, t0
+  beq  t2, zero, not_prime
+  addi t0, t0, 1
+  j    trial
+
+is_prime:
+  addi s2, s2, 1
+  mv   s3, s0
+
+not_prime:
+  add  s4, s0, s2       ; dead on every iteration but the last
+  addi s0, s0, 1
+  j    outer
+
+done:
+  out  s2               ; 78 primes in [2, 400]
+  out  s3               ; largest is 397
+  out  s4               ; final snapshot: 400 + 78 = 478
+  halt

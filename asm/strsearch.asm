@@ -1,0 +1,55 @@
+; strsearch.asm — naive substring search over a NUL-terminated text.
+;
+; A `count` subroutine (exercising call/ret, i.e. jal/jalr) scans the text
+; for a pattern and returns the number of occurrences in a0. It is invoked
+; for two patterns; a snapshot register written on every outer-loop
+; iteration is read only once at the very end, so all but its final write
+; are dead.
+
+.data
+text:
+  .asciz "the quick brown fox jumps over the lazy dog; then the other theory sees the lethal panther breathe"
+pat1:
+  .asciz "the"
+pat2:
+  .asciz "er"
+
+.text
+main:
+  la   g0, text
+  la   a1, pat1
+  call count
+  mv   s0, a0           ; "the" occurs 9 times
+  la   a1, pat2
+  call count
+  mv   s1, a0           ; "er" occurs 3 times
+  out  s0
+  out  s1
+  out  s4               ; final snapshot only; earlier writes are dead
+  halt
+
+; count(a1 = pattern) -> a0 = occurrences of the pattern in the text at g0
+count:
+  li   a0, 0
+  mv   t0, g0           ; outer cursor over the text
+c_outer:
+  lbu  t1, 0(t0)
+  beq  t1, zero, c_done
+  mv   t2, t0           ; text cursor for this candidate position
+  mv   t3, a1           ; pattern cursor
+c_cmp:
+  lbu  t4, 0(t3)
+  beq  t4, zero, c_hit  ; pattern exhausted -> match
+  lbu  t5, 0(t2)
+  bne  t4, t5, c_miss
+  addi t2, t2, 1
+  addi t3, t3, 1
+  j    c_cmp
+c_hit:
+  addi a0, a0, 1
+c_miss:
+  add  s4, a0, t0       ; dead on every iteration but the very last
+  addi t0, t0, 1
+  j    c_outer
+c_done:
+  ret

@@ -33,6 +33,18 @@ cargo build --release
 echo "== tier-1: test suite =="
 cargo test -q
 
+echo "== asm frontend: assemble, round-trip, diagnostic drift =="
+# Every shipped .asm file must assemble from its on-disk text (the builtin
+# copies are embedded at compile time; this catches a drifted working
+# tree), the round-trip property suite must pass, and the parser's error
+# messages must match the committed snapshot byte-for-byte.
+for f in asm/*.asm; do
+  cargo run --release --bin dide -- disasm "$f" > /dev/null \
+    || { echo "$f does not assemble" >&2; exit 1; }
+done
+cargo test -q -p dide --test asm_roundtrip
+cargo run --release --bin dide -- verify --golden --only asm_errors.txt,run_prime.txt,stats_prime.json
+
 echo "== differential verify (${VERIFY_SEEDS} seeds) =="
 cargo run --release --bin dide -- verify --seeds "${VERIFY_SEEDS}" --jobs 2
 

@@ -1,0 +1,67 @@
+//! The `.asm` benchmarks shipped in the repository's `asm/` directory,
+//! embedded at compile time so they are available as first-class workloads
+//! (for `dide run`, `dide verify`, `dide stats`, and `dide bench`) without
+//! touching the filesystem.
+
+use dide_isa::Program;
+
+/// `(name, source)` pairs for every shipped benchmark. The name doubles as
+/// the workload name and matches the file stem under `asm/`.
+pub const SOURCES: &[(&str, &str)] = &[
+    ("prime", include_str!("../../../asm/prime.asm")),
+    ("matmul", include_str!("../../../asm/matmul.asm")),
+    ("strsearch", include_str!("../../../asm/strsearch.asm")),
+];
+
+/// The embedded source text of a shipped benchmark, or `None` for an
+/// unknown name.
+#[must_use]
+pub fn source(name: &str) -> Option<&'static str> {
+    SOURCES.iter().find(|(n, _)| *n == name).map(|(_, s)| *s)
+}
+
+/// Assembles a shipped benchmark by name, or returns `None` for an
+/// unknown name.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to assemble — the shipped sources
+/// are covered by unit tests and CI, so this indicates a build-breaking
+/// edit to a file under `asm/`.
+#[must_use]
+pub fn program(name: &str) -> Option<Program> {
+    let src = source(name)?;
+    match crate::assemble(name, src) {
+        Ok(p) => Some(p),
+        Err(e) => panic!("shipped benchmark asm/{name}.asm does not assemble: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shipped_benchmark_assembles() {
+        for (name, _) in SOURCES {
+            let p = program(name).expect("known name");
+            assert_eq!(p.name(), *name);
+            assert!(!p.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        assert!(source("nope").is_none());
+        assert!(program("nope").is_none());
+    }
+
+    #[test]
+    fn shipped_benchmarks_round_trip_through_their_listing() {
+        for (name, _) in SOURCES {
+            let p = program(name).expect("known name");
+            let re = crate::assemble(p.name(), &p.listing()).expect("listing re-assembles");
+            assert_eq!(p, re, "round-trip mismatch for {name}");
+        }
+    }
+}

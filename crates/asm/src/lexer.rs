@@ -1,0 +1,310 @@
+//! Line lexer for SIR assembly.
+//!
+//! The grammar is line-oriented: a physical source line lexes to a small
+//! token vector (identifiers, integers, string literals and punctuation),
+//! with `;` and `#` starting a comment that runs to the end of the line.
+//! Every token carries its 1-based column so parser diagnostics can point
+//! at the offending character.
+
+use crate::AsmError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// A mnemonic, register name, label, or (with a leading `.`) directive.
+    Ident(String),
+    /// An integer literal (decimal or `0x` hexadecimal, optionally signed).
+    /// Values up to `u64::MAX` are accepted and wrap into the `i64`
+    /// immediate encoding, matching `Inst::imm`.
+    Int(i64),
+    /// A double-quoted string literal with escapes already processed.
+    Str(Vec<u8>),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `@`
+    At,
+}
+
+impl Tok {
+    /// Short rendering for diagnostics ("found X").
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(n) => format!("`{n}`"),
+            Tok::Str(_) => "a string literal".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::Colon => "`:`".to_string(),
+            Tok::At => "`@`".to_string(),
+        }
+    }
+}
+
+/// A token plus its 1-based source column.
+#[derive(Debug, Clone)]
+pub(crate) struct Spanned {
+    pub(crate) tok: Tok,
+    pub(crate) col: u32,
+}
+
+fn err(line: u32, col: u32, message: impl Into<String>) -> AsmError {
+    AsmError { line, col, message: message.into() }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Lexes one source line into tokens. Columns are 1-based character
+/// positions within the line.
+pub(crate) fn lex_line(line: &str, lineno: u32) -> Result<Vec<Spanned>, AsmError> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let col = (i + 1) as u32;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' | '#' => break,
+            ',' => {
+                toks.push(Spanned { tok: Tok::Comma, col });
+                i += 1;
+            }
+            '(' => {
+                toks.push(Spanned { tok: Tok::LParen, col });
+                i += 1;
+            }
+            ')' => {
+                toks.push(Spanned { tok: Tok::RParen, col });
+                i += 1;
+            }
+            ':' => {
+                toks.push(Spanned { tok: Tok::Colon, col });
+                i += 1;
+            }
+            '@' => {
+                toks.push(Spanned { tok: Tok::At, col });
+                i += 1;
+            }
+            '"' => {
+                let (bytes, consumed) = lex_string(&chars, i, lineno)?;
+                toks.push(Spanned { tok: Tok::Str(bytes), col });
+                i += consumed;
+            }
+            '-' | '0'..='9' => {
+                let (value, consumed) = lex_int(&chars, i, lineno)?;
+                toks.push(Spanned { tok: Tok::Int(value), col });
+                i += consumed;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let name: String = chars[start..i].iter().collect();
+                toks.push(Spanned { tok: Tok::Ident(name), col });
+            }
+            other => return Err(err(lineno, col, format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+/// Lexes an integer literal starting at `chars[start]`. Returns the value
+/// and the number of characters consumed.
+fn lex_int(chars: &[char], start: usize, lineno: u32) -> Result<(i64, usize), AsmError> {
+    let col = (start + 1) as u32;
+    let mut i = start;
+    let negative = chars[i] == '-';
+    if negative {
+        i += 1;
+    }
+    let digits_start = i;
+    let hex = chars.get(i) == Some(&'0') && matches!(chars.get(i + 1), Some('x' | 'X'));
+    if hex {
+        i += 2;
+    }
+    let mut magnitude: u128 = 0;
+    let radix = if hex { 16 } else { 10 };
+    while i < chars.len() {
+        let Some(d) = chars[i].to_digit(radix) else { break };
+        magnitude = magnitude * u128::from(radix) + u128::from(d);
+        if magnitude > u128::from(u64::MAX) {
+            // Drain the rest of the literal so the error can quote it.
+            while i < chars.len() && chars[i].is_digit(radix) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            return Err(err(lineno, col, format!("integer literal `{text}` out of range")));
+        }
+        i += 1;
+    }
+    if i == digits_start || (hex && i == digits_start + 2) {
+        return Err(err(lineno, col, "malformed integer literal".to_string()));
+    }
+    let text = || -> String { chars[start..i].iter().collect() };
+    let value = if negative {
+        // i64::MIN's magnitude is i64::MAX + 1.
+        if magnitude > (1u128 << 63) {
+            return Err(err(lineno, col, format!("integer literal `{}` out of range", text())));
+        }
+        (magnitude as i128).wrapping_neg() as i64
+    } else {
+        // Positive literals up to u64::MAX wrap into the i64 bit pattern,
+        // so 64-bit addresses and masks can be written directly.
+        magnitude as u64 as i64
+    };
+    Ok((value, i - start))
+}
+
+/// Lexes a double-quoted string literal starting at `chars[start]` (the
+/// opening quote). Returns the decoded bytes and characters consumed.
+fn lex_string(chars: &[char], start: usize, lineno: u32) -> Result<(Vec<u8>, usize), AsmError> {
+    let mut bytes = Vec::new();
+    let mut i = start + 1;
+    while i < chars.len() {
+        let col = (i + 1) as u32;
+        match chars[i] {
+            '"' => return Ok((bytes, i + 1 - start)),
+            '\\' => {
+                let esc = *chars
+                    .get(i + 1)
+                    .ok_or_else(|| err(lineno, col, "unterminated escape sequence"))?;
+                match esc {
+                    'n' => bytes.push(b'\n'),
+                    't' => bytes.push(b'\t'),
+                    'r' => bytes.push(b'\r'),
+                    '0' => bytes.push(0),
+                    '\\' => bytes.push(b'\\'),
+                    '"' => bytes.push(b'"'),
+                    'x' => {
+                        let hi = chars.get(i + 2).and_then(|c| c.to_digit(16));
+                        let lo = chars.get(i + 3).and_then(|c| c.to_digit(16));
+                        let (Some(hi), Some(lo)) = (hi, lo) else {
+                            return Err(err(
+                                lineno,
+                                col,
+                                "malformed \\x escape (need two hex digits)",
+                            ));
+                        };
+                        bytes.push((hi * 16 + lo) as u8);
+                        i += 2;
+                    }
+                    other => {
+                        return Err(err(lineno, col, format!("unknown escape `\\{other}`")));
+                    }
+                }
+                i += 2;
+            }
+            c => {
+                let mut buf = [0u8; 4];
+                bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                i += 1;
+            }
+        }
+    }
+    Err(err(lineno, (start + 1) as u32, "unterminated string literal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(line: &str) -> Vec<Tok> {
+        lex_line(line, 1).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_instruction_shapes() {
+        assert_eq!(
+            toks("add t2, t0, t1"),
+            vec![
+                Tok::Ident("add".into()),
+                Tok::Ident("t2".into()),
+                Tok::Comma,
+                Tok::Ident("t0".into()),
+                Tok::Comma,
+                Tok::Ident("t1".into()),
+            ]
+        );
+        assert_eq!(
+            toks("ld t0, -8(sp)"),
+            vec![
+                Tok::Ident("ld".into()),
+                Tok::Ident("t0".into()),
+                Tok::Comma,
+                Tok::Int(-8),
+                Tok::LParen,
+                Tok::Ident("sp".into()),
+                Tok::RParen,
+            ]
+        );
+        assert_eq!(
+            toks("beq t0, t1, @42"),
+            vec![
+                Tok::Ident("beq".into()),
+                Tok::Ident("t0".into()),
+                Tok::Comma,
+                Tok::Ident("t1".into()),
+                Tok::Comma,
+                Tok::At,
+                Tok::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_labels() {
+        assert_eq!(toks("loop: ; to the top"), vec![Tok::Ident("loop".into()), Tok::Colon]);
+        assert_eq!(toks("# full-line comment"), vec![]);
+        assert_eq!(toks("   "), vec![]);
+    }
+
+    #[test]
+    fn integers_decimal_hex_and_bounds() {
+        assert_eq!(toks("0x10"), vec![Tok::Int(16)]);
+        assert_eq!(toks("-12345"), vec![Tok::Int(-12345)]);
+        assert_eq!(toks("0xffffffffffffffff"), vec![Tok::Int(-1)]);
+        assert_eq!(toks("18446744073709551615"), vec![Tok::Int(-1)]);
+        let e = lex_line("18446744073709551616", 3).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("out of range"), "{}", e.message);
+        let e = lex_line("li t0, 0x", 1).unwrap_err();
+        assert!(e.message.contains("malformed integer"), "{}", e.message);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks(r#".ascii "ab\n\0\x41""#)[1], Tok::Str(b"ab\n\0A".to_vec()));
+        let e = lex_line(".ascii \"open", 2).unwrap_err();
+        assert!(e.message.contains("unterminated string"), "{}", e.message);
+        let e = lex_line(r#".ascii "\q""#, 1).unwrap_err();
+        assert!(e.message.contains("unknown escape"), "{}", e.message);
+    }
+
+    #[test]
+    fn columns_are_one_based() {
+        let spanned = lex_line("  add t0, t1, t2", 1).unwrap();
+        assert_eq!(spanned[0].col, 3);
+        assert_eq!(spanned[1].col, 7);
+    }
+
+    #[test]
+    fn stray_characters_are_rejected() {
+        let e = lex_line("add t0, t1, %t2", 4).unwrap_err();
+        assert_eq!((e.line, e.col), (4, 13));
+        assert!(e.message.contains("unexpected character"), "{}", e.message);
+    }
+}

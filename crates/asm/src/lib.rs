@@ -1,0 +1,150 @@
+//! SIR text-assembly frontend.
+//!
+//! This crate turns `.asm` source text into validated
+//! [`Program`](dide_isa::Program)s so external workloads can flow through
+//! the full emulator → deadness-analysis → pipeline stack. The accepted
+//! syntax is a superset of the disassembly [`Program::listing`]
+//! (dide_isa::Program::listing) emits — any listing re-assembles to an
+//! equal program — extended with labels, pseudo-instructions (`mv`, `j`,
+//! `call`, `ret`, `la`) and data directives (`.data`, `.text`, `.entry`,
+//! `.byte`, `.half`, `.word`, `.quad`, `.ascii`, `.asciz`, `.zero`,
+//! `.align`).
+//!
+//! Entry points:
+//!
+//! - [`assemble`] — source text to [`Program`](dide_isa::Program), with
+//!   one-line `line:col:`-prefixed diagnostics on error;
+//! - [`assemble_path`] — same, reading from a file and naming the program
+//!   after the file stem;
+//! - [`builtin`] — the `.asm` benchmarks shipped in the repository's
+//!   `asm/` directory, embedded at compile time so they are usable as
+//!   first-class workloads without filesystem access;
+//! - [`diagnostic_snapshot`] — a deterministic rendering of the parser's
+//!   error messages over a fixed corpus of bad inputs, golden-pinned in CI
+//!   to catch diagnostic drift.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::Path;
+
+use dide_isa::Program;
+
+mod lexer;
+mod parser;
+
+pub mod builtin;
+
+pub use parser::assemble;
+
+/// A one-line assembly diagnostic with a 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based character column within the line.
+    pub col: u32,
+    /// Human-readable, single-line description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Reads and assembles the `.asm` file at `path`, naming the program after
+/// the file stem (`asm/prime.asm` → `prime`).
+///
+/// # Errors
+///
+/// Returns a single-line `path:line:col: message` string for both I/O and
+/// assembly failures, ready to print to stderr.
+pub fn assemble_path(path: &Path) -> Result<Program, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("asm");
+    assemble(name, &source).map_err(|e| format!("{}:{e}", path.display()))
+}
+
+/// The fixed corpus of bad inputs behind [`diagnostic_snapshot`]. Each
+/// entry is a short label plus a source fragment exercising one error
+/// path.
+const DIAGNOSTIC_CORPUS: &[(&str, &str)] = &[
+    ("unknown-mnemonic", "  adx t0, t1, t2\n  halt\n"),
+    ("unknown-register", "  add t0, t1, t9\n  halt\n"),
+    ("operand-not-a-register", "  add t0, t1, 5\n  halt\n"),
+    ("missing-operand", "  add t0, t1\n  halt\n"),
+    ("trailing-tokens", "  nop nop\n  halt\n"),
+    ("undefined-label", "  j missing\n  halt\n"),
+    ("duplicate-label", "loop:\n  nop\nloop:\n  halt\n"),
+    ("immediate-out-of-range", "  li t0, 123456789012345678901234567890\n  halt\n"),
+    ("branch-target-out-of-range", "  beq t0, t1, @99\n  halt\n"),
+    ("index-marker-mismatch", "  nop\n 3: halt\n"),
+    ("dangling-data-directive", "  .word 1, 2, 3\n  halt\n"),
+    ("byte-value-out-of-range", ".data\n.byte 256\n.text\n  halt\n"),
+    ("instruction-in-data-section", ".data\n  nop\n.text\n  halt\n"),
+    ("unterminated-string", ".data\n.ascii \"open\n.text\n  halt\n"),
+    ("bad-alignment", ".data\n.align 3\n.text\n  halt\n"),
+    ("malformed-memory-operand", "  ld t0, 8 sp\n  halt\n"),
+    ("duplicate-entry", ".entry a\na:\n  nop\n.entry 0\n  halt\n"),
+    ("entry-out-of-range", ".entry 9\n  halt\n"),
+    ("falls-off-end", "  nop\n"),
+    ("empty-program", "; nothing but a comment\n"),
+    ("stray-character", "  add t0, t1, %t2\n  halt\n"),
+];
+
+/// Renders every diagnostic in the fixed bad-input corpus as a
+/// deterministic document (label, source, error), used as a CI golden so
+/// error-message drift shows up as a diff rather than silently breaking
+/// downstream tooling that greps stderr.
+#[must_use]
+pub fn diagnostic_snapshot() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (label, source) in DIAGNOSTIC_CORPUS {
+        let err = match assemble(label, source) {
+            Err(e) => e.to_string(),
+            Ok(_) => "(assembled without error!)".to_string(),
+        };
+        let _ = writeln!(out, "== {label} ==");
+        for line in source.lines() {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out, "-- error: {err}");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_position_prefixed() {
+        let e = AsmError { line: 3, col: 7, message: "boom".to_string() };
+        assert_eq!(e.to_string(), "3:7: boom");
+    }
+
+    #[test]
+    fn every_diagnostic_corpus_entry_fails() {
+        let snap = diagnostic_snapshot();
+        assert!(
+            !snap.contains("(assembled without error!)"),
+            "a diagnostic-corpus entry unexpectedly assembled:\n{snap}"
+        );
+        for (label, _) in DIAGNOSTIC_CORPUS {
+            assert!(snap.contains(&format!("== {label} ==")), "missing section {label}");
+        }
+    }
+
+    #[test]
+    fn assemble_path_reports_missing_file() {
+        let err = assemble_path(Path::new("/nonexistent/x.asm")).unwrap_err();
+        assert!(err.starts_with("/nonexistent/x.asm: "), "{err}");
+    }
+}

@@ -1,0 +1,829 @@
+//! The assembler proper: token lines in, validated [`Program`] out.
+//!
+//! Two-pass structure in one sweep: instructions and data bytes are
+//! emitted as lines are read, label references are recorded as fixups, and
+//! [`Assembler::finish`] resolves every fixup, range-checks every
+//! control-flow target and the entry point, and hands the result to
+//! [`Program::from_parts`] for the ISA-level validation.
+//!
+//! The accepted grammar is a superset of [`Program::listing`] output: the
+//! disassembly of any valid program re-assembles to an equal program (the
+//! round-trip property), and hand-written sources may additionally use
+//! labels, pseudo-instructions (`mv`, `j`, `call`, `ret`, `la`) and data
+//! directives.
+
+use std::collections::HashMap;
+
+use dide_isa::{Inst, Opcode, OpcodeKind, Program, Reg, DATA_BASE};
+
+use crate::lexer::{lex_line, Spanned, Tok};
+use crate::AsmError;
+
+/// Assembles `source` into a validated [`Program`] named `name`.
+///
+/// # Errors
+///
+/// Returns a one-line [`AsmError`] with the line and column of the first
+/// problem: lexical errors, unknown mnemonics/registers/directives,
+/// undefined or duplicate labels, out-of-range immediates or control-flow
+/// targets, data directives outside a `.data` section, and programs that
+/// are empty or can fall off the end of the text segment.
+pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
+    let mut asm = Assembler::default();
+    let mut lines = 0u32;
+    for (idx, line) in source.lines().enumerate() {
+        lines = idx as u32 + 1;
+        asm.line(line, lines)?;
+    }
+    asm.finish(name, lines.max(1))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A bound symbol: a text label holds an instruction index, a data label
+/// holds an absolute address in the data segment.
+struct Symbol {
+    value: i64,
+    line: u32,
+}
+
+/// An instruction operand awaiting a symbol value.
+struct Fixup {
+    inst: usize,
+    label: String,
+    line: u32,
+    col: u32,
+    /// Whether the resolved value is a control-flow target (range-checked
+    /// against the text segment) rather than a plain immediate.
+    target: bool,
+}
+
+/// A control-flow target to range-check once the program length is known.
+struct TargetUse {
+    inst: usize,
+    line: u32,
+    col: u32,
+}
+
+enum EntryRef {
+    Index(i64),
+    Label(String),
+}
+
+#[derive(Default)]
+struct Assembler {
+    section: Option<Section>,
+    insts: Vec<Inst>,
+    inst_lines: Vec<u32>,
+    data: Vec<u8>,
+    symbols: HashMap<String, Symbol>,
+    fixups: Vec<Fixup>,
+    targets: Vec<TargetUse>,
+    entry: Option<(EntryRef, u32, u32)>,
+}
+
+impl Assembler {
+    fn section(&self) -> Section {
+        self.section.unwrap_or(Section::Text)
+    }
+
+    fn line(&mut self, line: &str, lineno: u32) -> Result<(), AsmError> {
+        let toks = lex_line(line, lineno)?;
+        let mut cur = Cursor::new(&toks, lineno, line.chars().count() as u32 + 1);
+        // Leading labels (`name:`) and index markers (`N:`), any number.
+        loop {
+            match (cur.peek_tok(0), cur.peek_tok(1)) {
+                (Some(Tok::Ident(s)), Some(Tok::Colon)) if !s.starts_with('.') => {
+                    let name = s.clone();
+                    let col = cur.col();
+                    cur.advance(2);
+                    self.bind_label(name, lineno, col)?;
+                }
+                (Some(&Tok::Int(n)), Some(Tok::Colon)) => {
+                    let col = cur.col();
+                    cur.advance(2);
+                    if n != self.insts.len() as i64 {
+                        return Err(AsmError {
+                            line: lineno,
+                            col,
+                            message: format!(
+                                "index marker {n} does not match instruction index {}",
+                                self.insts.len()
+                            ),
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+        match cur.peek_tok(0) {
+            None => Ok(()),
+            Some(Tok::Ident(s)) if s.starts_with('.') => {
+                let d = s.clone();
+                let col = cur.col();
+                cur.advance(1);
+                self.directive(&d, col, &mut cur)
+            }
+            Some(Tok::Ident(s)) => {
+                let m = s.clone();
+                let col = cur.col();
+                cur.advance(1);
+                self.instruction(&m, col, &mut cur)
+            }
+            Some(other) => Err(cur.err_at(
+                cur.col(),
+                format!("expected an instruction, directive, or label, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn bind_label(&mut self, name: String, line: u32, col: u32) -> Result<(), AsmError> {
+        let value = match self.section() {
+            Section::Text => self.insts.len() as i64,
+            Section::Data => DATA_BASE as i64 + self.data.len() as i64,
+        };
+        if let Some(prev) = self.symbols.get(&name) {
+            return Err(AsmError {
+                line,
+                col,
+                message: format!("duplicate label `{name}` (first defined on line {})", prev.line),
+            });
+        }
+        self.symbols.insert(name, Symbol { value, line });
+        Ok(())
+    }
+
+    fn emit(&mut self, inst: Inst, line: u32) -> usize {
+        self.insts.push(inst);
+        self.inst_lines.push(line);
+        self.insts.len() - 1
+    }
+
+    // === directives ==========================================================
+
+    fn directive(&mut self, d: &str, col: u32, cur: &mut Cursor<'_>) -> Result<(), AsmError> {
+        match d {
+            ".data" => {
+                self.section = Some(Section::Data);
+                cur.expect_end()
+            }
+            ".text" => {
+                self.section = Some(Section::Text);
+                cur.expect_end()
+            }
+            ".entry" => {
+                if self.entry.is_some() {
+                    return Err(cur.err_at(col, "duplicate .entry directive".to_string()));
+                }
+                let at = cur.col();
+                let entry = match cur.bump() {
+                    Some(Tok::Int(n)) => EntryRef::Index(*n),
+                    Some(Tok::Ident(s)) => EntryRef::Label(s.clone()),
+                    other => return Err(cur.expected("an entry index or label", at, other)),
+                };
+                self.entry = Some((entry, cur.line, at));
+                cur.expect_end()
+            }
+            ".byte" | ".half" | ".word" | ".quad" => {
+                self.require_data(d, col, cur)?;
+                self.data_values(d, cur)
+            }
+            ".ascii" | ".asciz" => {
+                self.require_data(d, col, cur)?;
+                loop {
+                    let at = cur.col();
+                    match cur.bump() {
+                        Some(Tok::Str(bytes)) => {
+                            self.data.extend_from_slice(bytes);
+                            if d == ".asciz" {
+                                self.data.push(0);
+                            }
+                        }
+                        other => return Err(cur.expected("a string literal", at, other)),
+                    }
+                    if cur.peek_tok(0).is_none() {
+                        return Ok(());
+                    }
+                    cur.expect_comma()?;
+                }
+            }
+            ".zero" => {
+                self.require_data(d, col, cur)?;
+                let at = cur.col();
+                let n = cur.expect_int()?;
+                if !(0..=1 << 20).contains(&n) {
+                    return Err(cur.err_at(at, format!("invalid .zero length {n}")));
+                }
+                self.data.extend(std::iter::repeat_n(0u8, n as usize));
+                cur.expect_end()
+            }
+            ".align" => {
+                self.require_data(d, col, cur)?;
+                let at = cur.col();
+                let n = cur.expect_int()?;
+                if !(1..=4096).contains(&n) || (n & (n - 1)) != 0 {
+                    return Err(
+                        cur.err_at(at, format!("invalid alignment {n} (need a power of two)"))
+                    );
+                }
+                while !self.data.len().is_multiple_of(n as usize) {
+                    self.data.push(0);
+                }
+                cur.expect_end()
+            }
+            other => Err(cur.err_at(col, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    fn require_data(&self, d: &str, col: u32, cur: &Cursor<'_>) -> Result<(), AsmError> {
+        if self.section() == Section::Data {
+            Ok(())
+        } else {
+            Err(cur.err_at(col, format!("data directive `{d}` outside a .data section")))
+        }
+    }
+
+    fn data_values(&mut self, d: &str, cur: &mut Cursor<'_>) -> Result<(), AsmError> {
+        loop {
+            let at = cur.col();
+            let v = cur.expect_int()?;
+            match d {
+                ".byte" => {
+                    if !(-128..=255).contains(&v) {
+                        return Err(cur.err_at(at, format!(".byte value {v} out of range")));
+                    }
+                    self.data.push(v as u8);
+                }
+                ".half" => {
+                    if !(-32768..=65535).contains(&v) {
+                        return Err(cur.err_at(at, format!(".half value {v} out of range")));
+                    }
+                    self.data.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+                ".word" => {
+                    if !(i64::from(i32::MIN)..=i64::from(u32::MAX)).contains(&v) {
+                        return Err(cur.err_at(at, format!(".word value {v} out of range")));
+                    }
+                    self.data.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+                _ => self.data.extend_from_slice(&v.to_le_bytes()),
+            }
+            if cur.peek_tok(0).is_none() {
+                return Ok(());
+            }
+            cur.expect_comma()?;
+        }
+    }
+
+    // === instructions ========================================================
+
+    fn instruction(&mut self, m: &str, col: u32, cur: &mut Cursor<'_>) -> Result<(), AsmError> {
+        if self.section() == Section::Data {
+            return Err(cur.err_at(
+                col,
+                format!("instruction `{m}` in a .data section (switch back with .text)"),
+            ));
+        }
+        let line = cur.line;
+        match m {
+            // Pseudo-instructions, lowered to the same canonical encodings
+            // `ProgramBuilder` emits.
+            "mv" => {
+                let rd = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let rs1 = cur.expect_reg()?;
+                self.emit(Inst::new(Opcode::Add, rd, rs1, Reg::ZERO, 0), line);
+            }
+            "j" => {
+                let target = cur.target()?;
+                let at =
+                    self.emit(Inst::new(Opcode::Jal, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0), line);
+                self.apply_target(at, target, line);
+            }
+            "call" => {
+                let target = cur.target()?;
+                let at = self.emit(Inst::new(Opcode::Jal, Reg::RA, Reg::ZERO, Reg::ZERO, 0), line);
+                self.apply_target(at, target, line);
+            }
+            "ret" => {
+                self.emit(Inst::new(Opcode::Jalr, Reg::ZERO, Reg::RA, Reg::ZERO, 0), line);
+            }
+            "la" => {
+                // Load a symbol's value (a data address or text index); an
+                // alias of `li` that reads better with a label operand.
+                let rd = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let operand = cur.imm_or_label()?;
+                let at = self.emit(Inst::new(Opcode::Li, rd, Reg::ZERO, Reg::ZERO, 0), line);
+                self.apply_imm(at, operand, line);
+            }
+            _ => {
+                let Some(&op) = Opcode::ALL.iter().find(|o| o.mnemonic() == m) else {
+                    return Err(cur.err_at(col, format!("unknown mnemonic `{m}`")));
+                };
+                self.opcode(op, cur)?;
+            }
+        }
+        cur.expect_end()
+    }
+
+    fn opcode(&mut self, op: Opcode, cur: &mut Cursor<'_>) -> Result<(), AsmError> {
+        let line = cur.line;
+        match op.kind() {
+            OpcodeKind::AluRR => {
+                let rd = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let rs1 = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let rs2 = cur.expect_reg()?;
+                self.emit(Inst::new(op, rd, rs1, rs2, 0), line);
+            }
+            OpcodeKind::AluRI => {
+                let rd = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let rs1 = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let imm = cur.expect_int()?;
+                self.emit(Inst::new(op, rd, rs1, Reg::ZERO, imm), line);
+            }
+            OpcodeKind::LoadImm => {
+                let rd = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let operand = cur.imm_or_label()?;
+                let at = self.emit(Inst::new(op, rd, Reg::ZERO, Reg::ZERO, 0), line);
+                self.apply_imm(at, operand, line);
+            }
+            OpcodeKind::Load { .. } => {
+                let rd = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let (imm, base) = cur.mem_operand()?;
+                self.emit(Inst::new(op, rd, base, Reg::ZERO, imm), line);
+            }
+            OpcodeKind::Store { .. } => {
+                let src = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let (imm, base) = cur.mem_operand()?;
+                self.emit(Inst::new(op, Reg::ZERO, base, src, imm), line);
+            }
+            OpcodeKind::Branch(_) => {
+                let rs1 = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let rs2 = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let target = cur.target()?;
+                let at = self.emit(Inst::new(op, Reg::ZERO, rs1, rs2, 0), line);
+                self.apply_target(at, target, line);
+            }
+            OpcodeKind::Jal => {
+                let rd = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let target = cur.target()?;
+                let at = self.emit(Inst::new(op, rd, Reg::ZERO, Reg::ZERO, 0), line);
+                self.apply_target(at, target, line);
+            }
+            OpcodeKind::Jalr => {
+                let rd = cur.expect_reg()?;
+                cur.expect_comma()?;
+                let (imm, base) = cur.mem_operand()?;
+                self.emit(Inst::new(op, rd, base, Reg::ZERO, imm), line);
+            }
+            OpcodeKind::Out => {
+                let rs1 = cur.expect_reg()?;
+                self.emit(Inst::new(op, Reg::ZERO, rs1, Reg::ZERO, 0), line);
+            }
+            OpcodeKind::Halt | OpcodeKind::Nop => {
+                self.emit(Inst::new(op, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0), line);
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_target(&mut self, at: usize, operand: Operand, line: u32) {
+        match operand {
+            Operand::Int(v, col) => {
+                self.insts[at].imm = v;
+                self.targets.push(TargetUse { inst: at, line, col });
+            }
+            Operand::Label(label, col) => {
+                self.fixups.push(Fixup { inst: at, label, line, col, target: true });
+            }
+        }
+    }
+
+    fn apply_imm(&mut self, at: usize, operand: Operand, line: u32) {
+        match operand {
+            Operand::Int(v, _) => self.insts[at].imm = v,
+            Operand::Label(label, col) => {
+                self.fixups.push(Fixup { inst: at, label, line, col, target: false });
+            }
+        }
+    }
+
+    // === finalization ========================================================
+
+    fn finish(mut self, name: &str, last_line: u32) -> Result<Program, AsmError> {
+        for f in &self.fixups {
+            let Some(sym) = self.symbols.get(&f.label) else {
+                return Err(AsmError {
+                    line: f.line,
+                    col: f.col,
+                    message: format!("undefined label `{}`", f.label),
+                });
+            };
+            self.insts[f.inst].imm = sym.value;
+            if f.target {
+                self.targets.push(TargetUse { inst: f.inst, line: f.line, col: f.col });
+            }
+        }
+        if self.insts.is_empty() {
+            return Err(AsmError {
+                line: last_line,
+                col: 1,
+                message: "program has no instructions".to_string(),
+            });
+        }
+        let len = self.insts.len() as i64;
+        for t in &self.targets {
+            let v = self.insts[t.inst].imm;
+            if !(0..len).contains(&v) {
+                return Err(AsmError {
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "branch target @{v} out of range (program has {len} instructions)"
+                    ),
+                });
+            }
+        }
+        let entry = match self.entry {
+            None => 0,
+            Some((entry, line, col)) => {
+                let v = match entry {
+                    EntryRef::Index(v) => v,
+                    EntryRef::Label(label) => match self.symbols.get(&label) {
+                        Some(sym) => sym.value,
+                        None => {
+                            return Err(AsmError {
+                                line,
+                                col,
+                                message: format!("undefined label `{label}`"),
+                            })
+                        }
+                    },
+                };
+                if !(0..len).contains(&v) {
+                    return Err(AsmError {
+                        line,
+                        col,
+                        message: format!(
+                            "entry index {v} out of range (program has {len} instructions)"
+                        ),
+                    });
+                }
+                v as u32
+            }
+        };
+        let last = self.insts.last().expect("non-empty");
+        if !matches!(last.op.kind(), OpcodeKind::Halt | OpcodeKind::Jal | OpcodeKind::Jalr) {
+            return Err(AsmError {
+                line: *self.inst_lines.last().expect("non-empty"),
+                col: 1,
+                message: "control can fall off the end (the last instruction must be halt, jal, \
+                          or jalr)"
+                    .to_string(),
+            });
+        }
+        Program::from_parts(name, self.insts, self.data, entry).map_err(|e| AsmError {
+            line: last_line,
+            col: 1,
+            message: e.to_string(),
+        })
+    }
+}
+
+/// A branch-target or immediate operand, possibly symbolic.
+enum Operand {
+    Int(i64, u32),
+    Label(String, u32),
+}
+
+/// Token cursor over one lexed line.
+struct Cursor<'a> {
+    toks: &'a [Spanned],
+    pos: usize,
+    line: u32,
+    end_col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Spanned], line: u32, end_col: u32) -> Cursor<'a> {
+        Cursor { toks, pos: 0, line, end_col }
+    }
+
+    fn peek_tok(&self, ahead: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + ahead).map(|s| &s.tok)
+    }
+
+    /// Column of the next token, or of the end of the line.
+    fn col(&self) -> u32 {
+        self.toks.get(self.pos).map_or(self.end_col, |s| s.col)
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.peek_tok(0);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_at(&self, col: u32, message: String) -> AsmError {
+        AsmError { line: self.line, col, message }
+    }
+
+    fn expected(&self, what: &str, col: u32, found: Option<&Tok>) -> AsmError {
+        let found = found.map_or_else(|| "end of line".to_string(), Tok::describe);
+        self.err_at(col, format!("expected {what}, found {found}"))
+    }
+
+    fn expect_comma(&mut self) -> Result<(), AsmError> {
+        let at = self.col();
+        match self.bump() {
+            Some(Tok::Comma) => Ok(()),
+            other => Err(self.expected("`,`", at, other)),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), AsmError> {
+        match self.peek_tok(0) {
+            None => Ok(()),
+            Some(t) => {
+                Err(self.err_at(self.col(), format!("trailing {} after operands", t.describe())))
+            }
+        }
+    }
+
+    fn expect_reg(&mut self) -> Result<Reg, AsmError> {
+        let at = self.col();
+        match self.bump() {
+            Some(Tok::Ident(s)) => {
+                reg_by_name(s).ok_or_else(|| self.err_at(at, format!("unknown register `{s}`")))
+            }
+            other => Err(self.expected("a register", at, other)),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, AsmError> {
+        let at = self.col();
+        match self.bump() {
+            Some(&Tok::Int(v)) => Ok(v),
+            other => Err(self.expected("an integer", at, other)),
+        }
+    }
+
+    /// `imm(reg)` with an optional immediate (defaults to 0).
+    fn mem_operand(&mut self) -> Result<(i64, Reg), AsmError> {
+        let imm = match self.peek_tok(0) {
+            Some(&Tok::Int(v)) => {
+                self.advance(1);
+                v
+            }
+            _ => 0,
+        };
+        let at = self.col();
+        match self.bump() {
+            Some(Tok::LParen) => {}
+            other => return Err(self.expected("`(`", at, other)),
+        }
+        let base = self.expect_reg()?;
+        let at = self.col();
+        match self.bump() {
+            Some(Tok::RParen) => Ok((imm, base)),
+            other => Err(self.expected("`)`", at, other)),
+        }
+    }
+
+    /// A control-flow target: `@N`, a bare index, or a label.
+    fn target(&mut self) -> Result<Operand, AsmError> {
+        let at = self.col();
+        match self.bump() {
+            Some(Tok::At) => Ok(Operand::Int(self.expect_int()?, at)),
+            Some(&Tok::Int(v)) => Ok(Operand::Int(v, at)),
+            Some(Tok::Ident(s)) => Ok(Operand::Label(s.clone(), at)),
+            other => Err(self.expected("a branch target (`@N` or a label)", at, other)),
+        }
+    }
+
+    /// An integer immediate or a symbol reference (for `li`/`la`).
+    fn imm_or_label(&mut self) -> Result<Operand, AsmError> {
+        let at = self.col();
+        match self.bump() {
+            Some(&Tok::Int(v)) => Ok(Operand::Int(v, at)),
+            Some(Tok::Ident(s)) => Ok(Operand::Label(s.clone(), at)),
+            other => Err(self.expected("an immediate or label", at, other)),
+        }
+    }
+}
+
+/// Resolves a register name: the ABI names `Reg` displays (`zero`, `ra`,
+/// `sp`, `fp`, `a0`–`a5`, `t0`–`t7`, `s0`–`s7`, `g0`–`g5`) plus raw
+/// `r0`–`r31`.
+fn reg_by_name(s: &str) -> Option<Reg> {
+    match s {
+        "zero" => return Some(Reg::ZERO),
+        "ra" => return Some(Reg::RA),
+        "sp" => return Some(Reg::SP),
+        "fp" => return Some(Reg::FP),
+        _ => {}
+    }
+    let mut chars = s.chars();
+    let head = chars.next()?;
+    let rest = chars.as_str();
+    if rest.is_empty() || !rest.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let n: u8 = rest.parse().ok()?;
+    match head {
+        'a' if n < 6 => Some(Reg::new(4 + n)),
+        't' if n < 8 => Some(Reg::new(10 + n)),
+        's' if n < 8 => Some(Reg::new(18 + n)),
+        'g' if n < 6 => Some(Reg::new(26 + n)),
+        'r' if n < 32 => Some(Reg::new(n)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asm(source: &str) -> Program {
+        assemble("t", source).expect("assembles")
+    }
+
+    fn asm_err(source: &str) -> AsmError {
+        assemble("t", source).expect_err("must not assemble")
+    }
+
+    #[test]
+    fn assembles_every_display_form() {
+        let p = asm("add t2, t0, t1\naddi t0, t0, 1\nli a0, -7\nld t0, 16(sp)\n\
+                     sd t0, 16(sp)\nbeq t0, t1, @0\njalr zero, 0(ra)\nout a0\nnop\nhalt\n");
+        let rendered: Vec<String> = p.insts().iter().map(ToString::to_string).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "add t2, t0, t1",
+                "addi t0, t0, 1",
+                "li a0, -7",
+                "ld t0, 16(sp)",
+                "sd t0, 16(sp)",
+                "beq t0, t1, @0",
+                "jalr zero, 0(ra)",
+                "out a0",
+                "nop",
+                "halt",
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = asm("top:\n  addi t0, t0, 1\n  beq t0, t1, done\n  j top\ndone:\n  halt\n");
+        assert_eq!(p.insts()[1].imm, 3, "forward reference to `done`");
+        assert_eq!(p.insts()[2].imm, 0, "backward reference to `top`");
+        assert_eq!(p.insts()[2].op, Opcode::Jal);
+    }
+
+    #[test]
+    fn data_labels_are_absolute_addresses() {
+        let p = asm(".data\nbuf: .word 1, 2\nmsg: .asciz \"hi\"\n.text\n  la g0, msg\n  halt\n");
+        assert_eq!(p.data(), &[1, 0, 0, 0, 2, 0, 0, 0, b'h', b'i', 0]);
+        assert_eq!(p.insts()[0].imm, DATA_BASE as i64 + 8);
+    }
+
+    #[test]
+    fn entry_directive_and_markers() {
+        let p = asm(".entry main\n  nop\nmain:\n 1: halt\n");
+        assert_eq!(p.entry(), 1);
+        let p = asm(".entry 0\n  halt\n");
+        assert_eq!(p.entry(), 0);
+    }
+
+    #[test]
+    fn pseudo_ops_lower_to_canonical_encodings() {
+        let p = asm("mv t0, t1\ncall fin\nret\nfin:\n  j fin\n");
+        assert_eq!(p.insts()[0], Inst::new(Opcode::Add, Reg::T0, Reg::T1, Reg::ZERO, 0));
+        assert_eq!(p.insts()[1], Inst::new(Opcode::Jal, Reg::RA, Reg::ZERO, Reg::ZERO, 3));
+        assert_eq!(p.insts()[2], Inst::new(Opcode::Jalr, Reg::ZERO, Reg::RA, Reg::ZERO, 0));
+        assert_eq!(p.insts()[3], Inst::new(Opcode::Jal, Reg::ZERO, Reg::ZERO, Reg::ZERO, 3));
+    }
+
+    #[test]
+    fn raw_register_numbers_are_accepted() {
+        let p = asm("add r12, r10, r31\nhalt\n");
+        assert_eq!(p.insts()[0], Inst::new(Opcode::Add, Reg::T2, Reg::T0, Reg::G5, 0));
+    }
+
+    // --- the satellite error-path matrix: exact one-line diagnostics ---
+
+    #[test]
+    fn unknown_mnemonic_is_pinpointed() {
+        let e = asm_err("  nop\n  adx t0, t1, t2\n  halt\n");
+        assert_eq!(e.to_string(), "2:3: unknown mnemonic `adx`");
+    }
+
+    #[test]
+    fn undefined_label_is_pinpointed() {
+        let e = asm_err("  j missing\n  halt\n");
+        assert_eq!(e.to_string(), "1:5: undefined label `missing`");
+    }
+
+    #[test]
+    fn duplicate_label_is_pinpointed() {
+        let e = asm_err("loop:\n  nop\nloop:\n  halt\n");
+        assert_eq!(e.to_string(), "3:1: duplicate label `loop` (first defined on line 1)");
+    }
+
+    #[test]
+    fn out_of_range_immediate_is_pinpointed() {
+        let e = asm_err("  li t0, 123456789012345678901234567890\n  halt\n");
+        assert_eq!(
+            e.to_string(),
+            "1:10: integer literal `123456789012345678901234567890` out of range"
+        );
+    }
+
+    #[test]
+    fn malformed_register_is_pinpointed() {
+        let e = asm_err("  add t0, t1, t9\n  halt\n");
+        assert_eq!(e.to_string(), "1:15: unknown register `t9`");
+        let e = asm_err("  add t0, t1, 5\n  halt\n");
+        assert_eq!(e.to_string(), "1:15: expected a register, found `5`");
+    }
+
+    #[test]
+    fn dangling_data_directive_is_pinpointed() {
+        let e = asm_err("  .word 1, 2, 3\n  halt\n");
+        assert_eq!(e.to_string(), "1:3: data directive `.word` outside a .data section");
+    }
+
+    #[test]
+    fn more_diagnostics_stay_one_line_with_position() {
+        let cases = [
+            "  beq t0, t1, @99\n  halt\n",
+            ".data\n.byte 256\n.text\n  halt\n",
+            " 3: nop\n  halt\n",
+            ".data\n  nop\n.text\n  halt\n",
+            "  nop\n",
+            "; empty\n",
+            "  nop nop\n  halt\n",
+            ".entry 9\n  halt\n",
+            ".entry a\n.entry b\n  halt\n",
+            "  add t0, t1\n  halt\n",
+            ".data\n.align 3\n.text\n  halt\n",
+            ".data\n.zero -1\n.text\n  halt\n",
+            "  ld t0, 8 sp\n  halt\n",
+            "  li t0\n  halt\n",
+        ];
+        for source in cases {
+            let e = assemble("t", source).expect_err(source);
+            let rendered = e.to_string();
+            assert!(!rendered.contains('\n'), "multi-line diagnostic for {source:?}");
+            assert!(
+                rendered.starts_with(&format!("{}:{}:", e.line, e.col)),
+                "no position in {rendered:?}"
+            );
+            assert!(e.line >= 1 && e.col >= 1, "positions are 1-based: {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn program_validation_errors_surface_as_diagnostics() {
+        let e = asm_err("  beq t0, t1, @5\n  halt\n");
+        assert!(e.message.contains("out of range"), "{e}");
+        let e = asm_err("  nop\n");
+        assert!(e.message.contains("fall off the end"), "{e}");
+        let e = asm_err("");
+        assert_eq!(e.to_string(), "1:1: program has no instructions");
+    }
+
+    #[test]
+    fn register_name_table_matches_display() {
+        for r in Reg::all() {
+            assert_eq!(reg_by_name(&r.to_string()), Some(r), "display name of {r}");
+            assert_eq!(reg_by_name(&format!("r{}", r.number())), Some(r), "raw name of {r}");
+        }
+        for bad in ["t8", "a6", "s8", "g6", "r32", "x0", "t", "t-1", "t01x"] {
+            assert_eq!(reg_by_name(bad), None, "{bad} must not resolve");
+        }
+    }
+}

@@ -29,8 +29,9 @@ use crate::{BenchCase, Table};
 pub const BENCH_SCHEMA: &str = "dide-bench/v1";
 
 /// Benchmarks used by `--quick` (CI smoke): small but covering the three
-/// workload families (expression-heavy, store-heavy, pointer-chasing).
-const QUICK_SUITE: [&str; 3] = ["expr", "objstore", "route"];
+/// workload families (expression-heavy, store-heavy, pointer-chasing) plus
+/// one externally assembled `.asm` workload.
+const QUICK_SUITE: [&str; 4] = ["expr", "objstore", "route", "prime"];
 
 /// Options accepted by [`run_bench`] (the `dide bench` CLI).
 #[derive(Debug, Clone)]
@@ -159,13 +160,15 @@ impl EventsOverhead {
 /// Panics if a benchmark program traps (a workload-generator bug).
 pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
     let specs: Vec<WorkloadSpec> = if options.quick {
-        let all = suite();
         QUICK_SUITE
             .iter()
-            .map(|&n| *all.iter().find(|s| s.name == n).expect("quick benchmark exists"))
+            .map(|&n| dide_workloads::find_workload(n).expect("quick benchmark exists"))
             .collect()
     } else {
-        suite()
+        // The full sweep covers the synthetic suite plus the shipped
+        // `.asm` workloads (which ignore `scale`, so their repeated
+        // measurements double as timing-stability probes).
+        suite().into_iter().chain(dide_workloads::asm_suite()).collect()
     };
     let scales: &[u32] = if options.quick { &[1] } else { &options.scales };
 

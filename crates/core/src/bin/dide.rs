@@ -6,6 +6,10 @@
 //! dide trace <bench> [--scale N]          run + oracle deadness summary
 //! dide run <bench> [--machine M] [--eliminate] [--oracle] [--jump-aware]
 //!                                         cycle-level pipeline run
+//!
+//! `disasm`, `trace`, and `run` also accept a path to an external `.asm`
+//! file (e.g. `dide run asm/prime.asm`), assembled by `dide-asm` and fed
+//! through the same emu -> analysis -> pipeline stack.
 //! dide experiments [--scale N] [--only LIST] [--jobs N] [--timings]
 //!                                         regenerate paper tables (e1..e17)
 //! dide bench [--quick] [--out PATH] [--scales 1,4] [--check-against PATH]
@@ -56,9 +60,9 @@ dide — dynamic dead-instruction detection and elimination
 
 USAGE:
   dide list
-  dide disasm <benchmark> [--opt O0|O2]
-  dide trace <benchmark> [--scale N] [--opt O0|O2] [--hot N]
-  dide run <benchmark> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N]
+  dide disasm <benchmark|path.asm> [--opt O0|O2]
+  dide trace <benchmark|path.asm> [--scale N] [--opt O0|O2] [--hot N]
+  dide run <benchmark|path.asm> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N]
   dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings]
   dide bench [--quick] [--out PATH] [--scales 1,4] [--check-against PATH]
   dide verify [--seeds N] [--jobs N] [--corpus DIR]
@@ -96,6 +100,12 @@ VERIFY (golden tables):
   --bless      rewrite the snapshots instead of comparing
   --dir DIR    snapshot directory (default tests/golden)
 
+ASSEMBLY WORKLOADS:
+  disasm/trace/run accept a `.asm` file path anywhere a benchmark name is
+  expected; the shipped benchmarks under asm/ (prime, matmul, strsearch)
+  are also enrolled by name in `dide list`, stats, events, and bench.
+  `.asm` programs are fixed: they ignore --opt and --scale.
+
 STATS / EVENTS (observability):
   both take the `dide run` flags [--opt O0|O2] [--scale N]
   [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware];
@@ -130,11 +140,31 @@ fn parse_scale(rest: &[&str]) -> Result<u32, String> {
     }
 }
 
-fn find_spec(name: Option<&&str>) -> Result<dide::WorkloadSpec, String> {
-    let name = name.ok_or("missing benchmark name (try `dide list`)")?;
-    dide::suite()
-        .into_iter()
-        .find(|s| s.name == *name)
+/// What `disasm`/`trace`/`run` operate on: a named workload from the
+/// suites, or an external `.asm` file assembled on the fly.
+enum RunTarget {
+    Spec(dide::WorkloadSpec),
+    File(std::path::PathBuf),
+}
+
+impl RunTarget {
+    /// Builds the program. `.asm` files are fixed programs and ignore
+    /// `opt`/`scale`; named workloads honor both.
+    fn build(&self, opt: OptLevel, scale: u32) -> Result<dide::prelude::Program, String> {
+        match self {
+            RunTarget::Spec(spec) => Ok(spec.build(opt, scale)),
+            RunTarget::File(path) => dide::asm::assemble_path(path),
+        }
+    }
+}
+
+fn find_target(name: Option<&&str>) -> Result<RunTarget, String> {
+    let name = name.ok_or("missing benchmark name or .asm path (try `dide list`)")?;
+    if name.ends_with(".asm") || name.contains(std::path::MAIN_SEPARATOR) {
+        return Ok(RunTarget::File(name.into()));
+    }
+    dide::find_workload(name)
+        .map(RunTarget::Spec)
         .ok_or_else(|| format!("unknown benchmark `{name}` (try `dide list`)"))
 }
 
@@ -145,7 +175,7 @@ fn fail(message: String) -> ExitCode {
 
 fn list() -> ExitCode {
     let mut t = dide::Table::new(["name", "description"]);
-    for s in dide::suite() {
+    for s in dide::suite().into_iter().chain(dide::asm_suite()) {
         t.row([s.name, s.description]);
     }
     print!("{t}");
@@ -153,28 +183,36 @@ fn list() -> ExitCode {
 }
 
 fn disasm(rest: &[&str]) -> ExitCode {
-    let spec = match find_spec(rest.first()) {
-        Ok(s) => s,
+    let target = match find_target(rest.first()) {
+        Ok(t) => t,
         Err(e) => return fail(e),
     };
     let opt = match parse_opt(rest) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
-    print!("{}", spec.build(opt, 1).listing());
-    ExitCode::SUCCESS
+    match target.build(opt, 1) {
+        Ok(program) => {
+            print!("{}", program.listing());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
 }
 
 fn trace(rest: &[&str]) -> ExitCode {
-    let spec = match find_spec(rest.first()) {
-        Ok(s) => s,
+    let target = match find_target(rest.first()) {
+        Ok(t) => t,
         Err(e) => return fail(e),
     };
     let (opt, scale) = match (parse_opt(rest), parse_scale(rest)) {
         (Ok(o), Ok(s)) => (o, s),
         (Err(e), _) | (_, Err(e)) => return fail(e),
     };
-    let program = spec.build(opt, scale);
+    let program = match target.build(opt, scale) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
     let trace = match Emulator::new(&program).run() {
         Ok(t) => t,
         Err(e) => return fail(format!("emulation trapped: {e}")),
@@ -214,8 +252,8 @@ fn trace(rest: &[&str]) -> ExitCode {
 }
 
 fn run(rest: &[&str]) -> ExitCode {
-    let spec = match find_spec(rest.first()) {
-        Ok(s) => s,
+    let target = match find_target(rest.first()) {
+        Ok(t) => t,
         Err(e) => return fail(e),
     };
     let (opt, scale) = match (parse_opt(rest), parse_scale(rest)) {
@@ -237,7 +275,10 @@ fn run(rest: &[&str]) -> ExitCode {
         machine
     };
 
-    let program = spec.build(opt, scale);
+    let program = match target.build(opt, scale) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
     let trace = match Emulator::new(&program).run() {
         Ok(t) => t,
         Err(e) => return fail(format!("emulation trapped: {e}")),
@@ -339,7 +380,7 @@ fn parse_selection(rest: &[&str]) -> Result<dide::RunSelection, String> {
     let mut select = dide::RunSelection::default();
     if let Some(name) = flag_value(rest, "--benchmark") {
         // Validate early so the error names the flag, not a build failure.
-        if !dide::suite().iter().any(|s| s.name == name) {
+        if dide::find_workload(name).is_none() {
             return Err(format!("unknown benchmark `{name}` (try `dide list`)"));
         }
         select.benchmark = name.to_string();

@@ -65,7 +65,9 @@ pub use table::Table;
 pub use verifyrun::{run_golden, run_verify, GoldenOptions, GoldenRun, VerifyOptions, VerifyRun};
 pub use workbench::{BenchCase, Workbench};
 
-pub use dide_workloads::{suite, OptLevel, WorkloadSpec};
+pub use dide_workloads::{asm_suite, find_workload, suite, OptLevel, WorkloadSpec};
+
+pub use dide_asm as asm;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

@@ -26,7 +26,7 @@ use dide_obs::{
     EventTrace, EventsConfig, Observe,
 };
 use dide_pipeline::{Core, DeadElimConfig, PipelineConfig, PipelineStats};
-use dide_workloads::{suite, OptLevel};
+use dide_workloads::OptLevel;
 
 use crate::{BenchCase, Table};
 
@@ -116,9 +116,7 @@ impl RunSelection {
     }
 
     fn case(&self) -> Result<Arc<BenchCase>, String> {
-        let spec = suite()
-            .into_iter()
-            .find(|s| s.name == self.benchmark)
+        let spec = dide_workloads::find_workload(&self.benchmark)
             .ok_or_else(|| format!("unknown benchmark `{}` (try `dide list`)", self.benchmark))?;
         Ok(BenchCase::cached(spec, self.opt, self.scale))
     }

@@ -23,14 +23,16 @@ use std::io;
 use std::path::PathBuf;
 
 use dide_verify::{
-    bless_golden, compare_golden, load_corpus, save_case, shrink_case, verify_seed,
-    verify_seed_with, CorpusCase,
+    bless_golden, check_invariants, compare_golden, differential_verdicts, load_corpus, save_case,
+    shrink_case, verify_seed, verify_seed_with, CorpusCase,
 };
 use dide_workloads::random_program;
 
 use crate::harness;
 use crate::runner::{run_experiments, ExperimentOptions};
 use crate::statsrun::{run_stats, RunSelection, StatsOptions};
+use crate::workbench::BenchCase;
+use dide_workloads::OptLevel;
 
 /// Options for [`run_verify`] (the fuzzing mode of `dide verify`).
 #[derive(Debug, Clone)]
@@ -94,7 +96,36 @@ pub fn run_verify(options: &VerifyOptions) -> io::Result<VerifyRun> {
     let mut report = String::new();
     let mut failures = 0usize;
 
-    // Corpus replay first: a once-found bug stays found until fixed.
+    // Shipped `.asm` workloads first: each runs the same differential
+    // check (second liveness oracle + metamorphic invariants) as a fuzz
+    // seed, so hand-written external programs exercise paths the
+    // generator's canonical encodings never produce.
+    for spec in dide_workloads::asm_suite() {
+        let case = BenchCase::cached(spec, OptLevel::O2, 1);
+        let mismatches = differential_verdicts(&case.trace, &case.analysis);
+        let violations = check_invariants(&case.trace, &case.analysis);
+        if mismatches.is_empty() && violations.is_empty() {
+            let _ = writeln!(report, "asm {}: clean ({} insts)", spec.name, case.trace.len());
+        } else {
+            failures += 1;
+            let _ = writeln!(
+                report,
+                "asm {}: FAILURE ({} verdict mismatch(es), {} invariant violation(s))",
+                spec.name,
+                mismatches.len(),
+                violations.len()
+            );
+            for m in mismatches.iter().take(3) {
+                let _ = writeln!(report, "  {m}");
+            }
+            for v in violations.iter().take(3) {
+                let _ = writeln!(report, "  {v}");
+            }
+        }
+    }
+
+    // Corpus replay before fresh seeds: a once-found bug stays found
+    // until fixed.
     let corpus = match &options.corpus {
         Some(dir) => load_corpus(dir)?,
         None => Vec::new(),
@@ -213,6 +244,7 @@ pub fn run_golden(options: &GoldenOptions) -> io::Result<GoldenRun> {
     });
     let mut rendered = run.per_experiment.clone();
     rendered.extend(stats_documents(options.only.as_deref()));
+    rendered.extend(asm_documents(options.only.as_deref()));
     let mut report = String::new();
     if options.bless {
         bless_golden(&options.dir, &rendered)?;
@@ -258,5 +290,42 @@ fn stats_documents(only: Option<&[String]>) -> Vec<(String, String)> {
                 run_stats(&StatsOptions { select, format: None }).expect("suite benchmark exists");
             (id.to_string(), stats.output)
         })
+        .collect()
+}
+
+/// Snapshots pinning the assembly frontend:
+///
+/// * `run_prime.txt` — the exact stdout of `dide run asm/prime.asm`
+///   (default machine, no elimination), so the end-to-end path from `.asm`
+///   text through emulation and the pipeline stays byte-stable;
+/// * `stats_prime.json` — a full `dide stats` document for an `.asm`
+///   workload with CFI elimination enabled;
+/// * `asm_errors.txt` — the parser's diagnostic messages over a fixed
+///   bad-input corpus, so error-message drift shows up as a reviewable
+///   diff.
+fn asm_documents(only: Option<&[String]>) -> Vec<(String, String)> {
+    type Render = fn() -> String;
+    let mut docs: Vec<(&str, Render)> = Vec::new();
+    docs.push(("run_prime.txt", || {
+        let spec = dide_workloads::find_workload("prime").expect("prime is enrolled");
+        let case = BenchCase::cached(spec, OptLevel::O2, 1);
+        let stats = dide_pipeline::Core::new(dide_pipeline::PipelineConfig::contended())
+            .run(&case.trace, &case.analysis);
+        // `dide run` prints the stats via `println!`, so the golden ends
+        // with the extra newline.
+        format!("{stats}\n")
+    }));
+    docs.push(("stats_prime.json", || {
+        let select = RunSelection {
+            benchmark: "prime".to_string(),
+            eliminate: true,
+            ..RunSelection::default()
+        };
+        run_stats(&StatsOptions { select, format: None }).expect("prime is enrolled").output
+    }));
+    docs.push(("asm_errors.txt", dide_asm::diagnostic_snapshot));
+    docs.into_iter()
+        .filter(|(id, _)| only.is_none_or(|ids| ids.iter().any(|x| x == id)))
+        .map(|(id, render)| (id.to_string(), render()))
         .collect()
 }

@@ -169,6 +169,13 @@ impl Program {
     }
 
     /// Renders a human-readable disassembly listing.
+    ///
+    /// The listing is also valid assembler input: it spells out a non-zero
+    /// entry point as `.entry`, the initial data image as `.byte` rows
+    /// inside a `.data`/`.text` pair, and each instruction prefixed by its
+    /// index as a checkable marker — so re-assembling a program's listing
+    /// reconstructs the program exactly (the round-trip property the
+    /// `dide-asm` fuzz harness enforces).
     #[must_use]
     pub fn listing(&self) -> String {
         use std::fmt::Write as _;
@@ -187,6 +194,23 @@ impl Program {
             index_to_pc(self.entry),
             DATA_BASE
         );
+        if self.entry != 0 {
+            let _ = writeln!(out, ".entry {}", self.entry);
+        }
+        if !self.data.is_empty() {
+            out.push_str(".data\n");
+            for row in self.data.chunks(16) {
+                out.push_str(".byte ");
+                for (i, b) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{b:#04x}");
+                }
+                out.push('\n');
+            }
+            out.push_str(".text\n");
+        }
         for (i, inst) in self.insts.iter().enumerate() {
             let _ = writeln!(out, "{i:6}: {inst}");
         }
@@ -259,6 +283,20 @@ mod tests {
         assert!(l.contains("demo"));
         assert!(l.contains("nop"));
         assert!(l.contains("halt"));
+        assert!(!l.contains(".data"), "no data section for an empty image");
+        assert!(!l.contains(".entry"), "entry 0 is the default");
+    }
+
+    #[test]
+    fn listing_spells_out_entry_and_data_image() {
+        let insts = vec![Inst::nop(), halt()];
+        let data: Vec<u8> = (0..18).collect();
+        let p = Program::from_parts("demo", insts, data, 1).unwrap();
+        let l = p.listing();
+        assert!(l.contains(".entry 1"));
+        assert!(l.contains(".data\n"));
+        assert!(l.contains(".byte 0x00, 0x01,"), "first row starts at 0x00");
+        assert!(l.contains(".byte 0x10, 0x11\n.text\n"), "18 bytes wrap to a second row");
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod kernels;
 mod programs;
 
 pub use gen::{random_program, GenConfig};
-pub use programs::{suite, BenchKind, WorkloadSpec};
+pub use programs::{asm_suite, find_workload, suite, BenchKind, WorkloadSpec};
 
 /// Compiler optimization level emulated by the workload generator.
 ///

@@ -44,6 +44,10 @@ pub enum BenchKind {
     /// Dense streaming arithmetic where nearly everything is consumed
     /// (the low end of the dead range).
     Stream,
+    /// An external benchmark written in SIR assembly, shipped in the
+    /// repository's `asm/` directory and embedded via
+    /// [`dide_asm::builtin`]. The payload is the builtin name.
+    Asm(&'static str),
 }
 
 /// A buildable benchmark descriptor.
@@ -61,7 +65,9 @@ impl WorkloadSpec {
     /// Builds the benchmark program.
     ///
     /// `scale` multiplies the iteration count linearly (`1` gives a dynamic
-    /// trace of roughly 50–200 k instructions).
+    /// trace of roughly 50–200 k instructions). Assembly workloads
+    /// ([`BenchKind::Asm`]) are fixed programs: they ignore both `opt` and
+    /// `scale`.
     ///
     /// # Panics
     ///
@@ -81,6 +87,9 @@ impl WorkloadSpec {
             BenchKind::Bitboard => bitboard::build(opt, scale),
             BenchKind::Sort => sort::build(opt, scale),
             BenchKind::Stream => stream::build(opt, scale),
+            BenchKind::Asm(name) => {
+                dide_asm::builtin::program(name).expect("builtin asm workload exists")
+            }
         }
     }
 }
@@ -145,4 +154,35 @@ pub fn suite() -> Vec<WorkloadSpec> {
             description: "dense streaming arithmetic, minimal deadness",
         },
     ]
+}
+
+/// The shipped `.asm` benchmarks (from the repository's `asm/` directory),
+/// enrolled as first-class workloads. Kept separate from [`suite`] so the
+/// golden-pinned experiment tables keep iterating the original eleven
+/// benchmarks.
+#[must_use]
+pub fn asm_suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "prime",
+            kind: BenchKind::Asm("prime"),
+            description: "trial-division prime counting (asm/prime.asm)",
+        },
+        WorkloadSpec {
+            name: "matmul",
+            kind: BenchKind::Asm("matmul"),
+            description: "8x8 matrix multiply with dead rounds (asm/matmul.asm)",
+        },
+        WorkloadSpec {
+            name: "strsearch",
+            kind: BenchKind::Asm("strsearch"),
+            description: "naive substring search via call/ret (asm/strsearch.asm)",
+        },
+    ]
+}
+
+/// Looks up a workload by name across [`suite`] and [`asm_suite`].
+#[must_use]
+pub fn find_workload(name: &str) -> Option<WorkloadSpec> {
+    suite().into_iter().chain(asm_suite()).find(|s| s.name == name)
 }

@@ -1,0 +1,52 @@
+//! The shipped `.asm` workloads must execute to halt with the documented
+//! outputs, so the comments in `asm/*.asm` stay honest and the benchmarks
+//! are safe to enroll in `dide bench`/`dide verify`.
+
+use dide_emu::Emulator;
+use dide_workloads::{asm_suite, find_workload, suite, OptLevel};
+
+fn run(name: &str) -> dide_emu::Trace {
+    let spec = find_workload(name).expect("asm workload enrolled");
+    let program = spec.build(OptLevel::O2, 1);
+    assert_eq!(program.name(), name);
+    Emulator::new(&program).run().expect("asm workload halts")
+}
+
+#[test]
+fn prime_counts_primes_to_400() {
+    let trace = run("prime");
+    assert_eq!(trace.outputs(), &[78, 397, 478], "count, largest, final snapshot");
+    assert!(trace.len() > 5_000, "meaningful dynamic length: {}", trace.len());
+}
+
+#[test]
+fn matmul_checksum_is_stable() {
+    let trace = run("matmul");
+    // C = A x B with A[i][j] = i + j + 1 and B[i][j] = j + 1, so
+    // C[i][j] = (j+1)(8i+36) and checksum = 36 * 512 = 18432.
+    assert_eq!(trace.outputs(), &[18432]);
+    assert!(trace.len() > 20_000, "meaningful dynamic length: {}", trace.len());
+}
+
+#[test]
+fn strsearch_counts_both_patterns() {
+    let trace = run("strsearch");
+    let outputs = trace.outputs();
+    assert_eq!(outputs[0], 9, "\"the\" occurrences");
+    assert_eq!(outputs[1], 3, "\"er\" occurrences");
+    assert!(outputs[2] > 0, "final snapshot is live");
+}
+
+#[test]
+fn asm_suite_is_disjoint_from_the_golden_suite() {
+    for asm in asm_suite() {
+        assert!(
+            suite().iter().all(|s| s.name != asm.name),
+            "asm workload {} shadows a suite benchmark",
+            asm.name
+        );
+        assert!(find_workload(asm.name).is_some());
+    }
+    assert!(find_workload("expr").is_some(), "suite names still resolve");
+    assert!(find_workload("nope").is_none());
+}

@@ -1,0 +1,93 @@
+//! Round-trip fuzzing of the assembly frontend: any program the generator
+//! can produce must survive disassembly (`Program::to_string`) and
+//! re-assembly (`dide::asm::assemble`) instruction-for-instruction —
+//! opcode, operands, immediates, data image, entry point, and name.
+//!
+//! Failures shrink to a minimal generator configuration and persist to the
+//! on-disk corpus at `tests/asm_corpus/`, which is replayed before the
+//! random sweep on every run (the same machinery `dide verify` uses).
+
+use std::path::{Path, PathBuf};
+
+use dide_verify::{derive_config, load_corpus, save_case, shrink_case, CorpusCase};
+use dide_workloads::{random_program, GenConfig};
+
+/// Test CWD is the package root (`crates/core`), so repo paths go up two.
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/asm_corpus")
+}
+
+/// The property under test: disassemble, reparse, compare. The parse may
+/// not fail and the reparsed program must be equal in full.
+fn round_trips(seed: u64, config: &GenConfig) -> bool {
+    let program = random_program(seed, config);
+    match dide::asm::assemble(program.name(), &program.to_string()) {
+        Ok(reparsed) => reparsed == program,
+        Err(_) => false,
+    }
+}
+
+/// How many fresh seeds to sweep. `DIDE_PROPTEST_CASES` scales the sweep
+/// up (e.g. under `./ci.sh --deep`) without editing the test.
+fn cases() -> u64 {
+    std::env::var("DIDE_PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+#[test]
+fn corpus_replays_round_trip() {
+    let corpus = load_corpus(&corpus_dir()).expect("corpus dir readable");
+    for case in &corpus {
+        assert!(
+            round_trips(case.seed, &case.config),
+            "corpus case seed {:#018x} still fails: {}",
+            case.seed,
+            case.reason
+        );
+    }
+}
+
+#[test]
+fn random_programs_round_trip() {
+    for seed in 0..cases() {
+        let config = derive_config(seed);
+        if round_trips(seed, &config) {
+            continue;
+        }
+        // Shrink to the smallest failing generator configuration and
+        // persist it so the failure replays first on the next run.
+        let shrunk = shrink_case(seed, &config, |s, c| !round_trips(s, c));
+        let program = random_program(seed, &shrunk);
+        let reason = match dide::asm::assemble(program.name(), &program.to_string()) {
+            Err(e) => format!("listing does not re-assemble: {e}"),
+            Ok(_) => "listing re-assembles to a different program".to_string(),
+        };
+        let case = CorpusCase { seed, config: shrunk, reason: reason.clone() };
+        let path = save_case(&corpus_dir(), &case, &program.listing()).expect("corpus case saved");
+        panic!("round-trip failed for seed {seed:#018x}: {reason}\n  case saved to {path:?}");
+    }
+}
+
+#[test]
+fn round_trip_is_a_fixpoint() {
+    // One disassemble→reparse round must already be the fixpoint: the
+    // reparsed program renders the identical listing.
+    for seed in [0u64, 1, 7, 0xdead_beef] {
+        let program = random_program(seed, &derive_config(seed));
+        let listing = program.to_string();
+        let reparsed = dide::asm::assemble(program.name(), &listing).expect("listing assembles");
+        assert_eq!(reparsed.to_string(), listing, "seed {seed:#x} listing not a fixpoint");
+    }
+}
+
+#[test]
+fn shipped_benchmarks_round_trip_with_data() {
+    // The generator's data image is all zeros; the shipped benchmarks
+    // cover non-trivial `.byte` rows, `.entry`, and symbolic labels.
+    for spec in dide_workloads::asm_suite() {
+        let program = spec.build(dide_workloads::OptLevel::O2, 1);
+        assert!(!program.data().is_empty() || spec.name == "prime", "{}", spec.name);
+        let reparsed =
+            dide::asm::assemble(program.name(), &program.to_string()).expect("listing assembles");
+        assert_eq!(reparsed, program, "{} listing does not round-trip", spec.name);
+    }
+}

@@ -79,3 +79,75 @@ fn events_happy_path_shows_tail() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("recorded event(s)"), "{stdout}");
 }
+
+/// Repo-root path for a file, valid from the test CWD (`crates/core`).
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn run_asm_file_matches_the_golden_snapshot() {
+    let out = dide(&["run", &repo_path("asm/prime.asm")]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let golden = std::fs::read_to_string(repo_path("tests/golden/run_prime.txt"))
+        .expect("golden snapshot committed");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "dide run asm/prime.asm drifted from tests/golden/run_prime.txt \
+         (re-bless with `dide verify --golden --bless --only run_prime.txt`)"
+    );
+}
+
+#[test]
+fn run_asm_workloads_by_name() {
+    for name in ["prime", "matmul", "strsearch"] {
+        let out = dide(&["run", name]);
+        assert!(out.status.success(), "{name} stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("cycles"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn disasm_asm_file_round_trips_to_stdout() {
+    let out = dide(&["disasm", &repo_path("asm/strsearch.asm")]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("; program `strsearch`"), "{stdout}");
+    assert!(stdout.contains(".data"), "{stdout}");
+}
+
+#[test]
+fn stats_accepts_asm_workloads_by_name() {
+    let out = dide(&["stats", "--benchmark", "prime", "--json", "--eliminate"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"benchmark\": \"prime\""), "{stdout}");
+    assert!(stdout.contains("\"violations\": []"), "{stdout}");
+}
+
+#[test]
+fn list_includes_asm_workloads() {
+    let out = dide(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["prime", "matmul", "strsearch", "expr"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn run_rejects_asm_errors_with_position() {
+    // A missing file is an I/O error; a bad file is a positioned parse
+    // error. Both must be one-line `error:` diagnostics, not panics.
+    assert_one_line_error(&["run", "nonexistent/x.asm"], &["nonexistent/x.asm"]);
+    let dir = std::env::temp_dir().join("dide-cli-asm-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.asm");
+    std::fs::write(&bad, "  adx t0, t1, t2\n  halt\n").expect("write bad.asm");
+    assert_one_line_error(
+        &["run", bad.to_str().expect("utf-8 temp path")],
+        &["bad.asm:1:3: unknown mnemonic `adx`"],
+    );
+}
