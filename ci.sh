@@ -74,12 +74,33 @@ echo "== bench smoke + regression check =="
 cargo run --release --bin dide -- bench --quick --out BENCH.ci.json --check-against BENCH.json
 # The perf harness must produce a non-empty, well-formed report.
 test -s BENCH.ci.json || { echo "BENCH.ci.json is missing or empty" >&2; exit 1; }
-grep -q '"schema": "dide-bench/v1"' BENCH.ci.json \
-  || { echo "BENCH.ci.json lacks the dide-bench/v1 schema marker" >&2; exit 1; }
+grep -q '"schema": "dide-bench/v2"' BENCH.ci.json \
+  || { echo "BENCH.ci.json lacks the dide-bench/v2 schema marker" >&2; exit 1; }
+grep -q '"mem_peak_bytes"' BENCH.ci.json \
+  || { echo "BENCH.ci.json lacks the streamed mem_peak_bytes block" >&2; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool BENCH.ci.json >/dev/null \
     || { echo "BENCH.ci.json is not valid JSON" >&2; exit 1; }
 fi
 rm -f BENCH.ci.json
+
+echo "== streaming smoke (bounded memory) =="
+# The streamed pipeline must survive an address-space budget that the
+# materializing path cannot: expr at scale 16 materializes a ~53 MiB
+# trace (doubled again inside the emulator's growth pattern and the
+# analysis verdict arrays), while the streamed path retains at most two
+# 65536-record epochs (~5 MiB). Measured floors: the materializing run
+# aborts below ~256 MiB of address space, the streamed run survives
+# down to 24 MiB — so a 128 MiB budget has 2x margin on both sides.
+STREAM_VM_KB=131072
+DIDE=./target/release/dide
+( ulimit -v "${STREAM_VM_KB}"; "${DIDE}" run expr --scale 16 --stream > /dev/null ) \
+  || { echo "streamed run of expr@s16 failed under ulimit -v ${STREAM_VM_KB}" >&2; exit 1; }
+if ( ulimit -v "${STREAM_VM_KB}"; "${DIDE}" run expr --scale 16 > /dev/null 2>&1 ); then
+  echo "materializing run of expr@s16 fit under ulimit -v ${STREAM_VM_KB};" >&2
+  echo "the streaming smoke budget no longer discriminates — tighten it" >&2
+  exit 1
+fi
+echo "streamed expr@s16 fits in ${STREAM_VM_KB} KiB; materializing path does not"
 
 echo "CI gate passed."

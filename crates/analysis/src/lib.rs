@@ -52,6 +52,7 @@ mod replay;
 mod static_profile;
 mod stats;
 mod verdict;
+mod window;
 
 pub use interval::{Interval, IntervalSeries};
 pub use lifetime::DeadLifetimes;
@@ -61,3 +62,4 @@ pub use replay::{replay_outputs, verify_dead_removable, ReplayMismatch};
 pub use static_profile::{StaticBehavior, StaticProfile, StaticRecord};
 pub use stats::DeadStats;
 pub use verdict::{DeadKind, Verdict};
+pub use window::StreamedDeadness;

@@ -31,7 +31,7 @@ impl DeadLifetimes {
         let mut lifetimes = Vec::new();
         let end = trace.len() as u64;
         for r in trace {
-            if let Some(rd) = r.inst.dest() {
+            if let Some(rd) = r.dest() {
                 if let Some(prev) = last_writer[rd.index()] {
                     if analysis.is_dead(prev) {
                         lifetimes.push(r.seq - prev);

@@ -1,6 +1,6 @@
 //! The two-pass oracle deadness algorithm.
 
-use dide_emu::{PagedShadow, Trace};
+use dide_emu::{DynInst, PagedShadow, Trace};
 use dide_isa::OpcodeKind;
 
 use crate::locality::LocalityCdf;
@@ -26,25 +26,25 @@ pub struct DeadnessAnalysis {
 /// touches one 16-byte entry (one cache line) instead of three parallel
 /// arrays.
 #[derive(Debug, Clone, Copy)]
-struct SeqState {
+pub(crate) struct SeqState {
     /// Stamp (seq) of the last consumer that listed this producer — the
     /// duplicate-producer filter. Replaces the seed's
     /// `producers[start..].contains(&w)` scan, which was quadratic in a
     /// consumer's producer count (per-byte resolution of wide loads bit).
-    last_touch: u64,
+    pub(crate) last_touch: u64,
     /// For stores: bytes of the store still visible (not yet overwritten).
-    live_bytes: u32,
+    pub(crate) live_bytes: u32,
     /// Whether any later instruction read this value.
-    read: bool,
+    pub(crate) read: bool,
     /// First-level deadness hint, pending final classification.
-    hint: Option<DeadKind>,
+    pub(crate) hint: Option<DeadKind>,
 }
 
 impl SeqState {
     /// No consumer yet, no visible bytes, unread, no hint. `u64::MAX` is a
     /// safe stamp sentinel: stamps are consumer seqs, which are dense
     /// from 0 and bounded by the trace length.
-    const EMPTY: SeqState =
+    pub(crate) const EMPTY: SeqState =
         SeqState { last_touch: u64::MAX, live_bytes: 0, read: false, hint: None };
 }
 
@@ -210,58 +210,68 @@ impl DeadnessAnalysis {
     /// passes dispatch on the opcode kind exactly once per record.
     #[must_use]
     pub fn analyze(trace: &Trace) -> DeadnessAnalysis {
-        let n = trace.len();
-        let records = trace.records();
+        DeadnessAnalysis::analyze_records(trace.records())
+    }
+
+    /// Runs the analysis over a bare record slice (`records[i].seq == i`).
+    ///
+    /// This is the same exact whole-trace algorithm as
+    /// [`DeadnessAnalysis::analyze`]; the windowed streaming analysis
+    /// delegates here when a trace fits in a single epoch so its verdicts
+    /// are trivially bit-identical.
+    #[must_use]
+    pub fn analyze_records(records: &[DynInst]) -> DeadnessAnalysis {
+        let n = records.len();
+        debug_assert!(records.iter().enumerate().all(|(i, r)| r.seq == i as u64));
 
         // ---- forward pass: resolve reads to producers ----
         let mut fwd = Forward::new(n);
         for r in records {
             let seq = r.seq;
-            let inst = &r.inst;
-            match inst.op.kind() {
+            match r.op.kind() {
                 OpcodeKind::AluRR => {
-                    fwd.read_reg(inst.rs1, seq);
-                    fwd.read_reg(inst.rs2, seq);
+                    fwd.read_reg(r.rs1, seq);
+                    fwd.read_reg(r.rs2, seq);
                     fwd.end_reads();
-                    fwd.write_reg(inst.rd, seq);
+                    fwd.write_reg(r.rd, seq);
                 }
                 OpcodeKind::AluRI => {
-                    fwd.read_reg(inst.rs1, seq);
+                    fwd.read_reg(r.rs1, seq);
                     fwd.end_reads();
-                    fwd.write_reg(inst.rd, seq);
+                    fwd.write_reg(r.rd, seq);
                 }
                 OpcodeKind::LoadImm | OpcodeKind::Jal => {
                     fwd.end_reads();
-                    fwd.write_reg(inst.rd, seq);
+                    fwd.write_reg(r.rd, seq);
                 }
                 OpcodeKind::Load { .. } => {
-                    fwd.read_reg(inst.rs1, seq);
-                    if let Some(acc) = r.mem {
+                    fwd.read_reg(r.rs1, seq);
+                    if let Some(acc) = r.mem() {
                         fwd.read_mem(acc, seq);
                     }
                     fwd.end_reads();
-                    fwd.write_reg(inst.rd, seq);
+                    fwd.write_reg(r.rd, seq);
                 }
                 OpcodeKind::Store { .. } => {
-                    fwd.read_reg(inst.rs1, seq);
-                    fwd.read_reg(inst.rs2, seq);
+                    fwd.read_reg(r.rs1, seq);
+                    fwd.read_reg(r.rs2, seq);
                     fwd.end_reads();
-                    if let Some(acc) = r.mem {
+                    if let Some(acc) = r.mem() {
                         fwd.write_mem(acc, seq);
                     }
                 }
                 OpcodeKind::Branch(_) => {
-                    fwd.read_reg(inst.rs1, seq);
-                    fwd.read_reg(inst.rs2, seq);
+                    fwd.read_reg(r.rs1, seq);
+                    fwd.read_reg(r.rs2, seq);
                     fwd.end_reads();
                 }
                 OpcodeKind::Jalr => {
-                    fwd.read_reg(inst.rs1, seq);
+                    fwd.read_reg(r.rs1, seq);
                     fwd.end_reads();
-                    fwd.write_reg(inst.rd, seq);
+                    fwd.write_reg(r.rd, seq);
                 }
                 OpcodeKind::Out => {
-                    fwd.read_reg(inst.rs1, seq);
+                    fwd.read_reg(r.rs1, seq);
                     fwd.end_reads();
                 }
                 OpcodeKind::Halt | OpcodeKind::Nop => fwd.end_reads(),
@@ -290,11 +300,11 @@ impl DeadnessAnalysis {
 
         for r in records.iter().rev() {
             let seq = r.seq as usize;
-            let (eligible, root, is_load, is_store) = match r.inst.op.kind() {
+            let (eligible, root, is_load, is_store) = match r.op.kind() {
                 OpcodeKind::AluRR | OpcodeKind::AluRI | OpcodeKind::LoadImm => {
-                    (!r.inst.rd.is_zero(), false, false, false)
+                    (!r.rd.is_zero(), false, false, false)
                 }
-                OpcodeKind::Load { .. } => (!r.inst.rd.is_zero(), false, true, false),
+                OpcodeKind::Load { .. } => (!r.rd.is_zero(), false, true, false),
                 OpcodeKind::Store { .. } => (true, false, false, true),
                 OpcodeKind::Branch(_)
                 | OpcodeKind::Jal
@@ -601,7 +611,7 @@ mod tests {
         // 4 slt instances; only the final one is useful.
         let slts: Vec<_> = trace
             .iter()
-            .filter(|r| r.inst.op == dide_isa::Opcode::Slt)
+            .filter(|r| r.op == dide_isa::Opcode::Slt)
             .map(|r| a.verdict(r.seq))
             .collect();
         assert_eq!(slts.len(), 4);

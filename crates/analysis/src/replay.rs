@@ -62,7 +62,9 @@ pub fn replay_outputs<F: FnMut(u64) -> bool>(trace: &Trace, mut skip: F) -> Vec<
         if skip(r.seq) {
             continue;
         }
-        let inst = r.inst;
+        // The immediate is not carried in the packed record; fetch the
+        // static instruction from the program.
+        let inst = *trace.program().get(r.index).expect("trace records index into the program");
         match inst.op.kind() {
             OpcodeKind::AluRR => {
                 let v = semantics::alu_rr(inst.op, get(&regs, inst.rs1), get(&regs, inst.rs2));
@@ -197,7 +199,7 @@ mod tests {
         let victim = t
             .iter()
             .rev()
-            .find(|r| r.inst.op == dide_isa::Opcode::Add && a.verdict(r.seq).is_eligible())
+            .find(|r| r.op == dide_isa::Opcode::Add && a.verdict(r.seq).is_eligible())
             .map(|r| r.seq)
             .expect("an add exists");
         assert!(!a.is_dead(victim));

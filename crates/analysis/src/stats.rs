@@ -52,10 +52,10 @@ impl DeadStats {
                 DeadKind::StoreUnread => s.store_unread += 1,
                 DeadKind::Transitive => s.transitive += 1,
             }
-            if r.inst.op.is_load() {
+            if r.op.is_load() {
                 s.dead_loads += 1;
             }
-            if r.inst.op.is_store() {
+            if r.op.is_store() {
                 s.dead_stores += 1;
             }
         }

@@ -37,6 +37,41 @@ pub fn program(name: &str) -> Option<Program> {
     }
 }
 
+/// The rounds-count line of `asm/matmul.asm` — the one workload-scale knob
+/// the shipped benchmarks expose. Anchored on the following branch so the
+/// inner-loop bounds (`li   t4, 8`) can never match.
+const MATMUL_ROUNDS_KNOB: &str = "li   t4, 4\n  blt  s3, t4, rounds";
+
+/// Assembles a shipped benchmark with its workload-scale knob applied, or
+/// returns `None` for an unknown name.
+///
+/// `matmul` repeats its outer rounds loop `4 * scale` times: the loop
+/// recomputes the same product every round, so scaling it grows the
+/// dynamic trace linearly without changing the program's character. The
+/// other shipped benchmarks have no knob and assemble unchanged.
+///
+/// # Panics
+///
+/// Panics if `scale` is zero, if the knob line has been edited out of
+/// `asm/matmul.asm`, or if the scaled source fails to assemble (see
+/// [`program`]).
+#[must_use]
+pub fn program_scaled(name: &str, scale: u32) -> Option<Program> {
+    assert!(scale > 0, "scale must be at least 1");
+    if name != "matmul" || scale == 1 {
+        return program(name);
+    }
+    let src = source(name)?;
+    let rounds = 4 * u64::from(scale);
+    let scaled =
+        src.replacen(MATMUL_ROUNDS_KNOB, &format!("li   t4, {rounds}\n  blt  s3, t4, rounds"), 1);
+    assert_ne!(scaled, src, "asm/matmul.asm lost its rounds-knob line");
+    match crate::assemble(name, &scaled) {
+        Ok(p) => Some(p),
+        Err(e) => panic!("scaled benchmark asm/{name}.asm (scale {scale}) does not assemble: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +89,32 @@ mod tests {
     fn unknown_names_are_none() {
         assert!(source("nope").is_none());
         assert!(program("nope").is_none());
+    }
+
+    #[test]
+    fn scale_one_is_the_unscaled_program() {
+        for (name, _) in SOURCES {
+            assert_eq!(program_scaled(name, 1), program(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn scaling_matmul_rewrites_only_the_rounds_bound() {
+        let base = program("matmul").unwrap();
+        let scaled = program_scaled("matmul", 16).unwrap();
+        // Same static program shape — only the rounds-loop immediate moves.
+        assert_eq!(base.len(), scaled.len());
+        let differing: Vec<usize> =
+            (0..base.len()).filter(|&i| base.insts()[i] != scaled.insts()[i]).collect();
+        assert_eq!(differing.len(), 1, "exactly one instruction changes");
+        let listing = scaled.listing();
+        assert!(listing.contains("64"), "rounds bound is 4 * scale: {listing}");
+    }
+
+    #[test]
+    fn scaling_a_knobless_benchmark_is_a_no_op() {
+        assert_eq!(program_scaled("prime", 8), program("prime"));
+        assert!(program_scaled("nope", 8).is_none());
     }
 
     #[test]

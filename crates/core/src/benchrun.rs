@@ -18,20 +18,35 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use dide_analysis::DeadnessAnalysis;
+use dide_emu::{DynInst, TraceStream};
 use dide_obs::{EventTrace, EventsConfig};
 use dide_pipeline::{Core, PipelineConfig};
 use dide_workloads::{suite, OptLevel, WorkloadSpec};
 
 use crate::harness::{self, Phase};
+use crate::statsrun::DEFAULT_EPOCH_LEN;
 use crate::{BenchCase, Table};
 
 /// Schema identifier written into `BENCH.json`; bump on layout changes.
-pub const BENCH_SCHEMA: &str = "dide-bench/v1";
+/// v2 added the `stream` block (bounded-memory streamed runs with their
+/// `mem_peak_bytes` accounting).
+pub const BENCH_SCHEMA: &str = "dide-bench/v2";
 
 /// Benchmarks used by `--quick` (CI smoke): small but covering the three
 /// workload families (expression-heavy, store-heavy, pointer-chasing) plus
 /// one externally assembled `.asm` workload.
 const QUICK_SUITE: [&str; 4] = ["expr", "objstore", "route", "prime"];
+
+/// `(benchmark, scale)` streamed-mode enrollments for the full run. The
+/// scale-16 entries produce multi-million-record traces the materializing
+/// path would hold fully resident (tens of MB); matmul at scale 64 runs a
+/// long `.asm` kernel (256 rounds) through the same path.
+const STREAM_SUITE: [(&str, u32); 4] = [("expr", 4), ("expr", 16), ("route", 16), ("matmul", 64)];
+
+/// Streamed enrollments for `--quick`: one small entry so CI still compares
+/// `mem_peak_bytes` against the committed baseline on every push.
+const QUICK_STREAM_SUITE: [(&str, u32); 1] = [("expr", 4)];
 
 /// Options accepted by [`run_bench`] (the `dide bench` CLI).
 #[derive(Debug, Clone)]
@@ -45,6 +60,11 @@ pub struct BenchOptions {
     /// A committed `BENCH.json` to compare the simulate phase against
     /// (`--check-against`); see [`check_regression`].
     pub check_against: Option<PathBuf>,
+    /// `--stream`: skip the materializing four-phase sweep and measure only
+    /// the streamed enrollments.
+    pub stream_only: bool,
+    /// Epoch length for the streamed enrollments (`--epoch`).
+    pub epoch: usize,
 }
 
 impl Default for BenchOptions {
@@ -54,6 +74,8 @@ impl Default for BenchOptions {
             quick: false,
             out: PathBuf::from("BENCH.json"),
             check_against: None,
+            stream_only: false,
+            epoch: DEFAULT_EPOCH_LEN,
         }
     }
 }
@@ -71,6 +93,48 @@ const REGRESSION_FACTOR: f64 = 2.0;
 /// simulate phase (~8ms), so a genuine 2x regression there still clears
 /// the floor.
 const REGRESSION_FLOOR_MS: u128 = 5;
+
+/// Peak-memory growth factor above which a streamed enrollment fails the
+/// regression check. Unlike wall-clock, `mem_peak_bytes` is deterministic
+/// (resident chunks x epoch bytes), so any growth is structural — the
+/// factor only absorbs intentional epoch retuning, not noise.
+const MEM_REGRESSION_FACTOR: f64 = 2.0;
+
+/// One streamed-mode measurement: windowed analysis + streaming pipeline,
+/// with the peak retained trace memory both paths would need.
+#[derive(Debug, Clone)]
+pub struct StreamMeasurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Workload scale.
+    pub scale: u32,
+    /// Epoch length (records per chunk).
+    pub epoch_len: usize,
+    /// Dynamic trace length.
+    pub trace_len: u64,
+    /// Windowed-analysis wall-clock (one emulation pass).
+    pub analyze: Duration,
+    /// Streaming-pipeline wall-clock (emulation + cycle loop).
+    pub simulate: Duration,
+    /// Peak trace bytes resident in the stream during the pipeline pass.
+    pub mem_peak_bytes: u64,
+    /// Bytes the materializing path would hold for the same trace
+    /// (`trace_len * size_of::<DynInst>()`).
+    pub materialized_bytes: u64,
+}
+
+impl StreamMeasurement {
+    /// Materialized-over-streamed memory ratio (the headline saving).
+    #[must_use]
+    pub fn mem_ratio(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        if self.mem_peak_bytes == 0 {
+            1.0
+        } else {
+            self.materialized_bytes as f64 / self.mem_peak_bytes as f64
+        }
+    }
+}
 
 /// Wall-clock of the four phases for one benchmark at one scale.
 #[derive(Debug, Clone)]
@@ -100,6 +164,8 @@ impl BenchMeasurement {
 pub struct BenchRun {
     /// Every measurement, in (scale, suite) order.
     pub measurements: Vec<BenchMeasurement>,
+    /// Streamed-mode measurements, in [`STREAM_SUITE`] order.
+    pub streams: Vec<StreamMeasurement>,
     /// Event-trace overhead on the fixed reference workload.
     pub events_overhead: EventsOverhead,
     /// The `BENCH.json` document.
@@ -173,24 +239,38 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
     let scales: &[u32] = if options.quick { &[1] } else { &options.scales };
 
     let mut measurements = Vec::new();
-    for &scale in scales {
-        for &spec in &specs {
-            eprintln!("bench: {}@{}/s{scale}...", spec.name, OptLevel::O2);
-            measurements.push(measure(spec, OptLevel::O2, scale));
+    if !options.stream_only {
+        for &scale in scales {
+            for &spec in &specs {
+                eprintln!("bench: {}@{}/s{scale}...", spec.name, OptLevel::O2);
+                measurements.push(measure(spec, OptLevel::O2, scale));
+            }
         }
+    }
+
+    let stream_suite: &[(&str, u32)] =
+        if options.quick { &QUICK_STREAM_SUITE } else { &STREAM_SUITE };
+    let mut streams = Vec::new();
+    for &(name, scale) in stream_suite {
+        eprintln!("bench: {name}@{}/s{scale} (streamed)...", OptLevel::O2);
+        let spec = dide_workloads::find_workload(name).expect("stream benchmark exists");
+        streams.push(measure_stream(spec, scale, options.epoch));
     }
 
     eprintln!("bench: events-overhead reference point...");
     let events_overhead = measure_events_overhead();
 
-    let json = render_json(scales, &measurements, Some(&events_overhead));
+    let json = render_json(scales, &measurements, &streams, Some(&events_overhead));
     std::fs::File::create(&options.out)?.write_all(json.as_bytes())?;
-    let mut report = render_report(&measurements, &events_overhead, &options.out);
+    let mut report = render_report(&measurements, &streams, &events_overhead, &options.out);
     let regression = match &options.check_against {
         None => None,
         Some(path) => {
             let baseline = std::fs::read_to_string(path)?;
-            let check = check_regression(&measurements, &parse_baseline(&baseline));
+            let mut check = check_regression(&measurements, &parse_baseline(&baseline));
+            let mem = check_mem_regression(&streams, &parse_stream_baseline(&baseline));
+            check.lines.extend(mem.lines);
+            check.ok &= mem.ok;
             report.push_str(&format!("\n== regression check against {} ==\n", path.display()));
             for line in &check.lines {
                 report.push_str(line);
@@ -204,7 +284,7 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
             Some(check)
         }
     };
-    Ok(BenchRun { measurements, events_overhead, json, report, regression })
+    Ok(BenchRun { measurements, streams, events_overhead, json, report, regression })
 }
 
 /// A `(benchmark, scale)` simulate-phase time parsed from a baseline
@@ -217,6 +297,18 @@ pub struct BaselineEntry {
     pub scale: u32,
     /// Simulate-phase wall-clock, in nanoseconds.
     pub simulate_ns: u128,
+}
+
+/// A `(benchmark, scale)` streamed peak-memory entry parsed from a
+/// baseline `BENCH.json` `stream` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamBaselineEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Workload scale.
+    pub scale: u32,
+    /// Peak resident trace bytes of the streamed run.
+    pub mem_peak_bytes: u64,
 }
 
 /// Extracts per-benchmark simulate times from a `BENCH.json` document.
@@ -264,6 +356,79 @@ pub fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
         }
     }
     entries
+}
+
+/// Extracts streamed peak-memory entries from the `stream` block of a
+/// `BENCH.json` document (same line-oriented reading as
+/// [`parse_baseline`]). A document without a `stream` block — e.g. a v1
+/// baseline — yields an empty list, which [`check_mem_regression`]
+/// reports as "no baseline mem entry" rather than failing the gate.
+#[must_use]
+pub fn parse_stream_baseline(json: &str) -> Vec<StreamBaselineEntry> {
+    let Some(start) = json.find("\"stream\": [") else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    let mut name: Option<String> = None;
+    let mut scale: Option<u32> = None;
+    for line in json[start..].lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"name\": \"") {
+            name = rest.split('"').next().map(ToString::to_string);
+            scale = None;
+        } else if let Some(rest) = t.strip_prefix("\"scale\": ") {
+            scale = rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().ok();
+        } else if let Some(rest) = t.strip_prefix("\"mem_peak_bytes\": {\"streamed\": ") {
+            if let (Some(n), Some(sc)) = (name.take(), scale.take()) {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                if let Ok(bytes) = digits.parse() {
+                    entries.push(StreamBaselineEntry { name: n, scale: sc, mem_peak_bytes: bytes });
+                }
+            }
+        }
+    }
+    entries
+}
+
+/// Compares each streamed enrollment's peak memory against the baseline.
+///
+/// Peak resident bytes are deterministic (resident chunks x epoch bytes),
+/// so any growth beyond [`MEM_REGRESSION_FACTOR`] is a structural change
+/// to the streaming window — no noise floor applies. Enrollments without a
+/// baseline entry are reported but never fail.
+#[must_use]
+pub fn check_mem_regression(
+    streams: &[StreamMeasurement],
+    baseline: &[StreamBaselineEntry],
+) -> RegressionCheck {
+    let mut lines = Vec::new();
+    let mut ok = true;
+    for s in streams {
+        let label = format!("{}@s{} (streamed)", s.name, s.scale);
+        let Some(base) = baseline.iter().find(|b| b.name == s.name && b.scale == s.scale) else {
+            lines.push(format!("{label}: no baseline mem entry (skipped)"));
+            continue;
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = if base.mem_peak_bytes == 0 {
+            1.0
+        } else {
+            s.mem_peak_bytes as f64 / base.mem_peak_bytes as f64
+        };
+        if ratio > MEM_REGRESSION_FACTOR {
+            ok = false;
+            lines.push(format!(
+                "{label}: mem_peak {} bytes vs baseline {} ({ratio:.2}x) — REGRESSION",
+                s.mem_peak_bytes, base.mem_peak_bytes
+            ));
+        } else {
+            lines.push(format!(
+                "{label}: mem_peak {} bytes vs baseline {} ({ratio:.2}x) — ok",
+                s.mem_peak_bytes, base.mem_peak_bytes
+            ));
+        }
+    }
+    RegressionCheck { lines, ok }
 }
 
 /// Compares each measurement's simulate phase against the baseline.
@@ -337,6 +502,33 @@ pub fn measure_events_overhead() -> EventsOverhead {
     }
 }
 
+/// Measures one streamed enrollment: a windowed analysis pass over the
+/// program, then the streaming pipeline over a fresh epoch stream (on the
+/// contended machine, matching [`measure`]'s simulate phase). The recorded
+/// peak is the larger of the two phases' retained trace memory.
+fn measure_stream(spec: WorkloadSpec, scale: u32, epoch_len: usize) -> StreamMeasurement {
+    let program = spec.build(OptLevel::O2, scale);
+    let start = Instant::now();
+    let deadness = DeadnessAnalysis::analyze_streamed(&program, epoch_len)
+        .unwrap_or_else(|e| panic!("benchmark {} must run to halt: {e}", spec.name));
+    let analyze = start.elapsed();
+    let mut stream = TraceStream::new(&program, epoch_len);
+    let start = Instant::now();
+    let _stats = Core::new(PipelineConfig::contended()).run_streamed(&mut stream, &deadness);
+    let simulate = start.elapsed();
+    let trace_len = deadness.len() as u64;
+    StreamMeasurement {
+        name: spec.name.to_string(),
+        scale,
+        epoch_len,
+        trace_len,
+        analyze,
+        simulate,
+        mem_peak_bytes: stream.peak_resident_bytes().max(deadness.mem_peak_bytes()),
+        materialized_bytes: trace_len * std::mem::size_of::<DynInst>() as u64,
+    }
+}
+
 /// Measures one benchmark at one scale: a fresh (uncached) build, trace and
 /// analyze, then a contended-machine simulation.
 fn measure(spec: WorkloadSpec, opt: OptLevel, scale: u32) -> BenchMeasurement {
@@ -372,6 +564,7 @@ fn measure(spec: WorkloadSpec, opt: OptLevel, scale: u32) -> BenchMeasurement {
 pub fn render_json(
     scales: &[u32],
     measurements: &[BenchMeasurement],
+    streams: &[StreamMeasurement],
     events: Option<&EventsOverhead>,
 ) -> String {
     let mut out = String::from("{\n");
@@ -427,7 +620,33 @@ pub fn render_json(
         }
         out.push_str(if i + 1 < scales.len() { "},\n" } else { "}\n" });
     }
-    out.push_str("  }");
+    out.push_str("  },\n");
+
+    // Streamed enrollments: the `mem_peak_bytes` block is what the CI
+    // regression gate and the acceptance criteria read.
+    if streams.is_empty() {
+        out.push_str("  \"stream\": []");
+    } else {
+        out.push_str("  \"stream\": [\n");
+        for (i, s) in streams.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+            out.push_str(&format!("      \"scale\": {},\n", s.scale));
+            out.push_str(&format!("      \"epoch_len\": {},\n", s.epoch_len));
+            out.push_str(&format!("      \"trace_len\": {},\n", s.trace_len));
+            out.push_str(&format!("      \"analyze_ns\": {},\n", s.analyze.as_nanos()));
+            out.push_str(&format!("      \"simulate_ns\": {},\n", s.simulate.as_nanos()));
+            out.push_str(&format!(
+                "      \"mem_peak_bytes\": {{\"streamed\": {}, \"materialized\": {}, \
+                 \"ratio\": {:.1}}}\n",
+                s.mem_peak_bytes,
+                s.materialized_bytes,
+                s.mem_ratio()
+            ));
+            out.push_str(if i + 1 < streams.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]");
+    }
 
     if let Some(ev) = events {
         out.push_str(",\n  \"events_overhead\": {\n");
@@ -445,24 +664,52 @@ pub fn render_json(
 /// Renders the human-readable summary.
 fn render_report(
     measurements: &[BenchMeasurement],
+    streams: &[StreamMeasurement],
     events: &EventsOverhead,
     out: &std::path::Path,
 ) -> String {
-    let mut text = String::from("== bench (wall-clock per phase) ==\n");
-    let mut t =
-        Table::new(["benchmark", "scale", "build", "trace", "analyze", "simulate", "total"]);
-    for m in measurements {
-        t.row([
-            m.name.clone(),
-            m.scale.to_string(),
-            harness::fmt_duration(m.phases[0]),
-            harness::fmt_duration(m.phases[1]),
-            harness::fmt_duration(m.phases[2]),
-            harness::fmt_duration(m.phases[3]),
-            harness::fmt_duration(m.total()),
-        ]);
+    let mut text = String::new();
+    if !measurements.is_empty() {
+        text.push_str("== bench (wall-clock per phase) ==\n");
+        let mut t =
+            Table::new(["benchmark", "scale", "build", "trace", "analyze", "simulate", "total"]);
+        for m in measurements {
+            t.row([
+                m.name.clone(),
+                m.scale.to_string(),
+                harness::fmt_duration(m.phases[0]),
+                harness::fmt_duration(m.phases[1]),
+                harness::fmt_duration(m.phases[2]),
+                harness::fmt_duration(m.phases[3]),
+                harness::fmt_duration(m.total()),
+            ]);
+        }
+        text.push_str(&t.to_string());
     }
-    text.push_str(&t.to_string());
+    if !streams.is_empty() {
+        text.push_str("\n== bench (streamed, bounded-memory) ==\n");
+        let mut t = Table::new([
+            "benchmark",
+            "scale",
+            "insts",
+            "analyze",
+            "simulate",
+            "mem peak",
+            "vs materialized",
+        ]);
+        for s in streams {
+            t.row([
+                s.name.clone(),
+                s.scale.to_string(),
+                s.trace_len.to_string(),
+                harness::fmt_duration(s.analyze),
+                harness::fmt_duration(s.simulate),
+                format!("{} KiB", s.mem_peak_bytes / 1024),
+                format!("{:.1}x smaller", s.mem_ratio()),
+            ]);
+        }
+        text.push_str(&t.to_string());
+    }
     text.push_str(&format!(
         "\nevents overhead on {}: off {}, sampled {} (ratio {:.3}, {})\n",
         events.workload,
@@ -517,10 +764,23 @@ mod tests {
         }
     }
 
+    fn stream_sample() -> Vec<StreamMeasurement> {
+        vec![StreamMeasurement {
+            name: "expr".into(),
+            scale: 16,
+            epoch_len: 65_536,
+            trace_len: 1_000_000,
+            analyze: Duration::from_nanos(50),
+            simulate: Duration::from_nanos(60),
+            mem_peak_bytes: 5_242_880,
+            materialized_bytes: 40_000_000,
+        }]
+    }
+
     #[test]
     fn json_has_schema_and_per_phase_totals() {
-        let json = render_json(&[1, 4], &sample(), None);
-        assert!(json.contains("\"schema\": \"dide-bench/v1\""));
+        let json = render_json(&[1, 4], &sample(), &[], None);
+        assert!(json.contains("\"schema\": \"dide-bench/v2\""));
         assert!(json.contains("\"scales\": [1, 4]"));
         assert!(json.contains("\"name\": \"expr\""));
         assert!(json.contains(
@@ -532,21 +792,38 @@ mod tests {
         ));
         assert!(json.contains("\"1\": {\"build\": 10"));
         assert!(json.contains("\"4\": {\"build\": 1"));
+        assert!(json.contains("\"stream\": []"), "no streams renders an empty block");
+    }
+
+    #[test]
+    fn json_records_stream_block() {
+        let json = render_json(&[1], &sample()[..1], &stream_sample(), None);
+        assert!(json.contains("\"stream\": [\n"));
+        assert!(json.contains("\"epoch_len\": 65536"));
+        assert!(json.contains("\"analyze_ns\": 50"));
+        assert!(json.contains("\"simulate_ns\": 60"));
+        assert!(json.contains(
+            "\"mem_peak_bytes\": {\"streamed\": 5242880, \"materialized\": 40000000, \
+             \"ratio\": 7.6}"
+        ));
     }
 
     #[test]
     fn json_is_structurally_balanced() {
+        let streams = stream_sample();
         for events in [None, Some(&overhead())] {
-            let json = render_json(&[1], &sample()[..1], events);
-            assert_eq!(json.matches('{').count(), json.matches('}').count());
-            assert_eq!(json.matches('[').count(), json.matches(']').count());
-            assert!(json.ends_with("}\n"));
+            for s in [&[] as &[StreamMeasurement], &streams] {
+                let json = render_json(&[1], &sample()[..1], s, events);
+                assert_eq!(json.matches('{').count(), json.matches('}').count());
+                assert_eq!(json.matches('[').count(), json.matches(']').count());
+                assert!(json.ends_with("}\n"));
+            }
         }
     }
 
     #[test]
     fn json_records_events_overhead() {
-        let json = render_json(&[1], &sample()[..1], Some(&overhead()));
+        let json = render_json(&[1], &sample()[..1], &[], Some(&overhead()));
         assert!(json.contains("\"events_overhead\": {"));
         assert!(json.contains("\"workload\": \"expr@O2/s1\""));
         assert!(json.contains("\"off_ns\": 1000"));
@@ -568,8 +845,9 @@ mod tests {
     #[test]
     fn baseline_roundtrips_through_the_renderer() {
         // The parser must read exactly what render_json writes — including
-        // not confusing the `totals_ns` simulate key with a benchmark's.
-        let json = render_json(&[1, 4], &sample(), Some(&overhead()));
+        // not confusing the `totals_ns` simulate key with a benchmark's,
+        // and not treating `stream` entries as phase measurements.
+        let json = render_json(&[1, 4], &sample(), &stream_sample(), Some(&overhead()));
         let parsed = parse_baseline(&json);
         assert_eq!(
             parsed,
@@ -578,6 +856,10 @@ mod tests {
                 BaselineEntry { name: "route".into(), scale: 4, simulate_ns: 4 },
             ]
         );
+        assert_eq!(
+            parse_stream_baseline(&json),
+            vec![StreamBaselineEntry { name: "expr".into(), scale: 16, mem_peak_bytes: 5_242_880 }]
+        );
     }
 
     #[test]
@@ -585,6 +867,27 @@ mod tests {
         assert!(parse_baseline("").is_empty());
         assert!(parse_baseline("not json at all").is_empty());
         assert!(parse_baseline("{\"simulate\": 12}").is_empty(), "simulate without a name");
+        assert!(parse_stream_baseline("").is_empty());
+        assert!(parse_stream_baseline("{\"schema\": \"dide-bench/v1\"}").is_empty(), "v1 baseline");
+    }
+
+    #[test]
+    fn mem_regression_check_flags_structural_growth() {
+        let streams = stream_sample();
+        // No baseline block (e.g. a v1 file): reported, never failing.
+        let check = check_mem_regression(&streams, &[]);
+        assert!(check.ok);
+        assert!(check.lines[0].contains("no baseline mem entry"));
+        // Within 2x: ok.
+        let base =
+            vec![StreamBaselineEntry { name: "expr".into(), scale: 16, mem_peak_bytes: 5_242_880 }];
+        assert!(check_mem_regression(&streams, &base).ok);
+        // More than 2x growth: a structural regression, no noise floor.
+        let shrunk =
+            vec![StreamBaselineEntry { name: "expr".into(), scale: 16, mem_peak_bytes: 1_000_000 }];
+        let check = check_mem_regression(&streams, &shrunk);
+        assert!(!check.ok);
+        assert!(check.lines[0].contains("REGRESSION"), "{:?}", check.lines);
     }
 
     #[test]
@@ -627,13 +930,31 @@ mod tests {
         assert_eq!(run.measurements.len(), QUICK_SUITE.len());
         assert!(run.measurements.iter().all(|m| m.scale == 1));
         assert!(run.measurements.iter().all(|m| m.trace_len > 0));
+        assert_eq!(run.streams.len(), QUICK_STREAM_SUITE.len());
         let written = std::fs::read_to_string(&out).unwrap();
         assert_eq!(written, run.json);
-        assert!(written.contains("\"schema\": \"dide-bench/v1\""));
+        assert!(written.contains("\"schema\": \"dide-bench/v2\""));
         assert!(written.contains("\"events_overhead\""));
+        assert!(written.contains("\"mem_peak_bytes\": {\"streamed\": "));
         assert!(run.events_overhead.identical);
         assert!(run.report.contains("objstore"));
         assert!(run.report.contains("events overhead"));
+        assert!(run.report.contains("streamed"));
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn streamed_measurement_is_bounded_and_honest() {
+        let spec = dide_workloads::find_workload("expr").expect("expr exists");
+        let s = measure_stream(spec, 4, DEFAULT_EPOCH_LEN);
+        let epoch_bytes = DEFAULT_EPOCH_LEN as u64 * std::mem::size_of::<DynInst>() as u64;
+        assert_eq!(s.materialized_bytes, s.trace_len * std::mem::size_of::<DynInst>() as u64);
+        assert!(s.trace_len as usize > 2 * DEFAULT_EPOCH_LEN, "expr@4 spans several epochs");
+        assert!(
+            s.mem_peak_bytes <= 2 * epoch_bytes,
+            "peak retained trace memory must stay within two epochs (got {} bytes)",
+            s.mem_peak_bytes
+        );
+        assert!(s.mem_ratio() > 1.0, "streaming must beat materializing at this scale");
     }
 }

@@ -7,6 +7,10 @@
 //! dide run <bench> [--machine M] [--eliminate] [--oracle] [--jump-aware]
 //!                                         cycle-level pipeline run
 //!
+//! `trace`, `run`, `stats`, `events`, and `bench` take `--stream`
+//! (with an optional `--epoch N`) to drive the bounded-memory streaming
+//! stack instead of materializing the whole trace.
+//!
 //! `disasm`, `trace`, and `run` also accept a path to an external `.asm`
 //! file (e.g. `dide run asm/prime.asm`), assembled by `dide-asm` and fed
 //! through the same emu -> analysis -> pipeline stack.
@@ -61,14 +65,24 @@ dide — dynamic dead-instruction detection and elimination
 USAGE:
   dide list
   dide disasm <benchmark|path.asm> [--opt O0|O2]
-  dide trace <benchmark|path.asm> [--scale N] [--opt O0|O2] [--hot N]
-  dide run <benchmark|path.asm> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N]
+  dide trace <benchmark|path.asm> [--scale N] [--opt O0|O2] [--hot N] [--stream [--epoch N]]
+  dide run <benchmark|path.asm> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N] [--stream [--epoch N]]
   dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings]
-  dide bench [--quick] [--out PATH] [--scales 1,4] [--check-against PATH]
+  dide bench [--quick] [--out PATH] [--scales 1,4] [--check-against PATH] [--stream] [--epoch N]
   dide verify [--seeds N] [--jobs N] [--corpus DIR]
   dide verify --golden [--bless] [--dir DIR] [--only e1,e9,...] [--jobs N]
   dide stats [--benchmark NAME] [--json|--csv] [run flags]
   dide events [--benchmark NAME] [--last N] [--sample-every N] [run flags]
+
+STREAMING (bounded memory):
+  --stream     run the emu->analysis->pipeline stack over bounded epochs
+               instead of materializing the whole trace: the windowed
+               analysis carries a live-out frontier across epochs
+               (cross-epoch escapes are conservatively useful) and the
+               pipeline recycles epochs as the ROB drains past them.
+               run/trace/stats/events take it as a run flag; for bench it
+               restricts the run to the streamed enrollments.
+  --epoch N    records per epoch (default 65536)
 
 EXPERIMENTS:
   --jobs N     worker threads (default: available parallelism; 1 = serial).
@@ -104,7 +118,8 @@ ASSEMBLY WORKLOADS:
   disasm/trace/run accept a `.asm` file path anywhere a benchmark name is
   expected; the shipped benchmarks under asm/ (prime, matmul, strsearch)
   are also enrolled by name in `dide list`, stats, events, and bench.
-  `.asm` programs are fixed: they ignore --opt and --scale.
+  `.asm` programs ignore --opt; they also ignore --scale except matmul,
+  whose outer rounds loop scales linearly with --scale.
 
 STATS / EVENTS (observability):
   both take the `dide run` flags [--opt O0|O2] [--scale N]
@@ -137,6 +152,13 @@ fn parse_scale(rest: &[&str]) -> Result<u32, String> {
     match flag_value(rest, "--scale") {
         None => Ok(1),
         Some(s) => dide::cli::parse_positive("--scale", s),
+    }
+}
+
+fn parse_epoch(rest: &[&str]) -> Result<usize, String> {
+    match flag_value(rest, "--epoch") {
+        None => Ok(dide::DEFAULT_EPOCH_LEN),
+        Some(s) => dide::cli::parse_positive("--epoch", s).map(|n| n as usize),
     }
 }
 
@@ -213,6 +235,32 @@ fn trace(rest: &[&str]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(e),
     };
+    if has_flag(rest, "--stream") {
+        if flag_value(rest, "--hot").is_some() {
+            return fail("--hot needs the materialized trace (drop --stream)".to_string());
+        }
+        let epoch = match parse_epoch(rest) {
+            Ok(n) => n,
+            Err(e) => return fail(e),
+        };
+        let deadness = match DeadnessAnalysis::analyze_streamed(&program, epoch) {
+            Ok(d) => d,
+            Err(e) => return fail(format!("emulation trapped: {e}")),
+        };
+        println!(
+            "== streamed trace ==\n{} dynamic instructions in {} epoch(s) of {epoch} records",
+            deadness.len(),
+            deadness.epochs()
+        );
+        println!(
+            "peak window memory: {} bytes (materialized trace: {} bytes)",
+            deadness.mem_peak_bytes(),
+            deadness.len() as u64 * std::mem::size_of::<DynInst>() as u64
+        );
+        println!("\n== windowed deadness ==\n{}", deadness.stats());
+        println!("escaped at epoch boundaries (conservatively useful): {}", deadness.escaped());
+        return ExitCode::SUCCESS;
+    }
     let trace = match Emulator::new(&program).run() {
         Ok(t) => t,
         Err(e) => return fail(format!("emulation trapped: {e}")),
@@ -279,6 +327,27 @@ fn run(rest: &[&str]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(e),
     };
+    if has_flag(rest, "--stream") {
+        let epoch = match parse_epoch(rest) {
+            Ok(n) => n,
+            Err(e) => return fail(e),
+        };
+        let deadness = match DeadnessAnalysis::analyze_streamed(&program, epoch) {
+            Ok(d) => d,
+            Err(e) => return fail(format!("emulation trapped: {e}")),
+        };
+        let mut stream = TraceStream::new(&program, epoch);
+        let stats = Core::new(config).run_streamed(&mut stream, &deadness);
+        println!("{stats}");
+        eprintln!(
+            "stream: {} insts in {} epoch(s) of {epoch}; peak window {} KiB ({} escaped)",
+            deadness.len(),
+            deadness.epochs(),
+            stream.peak_resident_bytes().max(deadness.mem_peak_bytes()) / 1024,
+            deadness.escaped(),
+        );
+        return ExitCode::SUCCESS;
+    }
     let trace = match Emulator::new(&program).run() {
         Ok(t) => t,
         Err(e) => return fail(format!("emulation trapped: {e}")),
@@ -357,11 +426,17 @@ fn bench(rest: &[&str]) -> ExitCode {
             Err(e) => return fail(e),
         },
     };
+    let epoch = match parse_epoch(rest) {
+        Ok(n) => n,
+        Err(e) => return fail(e),
+    };
     let options = dide::BenchOptions {
         scales,
         quick: has_flag(rest, "--quick"),
         out: flag_value(rest, "--out").unwrap_or("BENCH.json").into(),
         check_against: flag_value(rest, "--check-against").map(Into::into),
+        stream_only: has_flag(rest, "--stream"),
+        epoch,
     };
     match dide::run_bench(&options) {
         Ok(run) => {
@@ -395,6 +470,8 @@ fn parse_selection(rest: &[&str]) -> Result<dide::RunSelection, String> {
     select.eliminate = has_flag(rest, "--eliminate");
     select.oracle = has_flag(rest, "--oracle");
     select.jump_aware = has_flag(rest, "--jump-aware");
+    select.stream = has_flag(rest, "--stream");
+    select.epoch = parse_epoch(rest)?;
     Ok(select)
 }
 

@@ -53,13 +53,14 @@ pub mod verifyrun;
 mod workbench;
 
 pub use benchrun::{
-    check_regression, measure_events_overhead, parse_baseline, run_bench, BaselineEntry,
-    BenchOptions, BenchRun, EventsOverhead, RegressionCheck,
+    check_mem_regression, check_regression, measure_events_overhead, parse_baseline,
+    parse_stream_baseline, run_bench, BaselineEntry, BenchOptions, BenchRun, EventsOverhead,
+    RegressionCheck, StreamBaselineEntry, StreamMeasurement,
 };
 pub use runner::{run_experiments, ExperimentOptions, ExperimentRun};
 pub use statsrun::{
     run_events, run_stats, EventsOptions, EventsRun, RunSelection, StatsFormat, StatsOptions,
-    StatsRun, STATS_SCHEMA,
+    StatsRun, DEFAULT_EPOCH_LEN, STATS_SCHEMA,
 };
 pub use table::Table;
 pub use verifyrun::{run_golden, run_verify, GoldenOptions, GoldenRun, VerifyOptions, VerifyRun};
@@ -71,8 +72,10 @@ pub use dide_asm as asm;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use dide_analysis::{DeadKind, DeadnessAnalysis, StaticBehavior, Verdict};
-    pub use dide_emu::{Emulator, Trace};
+    pub use dide_analysis::{
+        DeadKind, DeadnessAnalysis, StaticBehavior, StreamedDeadness, Verdict,
+    };
+    pub use dide_emu::{DynInst, Emulator, Trace, TraceStream};
     pub use dide_isa::{Inst, Opcode, Program, ProgramBuilder, Reg};
     pub use dide_pipeline::{
         Core, DeadElimConfig, EliminationPolicy, PipelineConfig, PipelineStats,

@@ -21,6 +21,8 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use dide_analysis::{DeadnessAnalysis, StreamedDeadness};
+use dide_emu::TraceStream;
 use dide_obs::{
     check_rules, counters_csv, counters_json, json_escape, CounterSet, CycleEvent, EventKind,
     EventTrace, EventsConfig, Observe,
@@ -33,6 +35,11 @@ use crate::{BenchCase, Table};
 /// Schema identifier embedded in every `dide stats` document; bump on
 /// layout changes.
 pub const STATS_SCHEMA: &str = "dide-stats/v1";
+
+/// Default epoch length (records per chunk) for `--stream` runs, shared by
+/// `dide run/trace/stats/events/bench`. Large enough that windowed-analysis
+/// escapes are rare, small enough that two resident epochs stay a few MiB.
+pub const DEFAULT_EPOCH_LEN: usize = 65_536;
 
 /// Output format for [`run_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +69,11 @@ pub struct RunSelection {
     pub oracle: bool,
     /// Jump-aware CFI signatures.
     pub jump_aware: bool,
+    /// Stream the trace in bounded epochs (windowed analysis + streaming
+    /// pipeline) instead of materializing it.
+    pub stream: bool,
+    /// Epoch length (records per chunk) for `stream` runs.
+    pub epoch: usize,
 }
 
 impl Default for RunSelection {
@@ -74,6 +86,8 @@ impl Default for RunSelection {
             eliminate: false,
             oracle: false,
             jump_aware: false,
+            stream: false,
+            epoch: DEFAULT_EPOCH_LEN,
         }
     }
 }
@@ -120,6 +134,24 @@ impl RunSelection {
             .ok_or_else(|| format!("unknown benchmark `{}` (try `dide list`)", self.benchmark))?;
         Ok(BenchCase::cached(spec, self.opt, self.scale))
     }
+
+    /// Runs this selection through the streaming path: windowed analysis
+    /// over the program, then the streaming pipeline pass (with an optional
+    /// cycle-event trace attached). Returns the windowed deadness, the
+    /// pipeline statistics, and the stream's peak resident trace bytes.
+    fn run_streamed(
+        &self,
+        events: Option<&mut EventTrace>,
+    ) -> Result<(StreamedDeadness, PipelineStats, u64), String> {
+        let spec = dide_workloads::find_workload(&self.benchmark)
+            .ok_or_else(|| format!("unknown benchmark `{}` (try `dide list`)", self.benchmark))?;
+        let program = spec.build(self.opt, self.scale);
+        let deadness = DeadnessAnalysis::analyze_streamed(&program, self.epoch)
+            .map_err(|e| format!("emulation trapped: {e}"))?;
+        let mut stream = TraceStream::new(&program, self.epoch);
+        let stats = Core::new(self.config()).run_streamed_observed(&mut stream, &deadness, events);
+        Ok((deadness, stats, stream.peak_resident_bytes()))
+    }
 }
 
 /// Options for [`run_stats`] (the `dide stats` CLI).
@@ -154,9 +186,14 @@ pub struct StatsRun {
 ///
 /// Panics if the benchmark program traps (a workload-generator bug).
 pub fn run_stats(options: &StatsOptions) -> Result<StatsRun, String> {
-    let case = options.select.case()?;
-    let stats = Core::new(options.select.config()).run(&case.trace, &case.analysis);
-    let counters = full_counters(&case, &stats);
+    let counters = if options.select.stream {
+        let (deadness, stats, peak_bytes) = options.select.run_streamed(None)?;
+        stream_counters(&options.select, &deadness, &stats, peak_bytes)
+    } else {
+        let case = options.select.case()?;
+        let stats = Core::new(options.select.config()).run(&case.trace, &case.analysis);
+        full_counters(&case, &stats)
+    };
     let violations = check_rules(&PipelineStats::conservation_rules(), &counters);
     let output = match options.format.unwrap_or(StatsFormat::Json) {
         StatsFormat::Json => render_stats_json(&options.select, &counters, &violations),
@@ -177,6 +214,28 @@ pub fn full_counters(case: &BenchCase, stats: &PipelineStats) -> CounterSet {
     set
 }
 
+/// The registry for a `--stream` run: the windowed deadness under
+/// `analysis.`, the pipeline under `pipeline.`, and the epoch bookkeeping
+/// under `stream.`. There is no `emu.` scope — trace demographics would
+/// require materializing the trace the mode exists to avoid.
+fn stream_counters(
+    select: &RunSelection,
+    deadness: &StreamedDeadness,
+    stats: &PipelineStats,
+    peak_bytes: u64,
+) -> CounterSet {
+    let mut set = CounterSet::new();
+    deadness.stats().observe(&mut set.scope("analysis"));
+    stats.observe(&mut set.scope("pipeline"));
+    let mut scope = set.scope("stream");
+    scope.counter("epoch_len", select.epoch as u64);
+    scope.counter("epochs", deadness.epochs());
+    scope.counter("escaped", deadness.escaped());
+    scope.counter("mem_peak_bytes", peak_bytes);
+    drop(scope);
+    set
+}
+
 fn render_stats_json(
     select: &RunSelection,
     counters: &CounterSet,
@@ -188,6 +247,11 @@ fn render_stats_json(
     let _ = writeln!(out, "  \"opt\": \"{}\",", select.opt);
     let _ = writeln!(out, "  \"scale\": {},", select.scale);
     let _ = writeln!(out, "  \"machine\": \"{}\",", select.machine());
+    if select.stream {
+        // Only streamed documents carry the key, so the golden-pinned
+        // materializing documents stay byte-identical.
+        let _ = writeln!(out, "  \"mode\": \"streamed\",");
+    }
     let _ = writeln!(out, "  \"elimination\": \"{}\",", select.elimination());
     let _ = writeln!(out, "  \"counters\": {},", counters_json(counters, 2));
     if violations.is_empty() {
@@ -250,16 +314,20 @@ pub struct EventsRun {
 /// Panics if the benchmark program traps (a workload-generator bug), or if
 /// `sample_every` is zero (the CLI rejects that before calling in).
 pub fn run_events(options: &EventsOptions) -> Result<EventsRun, String> {
-    let case = options.select.case()?;
     let mut trace = EventTrace::new(EventsConfig {
         sample_every: options.sample_every,
         ..EventsConfig::default()
     });
-    let _ = Core::new(options.select.config()).run_observed(
-        &case.trace,
-        &case.analysis,
-        Some(&mut trace),
-    );
+    if options.select.stream {
+        let _ = options.select.run_streamed(Some(&mut trace))?;
+    } else {
+        let case = options.select.case()?;
+        let _ = Core::new(options.select.config()).run_observed(
+            &case.trace,
+            &case.analysis,
+            Some(&mut trace),
+        );
+    }
     let events = trace.last(options.last);
 
     let mut report = format!(
@@ -340,6 +408,33 @@ mod tests {
             run.counters.expect("emu.total"),
             "trace-driven core commits the whole trace"
         );
+    }
+
+    #[test]
+    fn streamed_stats_match_the_materialized_pipeline() {
+        let select = RunSelection { stream: true, ..RunSelection::default() };
+        let run = run_stats(&StatsOptions { select, format: None }).expect("expr exists");
+        assert!(run.output.contains("\"mode\": \"streamed\""));
+        assert!(run.output.contains("\"stream.epoch_len\""));
+        assert!(run.output.contains("\"stream.mem_peak_bytes\""));
+        assert!(!run.output.contains("\"emu."), "streamed docs carry no emu scope");
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+        // Elimination off: the verdicts are never consulted, so the
+        // streamed cycle loop is bit-identical to the materializing one.
+        let base = run_stats(&StatsOptions::default()).expect("expr exists");
+        for name in ["pipeline.committed", "pipeline.cycles", "pipeline.mem.l1d.hits"] {
+            assert_eq!(run.counters.expect(name), base.counters.expect(name), "{name}");
+        }
+        assert_eq!(run.counters.expect("pipeline.committed"), base.counters.expect("emu.total"));
+    }
+
+    #[test]
+    fn streamed_events_are_recorded() {
+        let select = RunSelection { stream: true, ..expr_elim() };
+        let run =
+            run_events(&EventsOptions { select, last: 5, sample_every: 16 }).expect("expr exists");
+        assert!(run.recorded > 0);
+        assert!(run.events.len() <= 5);
     }
 
     #[test]

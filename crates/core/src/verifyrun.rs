@@ -23,8 +23,8 @@ use std::io;
 use std::path::PathBuf;
 
 use dide_verify::{
-    bless_golden, check_invariants, compare_golden, differential_verdicts, load_corpus, save_case,
-    shrink_case, verify_seed, verify_seed_with, CorpusCase,
+    bless_golden, check_invariants, check_streaming, compare_golden, differential_verdicts,
+    load_corpus, save_case, shrink_case, verify_seed, verify_seed_with, CorpusCase,
 };
 use dide_workloads::random_program;
 
@@ -118,6 +118,34 @@ pub fn run_verify(options: &VerifyOptions) -> io::Result<VerifyRun> {
             for m in mismatches.iter().take(3) {
                 let _ = writeln!(report, "  {m}");
             }
+            for v in violations.iter().take(3) {
+                let _ = writeln!(report, "  {v}");
+            }
+        }
+    }
+
+    // The one `.asm` workload with a scale knob (matmul's outer rounds
+    // loop) additionally runs the full streaming differential on a scaled
+    // build, so the multi-epoch bench enrollments rest on a verified path.
+    {
+        let spec = dide_workloads::find_workload("matmul").expect("matmul is enrolled");
+        let scale = 2;
+        let case = BenchCase::cached(spec, OptLevel::O2, scale);
+        let program = spec.build(OptLevel::O2, scale);
+        let violations = check_streaming(&program, &case.trace, &case.analysis);
+        if violations.is_empty() {
+            let _ = writeln!(
+                report,
+                "asm matmul@s{scale} (streamed): clean ({} insts)",
+                case.trace.len()
+            );
+        } else {
+            failures += 1;
+            let _ = writeln!(
+                report,
+                "asm matmul@s{scale} (streamed): FAILURE ({} violation(s))",
+                violations.len()
+            );
             for v in violations.iter().take(3) {
                 let _ = writeln!(report, "  {v}");
             }

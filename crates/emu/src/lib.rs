@@ -42,7 +42,9 @@ pub mod shadow;
 mod trace;
 
 pub use dyninst::{DynInst, MemAccess};
-pub use emulator::{Emulator, EmulatorConfig};
+pub use emulator::{
+    Emulator, EmulatorConfig, StreamSummary, TraceChunk, TraceStream, DEFAULT_EPOCH_LEN,
+};
 pub use error::EmuError;
 pub use memory::Memory;
 pub use shadow::PagedShadow;

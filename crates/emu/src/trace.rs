@@ -118,8 +118,8 @@ impl Trace {
         for r in &self.records {
             // Kinds with a destination register count as writers (and value
             // producers) unless the destination is the zero register.
-            let writes_reg = !r.inst.rd.is_zero();
-            match r.inst.op.kind() {
+            let writes_reg = !r.rd.is_zero();
+            match r.op.kind() {
                 OpcodeKind::AluRR | OpcodeKind::AluRI | OpcodeKind::LoadImm => {
                     s.reg_writers += u64::from(writes_reg);
                     s.value_producers += u64::from(writes_reg);
@@ -135,7 +135,7 @@ impl Trace {
                 }
                 OpcodeKind::Branch(_) => {
                     s.cond_branches += 1;
-                    s.taken_branches += u64::from(r.taken);
+                    s.taken_branches += u64::from(r.taken());
                 }
                 OpcodeKind::Jal | OpcodeKind::Jalr => {
                     s.jumps += 1;
@@ -214,16 +214,16 @@ mod tests {
         let t = sample_trace();
         let s = t.summary();
         let count = |p: &dyn Fn(&crate::DynInst) -> bool| t.iter().filter(|r| p(r)).count() as u64;
-        assert_eq!(s.loads, count(&|r| r.inst.op.is_load()));
-        assert_eq!(s.stores, count(&|r| r.inst.op.is_store()));
+        assert_eq!(s.loads, count(&|r| r.op.is_load()));
+        assert_eq!(s.stores, count(&|r| r.op.is_store()));
         assert_eq!(s.cond_branches, count(&|r| r.is_cond_branch()));
-        assert_eq!(s.taken_branches, count(&|r| r.is_cond_branch() && r.taken));
+        assert_eq!(s.taken_branches, count(&|r| r.is_cond_branch() && r.taken()));
         assert_eq!(s.reg_writers, count(&|r| r.writes_register()));
         assert_eq!(s.value_producers, count(&|r| r.produces_value()));
         assert_eq!(
             s.jumps,
             count(&|r| matches!(
-                r.inst.op.kind(),
+                r.op.kind(),
                 dide_isa::OpcodeKind::Jal | dide_isa::OpcodeKind::Jalr
             ))
         );

@@ -1,0 +1,55 @@
+//! Proves the streaming paths never clone the [`Program`].
+//!
+//! `Program::clone_count()` is process-wide, so this test lives alone in
+//! its own integration-test binary: no other test can clone a program
+//! behind its back and pollute the counter.
+
+use dide_emu::{Emulator, TraceStream};
+use dide_isa::{Program, ProgramBuilder, Reg};
+
+fn looping_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new("loop");
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, iters);
+    let top = b.label();
+    b.bind(top);
+    b.sw(Reg::T0, Reg::SP, -4);
+    b.lw(Reg::T2, Reg::SP, -4);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.blt(Reg::T0, Reg::T1, top);
+    b.out(Reg::T2);
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn streaming_never_clones_the_program() {
+    let p = looping_program(400);
+    let before = Program::clone_count();
+
+    // Push-style: many epochs through one consumer.
+    let mut chunks = 0u64;
+    let summary = Emulator::new(&p).run_streamed(64, |_| chunks += 1).unwrap();
+    assert!(chunks > 10, "the run must actually span many epochs (got {chunks})");
+    assert_eq!(summary.epochs, chunks);
+
+    // Pull-style: sliding window with recycling.
+    let mut stream = TraceStream::new(&p, 64);
+    let mut seq = 0u64;
+    while stream.get(seq).is_some() {
+        seq += 1;
+        stream.release_before(seq.saturating_sub(128));
+    }
+    assert_eq!(Some(seq), stream.total_len());
+
+    assert_eq!(
+        Program::clone_count(),
+        before,
+        "streaming consumers borrow the program; no per-epoch clones"
+    );
+
+    // The materializing path clones exactly once (into the returned Trace).
+    let trace = Emulator::new(&p).run().unwrap();
+    assert_eq!(Program::clone_count(), before + 1);
+    assert_eq!(trace.len() as u64, summary.len);
+}

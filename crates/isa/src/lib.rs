@@ -48,7 +48,7 @@ mod reg;
 
 pub use builder::{Label, ProgramBuilder};
 pub use image::ImageError;
-pub use inst::{DecodeError, Inst, MemWidth};
+pub use inst::{DecodeError, Inst, MemWidth, SourceIter};
 pub use opcode::{BranchCond, Opcode, OpcodeKind};
 pub use program::{Program, ProgramError};
 pub use reg::Reg;

@@ -13,12 +13,28 @@ use crate::{index_to_pc, DATA_BASE};
 /// Construct programs with [`ProgramBuilder`](crate::ProgramBuilder); direct
 /// construction via [`Program::from_parts`] validates all control-flow
 /// targets.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Program {
     name: String,
     insts: Vec<Inst>,
     data: Vec<u8>,
     entry: u32,
+}
+
+/// Process-wide count of [`Program`] deep clones, see
+/// [`Program::clone_count`].
+static CLONE_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl Clone for Program {
+    fn clone(&self) -> Program {
+        CLONE_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Program {
+            name: self.name.clone(),
+            insts: self.insts.clone(),
+            data: self.data.clone(),
+            entry: self.entry,
+        }
+    }
 }
 
 /// Error produced when validating a [`Program`].
@@ -146,6 +162,17 @@ impl Program {
     #[must_use]
     pub fn entry(&self) -> u32 {
         self.entry
+    }
+
+    /// Process-wide number of deep [`Program`] clones performed so far.
+    ///
+    /// Cloning a program copies its whole text and data image, which the
+    /// streaming pipeline is designed to avoid (consumers borrow the
+    /// program). Tests snapshot this counter around a streamed run to prove
+    /// no per-epoch clones sneak in.
+    #[must_use]
+    pub fn clone_count() -> u64 {
+        CLONE_COUNT.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Initial bytes of the data segment, placed at

@@ -3,9 +3,9 @@
 
 use std::collections::HashSet;
 
-use dide_analysis::DeadnessAnalysis;
-use dide_emu::Trace;
-use dide_isa::Reg;
+use dide_analysis::{DeadnessAnalysis, StreamedDeadness, Verdict};
+use dide_emu::{MemAccess, PagedShadow, Trace, TraceStream};
+use dide_isa::{Program, Reg};
 use dide_mem::MemoryHierarchy;
 use dide_obs::EventKind;
 use dide_predictor::dead::{CfiDeadPredictor, DeadPredictor, OracleDeadPredictor, PredictInput};
@@ -20,6 +20,7 @@ use crate::predecode::predecode;
 use crate::regfile::PhysRegFile;
 use crate::rename::{Mapping, RenameMap};
 use crate::rob::{DestInfo, Rob, RobEntry};
+use crate::source::RecordSource;
 use crate::stats::PipelineStats;
 use crate::wheel::{Completion, CompletionQueue};
 
@@ -38,6 +39,63 @@ enum RenameStall {
     IqFull,
     LsqFull,
     NoPhys,
+}
+
+/// Marks `seq` (stored as `seq + 1`; 0 = no owner) as the last store to
+/// claim each byte of `mem` in the core's rename-order shadow table.
+fn claim_store_bytes(shadow: &mut PagedShadow<u64>, seq: u64, mem: MemAccess) {
+    let len = mem.width.bytes();
+    let claimed = seq + 1;
+    if !PagedShadow::<u64>::crosses_page(mem.addr, len) {
+        shadow.span_mut(mem.addr, len).fill(claimed);
+    } else {
+        for byte in mem.bytes() {
+            shadow.set(byte, claimed);
+        }
+    }
+}
+
+/// Scans `mem`'s bytes in access order for the first one whose producing
+/// store sits in `eliminated`; removes that store and reports the hit.
+///
+/// This replicates the producer-table walk it replaced (probing the
+/// analysis' per-load store-producer list, which listed producers in
+/// first-occurrence byte order, against `eliminated` in order): rename
+/// visits instructions in the same program order the analysis' forward
+/// pass did, so the shadow holds the same byte→store map the analysis saw,
+/// and removing an absent seq is a no-op — scanning the bytes in order
+/// (skipping consecutive duplicates) removes exactly the same store, or
+/// none, as the producer-table walk did.
+fn take_eliminated_producer(
+    shadow: &PagedShadow<u64>,
+    eliminated: &mut HashSet<u64>,
+    mem: MemAccess,
+) -> bool {
+    let len = mem.width.bytes();
+    let mut last = 0u64;
+    if !PagedShadow::<u64>::crosses_page(mem.addr, len) {
+        if let Some(cells) = shadow.span(mem.addr, len) {
+            for &cell in cells {
+                if cell != 0 && cell != last {
+                    last = cell;
+                    if eliminated.remove(&(cell - 1)) {
+                        return true;
+                    }
+                }
+            }
+        }
+    } else {
+        for byte in mem.bytes() {
+            let cell = shadow.get(byte);
+            if cell != 0 && cell != last {
+                last = cell;
+                if eliminated.remove(&(cell - 1)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
 }
 
 impl Core {
@@ -92,21 +150,94 @@ impl Core {
         &self,
         trace: &Trace,
         analysis: &DeadnessAnalysis,
-        mut events: Option<&mut dide_obs::EventTrace>,
+        events: Option<&mut dide_obs::EventTrace>,
     ) -> PipelineStats {
         assert_eq!(
             analysis.verdicts().len(),
             trace.len(),
             "analysis must come from the same trace"
         );
+        self.run_loop(
+            trace.program(),
+            RecordSource::Slice(trace.records()),
+            analysis.verdicts(),
+            events,
+        )
+    }
+
+    /// Simulates a streamed trace to completion: the same cycle loop as
+    /// [`Core::run`], but fetch pulls epochs out of `stream` on demand and
+    /// commit releases them once the ROB has drained past, so peak retained
+    /// trace memory stays bounded by the in-flight window (at most
+    /// ROB + fetch-buffer records, rounded up to whole epochs) regardless
+    /// of trace length.
+    ///
+    /// `deadness` must come from [`DeadnessAnalysis::analyze_streamed`] on
+    /// the same program under the same emulator limits — the analysis pass
+    /// runs first, and its verdict vector also tells this loop the trace
+    /// length. When that analysis was single-epoch its verdicts equal the
+    /// exact oracle's, and this run's statistics are bit-identical to
+    /// [`Core::run`] on the materialized trace.
+    ///
+    /// `stream` must be freshly constructed: nothing produced or released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` and `deadness` disagree about the trace, or if
+    /// the simulation exceeds its deadlock guard.
+    #[must_use]
+    pub fn run_streamed(
+        &self,
+        stream: &mut TraceStream<'_>,
+        deadness: &StreamedDeadness,
+    ) -> PipelineStats {
+        self.run_streamed_observed(stream, deadness, None)
+    }
+
+    /// [`Core::run_streamed`] with an optional cycle-event trace attached
+    /// (see [`Core::run_observed`] for the tracing contract).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Core::run_streamed`].
+    #[must_use]
+    pub fn run_streamed_observed(
+        &self,
+        stream: &mut TraceStream<'_>,
+        deadness: &StreamedDeadness,
+        events: Option<&mut dide_obs::EventTrace>,
+    ) -> PipelineStats {
+        let program = stream.program();
+        let stats =
+            self.run_loop(program, RecordSource::Stream(stream), deadness.verdicts(), events);
+        assert_eq!(
+            stream.total_len(),
+            Some(deadness.len() as u64),
+            "deadness must come from an analysis of the streamed program"
+        );
+        stats
+    }
+
+    /// The cycle loop, generic over where records come from. `verdicts` is
+    /// always full-length — the analysis pass precedes the pipeline pass
+    /// even when the trace itself is streamed — and supplies the trace
+    /// length, the oracle predictor's answers, and commit-time training
+    /// labels.
+    fn run_loop(
+        &self,
+        program: &Program,
+        mut source: RecordSource<'_, '_>,
+        verdicts: &[Verdict],
+        mut events: Option<&mut dide_obs::EventTrace>,
+    ) -> PipelineStats {
         let cfg = &self.config;
-        let records = trace.records();
-        let total = records.len() as u64;
-        let predec = predecode(records, cfg);
+        let total = verdicts.len() as u64;
+        let predec = predecode(program, cfg);
+        let track_stores = cfg.dead.policy.covers_stores();
 
         let mut stats = PipelineStats::default();
         let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy);
-        let mut frontend = Frontend::new(cfg, records, &predec);
+        let mut frontend = Frontend::new(cfg, &predec);
         let mut regs = PhysRegFile::new(cfg.phys_regs, Reg::COUNT);
         let mut map = RenameMap::new();
         let mut rob = Rob::new(cfg.rob_entries);
@@ -114,12 +245,17 @@ impl Core {
         let mut lsq = LoadStoreQueues::new(cfg.lq_entries, cfg.sq_entries);
         let mut fus = FuPool::new(cfg.fu);
         let mut predictor: Box<dyn DeadPredictor> = if cfg.dead.oracle {
-            Box::new(OracleDeadPredictor::new(analysis))
+            Box::new(OracleDeadPredictor::from_verdicts(verdicts))
         } else {
             Box::new(CfiDeadPredictor::new(cfg.dead.predictor))
         };
         let mut completions = CompletionQueue::new();
         let mut eliminated_stores: HashSet<u64> = HashSet::new();
+        // Last store (as `seq + 1`, 0 = none) to claim each byte, written at
+        // rename in program order: the core's own producer tracking for the
+        // eliminated-store violation check, so the streamed path needs no
+        // retained producer table from the analysis.
+        let mut store_shadow: PagedShadow<u64> = PagedShadow::new();
         let mut rename_stalled_until = 0u64;
         // Scratch for issue select, reused across cycles.
         let mut ready_scratch: Vec<(u64, u32)> = Vec::new();
@@ -186,15 +322,17 @@ impl Core {
                         stats.savings.dcache_accesses_saved += 1;
                     } else {
                         lsq.pop_store(e.seq);
-                        let mem = records[e.seq as usize].mem.expect("stores carry an access");
+                        let mem = source.get(e.seq).mem().expect("stores carry an access");
                         hierarchy.access_data(mem.addr, true);
                     }
                 }
                 if e.eligible {
-                    let r = &records[e.seq as usize];
-                    let was_dead = analysis.is_dead(e.seq);
-                    let input =
-                        PredictInput { seq: e.seq, static_index: r.index, signature: e.signature };
+                    let was_dead = verdicts[e.seq as usize].is_dead();
+                    let input = PredictInput {
+                        seq: e.seq,
+                        static_index: source.get(e.seq).index,
+                        signature: e.signature,
+                    };
                     predictor.train(&input, was_dead);
                     if was_dead {
                         stats.oracle_dead_committed += 1;
@@ -207,6 +345,9 @@ impl Core {
                 committed += 1;
                 stats.committed += 1;
             }
+            // Nothing before the commit head is ever read again: a
+            // streaming source recycles the epochs the ROB drained past.
+            source.release_before(committed);
 
             // ---- issue / execute ----
             let mut issued = 0usize;
@@ -232,14 +373,14 @@ impl Core {
                     }
                     let is_load = e.is_load;
                     if is_load {
-                        let mem = records[seq as usize].mem.expect("loads carry an access");
+                        let mem = source.get(seq).mem().expect("loads carry an access");
                         if !lsq.load_may_issue(seq, mem) {
                             continue;
                         }
                     }
                     let base_latency = fus.try_issue(fu, now).expect("availability checked above");
                     let latency = if is_load {
-                        let mem = records[seq as usize].mem.expect("loads carry an access");
+                        let mem = source.get(seq).mem().expect("loads carry an access");
                         // The cache is probed either way; a store-to-load
                         // forward shortcuts the latency.
                         let access = hierarchy.access_data(mem.addr, false);
@@ -271,7 +412,7 @@ impl Core {
                         stats.rob_full_stalls += 1;
                         break;
                     }
-                    let r = &records[seq as usize];
+                    let r = source.get(seq);
                     let pre = &predec[r.index as usize];
                     let dest = pre.dest;
                     let is_store = pre.is_store;
@@ -326,18 +467,17 @@ impl Core {
                         }
                         // Loads can also trip over eliminated stores. (The
                         // emptiness guard keeps elimination-off runs from
-                        // hashing every load's producer set.)
+                        // probing the shadow on every load.)
                         if is_load && !eliminated_stores.is_empty() {
-                            for &p in analysis.producers(seq) {
-                                if eliminated_stores.remove(&p) {
-                                    stats.dead_violations += 1;
-                                    if let Some(tr) = events.as_deref_mut() {
-                                        tr.record(now, EventKind::Violation { seq });
-                                    }
-                                    rename_stalled_until =
-                                        now + u64::from(cfg.dead.violation_penalty);
-                                    break 'rename;
+                            let mem = r.mem().expect("loads carry an access");
+                            if take_eliminated_producer(&store_shadow, &mut eliminated_stores, mem)
+                            {
+                                stats.dead_violations += 1;
+                                if let Some(tr) = events.as_deref_mut() {
+                                    tr.record(now, EventKind::Violation { seq });
                                 }
+                                rename_stalled_until = now + u64::from(cfg.dead.violation_penalty);
+                                break 'rename;
                             }
                         }
                     }
@@ -360,6 +500,14 @@ impl Core {
                         }
                         if is_store {
                             eliminated_stores.insert(seq);
+                            // An eliminated store still architecturally
+                            // produced its bytes: claim them so later loads
+                            // can trip the violation check above.
+                            claim_store_bytes(
+                                &mut store_shadow,
+                                seq,
+                                r.mem().expect("stores carry an access"),
+                            );
                         }
                         if let Some(tr) = events.as_deref_mut() {
                             tr.record(now, EventKind::Eliminated { seq });
@@ -412,7 +560,11 @@ impl Core {
                         lsq.push_load(seq);
                     }
                     if is_store {
-                        lsq.push_store(seq, r.mem.expect("stores carry an access"));
+                        let mem = r.mem().expect("stores carry an access");
+                        lsq.push_store(seq, mem);
+                        if track_stores {
+                            claim_store_bytes(&mut store_shadow, seq, mem);
+                        }
                     }
                     iq.push(IqEntry { seq, srcs, fu: pre.fu, is_load, dest: dest_phys }, &regs);
                     stats.dispatched += 1;
@@ -433,7 +585,7 @@ impl Core {
             }
 
             // ---- fetch ----
-            frontend.fetch(now, &mut hierarchy, &mut stats);
+            frontend.fetch(now, &mut source, &mut hierarchy, &mut stats);
 
             // Occupancy accounting (end-of-cycle snapshot).
             stats.rob_occupancy_sum += rob.len() as u64;
@@ -505,26 +657,30 @@ impl Core {
                 let blocked = if rob.is_full() {
                     Some(RenameStall::RobFull)
                 } else if cfg.dead.policy == EliminationPolicy::Off {
-                    frontend.next_seq().and_then(|seq| {
-                        let pre = &predec[records[seq as usize].index as usize];
-                        if iq.is_full() {
-                            Some(RenameStall::IqFull)
-                        } else if (pre.is_load && lsq.lq_full()) || (pre.is_store && lsq.sq_full())
-                        {
-                            Some(RenameStall::LsqFull)
-                        } else if pre.dest.is_some() && regs.free_count() == 0 {
-                            Some(RenameStall::NoPhys)
-                        } else {
-                            None
+                    match frontend.next_seq() {
+                        Some(seq) => {
+                            let pre = &predec[source.get(seq).index as usize];
+                            if iq.is_full() {
+                                Some(RenameStall::IqFull)
+                            } else if (pre.is_load && lsq.lq_full())
+                                || (pre.is_store && lsq.sq_full())
+                            {
+                                Some(RenameStall::LsqFull)
+                            } else if pre.dest.is_some() && regs.free_count() == 0 {
+                                Some(RenameStall::NoPhys)
+                            } else {
+                                None
+                            }
                         }
-                    })
+                        None => None,
+                    }
                 } else {
                     None
                 };
                 if blocked.is_none() {
                     target = target.min(rename_wake);
                 }
-                let fetch_stalls = match frontend.block_state(now) {
+                let fetch_stalls = match frontend.block_state(now, &mut source) {
                     FetchBlock::Pending | FetchBlock::BufferFull => true,
                     FetchBlock::Stalled(until) => {
                         target = target.min(until);
@@ -570,7 +726,7 @@ impl Core {
                 }
             }
         }
-        debug_assert!(frontend.drained(), "all instructions must pass through fetch");
+        debug_assert!(frontend.drained(&mut source), "all instructions must pass through fetch");
         stats.cycles = now;
         stats.memory = hierarchy.stats();
         stats
@@ -584,7 +740,7 @@ mod tests {
     use dide_emu::Emulator;
     use dide_isa::ProgramBuilder;
 
-    fn counted_loop(iters: i64) -> Trace {
+    fn counted_loop_program(iters: i64) -> Program {
         let mut b = ProgramBuilder::new("loop");
         b.li(Reg::T0, 0);
         b.li(Reg::T1, iters);
@@ -595,7 +751,11 @@ mod tests {
         b.blt(Reg::T0, Reg::T1, top);
         b.out(Reg::T2);
         b.halt();
-        Emulator::new(&b.build().unwrap()).run().unwrap()
+        b.build().unwrap()
+    }
+
+    fn counted_loop(iters: i64) -> Trace {
+        Emulator::new(&counted_loop_program(iters)).run().unwrap()
     }
 
     #[test]
@@ -786,5 +946,92 @@ mod tests {
         let base = Core::new(PipelineConfig::baseline()).run(&t, &a);
         let tight = Core::new(PipelineConfig::contended()).run(&t, &a);
         assert!(tight.cycles >= base.cycles);
+    }
+
+    #[test]
+    fn single_epoch_streamed_run_is_bit_identical() {
+        // A single-epoch windowed analysis yields the exact verdicts, so
+        // the streamed pipeline pass must reproduce the materialized run's
+        // statistics bit for bit — elimination, training and all.
+        let p = counted_loop_program(2000);
+        let t = Emulator::new(&p).run().unwrap();
+        let a = DeadnessAnalysis::analyze(&t);
+        let cfg = PipelineConfig::baseline()
+            .with_elimination(DeadElimConfig { oracle: true, ..DeadElimConfig::default() });
+        let core = Core::new(cfg);
+        let base = core.run(&t, &a);
+
+        let epoch = 1 << 20; // whole trace in one epoch
+        let sd = DeadnessAnalysis::analyze_streamed(&p, epoch).unwrap();
+        let mut stream = TraceStream::new(&p, epoch);
+        let streamed = core.run_streamed(&mut stream, &sd);
+        assert_eq!(streamed, base, "single-epoch streamed run must be bit-identical");
+    }
+
+    #[test]
+    fn streamed_run_window_stays_bounded() {
+        // With many small epochs the stream must keep only the in-flight
+        // window resident: ROB (128) + fetch buffer (32) records span at
+        // most two 256-record epochs beyond the one being produced.
+        let p = counted_loop_program(3000);
+        let cfg = PipelineConfig::baseline()
+            .with_elimination(DeadElimConfig { oracle: true, ..DeadElimConfig::default() });
+        let core = Core::new(cfg);
+        let sd = DeadnessAnalysis::analyze_streamed(&p, 256).unwrap();
+        let mut stream = TraceStream::new(&p, 256);
+        let stats = core.run_streamed(&mut stream, &sd);
+        assert_eq!(stats.committed, sd.len() as u64);
+        assert!(stats.invariant_violations().is_empty(), "{:?}", stats.invariant_violations());
+        let chunks = stream.total_len().unwrap().div_ceil(256);
+        assert!(chunks > 20, "the trace must span many epochs (got {chunks})");
+        assert!(
+            stream.peak_resident_chunks() <= 4,
+            "peak window {} chunks of {chunks}",
+            stream.peak_resident_chunks()
+        );
+    }
+
+    #[test]
+    fn streamed_violation_path_matches_materialized() {
+        // A dead store whose bytes are read only by a dead-but-uneliminable
+        // load: under a store-only oracle the store vanishes at rename and
+        // the load must trip the dead-tag violation — through the core's
+        // own store shadow, identically on both record paths.
+        let mut b = ProgramBuilder::new("violating");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 150);
+        let top = b.label();
+        b.bind(top);
+        b.sd(Reg::T0, Reg::SP, -8); // read only by the dead load: eliminated
+        b.ld(Reg::T2, Reg::SP, -8); // result never used, not store-eligible
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.out(Reg::T0);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = PipelineConfig::baseline().with_elimination(DeadElimConfig {
+            policy: EliminationPolicy::StoreOnly,
+            oracle: true,
+            ..DeadElimConfig::default()
+        });
+        let core = Core::new(cfg);
+
+        let t = Emulator::new(&p).run().unwrap();
+        let a = DeadnessAnalysis::analyze(&t);
+        let base = core.run(&t, &a);
+        assert!(base.dead_violations > 0, "the dead load must read the eliminated store");
+        assert!(base.invariant_violations().is_empty(), "{:?}", base.invariant_violations());
+
+        let sd = DeadnessAnalysis::analyze_streamed(&p, 1 << 20).unwrap();
+        let mut stream = TraceStream::new(&p, 1 << 20);
+        assert_eq!(core.run_streamed(&mut stream, &sd), base);
+
+        // Small epochs: verdicts are conservative, but the run still
+        // commits everything and detects violations soundly.
+        let sd = DeadnessAnalysis::analyze_streamed(&p, 64).unwrap();
+        let mut stream = TraceStream::new(&p, 64);
+        let small = core.run_streamed(&mut stream, &sd);
+        assert_eq!(small.committed, base.committed);
+        assert!(small.invariant_violations().is_empty(), "{:?}", small.invariant_violations());
     }
 }

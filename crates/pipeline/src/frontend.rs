@@ -2,7 +2,6 @@
 
 use std::collections::VecDeque;
 
-use dide_emu::DynInst;
 use dide_isa::index_to_pc;
 use dide_mem::MemoryHierarchy;
 use dide_predictor::branch::{
@@ -12,6 +11,7 @@ use dide_predictor::future::{pack_events, CfEvent, CfSignature};
 
 use crate::config::PipelineConfig;
 use crate::predecode::{Ctrl, PreDec};
+use crate::source::RecordSource;
 use crate::stats::PipelineStats;
 
 /// An instruction sitting in the fetch buffer.
@@ -51,16 +51,21 @@ pub(crate) enum FetchBlock {
 /// in the backend plus a redirect penalty; a taken branch ends the fetch
 /// group; an I-cache miss stalls the group.
 ///
+/// Records come through the [`RecordSource`] the cycle loop owns (passed
+/// into [`Frontend::fetch`] each cycle), so the same frontend serves both
+/// the materialized and the streaming path: on a stream, advancing `pos`
+/// into a new epoch is what pulls that epoch into existence.
+///
 /// The frontend also records the *predicted* direction of every fetched
 /// conditional branch; those predictions form the CFI signatures consumed
 /// by the dead predictor at rename ([`Frontend::signature`]).
 #[derive(Debug)]
 pub(crate) struct Frontend<'t> {
-    records: &'t [DynInst],
     /// Per-static-instruction decode (control class, RAS behavior),
     /// indexed by `DynInst::index`.
     predec: &'t [PreDec],
-    pos: usize,
+    /// Next unfetched sequence number.
+    pos: u64,
     buffer: VecDeque<Fetched>,
     buffer_cap: usize,
     fetch_width: usize,
@@ -88,13 +93,8 @@ pub(crate) struct Frontend<'t> {
 }
 
 impl<'t> Frontend<'t> {
-    pub(crate) fn new(
-        config: &PipelineConfig,
-        records: &'t [DynInst],
-        predec: &'t [PreDec],
-    ) -> Frontend<'t> {
+    pub(crate) fn new(config: &PipelineConfig, predec: &'t [PreDec]) -> Frontend<'t> {
         Frontend {
-            records,
             predec,
             pos: 0,
             buffer: VecDeque::with_capacity(config.fetch_buffer),
@@ -118,8 +118,8 @@ impl<'t> Frontend<'t> {
     }
 
     /// Whether every instruction has been fetched and drained.
-    pub(crate) fn drained(&self) -> bool {
-        self.pos == self.records.len() && self.buffer.is_empty()
+    pub(crate) fn drained(&self, source: &mut RecordSource<'_, '_>) -> bool {
+        self.buffer.is_empty() && source.end_reached(self.pos)
     }
 
     /// The mispredicted control instruction fetch is waiting on, if any.
@@ -160,12 +160,12 @@ impl<'t> Frontend<'t> {
     /// Classifies what [`Frontend::fetch`] would do at cycle `t`, assuming
     /// no intervening frontend activity. The checks replicate `fetch`'s
     /// order (and its stall-counter behavior, documented per variant).
-    pub(crate) fn block_state(&self, t: u64) -> FetchBlock {
+    pub(crate) fn block_state(&self, t: u64, source: &mut RecordSource<'_, '_>) -> FetchBlock {
         if self.pending_branch.is_some() {
             FetchBlock::Pending
         } else if t < self.stalled_until {
             FetchBlock::Stalled(self.stalled_until)
-        } else if self.pos == self.records.len() {
+        } else if source.end_reached(self.pos) {
             FetchBlock::Exhausted
         } else if self.buffer.len() == self.buffer_cap {
             FetchBlock::BufferFull
@@ -197,6 +197,7 @@ impl<'t> Frontend<'t> {
     pub(crate) fn fetch(
         &mut self,
         now: u64,
+        source: &mut RecordSource<'_, '_>,
         hierarchy: &mut MemoryHierarchy,
         stats: &mut PipelineStats,
     ) {
@@ -205,14 +206,13 @@ impl<'t> Frontend<'t> {
             return;
         }
         for _ in 0..self.fetch_width {
-            if self.pos == self.records.len() {
-                return;
-            }
+            let Some(r) = source.try_get(self.pos) else {
+                return; // trace exhausted
+            };
             if self.buffer.len() == self.buffer_cap {
                 stats.fetch_stall_cycles += 1;
                 return;
             }
-            let r = &self.records[self.pos];
 
             // I-cache: charge when the group crosses into a new line.
             let pc = index_to_pc(r.index);
@@ -235,14 +235,14 @@ impl<'t> Frontend<'t> {
                 Ctrl::None => {}
                 Ctrl::CondBranch => {
                     let predicted = self.gshare.predict(r.index);
-                    self.gshare.update(r.index, r.taken);
+                    self.gshare.update(r.index, r.taken());
                     self.events.push_back((r.seq, CfEvent::Cond(predicted)));
-                    if predicted != r.taken {
+                    if predicted != r.taken() {
                         stats.branch_mispredicts += 1;
                         self.pending_branch = Some(r.seq);
                         return;
                     }
-                    if r.taken {
+                    if r.taken() {
                         // Correct taken prediction still needs a target.
                         if self.btb.lookup(r.index) != Some(r.next_index) {
                             stats.btb_misses += 1;
@@ -289,7 +289,7 @@ impl<'t> Frontend<'t> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dide_emu::Emulator;
+    use dide_emu::{DynInst, Emulator};
     use dide_isa::{ProgramBuilder, Reg};
     use dide_mem::HierarchyConfig;
 
@@ -303,21 +303,23 @@ mod tests {
         b.blt(Reg::T0, Reg::T1, top);
         b.out(Reg::T0);
         b.halt();
-        let t = Emulator::new(&b.build().unwrap()).run().unwrap();
+        let p = b.build().unwrap();
+        let t = Emulator::new(&p).run().unwrap();
         let cfg = PipelineConfig::baseline();
-        let predec = crate::predecode::predecode(t.records(), &cfg);
+        let predec = crate::predecode::predecode(&p, &cfg);
         (t.records().to_vec(), predec, cfg)
     }
 
     #[test]
     fn fetches_in_order_and_drains() {
         let (records, predec, cfg) = setup(3);
-        let mut fe = Frontend::new(&cfg, &records, &predec);
+        let mut src = RecordSource::Slice(&records);
+        let mut fe = Frontend::new(&cfg, &predec);
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         let mut stats = PipelineStats::default();
         let mut got = Vec::new();
         for now in 0..2000 {
-            fe.fetch(now, &mut mem, &mut stats);
+            fe.fetch(now, &mut src, &mut mem, &mut stats);
             while let Some(seq) = fe.peek_ready(now) {
                 got.push(seq);
                 fe.pop(seq);
@@ -325,11 +327,11 @@ mod tests {
             if let Some(seq) = fe.pending_branch() {
                 fe.resolve_branch(seq, now);
             }
-            if fe.drained() {
+            if fe.drained(&mut src) {
                 break;
             }
         }
-        assert!(fe.drained());
+        assert!(fe.drained(&mut src));
         let expected: Vec<u64> = (0..records.len() as u64).collect();
         assert_eq!(got, expected);
     }
@@ -337,12 +339,13 @@ mod tests {
     #[test]
     fn signature_reflects_upcoming_branch_predictions() {
         let (records, predec, cfg) = setup(5);
-        let mut fe = Frontend::new(&cfg, &records, &predec);
+        let mut src = RecordSource::Slice(&records);
+        let mut fe = Frontend::new(&cfg, &predec);
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         let mut stats = PipelineStats::default();
         // Fetch for a while to accumulate branch predictions.
         for now in 0..200 {
-            fe.fetch(now, &mut mem, &mut stats);
+            fe.fetch(now, &mut src, &mut mem, &mut stats);
             if let Some(seq) = fe.pending_branch() {
                 fe.resolve_branch(seq, now);
             }
@@ -355,49 +358,51 @@ mod tests {
     #[test]
     fn mispredict_blocks_fetch_until_resolved() {
         let (records, predec, cfg) = setup(8);
-        let mut fe = Frontend::new(&cfg, &records, &predec);
+        let mut src = RecordSource::Slice(&records);
+        let mut fe = Frontend::new(&cfg, &predec);
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         let mut stats = PipelineStats::default();
         let mut now = 0;
         // Fetch until the first mispredict appears.
         while fe.pending_branch().is_none() {
-            fe.fetch(now, &mut mem, &mut stats);
+            fe.fetch(now, &mut src, &mut mem, &mut stats);
             now += 1;
             assert!(now < 1000, "expected a mispredict eventually");
         }
         let buffered = fe.buffer.len();
-        fe.fetch(now, &mut mem, &mut stats);
+        fe.fetch(now, &mut src, &mut mem, &mut stats);
         assert_eq!(fe.buffer.len(), buffered, "no fetch while pending");
         let seq = fe.pending_branch().unwrap();
         fe.resolve_branch(seq, now);
         assert!(fe.pending_branch().is_none());
         // Still stalled for the redirect penalty.
-        fe.fetch(now + 1, &mut mem, &mut stats);
+        fe.fetch(now + 1, &mut src, &mut mem, &mut stats);
         assert_eq!(fe.buffer.len(), buffered);
-        fe.fetch(now + 1 + u64::from(cfg.mispredict_penalty), &mut mem, &mut stats);
+        fe.fetch(now + 1 + u64::from(cfg.mispredict_penalty), &mut src, &mut mem, &mut stats);
         assert!(fe.buffer.len() > buffered, "fetch resumed after penalty");
     }
 
     #[test]
     fn mispredicts_counted() {
         let (records, predec, cfg) = setup(50);
-        let mut fe = Frontend::new(&cfg, &records, &predec);
+        let mut src = RecordSource::Slice(&records);
+        let mut fe = Frontend::new(&cfg, &predec);
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         let mut stats = PipelineStats::default();
         for now in 0..100_000 {
-            fe.fetch(now, &mut mem, &mut stats);
+            fe.fetch(now, &mut src, &mut mem, &mut stats);
             while let Some(seq) = fe.peek_ready(now) {
                 fe.pop(seq);
             }
             if let Some(seq) = fe.pending_branch() {
                 fe.resolve_branch(seq, now);
             }
-            if fe.drained() {
+            if fe.drained(&mut src) {
                 break;
             }
         }
         // The loop branch mispredicts at least on the final iteration.
         assert!(stats.branch_mispredicts >= 1);
-        assert!(fe.drained());
+        assert!(fe.drained(&mut src));
     }
 }

@@ -58,6 +58,7 @@ mod predecode;
 mod regfile;
 mod rename;
 mod rob;
+mod source;
 mod stats;
 mod wheel;
 

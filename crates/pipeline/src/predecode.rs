@@ -4,9 +4,11 @@
 //! every dynamic instance of an instruction; resolving them once per
 //! *static* instruction replaces repeated `Opcode::kind` dispatch (an
 //! indirect jump per instruction) on the hot path with a table lookup
-//! indexed by the record's static index.
+//! indexed by the record's static index. The table is built straight from
+//! the program text — every field is static — so it needs no trace and the
+//! streaming path can build it before the first epoch exists.
 
-use dide_isa::{OpcodeKind, Reg};
+use dide_isa::{OpcodeKind, Program, Reg};
 
 use crate::config::PipelineConfig;
 use crate::fu::{classify, FuClass};
@@ -44,61 +46,45 @@ pub(crate) struct PreDec {
     pub(crate) ctrl: Ctrl,
 }
 
-/// Builds the table for a trace by decoding the first dynamic instance of
-/// each static instruction.
-pub(crate) fn predecode(records: &[dide_emu::DynInst], cfg: &PipelineConfig) -> Vec<PreDec> {
-    let placeholder = PreDec {
-        dest: None,
-        srcs: [None, None],
-        fu: FuClass::Alu,
-        is_load: false,
-        is_store: false,
-        is_cond_branch: false,
-        eligible: false,
-        ctrl: Ctrl::None,
-    };
-    let max_index = records.iter().map(|r| r.index as usize).max().map_or(0, |m| m + 1);
-    let mut table = vec![placeholder; max_index];
-    let mut seen = vec![false; max_index];
+/// Builds the table for a program, one entry per static instruction.
+pub(crate) fn predecode(program: &Program, cfg: &PipelineConfig) -> Vec<PreDec> {
     let policy = cfg.dead.policy;
-    for r in records {
-        let idx = r.index as usize;
-        if seen[idx] {
-            continue;
-        }
-        seen[idx] = true;
-        let dest = r.inst.dest();
-        let mut srcs = [None, None];
-        for (i, s) in r.inst.sources().enumerate() {
-            srcs[i] = Some(s);
-        }
-        let is_store = r.inst.op.is_store();
-        let ctrl = match r.inst.op.kind() {
-            OpcodeKind::Branch(_) => Ctrl::CondBranch,
-            OpcodeKind::Jal => Ctrl::Jal { push_ras: r.inst.rd == Reg::RA },
-            OpcodeKind::Jalr => Ctrl::Jalr {
-                is_return: r.inst.rs1 == Reg::RA && r.inst.rd.is_zero(),
-                push_ras: r.inst.rd == Reg::RA,
-            },
-            OpcodeKind::Halt => Ctrl::Halt,
-            _ => Ctrl::None,
-        };
-        table[idx] = PreDec {
-            dest,
-            srcs,
-            fu: classify(r.inst.op),
-            is_load: r.inst.op.is_load(),
-            is_store,
-            is_cond_branch: r.is_cond_branch(),
-            eligible: if is_store {
-                policy.covers_stores()
-            } else {
-                policy.covers_registers() && dest.is_some() && !r.inst.op.is_control()
-            },
-            ctrl,
-        };
-    }
-    table
+    program
+        .insts()
+        .iter()
+        .map(|inst| {
+            let dest = inst.dest();
+            let mut srcs = [None, None];
+            for (i, s) in inst.sources().enumerate() {
+                srcs[i] = Some(s);
+            }
+            let is_store = inst.op.is_store();
+            let ctrl = match inst.op.kind() {
+                OpcodeKind::Branch(_) => Ctrl::CondBranch,
+                OpcodeKind::Jal => Ctrl::Jal { push_ras: inst.rd == Reg::RA },
+                OpcodeKind::Jalr => Ctrl::Jalr {
+                    is_return: inst.rs1 == Reg::RA && inst.rd.is_zero(),
+                    push_ras: inst.rd == Reg::RA,
+                },
+                OpcodeKind::Halt => Ctrl::Halt,
+                _ => Ctrl::None,
+            };
+            PreDec {
+                dest,
+                srcs,
+                fu: classify(inst.op),
+                is_load: inst.op.is_load(),
+                is_store,
+                is_cond_branch: matches!(inst.op.kind(), OpcodeKind::Branch(_)),
+                eligible: if is_store {
+                    policy.covers_stores()
+                } else {
+                    policy.covers_registers() && dest.is_some() && !inst.op.is_control()
+                },
+                ctrl,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -121,8 +107,10 @@ mod tests {
         b.call(f); // jal ra, f: links through ra
         b.out(Reg::T0);
         b.halt();
-        let t = Emulator::new(&b.build().unwrap()).run().unwrap();
-        let pre = predecode(t.records(), &PipelineConfig::baseline());
+        let p = b.build().unwrap();
+        let t = Emulator::new(&p).run().unwrap();
+        let pre = predecode(&p, &PipelineConfig::baseline());
+        assert_eq!(pre.len(), p.len(), "one entry per static instruction");
         let by_seq: Vec<Ctrl> = t.records().iter().map(|r| pre[r.index as usize].ctrl).collect();
         assert!(by_seq.contains(&Ctrl::Jal { push_ras: true }), "{by_seq:?}");
         assert!(by_seq.contains(&Ctrl::Jalr { is_return: true, push_ras: false }), "{by_seq:?}");

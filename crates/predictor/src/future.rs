@@ -183,9 +183,9 @@ pub fn signatures_predicted(
         if r.is_cond_branch() {
             let predicted = predictor.predict(r.index);
             stats.branches += 1;
-            stats.mispredicts += u64::from(predicted != r.taken);
+            stats.mispredicts += u64::from(predicted != r.taken());
             events.push((r.seq, CfEvent::Cond(predicted)));
-            predictor.update(r.index, r.taken);
+            predictor.update(r.index, r.taken());
         }
     }
     (pack_signatures(trace, &events, lookahead), stats)
@@ -209,13 +209,13 @@ pub fn signatures_jump_aware(
         if r.is_cond_branch() {
             let predicted = predictor.predict(r.index);
             stats.branches += 1;
-            stats.mispredicts += u64::from(predicted != r.taken);
+            stats.mispredicts += u64::from(predicted != r.taken());
             events.push((r.seq, CfEvent::Cond(predicted)));
-            predictor.update(r.index, r.taken);
-        } else if matches!(r.inst.op.kind(), dide_isa::OpcodeKind::Jalr) {
+            predictor.update(r.index, r.taken());
+        } else if matches!(r.op.kind(), dide_isa::OpcodeKind::Jalr) {
             // Returns are RAS-predicted and carry no dispatch information;
             // they neither contribute an event nor pollute the history.
-            let is_return = r.inst.rs1 == dide_isa::Reg::RA && r.inst.rd.is_zero();
+            let is_return = r.rs1 == dide_isa::Reg::RA && r.rd.is_zero();
             if !is_return {
                 let predicted = targets.predict(r.index).unwrap_or(0);
                 events.push((r.seq, CfEvent::Indirect(CfEvent::hash_target(predicted))));
@@ -234,7 +234,7 @@ pub fn signatures_oracle(trace: &Trace, lookahead: u8) -> Vec<CfSignature> {
     let events: Vec<(u64, CfEvent)> = trace
         .iter()
         .filter(|r| r.is_cond_branch())
-        .map(|r| (r.seq, CfEvent::Cond(r.taken)))
+        .map(|r| (r.seq, CfEvent::Cond(r.taken())))
         .collect();
     pack_signatures(trace, &events, lookahead)
 }

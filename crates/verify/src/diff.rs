@@ -50,7 +50,10 @@ pub fn differential_verdicts(trace: &Trace, analysis: &DeadnessAnalysis) -> Vec<
                 Some(VerdictMismatch {
                     seq: r.seq,
                     index: r.index,
-                    disasm: r.inst.to_string(),
+                    disasm: trace
+                        .program()
+                        .get(r.index)
+                        .map_or_else(|| "<?>".to_string(), ToString::to_string),
                     analysis: a,
                     reference: b,
                 })

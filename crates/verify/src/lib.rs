@@ -11,6 +11,9 @@
 //!   seed: removal preserves outputs, pipeline committed state matches
 //!   the emulator, conservation laws over pipeline statistics, and
 //!   exact threshold monotonicity of the offline predictor evaluation;
+//! * [`stream`] — the streamed-vs-exact differential: windowed analysis
+//!   soundness across an epoch sweep, single-epoch bit-identity, and
+//!   streamed-pipeline equivalence;
 //! * [`seedcheck`] — one seed in, one [`seedcheck::SeedReport`] out: the
 //!   unit of work the `dide verify` fuzz driver fans out;
 //! * [`shrink`] — minimizes a failing seed's generator config while
@@ -27,6 +30,7 @@ pub mod invariants;
 pub mod oracle;
 pub mod seedcheck;
 pub mod shrink;
+pub mod stream;
 
 pub use corpus::{load_corpus, save_case, CorpusCase};
 pub use diff::{differential_verdicts, VerdictMismatch};
@@ -35,3 +39,4 @@ pub use invariants::{check_invariants, cross_run_rules, cross_run_violations};
 pub use oracle::ReferenceOracle;
 pub use seedcheck::{derive_config, verify_seed, verify_seed_with, SeedReport};
 pub use shrink::shrink_case;
+pub use stream::check_streaming;

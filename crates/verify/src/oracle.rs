@@ -114,7 +114,7 @@ fn compute_verdicts(trace: &Trace, out_is_root: bool) -> Vec<Verdict> {
 
     for r in records.iter().rev() {
         let seq = r.seq as usize;
-        if let Some(rd) = r.inst.dest() {
+        if let Some(rd) = r.dest() {
             match reg_fate[rd.index()] {
                 Fate::Read => directly_read[seq] = true,
                 Fate::Overwritten => first_level[seq] = Some(DeadKind::RegOverwritten),
@@ -122,8 +122,8 @@ fn compute_verdicts(trace: &Trace, out_is_root: bool) -> Vec<Verdict> {
             }
             reg_fate[rd.index()] = Fate::Overwritten;
         }
-        if r.inst.op.is_store() {
-            let acc = r.mem.expect("stores carry a memory access");
+        if r.op.is_store() {
+            let acc = r.mem().expect("stores carry a memory access");
             let fates: Vec<Fate> =
                 acc.bytes().map(|b| *byte_fate.get(&b).unwrap_or(&Fate::Untouched)).collect();
             if fates.contains(&Fate::Read) {
@@ -137,13 +137,13 @@ fn compute_verdicts(trace: &Trace, out_is_root: bool) -> Vec<Verdict> {
                 byte_fate.insert(b, Fate::Overwritten);
             }
         }
-        for src in r.inst.sources() {
+        for src in r.sources() {
             if !src.is_zero() {
                 reg_fate[src.index()] = Fate::Read;
             }
         }
-        if r.inst.op.is_load() {
-            let acc = r.mem.expect("loads carry a memory access");
+        if r.op.is_load() {
+            let acc = r.mem().expect("loads carry a memory access");
             for b in acc.bytes() {
                 byte_fate.insert(b, Fate::Read);
             }
@@ -157,15 +157,15 @@ fn compute_verdicts(trace: &Trace, out_is_root: bool) -> Vec<Verdict> {
 
     for r in records {
         let seq = r.seq as usize;
-        for src in r.inst.sources() {
+        for src in r.sources() {
             if let Some(w) = reg_writer[src.index()] {
                 if !producers_of[seq].contains(&w) {
                     producers_of[seq].push(w);
                 }
             }
         }
-        if r.inst.op.is_load() {
-            for b in r.mem.expect("loads carry a memory access").bytes() {
+        if r.op.is_load() {
+            for b in r.mem().expect("loads carry a memory access").bytes() {
                 if let Some(&w) = byte_writer.get(&b) {
                     if !producers_of[seq].contains(&w) {
                         producers_of[seq].push(w);
@@ -173,11 +173,11 @@ fn compute_verdicts(trace: &Trace, out_is_root: bool) -> Vec<Verdict> {
                 }
             }
         }
-        if let Some(rd) = r.inst.dest() {
+        if let Some(rd) = r.dest() {
             reg_writer[rd.index()] = Some(r.seq);
         }
-        if r.inst.op.is_store() {
-            for b in r.mem.expect("stores carry a memory access").bytes() {
+        if r.op.is_store() {
+            for b in r.mem().expect("stores carry a memory access").bytes() {
                 byte_writer.insert(b, r.seq);
             }
         }
@@ -190,7 +190,7 @@ fn compute_verdicts(trace: &Trace, out_is_root: bool) -> Vec<Verdict> {
     let mut useful = vec![false; n];
     let mut queue: Vec<u64> = Vec::new();
     for r in records {
-        if is_root(r.inst.op.kind(), out_is_root) {
+        if is_root(r.op.kind(), out_is_root) {
             for &p in &producers_of[r.seq as usize] {
                 if !useful[p as usize] {
                     useful[p as usize] = true;
@@ -213,8 +213,7 @@ fn compute_verdicts(trace: &Trace, out_is_root: bool) -> Vec<Verdict> {
         .iter()
         .map(|r| {
             let seq = r.seq as usize;
-            let eligible =
-                (r.inst.dest().is_some() && !r.inst.op.is_control()) || r.inst.op.is_store();
+            let eligible = (r.dest().is_some() && !r.op.is_control()) || r.op.is_store();
             if !eligible {
                 Verdict::NotEligible
             } else if useful[seq] {

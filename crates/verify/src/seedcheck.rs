@@ -12,6 +12,7 @@ use dide_workloads::{random_program, GenConfig};
 
 use crate::diff::differential_verdicts;
 use crate::invariants::check_invariants;
+use crate::stream::check_streaming;
 
 /// Everything the driver needs to know about one verified seed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +120,7 @@ pub fn verify_seed_with(seed: u64, config: &GenConfig) -> SeedReport {
     report.mismatches =
         differential_verdicts(&trace, &analysis).iter().map(ToString::to_string).collect();
     report.violations = check_invariants(&trace, &analysis);
+    report.violations.extend(check_streaming(&program, &trace, &analysis));
     report
 }
 

@@ -66,8 +66,10 @@ impl WorkloadSpec {
     ///
     /// `scale` multiplies the iteration count linearly (`1` gives a dynamic
     /// trace of roughly 50–200 k instructions). Assembly workloads
-    /// ([`BenchKind::Asm`]) are fixed programs: they ignore both `opt` and
-    /// `scale`.
+    /// ([`BenchKind::Asm`]) are fixed source texts, so they ignore `opt`;
+    /// `matmul` exposes a rounds-loop scale knob (see
+    /// [`dide_asm::builtin::program_scaled`]), the other `.asm` benchmarks
+    /// ignore `scale` too.
     ///
     /// # Panics
     ///
@@ -88,7 +90,7 @@ impl WorkloadSpec {
             BenchKind::Sort => sort::build(opt, scale),
             BenchKind::Stream => stream::build(opt, scale),
             BenchKind::Asm(name) => {
-                dide_asm::builtin::program(name).expect("builtin asm workload exists")
+                dide_asm::builtin::program_scaled(name, scale).expect("builtin asm workload exists")
             }
         }
     }

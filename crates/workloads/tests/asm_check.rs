@@ -29,6 +29,19 @@ fn matmul_checksum_is_stable() {
 }
 
 #[test]
+fn matmul_scale_grows_the_trace_linearly() {
+    let spec = find_workload("matmul").expect("asm workload enrolled");
+    let base = Emulator::new(&spec.build(OptLevel::O2, 1)).run().expect("halts");
+    let scaled = Emulator::new(&spec.build(OptLevel::O2, 4)).run().expect("halts");
+    // Same result every round, so the checksum is scale-invariant...
+    assert_eq!(scaled.outputs(), base.outputs());
+    // ...while the dynamic trace grows with the rounds count: 16 rounds
+    // instead of 4 means just under 4x the work (setup is amortized).
+    let ratio = scaled.len() as f64 / base.len() as f64;
+    assert!((3.5..=4.0).contains(&ratio), "expected ~4x growth, got {ratio:.2}x");
+}
+
+#[test]
 fn strsearch_counts_both_patterns() {
     let trace = run("strsearch");
     let outputs = trace.outputs();

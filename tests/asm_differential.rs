@@ -38,7 +38,7 @@ fn analyses_agree_verdict_by_verdict() {
                 "{}: seq {} ({})",
                 spec.name,
                 r.seq,
-                r.inst
+                r.op
             );
         }
     }

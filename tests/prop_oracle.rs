@@ -49,9 +49,9 @@ proptest! {
             // dead values are read only by dead instructions.
             let consumes = v == Verdict::Useful || !v.is_eligible();
             let roots_or_useful = consumes
-                && (r.inst.op.is_control()
+                && (r.op.is_control()
                     || matches!(
-                        r.inst.op.kind(),
+                        r.op.kind(),
                         dide_isa::OpcodeKind::Out | dide_isa::OpcodeKind::Halt
                     )
                     || v == Verdict::Useful);

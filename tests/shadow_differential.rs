@@ -23,7 +23,7 @@ fn analyze(program: &Program) -> (Trace, DeadnessAnalysis) {
 
 /// Sequence numbers of store records, in trace order.
 fn store_seqs(trace: &Trace) -> Vec<u64> {
-    trace.iter().filter(|r| r.inst.op.is_store()).map(|r| r.seq).collect()
+    trace.iter().filter(|r| r.op.is_store()).map(|r| r.seq).collect()
 }
 
 #[test]
