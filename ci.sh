@@ -74,15 +74,43 @@ echo "== bench smoke + regression check =="
 cargo run --release --bin dide -- bench --quick --out BENCH.ci.json --check-against BENCH.json
 # The perf harness must produce a non-empty, well-formed report.
 test -s BENCH.ci.json || { echo "BENCH.ci.json is missing or empty" >&2; exit 1; }
-grep -q '"schema": "dide-bench/v2"' BENCH.ci.json \
-  || { echo "BENCH.ci.json lacks the dide-bench/v2 schema marker" >&2; exit 1; }
+grep -q '"schema": "dide-bench/v3"' BENCH.ci.json \
+  || { echo "BENCH.ci.json lacks the dide-bench/v3 schema marker" >&2; exit 1; }
 grep -q '"mem_peak_bytes"' BENCH.ci.json \
   || { echo "BENCH.ci.json lacks the streamed mem_peak_bytes block" >&2; exit 1; }
+grep -q '"campaign"' BENCH.ci.json \
+  || { echo "BENCH.ci.json lacks the campaign throughput block" >&2; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool BENCH.ci.json >/dev/null \
     || { echo "BENCH.ci.json is not valid JSON" >&2; exit 1; }
 fi
 rm -f BENCH.ci.json
+
+echo "== campaign smoke (batch engine determinism) =="
+# A small grid through the work-stealing engine: the JSONL store must be
+# byte-identical for any --jobs value, every line must be valid JSON, and
+# the report subcommand must aggregate it back.
+CAMPAIGN_GRID="--benchmarks expr,route --elims off,cfi --thresholds 8,12"
+DIDE=./target/release/dide
+rm -f campaign.ci1.jsonl campaign.ci1.jsonl.cursor campaign.ci4.jsonl campaign.ci4.jsonl.cursor
+# shellcheck disable=SC2086
+"${DIDE}" campaign run ${CAMPAIGN_GRID} --out campaign.ci1.jsonl --jobs 1
+# shellcheck disable=SC2086
+"${DIDE}" campaign run ${CAMPAIGN_GRID} --out campaign.ci4.jsonl --jobs 4
+cmp campaign.ci1.jsonl campaign.ci4.jsonl \
+  || { echo "campaign store differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+grep -q '"schema":"dide-campaign-store/v1"' campaign.ci1.jsonl \
+  || { echo "campaign store lacks the dide-campaign-store/v1 header" >&2; exit 1; }
+grep -q '"schema":"dide-stats/v1"' campaign.ci1.jsonl \
+  || { echo "campaign store lacks dide-stats/v1 records" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json
+for line in open("campaign.ci1.jsonl"):
+    json.loads(line)' || { echo "campaign store is not line-delimited JSON" >&2; exit 1; }
+fi
+"${DIDE}" campaign report --store campaign.ci1.jsonl --where elim=cfi --group-by benchmark \
+  | grep -q "expr" || { echo "campaign report lost the expr group" >&2; exit 1; }
+rm -f campaign.ci1.jsonl campaign.ci1.jsonl.cursor campaign.ci4.jsonl campaign.ci4.jsonl.cursor
 
 echo "== streaming smoke (bounded memory) =="
 # The streamed pipeline must survive an address-space budget that the

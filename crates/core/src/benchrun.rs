@@ -24,14 +24,16 @@ use dide_obs::{EventTrace, EventsConfig};
 use dide_pipeline::{Core, PipelineConfig};
 use dide_workloads::{suite, OptLevel, WorkloadSpec};
 
+use crate::campaign::{measure_campaign_throughput, CampaignThroughput};
 use crate::harness::{self, Phase};
 use crate::statsrun::DEFAULT_EPOCH_LEN;
 use crate::{BenchCase, Table};
 
 /// Schema identifier written into `BENCH.json`; bump on layout changes.
 /// v2 added the `stream` block (bounded-memory streamed runs with their
-/// `mem_peak_bytes` accounting).
-pub const BENCH_SCHEMA: &str = "dide-bench/v2";
+/// `mem_peak_bytes` accounting); v3 added the `campaign` block (batch
+/// engine throughput, dedup rate and fixture-cache accounting).
+pub const BENCH_SCHEMA: &str = "dide-bench/v3";
 
 /// Benchmarks used by `--quick` (CI smoke): small but covering the three
 /// workload families (expression-heavy, store-heavy, pointer-chasing) plus
@@ -166,6 +168,8 @@ pub struct BenchRun {
     pub measurements: Vec<BenchMeasurement>,
     /// Streamed-mode measurements, in [`STREAM_SUITE`] order.
     pub streams: Vec<StreamMeasurement>,
+    /// Batch-engine throughput over [`crate::campaign::bench_grid`].
+    pub campaign: CampaignThroughput,
     /// Event-trace overhead on the fixed reference workload.
     pub events_overhead: EventsOverhead,
     /// The `BENCH.json` document.
@@ -257,12 +261,17 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
         streams.push(measure_stream(spec, scale, options.epoch));
     }
 
+    eprintln!("bench: campaign throughput grid...");
+    let campaign = measure_campaign_throughput(4).map_err(std::io::Error::other)?;
+
     eprintln!("bench: events-overhead reference point...");
     let events_overhead = measure_events_overhead();
 
-    let json = render_json(scales, &measurements, &streams, Some(&events_overhead));
+    let json =
+        render_json(scales, &measurements, &streams, Some(&campaign), Some(&events_overhead));
     std::fs::File::create(&options.out)?.write_all(json.as_bytes())?;
-    let mut report = render_report(&measurements, &streams, &events_overhead, &options.out);
+    let mut report =
+        render_report(&measurements, &streams, &campaign, &events_overhead, &options.out);
     let regression = match &options.check_against {
         None => None,
         Some(path) => {
@@ -271,6 +280,10 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
             let mem = check_mem_regression(&streams, &parse_stream_baseline(&baseline));
             check.lines.extend(mem.lines);
             check.ok &= mem.ok;
+            let camp =
+                check_campaign_regression(&campaign, parse_campaign_baseline(&baseline).as_ref());
+            check.lines.extend(camp.lines);
+            check.ok &= camp.ok;
             report.push_str(&format!("\n== regression check against {} ==\n", path.display()));
             for line in &check.lines {
                 report.push_str(line);
@@ -284,7 +297,127 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
             Some(check)
         }
     };
-    Ok(BenchRun { measurements, streams, events_overhead, json, report, regression })
+    Ok(BenchRun { measurements, streams, campaign, events_overhead, json, report, regression })
+}
+
+/// The deterministic half of a baseline `campaign` block, plus its timing
+/// reference. Dedup and fixture numbers are pure functions of the grid, so
+/// they are compared exactly; wall-clock gets the usual generous factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignBaselineEntry {
+    /// Grid fingerprint the baseline was measured on.
+    pub grid: String,
+    /// Expanded grid points.
+    pub jobs_total: u64,
+    /// Unique canonical jobs.
+    pub jobs_unique: u64,
+    /// Deduplicated grid points.
+    pub jobs_deduped: u64,
+    /// Peak resident fixtures.
+    pub peak_resident: u64,
+    /// `--jobs N` wall-clock, nanoseconds.
+    pub jobsn_ns: u128,
+}
+
+/// Extracts the `campaign` block from a baseline `BENCH.json` (line
+/// oriented, like [`parse_baseline`]). Returns `None` for documents
+/// without the block (v2 and older), which the check reports as skipped.
+#[must_use]
+pub fn parse_campaign_baseline(json: &str) -> Option<CampaignBaselineEntry> {
+    let start = json.find("\"campaign\": {")?;
+    let mut grid = None;
+    let mut nums: std::collections::HashMap<&str, u128> = std::collections::HashMap::new();
+    for line in json[start..].lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix("\"grid\": \"") {
+            grid = rest.split('"').next().map(ToString::to_string);
+        } else if let Some((key, value)) = t.strip_prefix('"').and_then(|r| r.split_once("\": ")) {
+            if let Ok(n) = value.parse::<u128>() {
+                for want in [
+                    "jobs_total",
+                    "jobs_unique",
+                    "jobs_deduped",
+                    "peak_resident_fixtures",
+                    "jobsn_ns",
+                ] {
+                    if key == want {
+                        nums.insert(want, n);
+                    }
+                }
+            }
+        }
+        if t.ends_with('}') && grid.is_some() {
+            break;
+        }
+    }
+    Some(CampaignBaselineEntry {
+        grid: grid?,
+        jobs_total: u64::try_from(*nums.get("jobs_total")?).ok()?,
+        jobs_unique: u64::try_from(*nums.get("jobs_unique")?).ok()?,
+        jobs_deduped: u64::try_from(*nums.get("jobs_deduped")?).ok()?,
+        peak_resident: u64::try_from(*nums.get("peak_resident_fixtures")?).ok()?,
+        jobsn_ns: *nums.get("jobsn_ns")?,
+    })
+}
+
+/// Compares a campaign throughput measurement against the baseline block.
+///
+/// Dedup and fixture accounting are deterministic given the same grid
+/// fingerprint, so any difference fails; wall-clock uses
+/// [`REGRESSION_FACTOR`] with the usual [`REGRESSION_FLOOR_MS`]. A missing
+/// baseline block or a different grid fingerprint is reported but never
+/// fails (the baseline may predate the grid).
+#[must_use]
+pub fn check_campaign_regression(
+    current: &CampaignThroughput,
+    baseline: Option<&CampaignBaselineEntry>,
+) -> RegressionCheck {
+    let mut lines = Vec::new();
+    let mut ok = true;
+    let Some(base) = baseline else {
+        lines.push("campaign: no baseline campaign block (skipped)".to_string());
+        return RegressionCheck { lines, ok };
+    };
+    if base.grid != current.grid_fingerprint {
+        lines.push(format!(
+            "campaign: baseline grid {} differs from current {} (skipped)",
+            base.grid, current.grid_fingerprint
+        ));
+        return RegressionCheck { lines, ok };
+    }
+    for (what, got, want) in [
+        ("jobs_total", current.jobs_total, base.jobs_total),
+        ("jobs_unique", current.jobs_unique, base.jobs_unique),
+        ("jobs_deduped", current.jobs_deduped, base.jobs_deduped),
+        ("peak_resident_fixtures", current.peak_resident, base.peak_resident),
+    ] {
+        if got == want {
+            lines.push(format!("campaign {what}: {got} — ok"));
+        } else {
+            ok = false;
+            lines.push(format!(
+                "campaign {what}: {got} vs baseline {want} — DETERMINISM REGRESSION"
+            ));
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let ratio =
+        if base.jobsn_ns == 0 { 1.0 } else { current.jobsn_ns as f64 / base.jobsn_ns as f64 };
+    let over_floor =
+        current.jobsn_ns.saturating_sub(base.jobsn_ns) > REGRESSION_FLOOR_MS * 1_000_000;
+    if ratio > REGRESSION_FACTOR && over_floor {
+        ok = false;
+        lines.push(format!(
+            "campaign jobs={}: {}ns vs baseline {}ns ({ratio:.2}x) — REGRESSION",
+            current.jobsn, current.jobsn_ns, base.jobsn_ns
+        ));
+    } else {
+        lines.push(format!(
+            "campaign jobs={}: {}ns vs baseline {}ns ({ratio:.2}x) — ok",
+            current.jobsn, current.jobsn_ns, base.jobsn_ns
+        ));
+    }
+    RegressionCheck { lines, ok }
 }
 
 /// A `(benchmark, scale)` simulate-phase time parsed from a baseline
@@ -565,6 +698,7 @@ pub fn render_json(
     scales: &[u32],
     measurements: &[BenchMeasurement],
     streams: &[StreamMeasurement],
+    campaign: Option<&CampaignThroughput>,
     events: Option<&EventsOverhead>,
 ) -> String {
     let mut out = String::from("{\n");
@@ -622,6 +756,27 @@ pub fn render_json(
     }
     out.push_str("  },\n");
 
+    // Batch-engine throughput: dedup and fixture fields are deterministic
+    // for a fixed grid and are exact-compared by the CI gate; the ns
+    // fields get the usual generous wall-clock factor.
+    if let Some(c) = campaign {
+        out.push_str("  \"campaign\": {\n");
+        out.push_str(&format!("    \"grid\": \"{}\",\n", c.grid_fingerprint));
+        out.push_str(&format!("    \"jobs_total\": {},\n", c.jobs_total));
+        out.push_str(&format!("    \"jobs_unique\": {},\n", c.jobs_unique));
+        out.push_str(&format!("    \"jobs_deduped\": {},\n", c.jobs_deduped));
+        out.push_str(&format!("    \"dedup_rate\": {:.3},\n", c.dedup_rate()));
+        out.push_str(&format!("    \"peak_resident_fixtures\": {},\n", c.peak_resident));
+        out.push_str(&format!("    \"fixture_cap\": {},\n", c.fixture_cap));
+        out.push_str(&format!("    \"direct_ns\": {},\n", c.direct_ns));
+        out.push_str(&format!("    \"jobs1_ns\": {},\n", c.jobs1_ns));
+        out.push_str(&format!("    \"scheduler_overhead\": {:.3},\n", c.scheduler_overhead()));
+        out.push_str(&format!("    \"jobs\": {},\n", c.jobsn));
+        out.push_str(&format!("    \"jobsn_ns\": {},\n", c.jobsn_ns));
+        out.push_str(&format!("    \"jobs_per_sec\": {:.1}\n", c.jobs_per_sec()));
+        out.push_str("  },\n");
+    }
+
     // Streamed enrollments: the `mem_peak_bytes` block is what the CI
     // regression gate and the acceptance criteria read.
     if streams.is_empty() {
@@ -665,6 +820,7 @@ pub fn render_json(
 fn render_report(
     measurements: &[BenchMeasurement],
     streams: &[StreamMeasurement],
+    campaign: &CampaignThroughput,
     events: &EventsOverhead,
     out: &std::path::Path,
 ) -> String {
@@ -710,6 +866,31 @@ fn render_report(
         }
         text.push_str(&t.to_string());
     }
+    text.push_str(&format!(
+        "\n== campaign throughput (grid {}) ==\n\
+         {} grid points -> {} unique ({} deduped, rate {:.3})\n\
+         direct {}, jobs=1 {} (overhead {:.3}x), jobs={} {} ({:.1} jobs/sec)\n\
+         fixtures: peak {} resident (cap {})\n",
+        campaign.grid_fingerprint,
+        campaign.jobs_total,
+        campaign.jobs_unique,
+        campaign.jobs_deduped,
+        campaign.dedup_rate(),
+        harness::fmt_duration(Duration::from_nanos(
+            campaign.direct_ns.min(u128::from(u64::MAX)) as u64
+        )),
+        harness::fmt_duration(Duration::from_nanos(
+            campaign.jobs1_ns.min(u128::from(u64::MAX)) as u64
+        )),
+        campaign.scheduler_overhead(),
+        campaign.jobsn,
+        harness::fmt_duration(Duration::from_nanos(
+            campaign.jobsn_ns.min(u128::from(u64::MAX)) as u64
+        )),
+        campaign.jobs_per_sec(),
+        campaign.peak_resident,
+        campaign.fixture_cap,
+    ));
     text.push_str(&format!(
         "\nevents overhead on {}: off {}, sampled {} (ratio {:.3}, {})\n",
         events.workload,
@@ -777,10 +958,25 @@ mod tests {
         }]
     }
 
+    fn campaign_sample() -> CampaignThroughput {
+        CampaignThroughput {
+            grid_fingerprint: "00000000deadbeef".into(),
+            jobs_total: 12,
+            jobs_unique: 9,
+            jobs_deduped: 3,
+            peak_resident: 3,
+            fixture_cap: 256,
+            direct_ns: 1_000_000,
+            jobs1_ns: 1_020_000,
+            jobsn: 4,
+            jobsn_ns: 900_000,
+        }
+    }
+
     #[test]
     fn json_has_schema_and_per_phase_totals() {
-        let json = render_json(&[1, 4], &sample(), &[], None);
-        assert!(json.contains("\"schema\": \"dide-bench/v2\""));
+        let json = render_json(&[1, 4], &sample(), &[], None, None);
+        assert!(json.contains("\"schema\": \"dide-bench/v3\""));
         assert!(json.contains("\"scales\": [1, 4]"));
         assert!(json.contains("\"name\": \"expr\""));
         assert!(json.contains(
@@ -796,8 +992,57 @@ mod tests {
     }
 
     #[test]
+    fn json_records_campaign_block_and_roundtrips() {
+        let c = campaign_sample();
+        let json = render_json(&[1], &sample()[..1], &[], Some(&c), None);
+        assert!(json.contains("\"campaign\": {"));
+        assert!(json.contains("\"grid\": \"00000000deadbeef\""));
+        assert!(json.contains("\"dedup_rate\": 0.250"));
+        assert!(json.contains("\"scheduler_overhead\": 1.020"));
+        assert!(json.contains("\"jobs_per_sec\": 10000.0"));
+        let parsed = parse_campaign_baseline(&json).expect("campaign block parses");
+        assert_eq!(
+            parsed,
+            CampaignBaselineEntry {
+                grid: "00000000deadbeef".into(),
+                jobs_total: 12,
+                jobs_unique: 9,
+                jobs_deduped: 3,
+                peak_resident: 3,
+                jobsn_ns: 900_000,
+            }
+        );
+        assert!(parse_campaign_baseline("{\"schema\": \"dide-bench/v2\"}").is_none());
+    }
+
+    #[test]
+    fn campaign_regression_check_gates_determinism_and_timing() {
+        let c = campaign_sample();
+        let base = parse_campaign_baseline(&render_json(&[1], &[], &[], Some(&c), None)).unwrap();
+        assert!(check_campaign_regression(&c, Some(&base)).ok);
+        assert!(check_campaign_regression(&c, None).ok, "missing block is skipped");
+
+        // A different grid fingerprint skips rather than fails.
+        let other = CampaignBaselineEntry { grid: "ffff".into(), ..base.clone() };
+        let check = check_campaign_regression(&c, Some(&other));
+        assert!(check.ok);
+        assert!(check.lines[0].contains("skipped"), "{:?}", check.lines);
+
+        // Same grid, different dedup count: a determinism regression.
+        let drifted = CampaignBaselineEntry { jobs_deduped: 2, ..base.clone() };
+        assert!(!check_campaign_regression(&c, Some(&drifted)).ok);
+
+        // A big slowdown over the floor fails; a tiny one passes.
+        let fast = CampaignBaselineEntry { jobsn_ns: 1000, ..base.clone() };
+        let mut slow_run = campaign_sample();
+        slow_run.jobsn_ns = 400_000_000;
+        assert!(!check_campaign_regression(&slow_run, Some(&fast)).ok);
+        assert!(check_campaign_regression(&c, Some(&fast)).ok, "under the 5ms floor");
+    }
+
+    #[test]
     fn json_records_stream_block() {
-        let json = render_json(&[1], &sample()[..1], &stream_sample(), None);
+        let json = render_json(&[1], &sample()[..1], &stream_sample(), None, None);
         assert!(json.contains("\"stream\": [\n"));
         assert!(json.contains("\"epoch_len\": 65536"));
         assert!(json.contains("\"analyze_ns\": 50"));
@@ -811,19 +1056,22 @@ mod tests {
     #[test]
     fn json_is_structurally_balanced() {
         let streams = stream_sample();
+        let campaign = campaign_sample();
         for events in [None, Some(&overhead())] {
-            for s in [&[] as &[StreamMeasurement], &streams] {
-                let json = render_json(&[1], &sample()[..1], s, events);
-                assert_eq!(json.matches('{').count(), json.matches('}').count());
-                assert_eq!(json.matches('[').count(), json.matches(']').count());
-                assert!(json.ends_with("}\n"));
+            for c in [None, Some(&campaign)] {
+                for s in [&[] as &[StreamMeasurement], &streams] {
+                    let json = render_json(&[1], &sample()[..1], s, c, events);
+                    assert_eq!(json.matches('{').count(), json.matches('}').count());
+                    assert_eq!(json.matches('[').count(), json.matches(']').count());
+                    assert!(json.ends_with("}\n"));
+                }
             }
         }
     }
 
     #[test]
     fn json_records_events_overhead() {
-        let json = render_json(&[1], &sample()[..1], &[], Some(&overhead()));
+        let json = render_json(&[1], &sample()[..1], &[], None, Some(&overhead()));
         assert!(json.contains("\"events_overhead\": {"));
         assert!(json.contains("\"workload\": \"expr@O2/s1\""));
         assert!(json.contains("\"off_ns\": 1000"));
@@ -847,7 +1095,13 @@ mod tests {
         // The parser must read exactly what render_json writes — including
         // not confusing the `totals_ns` simulate key with a benchmark's,
         // and not treating `stream` entries as phase measurements.
-        let json = render_json(&[1, 4], &sample(), &stream_sample(), Some(&overhead()));
+        let json = render_json(
+            &[1, 4],
+            &sample(),
+            &stream_sample(),
+            Some(&campaign_sample()),
+            Some(&overhead()),
+        );
         let parsed = parse_baseline(&json);
         assert_eq!(
             parsed,
@@ -933,13 +1187,17 @@ mod tests {
         assert_eq!(run.streams.len(), QUICK_STREAM_SUITE.len());
         let written = std::fs::read_to_string(&out).unwrap();
         assert_eq!(written, run.json);
-        assert!(written.contains("\"schema\": \"dide-bench/v2\""));
+        assert!(written.contains("\"schema\": \"dide-bench/v3\""));
         assert!(written.contains("\"events_overhead\""));
         assert!(written.contains("\"mem_peak_bytes\": {\"streamed\": "));
+        assert!(written.contains("\"campaign\": {"));
+        assert!(run.campaign.jobs_deduped > 0, "the bench grid must exercise dedup");
+        assert_eq!(run.campaign.jobs_total, run.campaign.jobs_unique + run.campaign.jobs_deduped);
         assert!(run.events_overhead.identical);
         assert!(run.report.contains("objstore"));
         assert!(run.report.contains("events overhead"));
         assert!(run.report.contains("streamed"));
+        assert!(run.report.contains("campaign throughput"));
         std::fs::remove_file(&out).ok();
     }
 

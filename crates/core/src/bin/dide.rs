@@ -16,6 +16,10 @@
 //! through the same emu -> analysis -> pipeline stack.
 //! dide experiments [--scale N] [--only LIST] [--jobs N] [--timings]
 //!                                         regenerate paper tables (e1..e17)
+//! dide campaign run [axis flags] [--out PATH] [--jobs N] [--resume]
+//!                                         batch grid simulation -> JSONL store
+//! dide campaign report [--store PATH] [--where k=v] [--group-by LIST]
+//!                                         grouped aggregates over a store
 //! dide bench [--quick] [--out PATH] [--scales 1,4] [--check-against PATH]
 //!                                         timed phase harness -> BENCH.json
 //! dide verify [--seeds N] [--jobs N] [--corpus DIR]
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         "trace" => trace(&rest),
         "run" => run(&rest),
         "experiments" => experiments(&rest),
+        "campaign" => campaign(&rest),
         "bench" => bench(&rest),
         "verify" => verify(&rest),
         "stats" => stats(&rest),
@@ -67,7 +72,11 @@ USAGE:
   dide disasm <benchmark|path.asm> [--opt O0|O2]
   dide trace <benchmark|path.asm> [--scale N] [--opt O0|O2] [--hot N] [--stream [--epoch N]]
   dide run <benchmark|path.asm> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N] [--stream [--epoch N]]
-  dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings]
+  dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings] [--stream [--epoch N]]
+  dide campaign run [--benchmarks L] [--seeds L] [--opts L] [--scales L] [--machines L]
+                    [--elims L] [--thresholds L] [--penalties L]
+                    [--out PATH] [--jobs N] [--resume] [--flush-every N] [--fixture-cap N]
+  dide campaign report [--store PATH] [--where field=value ...] [--group-by L] [--metrics L]
   dide bench [--quick] [--out PATH] [--scales 1,4] [--check-against PATH] [--stream] [--epoch N]
   dide verify [--seeds N] [--jobs N] [--corpus DIR]
   dide verify --golden [--bless] [--dir DIR] [--only e1,e9,...] [--jobs N]
@@ -89,6 +98,28 @@ EXPERIMENTS:
                Tables are byte-identical for every N.
   --timings    print the per-span timing detail in addition to the summary
                (timing always goes to stderr; tables go to stdout)
+  --stream     render the streamed table (S1) over the streamed enrollments
+               instead of the materializing tables E1..E17
+
+CAMPAIGN (batch grid simulation):
+  run expands the cartesian product of the axis flags (comma-separated
+  lists; defaults: expr / O2 / scale 1 / contended / off,cfi / the default
+  threshold and penalty), canonicalizes redundant points (elim=off pins
+  threshold+penalty; oracle pins threshold; gen workloads pin opt+scale),
+  and simulates the unique jobs on a work-stealing pool. Results land in
+  an append-only JSONL store whose bytes are identical for every --jobs N.
+  --seeds L        enroll generated workloads gen:<seed> alongside --benchmarks
+  --out PATH       store path (default campaign.jsonl); a fsync'd cursor
+                   sidecar <PATH>.cursor tracks the durable prefix
+  --resume         continue an interrupted campaign from the cursor; the
+                   finished store is byte-identical to an uninterrupted run
+  --flush-every N  records per durable commit (default 32)
+  --fixture-cap N  LRU capacity of the per-campaign fixture cache
+  report reads a store back and prints grouped aggregate sums:
+  --where f=v      equality filter, repeatable (all must match)
+  --group-by L     axis fields to group rows by (e.g. benchmark,elim)
+  --metrics L      counters to sum (default pipeline.cycles,
+                   pipeline.committed, violations)
 
 BENCH (perf tracking):
   --quick      smoke subset (expr, objstore, route at scale 1) for CI
@@ -531,7 +562,18 @@ fn experiments(rest: &[&str]) -> ExitCode {
         Ok(j) => j,
         Err(e) => return fail(e),
     };
-    let options = ExperimentOptions { scale, only, jobs, timings: has_flag(rest, "--timings") };
+    let epoch = match parse_epoch(rest) {
+        Ok(n) => n,
+        Err(e) => return fail(e),
+    };
+    let options = ExperimentOptions {
+        scale,
+        only,
+        jobs,
+        timings: has_flag(rest, "--timings"),
+        stream: has_flag(rest, "--stream"),
+        epoch,
+    };
 
     let run = dide::run_experiments(&options);
     print!("{}", run.tables);
@@ -540,4 +582,153 @@ fn experiments(rest: &[&str]) -> ExitCode {
         eprintln!("{}", run.timing_detail);
     }
     ExitCode::SUCCESS
+}
+
+/// Collects every value of a repeatable flag (e.g. `--where k=v --where k=v`).
+fn flag_values<'a>(rest: &[&'a str], name: &str) -> Vec<&'a str> {
+    rest.iter()
+        .enumerate()
+        .filter(|&(_, a)| *a == name)
+        .filter_map(|(i, _)| rest.get(i + 1).copied())
+        .collect()
+}
+
+fn campaign(rest: &[&str]) -> ExitCode {
+    match rest.first().copied() {
+        Some("run") => campaign_run(&rest[1..]),
+        Some("report") => campaign_report(&rest[1..]),
+        Some(other) => fail(format!("unknown campaign subcommand `{other}` (use run or report)")),
+        None => fail("missing campaign subcommand (use run or report)".to_string()),
+    }
+}
+
+/// Builds a [`dide::CampaignGrid`] from the `campaign run` axis flags;
+/// axes without a flag keep their defaults.
+fn parse_grid(rest: &[&str]) -> Result<dide::CampaignGrid, String> {
+    let mut grid = dide::CampaignGrid::default();
+    if let Some(s) = flag_value(rest, "--benchmarks") {
+        grid.benchmarks = dide::cli::parse_name_list("--benchmarks", s)?;
+    }
+    if let Some(s) = flag_value(rest, "--seeds") {
+        grid.seeds = dide::cli::parse_seed_list("--seeds", s)?;
+    }
+    if let Some(s) = flag_value(rest, "--opts") {
+        grid.opts = dide::cli::parse_name_list("--opts", s)?
+            .iter()
+            .map(|o| match o.as_str() {
+                "O0" | "o0" => Ok(OptLevel::O0),
+                "O2" | "o2" => Ok(OptLevel::O2),
+                other => Err(format!("invalid --opts `{other}` (expected O0 or O2)")),
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(s) = flag_value(rest, "--scales") {
+        grid.scales = dide::cli::parse_positive_list("--scales", s)?;
+    }
+    if let Some(s) = flag_value(rest, "--machines") {
+        grid.machines = dide::cli::parse_name_list("--machines", s)?
+            .iter()
+            .map(|m| match m.as_str() {
+                "contended" => Ok(true),
+                "baseline" => Ok(false),
+                other => {
+                    Err(format!("invalid --machines `{other}` (expected baseline or contended)"))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(s) = flag_value(rest, "--elims") {
+        grid.elims = dide::cli::parse_name_list("--elims", s)?
+            .iter()
+            .map(|e| dide::Elim::parse(e))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(s) = flag_value(rest, "--thresholds") {
+        grid.thresholds = dide::cli::parse_positive_list("--thresholds", s)?;
+    }
+    if let Some(s) = flag_value(rest, "--penalties") {
+        grid.penalties = dide::cli::parse_positive_list("--penalties", s)?;
+    }
+    Ok(grid)
+}
+
+fn campaign_run(rest: &[&str]) -> ExitCode {
+    let grid = match parse_grid(rest) {
+        Ok(g) => g,
+        Err(e) => return fail(e),
+    };
+    let jobs = match parse_jobs(rest) {
+        Ok(j) => j,
+        Err(e) => return fail(e),
+    };
+    let mut options = dide::CampaignOptions {
+        grid,
+        out: flag_value(rest, "--out").unwrap_or("campaign.jsonl").into(),
+        jobs: if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            jobs
+        },
+        resume: has_flag(rest, "--resume"),
+        ..dide::CampaignOptions::default()
+    };
+    if let Some(s) = flag_value(rest, "--flush-every") {
+        match dide::cli::parse_positive("--flush-every", s) {
+            Ok(n) => options.flush_every = u64::from(n),
+            Err(e) => return fail(e),
+        }
+    }
+    if let Some(s) = flag_value(rest, "--fixture-cap") {
+        match dide::cli::parse_positive("--fixture-cap", s) {
+            Ok(n) => options.fixture_cap = n as usize,
+            Err(e) => return fail(e),
+        }
+    }
+    match dide::run_campaign(&options) {
+        Ok(run) => {
+            print!("{}", run.summary);
+            if run.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                for v in &run.violations {
+                    eprintln!("rule violated: {v}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(format!("campaign failed: {e}")),
+    }
+}
+
+fn campaign_report(rest: &[&str]) -> ExitCode {
+    let mut wheres = Vec::new();
+    for clause in flag_values(rest, "--where") {
+        let Some((name, value)) = clause.split_once('=') else {
+            return fail(format!("invalid --where `{clause}` (expected field=value)"));
+        };
+        wheres.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    let parse_list = |flag: &str| -> Result<Vec<String>, String> {
+        match flag_value(rest, flag) {
+            None => Ok(Vec::new()),
+            Some(s) => dide::cli::parse_name_list(flag, s),
+        }
+    };
+    let (group_by, metrics) = match (parse_list("--group-by"), parse_list("--metrics")) {
+        (Ok(g), Ok(m)) => (g, m),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    let options = dide::ReportOptions {
+        store: flag_value(rest, "--store").unwrap_or("campaign.jsonl").into(),
+        wheres,
+        group_by,
+        metrics,
+    };
+    match dide::run_campaign_report(&options) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
 }

@@ -33,6 +33,52 @@ pub fn parse_positive_list(flag: &str, value: &str) -> Result<Vec<u32>, String> 
     value.split(',').map(|item| parse_positive(flag, item)).collect()
 }
 
+/// Parses a non-empty comma-separated list of `u64` seeds (zero is a
+/// valid seed, unlike scales).
+///
+/// # Errors
+///
+/// Returns a one-line message naming the flag when the list is empty or
+/// any element is empty or non-numeric.
+pub fn parse_seed_list(flag: &str, value: &str) -> Result<Vec<u64>, String> {
+    if value.trim().is_empty() {
+        return Err(format!("invalid {flag} `{value}` (expected a non-empty list like 0,1,2)"));
+    }
+    value
+        .split(',')
+        .map(|item| {
+            item.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("invalid {flag} `{value}` (expected integer seeds >= 0)"))
+        })
+        .collect()
+}
+
+/// Parses a non-empty comma-separated list of names (e.g.
+/// `--benchmarks expr,route`). Elements are trimmed; empty elements are
+/// rejected so `a,,b` and trailing commas fail loudly.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the flag when the list or any
+/// element is empty.
+pub fn parse_name_list(flag: &str, value: &str) -> Result<Vec<String>, String> {
+    if value.trim().is_empty() {
+        return Err(format!("invalid {flag} `{value}` (expected a non-empty list like a,b)"));
+    }
+    value
+        .split(',')
+        .map(|item| {
+            let item = item.trim();
+            if item.is_empty() {
+                Err(format!("invalid {flag} `{value}` (empty element in list)"))
+            } else {
+                Ok(item.to_string())
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +109,32 @@ mod tests {
         for bad in ["", "  ", "1,0", "0", "1,,4", "1,4,", "a,b"] {
             let err = parse_positive_list("--scales", bad).unwrap_err();
             assert!(err.contains("--scales"), "{err}");
+        }
+    }
+
+    #[test]
+    fn seed_list_allows_zero_and_trims() {
+        assert_eq!(parse_seed_list("--seeds", "0,1, 2"), Ok(vec![0, 1, 2]));
+        assert_eq!(parse_seed_list("--seeds", "18446744073709551615"), Ok(vec![u64::MAX]));
+    }
+
+    #[test]
+    fn seed_list_rejects_empty_and_garbage() {
+        for bad in ["", " ", "1,,2", "1,x", "-1", "1,2,"] {
+            let err = parse_seed_list("--seeds", bad).unwrap_err();
+            assert!(err.contains("--seeds"), "{err}");
+        }
+    }
+
+    #[test]
+    fn name_list_trims_and_rejects_empties() {
+        assert_eq!(
+            parse_name_list("--benchmarks", "expr, route"),
+            Ok(vec!["expr".to_string(), "route".to_string()])
+        );
+        for bad in ["", "  ", "a,,b", "a,b,"] {
+            let err = parse_name_list("--benchmarks", bad).unwrap_err();
+            assert!(err.contains("--benchmarks"), "{err}");
         }
     }
 }

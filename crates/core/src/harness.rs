@@ -1,12 +1,25 @@
-//! Execution substrate for the experiment harness: a deterministic
-//! work-stealing parallel map and a process-wide phase-timing registry.
+//! Execution substrate for the experiment harness and the campaign
+//! engine: a deterministic work-stealing scheduler ([`map_stealing_sink`]),
+//! the ordered parallel map the experiment runner uses ([`map_ordered`], a
+//! thin wrapper), and a process-wide phase-timing registry.
+//!
+//! The scheduler drains an arbitrary item list: indices are striped
+//! round-robin across per-worker deques, each worker pops its own deque
+//! from the front and steals from a victim's back when it runs dry, and
+//! every result is sequence-stamped with its input index. A consumer on
+//! the calling thread releases results **strictly in input order** as the
+//! completed prefix grows — which is what keeps experiment tables and
+//! campaign result stores byte-identical for every worker count, and what
+//! lets the campaign store flush a crash-safe completion cursor that is a
+//! plain record count.
 //!
 //! Everything here is std-only (`std::thread::scope` + `std::time::Instant`);
 //! the build environment has no access to crates.io, so no rayon or tracing
 //! dependencies are available — nor needed at this scale.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::Table;
@@ -17,14 +30,140 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Scheduler observability for one [`map_stealing_sink`] drain.
+///
+/// Steal counts depend on thread timing and are **not** deterministic —
+/// they belong in progress reports, never in byte-compared output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealReport {
+    /// Worker threads actually spawned (0 = the drain ran inline).
+    pub workers: usize,
+    /// Items executed from another worker's deque.
+    pub steals: u64,
+}
+
+/// One item's outcome, parked until the in-order consumer releases it.
+type Slot<U> = Option<std::thread::Result<U>>;
+
+/// Per-worker deques plus completion slots shared between workers and the
+/// in-order consumer.
+struct StealState<U> {
+    slots: Vec<Slot<U>>,
+    /// Next index the consumer will release.
+    next: usize,
+    steals: u64,
+}
+
+/// Applies `f(index, item)` to every item across `jobs` workers that drain
+/// per-worker deques with stealing, delivering `sink(index, result)` on the
+/// **calling thread, strictly in input order**.
+///
+/// The in-order sink is the campaign store's write path: results stream out
+/// as the completed prefix grows (a reorder buffer holds out-of-order
+/// completions, bounded in practice by the worker count), so an
+/// append-only store is byte-identical for every worker count and a crash
+/// leaves a clean prefix. With `jobs <= 1` (or a single item) everything
+/// runs inline on the calling thread with no queues, locks or threads —
+/// the scheduler's jobs=1 overhead is one closure call per item.
+///
+/// # Panics
+///
+/// Propagates the first (by input order) panic raised by `f`.
+pub fn map_stealing_sink<T, U, F>(
+    jobs: usize,
+    items: &[T],
+    f: F,
+    mut sink: impl FnMut(usize, U),
+) -> StealReport
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        for (index, item) in items.iter().enumerate() {
+            sink(index, f(index, item));
+        }
+        return StealReport { workers: 0, steals: 0 };
+    }
+
+    // Indices striped round-robin: worker w owns items w, w+workers, ...
+    // Workers therefore progress roughly in global input order, keeping the
+    // consumer's reorder buffer small.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|w| Mutex::new((w..items.len()).step_by(workers).collect())).collect();
+    let state = Mutex::new(StealState {
+        slots: (0..items.len()).map(|_| None).collect::<Vec<Slot<U>>>(),
+        next: 0,
+        steals: 0,
+    });
+    let done = Condvar::new();
+
+    let mut report = StealReport { workers, steals: 0 };
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (queues, state, done, f) = (&queues, &state, &done, &f);
+            scope.spawn(move || loop {
+                // Own deque from the front; steal from a victim's back.
+                let mut claimed = queues[w].lock().unwrap().pop_front().map(|i| (i, false));
+                if claimed.is_none() {
+                    for v in (1..workers).map(|d| (w + d) % workers) {
+                        if let Some(i) = queues[v].lock().unwrap().pop_back() {
+                            claimed = Some((i, true));
+                            break;
+                        }
+                    }
+                }
+                let Some((index, stolen)) = claimed else { break };
+                let value = catch_unwind(AssertUnwindSafe(|| f(index, &items[index])));
+                let mut s = state.lock().unwrap();
+                s.slots[index] = Some(value);
+                if stolen {
+                    s.steals += 1;
+                }
+                drop(s);
+                done.notify_one();
+            });
+        }
+
+        // In-order consumer: release the completed prefix as it grows.
+        let mut s = state.lock().unwrap();
+        while s.next < items.len() {
+            while s.slots[s.next].is_none() {
+                s = done.wait(s).unwrap();
+            }
+            // Drain the contiguous completed prefix outside the lock so the
+            // sink (which may fsync) never blocks the workers.
+            let mut batch = Vec::new();
+            while s.next < items.len() && s.slots[s.next].is_some() {
+                let index = s.next;
+                let value = s.slots[index].take().expect("slot checked Some");
+                batch.push((index, value));
+                s.next += 1;
+            }
+            drop(s);
+            for (index, value) in batch {
+                match value {
+                    Ok(value) => sink(index, value),
+                    Err(payload) => resume_unwind(payload),
+                }
+            }
+            s = state.lock().unwrap();
+        }
+        report.steals = s.steals;
+    });
+    report
+}
+
 /// Applies `f` to every item on up to `jobs` worker threads, returning the
-/// results **in input order**.
+/// results **in input order** (the sequence-stamped [`map_stealing_sink`]
+/// collected into a `Vec`).
 ///
 /// Output ordering is what keeps the experiment tables byte-identical
-/// regardless of the worker count: items are claimed from a shared counter
-/// (so fast workers take more), but results are reassembled by index.
-/// With `jobs <= 1` (or a single item) the items run inline on the calling
-/// thread, preserving strictly serial behavior.
+/// regardless of the worker count. With `jobs <= 1` (or a single item) the
+/// items run inline on the calling thread, preserving strictly serial
+/// behavior.
 ///
 /// # Panics
 ///
@@ -35,25 +174,9 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let workers = jobs.max(1).min(items.len());
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results = Mutex::new(Vec::with_capacity(items.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(index) else { break };
-                let value = f(item);
-                results.lock().unwrap().push((index, value));
-            });
-        }
-    });
-    let mut indexed = results.into_inner().unwrap();
-    indexed.sort_unstable_by_key(|&(index, _)| index);
-    indexed.into_iter().map(|(_, value)| value).collect()
+    let mut out = Vec::with_capacity(items.len());
+    map_stealing_sink(jobs, items, |_, item| f(item), |_, value| out.push(value));
+    out
 }
 
 /// A phase of the experiment pipeline, for timing attribution.
@@ -176,6 +299,7 @@ pub fn fmt_duration(d: Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_ordered_preserves_input_order() {
@@ -203,6 +327,55 @@ mod tests {
         });
         assert_eq!(out.len(), 57);
         assert_eq!(counter.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn stealing_sink_delivers_in_order_with_uneven_item_costs() {
+        let items: Vec<u64> = (0..64).collect();
+        for jobs in [1, 3, 8] {
+            let mut seen = Vec::new();
+            let report = map_stealing_sink(
+                jobs,
+                &items,
+                |index, &x| {
+                    // Make early items slow so later ones finish first and
+                    // park in the reorder buffer.
+                    if index < 4 {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    x * 3
+                },
+                |index, value| seen.push((index, value)),
+            );
+            let expected: Vec<(usize, u64)> = items.iter().map(|&x| (x as usize, x * 3)).collect();
+            assert_eq!(seen, expected, "jobs {jobs}");
+            assert_eq!(report.workers, if jobs == 1 { 0 } else { jobs });
+        }
+    }
+
+    #[test]
+    fn stealing_sink_propagates_worker_panics() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            map_stealing_sink(
+                4,
+                &items,
+                |_, &x| {
+                    assert!(x != 17, "boom at 17");
+                    x
+                },
+                |_, _| {},
+            )
+        });
+        assert!(result.is_err(), "the panic must reach the caller");
+    }
+
+    #[test]
+    fn inline_path_reports_zero_workers() {
+        let mut count = 0;
+        let report = map_stealing_sink(1, &[1, 2, 3], |_, &x| x, |_, _| count += 1);
+        assert_eq!(report, StealReport { workers: 0, steals: 0 });
+        assert_eq!(count, 3);
     }
 
     #[test]

@@ -43,28 +43,39 @@
 #![warn(missing_docs)]
 
 pub mod benchrun;
+pub mod campaign;
 pub mod cli;
 pub mod experiments;
 pub mod harness;
 pub mod runner;
 pub mod statsrun;
+pub mod store;
 mod table;
 pub mod verifyrun;
 mod workbench;
 
 pub use benchrun::{
-    check_mem_regression, check_regression, measure_events_overhead, parse_baseline,
-    parse_stream_baseline, run_bench, BaselineEntry, BenchOptions, BenchRun, EventsOverhead,
-    RegressionCheck, StreamBaselineEntry, StreamMeasurement,
+    check_campaign_regression, check_mem_regression, check_regression, measure_events_overhead,
+    parse_baseline, parse_campaign_baseline, parse_stream_baseline, run_bench, BaselineEntry,
+    BenchOptions, BenchRun, CampaignBaselineEntry, EventsOverhead, RegressionCheck,
+    StreamBaselineEntry, StreamMeasurement,
+};
+pub use campaign::{
+    bench_grid, campaign_rules, expand_grid, measure_campaign_throughput, run_campaign,
+    run_campaign_report, CampaignGrid, CampaignOptions, CampaignRun, CampaignThroughput, Elim,
+    ExpandedGrid, JobSpec, ReportOptions,
 };
 pub use runner::{run_experiments, ExperimentOptions, ExperimentRun};
 pub use statsrun::{
     run_events, run_stats, EventsOptions, EventsRun, RunSelection, StatsFormat, StatsOptions,
     StatsRun, DEFAULT_EPOCH_LEN, STATS_SCHEMA,
 };
+pub use store::{parse_record_fields, StoreReader, StoreWriter, CAMPAIGN_STORE_SCHEMA};
 pub use table::Table;
 pub use verifyrun::{run_golden, run_verify, GoldenOptions, GoldenRun, VerifyOptions, VerifyRun};
-pub use workbench::{BenchCase, Workbench};
+pub use workbench::{
+    fixture_cache, BenchCase, FixtureCache, FixtureCacheStats, Workbench, DEFAULT_FIXTURE_CAP,
+};
 
 pub use dide_workloads::{asm_suite, find_workload, suite, OptLevel, WorkloadSpec};
 

@@ -11,7 +11,8 @@
 
 use crate::experiments as ex;
 use crate::harness::{self, Phase};
-use crate::{OptLevel, Workbench};
+use crate::statsrun::DEFAULT_EPOCH_LEN;
+use crate::{OptLevel, Table, Workbench};
 
 /// Options accepted by [`run_experiments`] (the `dide experiments` CLI).
 #[derive(Debug, Clone)]
@@ -25,11 +26,23 @@ pub struct ExperimentOptions {
     pub jobs: usize,
     /// Whether the caller wants the per-span timing detail view.
     pub timings: bool,
+    /// Run the streamed-pipeline table ([`STREAM_ENROLLMENTS`]) instead of
+    /// the E1–E17 suite.
+    pub stream: bool,
+    /// Epoch length for `stream` runs.
+    pub epoch: usize,
 }
 
 impl Default for ExperimentOptions {
     fn default() -> ExperimentOptions {
-        ExperimentOptions { scale: 1, only: None, jobs: 0, timings: false }
+        ExperimentOptions {
+            scale: 1,
+            only: None,
+            jobs: 0,
+            timings: false,
+            stream: false,
+            epoch: DEFAULT_EPOCH_LEN,
+        }
     }
 }
 
@@ -69,11 +82,88 @@ const NEEDS_O2: [&str; 16] = [
     "e17",
 ];
 
+/// The streamed-experiments enrollment: `(benchmark, scale)` pairs run
+/// through the bounded-memory streaming pipeline by
+/// `dide experiments --stream`. The list deliberately includes one
+/// scale-100+ workload (`expr@100`) so the streamed table exercises a
+/// trace far larger than anything the materializing suite builds.
+pub const STREAM_ENROLLMENTS: [(&str, u32); 3] = [("expr", 100), ("route", 16), ("matmul", 64)];
+
+/// Runs the streamed-pipeline table: every [`STREAM_ENROLLMENTS`] workload
+/// with elimination off and with the CFI predictor, through the windowed
+/// analysis and streaming core. Numbers differ from the materializing
+/// E1–E17 tables by design (windowed analysis is conservative), so they
+/// get their own table instead of replacing golden-pinned ones.
+fn run_streamed_experiments(options: &ExperimentOptions) -> ExperimentRun {
+    use crate::statsrun::{run_stats, RunSelection, StatsOptions};
+
+    let jobs = options.effective_jobs();
+    eprintln!(
+        "running {} streamed workloads (epoch {}, {jobs} jobs)...",
+        STREAM_ENROLLMENTS.len() * 2,
+        options.epoch
+    );
+    let runs: Vec<(&str, u32, bool)> = STREAM_ENROLLMENTS
+        .iter()
+        .flat_map(|&(name, scale)| [(name, scale, false), (name, scale, true)])
+        .collect();
+    let rows = harness::map_ordered(jobs, &runs, |&(name, scale, eliminate)| {
+        let label = format!("stream:{name}@s{scale}/{}", if eliminate { "cfi" } else { "off" });
+        let select = RunSelection {
+            benchmark: name.to_string(),
+            scale,
+            eliminate,
+            stream: true,
+            epoch: options.epoch,
+            ..RunSelection::default()
+        };
+        let run = harness::time(&label, Phase::Simulate, || {
+            run_stats(&StatsOptions { select, format: None }).expect("enrollment names are valid")
+        });
+        assert!(run.violations.is_empty(), "streamed {label}: {:?}", run.violations);
+        let c = &run.counters;
+        [
+            name.to_string(),
+            scale.to_string(),
+            if eliminate { "cfi" } else { "off" }.to_string(),
+            c.expect("pipeline.committed").to_string(),
+            c.expect("pipeline.cycles").to_string(),
+            c.expect("stream.epochs").to_string(),
+            c.expect("stream.escaped").to_string(),
+            c.expect("stream.mem_peak_bytes").to_string(),
+        ]
+    });
+
+    let mut table = Table::new([
+        "benchmark",
+        "scale",
+        "elim",
+        "committed",
+        "cycles",
+        "epochs",
+        "escaped",
+        "peak bytes",
+    ]);
+    for row in rows {
+        table.row(row);
+    }
+    let tables =
+        format!("S1: streamed pipeline (windowed analysis, epoch {})\n{table}\n\n", options.epoch);
+    let records = harness::timing_records();
+    ExperimentRun {
+        per_experiment: vec![("s1".to_string(), tables.trim_end().to_string())],
+        tables,
+        timing_summary: harness::timing_summary(&records),
+        timing_detail: harness::timing_detail(&records),
+    }
+}
+
 /// Runs the requested experiments and renders their tables.
 ///
 /// Independent experiments execute across a worker pool of
 /// `options.jobs` threads, and the heavy pipeline experiments additionally
-/// fan their per-benchmark inner loops out on the same job budget.
+/// fan their per-benchmark inner loops out on the same job budget. With
+/// `stream` set, the streamed-pipeline table replaces the E1–E17 suite.
 /// Progress messages go to stderr; the returned tables contain no timing
 /// data.
 ///
@@ -82,6 +172,9 @@ const NEEDS_O2: [&str; 16] = [
 /// Panics if a workload fails to build or trace (a workload-generator bug).
 #[must_use]
 pub fn run_experiments(options: &ExperimentOptions) -> ExperimentRun {
+    if options.stream {
+        return run_streamed_experiments(options);
+    }
     let jobs = options.effective_jobs();
     let scale = options.scale;
 
@@ -189,10 +282,9 @@ mod tests {
 
     fn subset_options(jobs: usize) -> ExperimentOptions {
         ExperimentOptions {
-            scale: 1,
             only: Some(vec!["e1".into(), "e10".into()]),
             jobs,
-            timings: false,
+            ..ExperimentOptions::default()
         }
     }
 
@@ -216,6 +308,25 @@ mod tests {
     fn job_count_does_not_change_tables() {
         let serial = run_experiments(&subset_options(1));
         let parallel = run_experiments(&subset_options(4));
+        assert_eq!(serial.tables, parallel.tables);
+    }
+
+    #[test]
+    fn streamed_table_is_deterministic_across_jobs() {
+        // A small epoch keeps this test fast while still exercising
+        // multi-epoch streaming on every enrollment.
+        let options = |jobs| ExperimentOptions {
+            jobs,
+            stream: true,
+            epoch: 8192,
+            ..ExperimentOptions::default()
+        };
+        let serial = run_experiments(&options(1));
+        assert!(serial.tables.contains("S1: streamed pipeline"), "{}", serial.tables);
+        assert!(serial.tables.contains("expr"), "{}", serial.tables);
+        assert!(serial.tables.contains("100"), "scale-100 enrollment present");
+        assert!(!serial.tables.contains("E1:"), "--stream replaces the E1-E17 suite");
+        let parallel = run_experiments(&options(4));
         assert_eq!(serial.tables, parallel.tables);
     }
 }

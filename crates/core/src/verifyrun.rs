@@ -265,10 +265,9 @@ pub struct GoldenRun {
 /// bug), as [`run_experiments`] does.
 pub fn run_golden(options: &GoldenOptions) -> io::Result<GoldenRun> {
     let run = run_experiments(&ExperimentOptions {
-        scale: 1,
         only: options.only.clone(),
         jobs: options.jobs,
-        timings: false,
+        ..ExperimentOptions::default()
     });
     let mut rendered = run.per_experiment.clone();
     rendered.extend(stats_documents(options.only.as_deref()));

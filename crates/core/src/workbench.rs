@@ -1,20 +1,28 @@
 //! Shared benchmark fixtures: traces and oracle analyses, built once per
-//! process and reused across experiments, examples, and benches.
+//! process and reused across experiments, examples, benches and campaigns.
 //!
-//! A [`BenchCase`] is a pure function of `(spec, opt, scale)` — workload
+//! A [`BenchCase`] is a pure function of `(kind, opt, scale)` — workload
 //! programs are generated from fixed seeds, emulation is deterministic, and
 //! the oracle analysis is a pure function of the trace. [`BenchCase::cached`]
-//! therefore memoizes cases in a process-wide table, and [`Workbench`]
-//! construction fans the (independent) per-benchmark builds out across
-//! threads; experiments, the `dide experiments` runner, the examples and the
-//! bench harness all share one set of fixtures instead of re-deriving them.
+//! therefore memoizes cases in a process-wide [`FixtureCache`], and
+//! [`Workbench`] construction fans the (independent) per-benchmark builds
+//! out across threads; experiments, the `dide experiments` runner, the
+//! examples, the bench harness and the campaign engine all share one set of
+//! fixtures instead of re-deriving them.
+//!
+//! The memo is **bounded**: a campaign grid can touch thousands of distinct
+//! `(kind, opt, scale)` tuples, so the cache holds at most
+//! [`FixtureCache::cap`] fixtures and evicts least-recently-used entries.
+//! Holders keep their `Arc<BenchCase>` alive across an eviction; only the
+//! shared handle is dropped. Hit/miss/eviction counts and the peak resident
+//! size feed the campaign's dedup accounting.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use dide_analysis::DeadnessAnalysis;
 use dide_emu::{Emulator, Trace};
-use dide_workloads::{suite, OptLevel, WorkloadSpec};
+use dide_workloads::{suite, BenchKind, OptLevel, WorkloadSpec};
 
 use crate::harness::{self, Phase};
 
@@ -33,16 +41,153 @@ pub struct BenchCase {
     pub analysis: DeadnessAnalysis,
 }
 
-/// Memo key: a case is a pure function of this tuple.
-type CaseKey = (&'static str, OptLevel, u32);
+/// Memo key: a case is a pure function of this tuple. Keyed on the
+/// [`BenchKind`] rather than the display name so seeded generator
+/// workloads (`BenchKind::Gen`), which all share the static name `"gen"`,
+/// still get one entry per seed.
+type CaseKey = (BenchKind, OptLevel, u32);
 
 /// Per-key cells so two threads racing on the *same* case build it once,
 /// while builds of different cases proceed in parallel.
 type CaseCell = Arc<OnceLock<Arc<BenchCase>>>;
 
-fn case_cache() -> &'static Mutex<HashMap<CaseKey, CaseCell>> {
-    static CACHE: OnceLock<Mutex<HashMap<CaseKey, CaseCell>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Default [`FixtureCache`] capacity: far above anything the test suite or
+/// the E1–E17 harness touches (two opt levels × one scale × the suite),
+/// low enough that a campaign over thousands of tuples stays flat.
+pub const DEFAULT_FIXTURE_CAP: usize = 256;
+
+/// Counters snapshot of a [`FixtureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixtureCacheStats {
+    /// Lookups that found an existing (possibly still-building) fixture.
+    pub hits: u64,
+    /// Lookups that had to insert a fresh build cell.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Fixtures currently resident.
+    pub resident: usize,
+    /// Highest resident count ever observed.
+    pub peak_resident: usize,
+    /// The capacity bound.
+    pub cap: usize,
+}
+
+struct LruState {
+    /// Cell plus last-touch tick, for least-recently-used eviction.
+    entries: HashMap<CaseKey, (CaseCell, u64)>,
+    tick: u64,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    peak_resident: usize,
+}
+
+/// A bounded, process-shareable memo of built fixtures.
+///
+/// The global instance ([`fixture_cache`]) backs [`BenchCase::cached`];
+/// tests that need a private capacity bound construct their own.
+pub struct FixtureCache {
+    state: Mutex<LruState>,
+}
+
+impl std::fmt::Debug for FixtureCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("FixtureCache").field("stats", &stats).finish()
+    }
+}
+
+impl FixtureCache {
+    /// Creates an empty cache holding at most `cap` fixtures (`cap` is
+    /// clamped to at least 1 — a zero-capacity memo is a contradiction).
+    #[must_use]
+    pub fn with_cap(cap: usize) -> FixtureCache {
+        FixtureCache {
+            state: Mutex::new(LruState {
+                entries: HashMap::new(),
+                tick: 0,
+                cap: cap.max(1),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                peak_resident: 0,
+            }),
+        }
+    }
+
+    /// Re-bounds the cache, evicting least-recently-used entries if the new
+    /// capacity is below the current resident count.
+    pub fn set_cap(&self, cap: usize) {
+        let mut s = self.state.lock().unwrap();
+        s.cap = cap.max(1);
+        while s.entries.len() > s.cap {
+            evict_lru(&mut s);
+        }
+    }
+
+    /// Current counters (see [`FixtureCacheStats`]).
+    #[must_use]
+    pub fn stats(&self) -> FixtureCacheStats {
+        let s = self.state.lock().unwrap();
+        FixtureCacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            resident: s.entries.len(),
+            peak_resident: s.peak_resident,
+            cap: s.cap,
+        }
+    }
+
+    /// The shared instance of `(spec, opt, scale)`, building it on first
+    /// use (and evicting the least-recently-used fixture if the cache is
+    /// full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark program traps (see [`BenchCase::build`]).
+    #[must_use]
+    pub fn cached(&self, spec: WorkloadSpec, opt: OptLevel, scale: u32) -> Arc<BenchCase> {
+        let cell = {
+            let mut s = self.state.lock().unwrap();
+            s.tick += 1;
+            let tick = s.tick;
+            if let Some((cell, touched)) = s.entries.get_mut(&(spec.kind, opt, scale)) {
+                *touched = tick;
+                let cell = cell.clone();
+                s.hits += 1;
+                cell
+            } else {
+                while s.entries.len() >= s.cap {
+                    evict_lru(&mut s);
+                }
+                let cell = CaseCell::default();
+                s.entries.insert((spec.kind, opt, scale), (cell.clone(), tick));
+                s.misses += 1;
+                s.peak_resident = s.peak_resident.max(s.entries.len());
+                cell
+            }
+        };
+        // Building outside the cache lock keeps distinct cases parallel;
+        // the per-key cell still deduplicates racing builds of one case.
+        cell.get_or_init(|| Arc::new(BenchCase::build(spec, opt, scale))).clone()
+    }
+}
+
+fn evict_lru(s: &mut LruState) {
+    let victim = s.entries.iter().min_by_key(|(_, (_, touched))| *touched).map(|(&k, _)| k);
+    if let Some(key) = victim {
+        s.entries.remove(&key);
+        s.evictions += 1;
+    }
+}
+
+/// The process-wide fixture memo (capacity [`DEFAULT_FIXTURE_CAP`]).
+pub fn fixture_cache() -> &'static FixtureCache {
+    static CACHE: OnceLock<FixtureCache> = OnceLock::new();
+    CACHE.get_or_init(|| FixtureCache::with_cap(DEFAULT_FIXTURE_CAP))
 }
 
 impl BenchCase {
@@ -70,20 +215,14 @@ impl BenchCase {
     }
 
     /// Returns the process-wide shared instance of this case, building it
-    /// on first use.
+    /// on first use (see [`fixture_cache`]).
     ///
     /// # Panics
     ///
     /// Panics if the benchmark program traps (see [`BenchCase::build`]).
     #[must_use]
     pub fn cached(spec: WorkloadSpec, opt: OptLevel, scale: u32) -> Arc<BenchCase> {
-        let cell = {
-            let mut cache = case_cache().lock().unwrap();
-            cache.entry((spec.name, opt, scale)).or_default().clone()
-        };
-        // Building outside the cache lock keeps distinct cases parallel;
-        // the per-key cell still deduplicates racing builds of one case.
-        cell.get_or_init(|| Arc::new(BenchCase::build(spec, opt, scale))).clone()
+        fixture_cache().cached(spec, opt, scale)
     }
 }
 
@@ -184,5 +323,63 @@ mod tests {
         for case in &cases[1..] {
             assert!(Arc::ptr_eq(&cases[0], case));
         }
+    }
+
+    #[test]
+    fn gen_workloads_cache_per_seed() {
+        let a = BenchCase::cached(WorkloadSpec::generated(7), OptLevel::O2, 1);
+        let b = BenchCase::cached(WorkloadSpec::generated(7), OptLevel::O2, 1);
+        let c = BenchCase::cached(WorkloadSpec::generated(8), OptLevel::O2, 1);
+        assert!(Arc::ptr_eq(&a, &b), "same seed shares one build");
+        assert!(!Arc::ptr_eq(&a, &c), "distinct seeds are distinct cases despite one name");
+        assert!(!a.trace.is_empty() && !c.trace.is_empty());
+    }
+
+    /// The satellite pressure test: a private cache at cap 4 sees ten
+    /// distinct fixtures; resident and peak must stay under the cap and
+    /// the accounting must balance.
+    #[test]
+    fn lru_pressure_keeps_resident_under_cap() {
+        let cache = FixtureCache::with_cap(4);
+        let mut first_pass = Vec::new();
+        for seed in 0..10 {
+            first_pass.push(cache.cached(WorkloadSpec::generated(seed), OptLevel::O2, 1));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 10, "ten distinct fixtures, zero reuse");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 6, "everything beyond the cap was evicted");
+        assert_eq!(stats.resident, 4);
+        assert!(stats.peak_resident <= stats.cap, "peak {} over cap", stats.peak_resident);
+        // Evicted handles stay alive for their holders.
+        assert!(first_pass.iter().all(|case| !case.trace.is_empty()));
+
+        // The most recent four are still resident (hits); older seeds
+        // rebuild (misses + evictions).
+        let again = cache.cached(WorkloadSpec::generated(9), OptLevel::O2, 1);
+        assert!(Arc::ptr_eq(&first_pass[9], &again));
+        let rebuilt = cache.cached(WorkloadSpec::generated(0), OptLevel::O2, 1);
+        assert!(!Arc::ptr_eq(&first_pass[0], &rebuilt), "seed 0 was evicted and rebuilt");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 11);
+        assert!(stats.resident <= 4);
+    }
+
+    #[test]
+    fn set_cap_evicts_down_and_lru_order_is_respected() {
+        let cache = FixtureCache::with_cap(8);
+        for seed in 0..4 {
+            let _ = cache.cached(WorkloadSpec::generated(100 + seed), OptLevel::O2, 1);
+        }
+        // Touch seed 100 so it becomes most-recently-used.
+        let kept = cache.cached(WorkloadSpec::generated(100), OptLevel::O2, 1);
+        cache.set_cap(1);
+        let stats = cache.stats();
+        assert_eq!(stats.resident, 1);
+        assert_eq!(stats.evictions, 3);
+        // The survivor is the most recently used entry.
+        let again = cache.cached(WorkloadSpec::generated(100), OptLevel::O2, 1);
+        assert!(Arc::ptr_eq(&kept, &again));
     }
 }

@@ -73,6 +73,20 @@ impl CounterSet {
         self.names.iter().map(String::as_str).zip(self.values.iter().copied())
     }
 
+    /// Adds every counter of `other` into this registry: existing names
+    /// accumulate (saturating), new names register at the end in `other`'s
+    /// order. This is how the campaign report aggregates per-job registries
+    /// into per-group sums — registration order stays deterministic because
+    /// every job emits its counters in the same order.
+    pub fn accumulate(&mut self, other: &CounterSet) {
+        for (name, value) in other.iter() {
+            match self.index.get(name) {
+                Some(&i) => self.values[i] = self.values[i].saturating_add(value),
+                None => self.record(name, value),
+            }
+        }
+    }
+
     /// Number of registered counters.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -43,6 +43,22 @@ pub fn counters_json(set: &CounterSet, indent: usize) -> String {
     out
 }
 
+/// Renders the registry as a single-line JSON object in registration
+/// order — the record shape of the campaign engine's append-only JSONL
+/// store, where one document per line is the format's contract.
+#[must_use]
+pub fn counters_json_compact(set: &CounterSet) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in set.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{value}", json_escape(name)));
+    }
+    out.push('}');
+    out
+}
+
 /// Renders the registry as CSV: a `counter,value` header then one row per
 /// counter in registration order.
 #[must_use]

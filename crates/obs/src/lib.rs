@@ -51,5 +51,5 @@ mod rules;
 
 pub use counters::{CounterSet, Observe, Scope};
 pub use events::{CycleEvent, EventKind, EventTrace, EventsConfig};
-pub use export::{counters_csv, counters_json, json_escape};
+pub use export::{counters_csv, counters_json, counters_json_compact, json_escape};
 pub use rules::{check_rules, Expr, Rule};

@@ -14,6 +14,8 @@
 //! * [`stream`] — the streamed-vs-exact differential: windowed analysis
 //!   soundness across an epoch sweep, single-epoch bit-identity, and
 //!   streamed-pipeline equivalence;
+//! * [`storecheck`] — canonical-form equality of campaign result stores
+//!   (the jobs-1 vs jobs-N vs interrupted+resumed determinism check);
 //! * [`seedcheck`] — one seed in, one [`seedcheck::SeedReport`] out: the
 //!   unit of work the `dide verify` fuzz driver fans out;
 //! * [`shrink`] — minimizes a failing seed's generator config while
@@ -30,6 +32,7 @@ pub mod invariants;
 pub mod oracle;
 pub mod seedcheck;
 pub mod shrink;
+pub mod storecheck;
 pub mod stream;
 
 pub use corpus::{load_corpus, save_case, CorpusCase};
@@ -39,4 +42,5 @@ pub use invariants::{check_invariants, cross_run_rules, cross_run_violations};
 pub use oracle::ReferenceOracle;
 pub use seedcheck::{derive_config, verify_seed, verify_seed_with, SeedReport};
 pub use shrink::shrink_case;
+pub use storecheck::{canonical_store_lines, diff_stores};
 pub use stream::check_streaming;

@@ -66,22 +66,10 @@ impl SeedReport {
 /// most) while still covering loops, nests of diamonds, and tight memory.
 #[must_use]
 pub fn derive_config(seed: u64) -> GenConfig {
-    // splitmix64 over the seed: independent of the program generator's own
-    // RNG, so config and content are uncorrelated.
-    let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut next = move || {
-        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = x;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    };
-    GenConfig {
-        segments: 2 + (next() % 9) as usize,
-        segment_len: 4 + (next() % 13) as usize,
-        loop_iters: 1 + (next() % 6) as u32,
-        memory_slots: 4 + (next() % 21) as usize,
-    }
+    // The canonical splitmix64 mapping lives beside the generator itself
+    // (shared with the campaign engine's `gen:<seed>` workloads); this
+    // re-export keeps the historical `dide-verify` entry point.
+    GenConfig::derived(seed)
 }
 
 /// Verifies one seed with its derived configuration.

@@ -1,0 +1,105 @@
+//! Determinism checking for campaign result stores.
+//!
+//! The campaign engine's central promise is that a JSONL result store is a
+//! pure function of the job grid: the same grid must produce identical
+//! store contents whether it ran on 1 worker or 8, and whether it ran
+//! uninterrupted or was killed and resumed. This module states that check
+//! independently of the engine (it never parses records — canonical
+//! equality over lines is exactly the guarantee the store makes), so the
+//! integration tests and CI compare stores through one audited code path.
+//!
+//! Canonical form: the header line (line 1) stays first, the record lines
+//! are sorted lexicographically. The engine writes records in
+//! sequence-stamped order, so a well-behaved store is *already* canonical;
+//! sorting makes the check additionally robust to any future
+//! completion-order writer.
+
+/// The canonical form of a store's contents: header first, record lines
+/// sorted lexicographically, trailing partial line (no `\n`) dropped —
+/// a torn tail is exactly what a crash leaves and what resume truncates.
+#[must_use]
+pub fn canonical_store_lines(contents: &str) -> Vec<String> {
+    let complete = match contents.rfind('\n') {
+        Some(end) => &contents[..=end],
+        None => "",
+    };
+    let mut lines = complete.lines().map(str::to_string);
+    let mut out: Vec<String> = Vec::new();
+    if let Some(header) = lines.next() {
+        out.push(header);
+    }
+    let mut records: Vec<String> = lines.collect();
+    records.sort_unstable();
+    out.extend(records);
+    out
+}
+
+/// Compares two stores in canonical form, returning a one-line description
+/// of the first difference (`None` = identical).
+#[must_use]
+pub fn diff_stores(label_a: &str, a: &str, label_b: &str, b: &str) -> Option<String> {
+    let ca = canonical_store_lines(a);
+    let cb = canonical_store_lines(b);
+    if ca.len() != cb.len() {
+        return Some(format!(
+            "store {label_a} has {} line(s), {label_b} has {} (canonical form)",
+            ca.len(),
+            cb.len()
+        ));
+    }
+    for (i, (la, lb)) in ca.iter().zip(&cb).enumerate() {
+        if la != lb {
+            let what = if i == 0 { "header" } else { "record" };
+            return Some(format!(
+                "stores {label_a} and {label_b} disagree at canonical {what} line {}: \
+                 `{la}` vs `{lb}`",
+                i + 1
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "{\"schema\":\"dide-campaign/v1\"}";
+
+    #[test]
+    fn canonical_form_keeps_header_first_and_sorts_records() {
+        let store = format!("{HEADER}\nzeta\nalpha\n");
+        assert_eq!(canonical_store_lines(&store), vec![HEADER, "alpha", "zeta"]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let store = format!("{HEADER}\nalpha\n{{\"seq\":2,\"trunc");
+        assert_eq!(canonical_store_lines(&store), vec![HEADER, "alpha"]);
+        assert!(canonical_store_lines("no newline at all").is_empty());
+    }
+
+    #[test]
+    fn identical_and_reordered_stores_compare_equal() {
+        let a = format!("{HEADER}\nalpha\nzeta\n");
+        let b = format!("{HEADER}\nzeta\nalpha\n");
+        assert_eq!(diff_stores("a", &a, "b", &b), None);
+    }
+
+    #[test]
+    fn differences_are_located_and_described() {
+        let a = format!("{HEADER}\nalpha\n");
+        let b = format!("{HEADER}\nbeta\n");
+        let msg = diff_stores("jobs1", &a, "jobs8", &b).expect("differs");
+        assert!(msg.contains("jobs1") && msg.contains("jobs8"), "{msg}");
+        assert!(msg.contains("record"), "{msg}");
+
+        let c = "{\"schema\":\"other\"}\nalpha\n".to_string();
+        let msg = diff_stores("a", &a, "c", &c).expect("headers differ");
+        assert!(msg.contains("header"), "{msg}");
+
+        let short = format!("{HEADER}\n");
+        let msg = diff_stores("a", &a, "s", &short).expect("lengths differ");
+        assert!(msg.contains("line(s)"), "{msg}");
+    }
+}

@@ -35,6 +35,29 @@ impl Default for GenConfig {
 }
 
 impl GenConfig {
+    /// Derives a shape configuration from a bare seed, splitmix64-mixed so
+    /// config and program content are uncorrelated. This is the canonical
+    /// seed → config mapping shared by the `dide verify` fuzz driver and
+    /// the campaign engine's `gen:<seed>` workloads: every field lands
+    /// strictly inside its [`GenConfig::validate`] bounds.
+    #[must_use]
+    pub fn derived(seed: u64) -> GenConfig {
+        let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        GenConfig {
+            segments: 2 + (next() % 9) as usize,
+            segment_len: 4 + (next() % 13) as usize,
+            loop_iters: 1 + (next() % 6) as u32,
+            memory_slots: 4 + (next() % 21) as usize,
+        }
+    }
+
     /// Checks that the configuration can generate a valid, terminating
     /// program, returning a description of the first problem found.
     ///

@@ -48,6 +48,13 @@ pub enum BenchKind {
     /// repository's `asm/` directory and embedded via
     /// [`dide_asm::builtin`]. The payload is the builtin name.
     Asm(&'static str),
+    /// A seeded random program from the property-test generator
+    /// ([`crate::random_program`] with [`crate::GenConfig::derived`]).
+    /// The payload is the seed. Used by the campaign engine to widen a
+    /// design-space sweep beyond the hand-written suite; ignores `opt`
+    /// and `scale` (the derived shape config is a pure function of the
+    /// seed).
+    Gen(u64),
 }
 
 /// A buildable benchmark descriptor.
@@ -92,6 +99,24 @@ impl WorkloadSpec {
             BenchKind::Asm(name) => {
                 dide_asm::builtin::program_scaled(name, scale).expect("builtin asm workload exists")
             }
+            BenchKind::Gen(seed) => {
+                crate::gen::random_program(seed, &crate::GenConfig::derived(seed))
+            }
+        }
+    }
+
+    /// A seeded random-program workload (see [`BenchKind::Gen`]).
+    ///
+    /// The static `name` is always `"gen"`; display labels that must
+    /// distinguish seeds (the campaign engine's `gen:<seed>` job ids) are
+    /// formatted from the kind, and fixture caching keys on the kind — so
+    /// two seeds never share a cache entry despite the shared name.
+    #[must_use]
+    pub fn generated(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "gen",
+            kind: BenchKind::Gen(seed),
+            description: "seeded random program (property-test generator)",
         }
     }
 }

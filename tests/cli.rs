@@ -64,6 +64,24 @@ fn events_rejects_bad_flags() {
 }
 
 #[test]
+fn campaign_rejects_bad_flags() {
+    assert_one_line_error(&["campaign"], &["campaign subcommand"]);
+    assert_one_line_error(&["campaign", "sweep"], &["campaign subcommand", "sweep"]);
+    assert_one_line_error(&["campaign", "run", "--elims", "turbo"], &["--elims", "turbo"]);
+    assert_one_line_error(&["campaign", "run", "--opts", "O3"], &["--opts", "O0 or O2"]);
+    assert_one_line_error(&["campaign", "run", "--machines", "quantum"], &["--machines"]);
+    assert_one_line_error(&["campaign", "run", "--thresholds", "0"], &["--thresholds", ">= 1"]);
+    assert_one_line_error(&["campaign", "run", "--seeds", "1,x"], &["--seeds"]);
+    assert_one_line_error(&["campaign", "run", "--benchmarks", "nope"], &["unknown benchmark"]);
+    assert_one_line_error(&["campaign", "run", "--flush-every", "0"], &["--flush-every", ">= 1"]);
+    assert_one_line_error(&["campaign", "report", "--where", "noequals"], &["--where"]);
+    assert_one_line_error(
+        &["campaign", "report", "--store", "nonexistent/x.jsonl"],
+        &["nonexistent/x.jsonl"],
+    );
+}
+
+#[test]
 fn stats_happy_path_emits_schema() {
     let out = dide(&["stats", "--benchmark", "route", "--json"]);
     assert!(out.status.success());

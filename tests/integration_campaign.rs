@@ -1,0 +1,207 @@
+//! End-to-end tests of `dide campaign`: the work-stealing batch engine,
+//! its JSONL result store, and crash-safe resume.
+//!
+//! These run the real binary (`CARGO_BIN_EXE_dide`) because the engine's
+//! central promises are *process-level*: the store bytes must not depend
+//! on `--jobs`, and a campaign killed mid-run (SIGKILL, no cleanup) must
+//! resume from its durable cursor and converge to the byte-identical
+//! store an uninterrupted run produces.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+use dide_verify::diff_stores;
+
+fn dide(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dide")).args(args).output().expect("dide binary runs")
+}
+
+/// A fresh scratch directory under the target tmp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dide-campaign-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A small but canonically-interesting grid: the `off` rows alias across
+/// the threshold axis, so dedup fires; 2 benchmarks x 2 elims x 2
+/// thresholds = 8 points, 6 unique.
+const GRID: &[&str] = &["--benchmarks", "expr,route", "--elims", "off,cfi", "--thresholds", "8,12"];
+
+fn run_campaign(store: &Path, jobs: &str, extra: &[&str]) -> Output {
+    let mut args: Vec<&str> = vec!["campaign", "run"];
+    args.extend_from_slice(GRID);
+    let store = store.to_str().expect("utf-8 path");
+    args.extend_from_slice(&["--out", store, "--jobs", jobs]);
+    args.extend_from_slice(extra);
+    dide(&args)
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn store_is_byte_identical_across_job_counts_and_reports_aggregate() {
+    let dir = scratch("jobs");
+    let (store1, store4) = (dir.join("jobs1.jsonl"), dir.join("jobs4.jsonl"));
+
+    let out = run_campaign(&store1, "1", &[]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("8 grid points -> 6 unique jobs (2 deduped)"), "{stdout}");
+    assert!(stdout.contains("conservation rules hold"), "{stdout}");
+
+    let out = run_campaign(&store4, "4", &[]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let (bytes1, bytes4) = (read(&store1), read(&store4));
+    assert_eq!(bytes1, bytes4, "store bytes must not depend on --jobs");
+    assert_eq!(diff_stores("jobs1", &bytes1, "jobs4", &bytes4), None);
+
+    // Every line of the store parses as a flat JSON record and the
+    // records carry the stats schema plus the axis fields.
+    let reader = dide::StoreReader::open(&store1).expect("store parses");
+    assert_eq!(reader.records.len(), 6);
+    assert_eq!(reader.field(0, "schema").as_deref(), Some(dide::STATS_SCHEMA));
+    for i in 0..reader.records.len() {
+        for field in ["id", "benchmark", "elim", "threshold", "pipeline.cycles"] {
+            assert!(reader.field(i, field).is_some(), "record {i} missing {field}");
+        }
+    }
+
+    // The report subcommand aggregates the same store.
+    let store = store1.to_str().expect("utf-8 path");
+    let out = dide(&[
+        "campaign",
+        "report",
+        "--store",
+        store,
+        "--where",
+        "elim=cfi",
+        "--group-by",
+        "benchmark",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("expr") && report.contains("route"), "{report}");
+    assert!(report.contains("pipeline.cycles"), "{report}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_of_a_complete_store_is_a_no_op() {
+    let dir = scratch("noop");
+    let store = dir.join("done.jsonl");
+    assert!(run_campaign(&store, "1", &[]).status.success());
+    let before = read(&store);
+
+    let out = run_campaign(&store, "1", &["--resume"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 completed, 6 resumed-skipped"), "{stdout}");
+    assert_eq!(read(&store), before, "resume of a finished store must not rewrite it");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_a_store_from_a_different_grid() {
+    let dir = scratch("grid-mismatch");
+    let store = dir.join("other.jsonl");
+    assert!(run_campaign(&store, "1", &[]).status.success());
+
+    let store_str = store.to_str().expect("utf-8 path");
+    let out = dide(&[
+        "campaign",
+        "run",
+        "--benchmarks",
+        "sort",
+        "--out",
+        store_str,
+        "--jobs",
+        "1",
+        "--resume",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error: "), "{stderr}");
+    assert!(stderr.contains("grid"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The number of durable records according to the cursor sidecar.
+fn cursor_records(store: &Path) -> u64 {
+    let name = store.file_name().and_then(|n| n.to_str()).expect("utf-8 store name");
+    let cursor = store.with_file_name(format!("{name}.cursor"));
+    let Ok(text) = std::fs::read_to_string(cursor) else { return 0 };
+    text.split("\"records\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// Satellite 3: SIGKILL a campaign mid-run, then `--resume` and assert the
+/// finished store is byte-identical to an uninterrupted run's.
+#[test]
+fn killed_campaign_resumes_to_a_byte_identical_store() {
+    let dir = scratch("kill");
+    let (reference, interrupted) = (dir.join("ref.jsonl"), dir.join("int.jsonl"));
+
+    // The uninterrupted reference run.
+    let out = run_campaign(&reference, "2", &[]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Start the victim with per-record commits so the durable prefix grows
+    // fast, wait until at least one record is durable, then SIGKILL it.
+    let mut args: Vec<&str> = vec!["campaign", "run"];
+    args.extend_from_slice(GRID);
+    let store_str = interrupted.to_str().expect("utf-8 path");
+    args.extend_from_slice(&["--out", store_str, "--jobs", "1", "--flush-every", "1"]);
+    let mut child =
+        Command::new(env!("CARGO_BIN_EXE_dide")).args(&args).spawn().expect("spawn campaign");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let killed_mid_run = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            // The grid was too small to catch mid-run on this machine;
+            // the run finished healthy instead.
+            assert!(status.success(), "campaign child failed: {status}");
+            break false;
+        }
+        if cursor_records(&interrupted) >= 1 {
+            child.kill().expect("kill campaign");
+            child.wait().expect("reap campaign");
+            break true;
+        }
+        assert!(Instant::now() < deadline, "no durable record within 120s");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    if killed_mid_run {
+        // The durable prefix must already be a clean prefix of the
+        // reference store (modulo a torn tail, which canonical form drops).
+        let partial = read(&interrupted);
+        let durable = dide_verify::canonical_store_lines(&partial);
+        let full = dide_verify::canonical_store_lines(&read(&reference));
+        assert!(durable.len() <= full.len(), "partial store larger than the reference");
+    }
+
+    let out = run_campaign(&interrupted, "2", &["--resume"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conservation rules hold"), "{stdout}");
+
+    assert_eq!(
+        read(&reference),
+        read(&interrupted),
+        "killed+resumed store must match the uninterrupted run byte for byte"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -101,7 +101,7 @@ fn experiment_runner_output_is_job_count_invariant() {
         scale: 1,
         only: Some(vec!["e1".into(), "e10".into(), "e16".into()]),
         jobs,
-        timings: false,
+        ..dide::ExperimentOptions::default()
     };
     let serial = dide::run_experiments(&options(1));
     let parallel = dide::run_experiments(&options(4));
