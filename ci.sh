@@ -74,12 +74,14 @@ echo "== bench smoke + regression check =="
 cargo run --release --bin dide -- bench --quick --out BENCH.ci.json --check-against BENCH.json
 # The perf harness must produce a non-empty, well-formed report.
 test -s BENCH.ci.json || { echo "BENCH.ci.json is missing or empty" >&2; exit 1; }
-grep -q '"schema": "dide-bench/v3"' BENCH.ci.json \
-  || { echo "BENCH.ci.json lacks the dide-bench/v3 schema marker" >&2; exit 1; }
+grep -q '"schema": "dide-bench/v4"' BENCH.ci.json \
+  || { echo "BENCH.ci.json lacks the dide-bench/v4 schema marker" >&2; exit 1; }
 grep -q '"mem_peak_bytes"' BENCH.ci.json \
   || { echo "BENCH.ci.json lacks the streamed mem_peak_bytes block" >&2; exit 1; }
 grep -q '"campaign"' BENCH.ci.json \
   || { echo "BENCH.ci.json lacks the campaign throughput block" >&2; exit 1; }
+grep -q '"cluster"' BENCH.ci.json \
+  || { echo "BENCH.ci.json lacks the clustered-backend block" >&2; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool BENCH.ci.json >/dev/null \
     || { echo "BENCH.ci.json is not valid JSON" >&2; exit 1; }
@@ -111,6 +113,26 @@ fi
 "${DIDE}" campaign report --store campaign.ci1.jsonl --where elim=cfi --group-by benchmark \
   | grep -q "expr" || { echo "campaign report lost the expr group" >&2; exit 1; }
 rm -f campaign.ci1.jsonl campaign.ci1.jsonl.cursor campaign.ci4.jsonl campaign.ci4.jsonl.cursor
+
+echo "== clustered backend smoke (E18 + steering determinism) =="
+# The clustered backend (DESIGN.md §11) must hold its invariants end to
+# end: the E18 golden pins the full steering sweep table and the clustered
+# stats export, and a clustered campaign grid must stay byte-identical
+# across --jobs values (the steering decision is part of the canonical
+# job, so any scheduler-order dependence would show up here).
+cargo run --release --bin dide -- verify --golden --only e18,stats_expr_clustered.json
+CLUSTER_GRID="--benchmarks expr,route --machines contended,clustered --elims off,cfi"
+DIDE=./target/release/dide
+rm -f cluster.ci1.jsonl cluster.ci1.jsonl.cursor cluster.ci4.jsonl cluster.ci4.jsonl.cursor
+# shellcheck disable=SC2086
+"${DIDE}" campaign run ${CLUSTER_GRID} --out cluster.ci1.jsonl --jobs 1
+# shellcheck disable=SC2086
+"${DIDE}" campaign run ${CLUSTER_GRID} --out cluster.ci4.jsonl --jobs 4
+cmp cluster.ci1.jsonl cluster.ci4.jsonl \
+  || { echo "clustered campaign store differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+grep -q '"machine":"clustered"' cluster.ci1.jsonl \
+  || { echo "clustered campaign store lacks clustered-machine records" >&2; exit 1; }
+rm -f cluster.ci1.jsonl cluster.ci1.jsonl.cursor cluster.ci4.jsonl cluster.ci4.jsonl.cursor
 
 echo "== streaming smoke (bounded memory) =="
 # The streamed pipeline must survive an address-space budget that the

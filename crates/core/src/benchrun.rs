@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use dide_analysis::DeadnessAnalysis;
 use dide_emu::{DynInst, TraceStream};
 use dide_obs::{EventTrace, EventsConfig};
-use dide_pipeline::{Core, PipelineConfig};
+use dide_pipeline::{ClusterConfig, Core, PipelineConfig, SteerPolicy};
 use dide_workloads::{suite, OptLevel, WorkloadSpec};
 
 use crate::campaign::{measure_campaign_throughput, CampaignThroughput};
@@ -32,8 +32,11 @@ use crate::{BenchCase, Table};
 /// Schema identifier written into `BENCH.json`; bump on layout changes.
 /// v2 added the `stream` block (bounded-memory streamed runs with their
 /// `mem_peak_bytes` accounting); v3 added the `campaign` block (batch
-/// engine throughput, dedup rate and fixture-cache accounting).
-pub const BENCH_SCHEMA: &str = "dide-bench/v3";
+/// engine throughput, dedup rate and fixture-cache accounting); v4 added
+/// the `cluster` block (clustered-backend reference point: host overhead
+/// of the clustered scheduling loop plus exact-gated cycle counts,
+/// DESIGN.md §11).
+pub const BENCH_SCHEMA: &str = "dide-bench/v4";
 
 /// Benchmarks used by `--quick` (CI smoke): small but covering the three
 /// workload families (expression-heavy, store-heavy, pointer-chasing) plus
@@ -172,6 +175,8 @@ pub struct BenchRun {
     pub campaign: CampaignThroughput,
     /// Event-trace overhead on the fixed reference workload.
     pub events_overhead: EventsOverhead,
+    /// Clustered-backend overhead on the fixed reference workload.
+    pub cluster: ClusterOverhead,
     /// The `BENCH.json` document.
     pub json: String,
     /// Human-readable summary table (stderr).
@@ -215,6 +220,54 @@ impl EventsOverhead {
             1.0
         } else {
             self.sampled.as_secs_f64() / self.off.as_secs_f64()
+        }
+    }
+}
+
+/// The clustered-backend reference point: the fixed `expr@O2/s1` workload
+/// simulated on the unified contended machine versus the clustered backend
+/// (DESIGN.md §11) under round-robin and dead-instruction steering.
+///
+/// The wall-clock fields track the host-side cost of the clustered
+/// scheduling loop (visibility bitsets, remote-wakeup events, per-cluster
+/// issue merge) so a regression there shows up in CI history. The cycle
+/// counts and steered-dead tally are pure functions of the workload and
+/// are exact-compared by [`check_cluster_regression`] — any drift is a
+/// determinism bug, not noise.
+#[derive(Debug, Clone)]
+pub struct ClusterOverhead {
+    /// Workload measured (the fixed reference point `expr@O2/s1`).
+    pub workload: String,
+    /// Cluster count of the clustered runs ([`ClusterConfig::default`]).
+    pub clusters: usize,
+    /// Inter-cluster bypass penalty of the clustered runs.
+    pub bypass_penalty: u32,
+    /// Unified-backend simulation wall-clock.
+    pub unified: Duration,
+    /// Clustered round-robin simulation wall-clock.
+    pub rr: Duration,
+    /// Clustered dead-steer simulation wall-clock.
+    pub dead: Duration,
+    /// Simulated cycles on the unified backend.
+    pub unified_cycles: u64,
+    /// Simulated cycles clustered with round-robin steering.
+    pub rr_cycles: u64,
+    /// Simulated cycles clustered with dead-instruction steering.
+    pub dead_cycles: u64,
+    /// Instructions the dead-steer run routed to the cheap cluster.
+    pub steered_dead: u64,
+}
+
+impl ClusterOverhead {
+    /// Dead-steer-over-unified host wall-clock ratio (1.0 when `unified`
+    /// was too fast to time): what the clustered loop costs the *host*,
+    /// not the simulated machine.
+    #[must_use]
+    pub fn host_overhead(&self) -> f64 {
+        if self.unified.is_zero() {
+            1.0
+        } else {
+            self.dead.as_secs_f64() / self.unified.as_secs_f64()
         }
     }
 }
@@ -267,11 +320,20 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
     eprintln!("bench: events-overhead reference point...");
     let events_overhead = measure_events_overhead();
 
-    let json =
-        render_json(scales, &measurements, &streams, Some(&campaign), Some(&events_overhead));
+    eprintln!("bench: clustered-backend reference point...");
+    let cluster = measure_cluster_overhead();
+
+    let json = render_json(
+        scales,
+        &measurements,
+        &streams,
+        Some(&campaign),
+        Some(&events_overhead),
+        Some(&cluster),
+    );
     std::fs::File::create(&options.out)?.write_all(json.as_bytes())?;
     let mut report =
-        render_report(&measurements, &streams, &campaign, &events_overhead, &options.out);
+        render_report(&measurements, &streams, &campaign, &events_overhead, &cluster, &options.out);
     let regression = match &options.check_against {
         None => None,
         Some(path) => {
@@ -284,6 +346,10 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
                 check_campaign_regression(&campaign, parse_campaign_baseline(&baseline).as_ref());
             check.lines.extend(camp.lines);
             check.ok &= camp.ok;
+            let clu =
+                check_cluster_regression(&cluster, parse_cluster_baseline(&baseline).as_ref());
+            check.lines.extend(clu.lines);
+            check.ok &= clu.ok;
             report.push_str(&format!("\n== regression check against {} ==\n", path.display()));
             for line in &check.lines {
                 report.push_str(line);
@@ -297,7 +363,16 @@ pub fn run_bench(options: &BenchOptions) -> std::io::Result<BenchRun> {
             Some(check)
         }
     };
-    Ok(BenchRun { measurements, streams, campaign, events_overhead, json, report, regression })
+    Ok(BenchRun {
+        measurements,
+        streams,
+        campaign,
+        events_overhead,
+        cluster,
+        json,
+        report,
+        regression,
+    })
 }
 
 /// The deterministic half of a baseline `campaign` block, plus its timing
@@ -415,6 +490,122 @@ pub fn check_campaign_regression(
         lines.push(format!(
             "campaign jobs={}: {}ns vs baseline {}ns ({ratio:.2}x) — ok",
             current.jobsn, current.jobsn_ns, base.jobsn_ns
+        ));
+    }
+    RegressionCheck { lines, ok }
+}
+
+/// The deterministic half of a baseline `cluster` block, plus its timing
+/// reference. Cycle counts are pure functions of the fixed reference
+/// workload, so they are compared exactly; wall-clock gets the usual
+/// generous factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterBaselineEntry {
+    /// Workload the baseline was measured on.
+    pub workload: String,
+    /// Unified-backend simulated cycles.
+    pub unified_cycles: u64,
+    /// Clustered round-robin simulated cycles.
+    pub rr_cycles: u64,
+    /// Clustered dead-steer simulated cycles.
+    pub dead_cycles: u64,
+    /// Instructions the dead-steer run routed to the cheap cluster.
+    pub steered_dead: u64,
+    /// Dead-steer run wall-clock, nanoseconds.
+    pub dead_ns: u128,
+}
+
+/// Extracts the `cluster` block from a baseline `BENCH.json` (line
+/// oriented, like [`parse_baseline`]). Returns `None` for documents
+/// without the block (v3 and older), which the check reports as skipped.
+#[must_use]
+pub fn parse_cluster_baseline(json: &str) -> Option<ClusterBaselineEntry> {
+    let start = json.find("\"cluster\": {")?;
+    let mut workload = None;
+    let mut nums: std::collections::HashMap<&str, u128> = std::collections::HashMap::new();
+    for line in json[start..].lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix("\"workload\": \"") {
+            workload = rest.split('"').next().map(ToString::to_string);
+        } else if let Some((key, value)) = t.strip_prefix('"').and_then(|r| r.split_once("\": ")) {
+            if let Ok(n) = value.parse::<u128>() {
+                for want in
+                    ["unified_cycles", "rr_cycles", "dead_cycles", "steered_dead", "dead_ns"]
+                {
+                    if key == want {
+                        nums.insert(want, n);
+                    }
+                }
+            }
+        }
+        if t.ends_with('}') && workload.is_some() {
+            break;
+        }
+    }
+    Some(ClusterBaselineEntry {
+        workload: workload?,
+        unified_cycles: u64::try_from(*nums.get("unified_cycles")?).ok()?,
+        rr_cycles: u64::try_from(*nums.get("rr_cycles")?).ok()?,
+        dead_cycles: u64::try_from(*nums.get("dead_cycles")?).ok()?,
+        steered_dead: u64::try_from(*nums.get("steered_dead")?).ok()?,
+        dead_ns: *nums.get("dead_ns")?,
+    })
+}
+
+/// Compares the clustered-backend reference point against the baseline
+/// block.
+///
+/// Simulated cycle counts and the steered-dead tally are deterministic for
+/// the fixed reference workload, so any difference fails; wall-clock uses
+/// [`REGRESSION_FACTOR`] with the usual [`REGRESSION_FLOOR_MS`]. A missing
+/// baseline block or a different workload is reported but never fails (the
+/// baseline may predate the block).
+#[must_use]
+pub fn check_cluster_regression(
+    current: &ClusterOverhead,
+    baseline: Option<&ClusterBaselineEntry>,
+) -> RegressionCheck {
+    let mut lines = Vec::new();
+    let mut ok = true;
+    let Some(base) = baseline else {
+        lines.push("cluster: no baseline cluster block (skipped)".to_string());
+        return RegressionCheck { lines, ok };
+    };
+    if base.workload != current.workload {
+        lines.push(format!(
+            "cluster: baseline workload {} differs from current {} (skipped)",
+            base.workload, current.workload
+        ));
+        return RegressionCheck { lines, ok };
+    }
+    for (what, got, want) in [
+        ("unified_cycles", current.unified_cycles, base.unified_cycles),
+        ("rr_cycles", current.rr_cycles, base.rr_cycles),
+        ("dead_cycles", current.dead_cycles, base.dead_cycles),
+        ("steered_dead", current.steered_dead, base.steered_dead),
+    ] {
+        if got == want {
+            lines.push(format!("cluster {what}: {got} — ok"));
+        } else {
+            ok = false;
+            lines
+                .push(format!("cluster {what}: {got} vs baseline {want} — DETERMINISM REGRESSION"));
+        }
+    }
+    let current_ns = current.dead.as_nanos();
+    #[allow(clippy::cast_precision_loss)]
+    let ratio = if base.dead_ns == 0 { 1.0 } else { current_ns as f64 / base.dead_ns as f64 };
+    let over_floor = current_ns.saturating_sub(base.dead_ns) > REGRESSION_FLOOR_MS * 1_000_000;
+    if ratio > REGRESSION_FACTOR && over_floor {
+        ok = false;
+        lines.push(format!(
+            "cluster dead-steer: {current_ns}ns vs baseline {}ns ({ratio:.2}x) — REGRESSION",
+            base.dead_ns
+        ));
+    } else {
+        lines.push(format!(
+            "cluster dead-steer: {current_ns}ns vs baseline {}ns ({ratio:.2}x) — ok",
+            base.dead_ns
         ));
     }
     RegressionCheck { lines, ok }
@@ -635,6 +826,44 @@ pub fn measure_events_overhead() -> EventsOverhead {
     }
 }
 
+/// Times the fixed `expr@O2/s1` reference workload on the unified
+/// contended machine and on the default clustered backend (2 clusters,
+/// bypass 2) under round-robin and dead-instruction steering, recording
+/// both the host wall-clock and the deterministic simulated cycle counts.
+#[must_use]
+pub fn measure_cluster_overhead() -> ClusterOverhead {
+    let spec = *suite().iter().find(|s| s.name == "expr").expect("expr is in the suite");
+    let case = crate::BenchCase::cached(spec, OptLevel::O2, 1);
+    let machine = PipelineConfig::contended();
+    let cluster = ClusterConfig::default();
+
+    let start = Instant::now();
+    let unified = Core::new(machine).run(&case.trace, &case.analysis);
+    let unified_wall = start.elapsed();
+
+    let start = Instant::now();
+    let rr = Core::new(machine.with_cluster(cluster)).run(&case.trace, &case.analysis);
+    let rr_wall = start.elapsed();
+
+    let dead_config = ClusterConfig { steer: SteerPolicy::DeadSteer, ..cluster };
+    let start = Instant::now();
+    let dead = Core::new(machine.with_cluster(dead_config)).run(&case.trace, &case.analysis);
+    let dead_wall = start.elapsed();
+
+    ClusterOverhead {
+        workload: format!("{}@{}/s1", spec.name, OptLevel::O2),
+        clusters: cluster.clusters,
+        bypass_penalty: cluster.bypass_penalty,
+        unified: unified_wall,
+        rr: rr_wall,
+        dead: dead_wall,
+        unified_cycles: unified.cycles,
+        rr_cycles: rr.cycles,
+        dead_cycles: dead.cycles,
+        steered_dead: dead.steer.dead,
+    }
+}
+
 /// Measures one streamed enrollment: a windowed analysis pass over the
 /// program, then the streaming pipeline over a fresh epoch stream (on the
 /// contended machine, matching [`measure`]'s simulate phase). The recorded
@@ -700,6 +929,7 @@ pub fn render_json(
     streams: &[StreamMeasurement],
     campaign: Option<&CampaignThroughput>,
     events: Option<&EventsOverhead>,
+    cluster: Option<&ClusterOverhead>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
@@ -812,6 +1042,25 @@ pub fn render_json(
         out.push_str(&format!("    \"identical\": {}\n", ev.identical));
         out.push_str("  }");
     }
+
+    // Clustered-backend reference point: the cycle counts and steered-dead
+    // tally are deterministic and exact-compared by the CI gate; the ns
+    // fields get the usual generous wall-clock factor.
+    if let Some(c) = cluster {
+        out.push_str(",\n  \"cluster\": {\n");
+        out.push_str(&format!("    \"workload\": \"{}\",\n", c.workload));
+        out.push_str(&format!("    \"clusters\": {},\n", c.clusters));
+        out.push_str(&format!("    \"bypass_penalty\": {},\n", c.bypass_penalty));
+        out.push_str(&format!("    \"unified_ns\": {},\n", c.unified.as_nanos()));
+        out.push_str(&format!("    \"rr_ns\": {},\n", c.rr.as_nanos()));
+        out.push_str(&format!("    \"dead_ns\": {},\n", c.dead.as_nanos()));
+        out.push_str(&format!("    \"host_overhead\": {:.3},\n", c.host_overhead()));
+        out.push_str(&format!("    \"unified_cycles\": {},\n", c.unified_cycles));
+        out.push_str(&format!("    \"rr_cycles\": {},\n", c.rr_cycles));
+        out.push_str(&format!("    \"dead_cycles\": {},\n", c.dead_cycles));
+        out.push_str(&format!("    \"steered_dead\": {}\n", c.steered_dead));
+        out.push_str("  }");
+    }
     out.push_str("\n}\n");
     out
 }
@@ -822,6 +1071,7 @@ fn render_report(
     streams: &[StreamMeasurement],
     campaign: &CampaignThroughput,
     events: &EventsOverhead,
+    cluster: &ClusterOverhead,
     out: &std::path::Path,
 ) -> String {
     let mut text = String::new();
@@ -899,6 +1149,21 @@ fn render_report(
         events.ratio(),
         if events.identical { "results identical" } else { "RESULTS DIVERGED" },
     ));
+    text.push_str(&format!(
+        "clustered backend on {} ({} clusters, bypass {}): unified {}, rr {}, dead-steer {} \
+         (host overhead {:.3}x); cycles {} -> {} rr -> {} dead-steer, {} steered dead\n",
+        cluster.workload,
+        cluster.clusters,
+        cluster.bypass_penalty,
+        harness::fmt_duration(cluster.unified),
+        harness::fmt_duration(cluster.rr),
+        harness::fmt_duration(cluster.dead),
+        cluster.host_overhead(),
+        cluster.unified_cycles,
+        cluster.rr_cycles,
+        cluster.dead_cycles,
+        cluster.steered_dead,
+    ));
     text.push_str(&format!("wrote {}\n", out.display()));
     text
 }
@@ -973,10 +1238,25 @@ mod tests {
         }
     }
 
+    fn cluster_sample() -> ClusterOverhead {
+        ClusterOverhead {
+            workload: "expr@O2/s1".into(),
+            clusters: 2,
+            bypass_penalty: 2,
+            unified: Duration::from_nanos(1000),
+            rr: Duration::from_nanos(1300),
+            dead: Duration::from_nanos(1200),
+            unified_cycles: 500,
+            rr_cycles: 700,
+            dead_cycles: 620,
+            steered_dead: 40,
+        }
+    }
+
     #[test]
     fn json_has_schema_and_per_phase_totals() {
-        let json = render_json(&[1, 4], &sample(), &[], None, None);
-        assert!(json.contains("\"schema\": \"dide-bench/v3\""));
+        let json = render_json(&[1, 4], &sample(), &[], None, None, None);
+        assert!(json.contains("\"schema\": \"dide-bench/v4\""));
         assert!(json.contains("\"scales\": [1, 4]"));
         assert!(json.contains("\"name\": \"expr\""));
         assert!(json.contains(
@@ -994,7 +1274,7 @@ mod tests {
     #[test]
     fn json_records_campaign_block_and_roundtrips() {
         let c = campaign_sample();
-        let json = render_json(&[1], &sample()[..1], &[], Some(&c), None);
+        let json = render_json(&[1], &sample()[..1], &[], Some(&c), None, None);
         assert!(json.contains("\"campaign\": {"));
         assert!(json.contains("\"grid\": \"00000000deadbeef\""));
         assert!(json.contains("\"dedup_rate\": 0.250"));
@@ -1018,7 +1298,8 @@ mod tests {
     #[test]
     fn campaign_regression_check_gates_determinism_and_timing() {
         let c = campaign_sample();
-        let base = parse_campaign_baseline(&render_json(&[1], &[], &[], Some(&c), None)).unwrap();
+        let base =
+            parse_campaign_baseline(&render_json(&[1], &[], &[], Some(&c), None, None)).unwrap();
         assert!(check_campaign_regression(&c, Some(&base)).ok);
         assert!(check_campaign_regression(&c, None).ok, "missing block is skipped");
 
@@ -1041,8 +1322,77 @@ mod tests {
     }
 
     #[test]
+    fn json_records_cluster_block_and_roundtrips() {
+        let c = cluster_sample();
+        let json = render_json(&[1], &sample()[..1], &[], None, None, Some(&c));
+        assert!(json.contains("\"cluster\": {"));
+        assert!(json.contains("\"clusters\": 2"));
+        assert!(json.contains("\"bypass_penalty\": 2"));
+        assert!(json.contains("\"host_overhead\": 1.200"));
+        assert!(json.contains("\"steered_dead\": 40"));
+        let parsed = parse_cluster_baseline(&json).expect("cluster block parses");
+        assert_eq!(
+            parsed,
+            ClusterBaselineEntry {
+                workload: "expr@O2/s1".into(),
+                unified_cycles: 500,
+                rr_cycles: 700,
+                dead_cycles: 620,
+                steered_dead: 40,
+                dead_ns: 1200,
+            }
+        );
+        assert!(parse_cluster_baseline("{\"schema\": \"dide-bench/v3\"}").is_none());
+    }
+
+    #[test]
+    fn cluster_regression_check_gates_determinism_and_timing() {
+        let c = cluster_sample();
+        let base =
+            parse_cluster_baseline(&render_json(&[1], &[], &[], None, None, Some(&c))).unwrap();
+        assert!(check_cluster_regression(&c, Some(&base)).ok);
+        assert!(check_cluster_regression(&c, None).ok, "missing block is skipped");
+
+        // A different reference workload skips rather than fails.
+        let other = ClusterBaselineEntry { workload: "route@O2/s1".into(), ..base.clone() };
+        let check = check_cluster_regression(&c, Some(&other));
+        assert!(check.ok);
+        assert!(check.lines[0].contains("skipped"), "{:?}", check.lines);
+
+        // Same workload, different cycle count: a determinism regression.
+        let drifted = ClusterBaselineEntry { dead_cycles: 621, ..base.clone() };
+        assert!(!check_cluster_regression(&c, Some(&drifted)).ok);
+        let steered = ClusterBaselineEntry { steered_dead: 39, ..base.clone() };
+        assert!(!check_cluster_regression(&c, Some(&steered)).ok);
+
+        // A big slowdown over the floor fails; a tiny one passes.
+        let fast = ClusterBaselineEntry { dead_ns: 1000, ..base.clone() };
+        let mut slow_run = cluster_sample();
+        slow_run.dead = Duration::from_nanos(400_000_000);
+        assert!(!check_cluster_regression(&slow_run, Some(&fast)).ok);
+        assert!(check_cluster_regression(&c, Some(&fast)).ok, "under the 5ms floor");
+    }
+
+    #[test]
+    fn clustered_reference_point_is_deterministic_and_steers() {
+        // The regression test behind the exact-compared cycle fields: two
+        // measurements of the fixed reference point must agree on every
+        // simulated count (wall-clock is environment noise and is not
+        // compared).
+        let a = measure_cluster_overhead();
+        let b = measure_cluster_overhead();
+        assert_eq!(a.unified_cycles, b.unified_cycles);
+        assert_eq!(a.rr_cycles, b.rr_cycles);
+        assert_eq!(a.dead_cycles, b.dead_cycles);
+        assert_eq!(a.steered_dead, b.steered_dead);
+        assert!(a.rr_cycles >= a.unified_cycles, "clustering is not free on expr");
+        assert!(a.steered_dead > 0, "dead work must be steered on expr");
+        assert!(!a.unified.is_zero() && !a.dead.is_zero());
+    }
+
+    #[test]
     fn json_records_stream_block() {
-        let json = render_json(&[1], &sample()[..1], &stream_sample(), None, None);
+        let json = render_json(&[1], &sample()[..1], &stream_sample(), None, None, None);
         assert!(json.contains("\"stream\": [\n"));
         assert!(json.contains("\"epoch_len\": 65536"));
         assert!(json.contains("\"analyze_ns\": 50"));
@@ -1057,13 +1407,16 @@ mod tests {
     fn json_is_structurally_balanced() {
         let streams = stream_sample();
         let campaign = campaign_sample();
-        for events in [None, Some(&overhead())] {
-            for c in [None, Some(&campaign)] {
-                for s in [&[] as &[StreamMeasurement], &streams] {
-                    let json = render_json(&[1], &sample()[..1], s, c, events);
-                    assert_eq!(json.matches('{').count(), json.matches('}').count());
-                    assert_eq!(json.matches('[').count(), json.matches(']').count());
-                    assert!(json.ends_with("}\n"));
+        let cluster = cluster_sample();
+        for cl in [None, Some(&cluster)] {
+            for events in [None, Some(&overhead())] {
+                for c in [None, Some(&campaign)] {
+                    for s in [&[] as &[StreamMeasurement], &streams] {
+                        let json = render_json(&[1], &sample()[..1], s, c, events, cl);
+                        assert_eq!(json.matches('{').count(), json.matches('}').count());
+                        assert_eq!(json.matches('[').count(), json.matches(']').count());
+                        assert!(json.ends_with("}\n"));
+                    }
                 }
             }
         }
@@ -1071,7 +1424,7 @@ mod tests {
 
     #[test]
     fn json_records_events_overhead() {
-        let json = render_json(&[1], &sample()[..1], &[], None, Some(&overhead()));
+        let json = render_json(&[1], &sample()[..1], &[], None, Some(&overhead()), None);
         assert!(json.contains("\"events_overhead\": {"));
         assert!(json.contains("\"workload\": \"expr@O2/s1\""));
         assert!(json.contains("\"off_ns\": 1000"));
@@ -1101,6 +1454,7 @@ mod tests {
             &stream_sample(),
             Some(&campaign_sample()),
             Some(&overhead()),
+            Some(&cluster_sample()),
         );
         let parsed = parse_baseline(&json);
         assert_eq!(
@@ -1187,17 +1541,20 @@ mod tests {
         assert_eq!(run.streams.len(), QUICK_STREAM_SUITE.len());
         let written = std::fs::read_to_string(&out).unwrap();
         assert_eq!(written, run.json);
-        assert!(written.contains("\"schema\": \"dide-bench/v3\""));
+        assert!(written.contains("\"schema\": \"dide-bench/v4\""));
         assert!(written.contains("\"events_overhead\""));
         assert!(written.contains("\"mem_peak_bytes\": {\"streamed\": "));
         assert!(written.contains("\"campaign\": {"));
+        assert!(written.contains("\"cluster\": {"));
         assert!(run.campaign.jobs_deduped > 0, "the bench grid must exercise dedup");
         assert_eq!(run.campaign.jobs_total, run.campaign.jobs_unique + run.campaign.jobs_deduped);
         assert!(run.events_overhead.identical);
+        assert!(run.cluster.steered_dead > 0, "dead steering must route work on expr");
         assert!(run.report.contains("objstore"));
         assert!(run.report.contains("events overhead"));
         assert!(run.report.contains("streamed"));
         assert!(run.report.contains("campaign throughput"));
+        assert!(run.report.contains("clustered backend"));
         std::fs::remove_file(&out).ok();
     }
 

@@ -15,7 +15,7 @@
 //! file (e.g. `dide run asm/prime.asm`), assembled by `dide-asm` and fed
 //! through the same emu -> analysis -> pipeline stack.
 //! dide experiments [--scale N] [--only LIST] [--jobs N] [--timings]
-//!                                         regenerate paper tables (e1..e17)
+//!                                         regenerate paper tables (e1..e18)
 //! dide campaign run [axis flags] [--out PATH] [--jobs N] [--resume]
 //!                                         batch grid simulation -> JSONL store
 //! dide campaign report [--store PATH] [--where k=v] [--group-by LIST]
@@ -71,7 +71,8 @@ USAGE:
   dide list
   dide disasm <benchmark|path.asm> [--opt O0|O2]
   dide trace <benchmark|path.asm> [--scale N] [--opt O0|O2] [--hot N] [--stream [--epoch N]]
-  dide run <benchmark|path.asm> [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware] [--scale N] [--stream [--epoch N]]
+  dide run <benchmark|path.asm> [--machine baseline|contended|clustered] [--clusters N] [--bypass N] [--steer rr|affinity|dead]
+                                [--eliminate] [--oracle] [--jump-aware] [--scale N] [--stream [--epoch N]]
   dide experiments [--scale N] [--only e1,e9,...] [--jobs N] [--timings] [--stream [--epoch N]]
   dide campaign run [--benchmarks L] [--seeds L] [--opts L] [--scales L] [--machines L]
                     [--elims L] [--thresholds L] [--penalties L]
@@ -99,12 +100,26 @@ EXPERIMENTS:
   --timings    print the per-span timing detail in addition to the summary
                (timing always goes to stderr; tables go to stdout)
   --stream     render the streamed table (S1) over the streamed enrollments
-               instead of the materializing tables E1..E17
+               instead of the materializing tables E1..E18
+
+CLUSTERED BACKEND (DESIGN.md \u{a7}11):
+  --machine clustered  partition the IQ and function units of the selected
+               base into execution clusters; cross-cluster operand
+               forwarding pays --bypass cycles. Passing any cluster axis
+               implies the clustered backend.
+  --clusters N         execution clusters (default 2, max 8)
+  --bypass N           inter-cluster forwarding penalty in cycles (default 2)
+  --steer rr|affinity|dead
+               dispatch steering: round-robin, follow the producing
+               cluster, or route predicted-dead instructions to the
+               cheap cluster (squash pre-dispatch when --eliminate)
 
 CAMPAIGN (batch grid simulation):
   run expands the cartesian product of the axis flags (comma-separated
   lists; defaults: expr / O2 / scale 1 / contended / off,cfi / the default
-  threshold and penalty), canonicalizes redundant points (elim=off pins
+  threshold and penalty; --machines takes baseline, contended and
+  clustered, the latter fixed at 2 clusters / bypass 2 / dead steering),
+  canonicalizes redundant points (elim=off pins
   threshold+penalty; oracle pins threshold; gen workloads pin opt+scale),
   and simulates the unique jobs on a work-stealing pool. Results land in
   an append-only JSONL store whose bytes are identical for every --jobs N.
@@ -154,7 +169,8 @@ ASSEMBLY WORKLOADS:
 
 STATS / EVENTS (observability):
   both take the `dide run` flags [--opt O0|O2] [--scale N]
-  [--machine baseline|contended] [--eliminate] [--oracle] [--jump-aware];
+  [--machine baseline|contended|clustered] [--clusters N] [--bypass N]
+  [--steer P] [--eliminate] [--oracle] [--jump-aware];
   the benchmark is chosen with --benchmark NAME (default expr)
   --json       stats: emit the dide-stats/v1 JSON document (default)
   --csv        stats: emit `# dide-stats/v1` then counter,value rows
@@ -191,6 +207,37 @@ fn parse_epoch(rest: &[&str]) -> Result<usize, String> {
         None => Ok(dide::DEFAULT_EPOCH_LEN),
         Some(s) => dide::cli::parse_positive("--epoch", s).map(|n| n as usize),
     }
+}
+
+/// Parses the clustered-backend axes shared by `run`, `stats` and
+/// `events`: `--machine clustered` (or any of `--clusters`, `--bypass`,
+/// `--steer`) selects the clustered backend on top of the machine base,
+/// with [`ClusterConfig::default`] filling unspecified axes.
+fn parse_cluster(rest: &[&str]) -> Result<Option<ClusterConfig>, String> {
+    let clustered = matches!(flag_value(rest, "--machine"), Some("clustered"))
+        || flag_value(rest, "--clusters").is_some()
+        || flag_value(rest, "--bypass").is_some()
+        || flag_value(rest, "--steer").is_some();
+    if !clustered {
+        return Ok(None);
+    }
+    let mut cluster = ClusterConfig::default();
+    if let Some(s) = flag_value(rest, "--clusters") {
+        let n = dide::cli::parse_positive("--clusters", s)? as usize;
+        if n > 8 {
+            return Err(format!("invalid --clusters `{n}` (expected 1..=8)"));
+        }
+        cluster.clusters = n;
+    }
+    if let Some(s) = flag_value(rest, "--bypass") {
+        cluster.bypass_penalty = s
+            .parse::<u32>()
+            .map_err(|_| format!("invalid --bypass `{s}` (expected cycles >= 0)"))?;
+    }
+    if let Some(s) = flag_value(rest, "--steer") {
+        cluster.steer = SteerPolicy::parse(s)?;
+    }
+    Ok(Some(cluster))
 }
 
 /// What `disasm`/`trace`/`run` operate on: a named workload from the
@@ -340,9 +387,14 @@ fn run(rest: &[&str]) -> ExitCode {
         (Err(e), _) | (_, Err(e)) => return fail(e),
     };
     let machine = match flag_value(rest, "--machine") {
-        None | Some("contended") => PipelineConfig::contended(),
+        None | Some("contended" | "clustered") => PipelineConfig::contended(),
         Some("baseline") => PipelineConfig::baseline(),
         Some(other) => return fail(format!("unknown machine `{other}`")),
+    };
+    let machine = match parse_cluster(rest) {
+        Ok(Some(cluster)) => machine.with_cluster(cluster),
+        Ok(None) => machine,
+        Err(e) => return fail(e),
     };
     let config = if has_flag(rest, "--eliminate") || has_flag(rest, "--oracle") {
         machine.with_elimination(DeadElimConfig {
@@ -494,10 +546,11 @@ fn parse_selection(rest: &[&str]) -> Result<dide::RunSelection, String> {
     select.opt = parse_opt(rest)?;
     select.scale = parse_scale(rest)?;
     select.contended = match flag_value(rest, "--machine") {
-        None | Some("contended") => true,
+        None | Some("contended" | "clustered") => true,
         Some("baseline") => false,
         Some(other) => return Err(format!("unknown machine `{other}`")),
     };
+    select.cluster = parse_cluster(rest)?;
     select.eliminate = has_flag(rest, "--eliminate");
     select.oracle = has_flag(rest, "--oracle");
     select.jump_aware = has_flag(rest, "--jump-aware");
@@ -628,13 +681,7 @@ fn parse_grid(rest: &[&str]) -> Result<dide::CampaignGrid, String> {
     if let Some(s) = flag_value(rest, "--machines") {
         grid.machines = dide::cli::parse_name_list("--machines", s)?
             .iter()
-            .map(|m| match m.as_str() {
-                "contended" => Ok(true),
-                "baseline" => Ok(false),
-                other => {
-                    Err(format!("invalid --machines `{other}` (expected baseline or contended)"))
-                }
-            })
+            .map(|m| dide::Machine::parse(m))
             .collect::<Result<_, _>>()?;
     }
     if let Some(s) = flag_value(rest, "--elims") {

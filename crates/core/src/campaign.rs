@@ -28,7 +28,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use dide_obs::{check_rules, CounterSet, Expr, Rule};
-use dide_pipeline::{Core, DeadElimConfig, PipelineConfig, PipelineStats};
+use dide_pipeline::{
+    ClusterConfig, Core, DeadElimConfig, PipelineConfig, PipelineStats, SteerPolicy,
+};
 use dide_workloads::{find_workload, OptLevel, WorkloadSpec};
 
 use crate::harness::map_stealing_sink;
@@ -74,6 +76,68 @@ impl Elim {
     }
 }
 
+/// Machine axis of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Machine {
+    /// The wide baseline machine.
+    Baseline,
+    /// The resource-contended machine (the `dide run` default).
+    Contended,
+    /// The contended machine with the clustered backend (DESIGN.md §11):
+    /// two clusters, bypass penalty 2, dead-instruction steering — the
+    /// campaign-fixed clustered point; `dide run` exposes the full axes.
+    Clustered,
+}
+
+impl Machine {
+    /// The axis value as written in records and flags.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Machine::Baseline => "baseline",
+            Machine::Contended => "contended",
+            Machine::Clustered => "clustered",
+        }
+    }
+
+    /// Parses one `--machines` element.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for anything but `baseline`,
+    /// `contended`, `clustered`.
+    pub fn parse(value: &str) -> Result<Machine, String> {
+        match value {
+            "baseline" => Ok(Machine::Baseline),
+            "contended" => Ok(Machine::Contended),
+            "clustered" => Ok(Machine::Clustered),
+            other => Err(format!(
+                "invalid --machines `{other}` (expected baseline, contended or clustered)"
+            )),
+        }
+    }
+
+    /// The campaign's pipeline configuration for this machine.
+    #[must_use]
+    pub fn base_config(self) -> PipelineConfig {
+        match self {
+            Machine::Baseline => PipelineConfig::baseline(),
+            Machine::Contended => PipelineConfig::contended(),
+            Machine::Clustered => PipelineConfig::contended().with_cluster(ClusterConfig {
+                clusters: 2,
+                bypass_penalty: 2,
+                steer: SteerPolicy::DeadSteer,
+            }),
+        }
+    }
+
+    /// The cluster count of [`Machine::base_config`] (`0` = unified).
+    #[must_use]
+    pub fn clusters(self) -> usize {
+        self.base_config().cluster.map_or(0, |c| c.clusters)
+    }
+}
+
 /// The requested parameter grid, before expansion and canonicalization.
 #[derive(Debug, Clone)]
 pub struct CampaignGrid {
@@ -85,8 +149,8 @@ pub struct CampaignGrid {
     pub opts: Vec<OptLevel>,
     /// Workload scales.
     pub scales: Vec<u32>,
-    /// Machines, as `contended` flags (`false` = baseline).
-    pub machines: Vec<bool>,
+    /// Machine axis.
+    pub machines: Vec<Machine>,
     /// Elimination modes.
     pub elims: Vec<Elim>,
     /// CFI confidence thresholds.
@@ -103,7 +167,7 @@ impl Default for CampaignGrid {
             seeds: Vec::new(),
             opts: vec![OptLevel::O2],
             scales: vec![1],
-            machines: vec![true],
+            machines: vec![Machine::Contended],
             elims: vec![Elim::Off, Elim::Cfi],
             thresholds: vec![u32::from(elim.predictor.threshold)],
             penalties: vec![elim.violation_penalty],
@@ -127,7 +191,7 @@ pub struct JobSpec {
     /// Scale (canonical: 1 for generated workloads).
     pub scale: u32,
     /// Machine selector.
-    pub contended: bool,
+    pub machine: Machine,
     /// Elimination mode.
     pub elim: Elim,
     /// CFI threshold (canonical: the default when not consulted).
@@ -137,17 +201,8 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    fn machine(&self) -> &'static str {
-        if self.contended {
-            "contended"
-        } else {
-            "baseline"
-        }
-    }
-
     fn config(&self) -> PipelineConfig {
-        let machine =
-            if self.contended { PipelineConfig::contended() } else { PipelineConfig::baseline() };
+        let machine = self.machine.base_config();
         match self.elim {
             Elim::Off => machine,
             Elim::Cfi | Elim::Oracle => {
@@ -233,7 +288,7 @@ pub fn expand_grid(grid: &CampaignGrid) -> Result<ExpandedGrid, String> {
     for (spec, benchmark, is_gen) in &targets {
         for &opt in &grid.opts {
             for &scale in &grid.scales {
-                for &contended in &grid.machines {
+                for &machine in &grid.machines {
                     for &elim in &grid.elims {
                         for &threshold in &grid.thresholds {
                             for &penalty in &grid.penalties {
@@ -247,9 +302,9 @@ pub fn expand_grid(grid: &CampaignGrid) -> Result<ExpandedGrid, String> {
                                     Elim::Cfi | Elim::Oracle => penalty,
                                     Elim::Off => default_penalty,
                                 };
-                                let machine = if contended { "contended" } else { "baseline" };
                                 let id = format!(
-                                    "{benchmark}|{opt}|s{scale}|{machine}|{}|t{threshold}|p{penalty}",
+                                    "{benchmark}|{opt}|s{scale}|{}|{}|t{threshold}|p{penalty}",
+                                    machine.label(),
                                     elim.label()
                                 );
                                 if !seen.insert(id.clone()) {
@@ -263,7 +318,7 @@ pub fn expand_grid(grid: &CampaignGrid) -> Result<ExpandedGrid, String> {
                                     benchmark: benchmark.clone(),
                                     opt,
                                     scale,
-                                    contended,
+                                    machine,
                                     elim,
                                     threshold,
                                     penalty,
@@ -298,7 +353,8 @@ fn run_job(job: &JobSpec, cache: &FixtureCache) -> (String, u64) {
     let case = cache.cached(job.spec, job.opt, job.scale);
     let stats = Core::new(job.config()).run(&case.trace, &case.analysis);
     let counters = full_counters(&case, &stats);
-    let violations = check_rules(&PipelineStats::conservation_rules(), &counters);
+    let violations =
+        check_rules(&PipelineStats::conservation_rules_for(job.machine.clusters()), &counters);
     let mut fields: Vec<(String, FieldValue)> = vec![
         ("schema".to_string(), FieldValue::Str(STATS_SCHEMA.to_string())),
         ("seq".to_string(), FieldValue::Num(job.seq)),
@@ -306,7 +362,7 @@ fn run_job(job: &JobSpec, cache: &FixtureCache) -> (String, u64) {
         ("benchmark".to_string(), FieldValue::Str(job.benchmark.clone())),
         ("opt".to_string(), FieldValue::Str(job.opt.to_string())),
         ("scale".to_string(), FieldValue::Num(u64::from(job.scale))),
-        ("machine".to_string(), FieldValue::Str(job.machine().to_string())),
+        ("machine".to_string(), FieldValue::Str(job.machine.label().to_string())),
         ("elim".to_string(), FieldValue::Str(job.elim.label().to_string())),
         ("threshold".to_string(), FieldValue::Num(u64::from(job.threshold))),
         ("penalty".to_string(), FieldValue::Num(u64::from(job.penalty))),
@@ -507,7 +563,7 @@ pub fn bench_grid() -> CampaignGrid {
         seeds: Vec::new(),
         opts: vec![OptLevel::O2],
         scales: vec![1],
-        machines: vec![true],
+        machines: vec![Machine::Contended],
         elims: vec![Elim::Off, Elim::Cfi],
         thresholds: vec![8, 12],
         penalties: vec![15],
@@ -729,7 +785,7 @@ mod tests {
             seeds: vec![3],
             opts: vec![OptLevel::O0, OptLevel::O2],
             scales: vec![1],
-            machines: vec![true],
+            machines: vec![Machine::Contended],
             elims: vec![Elim::Off, Elim::Cfi],
             thresholds: vec![8, 12],
             penalties: vec![15],

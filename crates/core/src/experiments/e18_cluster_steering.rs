@@ -1,0 +1,197 @@
+//! **E18 — Clustered backend and dead-instruction steering (extension).**
+//!
+//! Runs each benchmark on the contended machine three ways — unified
+//! backend, clustered with round-robin steering, and clustered with
+//! dead-instruction steering — across a small sweep of cluster counts and
+//! inter-cluster bypass penalties (DESIGN.md §11). The paper eliminates
+//! dead instructions; this extension asks what they are worth as *steering
+//! hints*: routing predicted-dead work to a designated cheap cluster keeps
+//! it off the clusters doing live work, so the dead-steered machine should
+//! recover part of the clustering penalty without eliminating anything.
+
+use std::fmt;
+
+use dide_pipeline::{ClusterConfig, Core, PipelineConfig, SteerPolicy};
+
+use crate::experiments::geomean;
+use crate::{harness, Table, Workbench};
+
+/// The `(clusters, bypass_penalty)` sweep points every benchmark runs at.
+pub const SWEEP: [(usize, u32); 4] = [(2, 1), (2, 4), (4, 1), (4, 4)];
+
+/// One benchmark at one sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Execution clusters.
+    pub clusters: usize,
+    /// Inter-cluster bypass penalty (cycles).
+    pub penalty: u32,
+    /// Unified-backend cycles (no clustering).
+    pub unified_cycles: u64,
+    /// Cycles with round-robin steering.
+    pub rr_cycles: u64,
+    /// Cycles with dead-instruction steering (steering only, no
+    /// elimination).
+    pub dead_cycles: u64,
+    /// Instructions the dead-steer run routed to the cheap cluster.
+    pub steered_dead: u64,
+}
+
+impl Row {
+    /// Cycle cost of clustering under round-robin (>1 = slower than the
+    /// unified backend).
+    #[must_use]
+    pub fn rr_slowdown(&self) -> f64 {
+        self.rr_cycles as f64 / self.unified_cycles as f64
+    }
+
+    /// Speedup of dead steering over round-robin on the same clustered
+    /// machine (>1 = steering by deadness helped).
+    #[must_use]
+    pub fn steer_gain(&self) -> f64 {
+        self.rr_cycles as f64 / self.dead_cycles as f64
+    }
+}
+
+/// The E18 result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSteering {
+    /// Rows in (benchmark, sweep-point) order.
+    pub rows: Vec<Row>,
+}
+
+impl ClusterSteering {
+    /// Runs the sweep on the contended machine.
+    #[must_use]
+    pub fn run(bench: &Workbench) -> ClusterSteering {
+        ClusterSteering::run_jobs(bench, 1)
+    }
+
+    /// Like [`ClusterSteering::run`], fanning the per-benchmark
+    /// simulations out across `jobs` worker threads.
+    #[must_use]
+    pub fn run_jobs(bench: &Workbench, jobs: usize) -> ClusterSteering {
+        let machine = PipelineConfig::contended();
+        let per_case = harness::map_ordered(jobs, bench.cases(), |case| {
+            let unified = Core::new(machine).run(&case.trace, &case.analysis);
+            SWEEP
+                .iter()
+                .map(|&(clusters, penalty)| {
+                    let clustered = |steer| {
+                        machine.with_cluster(ClusterConfig {
+                            clusters,
+                            bypass_penalty: penalty,
+                            steer,
+                        })
+                    };
+                    let rr = Core::new(clustered(SteerPolicy::RoundRobin))
+                        .run(&case.trace, &case.analysis);
+                    let dead = Core::new(clustered(SteerPolicy::DeadSteer))
+                        .run(&case.trace, &case.analysis);
+                    Row {
+                        benchmark: case.spec.name.to_string(),
+                        clusters,
+                        penalty,
+                        unified_cycles: unified.cycles,
+                        rr_cycles: rr.cycles,
+                        dead_cycles: dead.cycles,
+                        steered_dead: dead.steer.dead,
+                    }
+                })
+                .collect::<Vec<Row>>()
+        });
+        ClusterSteering { rows: per_case.into_iter().flatten().collect() }
+    }
+
+    /// Geometric-mean dead-steering gain over round-robin across all rows.
+    #[must_use]
+    pub fn mean_steer_gain(&self) -> f64 {
+        geomean(&self.rows.iter().map(Row::steer_gain).collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for ClusterSteering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E18: clustered backend — dead-instruction steering vs round-robin (extension)"
+        )?;
+        let mut t = Table::new([
+            "benchmark",
+            "clusters",
+            "bypass",
+            "unified cycles",
+            "rr cycles",
+            "dead-steer cycles",
+            "steered",
+            "rr cost",
+            "steer gain",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                r.clusters.to_string(),
+                r.penalty.to_string(),
+                r.unified_cycles.to_string(),
+                r.rr_cycles.to_string(),
+                r.dead_cycles.to_string(),
+                r.steered_dead.to_string(),
+                format!("{:+.1}%", 100.0 * (r.rr_slowdown() - 1.0)),
+                format!("{:+.1}%", 100.0 * (r.steer_gain() - 1.0)),
+            ]);
+        }
+        t.row([
+            "GEOMEAN".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:+.1}%", 100.0 * (self.mean_steer_gain() - 1.0)),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testbench::small_o2;
+
+    #[test]
+    fn clustering_costs_cycles_and_steering_recovers_some() {
+        let result = ClusterSteering::run(small_o2());
+        assert_eq!(result.rows.len(), 3 * SWEEP.len());
+        // Clustering a contended machine is never free on these workloads.
+        assert!(
+            result.rows.iter().all(|r| r.rr_cycles >= r.unified_cycles),
+            "round-robin clustering must not beat the unified backend"
+        );
+        // The acceptance criterion: dead steering differs measurably from
+        // round-robin on at least one benchmark/sweep point.
+        assert!(
+            result.rows.iter().any(|r| r.rr_cycles != r.dead_cycles),
+            "dead steering must change cycle counts somewhere in the sweep"
+        );
+        assert!(result.rows.iter().any(|r| r.steered_dead > 0), "dead work must be steered");
+    }
+
+    #[test]
+    fn rows_are_deterministic_across_job_counts() {
+        let serial = ClusterSteering::run_jobs(small_o2(), 1);
+        let parallel = ClusterSteering::run_jobs(small_o2(), 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn display_has_geomean_and_sweep_axes() {
+        let text = ClusterSteering::run(small_o2()).to_string();
+        assert!(text.contains("GEOMEAN"));
+        assert!(text.contains("steer gain"));
+        assert!(text.contains("E18:"));
+    }
+}

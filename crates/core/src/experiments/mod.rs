@@ -21,6 +21,7 @@
 //! | E15 | [`e15_penalty_sweep`] | violation-penalty sensitivity |
 //! | E16 | [`e16_dead_lifetimes`] | dead-value lifetime distribution |
 //! | E17 | [`e17_register_sweep`] | elimination expressed in physical registers |
+//! | E18 | [`e18_cluster_steering`] | extension: clustered backend + dead steering |
 //!
 //! Every experiment takes a prepared [`Workbench`](crate::Workbench) so the
 //! cost of tracing and oracle analysis is paid once, and renders itself as
@@ -43,6 +44,7 @@ pub mod e14_oracle_limit;
 pub mod e15_penalty_sweep;
 pub mod e16_dead_lifetimes;
 pub mod e17_register_sweep;
+pub mod e18_cluster_steering;
 
 /// Geometric mean of strictly positive values (1.0 for an empty slice).
 #[must_use]

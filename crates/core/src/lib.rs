@@ -63,7 +63,7 @@ pub use benchrun::{
 pub use campaign::{
     bench_grid, campaign_rules, expand_grid, measure_campaign_throughput, run_campaign,
     run_campaign_report, CampaignGrid, CampaignOptions, CampaignRun, CampaignThroughput, Elim,
-    ExpandedGrid, JobSpec, ReportOptions,
+    ExpandedGrid, JobSpec, Machine, ReportOptions,
 };
 pub use runner::{run_experiments, ExperimentOptions, ExperimentRun};
 pub use statsrun::{
@@ -89,7 +89,8 @@ pub mod prelude {
     pub use dide_emu::{DynInst, Emulator, Trace, TraceStream};
     pub use dide_isa::{Inst, Opcode, Program, ProgramBuilder, Reg};
     pub use dide_pipeline::{
-        Core, DeadElimConfig, EliminationPolicy, PipelineConfig, PipelineStats,
+        ClusterConfig, ClusterStats, Core, DeadElimConfig, EliminationPolicy, PipelineConfig,
+        PipelineStats, SteerPolicy, SteerStats,
     };
     pub use dide_predictor::branch::{BimodalBranch, BranchPredictor, Gshare};
     pub use dide_predictor::dead::{

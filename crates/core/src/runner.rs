@@ -1,4 +1,4 @@
-//! The `dide experiments` runner: schedules the E1–E17 experiment modules
+//! The `dide experiments` runner: schedules the E1–E18 experiment modules
 //! across a worker pool, reuses cached fixtures, and reports per-phase
 //! wall-clock timing.
 //!
@@ -27,7 +27,7 @@ pub struct ExperimentOptions {
     /// Whether the caller wants the per-span timing detail view.
     pub timings: bool,
     /// Run the streamed-pipeline table ([`STREAM_ENROLLMENTS`]) instead of
-    /// the E1–E17 suite.
+    /// the E1–E18 suite.
     pub stream: bool,
     /// Epoch length for `stream` runs.
     pub epoch: usize,
@@ -63,10 +63,10 @@ impl ExperimentOptions {
 /// The rendered result of one [`run_experiments`] call.
 #[derive(Debug, Clone)]
 pub struct ExperimentRun {
-    /// Every requested experiment's table in E1..E17 order, each followed
+    /// Every requested experiment's table in E1..E18 order, each followed
     /// by a blank line — byte-identical for any job count.
     pub tables: String,
-    /// The same tables keyed by experiment id (`e1`..`e17`), for golden
+    /// The same tables keyed by experiment id (`e1`..`e18`), for golden
     /// snapshot comparison.
     pub per_experiment: Vec<(String, String)>,
     /// Per-phase timing summary (wall-clock; varies run to run).
@@ -77,9 +77,9 @@ pub struct ExperimentRun {
 
 /// Experiment ids that read the O2 workbench (everything but the static
 /// configuration table E10; E5 additionally reads O0).
-const NEEDS_O2: [&str; 16] = [
+const NEEDS_O2: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e11", "e12", "e13", "e14", "e15", "e16",
-    "e17",
+    "e17", "e18",
 ];
 
 /// The streamed-experiments enrollment: `(benchmark, scale)` pairs run
@@ -92,7 +92,7 @@ pub const STREAM_ENROLLMENTS: [(&str, u32); 3] = [("expr", 100), ("route", 16), 
 /// Runs the streamed-pipeline table: every [`STREAM_ENROLLMENTS`] workload
 /// with elimination off and with the CFI predictor, through the windowed
 /// analysis and streaming core. Numbers differ from the materializing
-/// E1–E17 tables by design (windowed analysis is conservative), so they
+/// E1–E18 tables by design (windowed analysis is conservative), so they
 /// get their own table instead of replacing golden-pinned ones.
 fn run_streamed_experiments(options: &ExperimentOptions) -> ExperimentRun {
     use crate::statsrun::{run_stats, RunSelection, StatsOptions};
@@ -163,7 +163,7 @@ fn run_streamed_experiments(options: &ExperimentOptions) -> ExperimentRun {
 /// Independent experiments execute across a worker pool of
 /// `options.jobs` threads, and the heavy pipeline experiments additionally
 /// fan their per-benchmark inner loops out on the same job budget. With
-/// `stream` set, the streamed-pipeline table replaces the E1–E17 suite.
+/// `stream` set, the streamed-pipeline table replaces the E1–E18 suite.
 /// Progress messages go to stderr; the returned tables contain no timing
 /// data.
 ///
@@ -254,6 +254,12 @@ pub fn run_experiments(options: &ExperimentOptions) -> ExperimentRun {
     schedule.push((
         "e17",
         Box::new(move || ex::e17_register_sweep::RegisterSweep::run_jobs(o2(), jobs).to_string()),
+    ));
+    schedule.push((
+        "e18",
+        Box::new(move || {
+            ex::e18_cluster_steering::ClusterSteering::run_jobs(o2(), jobs).to_string()
+        }),
     ));
     schedule.retain(|(id, _)| options.wants(id));
 

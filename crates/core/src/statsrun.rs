@@ -27,7 +27,7 @@ use dide_obs::{
     check_rules, counters_csv, counters_json, json_escape, CounterSet, CycleEvent, EventKind,
     EventTrace, EventsConfig, Observe,
 };
-use dide_pipeline::{Core, DeadElimConfig, PipelineConfig, PipelineStats};
+use dide_pipeline::{ClusterConfig, Core, DeadElimConfig, PipelineConfig, PipelineStats};
 use dide_workloads::OptLevel;
 
 use crate::{BenchCase, Table};
@@ -74,6 +74,9 @@ pub struct RunSelection {
     pub stream: bool,
     /// Epoch length (records per chunk) for `stream` runs.
     pub epoch: usize,
+    /// Clustered backend on top of the selected machine base
+    /// (DESIGN.md §11). `None` = unified backend.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for RunSelection {
@@ -88,6 +91,7 @@ impl Default for RunSelection {
             jump_aware: false,
             stream: false,
             epoch: DEFAULT_EPOCH_LEN,
+            cluster: None,
         }
     }
 }
@@ -96,7 +100,9 @@ impl RunSelection {
     /// The machine name rendered into the document.
     #[must_use]
     pub fn machine(&self) -> &'static str {
-        if self.contended {
+        if self.cluster.is_some() {
+            "clustered"
+        } else if self.contended {
             "contended"
         } else {
             "baseline"
@@ -116,8 +122,11 @@ impl RunSelection {
     }
 
     fn config(&self) -> PipelineConfig {
-        let machine =
+        let mut machine =
             if self.contended { PipelineConfig::contended() } else { PipelineConfig::baseline() };
+        if let Some(cluster) = self.cluster {
+            machine = machine.with_cluster(cluster);
+        }
         if self.eliminate || self.oracle {
             machine.with_elimination(DeadElimConfig {
                 oracle: self.oracle,
@@ -194,7 +203,8 @@ pub fn run_stats(options: &StatsOptions) -> Result<StatsRun, String> {
         let stats = Core::new(options.select.config()).run(&case.trace, &case.analysis);
         full_counters(&case, &stats)
     };
-    let violations = check_rules(&PipelineStats::conservation_rules(), &counters);
+    let clusters = options.select.cluster.map_or(0, |c| c.clusters);
+    let violations = check_rules(&PipelineStats::conservation_rules_for(clusters), &counters);
     let output = match options.format.unwrap_or(StatsFormat::Json) {
         StatsFormat::Json => render_stats_json(&options.select, &counters, &violations),
         StatsFormat::Csv => format!("# {STATS_SCHEMA}\n{}", counters_csv(&counters)),

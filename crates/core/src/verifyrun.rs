@@ -9,7 +9,7 @@
 //!   and metamorphic invariants, see the `dide-verify` crate). New failures
 //!   are shrunk to a minimal generator configuration and persisted to the
 //!   corpus.
-//! * **golden** ([`run_golden`]) — render the E1–E17 experiment tables and
+//! * **golden** ([`run_golden`]) — render the E1–E18 experiment tables and
 //!   compare them byte-for-byte against committed snapshots
 //!   (`--bless` rewrites them).
 //!
@@ -225,7 +225,7 @@ pub fn run_verify(options: &VerifyOptions) -> io::Result<VerifyRun> {
 pub struct GoldenOptions {
     /// Snapshot directory (the committed tree uses `tests/golden`).
     pub dir: PathBuf,
-    /// Lower-cased experiment ids to check (`None` = all of E1–E17).
+    /// Lower-cased experiment ids to check (`None` = all of E1–E18).
     pub only: Option<Vec<String>>,
     /// Worker threads for rendering (`0` = available parallelism). Does
     /// not affect the rendered bytes.
@@ -294,11 +294,13 @@ pub fn run_golden(options: &GoldenOptions) -> io::Result<GoldenRun> {
 }
 
 /// The `dide stats` documents snapshotted alongside the experiment tables:
-/// one CFI-elimination run and one oracle run on the baseline machine.
-/// Stats output is a pure function of the committed code (fixtures are
-/// deterministic and jobs-independent), so it goldens exactly like a table.
+/// one CFI-elimination run, one oracle run on the baseline machine, and
+/// one clustered dead-steering run (elimination off, so every predicted
+/// verdict shows up as steering rather than squashing). Stats output is a
+/// pure function of the committed code (fixtures are deterministic and
+/// jobs-independent), so it goldens exactly like a table.
 fn stats_documents(only: Option<&[String]>) -> Vec<(String, String)> {
-    let docs: [(&str, RunSelection); 2] = [
+    let docs: [(&str, RunSelection); 3] = [
         ("stats_expr.json", RunSelection { eliminate: true, ..RunSelection::default() }),
         (
             "stats_route.json",
@@ -306,6 +308,17 @@ fn stats_documents(only: Option<&[String]>) -> Vec<(String, String)> {
                 benchmark: "route".to_string(),
                 contended: false,
                 oracle: true,
+                ..RunSelection::default()
+            },
+        ),
+        (
+            "stats_expr_clustered.json",
+            RunSelection {
+                cluster: Some(dide_pipeline::ClusterConfig {
+                    clusters: 2,
+                    bypass_penalty: 2,
+                    steer: dide_pipeline::SteerPolicy::DeadSteer,
+                }),
                 ..RunSelection::default()
             },
         ),

@@ -52,7 +52,7 @@ type CaseKey = (BenchKind, OptLevel, u32);
 type CaseCell = Arc<OnceLock<Arc<BenchCase>>>;
 
 /// Default [`FixtureCache`] capacity: far above anything the test suite or
-/// the E1–E17 harness touches (two opt levels × one scale × the suite),
+/// the E1–E18 harness touches (two opt levels × one scale × the suite),
 /// low enough that a campaign over thousands of tuples stays flat.
 pub const DEFAULT_FIXTURE_CAP: usize = 256;
 

@@ -101,6 +101,73 @@ impl Default for DeadElimConfig {
     }
 }
 
+/// Dispatch-time steering policy for a clustered backend (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SteerPolicy {
+    /// Rotate dispatched instructions across clusters, advancing only on a
+    /// successful dispatch so stalls do not skew the rotation.
+    RoundRobin,
+    /// Follow the producing cluster of the first physical source operand
+    /// (falling back to round-robin for instructions with no in-flight
+    /// producer), trading load balance for fewer cross-cluster forwards.
+    DependenceAffinity,
+    /// Route predicted-dead instructions to the designated cheap cluster
+    /// (the highest-numbered one); live instructions rotate over the
+    /// remaining clusters. With elimination enabled, predicted-dead
+    /// instructions are squashed pre-dispatch instead of steered.
+    DeadSteer,
+}
+
+impl SteerPolicy {
+    /// The axis value as written in records and flags.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SteerPolicy::RoundRobin => "rr",
+            SteerPolicy::DependenceAffinity => "affinity",
+            SteerPolicy::DeadSteer => "dead",
+        }
+    }
+
+    /// Parses one `--steer` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for anything but `rr`, `affinity`, `dead`.
+    pub fn parse(value: &str) -> Result<SteerPolicy, String> {
+        match value {
+            "rr" => Ok(SteerPolicy::RoundRobin),
+            "affinity" => Ok(SteerPolicy::DependenceAffinity),
+            "dead" => Ok(SteerPolicy::DeadSteer),
+            other => Err(format!("invalid --steer `{other}` (expected rr, affinity or dead)")),
+        }
+    }
+}
+
+/// Clustered-backend configuration: the issue queue and function units are
+/// partitioned into `clusters` slices, and a value produced in one cluster
+/// becomes visible to consumers in another only `bypass_penalty` cycles
+/// after its local writeback (DESIGN.md §11). Memory ordering (LSQ) and
+/// the register-file storage itself stay global; only operand *forwarding*
+/// pays the inter-cluster penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterConfig {
+    /// Execution clusters (1..=8). Each gets `iq_entries / clusters` issue
+    /// slots and `fu / clusters` function units (floored, minimum one).
+    pub clusters: usize,
+    /// Extra cycles before a result produced in one cluster can wake
+    /// consumers waiting in another (0 = an ideal global bypass network).
+    pub bypass_penalty: u32,
+    /// Dispatch-time steering policy.
+    pub steer: SteerPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { clusters: 2, bypass_penalty: 2, steer: SteerPolicy::RoundRobin }
+    }
+}
+
 /// Full machine configuration (defaults are DESIGN.md §4's baseline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
@@ -142,6 +209,8 @@ pub struct PipelineConfig {
     pub hierarchy: HierarchyConfig,
     /// Dead-instruction elimination (policy `Off` for the baseline).
     pub dead: DeadElimConfig,
+    /// Clustered backend (`None` = the classic unified backend).
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl PipelineConfig {
@@ -170,6 +239,7 @@ impl PipelineConfig {
             ras_depth: 16,
             hierarchy: HierarchyConfig::default(),
             dead: DeadElimConfig { policy: EliminationPolicy::Off, ..DeadElimConfig::default() },
+            cluster: None,
         }
     }
 
@@ -190,10 +260,25 @@ impl PipelineConfig {
         }
     }
 
+    /// The contended machine with its backend split into clusters: the
+    /// same global resources, partitioned, plus an inter-cluster bypass
+    /// penalty. The `dide run/stats/campaign` `clustered` machine axis.
+    #[must_use]
+    pub fn clustered(cluster: ClusterConfig) -> PipelineConfig {
+        PipelineConfig { cluster: Some(cluster), ..PipelineConfig::contended() }
+    }
+
     /// Returns the configuration with the given elimination settings.
     #[must_use]
     pub fn with_elimination(mut self, dead: DeadElimConfig) -> PipelineConfig {
         self.dead = dead;
+        self
+    }
+
+    /// Returns the configuration with the given clustered backend.
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> PipelineConfig {
+        self.cluster = Some(cluster);
         self
     }
 
@@ -216,6 +301,19 @@ impl PipelineConfig {
         assert!(self.fetch_buffer >= self.fetch_width, "fetch buffer too small");
         assert!(self.fu.alus > 0 && self.fu.mem_ports > 0, "need ALUs and memory ports");
         assert!(self.fu.muls > 0 && self.fu.divs > 0, "need multiplier and divider");
+        if let Some(cluster) = self.cluster {
+            assert!(
+                (1..=8).contains(&cluster.clusters),
+                "need 1..=8 execution clusters, got {}",
+                cluster.clusters
+            );
+            // Per-cluster IQ slices are floored at one entry, so a slice
+            // can only exceed the bitmap cap when the global queue does.
+            assert!(
+                self.iq_entries.div_euclid(cluster.clusters).max(1) <= 64,
+                "per-cluster issue-queue slice capped at 64 entries"
+            );
+        }
     }
 }
 
@@ -266,5 +364,36 @@ mod tests {
         let mut cfg = PipelineConfig::baseline();
         cfg.phys_regs = 32;
         cfg.validate();
+    }
+
+    #[test]
+    fn clustered_validates_and_keeps_contended_resources() {
+        let cfg = PipelineConfig::clustered(ClusterConfig::default());
+        cfg.validate();
+        let contended = PipelineConfig::contended();
+        assert_eq!(cfg.iq_entries, contended.iq_entries);
+        assert_eq!(cfg.fu, contended.fu);
+        assert_eq!(cfg.cluster, Some(ClusterConfig::default()));
+        for n in 1..=8 {
+            PipelineConfig::clustered(ClusterConfig { clusters: n, ..ClusterConfig::default() })
+                .validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "execution clusters")]
+    fn too_many_clusters_panics() {
+        PipelineConfig::clustered(ClusterConfig { clusters: 9, ..ClusterConfig::default() })
+            .validate();
+    }
+
+    #[test]
+    fn steer_policy_labels_roundtrip() {
+        for policy in
+            [SteerPolicy::RoundRobin, SteerPolicy::DependenceAffinity, SteerPolicy::DeadSteer]
+        {
+            assert_eq!(SteerPolicy::parse(policy.label()), Ok(policy));
+        }
+        assert!(SteerPolicy::parse("nope").unwrap_err().contains("--steer"));
     }
 }

@@ -43,7 +43,7 @@ enum RenameStall {
 
 /// Marks `seq` (stored as `seq + 1`; 0 = no owner) as the last store to
 /// claim each byte of `mem` in the core's rename-order shadow table.
-fn claim_store_bytes(shadow: &mut PagedShadow<u64>, seq: u64, mem: MemAccess) {
+pub(crate) fn claim_store_bytes(shadow: &mut PagedShadow<u64>, seq: u64, mem: MemAccess) {
     let len = mem.width.bytes();
     let claimed = seq + 1;
     if !PagedShadow::<u64>::crosses_page(mem.addr, len) {
@@ -66,7 +66,7 @@ fn claim_store_bytes(shadow: &mut PagedShadow<u64>, seq: u64, mem: MemAccess) {
 /// and removing an absent seq is a no-op — scanning the bytes in order
 /// (skipping consecutive duplicates) removes exactly the same store, or
 /// none, as the producer-table walk did.
-fn take_eliminated_producer(
+pub(crate) fn take_eliminated_producer(
     shadow: &PagedShadow<u64>,
     eliminated: &mut HashSet<u64>,
     mem: MemAccess,
@@ -230,6 +230,15 @@ impl Core {
         verdicts: &[Verdict],
         mut events: Option<&mut dide_obs::EventTrace>,
     ) -> PipelineStats {
+        if self.config.cluster.is_some() {
+            return crate::cluster::run_loop_clustered(
+                &self.config,
+                program,
+                source,
+                verdicts,
+                events,
+            );
+        }
         let cfg = &self.config;
         let total = verdicts.len() as u64;
         let predec = predecode(program, cfg);
@@ -523,6 +532,7 @@ impl Core {
                             is_cond_branch: pre.is_cond_branch,
 
                             eligible,
+                            steered_dead: false,
                             signature,
                         });
                         frontend.pop(seq);
@@ -578,6 +588,7 @@ impl Core {
                         is_cond_branch: pre.is_cond_branch,
 
                         eligible,
+                        steered_dead: false,
                         signature,
                     });
                     frontend.pop(seq);

@@ -136,11 +136,20 @@ impl IssueQueue {
     /// in-order), which keeps the age list sorted by age.
     #[inline(always)]
     pub(crate) fn push(&mut self, entry: IqEntry, regs: &PhysRegFile) {
+        self.push_with(entry, |p| regs.is_ready(p));
+    }
+
+    /// Dispatches an entry with a caller-supplied readiness predicate — the
+    /// clustered backend tracks per-cluster operand *visibility* (remote
+    /// results arrive after the bypass penalty), so a register can be ready
+    /// globally yet still pending in this cluster's queue.
+    #[inline(always)]
+    pub(crate) fn push_with(&mut self, entry: IqEntry, is_ready: impl Fn(PhysReg) -> bool) {
         debug_assert!(!self.is_full(), "pushed into a full issue queue");
         let slot = self.free_slots.pop().expect("free slot exists");
         let mut pending = 0u8;
         for p in entry.srcs.iter().flatten() {
-            if !regs.is_ready(*p) {
+            if !is_ready(*p) {
                 pending += 1;
                 self.waiters[p.0 as usize] |= 1 << slot;
             }
@@ -168,10 +177,13 @@ impl IssueQueue {
         }
     }
 
-    /// Register `p` became ready: wake every entry waiting on it.
+    /// Register `p` became ready: wake every entry waiting on it. Returns
+    /// the number of waiter entries woken (the clustered backend charges
+    /// delayed remote wakeups as `bypass_stalls` per waiter).
     #[inline(always)]
-    pub(crate) fn wakeup(&mut self, p: PhysReg) {
+    pub(crate) fn wakeup(&mut self, p: PhysReg) -> u32 {
         let mut w = std::mem::take(&mut self.waiters[p.0 as usize]);
+        let woken = w.count_ones();
         while w != 0 {
             let s = w.trailing_zeros() as usize;
             w &= w - 1;
@@ -187,6 +199,7 @@ impl IssueQueue {
                 self.mark_ready(s);
             }
         }
+        woken
     }
 
     /// Appends `(seq, slot)` for every ready entry to `out`, oldest first
@@ -351,5 +364,22 @@ mod tests {
         assert!(!iq.is_full());
         iq.push(entry(0, [None, None]), &regs);
         assert!(iq.is_full());
+    }
+
+    #[test]
+    fn push_with_overrides_readiness_and_wakeup_reports_woken_entries() {
+        // A globally-ready register can be invisible to a remote cluster:
+        // the predicate, not the register file, decides pending counts.
+        let mut regs = PhysRegFile::new(40, 32);
+        let p = regs.alloc().unwrap();
+        regs.set_ready(p);
+        let mut iq = IssueQueue::new(4, 40);
+        iq.push_with(entry(0, [Some(p), None]), |_| false);
+        iq.push_with(entry(1, [Some(p), None]), |_| false);
+        iq.push_with(entry(2, [None, None]), |_| false);
+        assert_eq!(iq.ready_count(), 1, "no-source entries are always ready");
+        assert_eq!(iq.wakeup(p), 2, "two entries waited on the register");
+        assert_eq!(iq.ready_count(), 3);
+        assert_eq!(iq.wakeup(p), 0, "waiter bits are consumed by the wakeup");
     }
 }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod config;
 mod core;
 mod frontend;
@@ -63,5 +64,7 @@ mod stats;
 mod wheel;
 
 pub use crate::core::Core;
-pub use config::{DeadElimConfig, EliminationPolicy, FuConfig, PipelineConfig};
-pub use stats::{PipelineStats, ResourceSavings};
+pub use config::{
+    ClusterConfig, DeadElimConfig, EliminationPolicy, FuConfig, PipelineConfig, SteerPolicy,
+};
+pub use stats::{ClusterStats, PipelineStats, ResourceSavings, SteerStats};

@@ -36,6 +36,9 @@ pub(crate) struct RobEntry {
     /// Whether this instance was eligible for dead prediction under the
     /// active policy (drives commit-time training).
     pub(crate) eligible: bool,
+    /// Whether `DeadSteer` routed this instruction to the cheap cluster as
+    /// predicted-dead (audited against the oracle verdict at commit).
+    pub(crate) steered_dead: bool,
     /// CFI signature captured at rename (for commit-time training).
     pub(crate) signature: CfSignature,
 }
@@ -100,6 +103,7 @@ mod tests {
             is_store: false,
             is_cond_branch: false,
             eligible: false,
+            steered_dead: false,
             signature: CfSignature::empty(),
         }
     }

@@ -33,6 +33,57 @@ impl Observe for ResourceSavings {
     }
 }
 
+/// Per-cluster counters of a clustered-backend run (one element per
+/// execution cluster, exported as `pipeline.cluster.<i>.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Instructions dispatched into this cluster's issue-queue slice.
+    pub dispatched: u64,
+    /// Instructions issued from this cluster's issue-queue slice.
+    pub issued: u64,
+    /// Waiter entries woken by a *delayed* cross-cluster forward — each one
+    /// sat ready-blocked for the bypass penalty after the producing
+    /// cluster's local writeback.
+    pub bypass_stalls: u64,
+    /// Predicted-dead instructions `DeadSteer` routed into this cluster.
+    pub steered_dead: u64,
+}
+
+impl Observe for ClusterStats {
+    fn observe(&self, scope: &mut Scope<'_>) {
+        scope.counter("dispatched", self.dispatched);
+        scope.counter("issued", self.issued);
+        scope.counter("bypass_stalls", self.bypass_stalls);
+        scope.counter("steered_dead", self.steered_dead);
+    }
+}
+
+/// Dispatch-steering accounting of a clustered-backend run (exported as
+/// `pipeline.steer.*`). Conservation: `normal + dead + squashed ==
+/// dispatched`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SteerStats {
+    /// Instructions steered by the policy's normal path.
+    pub normal: u64,
+    /// Predicted-dead instructions steered to the cheap cluster.
+    pub dead: u64,
+    /// Instructions squashed pre-dispatch (eliminated instead of entering
+    /// any cluster's issue queue).
+    pub squashed: u64,
+    /// Dead-steered instructions the oracle says were actually live
+    /// (audited at commit; zero under the oracle predictor).
+    pub dead_wrong: u64,
+}
+
+impl Observe for SteerStats {
+    fn observe(&self, scope: &mut Scope<'_>) {
+        scope.counter("normal", self.normal);
+        scope.counter("dead", self.dead);
+        scope.counter("squashed", self.squashed);
+        scope.counter("dead_wrong", self.dead_wrong);
+    }
+}
+
 /// Counters for one pipeline run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelineStats {
@@ -92,6 +143,10 @@ pub struct PipelineStats {
     pub savings: ResourceSavings,
     /// Cache-hierarchy counters.
     pub memory: HierarchyStats,
+    /// Per-cluster counters (empty on the unified backend).
+    pub clusters: Vec<ClusterStats>,
+    /// Dispatch-steering accounting (all-zero on the unified backend).
+    pub steer: SteerStats,
 }
 
 impl PipelineStats {
@@ -199,6 +254,17 @@ impl PipelineStats {
     /// built from the same rule vocabulary via [`Rule::prefixed`].
     #[must_use]
     pub fn conservation_rules() -> Vec<Rule> {
+        Self::conservation_rules_for(0)
+    }
+
+    /// The conservation laws for a run on a machine with `clusters`
+    /// execution clusters (`0` = the unified backend, adding no cluster
+    /// laws). The cluster laws are the tentpole accounting of DESIGN.md
+    /// §11: every dispatch slot is steered or squashed, per-cluster
+    /// dispatch/issue sums back to the global counts, and dead-steering is
+    /// bounded by its own audit trail.
+    #[must_use]
+    pub fn conservation_rules_for(clusters: usize) -> Vec<Rule> {
         let c = |name: &str| Expr::counter(format!("pipeline.{name}"));
         let mut rules = vec![
             Rule::eq(Expr::sum(["pipeline.committed", "pipeline.squashed"]), c("dispatched")),
@@ -238,6 +304,38 @@ impl PipelineStats {
             Expr::sum(["pipeline.mem.l1i.misses", "pipeline.mem.l1d.misses"]),
         ));
         rules.push(Rule::eq(c("mem.memory_accesses"), c("mem.l2.misses")));
+        if clusters > 0 {
+            rules.push(
+                Rule::eq(
+                    Expr::sum([
+                        "pipeline.steer.normal",
+                        "pipeline.steer.dead",
+                        "pipeline.steer.squashed",
+                    ]),
+                    c("dispatched"),
+                )
+                .note("every dispatched instruction is steered or squashed pre-dispatch"),
+            );
+            let per_cluster = |field: &str| -> Vec<String> {
+                (0..clusters).map(|i| format!("pipeline.cluster.{i}.{field}")).collect()
+            };
+            // Squashed instructions never enter a cluster queue, so the
+            // per-cluster sums plus the squash count recover the global
+            // dispatch count.
+            for field in ["dispatched", "issued"] {
+                let mut names = per_cluster(field);
+                names.push("pipeline.steer.squashed".to_string());
+                rules.push(
+                    Rule::eq(Expr::sum(names), c("dispatched"))
+                        .note("per-cluster counts plus squashes sum to total dispatch"),
+                );
+            }
+            rules.push(
+                Rule::eq(Expr::sum(per_cluster("steered_dead")), c("steer.dead"))
+                    .note("dead-steered instructions land in exactly one cluster"),
+            );
+            rules.push(Rule::le(c("steer.dead_wrong"), c("steer.dead")));
+        }
         rules
     }
 
@@ -248,7 +346,7 @@ impl PipelineStats {
     /// the [`PipelineStats::counters`] snapshot.
     #[must_use]
     pub fn invariant_violations(&self) -> Vec<String> {
-        check_rules(&Self::conservation_rules(), &self.counters())
+        check_rules(&Self::conservation_rules_for(self.clusters.len()), &self.counters())
     }
 }
 
@@ -279,6 +377,14 @@ impl Observe for PipelineStats {
         scope.counter("phys_used_sum", self.phys_used_sum);
         scope.observe("savings", &self.savings);
         scope.observe("mem", &self.memory);
+        // Cluster/steer counters exist only on the clustered backend, so
+        // unified-backend exports (and their goldens) stay byte-identical.
+        if !self.clusters.is_empty() {
+            scope.observe("steer", &self.steer);
+            for (i, cluster) in self.clusters.iter().enumerate() {
+                scope.observe(&format!("cluster.{i}"), cluster);
+            }
+        }
     }
 }
 
@@ -412,6 +518,49 @@ mod tests {
         s.memory.l1d.accesses = 3;
         s.memory.l1d.reads = 3;
         check(&s, "hits");
+    }
+
+    #[test]
+    fn cluster_conservation_laws() {
+        // A healthy 2-cluster run: 10 dispatched = 6 normal + 3 dead + 1
+        // squashed; the 9 queue-entering instructions split 5/4 and all
+        // issue; the 3 dead-steered ones landed in cluster 1.
+        let healthy = PipelineStats {
+            committed: 10,
+            dispatched: 10,
+            steer: SteerStats { normal: 6, dead: 3, squashed: 1, dead_wrong: 1 },
+            clusters: vec![
+                ClusterStats { dispatched: 5, issued: 5, bypass_stalls: 2, steered_dead: 0 },
+                ClusterStats { dispatched: 4, issued: 4, bypass_stalls: 0, steered_dead: 3 },
+            ],
+            dead_predicted: 1,
+            dead_predicted_correct: 1,
+            oracle_dead_committed: 4,
+            savings: ResourceSavings { iq_slots_saved: 1, ..ResourceSavings::default() },
+            ..PipelineStats::default()
+        };
+        assert!(healthy.invariant_violations().is_empty(), "{:?}", healthy.invariant_violations());
+
+        // Breaking each cluster law is reported.
+        let mut bad = healthy.clone();
+        bad.steer.normal = 7;
+        assert!(bad.invariant_violations().iter().any(|v| v.contains("steer.normal")));
+        let mut bad = healthy.clone();
+        bad.clusters[0].issued = 4;
+        assert!(bad.invariant_violations().iter().any(|v| v.contains("issued")));
+        let mut bad = healthy.clone();
+        bad.clusters[1].steered_dead = 2;
+        assert!(bad.invariant_violations().iter().any(|v| v.contains("steered_dead")));
+        let mut bad = healthy.clone();
+        bad.steer.dead_wrong = 5;
+        assert!(bad.invariant_violations().iter().any(|v| v.contains("dead_wrong")));
+
+        // The unified backend emits no cluster counters and checks no
+        // cluster laws.
+        let unified = PipelineStats { committed: 3, dispatched: 3, ..PipelineStats::default() };
+        assert!(unified.invariant_violations().is_empty());
+        assert!(unified.counters().get("pipeline.steer.normal").is_none());
+        assert!(healthy.counters().get("pipeline.cluster.1.steered_dead").is_some());
     }
 
     #[test]

@@ -138,3 +138,142 @@ fn rob_full_stall_is_cycle_exact() {
     assert_eq!(roomy.rob_full_stalls, 0);
     assert!(stats.cycles > roomy.cycles, "backpressure must cost cycles");
 }
+
+// ---- clustered-backend pins (DESIGN.md §11) ----
+
+use dide_pipeline::{ClusterConfig, DeadElimConfig, SteerPolicy, SteerStats};
+
+/// Drops the cluster-only counters so a clustered run can be compared
+/// field-for-field against a unified run of the same machine.
+fn strip_cluster_counters(mut stats: PipelineStats) -> PipelineStats {
+    stats.clusters.clear();
+    stats.steer = SteerStats::default();
+    stats
+}
+
+/// A loop with one oracle-dead `slt` per iteration (dead on every
+/// iteration but the last, when `out` reads it) — the steering target
+/// population for the `DeadSteer` pins.
+fn dead_slt_loop(dead_per_iter: usize, iters: i64) -> Trace {
+    let mut b = ProgramBuilder::new("deadsteer");
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, iters);
+    let top = b.label();
+    b.bind(top);
+    for _ in 0..dead_per_iter {
+        b.slt(Reg::T2, Reg::T0, Reg::T1);
+    }
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.blt(Reg::T0, Reg::T1, top);
+    b.out(Reg::T2);
+    b.halt();
+    Emulator::new(&b.build().unwrap()).run().unwrap()
+}
+
+#[test]
+fn single_cluster_zero_penalty_is_cycle_identical_to_unified() {
+    // N=1 with a free bypass network *is* the unified backend: one IQ slice
+    // holding the whole queue, one FU pool holding every unit, and operand
+    // visibility coinciding with the global ready bit. Every steering
+    // policy degenerates to "cluster 0". The clustered loop must reproduce
+    // the unified loop's statistics bit for bit (modulo the cluster/steer
+    // counters that only it emits) — including with elimination on, where
+    // dead predictions squash pre-dispatch in both loops.
+    for trace in [dep_chain_loop(8, 50), store_then_load(true), dead_slt_loop(2, 120)] {
+        for elim in [false, true] {
+            let mut unified = PipelineConfig::contended();
+            if elim {
+                unified = unified.with_elimination(DeadElimConfig::default());
+            }
+            let base = run(&trace, unified);
+            for steer in
+                [SteerPolicy::RoundRobin, SteerPolicy::DependenceAffinity, SteerPolicy::DeadSteer]
+            {
+                let cfg =
+                    unified.with_cluster(ClusterConfig { clusters: 1, bypass_penalty: 0, steer });
+                let clustered = run(&trace, cfg);
+                if steer == SteerPolicy::DeadSteer && !elim {
+                    // Dead-steering without elimination turns on prediction
+                    // (for steering), which perturbs training-side counters
+                    // — but never timing: everything still runs on the one
+                    // cluster.
+                    assert_eq!(clustered.cycles, base.cycles, "elim {elim} steer dead cycles");
+                    assert_eq!(clustered.committed, base.committed);
+                } else {
+                    assert_eq!(
+                        strip_cluster_counters(clustered.clone()),
+                        base,
+                        "elim {elim} steer {steer:?}"
+                    );
+                }
+                assert_eq!(clustered.clusters.len(), 1);
+                assert_eq!(clustered.clusters[0].bypass_stalls, 0, "one cluster, no bypass");
+                assert!(clustered.invariant_violations().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_cluster_bypass_delay_is_cycle_exact() {
+    // Round-robin over two clusters sends consecutive instructions of a
+    // serial dependence chain to alternating clusters, so *every* chain
+    // link crosses the cluster boundary and waits out the bypass penalty.
+    let trace = dep_chain_loop(8, 50);
+    let cycles_at = |penalty: u32| {
+        let cfg = PipelineConfig::clustered(ClusterConfig {
+            clusters: 2,
+            bypass_penalty: penalty,
+            steer: SteerPolicy::RoundRobin,
+        });
+        run(&trace, cfg)
+    };
+    let p0 = cycles_at(0);
+    let p2 = cycles_at(2);
+    let p4 = cycles_at(4);
+    assert_eq!(p0.cycles, 507, "2-cluster penalty-0 cycles");
+    assert_eq!(p2.cycles, 1302, "2-cluster penalty-2 cycles");
+    assert_eq!(p4.cycles, 2104, "2-cluster penalty-4 cycles");
+    // ~500 of the ~550 dynamic instructions sit on the cross-iteration
+    // chain; at penalty p each link's wakeup arrives p cycles after the
+    // producer's writeback, so total cycles grow by roughly p per link.
+    assert!(p2.cycles > p0.cycles + 400, "penalty 2 must slow the chain");
+    assert!(p4.cycles > p2.cycles + 400, "penalty 4 must slow it further");
+    assert_eq!(p0.clusters[0].bypass_stalls + p0.clusters[1].bypass_stalls, 0);
+    assert!(
+        p2.clusters[0].bypass_stalls + p2.clusters[1].bypass_stalls > 400,
+        "most chain links wait on a delayed remote wakeup"
+    );
+    for stats in [&p0, &p2, &p4] {
+        assert_eq!(stats.committed, trace.len() as u64);
+        assert_eq!(stats.clusters[0].issued + stats.clusters[1].issued, stats.dispatched);
+        assert!(stats.invariant_violations().is_empty(), "{:?}", stats.invariant_violations());
+    }
+}
+
+#[test]
+fn dead_steering_under_a_full_cheap_cluster_iq_is_cycle_exact() {
+    // Four oracle-dead `slt`s per iteration, all steered into the cheap
+    // cluster, whose IQ slice is a single entry (2-entry global queue split
+    // two ways) drained by a single ALU: dispatch must back up on the full
+    // cheap slice, be charged `iq_full_stalls`, and still commit everything
+    // in a pinned number of cycles.
+    let trace = dead_slt_loop(4, 60);
+    let mut cfg = PipelineConfig::clustered(ClusterConfig {
+        clusters: 2,
+        bypass_penalty: 2,
+        steer: SteerPolicy::DeadSteer,
+    });
+    cfg.iq_entries = 2;
+    cfg.dead.oracle = true; // policy stays Off: steer, never squash
+    let stats = run(&trace, cfg);
+    assert_eq!(stats.cycles, 480, "full-cheap-IQ cycles");
+    assert_eq!(stats.committed, trace.len() as u64);
+    assert!(stats.iq_full_stalls > 0, "the 1-entry cheap slice must stall dispatch");
+    assert!(stats.steer.dead > 200, "4 dead slts x 59 warm iterations steer to the cheap cluster");
+    assert_eq!(stats.clusters[1].steered_dead, stats.steer.dead);
+    assert_eq!(stats.steer.dead_wrong, 0, "the oracle never steers a live instruction");
+    assert_eq!(stats.steer.squashed, 0, "nothing is eliminated with the policy off");
+    assert_eq!(stats.dead_predicted, 0);
+    assert!(stats.invariant_violations().is_empty(), "{:?}", stats.invariant_violations());
+}

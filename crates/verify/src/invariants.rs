@@ -10,7 +10,9 @@
 use dide_analysis::{replay_outputs, verify_dead_removable, DeadnessAnalysis};
 use dide_emu::Trace;
 use dide_obs::{check_rules, CounterSet, Expr, Observe, Rule};
-use dide_pipeline::{Core, DeadElimConfig, PipelineConfig, PipelineStats};
+use dide_pipeline::{
+    ClusterConfig, Core, DeadElimConfig, PipelineConfig, PipelineStats, SteerPolicy, SteerStats,
+};
 use dide_predictor::branch::Gshare;
 use dide_predictor::dead::{evaluate, CfiConfig, CfiDeadPredictor};
 
@@ -24,6 +26,7 @@ pub fn check_invariants(trace: &Trace, analysis: &DeadnessAnalysis) -> Vec<Strin
     let mut violations = Vec::new();
     check_replay(trace, analysis, &mut violations);
     check_pipeline(trace, analysis, &mut violations);
+    check_clustered(trace, analysis, &mut violations);
     check_threshold_monotonicity(trace, analysis, &mut violations);
     violations
 }
@@ -81,6 +84,80 @@ fn check_pipeline(trace: &Trace, analysis: &DeadnessAnalysis, violations: &mut V
     }
     rules.extend(oracle_exactness_rules("oracle", "cfi"));
     violations.extend(check_rules(&rules, &set));
+}
+
+/// Clustered-backend invariants (DESIGN.md §11), on the contended machine
+/// the `clustered` axis builds on:
+///
+/// * every steering policy commits exactly the baseline's architectural
+///   results (same committed/dispatched counts) with clean per-run laws,
+///   including the cluster conservation rules;
+/// * the degenerate machine (one cluster, zero bypass penalty) reproduces
+///   the unified contended run's statistics field for field;
+/// * the oracle eliminator's savings are identical clustered or not — the
+///   oracle's verdicts depend only on the trace, so partitioning the
+///   backend may move cycles but never savings — and the cross-run
+///   conservation laws hold *within* the clustered family.
+fn check_clustered(trace: &Trace, analysis: &DeadnessAnalysis, violations: &mut Vec<String>) {
+    let contended = PipelineConfig::contended();
+    let base = run_pipeline(trace, analysis, contended, "contended", violations);
+    let cluster = ClusterConfig::default(); // 2 clusters, bypass penalty 2
+    for steer in [SteerPolicy::RoundRobin, SteerPolicy::DependenceAffinity, SteerPolicy::DeadSteer]
+    {
+        let name = format!("clustered-{}", steer.label());
+        let cfg = contended.with_cluster(ClusterConfig { steer, ..cluster });
+        let stats = run_pipeline(trace, analysis, cfg, &name, violations);
+        if stats.dispatched != base.dispatched {
+            violations.push(format!(
+                "{name}: dispatched {} where the unified machine dispatched {}",
+                stats.dispatched, base.dispatched
+            ));
+        }
+        violations.extend(stats.invariant_violations().into_iter().map(|v| format!("{name}: {v}")));
+    }
+
+    let degenerate =
+        contended.with_cluster(ClusterConfig { clusters: 1, bypass_penalty: 0, ..cluster });
+    let mut degen = run_pipeline(trace, analysis, degenerate, "clustered-degenerate", violations);
+    degen.clusters.clear();
+    degen.steer = SteerStats::default();
+    if degen != base {
+        violations.push(format!(
+            "one cluster at penalty 0 must equal the unified machine: \
+             cycles {} vs {}, dispatched {} vs {}",
+            degen.cycles, base.cycles, degen.dispatched, base.dispatched
+        ));
+    }
+
+    let elim = DeadElimConfig { oracle: true, ..DeadElimConfig::default() };
+    let unified_elim =
+        run_pipeline(trace, analysis, contended.with_elimination(elim), "oracle-elim", violations);
+    let clustered_cfg = contended
+        .with_elimination(elim)
+        .with_cluster(ClusterConfig { steer: SteerPolicy::DeadSteer, ..cluster });
+    let clustered_elim =
+        run_pipeline(trace, analysis, clustered_cfg, "clustered-oracle-elim", violations);
+    if clustered_elim.savings != unified_elim.savings
+        || clustered_elim.dead_predicted != unified_elim.dead_predicted
+        || clustered_elim.dead_violations != unified_elim.dead_violations
+    {
+        violations.push(format!(
+            "oracle elimination savings must not depend on clustering: \
+             {:?} dead {} violations {} vs {:?} dead {} violations {}",
+            clustered_elim.savings,
+            clustered_elim.dead_predicted,
+            clustered_elim.dead_violations,
+            unified_elim.savings,
+            unified_elim.dead_predicted,
+            unified_elim.dead_violations,
+        ));
+    }
+    let clustered_base = Core::new(contended.with_cluster(cluster)).run(trace, analysis);
+    violations.extend(
+        cross_run_violations(&clustered_base, &clustered_elim)
+            .into_iter()
+            .map(|v| format!("clustered family: {v}")),
+    );
 }
 
 /// The exact cross-run conservation laws between a baseline run

@@ -1,0 +1,154 @@
+//! Property tests for the clustered backend (DESIGN.md §11): over randomly
+//! generated programs, every steering policy must preserve the baseline's
+//! architectural results, the dead-steering audit must be clean under the
+//! oracle, and the cluster conservation laws must hold end to end.
+
+use dide::prelude::*;
+use dide_workloads::{random_program, GenConfig};
+use proptest::prelude::*;
+
+fn trace_for(seed: u64) -> Trace {
+    let program = random_program(seed, &GenConfig::default());
+    Emulator::new(&program).run().expect("generated programs halt")
+}
+
+const POLICIES: [SteerPolicy; 3] =
+    [SteerPolicy::RoundRobin, SteerPolicy::DependenceAffinity, SteerPolicy::DeadSteer];
+
+proptest! {
+    #![proptest_config(ProptestConfig::from_env(24))]
+
+    // Clustering is a timing model, never an architectural one: for any
+    // cluster count, penalty and policy, the machine commits exactly the
+    // trace (same length as the unified contended baseline) and satisfies
+    // every per-run conservation law, including the cluster accounting
+    // (steered + squashed == dispatched, per-cluster sums, audit bounds).
+    #[test]
+    fn clustering_preserves_architectural_results(seed: u64) {
+        let trace = trace_for(seed);
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        let base = Core::new(PipelineConfig::contended()).run(&trace, &analysis);
+        prop_assert_eq!(base.committed, trace.len() as u64);
+        // Vary the shape with the seed so the 24 cases sweep the axes
+        // without a quadratic blowup per case.
+        let clusters = 2 + (seed % 3) as usize; // 2..=4
+        let bypass_penalty = (seed / 3 % 4) as u32; // 0..=3
+        for steer in POLICIES {
+            for elim in [false, true] {
+                let mut cfg = PipelineConfig::contended()
+                    .with_cluster(ClusterConfig { clusters, bypass_penalty, steer });
+                if elim {
+                    cfg = cfg.with_elimination(DeadElimConfig::default());
+                }
+                let stats = Core::new(cfg).run(&trace, &analysis);
+                prop_assert_eq!(
+                    stats.committed, base.committed,
+                    "steer {:?} elim {} must commit the whole trace", steer, elim
+                );
+                prop_assert_eq!(stats.dispatched, base.dispatched);
+                let v = stats.invariant_violations();
+                prop_assert!(v.is_empty(), "steer {:?} elim {}: {:?}", steer, elim, v);
+            }
+        }
+    }
+
+    // `DeadSteer` with the oracle predictor and elimination off steers
+    // exactly the oracle-dead instructions: the commit-time audit
+    // (`dead_wrong`) must stay zero, the steered count must never exceed
+    // the oracle's dead count, and all of it lands in the cheap cluster.
+    #[test]
+    fn oracle_dead_steering_never_steers_a_live_instruction(seed: u64) {
+        let trace = trace_for(seed);
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        let cfg = PipelineConfig::contended()
+            .with_elimination(DeadElimConfig {
+                policy: EliminationPolicy::Off,
+                oracle: true,
+                ..DeadElimConfig::default()
+            })
+            .with_cluster(ClusterConfig {
+                clusters: 2,
+                bypass_penalty: 2,
+                steer: SteerPolicy::DeadSteer,
+            });
+        let stats = Core::new(cfg).run(&trace, &analysis);
+        prop_assert_eq!(stats.committed, trace.len() as u64);
+        prop_assert_eq!(stats.steer.dead_wrong, 0, "the oracle must never steer a live inst");
+        prop_assert_eq!(stats.steer.squashed, 0, "policy Off must never eliminate");
+        prop_assert_eq!(stats.dead_predicted, 0);
+        let oracle_dead = analysis.verdicts().iter().filter(|v| v.is_dead()).count() as u64;
+        prop_assert!(stats.steer.dead <= oracle_dead, "steered {} of {} oracle-dead",
+            stats.steer.dead, oracle_dead);
+        prop_assert_eq!(stats.clusters[1].steered_dead, stats.steer.dead);
+        prop_assert_eq!(stats.clusters[0].steered_dead, 0);
+        let v = stats.invariant_violations();
+        prop_assert!(v.is_empty(), "{:?}", v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::from_env(10))]
+
+    // The degenerate clustered machine (one cluster, free bypass) is the
+    // unified machine: identical statistics field for field, for every
+    // policy, with and without elimination — the property-test twin of the
+    // pinned micro-trace in `crates/pipeline/tests/cycle_accuracy.rs`.
+    #[test]
+    fn single_cluster_zero_penalty_matches_unified(seed: u64) {
+        let trace = trace_for(seed);
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        for elim in [false, true] {
+            let mut unified = PipelineConfig::contended();
+            if elim {
+                unified = unified.with_elimination(DeadElimConfig::default());
+            }
+            let base = Core::new(unified).run(&trace, &analysis);
+            for steer in POLICIES {
+                let cfg = unified
+                    .with_cluster(ClusterConfig { clusters: 1, bypass_penalty: 0, steer });
+                let mut stats = Core::new(cfg).run(&trace, &analysis);
+                prop_assert_eq!(stats.cycles, base.cycles,
+                    "steer {:?} elim {} cycles", steer, elim);
+                if steer == SteerPolicy::DeadSteer && !elim {
+                    // Steering-only mode turns prediction on for routing,
+                    // which legitimately perturbs the training-side
+                    // counters; timing equality above is the contract.
+                    continue;
+                }
+                stats.clusters.clear();
+                stats.steer = SteerStats::default();
+                prop_assert_eq!(stats, base.clone(), "steer {:?} elim {}", steer, elim);
+            }
+        }
+    }
+
+    // Cross-run savings laws hold within the clustered family exactly as
+    // they do on the unified machine: the clustered baseline's usage
+    // reappears as the clustered eliminator's usage plus savings.
+    #[test]
+    fn clustered_savings_laws_match_unclustered(seed: u64) {
+        let trace = trace_for(seed);
+        let analysis = DeadnessAnalysis::analyze(&trace);
+        let cluster = ClusterConfig {
+            clusters: 2,
+            bypass_penalty: 2,
+            steer: SteerPolicy::RoundRobin,
+        };
+        let base = Core::new(PipelineConfig::contended().with_cluster(cluster))
+            .run(&trace, &analysis);
+        let elim_cfg = DeadElimConfig { oracle: true, ..DeadElimConfig::default() };
+        let elim = Core::new(
+            PipelineConfig::contended().with_elimination(elim_cfg).with_cluster(cluster),
+        )
+        .run(&trace, &analysis);
+        let v = dide_verify::cross_run_violations(&base, &elim);
+        prop_assert!(v.is_empty(), "clustered cross-run laws: {:?}", v);
+        // The oracle's verdicts depend only on the trace, so the *savings*
+        // an oracle eliminator books are identical clustered or not.
+        let unified_elim = Core::new(PipelineConfig::contended().with_elimination(elim_cfg))
+            .run(&trace, &analysis);
+        prop_assert_eq!(elim.savings, unified_elim.savings);
+        prop_assert_eq!(elim.dead_predicted, unified_elim.dead_predicted);
+        prop_assert_eq!(elim.dead_violations, unified_elim.dead_violations);
+    }
+}
